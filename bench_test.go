@@ -1,0 +1,177 @@
+// Benchmarks: one per paper artifact, mirroring the experiment index in
+// DESIGN.md. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// These measure steady-state per-run cost; the qybench command produces
+// the full result tables (max-qubits searches, fidelity columns, spill
+// counters) recorded in EXPERIMENTS.md.
+package qymera_test
+
+import (
+	"fmt"
+	"testing"
+
+	"qymera"
+	"qymera/internal/circuits"
+	"qymera/internal/core"
+	"qymera/internal/sim"
+	"qymera/internal/sqlengine"
+)
+
+// runBackend executes the circuit b.N times, failing the benchmark on
+// error.
+func runBackend(b *testing.B, backend qymera.Backend, c *qymera.Circuit) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := backend.Run(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2GHZ3 measures the paper's running example end to end:
+// translate the 3-qubit GHZ circuit and execute the generated SQL.
+func BenchmarkFig2GHZ3(b *testing.B) {
+	runBackend(b, qymera.NewSQLBackend(), qymera.GHZ(3))
+}
+
+// BenchmarkTable1Bitwise measures evaluation of the bitwise operators of
+// Table 1 inside the SQL engine.
+func BenchmarkTable1Bitwise(b *testing.B) {
+	db, err := sqlengine.Open(sqlengine.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.ExecScript(`CREATE TABLE t (s INTEGER);
+		INSERT INTO t VALUES (0),(1),(2),(3),(4),(5),(6),(7)`); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rs, err := db.Query("SELECT (s & ~6) | ((s >> 1) & 3) << 1 FROM t")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := rs.All(); err != nil {
+			b.Fatal(err)
+		}
+		rs.Close()
+	}
+}
+
+// BenchmarkPrelim mirrors the preliminary experiment's two workload
+// kinds at fixed sizes: a sparse circuit far beyond dense reach and a
+// dense circuit where the relational overhead shows.
+func BenchmarkPrelim(b *testing.B) {
+	b.Run("sparse-ghz40-sql", func(b *testing.B) {
+		runBackend(b, qymera.NewSQLBackend(), qymera.GHZ(40))
+	})
+	b.Run("sparse-ghz16-statevector", func(b *testing.B) {
+		runBackend(b, qymera.NewStateVectorBackend(), qymera.GHZ(16))
+	})
+	b.Run("dense-superpos10-sql", func(b *testing.B) {
+		runBackend(b, qymera.NewSQLBackend(), qymera.EqualSuperposition(10))
+	})
+	b.Run("dense-superpos10-statevector", func(b *testing.B) {
+		runBackend(b, qymera.NewStateVectorBackend(), qymera.EqualSuperposition(10))
+	})
+}
+
+// BenchmarkGHZBackends is the §4 benchmarking scenario on the sparse
+// GHZ workload across all five methods.
+func BenchmarkGHZBackends(b *testing.B) {
+	c := qymera.GHZ(12)
+	for _, name := range []string{"sql", "statevector", "sparse", "mps", "dd"} {
+		backend, err := qymera.BackendByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) { runBackend(b, backend, c) })
+	}
+}
+
+// BenchmarkSuperpositionBackends is the same scenario on the dense
+// equal-superposition workload.
+func BenchmarkSuperpositionBackends(b *testing.B) {
+	c := qymera.EqualSuperposition(10)
+	for _, name := range []string{"sql", "statevector", "sparse", "mps", "dd"} {
+		backend, err := qymera.BackendByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) { runBackend(b, backend, c) })
+	}
+}
+
+// BenchmarkParityCheck is the §4 algorithm-design scenario.
+func BenchmarkParityCheck(b *testing.B) {
+	c := qymera.ParitySuperposition(8)
+	b.Run("sql", func(b *testing.B) { runBackend(b, qymera.NewSQLBackend(), c) })
+	b.Run("statevector", func(b *testing.B) { runBackend(b, qymera.NewStateVectorBackend(), c) })
+}
+
+// BenchmarkFusionAblation measures the §3.2 query optimization: the
+// same circuit at the three fusion levels.
+func BenchmarkFusionAblation(b *testing.B) {
+	c := circuits.QFT(7)
+	for _, lvl := range []core.FusionLevel{core.FusionOff, core.FusionSameQubits, core.FusionSubset} {
+		b.Run(lvl.String(), func(b *testing.B) {
+			runBackend(b, &sim.SQL{Fusion: lvl}, c)
+		})
+	}
+}
+
+// BenchmarkEncodingAblation compares the paper's bitwise index
+// expressions against arithmetic division/modulo equivalents.
+func BenchmarkEncodingAblation(b *testing.B) {
+	c := circuits.RandomDense(9, 3, 17)
+	for _, enc := range []core.Encoding{core.EncodingBitwise, core.EncodingArithmetic} {
+		b.Run(enc.String(), func(b *testing.B) {
+			runBackend(b, &sim.SQL{Encoding: enc}, c)
+		})
+	}
+}
+
+// BenchmarkOutOfCore measures §3.3: the dense workload under shrinking
+// memory caps, spilling to disk.
+func BenchmarkOutOfCore(b *testing.B) {
+	c := qymera.EqualSuperposition(10)
+	for _, capBytes := range []int64{0, 256 << 10, 64 << 10} {
+		name := "unlimited"
+		if capBytes > 0 {
+			name = fmt.Sprintf("%dKB", capBytes>>10)
+		}
+		b.Run(name, func(b *testing.B) {
+			runBackend(b, &sim.SQL{MemoryBudget: capBytes, SpillDir: b.TempDir()}, c)
+		})
+	}
+}
+
+// BenchmarkParamSweep measures §3.3 parameterized simulation: one
+// ansatz instance per backend.
+func BenchmarkParamSweep(b *testing.B) {
+	params := make([]float64, 6*2*2)
+	for i := range params {
+		params[i] = 0.3 + 0.05*float64(i)
+	}
+	c := qymera.HardwareEfficientAnsatz(6, 2, params)
+	b.Run("sql", func(b *testing.B) { runBackend(b, qymera.NewSQLBackend(), c) })
+	b.Run("statevector", func(b *testing.B) { runBackend(b, qymera.NewStateVectorBackend(), c) })
+	b.Run("mps", func(b *testing.B) { runBackend(b, qymera.NewMPSBackend(), c) })
+	b.Run("dd", func(b *testing.B) { runBackend(b, qymera.NewDDBackend(), c) })
+}
+
+// BenchmarkTranslationOnly isolates the circuit→SQL translation cost
+// from execution.
+func BenchmarkTranslationOnly(b *testing.B) {
+	c := circuits.QFT(10)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := qymera.Translate(c, nil, qymera.TranslateOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,394 @@
+// Command qymera translates quantum circuits to SQL and simulates them
+// on the embedded relational engine or the comparison backends.
+//
+// Usage:
+//
+//	qymera translate -circuit ghz:3 [-mode single|chain] [-fusion off|same|subset] [-prune eps]
+//	qymera simulate  -circuit qft:5 [-backend sql|statevector|sparse|mps|dd] [-budget bytes]
+//	qymera draw      -circuit parity:1011
+//	qymera gates
+//
+// Circuits come from built-in families (-circuit name:arg) or files
+// (-in circuit.json | circuit.qasm).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"qymera"
+	"qymera/internal/bench"
+	"qymera/internal/quantum"
+	"qymera/internal/sqlengine"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "translate":
+		err = cmdTranslate(os.Args[2:])
+	case "simulate":
+		err = cmdSimulate(os.Args[2:])
+	case "draw":
+		err = cmdDraw(os.Args[2:])
+	case "explain":
+		err = cmdExplain(os.Args[2:])
+	case "gates":
+		err = cmdGates()
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "qymera: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qymera:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `qymera - quantum circuit simulation via SQL
+
+commands:
+  translate   print the SQL program for a circuit
+  simulate    run a circuit on a backend and print the final state
+  draw        render a circuit as ASCII art
+  explain     show the relational query plans for a circuit's SQL
+  gates       list the supported gate set
+
+circuit sources (for translate/simulate/draw):
+  -circuit ghz:N | superpos:N | qft:N | w:N | parity:BITS | bv:BITS | grover:N,M
+  -in FILE.json | FILE.qasm
+`)
+}
+
+// circuitFlags adds the shared circuit-source flags.
+func circuitFlags(fs *flag.FlagSet) (*string, *string) {
+	spec := fs.String("circuit", "", "built-in circuit spec, e.g. ghz:3, qft:5, parity:1011")
+	in := fs.String("in", "", "circuit file (.json or .qasm)")
+	return spec, in
+}
+
+func loadCircuit(spec, in string) (*qymera.Circuit, error) {
+	if (spec == "") == (in == "") {
+		return nil, fmt.Errorf("exactly one of -circuit or -in is required")
+	}
+	if in != "" {
+		data, err := os.ReadFile(in)
+		if err != nil {
+			return nil, err
+		}
+		switch strings.ToLower(filepath.Ext(in)) {
+		case ".json":
+			return qymera.ReadJSON(strings.NewReader(string(data)))
+		case ".qasm":
+			return qymera.ReadQASM(string(data))
+		}
+		return nil, fmt.Errorf("unknown circuit file extension %q (want .json or .qasm)", filepath.Ext(in))
+	}
+	return buildSpec(spec)
+}
+
+// buildSpec parses "family:arg" built-in circuit specs.
+func buildSpec(spec string) (*qymera.Circuit, error) {
+	name, arg, _ := strings.Cut(spec, ":")
+	atoi := func() (int, error) {
+		n, err := strconv.Atoi(arg)
+		if err != nil || n <= 0 {
+			return 0, fmt.Errorf("spec %q needs a positive integer argument", spec)
+		}
+		return n, nil
+	}
+	bits := func() ([]bool, error) {
+		if arg == "" {
+			return nil, fmt.Errorf("spec %q needs a bitstring argument", spec)
+		}
+		out := make([]bool, len(arg))
+		for i, ch := range arg {
+			switch ch {
+			case '0':
+			case '1':
+				out[i] = true
+			default:
+				return nil, fmt.Errorf("spec %q: bitstring may contain only 0 and 1", spec)
+			}
+		}
+		return out, nil
+	}
+	switch strings.ToLower(name) {
+	case "ghz":
+		n, err := atoi()
+		if err != nil {
+			return nil, err
+		}
+		return qymera.GHZ(n), nil
+	case "superpos", "superposition":
+		n, err := atoi()
+		if err != nil {
+			return nil, err
+		}
+		return qymera.EqualSuperposition(n), nil
+	case "qft":
+		n, err := atoi()
+		if err != nil {
+			return nil, err
+		}
+		return qymera.QFT(n), nil
+	case "w":
+		n, err := atoi()
+		if err != nil {
+			return nil, err
+		}
+		return qymera.WState(n), nil
+	case "parity":
+		b, err := bits()
+		if err != nil {
+			return nil, err
+		}
+		return qymera.ParityCheck(b), nil
+	case "bv":
+		b, err := bits()
+		if err != nil {
+			return nil, err
+		}
+		return qymera.BernsteinVazirani(b), nil
+	case "grover":
+		parts := strings.Split(arg, ",")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("spec grover needs N,MARKED")
+		}
+		n, err := strconv.Atoi(parts[0])
+		if err != nil {
+			return nil, err
+		}
+		m, err := strconv.ParseUint(parts[1], 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		return qymera.Grover(n, m), nil
+	}
+	return nil, fmt.Errorf("unknown circuit family %q", name)
+}
+
+func cmdTranslate(args []string) error {
+	fs := flag.NewFlagSet("translate", flag.ExitOnError)
+	spec, in := circuitFlags(fs)
+	mode := fs.String("mode", "single", "single (one WITH query) or chain (materialized tables)")
+	fusion := fs.String("fusion", "off", "gate fusion: off, same, subset")
+	prune := fs.Float64("prune", 0, "amplitude pruning epsilon (0 = off)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c, err := loadCircuit(*spec, *in)
+	if err != nil {
+		return err
+	}
+	opts := qymera.TranslateOptions{PruneEps: *prune}
+	switch *mode {
+	case "single":
+		opts.Mode = qymera.SingleQuery
+	case "chain":
+		opts.Mode = qymera.MaterializedChain
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+	switch *fusion {
+	case "off":
+		opts.Fusion = qymera.FusionOff
+	case "same":
+		opts.Fusion = qymera.FusionSameQubits
+	case "subset":
+		opts.Fusion = qymera.FusionSubset
+	default:
+		return fmt.Errorf("unknown fusion level %q", *fusion)
+	}
+	tr, err := qymera.Translate(c, nil, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("-- circuit: %s (%d qubits, %d gates, %d SQL stages)\n",
+		c.Name(), c.NumQubits(), c.Len(), tr.StageCount)
+	fmt.Print(tr.Script())
+	return nil
+}
+
+func cmdSimulate(args []string) error {
+	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
+	spec, in := circuitFlags(fs)
+	backend := fs.String("backend", "sql", "sql, sql-chain, statevector, sparse, mps, dd")
+	budget := fs.Int64("budget", 0, "memory budget in bytes (0 = unlimited)")
+	top := fs.Int("top", 16, "print at most this many basis states")
+	sample := fs.Int("sample", 0, "draw this many measurement shots")
+	seed := fs.Int64("seed", 1, "RNG seed for sampling")
+	bloch := fs.Bool("bloch", false, "print per-qubit Bloch vectors")
+	marginal := fs.String("marginal", "", "comma-separated qubits for a marginal distribution, e.g. 0,2")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c, err := loadCircuit(*spec, *in)
+	if err != nil {
+		return err
+	}
+	var b qymera.Backend
+	if *backend == "sql" && *budget > 0 {
+		b = qymera.NewSQLBackend(qymera.SQLBackendOptions{MemoryBudget: *budget})
+	} else {
+		b, err = qymera.BackendByName(*backend)
+		if err != nil {
+			return err
+		}
+		if *budget > 0 && *backend == "statevector" {
+			b = qymera.NewStateVectorBackend(*budget)
+		}
+	}
+	res, err := b.Run(c)
+	if err != nil {
+		return err
+	}
+	printState(res.State, *top)
+	st := res.Stats
+	fmt.Printf("\nbackend=%s time=%s peak=%s maxIntermediate=%d finalRows=%d spilled=%d %s\n",
+		st.Backend, bench.FormatDuration(st.WallTime), bench.FormatBytes(st.PeakBytes),
+		st.MaxIntermediateSize, st.FinalNonzeros, st.SpilledRows, st.Extra)
+
+	if *sample > 0 {
+		rng := rand.New(rand.NewSource(*seed))
+		counts := res.State.Sample(rng, *sample)
+		fmt.Printf("\n%d measurement shots (seed %d):\n", *sample, *seed)
+		for _, o := range res.State.TopOutcomes(*top) {
+			fmt.Printf("  |%0*b⟩  %5d shots (exact p=%.4f)\n",
+				c.NumQubits(), o.Index, counts[o.Index], o.Probability)
+		}
+	}
+	if *bloch {
+		fmt.Println("\nper-qubit Bloch vectors (|r|<1 ⇒ entangled/mixed):")
+		for q := 0; q < c.NumQubits(); q++ {
+			x, y, z, err := res.State.BlochVector(q)
+			if err != nil {
+				return err
+			}
+			r := math.Sqrt(x*x + y*y + z*z)
+			fmt.Printf("  q%-2d  x=%+.4f y=%+.4f z=%+.4f  |r|=%.4f\n", q, x, y, z, r)
+		}
+	}
+	if *marginal != "" {
+		var qubits []int
+		for _, part := range strings.Split(*marginal, ",") {
+			q, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return fmt.Errorf("bad marginal qubit %q", part)
+			}
+			qubits = append(qubits, q)
+		}
+		m, err := res.State.MarginalProbabilities(qubits)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nmarginal distribution over qubits %v:\n", qubits)
+		for pattern := uint64(0); pattern < uint64(1)<<uint(len(qubits)); pattern++ {
+			if p, ok := m[pattern]; ok {
+				fmt.Printf("  |%0*b⟩  p=%.6f\n", len(qubits), pattern, p)
+			}
+		}
+	}
+	return nil
+}
+
+func printState(st *quantum.State, top int) {
+	idx := st.Indices()
+	fmt.Printf("final state: %d nonzero basis states\n", len(idx))
+	for i, k := range idx {
+		if i >= top {
+			fmt.Printf("  ... %d more\n", len(idx)-top)
+			break
+		}
+		a := st.Amplitude(k)
+		fmt.Printf("  |%0*b⟩  amp=(%.6g%+.6gi)  p=%.6g\n",
+			st.NumQubits(), k, real(a), imag(a), st.Probability(k))
+	}
+}
+
+func cmdDraw(args []string) error {
+	fs := flag.NewFlagSet("draw", flag.ExitOnError)
+	spec, in := circuitFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c, err := loadCircuit(*spec, *in)
+	if err != nil {
+		return err
+	}
+	fmt.Print(qymera.Draw(c))
+	return nil
+}
+
+// cmdExplain prints the engine's physical plan for each gate stage,
+// demonstrating what the RDBMS optimizer sees.
+func cmdExplain(args []string) error {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	spec, in := circuitFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c, err := loadCircuit(*spec, *in)
+	if err != nil {
+		return err
+	}
+	tr, err := qymera.Translate(c, nil, qymera.TranslateOptions{Mode: qymera.MaterializedChain})
+	if err != nil {
+		return err
+	}
+	db, err := sqlengine.Open(sqlengine.Config{})
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	// Execute setup and stages so per-stage plans carry row counts.
+	for _, stmt := range tr.Setup {
+		if _, err := db.Exec(stmt); err != nil {
+			return err
+		}
+	}
+	for i, step := range tr.Steps {
+		fmt.Printf("-- stage %d: gate %s on qubits %v\n", i+1, step.GateTable, step.Qubits)
+		plan, err := db.Explain(step.Body)
+		if err != nil {
+			return err
+		}
+		fmt.Println(plan)
+		if step.SQL != "" {
+			if _, err := db.Exec(step.SQL); err != nil {
+				return err
+			}
+		}
+	}
+	fmt.Println("-- final query")
+	plan, err := db.Explain(tr.Query)
+	if err != nil {
+		return err
+	}
+	fmt.Println(plan)
+	return nil
+}
+
+func cmdGates() error {
+	fmt.Println("supported gates (name: qubits, params):")
+	for _, name := range quantum.KnownGates() {
+		arity, _ := quantum.GateArity(name)
+		params, _ := quantum.GateParamCount(name)
+		fmt.Printf("  %-6s %d qubit(s), %d param(s)\n", name, arity, params)
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestBuildSpecFamilies(t *testing.T) {
+	cases := []struct {
+		spec   string
+		qubits int
+		gates  int // -1 means "just check it builds"
+	}{
+		{"ghz:4", 4, 4},
+		{"superpos:3", 3, 3},
+		{"superposition:3", 3, 3},
+		{"qft:3", 3, -1},
+		{"w:5", 5, -1},
+		{"parity:101", 4, -1},
+		{"bv:11", 3, -1},
+		{"grover:3,5", 3, -1},
+	}
+	for _, tc := range cases {
+		c, err := buildSpec(tc.spec)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.spec, err)
+		}
+		if c.NumQubits() != tc.qubits {
+			t.Fatalf("%s: qubits = %d, want %d", tc.spec, c.NumQubits(), tc.qubits)
+		}
+		if tc.gates >= 0 && c.Len() != tc.gates {
+			t.Fatalf("%s: gates = %d, want %d", tc.spec, c.Len(), tc.gates)
+		}
+	}
+}
+
+func TestBuildSpecErrors(t *testing.T) {
+	for _, spec := range []string{
+		"ghz", "ghz:0", "ghz:x", "parity:", "parity:102",
+		"grover:3", "grover:a,b", "unknown:3",
+	} {
+		if _, err := buildSpec(spec); err == nil {
+			t.Fatalf("%s: expected error", spec)
+		}
+	}
+}
+
+func TestLoadCircuitFromFiles(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "c.json")
+	if err := os.WriteFile(jsonPath, []byte(`{"num_qubits":2,"gates":[{"name":"H","qubits":[0]}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := loadCircuit("", jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumQubits() != 2 || c.Len() != 1 {
+		t.Fatalf("c = %s", c.String())
+	}
+
+	qasmPath := filepath.Join(dir, "c.qasm")
+	if err := os.WriteFile(qasmPath, []byte("qreg q[2]; h q[0]; cx q[0], q[1];"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err = loadCircuit("", qasmPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("c = %s", c.String())
+	}
+
+	// Exactly one source is required.
+	if _, err := loadCircuit("", ""); err == nil {
+		t.Fatal("expected error for no source")
+	}
+	if _, err := loadCircuit("ghz:2", jsonPath); err == nil {
+		t.Fatal("expected error for two sources")
+	}
+	// Unknown extension.
+	badPath := filepath.Join(dir, "c.txt")
+	os.WriteFile(badPath, []byte("x"), 0o644)
+	if _, err := loadCircuit("", badPath); err == nil || !strings.Contains(err.Error(), "extension") {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,97 @@
+package qymera_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"qymera"
+)
+
+// The paper's running example: translate the 3-qubit GHZ circuit and
+// print the final SELECT of the generated WITH-chain.
+func ExampleTranslate() {
+	c := qymera.NewCircuit(3).H(0).CX(0, 1).CX(1, 2)
+	tr, err := qymera.Translate(c, nil, qymera.TranslateOptions{Mode: qymera.SingleQuery})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(tr.StageCount, "stages, final table", tr.FinalTable)
+	// Output:
+	// 3 stages, final table T3
+}
+
+// Simulating on the RDBMS backend.
+func ExampleNewSQLBackend() {
+	c := qymera.NewCircuit(2).H(0).CX(0, 1) // Bell pair
+	res, err := qymera.NewSQLBackend().Run(c)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.State.FormatKet())
+	// Output:
+	// 0.7071|00⟩ + 0.7071|11⟩
+}
+
+// The Method Selector chooses a backend by name.
+func ExampleBackendByName() {
+	b, err := qymera.BackendByName("dd")
+	if err != nil {
+		panic(err)
+	}
+	res, err := b.Run(qymera.GHZ(20))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.State.Len(), "nonzero amplitudes at 20 qubits")
+	// Output:
+	// 2 nonzero amplitudes at 20 qubits
+}
+
+// Measurement sampling from a final state.
+func ExampleState_sample() {
+	res, err := qymera.NewSQLBackend().Run(qymera.GHZ(3))
+	if err != nil {
+		panic(err)
+	}
+	counts := res.State.Sample(rand.New(rand.NewSource(1)), 1000)
+	fmt.Println(counts[0]+counts[7] == 1000)
+	// Output:
+	// true
+}
+
+// Analysis inside the database: the measurement distribution of a state
+// table as SQL.
+func ExampleProbabilityQuery() {
+	fmt.Println(qymera.ProbabilityQuery("T3"))
+	// Output:
+	// SELECT s, ((r * r) + (i * i)) AS p FROM T3 ORDER BY p DESC, s
+}
+
+// Loading a circuit from OpenQASM 2.0.
+func ExampleReadQASM() {
+	c, err := qymera.ReadQASM(`
+		OPENQASM 2.0;
+		qreg q[2];
+		h q[0];
+		cx q[0], q[1];
+	`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(c.NumQubits(), "qubits,", c.Len(), "gates")
+	// Output:
+	// 2 qubits, 2 gates
+}
+
+// Out-of-core simulation: the run completes under a cap far below the
+// state size by spilling to disk.
+func ExampleSQLBackendOptions() {
+	b := qymera.NewSQLBackend(qymera.SQLBackendOptions{MemoryBudget: 16 << 10})
+	res, err := b.Run(qymera.EqualSuperposition(10))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.State.Len() == 1024, res.Stats.SpilledRows > 0)
+	// Output:
+	// true true
+}

@@ -1,0 +1,54 @@
+// Noisy simulation via quantum trajectories: NISQ-era noise without
+// density matrices. Random Pauli errors are inserted into circuit
+// instances and observables are averaged over the ensemble — so every
+// backend, including the SQL one, simulates noise unchanged.
+//
+// The experiment: watch the GHZ parity correlation ⟨Z₀Z₁⟩ (ideally +1)
+// decay as the two-qubit gate error rate grows.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"qymera"
+)
+
+func main() {
+	c := qymera.GHZ(4)
+	fmt.Println("GHZ-4 under depolarizing noise — trajectory average of <Z0·Z1>")
+	fmt.Printf("\n%-14s  %-18s  %-18s\n", "2q error rate", "<ZZ> statevector", "<ZZ> sql backend")
+
+	observable := func(b qymera.Backend) func(*qymera.Circuit) (float64, error) {
+		return func(circ *qymera.Circuit) (float64, error) {
+			res, err := b.Run(circ)
+			if err != nil {
+				return 0, err
+			}
+			return res.State.ExpectationZProduct([]int{0, 1}), nil
+		}
+	}
+
+	for _, p := range []float64{0, 0.02, 0.05, 0.1, 0.2} {
+		runner := qymera.TrajectoryRunner{
+			Model: qymera.PauliNoiseModel{
+				OneQubitError: p / 10,
+				TwoQubitError: p,
+			},
+			Trials: 100,
+			Seed:   2025,
+		}
+		sv, err := runner.AverageObservable(c, observable(qymera.NewStateVectorBackend()))
+		if err != nil {
+			log.Fatal(err)
+		}
+		sql, err := runner.AverageObservable(c, observable(qymera.NewSQLBackend()))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14.3f  %-18.4f  %-18.4f\n", p, sv, sql)
+	}
+
+	fmt.Println("\nthe correlation decays from +1 toward 0 as errors accumulate;")
+	fmt.Println("both backends see the same ensemble (same seed), so they agree exactly")
+}

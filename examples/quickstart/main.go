@@ -1,0 +1,39 @@
+// Quickstart: build a 3-qubit GHZ circuit, look at the SQL Qymera
+// generates for it, and simulate it on the relational backend.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"qymera"
+)
+
+func main() {
+	// Build the running example of the paper (Fig. 2a): H on qubit 0,
+	// then a CX chain entangling all three qubits.
+	c := qymera.NewCircuit(3).H(0).CX(0, 1).CX(1, 2)
+	c.SetName("ghz-3")
+
+	fmt.Println("Circuit:")
+	fmt.Println(qymera.Draw(c))
+
+	// Translate to SQL (one WITH-chained query, Fig. 2c).
+	tr, err := qymera.Translate(c, nil, qymera.TranslateOptions{Mode: qymera.SingleQuery})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Generated SQL:")
+	fmt.Println(tr.Script())
+
+	// Execute on the embedded relational engine.
+	res, err := qymera.NewSQLBackend().Run(c)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Final state:", res.State.FormatKet())
+	fmt.Printf("Measurement probabilities: |000⟩ → %.3f, |111⟩ → %.3f\n",
+		res.State.Probability(0), res.State.Probability(7))
+	fmt.Printf("Simulated in %v using %d intermediate rows at peak.\n",
+		res.Stats.WallTime, res.Stats.MaxIntermediateSize)
+}

@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"qymera/internal/circuits"
+	"qymera/internal/quantum"
+	"qymera/internal/sim"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "ghz",
+		Paper: "§4 'Simulation Method Benchmarking' — GHZ preparation",
+		Desc:  "all five backends on GHZ circuits of growing width: time, memory, intermediate size",
+		Run: func(opts Options) ([]*Table, error) {
+			ns := []int{4, 8, 12, 16, 20}
+			if opts.Quick {
+				ns = []int{4, 8}
+			}
+			return runBackendSweep(opts, "GHZ preparation", circuits.GHZ, ns, true)
+		},
+	})
+	register(Experiment{
+		ID:    "superpos",
+		Paper: "§4 'Simulation Method Benchmarking' — equal superposition",
+		Desc:  "all five backends on H^⊗n circuits: dense workload where the statevector should win",
+		Run: func(opts Options) ([]*Table, error) {
+			ns := []int{4, 8, 10, 12}
+			if opts.Quick {
+				ns = []int{4, 8}
+			}
+			return runBackendSweep(opts, "equal superposition", circuits.EqualSuperposition, ns, true)
+		},
+	})
+}
+
+// benchBackends builds the standard five-method comparison set, the
+// dense reference first.
+func benchBackends(opts Options, includeMPS bool) []sim.Backend {
+	out := []sim.Backend{
+		&sim.StateVector{},
+		&sim.Sparse{},
+		&sim.SQL{SpillDir: opts.SpillDir},
+		&sim.DD{},
+	}
+	if includeMPS {
+		out = append(out, &sim.MPS{})
+	}
+	return out
+}
+
+// runBackendSweep produces one table per register width.
+func runBackendSweep(opts Options, title string, build func(int) *quantum.Circuit, ns []int, includeMPS bool) ([]*Table, error) {
+	var tables []*Table
+	for _, n := range ns {
+		c := build(n)
+		t := NewTable(fmt.Sprintf("%s, n=%d (%d gates)", title, n, c.Len()),
+			"backend", "median time", "peak memory", "max intermediate", "final rows", "fidelity vs statevector")
+		for _, b := range benchBackends(opts, includeMPS) {
+			var last sim.Stats
+			var fid float64 = -1
+			med, err := Median3(func() (time.Duration, error) {
+				res, err := b.Run(c)
+				if err != nil {
+					return 0, err
+				}
+				last = res.Stats
+				return res.Stats.WallTime, nil
+			})
+			if err != nil {
+				t.Addf(b.Name(), "error: "+err.Error(), "-", "-", "-", "-")
+				continue
+			}
+			// Fidelity from a final dedicated run against the reference.
+			ref, err := (&sim.StateVector{}).Run(c)
+			if err == nil {
+				res, err := b.Run(c)
+				if err == nil {
+					fid = res.State.Fidelity(ref.State)
+				}
+			}
+			t.Addf(b.Name(), FormatDuration(med), FormatBytes(last.PeakBytes),
+				last.MaxIntermediateSize, last.FinalNonzeros, fmt.Sprintf("%.6f", fid))
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}

@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"qymera/internal/circuits"
+	"qymera/internal/core"
+	"qymera/internal/sqlengine"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig2",
+		Paper: "Fig. 2 (running example)",
+		Desc:  "3-qubit GHZ translation: gate tables, per-gate queries, intermediate states T1-T3",
+		Run:   runFig2,
+	})
+}
+
+func runFig2(opts Options) ([]*Table, error) {
+	c := circuits.GHZ(3)
+	tr, err := core.Translate(c, nil, core.Options{Mode: core.MaterializedChain})
+	if err != nil {
+		return nil, err
+	}
+
+	var tables []*Table
+
+	// Fig. 2b: the relational gate tables.
+	for _, gt := range tr.GateTables {
+		t := NewTable(fmt.Sprintf("Fig.2b gate table %s", gt.Name), "in_s", "out_s", "r", "i")
+		for _, row := range gt.Rows {
+			t.Addf(row.InS, row.OutS, row.R, row.I)
+		}
+		tables = append(tables, t)
+	}
+
+	// Fig. 2c: the per-gate queries.
+	qt := NewTable("Fig.2c generated queries", "stage", "state table", "gate", "query")
+	for i, st := range tr.Steps {
+		qt.Addf(fmt.Sprintf("q%d", i+1), st.Table, st.GateTable, compactSQL(st.Body))
+	}
+	tables = append(tables, qt)
+
+	// Execute and dump every intermediate state.
+	db, err := sqlengine.Open(sqlengine.Config{SpillDir: opts.SpillDir})
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+	for _, stmt := range tr.Statements() {
+		if _, err := db.Exec(stmt); err != nil {
+			return nil, err
+		}
+	}
+	states := NewTable("Fig.2 intermediate and final states", "table", "s", "r", "i")
+	for _, name := range []string{"T0", "T1", "T2", "T3"} {
+		rs, err := db.Query("SELECT s, r, i FROM " + name + " ORDER BY s")
+		if err != nil {
+			return nil, err
+		}
+		rows, err := rs.All()
+		rs.Close()
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range rows {
+			states.Addf(name, row[0].String(), row[1].String(), row[2].String())
+		}
+	}
+
+	// Verify against the paper's expected output: T3 = {0, 7} at 1/√2.
+	rs, err := db.Query(tr.Query)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := rs.All()
+	rs.Close()
+	if err != nil {
+		return nil, err
+	}
+	inv := 1 / math.Sqrt2
+	ok := len(rows) == 2
+	if ok {
+		for i, want := range []int64{0, 7} {
+			s, _ := rows[i][0].AsInt()
+			r, _ := rows[i][1].AsFloat()
+			if s != want || math.Abs(r-inv) > 1e-12 {
+				ok = false
+			}
+		}
+	}
+	states.Note("final state check (s∈{0,7}, r=1/√2): %v", verdict(ok))
+	tables = append(tables, states)
+	return tables, nil
+}
+
+func verdict(ok bool) string {
+	if ok {
+		return "PASS"
+	}
+	return "FAIL"
+}
+
+// compactSQL collapses whitespace so queries fit table cells.
+func compactSQL(s string) string {
+	out := make([]byte, 0, len(s))
+	space := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == '\n' || c == '\t' || c == ' ' {
+			space = true
+			continue
+		}
+		if space && len(out) > 0 {
+			out = append(out, ' ')
+		}
+		space = false
+		out = append(out, c)
+	}
+	return string(out)
+}

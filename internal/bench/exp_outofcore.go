@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"qymera/internal/circuits"
+	"qymera/internal/sim"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "outofcore",
+		Paper: "§3.3 'Out-of-Core Simulation'",
+		Desc:  "dense circuit under shrinking memory caps: the SQL backend spills to disk and still completes correctly",
+		Run:   runOutOfCore,
+	})
+}
+
+func runOutOfCore(opts Options) ([]*Table, error) {
+	n := 12
+	if opts.Quick {
+		n = 10
+	}
+	c := circuits.EqualSuperposition(n)
+	ref, err := (&sim.StateVector{}).Run(c)
+	if err != nil {
+		return nil, err
+	}
+
+	budgets := []int64{0, 512 << 10, 128 << 10, 32 << 10}
+	t := NewTable(fmt.Sprintf("Out-of-core simulation — equal superposition n=%d (%d final rows)", n, 1<<n),
+		"memory cap", "median time", "peak memory", "spilled rows", "fidelity", "check")
+	for _, budget := range budgets {
+		b := &sim.SQL{MemoryBudget: budget, SpillDir: opts.SpillDir}
+		var stats sim.Stats
+		var fid float64
+		med, err := Median3(func() (time.Duration, error) {
+			res, err := b.Run(c)
+			if err != nil {
+				return 0, err
+			}
+			stats = res.Stats
+			fid = res.State.Fidelity(ref.State)
+			return res.Stats.WallTime, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		cap := "unlimited"
+		if budget > 0 {
+			cap = FormatBytes(budget)
+		}
+		t.Addf(cap, FormatDuration(med), FormatBytes(stats.PeakBytes),
+			stats.SpilledRows, fmt.Sprintf("%.6f", fid),
+			verdict(math.Abs(fid-1) < 1e-9))
+	}
+	t.Note("peak memory stays bounded by the cap (soft, see sqlengine docs) while spilled rows grow — the run completes at any cap, unlike the in-memory backends")
+	return []*Table{t}, nil
+}

@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"qymera/internal/circuits"
+	"qymera/internal/sim"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "parity",
+		Paper: "§4 'Quantum Algorithm Design and Testing' — parity check",
+		Desc:  "parity-check circuit: SQL-backend correctness against classical parity on all/random inputs, plus timing vs statevector",
+		Run:   runParity,
+	})
+}
+
+func runParity(opts Options) ([]*Table, error) {
+	sizes := []int{2, 4, 8, 12}
+	if opts.Quick {
+		sizes = []int{2, 4}
+	}
+	rng := rand.New(rand.NewSource(2025))
+
+	correct := NewTable("Parity check — SQL backend vs classical parity",
+		"data qubits", "inputs tested", "mismatches", "check")
+	timing := NewTable("Parity check — runtime (superposition input, all 2^k inputs at once)",
+		"data qubits", "statevector", "sql", "sql rows")
+
+	for _, k := range sizes {
+		// Correctness: exhaustive for small k, 16 random inputs beyond.
+		var inputs [][]bool
+		if k <= 6 {
+			for x := 0; x < 1<<k; x++ {
+				bits := make([]bool, k)
+				for q := 0; q < k; q++ {
+					bits[q] = x>>q&1 == 1
+				}
+				inputs = append(inputs, bits)
+			}
+		} else {
+			for i := 0; i < 16; i++ {
+				bits := make([]bool, k)
+				for q := range bits {
+					bits[q] = rng.Intn(2) == 1
+				}
+				inputs = append(inputs, bits)
+			}
+		}
+		mismatches := 0
+		for _, bits := range inputs {
+			want := 0
+			for _, b := range bits {
+				if b {
+					want ^= 1
+				}
+			}
+			res, err := (&sim.SQL{SpillDir: opts.SpillDir}).Run(circuits.ParityCheck(bits))
+			if err != nil {
+				return nil, err
+			}
+			got := res.State.QubitProbability(k)
+			if math.Abs(got-float64(want)) > 1e-9 {
+				mismatches++
+			}
+		}
+		correct.Addf(k, len(inputs), mismatches, verdict(mismatches == 0))
+
+		// Timing on the superposition variant (all inputs at once).
+		c := circuits.ParitySuperposition(k)
+		var svT, sqlT time.Duration
+		var sqlRows int64
+		var err error
+		svT, err = Median3(func() (time.Duration, error) {
+			res, err := (&sim.StateVector{}).Run(c)
+			if err != nil {
+				return 0, err
+			}
+			return res.Stats.WallTime, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		sqlT, err = Median3(func() (time.Duration, error) {
+			res, err := (&sim.SQL{SpillDir: opts.SpillDir}).Run(c)
+			if err != nil {
+				return 0, err
+			}
+			sqlRows = res.Stats.MaxIntermediateSize
+			return res.Stats.WallTime, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		timing.Addf(k, FormatDuration(svT), FormatDuration(sqlT), fmt.Sprint(sqlRows))
+	}
+	return []*Table{correct, timing}, nil
+}

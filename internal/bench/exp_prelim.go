@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"qymera/internal/circuits"
+	"qymera/internal/quantum"
+	"qymera/internal/sim"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "prelim",
+		Paper: "§1 preliminary experiment (tech-report Fig. 10): memory-capped max qubits, sparse vs dense",
+		Desc:  "largest simulable register per backend under a memory cap; RDBMS wins on sparse circuits, loses slightly on dense",
+		Run:   runPrelim,
+	})
+}
+
+func runPrelim(opts Options) ([]*Table, error) {
+	budgets := []int64{64 << 10, 256 << 10, 1 << 20}
+	maxSparse, maxDense := 62, 16
+	if opts.Quick {
+		budgets = []int64{64 << 10}
+		maxSparse, maxDense = 40, 12
+	}
+
+	sparseBuild := func(n int) *quantum.Circuit { return circuits.GHZ(n) }
+	denseBuild := func(n int) *quantum.Circuit { return circuits.EqualSuperposition(n) }
+
+	mk := func(budget int64) map[string]func() sim.Backend {
+		return map[string]func() sim.Backend{
+			"statevector": func() sim.Backend { return &sim.StateVector{MemoryBudget: budget} },
+			"sparse":      func() sim.Backend { return &sim.Sparse{MemoryBudget: budget} },
+			"sql (in-memory)": func() sim.Backend {
+				return &sim.SQL{MemoryBudget: budget, DisableSpill: true}
+			},
+			"sql (out-of-core)": func() sim.Backend {
+				return &sim.SQL{MemoryBudget: budget, SpillDir: opts.SpillDir}
+			},
+		}
+	}
+	order := []string{"statevector", "sparse", "sql (in-memory)", "sql (out-of-core)"}
+
+	var tables []*Table
+	for kindIdx, kind := range []string{"sparse (GHZ)", "dense (equal superposition)"} {
+		build := sparseBuild
+		maxN := maxSparse
+		if kindIdx == 1 {
+			build = denseBuild
+			maxN = maxDense
+		}
+		t := NewTable(fmt.Sprintf("Preliminary experiment — %s circuits: max qubits under memory cap", kind),
+			"memory cap", "statevector", "sparse", "sql (in-memory)", "sql (out-of-core)", "sql/statevec ratio")
+		for _, budget := range budgets {
+			backends := mk(budget)
+			vals := map[string]int{}
+			for _, name := range order {
+				n, err := MaxQubits(build, backends[name], 2, maxN)
+				if err != nil {
+					return nil, fmt.Errorf("%s under %s: %w", name, FormatBytes(budget), err)
+				}
+				vals[name] = n
+			}
+			ratio := "n/a"
+			if vals["statevector"] > 0 {
+				ratio = fmt.Sprintf("%.1fx", float64(vals["sql (out-of-core)"])/float64(vals["statevector"]))
+			}
+			t.Addf(FormatBytes(budget),
+				capStr(vals["statevector"], maxN), capStr(vals["sparse"], maxN),
+				capStr(vals["sql (in-memory)"], maxN), capStr(vals["sql (out-of-core)"], maxN), ratio)
+		}
+		if kindIdx == 0 {
+			t.Note("sparse entries marked '>=' hit the probe ceiling (the engine's 63-bit state index), not a memory limit; the paper reports up to 3118x on its testbed where the index width is not the binding constraint")
+		} else {
+			t.Note("on dense circuits the relational representation stores all 2^n rows, so its capacity tracks the cap like the dense vector (with constant-factor overhead); out-of-core trades the cap for disk")
+		}
+		tables = append(tables, t)
+	}
+
+	// Dense-circuit runtime comparison at a size every backend fits:
+	// the paper reports the RDBMS ~14% slower on dense circuits.
+	n := 10
+	if opts.Quick {
+		n = 8
+	}
+	c := circuits.EqualSuperposition(n)
+	rt := NewTable(fmt.Sprintf("Preliminary experiment — dense runtime at n=%d (no cap)", n),
+		"backend", "median time", "peak memory", "final rows")
+	for _, mkB := range []func() sim.Backend{
+		func() sim.Backend { return &sim.StateVector{} },
+		func() sim.Backend { return &sim.Sparse{} },
+		func() sim.Backend { return &sim.SQL{SpillDir: opts.SpillDir} },
+	} {
+		var stats sim.Stats
+		med, err := Median3(func() (time.Duration, error) {
+			res, err := mkB().Run(c)
+			if err != nil {
+				return 0, err
+			}
+			stats = res.Stats
+			return res.Stats.WallTime, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		rt.Addf(stats.Backend, FormatDuration(med), FormatBytes(stats.PeakBytes), stats.FinalNonzeros)
+	}
+	rt.Note("shape check: statevector fastest on dense circuits; the SQL pipeline pays per-stage join+aggregation overhead (the paper reports ~14%% on its optimized engines; an interpreted volcano engine pays more)")
+	tables = append(tables, rt)
+	return tables, nil
+}
+
+// capStr annotates values that reached the probe ceiling.
+func capStr(n, ceiling int) string {
+	if n >= ceiling {
+		return fmt.Sprintf(">=%d", n)
+	}
+	return fmt.Sprint(n)
+}

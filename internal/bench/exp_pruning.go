@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"qymera/internal/circuits"
+	"qymera/internal/core"
+	"qymera/internal/quantum"
+	"qymera/internal/sim"
+	"qymera/internal/sqlengine"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "pruning",
+		Paper: "§2.1 'Only nonzero basis states are stored' — amplitude pruning",
+		Desc:  "ablation: HAVING-based pruning keeps interference-heavy circuits sparse; without it zero-amplitude rows accumulate",
+		Run:   runPruning,
+	})
+}
+
+func runPruning(opts Options) ([]*Table, error) {
+	k := 10
+	if opts.Quick {
+		k = 6
+	}
+	secret := make([]bool, k)
+	for i := range secret {
+		secret[i] = i%2 == 0
+	}
+
+	// Workloads whose sparsity depends on destructive interference: the
+	// H-layers temporarily densify the state and cancellation brings it
+	// back — but only if zero rows are dropped.
+	workloads := []*quantum.Circuit{
+		circuits.BernsteinVazirani(secret),
+		circuits.DeutschJozsa(k, true),
+		echoCircuit(k),
+	}
+
+	var tables []*Table
+	for _, c := range workloads {
+		t := NewTable(fmt.Sprintf("Amplitude pruning ablation — %s (%d qubits, %d gates)",
+			c.Name(), c.NumQubits(), c.Len()),
+			"pruning", "median time", "final nonzero amps", "final table rows", "max state-table rows")
+		for _, prune := range []bool{true, false} {
+			eps := 0.0 // backend default (on)
+			label := "on (HAVING)"
+			if !prune {
+				eps = -1 // negative disables
+				label = "off"
+			}
+			// MaterializedChain mode measures every intermediate state
+			// table's row count.
+			b := &sim.SQL{PruneEps: eps, SpillDir: opts.SpillDir, Mode: core.MaterializedChain}
+			var stats sim.Stats
+			var finalAmps int
+			med, err := Median3(func() (time.Duration, error) {
+				res, err := b.Run(c)
+				if err != nil {
+					return 0, err
+				}
+				stats = res.Stats
+				finalAmps = res.State.Len()
+				return res.Stats.WallTime, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			finalTableRows, err := countFinalTableRows(c, eps, opts)
+			if err != nil {
+				return nil, err
+			}
+			t.Addf(label, FormatDuration(med), finalAmps, finalTableRows, stats.MaxIntermediateSize)
+		}
+		t.Note("both runs pass through the same dense mid-circuit peak, but without the HAVING clause the rows whose amplitudes cancelled to zero stay in the final table (and every later stage) instead of vanishing")
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// countFinalTableRows executes the translation directly and counts the
+// rows of the final state table, including zero-amplitude rows.
+func countFinalTableRows(c *quantum.Circuit, eps float64, opts Options) (int64, error) {
+	pe := eps
+	if pe == 0 {
+		pe = 1e-12
+	}
+	if pe < 0 {
+		pe = 0
+	}
+	tr, err := core.Translate(c, nil, core.Options{Mode: core.MaterializedChain, PruneEps: pe})
+	if err != nil {
+		return 0, err
+	}
+	db, err := sqlengine.Open(sqlengine.Config{SpillDir: opts.SpillDir})
+	if err != nil {
+		return 0, err
+	}
+	defer db.Close()
+	for _, stmt := range tr.Statements() {
+		if _, err := db.Exec(stmt); err != nil {
+			return 0, err
+		}
+	}
+	rs, err := db.Query("SELECT COUNT(*) FROM " + tr.FinalTable)
+	if err != nil {
+		return 0, err
+	}
+	defer rs.Close()
+	rows, err := rs.All()
+	if err != nil {
+		return 0, err
+	}
+	return rows[0][0].AsInt()
+}
+
+// echoCircuit applies a dense layer and its inverse: the state passes
+// through full density and returns to |0…0⟩ purely by cancellation.
+func echoCircuit(k int) *quantum.Circuit {
+	c := circuits.EqualSuperposition(k)
+	inv, err := c.Inverse()
+	if err != nil {
+		panic(err)
+	}
+	if err := c.Compose(inv); err != nil {
+		panic(err)
+	}
+	c.SetName(fmt.Sprintf("echo-%d", k))
+	return c
+}

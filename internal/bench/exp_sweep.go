@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"qymera/internal/circuits"
+	"qymera/internal/quantum"
+	"qymera/internal/sim"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "sweep",
+		Paper: "§3.3 'Parameterized Simulations'",
+		Desc:  "a parameterized circuit family swept over a rotation angle, executed on every backend",
+		Run:   runSweep,
+	})
+}
+
+func runSweep(opts Options) ([]*Table, error) {
+	n, layers, steps := 6, 2, 8
+	if opts.Quick {
+		n, layers, steps = 4, 1, 4
+	}
+
+	family := func(theta float64) *quantum.Circuit {
+		params := make([]float64, n*layers*2)
+		for i := range params {
+			params[i] = theta * (1 + 0.1*float64(i%5))
+		}
+		c := circuits.HardwareEfficientAnsatz(n, layers, params)
+		c.SetName(fmt.Sprintf("ansatz-%d-%d(θ=%.3f)", n, layers, theta))
+		return c
+	}
+
+	// Observable: probability that qubit 0 measures 1.
+	t := NewTable(fmt.Sprintf("Parameter sweep — hardware-efficient ansatz n=%d, %d layers, %d θ steps", n, layers, steps),
+		"θ", "P(q0=1) statevec", "P(q0=1) sql", "P(q0=1) mps", "P(q0=1) dd", "max |Δ|")
+	backends := []sim.Backend{
+		&sim.StateVector{},
+		&sim.SQL{SpillDir: opts.SpillDir},
+		&sim.MPS{},
+		&sim.DD{},
+	}
+	totals := make([]time.Duration, len(backends))
+	for s := 0; s < steps; s++ {
+		theta := (float64(s) + 0.5) * math.Pi / float64(steps)
+		c := family(theta)
+		probs := make([]float64, len(backends))
+		for i, b := range backends {
+			res, err := b.Run(c)
+			if err != nil {
+				return nil, fmt.Errorf("%s at θ=%.3f: %w", b.Name(), theta, err)
+			}
+			probs[i] = res.State.QubitProbability(0)
+			totals[i] += res.Stats.WallTime
+		}
+		maxDelta := 0.0
+		for _, p := range probs[1:] {
+			if d := math.Abs(p - probs[0]); d > maxDelta {
+				maxDelta = d
+			}
+		}
+		t.Addf(fmt.Sprintf("%.3f", theta),
+			fmt.Sprintf("%.6f", probs[0]), fmt.Sprintf("%.6f", probs[1]),
+			fmt.Sprintf("%.6f", probs[2]), fmt.Sprintf("%.6f", probs[3]),
+			fmt.Sprintf("%.2e", maxDelta))
+	}
+
+	tt := NewTable("Parameter sweep — total backend time across the family",
+		"backend", "total time", "per instance")
+	for i, b := range backends {
+		tt.Addf(b.Name(), FormatDuration(totals[i]), FormatDuration(totals[i]/time.Duration(steps)))
+	}
+	return []*Table{t, tt}, nil
+}

@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"qymera/internal/sqlengine"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "table1",
+		Paper: "Table 1 (bitwise operations)",
+		Desc:  "conformance of the SQL bitwise operators the translation relies on",
+		Run:   runTable1,
+	})
+}
+
+func runTable1(opts Options) ([]*Table, error) {
+	db, err := sqlengine.Open(sqlengine.Config{SpillDir: opts.SpillDir})
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+
+	t := NewTable("Table 1: bitwise operations in SQL",
+		"operation", "symbol", "example", "SQL result", "Go result", "check")
+
+	type probe struct {
+		op, sym, sql string
+		want         int64
+	}
+	probes := []probe{
+		{"Bitwise AND", "&", "SELECT 6 & 3", 6 & 3},
+		{"Bitwise AND", "&", "SELECT 7 & ~1", 7 &^ 1},
+		{"Bitwise OR", "|", "SELECT 4 | 1", 4 | 1},
+		{"Bitwise OR", "|", "SELECT (5 & ~1) | 1", (5 &^ 1) | 1},
+		{"Bitwise NOT", "~", "SELECT ~0", -1},
+		{"Bitwise NOT", "~", "SELECT ~6", ^6},
+		{"Left Shift", "<<", "SELECT 1 << 3", 1 << 3},
+		{"Left Shift", "<<", "SELECT 3 << 4", 3 << 4},
+		{"Right Shift", ">>", "SELECT 12 >> 2", 12 >> 2},
+		{"Right Shift", ">>", "SELECT (6 >> 1) & 3", (6 >> 1) & 3},
+	}
+	allOK := true
+	for _, p := range probes {
+		rs, err := db.Query(p.sql)
+		if err != nil {
+			return nil, err
+		}
+		rows, err := rs.All()
+		rs.Close()
+		if err != nil {
+			return nil, err
+		}
+		got, err := rows[0][0].AsInt()
+		if err != nil {
+			return nil, err
+		}
+		ok := got == p.want
+		if !ok {
+			allOK = false
+		}
+		t.Addf(p.op, p.sym, p.sql, got, p.want, verdict(ok))
+	}
+	t.Note("all operators match Go's int64 semantics: %v", verdict(allOK))
+	return []*Table{t}, nil
+}

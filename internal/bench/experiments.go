@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Options tune experiment scale.
+type Options struct {
+	// Quick shrinks problem sizes so the full suite runs in seconds
+	// (used by tests); the default sizes match EXPERIMENTS.md.
+	Quick bool
+	// SpillDir hosts out-of-core temp files ("" = OS temp dir).
+	SpillDir string
+}
+
+// Experiment regenerates one paper artifact.
+type Experiment struct {
+	ID    string
+	Paper string // which table/figure/scenario of the paper
+	Desc  string
+	Run   func(opts Options) ([]*Table, error)
+}
+
+// registry is populated by the exp_*.go files' init functions.
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("bench: duplicate experiment " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// Experiments lists all registered experiments ordered by ID.
+func Experiments() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID looks up one experiment.
+func ByID(id string) (Experiment, error) {
+	e, ok := registry[id]
+	if !ok {
+		var ids []string
+		for _, x := range Experiments() {
+			ids = append(ids, x.ID)
+		}
+		return Experiment{}, fmt.Errorf("bench: unknown experiment %q (have %v)", id, ids)
+	}
+	return e, nil
+}

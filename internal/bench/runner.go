@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"qymera/internal/quantum"
+	"qymera/internal/sim"
+)
+
+// RunResult is one (workload, backend) measurement.
+type RunResult struct {
+	Workload string
+	Backend  string
+	Err      error
+	Stats    sim.Stats
+	// Fidelity against the reference backend (first in the list), NaN
+	// when no reference result is available.
+	Fidelity float64
+}
+
+// Compare runs the circuit on every backend, using the first backend's
+// state as the fidelity reference when it succeeds.
+func Compare(c *quantum.Circuit, backends []sim.Backend) []RunResult {
+	out := make([]RunResult, 0, len(backends))
+	var ref *quantum.State
+	for i, b := range backends {
+		res, err := b.Run(c)
+		rr := RunResult{Workload: c.Name(), Backend: b.Name(), Err: err, Fidelity: -1}
+		if err == nil {
+			rr.Stats = res.Stats
+			if i == 0 {
+				ref = res.State
+				rr.Fidelity = 1
+			} else if ref != nil {
+				rr.Fidelity = res.State.Fidelity(ref)
+			}
+		}
+		out = append(out, rr)
+	}
+	return out
+}
+
+// FormatDuration renders durations compactly for tables.
+func FormatDuration(d time.Duration) string {
+	switch {
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d.Nanoseconds())/1e6)
+	default:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	}
+}
+
+// FormatBytes renders byte counts compactly.
+func FormatBytes(n int64) string {
+	switch {
+	case n < 1<<10:
+		return fmt.Sprintf("%dB", n)
+	case n < 1<<20:
+		return fmt.Sprintf("%.1fKB", float64(n)/(1<<10))
+	case n < 1<<30:
+		return fmt.Sprintf("%.1fMB", float64(n)/(1<<20))
+	default:
+		return fmt.Sprintf("%.2fGB", float64(n)/(1<<30))
+	}
+}
+
+// MaxQubits finds the largest register width in [minN, maxN] that the
+// backend can simulate under its configured budget: it walks upward
+// until a run fails with ErrMemoryBudget (any other error aborts).
+// Returns 0 when even minN fails.
+func MaxQubits(build func(n int) *quantum.Circuit, mk func() sim.Backend, minN, maxN int) (int, error) {
+	best := 0
+	for n := minN; n <= maxN; n++ {
+		_, err := mk().Run(build(n))
+		if err != nil {
+			if errors.Is(err, sim.ErrMemoryBudget) {
+				return best, nil
+			}
+			return best, fmt.Errorf("bench: max-qubits probe at n=%d: %w", n, err)
+		}
+		best = n
+	}
+	return best, nil
+}
+
+// Median3 runs fn three times and returns the median duration, damping
+// scheduler noise in the timing tables.
+func Median3(fn func() (time.Duration, error)) (time.Duration, error) {
+	var ds []time.Duration
+	for i := 0; i < 3; i++ {
+		d, err := fn()
+		if err != nil {
+			return 0, err
+		}
+		ds = append(ds, d)
+	}
+	if ds[0] > ds[1] {
+		ds[0], ds[1] = ds[1], ds[0]
+	}
+	if ds[1] > ds[2] {
+		ds[1], ds[2] = ds[2], ds[1]
+	}
+	if ds[0] > ds[1] {
+		ds[0], ds[1] = ds[1], ds[0]
+	}
+	return ds[1], nil
+}

@@ -1,0 +1,234 @@
+package circuitio
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"qymera/internal/circuits"
+	"qymera/internal/quantum"
+	"qymera/internal/sim"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig := quantum.NewCircuit(3).SetName("rt").H(0).CX(0, 1).RZ(2, 0.75)
+	data, err := MarshalJSON(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name() != "rt" || back.NumQubits() != 3 || back.Len() != 3 {
+		t.Fatalf("round trip lost data: %s", back.String())
+	}
+	if back.Gates()[2].Params[0] != 0.75 {
+		t.Fatalf("params lost: %+v", back.Gates()[2])
+	}
+}
+
+func TestJSONWriterReader(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, circuits.GHZ(4)); err != nil {
+		t.Fatal(err)
+	}
+	c, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumQubits() != 4 || c.Len() != 4 {
+		t.Fatalf("c = %s", c.String())
+	}
+}
+
+func TestJSONValidation(t *testing.T) {
+	cases := []string{
+		`{"num_qubits": 0, "gates": []}`,
+		`{"num_qubits": 2, "gates": [{"name": "NOPE", "qubits": [0]}]}`,
+		`{"num_qubits": 2, "gates": [{"name": "H", "qubits": [5]}]}`,
+		`{"num_qubits": 2, "gates": [{"name": "RZ", "qubits": [0]}]}`,
+		`not json`,
+	}
+	for _, src := range cases {
+		if _, err := UnmarshalJSON([]byte(src)); err == nil {
+			t.Fatalf("%s: expected error", src)
+		}
+	}
+}
+
+func TestReadQASMBasic(t *testing.T) {
+	src := `
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c[3];
+h q[0];
+cx q[0], q[1];
+cx q[1], q[2];
+measure q -> c;
+`
+	c, err := ReadQASM(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumQubits() != 3 || c.Len() != 3 {
+		t.Fatalf("c = %s", c.String())
+	}
+	// It should produce a GHZ state.
+	res, err := (&sim.StateVector{}).Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.State.Len() != 2 {
+		t.Fatalf("state = %s", res.State.FormatKet())
+	}
+}
+
+func TestReadQASMParameterized(t *testing.T) {
+	src := `qreg q[2]; rz(pi/2) q[0]; cp(2*pi/4) q[0], q[1]; u(pi/2, 0, pi) q[1];`
+	c, err := ReadQASM(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs := c.Gates()
+	if math.Abs(gs[0].Params[0]-math.Pi/2) > 1e-12 {
+		t.Fatalf("rz param = %v", gs[0].Params)
+	}
+	if math.Abs(gs[1].Params[0]-math.Pi/2) > 1e-12 {
+		t.Fatalf("cp param = %v", gs[1].Params)
+	}
+	if len(gs[2].Params) != 3 {
+		t.Fatalf("u params = %v", gs[2].Params)
+	}
+}
+
+func TestReadQASMAngleExpressions(t *testing.T) {
+	cases := map[string]float64{
+		"pi":           math.Pi,
+		"-pi/4":        -math.Pi / 4,
+		"3*pi/2":       3 * math.Pi / 2,
+		"(pi+pi)/4":    math.Pi / 2,
+		"0.5":          0.5,
+		"1e-2":         0.01,
+		"2 - 3":        -1,
+		"pi - pi/2":    math.Pi / 2,
+		"-(pi)/2 + pi": math.Pi / 2,
+	}
+	for expr, want := range cases {
+		got, err := evalAngle(expr)
+		if err != nil {
+			t.Fatalf("%q: %v", expr, err)
+		}
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("%q = %v, want %v", expr, got, want)
+		}
+	}
+	for _, bad := range []string{"", "pi pi", "1/0", "(pi", "foo"} {
+		if _, err := evalAngle(bad); err == nil {
+			t.Fatalf("%q: expected error", bad)
+		}
+	}
+}
+
+func TestReadQASMErrors(t *testing.T) {
+	cases := []string{
+		"h q[0];",                     // gate before qreg
+		"qreg q[2]; frobnicate q[0];", // unknown gate
+		"qreg q[2]; h q;",             // whole-register application
+		"qreg q[2]; qreg r[2];",       // second register
+		"qreg q[2]; cx q[0], r[1];",   // unknown register
+		"qreg q[0];",                  // empty register
+		"qreg q[2]; rz(pi q[0];",      // unbalanced parens
+	}
+	for _, src := range cases {
+		if _, err := ReadQASM(src); err == nil {
+			t.Fatalf("%q: expected error", src)
+		}
+	}
+}
+
+func TestDrawGHZ(t *testing.T) {
+	out := Draw(circuits.GHZ(3))
+	if !strings.Contains(out, "[H]") {
+		t.Fatalf("missing H box:\n%s", out)
+	}
+	if strings.Count(out, "●") != 2 || strings.Count(out, "⊕") != 2 {
+		t.Fatalf("controls/targets wrong:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header + 3 wires.
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestDrawParameterizedAndSwap(t *testing.T) {
+	c := quantum.NewCircuit(3).RZ(0, 0.5).SWAP(0, 2).CP(1, 2, 0.25)
+	out := Draw(c)
+	if !strings.Contains(out, "RZ(0.5)") {
+		t.Fatalf("missing RZ label:\n%s", out)
+	}
+	if strings.Count(out, "x") < 2 {
+		t.Fatalf("missing swap markers:\n%s", out)
+	}
+	if !strings.Contains(out, "P(0.25)") {
+		t.Fatalf("missing CP label:\n%s", out)
+	}
+}
+
+func TestDrawVerticalSpan(t *testing.T) {
+	c := quantum.NewCircuit(3).CX(0, 2)
+	out := Draw(c)
+	if !strings.Contains(out, "│") {
+		t.Fatalf("missing vertical bar on pass-through qubit:\n%s", out)
+	}
+}
+
+func TestQASMJSONEquivalence(t *testing.T) {
+	qasm := `qreg q[2]; h q[0]; cx q[0], q[1];`
+	fromQASM, err := ReadQASM(qasm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromJSON, err := UnmarshalJSON([]byte(`{"num_qubits":2,"gates":[{"name":"H","qubits":[0]},{"name":"CX","qubits":[0,1]}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := (&sim.StateVector{}).Run(fromQASM)
+	b, _ := (&sim.StateVector{}).Run(fromJSON)
+	if f := a.State.Fidelity(b.State); math.Abs(f-1) > 1e-12 {
+		t.Fatalf("fidelity = %v", f)
+	}
+}
+
+func TestWriteQASMRoundTrip(t *testing.T) {
+	orig := quantum.NewCircuit(3).H(0).CX(0, 1).RZ(2, 0.5).CCX(0, 1, 2).SWAP(0, 2)
+	src, err := WriteQASM(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadQASM(src)
+	if err != nil {
+		t.Fatalf("%v\nqasm:\n%s", err, src)
+	}
+	a, err := (&sim.StateVector{}).Run(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := (&sim.StateVector{}).Run(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := a.State.Fidelity(b.State); math.Abs(f-1) > 1e-12 {
+		t.Fatalf("fidelity = %v\nqasm:\n%s", f, src)
+	}
+}
+
+func TestWriteQASMRejectsNonStandardGates(t *testing.T) {
+	c := quantum.NewCircuit(2).ISWAP(0, 1)
+	if _, err := WriteQASM(c); err == nil {
+		t.Fatal("expected error for ISWAP export")
+	}
+}

@@ -1,0 +1,149 @@
+package circuitio
+
+import (
+	"fmt"
+	"strings"
+
+	"qymera/internal/quantum"
+)
+
+// Draw renders a circuit as ASCII art, one horizontal wire per qubit and
+// one column per gate:
+//
+//	q0: ─[H]──●───────
+//	q1: ──────⊕───●───
+//	q2: ───────────⊕──
+//
+// Controls render as ●, X-targets as ⊕, other targets as bracketed
+// labels. Vertical bars mark multi-qubit extents.
+func Draw(c *quantum.Circuit) string {
+	n := c.NumQubits()
+	cols := make([][]string, 0, c.Len())
+
+	for _, g := range c.Gates() {
+		col := make([]string, n)
+		label := gateDrawLabel(g)
+		switch {
+		case len(g.Qubits) == 1:
+			col[g.Qubits[0]] = "[" + label + "]"
+		case isControlledDraw(g.Name):
+			// Controls are all but the last qubit (SWAP-likes excluded).
+			for _, q := range g.Qubits[:len(g.Qubits)-1] {
+				col[q] = "●"
+			}
+			t := g.Qubits[len(g.Qubits)-1]
+			if strings.HasSuffix(g.Name, "X") {
+				col[t] = "⊕"
+			} else {
+				col[t] = "[" + label + "]"
+			}
+		case g.Name == "SWAP" || g.Name == "ISWAP":
+			col[g.Qubits[0]] = "x"
+			col[g.Qubits[1]] = "x"
+			if g.Name == "ISWAP" {
+				col[g.Qubits[0]] = "ix"
+				col[g.Qubits[1]] = "ix"
+			}
+		case g.Name == "CSWAP":
+			col[g.Qubits[0]] = "●"
+			col[g.Qubits[1]] = "x"
+			col[g.Qubits[2]] = "x"
+		default:
+			for i, q := range g.Qubits {
+				col[q] = fmt.Sprintf("[%s:%d]", label, i)
+			}
+		}
+		// Mark the vertical span for multi-qubit gates.
+		if len(g.Qubits) > 1 {
+			min, max := g.Qubits[0], g.Qubits[0]
+			for _, q := range g.Qubits {
+				if q < min {
+					min = q
+				}
+				if q > max {
+					max = q
+				}
+			}
+			for q := min + 1; q < max; q++ {
+				if col[q] == "" {
+					col[q] = "│"
+				}
+			}
+		}
+		cols = append(cols, col)
+	}
+
+	// Column widths.
+	widths := make([]int, len(cols))
+	for i, col := range cols {
+		w := 1
+		for _, cell := range col {
+			if l := runeLen(cell); l > w {
+				w = l
+			}
+		}
+		widths[i] = w + 2 // padding dashes
+	}
+
+	var b strings.Builder
+	if c.Name() != "" {
+		fmt.Fprintf(&b, "%s (%d qubits, %d gates)\n", c.Name(), n, c.Len())
+	}
+	for q := 0; q < n; q++ {
+		fmt.Fprintf(&b, "q%-2d: ", q)
+		for i, col := range cols {
+			cell := col[q]
+			if cell == "" {
+				b.WriteString(strings.Repeat("─", widths[i]))
+				continue
+			}
+			pad := widths[i] - runeLen(cell)
+			left := pad / 2
+			right := pad - left
+			filler := "─"
+			if cell == "│" {
+				filler = " "
+				b.WriteString(strings.Repeat(" ", left) + cell + strings.Repeat(" ", right))
+				continue
+			}
+			b.WriteString(strings.Repeat(filler, left) + cell + strings.Repeat(filler, right))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func runeLen(s string) int { return len([]rune(s)) }
+
+// gateDrawLabel shortens gate labels for drawing.
+func gateDrawLabel(g quantum.Gate) string {
+	name := strings.TrimPrefix(g.Name, "C")
+	switch g.Name {
+	case "CX", "CCX", "C3X", "C4X":
+		return "X"
+	case "CZ", "CCZ", "C3Z", "C4Z":
+		return "Z"
+	}
+	if len(g.Params) == 1 {
+		return fmt.Sprintf("%s(%.3g)", name, g.Params[0])
+	}
+	if len(g.Params) > 1 {
+		parts := make([]string, len(g.Params))
+		for i, p := range g.Params {
+			parts[i] = fmt.Sprintf("%.3g", p)
+		}
+		return name + "(" + strings.Join(parts, ",") + ")"
+	}
+	return name
+}
+
+// isControlledDraw reports whether the gate renders as controls plus one
+// target.
+func isControlledDraw(name string) bool {
+	switch name {
+	case "CX", "CY", "CZ", "CH", "CS", "CP", "CRX", "CRY", "CRZ",
+		"CCX", "CCZ", "C3X", "C3Z", "C4X", "C4Z":
+		return true
+	}
+	return false
+}

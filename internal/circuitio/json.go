@@ -1,0 +1,82 @@
+// Package circuitio implements the Circuit Layer's file interfaces: a
+// JSON circuit format (the paper's "File Upload" path), a reader for an
+// OpenQASM 2.0 subset, and ASCII circuit rendering for inspection.
+package circuitio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"qymera/internal/quantum"
+)
+
+// circuitJSON is the serialized circuit document.
+type circuitJSON struct {
+	Name      string     `json:"name,omitempty"`
+	NumQubits int        `json:"num_qubits"`
+	Gates     []gateJSON `json:"gates"`
+}
+
+type gateJSON struct {
+	Name   string    `json:"name"`
+	Qubits []int     `json:"qubits"`
+	Params []float64 `json:"params,omitempty"`
+}
+
+// WriteJSON serializes a circuit.
+func WriteJSON(w io.Writer, c *quantum.Circuit) error {
+	doc := circuitJSON{Name: c.Name(), NumQubits: c.NumQubits()}
+	for _, g := range c.Gates() {
+		doc.Gates = append(doc.Gates, gateJSON{Name: g.Name, Qubits: g.Qubits, Params: g.Params})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// MarshalJSON renders a circuit to JSON bytes.
+func MarshalJSON(c *quantum.Circuit) ([]byte, error) {
+	doc := circuitJSON{Name: c.Name(), NumQubits: c.NumQubits()}
+	for _, g := range c.Gates() {
+		doc.Gates = append(doc.Gates, gateJSON{Name: g.Name, Qubits: g.Qubits, Params: g.Params})
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}
+
+// ReadJSON parses a circuit document, validating every gate against the
+// registry.
+func ReadJSON(r io.Reader) (*quantum.Circuit, error) {
+	var doc circuitJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("circuitio: invalid circuit JSON: %w", err)
+	}
+	return buildFromDoc(doc)
+}
+
+// UnmarshalJSON parses JSON bytes into a circuit.
+func UnmarshalJSON(data []byte) (*quantum.Circuit, error) {
+	var doc circuitJSON
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("circuitio: invalid circuit JSON: %w", err)
+	}
+	return buildFromDoc(doc)
+}
+
+func buildFromDoc(doc circuitJSON) (*quantum.Circuit, error) {
+	if doc.NumQubits <= 0 {
+		return nil, fmt.Errorf("circuitio: num_qubits must be positive, got %d", doc.NumQubits)
+	}
+	c := quantum.NewCircuit(doc.NumQubits)
+	if doc.Name != "" {
+		c.SetName(doc.Name)
+	}
+	for i, g := range doc.Gates {
+		if err := c.Append(quantum.Gate{Name: g.Name, Qubits: g.Qubits, Params: g.Params}); err != nil {
+			return nil, fmt.Errorf("circuitio: gate %d: %w", i, err)
+		}
+	}
+	return c, nil
+}

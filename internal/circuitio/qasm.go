@@ -1,0 +1,331 @@
+package circuitio
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"qymera/internal/quantum"
+)
+
+// ReadQASM parses a practical subset of OpenQASM 2.0: one quantum
+// register, the qelib1 standard gates that map onto the registry,
+// parenthesized angle expressions with pi-arithmetic, and ignored
+// creg/measure/barrier/include statements.
+func ReadQASM(src string) (*quantum.Circuit, error) {
+	var c *quantum.Circuit
+	regName := ""
+
+	lineNo := 0
+	for _, rawLine := range strings.Split(src, "\n") {
+		lineNo++
+		line := rawLine
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		for _, stmt := range strings.Split(line, ";") {
+			stmt = strings.TrimSpace(stmt)
+			if stmt == "" {
+				continue
+			}
+			if err := parseQASMStatement(stmt, &c, &regName); err != nil {
+				return nil, fmt.Errorf("qasm line %d: %w", lineNo, err)
+			}
+		}
+	}
+	if c == nil {
+		return nil, fmt.Errorf("circuitio: QASM input declares no qreg")
+	}
+	return c, nil
+}
+
+// WriteQASM renders a circuit as OpenQASM 2.0. Gates without a qelib1
+// spelling (ISWAP and the C3/C4 families) are rejected; decompose them
+// before export.
+func WriteQASM(c *quantum.Circuit) (string, error) {
+	var b strings.Builder
+	b.WriteString("OPENQASM 2.0;\n")
+	b.WriteString("include \"qelib1.inc\";\n")
+	fmt.Fprintf(&b, "qreg q[%d];\n", c.NumQubits())
+	for _, g := range c.Gates() {
+		name, ok := qasmExportMap[g.Name]
+		if !ok {
+			return "", fmt.Errorf("circuitio: gate %s has no OpenQASM 2.0 spelling", g.Name)
+		}
+		b.WriteString(name)
+		if len(g.Params) > 0 {
+			parts := make([]string, len(g.Params))
+			for i, p := range g.Params {
+				parts[i] = strconv.FormatFloat(p, 'g', -1, 64)
+			}
+			b.WriteString("(" + strings.Join(parts, ", ") + ")")
+		}
+		b.WriteString(" ")
+		qs := make([]string, len(g.Qubits))
+		for i, q := range g.Qubits {
+			qs[i] = fmt.Sprintf("q[%d]", q)
+		}
+		b.WriteString(strings.Join(qs, ", "))
+		b.WriteString(";\n")
+	}
+	return b.String(), nil
+}
+
+// qasmExportMap maps registry names to qelib1 spellings.
+var qasmExportMap = map[string]string{
+	"I": "id", "H": "h", "X": "x", "Y": "y", "Z": "z",
+	"S": "s", "SDG": "sdg", "T": "t", "TDG": "tdg", "SX": "sx",
+	"RX": "rx", "RY": "ry", "RZ": "rz", "P": "p", "U": "u",
+	"CX": "cx", "CY": "cy", "CZ": "cz", "CH": "ch", "CP": "cp",
+	"CRX": "crx", "CRY": "cry", "CRZ": "crz",
+	"SWAP": "swap", "CCX": "ccx", "CCZ": "ccz", "CSWAP": "cswap",
+}
+
+// qasmGateMap maps qelib1 names to registry names.
+var qasmGateMap = map[string]string{
+	"id": "I", "h": "H", "x": "X", "y": "Y", "z": "Z",
+	"s": "S", "sdg": "SDG", "t": "T", "tdg": "TDG", "sx": "SX", "sxdg": "SXDG",
+	"rx": "RX", "ry": "RY", "rz": "RZ", "p": "P", "u1": "P", "u": "U", "u3": "U",
+	"cx": "CX", "cy": "CY", "cz": "CZ", "ch": "CH", "cp": "CP", "cu1": "CP",
+	"crx": "CRX", "cry": "CRY", "crz": "CRZ",
+	"swap": "SWAP", "iswap": "ISWAP",
+	"ccx": "CCX", "ccz": "CCZ", "cswap": "CSWAP",
+}
+
+func parseQASMStatement(stmt string, c **quantum.Circuit, regName *string) error {
+	lower := strings.ToLower(stmt)
+	switch {
+	case strings.HasPrefix(lower, "openqasm"),
+		strings.HasPrefix(lower, "include"),
+		strings.HasPrefix(lower, "creg"),
+		strings.HasPrefix(lower, "barrier"),
+		strings.HasPrefix(lower, "measure"):
+		return nil
+	case strings.HasPrefix(lower, "qreg"):
+		if *c != nil {
+			return fmt.Errorf("multiple qreg declarations are not supported")
+		}
+		rest := strings.TrimSpace(stmt[4:])
+		open := strings.IndexByte(rest, '[')
+		close := strings.IndexByte(rest, ']')
+		if open < 0 || close < open {
+			return fmt.Errorf("malformed qreg %q", stmt)
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(rest[open+1 : close]))
+		if err != nil || n <= 0 {
+			return fmt.Errorf("malformed qreg size in %q", stmt)
+		}
+		*regName = strings.TrimSpace(rest[:open])
+		*c = quantum.NewCircuit(n)
+		return nil
+	}
+
+	// Gate application: name[(params)] q[i](, q[j])*
+	if *c == nil {
+		return fmt.Errorf("gate before qreg declaration")
+	}
+	name := lower
+	params := ""
+	if i := strings.IndexByte(lower, '('); i >= 0 {
+		j := strings.LastIndexByte(lower, ')')
+		if j < i {
+			return fmt.Errorf("unbalanced parentheses in %q", stmt)
+		}
+		name = strings.TrimSpace(lower[:i])
+		params = lower[i+1 : j]
+		lower = name + " " + strings.TrimSpace(lower[j+1:])
+		stmt = lower
+	} else {
+		fields := strings.Fields(lower)
+		if len(fields) < 2 {
+			return fmt.Errorf("malformed gate statement %q", stmt)
+		}
+		name = fields[0]
+	}
+
+	gateName, ok := qasmGateMap[name]
+	if !ok {
+		return fmt.Errorf("unsupported gate %q", name)
+	}
+
+	// Parameters.
+	var ps []float64
+	if params != "" {
+		for _, p := range strings.Split(params, ",") {
+			v, err := evalAngle(strings.TrimSpace(p))
+			if err != nil {
+				return err
+			}
+			ps = append(ps, v)
+		}
+	}
+
+	// Operands.
+	args := strings.TrimSpace(stmt[len(name):])
+	var qubits []int
+	for _, op := range strings.Split(args, ",") {
+		op = strings.TrimSpace(op)
+		open := strings.IndexByte(op, '[')
+		close := strings.IndexByte(op, ']')
+		if open < 0 || close < open {
+			return fmt.Errorf("whole-register application %q is not supported; index qubits explicitly", op)
+		}
+		reg := strings.TrimSpace(op[:open])
+		if *regName != "" && reg != *regName {
+			return fmt.Errorf("unknown register %q", reg)
+		}
+		q, err := strconv.Atoi(op[open+1 : close])
+		if err != nil {
+			return fmt.Errorf("bad qubit index in %q", op)
+		}
+		qubits = append(qubits, q)
+	}
+	return (*c).Append(quantum.Gate{Name: gateName, Qubits: qubits, Params: ps})
+}
+
+// evalAngle evaluates QASM angle expressions: numbers, pi, + - * /,
+// unary minus, and parentheses.
+func evalAngle(expr string) (float64, error) {
+	p := &angleParser{src: expr}
+	v, err := p.parseExpr()
+	if err != nil {
+		return 0, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return 0, fmt.Errorf("trailing input in angle %q", expr)
+	}
+	return v, nil
+}
+
+type angleParser struct {
+	src string
+	pos int
+}
+
+func (p *angleParser) skipSpace() {
+	for p.pos < len(p.src) && p.src[p.pos] == ' ' {
+		p.pos++
+	}
+}
+
+func (p *angleParser) parseExpr() (float64, error) {
+	v, err := p.parseTerm()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.src) {
+			return v, nil
+		}
+		switch p.src[p.pos] {
+		case '+':
+			p.pos++
+			t, err := p.parseTerm()
+			if err != nil {
+				return 0, err
+			}
+			v += t
+		case '-':
+			p.pos++
+			t, err := p.parseTerm()
+			if err != nil {
+				return 0, err
+			}
+			v -= t
+		default:
+			return v, nil
+		}
+	}
+}
+
+func (p *angleParser) parseTerm() (float64, error) {
+	v, err := p.parseUnary()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.src) {
+			return v, nil
+		}
+		switch p.src[p.pos] {
+		case '*':
+			p.pos++
+			t, err := p.parseUnary()
+			if err != nil {
+				return 0, err
+			}
+			v *= t
+		case '/':
+			p.pos++
+			t, err := p.parseUnary()
+			if err != nil {
+				return 0, err
+			}
+			if t == 0 {
+				return 0, fmt.Errorf("division by zero in angle")
+			}
+			v /= t
+		default:
+			return v, nil
+		}
+	}
+}
+
+func (p *angleParser) parseUnary() (float64, error) {
+	p.skipSpace()
+	if p.pos < len(p.src) && p.src[p.pos] == '-' {
+		p.pos++
+		v, err := p.parseUnary()
+		return -v, err
+	}
+	return p.parsePrimary()
+}
+
+func (p *angleParser) parsePrimary() (float64, error) {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return 0, fmt.Errorf("unexpected end of angle expression")
+	}
+	if p.src[p.pos] == '(' {
+		p.pos++
+		v, err := p.parseExpr()
+		if err != nil {
+			return 0, err
+		}
+		p.skipSpace()
+		if p.pos >= len(p.src) || p.src[p.pos] != ')' {
+			return 0, fmt.Errorf("missing ')' in angle expression")
+		}
+		p.pos++
+		return v, nil
+	}
+	if strings.HasPrefix(p.src[p.pos:], "pi") {
+		p.pos += 2
+		return math.Pi, nil
+	}
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if (c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' {
+			p.pos++
+			continue
+		}
+		if (c == '+' || c == '-') && p.pos > start && (p.src[p.pos-1] == 'e' || p.src[p.pos-1] == 'E') {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if start == p.pos {
+		return 0, fmt.Errorf("unexpected character %q in angle expression", string(p.src[p.pos]))
+	}
+	v, err := strconv.ParseFloat(p.src[start:p.pos], 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q in angle expression", p.src[start:p.pos])
+	}
+	return v, nil
+}

@@ -1,0 +1,329 @@
+// Package circuits provides the named circuit families used throughout
+// the paper's demonstration scenarios and benchmarks: GHZ preparation,
+// equal superposition, the parity-check algorithm, QFT, W state,
+// Bernstein–Vazirani, Deutsch–Jozsa, Grover search, hardware-efficient
+// ansätze, and random sparse/dense circuits.
+package circuits
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"qymera/internal/quantum"
+)
+
+// GHZ prepares the n-qubit GHZ state (|0…0⟩ + |1…1⟩)/√2 with an H on
+// qubit 0 followed by a CX chain — the running example of Fig. 2 and the
+// paper's canonical sparse circuit (2 nonzero amplitudes at any width).
+func GHZ(n int) *quantum.Circuit {
+	c := quantum.NewCircuit(n).SetName(fmt.Sprintf("ghz-%d", n))
+	c.H(0)
+	for q := 0; q < n-1; q++ {
+		c.CX(q, q+1)
+	}
+	return c
+}
+
+// EqualSuperposition applies H to every qubit, producing the uniform
+// superposition over all 2^n basis states — the paper's canonical dense
+// circuit (the nonzero-row table is the full 2^n).
+func EqualSuperposition(n int) *quantum.Circuit {
+	c := quantum.NewCircuit(n).SetName(fmt.Sprintf("superposition-%d", n))
+	for q := 0; q < n; q++ {
+		c.H(q)
+	}
+	return c
+}
+
+// ParityCheck builds the quantum parity-check circuit of the paper's
+// algorithm-design scenario: data qubits 0..k-1 are prepared in the
+// basis state |bits⟩, and qubit k (the ancilla) accumulates their parity
+// via CX gates. Measuring the ancilla yields 1 iff the number of ones in
+// bits is odd.
+func ParityCheck(bits []bool) *quantum.Circuit {
+	k := len(bits)
+	if k == 0 {
+		panic("circuits: parity check needs at least one data qubit")
+	}
+	c := quantum.NewCircuit(k + 1).SetName(fmt.Sprintf("parity-%d", k))
+	for q, b := range bits {
+		if b {
+			c.X(q)
+		}
+	}
+	for q := 0; q < k; q++ {
+		c.CX(q, k)
+	}
+	return c
+}
+
+// ParitySuperposition is the parity check applied to an equal
+// superposition of all inputs: entangles the ancilla with the parity of
+// every basis state at once.
+func ParitySuperposition(k int) *quantum.Circuit {
+	c := quantum.NewCircuit(k + 1).SetName(fmt.Sprintf("parity-super-%d", k))
+	for q := 0; q < k; q++ {
+		c.H(q)
+	}
+	for q := 0; q < k; q++ {
+		c.CX(q, k)
+	}
+	return c
+}
+
+// QFT is the quantum Fourier transform on n qubits: H plus controlled
+// phase rotations, with final SWAPs reversing qubit order. A dense
+// structured circuit exercising parameterized multi-qubit gates.
+func QFT(n int) *quantum.Circuit {
+	c := quantum.NewCircuit(n).SetName(fmt.Sprintf("qft-%d", n))
+	for i := n - 1; i >= 0; i-- {
+		c.H(i)
+		for j := i - 1; j >= 0; j-- {
+			c.CP(j, i, math.Pi/math.Pow(2, float64(i-j)))
+		}
+	}
+	for i := 0; i < n/2; i++ {
+		c.SWAP(i, n-1-i)
+	}
+	return c
+}
+
+// WState prepares the n-qubit W state (equal superposition of all
+// one-hot basis states) using RY rotations and CX cascades. A sparse
+// circuit with n nonzero amplitudes.
+func WState(n int) *quantum.Circuit {
+	c := quantum.NewCircuit(n).SetName(fmt.Sprintf("w-%d", n))
+	// Standard cascade: rotate amplitude out of qubit i, controlled on
+	// the previous one.
+	c.X(0)
+	for i := 1; i < n; i++ {
+		// Keep amplitude sqrt(1/(n-i+1)) on qubit i-1 and pass the rest
+		// down the cascade, so every one-hot state ends at 1/sqrt(n).
+		theta := 2 * math.Acos(math.Sqrt(1/float64(n-i+1)))
+		c.CRY(i-1, i, theta)
+		c.CX(i, i-1)
+	}
+	return c
+}
+
+// BernsteinVazirani recovers a hidden bitstring s: |s| data qubits plus
+// one ancilla. After H on all, oracle CXs from data qubit i to the
+// ancilla where s_i=1, then H again; measuring the data register yields
+// s with probability 1. Sparse throughout.
+func BernsteinVazirani(secret []bool) *quantum.Circuit {
+	k := len(secret)
+	if k == 0 {
+		panic("circuits: Bernstein-Vazirani needs a nonempty secret")
+	}
+	c := quantum.NewCircuit(k + 1).SetName(fmt.Sprintf("bv-%d", k))
+	anc := k
+	c.X(anc)
+	for q := 0; q <= k; q++ {
+		c.H(q)
+	}
+	for q, b := range secret {
+		if b {
+			c.CX(q, anc)
+		}
+	}
+	for q := 0; q < k; q++ {
+		c.H(q)
+	}
+	return c
+}
+
+// DeutschJozsa distinguishes a constant from a balanced oracle on k
+// input qubits. balanced=false uses the constant-0 oracle (no gates);
+// balanced=true uses the parity oracle (CX from every input to the
+// ancilla).
+func DeutschJozsa(k int, balanced bool) *quantum.Circuit {
+	c := quantum.NewCircuit(k + 1).SetName(fmt.Sprintf("dj-%d-%v", k, balanced))
+	anc := k
+	c.X(anc)
+	for q := 0; q <= k; q++ {
+		c.H(q)
+	}
+	if balanced {
+		for q := 0; q < k; q++ {
+			c.CX(q, anc)
+		}
+	}
+	for q := 0; q < k; q++ {
+		c.H(q)
+	}
+	return c
+}
+
+// Grover runs the textbook Grover search for a single marked basis state
+// on n qubits with the standard ⌊π/4·√(2^n)⌋ iterations, built from H,
+// X, and multi-controlled Z (decomposed via CCZ/CZ for small n). Only
+// n in [2, 5] is supported — enough for correctness tests and benches.
+func Grover(n int, marked uint64) *quantum.Circuit {
+	if n < 2 || n > 5 {
+		panic("circuits: Grover supported for 2..5 qubits")
+	}
+	if marked >= uint64(1)<<uint(n) {
+		panic("circuits: marked state out of range")
+	}
+	c := quantum.NewCircuit(n).SetName(fmt.Sprintf("grover-%d-%d", n, marked))
+	for q := 0; q < n; q++ {
+		c.H(q)
+	}
+	iters := int(math.Floor(math.Pi / 4 * math.Sqrt(math.Pow(2, float64(n)))))
+	if iters < 1 {
+		iters = 1
+	}
+	for it := 0; it < iters; it++ {
+		// Oracle: flip the phase of |marked⟩.
+		phaseFlip(c, n, marked)
+		// Diffusion (inversion about the mean): H^n, phase-flip of
+		// |0…0⟩, H^n — equal to 2|ψ⟩⟨ψ|−I up to global phase.
+		for q := 0; q < n; q++ {
+			c.H(q)
+		}
+		phaseFlip(c, n, 0)
+		for q := 0; q < n; q++ {
+			c.H(q)
+		}
+	}
+	return c
+}
+
+// phaseFlip multiplies the amplitude of |target⟩ by -1 using X
+// conjugation and a multi-controlled Z.
+func phaseFlip(c *quantum.Circuit, n int, target uint64) {
+	for q := 0; q < n; q++ {
+		if target>>uint(q)&1 == 0 {
+			c.X(q)
+		}
+	}
+	switch n {
+	case 2:
+		c.CZ(0, 1)
+	case 3:
+		c.CCZ(0, 1, 2)
+	case 4:
+		mustAppendGate(c, "C3Z", 0, 1, 2, 3)
+	case 5:
+		mustAppendGate(c, "C4Z", 0, 1, 2, 3, 4)
+	}
+	for q := 0; q < n; q++ {
+		if target>>uint(q)&1 == 0 {
+			c.X(q)
+		}
+	}
+}
+
+// mustAppendGate appends a registry gate by name; the circuit builders
+// only call it with validated inputs.
+func mustAppendGate(c *quantum.Circuit, name string, qubits ...int) {
+	if err := c.Append(quantum.Gate{Name: name, Qubits: qubits}); err != nil {
+		panic(err)
+	}
+}
+
+// HardwareEfficientAnsatz builds the layered parameterized circuit used
+// by variational algorithms: per layer, RY(θ)+RZ(φ) on every qubit, then
+// a CX entangling chain. Parameters are consumed from params in order;
+// it panics if too few are supplied. Needed: layers * n * 2.
+func HardwareEfficientAnsatz(n, layers int, params []float64) *quantum.Circuit {
+	need := layers * n * 2
+	if len(params) < need {
+		panic(fmt.Sprintf("circuits: ansatz needs %d params, got %d", need, len(params)))
+	}
+	c := quantum.NewCircuit(n).SetName(fmt.Sprintf("ansatz-%d-%d", n, layers))
+	p := 0
+	for l := 0; l < layers; l++ {
+		for q := 0; q < n; q++ {
+			c.RY(q, params[p])
+			c.RZ(q, params[p+1])
+			p += 2
+		}
+		for q := 0; q < n-1; q++ {
+			c.CX(q, q+1)
+		}
+	}
+	return c
+}
+
+// RandomSparse generates a circuit that keeps the state sparse: X, Z, S,
+// CX and CCX gates only (classical-permutation plus phases), so the
+// support never exceeds the initial support size. Deterministic for a
+// given seed.
+func RandomSparse(n, gates int, seed int64) *quantum.Circuit {
+	rng := rand.New(rand.NewSource(seed))
+	c := quantum.NewCircuit(n).SetName(fmt.Sprintf("rand-sparse-%d-%d", n, gates))
+	for i := 0; i < gates; i++ {
+		switch rng.Intn(4) {
+		case 0:
+			c.X(rng.Intn(n))
+		case 1:
+			c.Z(rng.Intn(n))
+		case 2:
+			c.S(rng.Intn(n))
+		default:
+			if n >= 2 {
+				a, b := rng.Intn(n), rng.Intn(n)
+				for b == a {
+					b = rng.Intn(n)
+				}
+				c.CX(a, b)
+			} else {
+				c.X(0)
+			}
+		}
+	}
+	return c
+}
+
+// RandomAnyGate draws gates uniformly from the whole registry (every
+// 1-, 2-, and 3+-qubit gate, with random angles where parameterized),
+// exercising the full gate set for differential testing. Deterministic
+// for a given seed. Requires n at least 5 so the widest gates fit.
+func RandomAnyGate(n, gates int, seed int64) *quantum.Circuit {
+	if n < 5 {
+		panic("circuits: RandomAnyGate needs at least 5 qubits")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	names := quantum.KnownGates()
+	c := quantum.NewCircuit(n).SetName(fmt.Sprintf("rand-any-%d-%d", n, gates))
+	for len(c.Gates()) < gates {
+		name := names[rng.Intn(len(names))]
+		arity, _ := quantum.GateArity(name)
+		nparams, _ := quantum.GateParamCount(name)
+		qs := rng.Perm(n)[:arity]
+		params := make([]float64, nparams)
+		for i := range params {
+			params[i] = rng.Float64()*2*math.Pi - math.Pi
+		}
+		if err := c.Append(quantum.Gate{Name: name, Qubits: qs, Params: params}); err != nil {
+			panic(err)
+		}
+	}
+	return c
+}
+
+// RandomDense generates a circuit that rapidly densifies the state:
+// layers of H and rotations interleaved with entangling CX chains.
+// Deterministic for a given seed.
+func RandomDense(n, layers int, seed int64) *quantum.Circuit {
+	rng := rand.New(rand.NewSource(seed))
+	c := quantum.NewCircuit(n).SetName(fmt.Sprintf("rand-dense-%d-%d", n, layers))
+	for l := 0; l < layers; l++ {
+		for q := 0; q < n; q++ {
+			switch rng.Intn(3) {
+			case 0:
+				c.H(q)
+			case 1:
+				c.RY(q, rng.Float64()*math.Pi)
+			default:
+				c.RZ(q, rng.Float64()*2*math.Pi)
+			}
+		}
+		for q := 0; q < n-1; q++ {
+			c.CX(q, q+1)
+		}
+	}
+	return c
+}

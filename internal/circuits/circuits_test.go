@@ -1,0 +1,287 @@
+package circuits
+
+import (
+	"math"
+	"testing"
+
+	"qymera/internal/quantum"
+	"qymera/internal/sim"
+)
+
+// basisPrep builds a circuit preparing |index⟩ from |0…0⟩ via X gates.
+func basisPrep(n int, index uint64) *quantum.Circuit {
+	c := quantum.NewCircuit(n)
+	for q := 0; q < n; q++ {
+		if index>>uint(q)&1 == 1 {
+			c.X(q)
+		}
+	}
+	return c
+}
+
+func TestGHZState(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 8} {
+		res, err := (&sim.StateVector{}).Run(GHZ(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := res.State
+		if st.Len() != 2 {
+			t.Fatalf("n=%d: support = %d, want 2", n, st.Len())
+		}
+		all1 := uint64(1)<<uint(n) - 1
+		inv := 1 / math.Sqrt2
+		if math.Abs(real(st.Amplitude(0))-inv) > 1e-12 || math.Abs(real(st.Amplitude(all1))-inv) > 1e-12 {
+			t.Fatalf("n=%d: amplitudes = %v, %v", n, st.Amplitude(0), st.Amplitude(all1))
+		}
+	}
+}
+
+func TestEqualSuperposition(t *testing.T) {
+	n := 4
+	res, err := (&sim.StateVector{}).Run(EqualSuperposition(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.State
+	if st.Len() != 1<<n {
+		t.Fatalf("support = %d, want %d", st.Len(), 1<<n)
+	}
+	want := 1 / math.Sqrt(float64(int(1)<<n))
+	for _, idx := range st.Indices() {
+		if math.Abs(real(st.Amplitude(idx))-want) > 1e-12 {
+			t.Fatalf("amp[%d] = %v, want %v", idx, st.Amplitude(idx), want)
+		}
+	}
+}
+
+func TestParityCheckAllInputs(t *testing.T) {
+	for k := 1; k <= 4; k++ {
+		for x := 0; x < 1<<k; x++ {
+			bits := make([]bool, k)
+			ones := 0
+			for q := 0; q < k; q++ {
+				bits[q] = x>>q&1 == 1
+				if bits[q] {
+					ones++
+				}
+			}
+			res, err := (&sim.StateVector{}).Run(ParityCheck(bits))
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := res.State.QubitProbability(k)
+			want := float64(ones % 2)
+			if math.Abs(p-want) > 1e-12 {
+				t.Fatalf("k=%d x=%b: ancilla prob = %v, want %v", k, x, p, want)
+			}
+		}
+	}
+}
+
+func TestParitySuperpositionEntanglement(t *testing.T) {
+	k := 3
+	res, err := (&sim.StateVector{}).Run(ParitySuperposition(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.State
+	// Every data basis state appears once, with ancilla = its parity.
+	if st.Len() != 1<<k {
+		t.Fatalf("support = %d, want %d", st.Len(), 1<<k)
+	}
+	for _, idx := range st.Indices() {
+		data := idx & ((1 << k) - 1)
+		anc := idx >> uint(k) & 1
+		parity := uint64(0)
+		for q := 0; q < k; q++ {
+			parity ^= data >> uint(q) & 1
+		}
+		if anc != parity {
+			t.Fatalf("state %b: ancilla %d != parity %d", idx, anc, parity)
+		}
+	}
+}
+
+func TestQFTOfZeroIsUniform(t *testing.T) {
+	n := 4
+	res, err := (&sim.StateVector{}).Run(QFT(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.State
+	want := 1 / math.Sqrt(float64(int(1)<<n))
+	if st.Len() != 1<<n {
+		t.Fatalf("support = %d", st.Len())
+	}
+	for _, idx := range st.Indices() {
+		a := st.Amplitude(idx)
+		if math.Abs(real(a)-want) > 1e-9 || math.Abs(imag(a)) > 1e-9 {
+			t.Fatalf("amp[%d] = %v", idx, a)
+		}
+	}
+}
+
+func TestQFTOfBasisStateHasUniformMagnitudes(t *testing.T) {
+	n := 3
+	// Build |101⟩ then QFT: all output magnitudes must be 2^{-n/2}.
+	prep := basisPrep(n, 5)
+	if err := prep.Compose(QFT(n)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := (&sim.StateVector{}).Run(prep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.State
+	want := 1 / math.Sqrt(float64(int(1)<<n))
+	for idx := uint64(0); idx < 1<<uint(n); idx++ {
+		a := st.Amplitude(idx)
+		mag := math.Hypot(real(a), imag(a))
+		if math.Abs(mag-want) > 1e-9 {
+			t.Fatalf("|amp[%d]| = %v, want %v", idx, mag, want)
+		}
+	}
+}
+
+func TestWState(t *testing.T) {
+	for _, n := range []int{2, 3, 5} {
+		res, err := (&sim.StateVector{}).Run(WState(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := res.State
+		if st.Len() != n {
+			t.Fatalf("n=%d: support = %d, want %d (one-hot states)", n, st.Len(), n)
+		}
+		want := 1 / math.Sqrt(float64(n))
+		for _, idx := range st.Indices() {
+			if idx&(idx-1) != 0 || idx == 0 {
+				t.Fatalf("n=%d: non-one-hot basis state %b", n, idx)
+			}
+			a := st.Amplitude(idx)
+			if math.Abs(math.Hypot(real(a), imag(a))-want) > 1e-9 {
+				t.Fatalf("n=%d: |amp[%b]| = %v, want %v", n, idx, a, want)
+			}
+		}
+	}
+}
+
+func TestBernsteinVaziraniRecoversSecret(t *testing.T) {
+	secret := []bool{true, false, true, true}
+	res, err := (&sim.StateVector{}).Run(BernsteinVazirani(secret))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.State
+	var want uint64
+	for q, b := range secret {
+		if b {
+			want |= uint64(1) << uint(q)
+		}
+	}
+	// The data register must be |secret⟩ with probability 1 (ancilla in
+	// |-⟩, so two basis states share the data pattern).
+	total := 0.0
+	for _, idx := range st.Indices() {
+		data := idx & ((1 << uint(len(secret))) - 1)
+		if data != want {
+			t.Fatalf("unexpected data register %b (want %b)", data, want)
+		}
+		total += st.Probability(idx)
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("total probability = %v", total)
+	}
+}
+
+func TestDeutschJozsa(t *testing.T) {
+	k := 3
+	// Constant oracle: data register returns to |0...0⟩.
+	res, err := (&sim.StateVector{}).Run(DeutschJozsa(k, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, idx := range res.State.Indices() {
+		if idx&((1<<uint(k))-1) != 0 {
+			t.Fatalf("constant oracle: data register nonzero in %b", idx)
+		}
+	}
+	// Balanced oracle: data register never |0...0⟩.
+	res, err = (&sim.StateVector{}).Run(DeutschJozsa(k, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, idx := range res.State.Indices() {
+		if idx&((1<<uint(k))-1) == 0 && res.State.Probability(idx) > 1e-9 {
+			t.Fatalf("balanced oracle: data register zero has probability %v", res.State.Probability(idx))
+		}
+	}
+}
+
+func TestGroverAmplifiesMarked(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5} {
+		marked := uint64(1)<<uint(n) - 2
+		res, err := (&sim.StateVector{}).Run(Grover(n, marked))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := res.State.Probability(marked)
+		// Textbook success probabilities: 1.0 (n=2), ≥0.94 otherwise.
+		if p < 0.8 {
+			t.Fatalf("n=%d: P(marked) = %v, want > 0.8", n, p)
+		}
+	}
+}
+
+func TestAnsatzShapeAndNormalization(t *testing.T) {
+	params := make([]float64, 2*4*3)
+	for i := range params {
+		params[i] = 0.1 * float64(i+1)
+	}
+	c := HardwareEfficientAnsatz(4, 3, params)
+	res, err := (&sim.StateVector{}).Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.State.Norm()-1) > 1e-9 {
+		t.Fatalf("norm = %v", res.State.Norm())
+	}
+	if c.Depth() < 6 {
+		t.Fatalf("depth = %d", c.Depth())
+	}
+}
+
+func TestRandomSparseStaysSparse(t *testing.T) {
+	c := RandomSparse(10, 200, 42)
+	res, err := (&sim.Sparse{}).Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.MaxIntermediateSize > 1 {
+		t.Fatalf("sparse circuit grew support to %d", res.Stats.MaxIntermediateSize)
+	}
+}
+
+func TestRandomDenseDensifies(t *testing.T) {
+	c := RandomDense(6, 3, 42)
+	res, err := (&sim.Sparse{}).Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.MaxIntermediateSize < 32 {
+		t.Fatalf("dense circuit support only reached %d", res.Stats.MaxIntermediateSize)
+	}
+}
+
+func TestDeterministicSeeds(t *testing.T) {
+	a := RandomDense(5, 4, 7)
+	b := RandomDense(5, 4, 7)
+	if a.String() != b.String() {
+		t.Fatal("same seed must give the same circuit")
+	}
+	c := RandomDense(5, 4, 8)
+	if a.String() == c.String() {
+		t.Fatal("different seeds should give different circuits")
+	}
+}

@@ -1,0 +1,105 @@
+package circuits
+
+import (
+	"fmt"
+	"math/rand"
+
+	"qymera/internal/quantum"
+)
+
+// This file adds NISQ-style noise via the quantum-trajectory method:
+// a noisy circuit is sampled as an ensemble of pure-state circuits, each
+// with random Pauli errors inserted after gates. Averaging observables
+// over trajectories reproduces the depolarizing channel without density
+// matrices, so every backend — including the SQL one — can simulate
+// noisy circuits unchanged.
+
+// PauliNoiseModel configures per-gate depolarizing noise.
+type PauliNoiseModel struct {
+	// OneQubitError is the probability that a qubit suffers a random
+	// Pauli (X, Y, or Z, equally likely) after a 1-qubit gate.
+	OneQubitError float64
+	// TwoQubitError is the per-qubit error probability after a gate
+	// touching 2+ qubits (typically ~10x the 1-qubit rate on hardware).
+	TwoQubitError float64
+}
+
+// Validate checks probabilities are in range.
+func (m PauliNoiseModel) Validate() error {
+	for _, p := range []float64{m.OneQubitError, m.TwoQubitError} {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("circuits: noise probability %v outside [0,1]", p)
+		}
+	}
+	return nil
+}
+
+// SampleTrajectory returns one noisy instance of the circuit: the
+// original gates with Pauli errors inserted according to the model,
+// using rng for reproducible sampling. The ideal circuit is returned
+// unchanged (same pointer) when both error rates are zero.
+func SampleTrajectory(c *quantum.Circuit, model PauliNoiseModel, rng *rand.Rand) (*quantum.Circuit, error) {
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	if model.OneQubitError == 0 && model.TwoQubitError == 0 {
+		return c, nil
+	}
+	out := quantum.NewCircuit(c.NumQubits())
+	out.SetName(c.Name() + "-noisy")
+	paulis := []string{"X", "Y", "Z"}
+	for _, g := range c.Gates() {
+		if err := out.Append(g); err != nil {
+			return nil, err
+		}
+		p := model.OneQubitError
+		if len(g.Qubits) >= 2 {
+			p = model.TwoQubitError
+		}
+		for _, q := range g.Qubits {
+			if rng.Float64() < p {
+				name := paulis[rng.Intn(3)]
+				if err := out.Append(quantum.Gate{Name: name, Qubits: []int{q}}); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// TrajectoryRunner averages an observable over noise trajectories.
+type TrajectoryRunner struct {
+	Model PauliNoiseModel
+	// Trials is the number of trajectories to average (default 64).
+	Trials int
+	// Seed makes the ensemble reproducible.
+	Seed int64
+}
+
+// AverageObservable runs the noisy ensemble through run (any backend's
+// Run wrapped to return the observable of the final state) and returns
+// the trajectory mean.
+func (tr TrajectoryRunner) AverageObservable(
+	c *quantum.Circuit,
+	run func(*quantum.Circuit) (float64, error),
+) (float64, error) {
+	trials := tr.Trials
+	if trials <= 0 {
+		trials = 64
+	}
+	rng := rand.New(rand.NewSource(tr.Seed))
+	var sum float64
+	for i := 0; i < trials; i++ {
+		noisy, err := SampleTrajectory(c, tr.Model, rng)
+		if err != nil {
+			return 0, err
+		}
+		v, err := run(noisy)
+		if err != nil {
+			return 0, fmt.Errorf("circuits: trajectory %d: %w", i, err)
+		}
+		sum += v
+	}
+	return sum / float64(trials), nil
+}

@@ -1,0 +1,133 @@
+package circuits
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"qymera/internal/quantum"
+	"qymera/internal/sim"
+)
+
+func TestSampleTrajectoryZeroNoiseIsIdentity(t *testing.T) {
+	c := GHZ(4)
+	noisy, err := SampleTrajectory(c, PauliNoiseModel{}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noisy != c {
+		t.Fatal("zero noise should return the original circuit")
+	}
+}
+
+func TestSampleTrajectoryInsertsPaulis(t *testing.T) {
+	c := GHZ(6)
+	model := PauliNoiseModel{OneQubitError: 1, TwoQubitError: 1} // always error
+	noisy, err := SampleTrajectory(c, model, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every gate qubit gets exactly one extra Pauli: H contributes 1,
+	// each CX contributes 2.
+	wantExtra := 1 + 2*(c.Len()-1)
+	if noisy.Len() != c.Len()+wantExtra {
+		t.Fatalf("len = %d, want %d", noisy.Len(), c.Len()+wantExtra)
+	}
+	counts := noisy.CountByName()
+	if counts["X"]+counts["Y"]+counts["Z"] != wantExtra {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestSampleTrajectoryValidation(t *testing.T) {
+	if _, err := SampleTrajectory(GHZ(2), PauliNoiseModel{OneQubitError: 1.5}, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+// TestTrajectoryDepolarizesGHZ: the GHZ parity correlation ⟨Z⊗…⊗Z⟩...
+// For GHZ, <ZZ> between any pair is +1 noiselessly and decays toward 0
+// under depolarizing noise.
+func TestTrajectoryDepolarizesGHZ(t *testing.T) {
+	c := GHZ(4)
+	zz := func(circuit *quantum.Circuit) (float64, error) {
+		res, err := (&sim.StateVector{}).Run(circuit)
+		if err != nil {
+			return 0, err
+		}
+		return res.State.ExpectationZProduct([]int{0, 1}), nil
+	}
+
+	ideal, err := TrajectoryRunner{Trials: 1}.AverageObservable(c, zz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ideal-1) > 1e-9 {
+		t.Fatalf("ideal <ZZ> = %v", ideal)
+	}
+
+	noisy, err := TrajectoryRunner{
+		Model:  PauliNoiseModel{OneQubitError: 0.05, TwoQubitError: 0.15},
+		Trials: 200,
+		Seed:   7,
+	}.AverageObservable(c, zz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noisy >= 0.95 {
+		t.Fatalf("noise did not degrade <ZZ>: %v", noisy)
+	}
+	if noisy <= -0.5 {
+		t.Fatalf("<ZZ> overshot: %v", noisy)
+	}
+}
+
+// TestTrajectoriesWorkOnSQLBackend demonstrates the point of the
+// trajectory method: noisy simulation needs no density matrices, so the
+// RDBMS backend runs it unchanged.
+func TestTrajectoriesWorkOnSQLBackend(t *testing.T) {
+	c := GHZ(3)
+	zz := func(circuit *quantum.Circuit) (float64, error) {
+		res, err := (&sim.SQL{}).Run(circuit)
+		if err != nil {
+			return 0, err
+		}
+		return res.State.ExpectationZProduct([]int{0, 2}), nil
+	}
+	v, err := TrajectoryRunner{
+		Model:  PauliNoiseModel{OneQubitError: 0.1, TwoQubitError: 0.2},
+		Trials: 20,
+		Seed:   3,
+	}.AverageObservable(c, zz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v < -1 || v > 1 {
+		t.Fatalf("<ZZ> = %v out of range", v)
+	}
+}
+
+func TestTrajectoryReproducibleSeed(t *testing.T) {
+	c := GHZ(3)
+	obs := func(circuit *quantum.Circuit) (float64, error) {
+		res, err := (&sim.StateVector{}).Run(circuit)
+		if err != nil {
+			return 0, err
+		}
+		return res.State.Probability(0), nil
+	}
+	run := func() float64 {
+		v, err := TrajectoryRunner{
+			Model:  PauliNoiseModel{OneQubitError: 0.2, TwoQubitError: 0.2},
+			Trials: 10,
+			Seed:   42,
+		}.AverageObservable(c, obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	if run() != run() {
+		t.Fatal("same seed must give the same ensemble")
+	}
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"database/sql"
+	"fmt"
+	"math"
+	"testing"
+
+	"qymera/internal/quantum"
+	_ "qymera/internal/sqlengine" // register the "qymera" driver
+)
+
+// TestFullWorkflowThroughDatabaseSQL runs the complete paper workflow
+// through Go's standard database/sql interface: translate a circuit,
+// execute the setup and per-gate statements as ordinary SQL, and read
+// the final state back with Query — exactly what an application
+// embedding Qymera in a classical data pipeline would do.
+func TestFullWorkflowThroughDatabaseSQL(t *testing.T) {
+	db, err := sql.Open("qymera", fmt.Sprintf("mem://workflow-%s", t.Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	// Bell pair plus a phase: H(0), CX(0,1), S(1).
+	c := quantum.NewCircuit(2).H(0).CX(0, 1).S(1)
+	tr, err := Translate(c, nil, Options{Mode: MaterializedChain, PruneEps: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, stmt := range tr.Statements() {
+		if _, err := db.Exec(stmt); err != nil {
+			t.Fatalf("%v\nstatement: %s", err, stmt)
+		}
+	}
+
+	rows, err := db.Query(tr.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+
+	type amp struct{ r, i float64 }
+	got := map[int64]amp{}
+	for rows.Next() {
+		var s int64
+		var re, im float64
+		if err := rows.Scan(&s, &re, &im); err != nil {
+			t.Fatal(err)
+		}
+		got[s] = amp{re, im}
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Expected state: (|00⟩ + i|11⟩)/√2 — S multiplies |11⟩ by i.
+	inv := 1 / math.Sqrt2
+	if len(got) != 2 {
+		t.Fatalf("rows = %v", got)
+	}
+	if a := got[0]; math.Abs(a.r-inv) > 1e-12 || math.Abs(a.i) > 1e-12 {
+		t.Fatalf("amp[0] = %+v", a)
+	}
+	if a := got[3]; math.Abs(a.r) > 1e-12 || math.Abs(a.i-inv) > 1e-12 {
+		t.Fatalf("amp[3] = %+v", a)
+	}
+
+	// Classical post-processing joins quantum results with ordinary
+	// relational data — the "integration with classical workflows" the
+	// paper demonstrates.
+	if _, err := db.Exec("CREATE TABLE labels (s INTEGER, name TEXT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("INSERT INTO labels VALUES (0, 'ground'), (3, 'excited')"); err != nil {
+		t.Fatal(err)
+	}
+	var name string
+	var p float64
+	err = db.QueryRow(`SELECT l.name, (t.r * t.r) + (t.i * t.i) AS p
+		FROM `+tr.FinalTable+` t JOIN labels l ON l.s = t.s
+		ORDER BY p DESC, l.name LIMIT 1`).Scan(&name, &p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.5) > 1e-12 || (name != "excited" && name != "ground") {
+		t.Fatalf("name=%s p=%v", name, p)
+	}
+}

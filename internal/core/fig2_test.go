@@ -1,0 +1,160 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"qymera/internal/quantum"
+	"qymera/internal/sqlengine"
+)
+
+// ghz3 is the running-example circuit of Fig. 2a: H(0), CX(0,1), CX(1,2).
+func ghz3() *quantum.Circuit {
+	return quantum.NewCircuit(3).H(0).CX(0, 1).CX(1, 2)
+}
+
+// TestFig2GateTables checks the relational gate encodings of Fig. 2b.
+func TestFig2GateTables(t *testing.T) {
+	tr, err := Translate(ghz3(), nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.GateTables) != 2 {
+		t.Fatalf("gate tables = %d, want 2 (H shared, CX shared)", len(tr.GateTables))
+	}
+	byName := map[string]GateTable{}
+	for _, g := range tr.GateTables {
+		byName[g.Name] = g
+	}
+
+	h := byName["H"]
+	if len(h.Rows) != 4 {
+		t.Fatalf("H rows = %v", h.Rows)
+	}
+	inv := 1 / math.Sqrt2
+	for _, r := range h.Rows {
+		want := inv
+		if r.InS == 1 && r.OutS == 1 {
+			want = -inv
+		}
+		if math.Abs(r.R-want) > 1e-15 || r.I != 0 {
+			t.Fatalf("H row %+v, want r=%v", r, want)
+		}
+	}
+
+	// CX table exactly as printed in Fig. 2b: (0,0), (1,3), (2,2), (3,1).
+	cx := byName["CX"]
+	got := map[[2]uint64]float64{}
+	for _, r := range cx.Rows {
+		got[[2]uint64{r.InS, r.OutS}] = r.R
+	}
+	want := map[[2]uint64]float64{
+		{0, 0}: 1, {1, 3}: 1, {2, 2}: 1, {3, 1}: 1,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("CX rows = %v", cx.Rows)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("CX missing row %v=%v in %v", k, v, got)
+		}
+	}
+}
+
+// TestFig2QueryText pins the generated SQL to the text of Fig. 2c.
+func TestFig2QueryText(t *testing.T) {
+	tr, err := Translate(ghz3(), nil, Options{Mode: SingleQuery})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := tr.Query
+	fragments := []string{
+		"WITH T1 AS (",
+		"((T0.s & ~1) | H.out_s) AS s",
+		"SUM((T0.r * H.r) - (T0.i * H.i)) AS r",
+		"SUM((T0.r * H.i) + (T0.i * H.r)) AS i",
+		"FROM T0 JOIN H ON H.in_s = (T0.s & 1)",
+		"GROUP BY ((T0.s & ~1) | H.out_s)",
+		"T2 AS (",
+		"((T1.s & ~3) | CX.out_s) AS s",
+		"FROM T1 JOIN CX ON CX.in_s = (T1.s & 3)",
+		"GROUP BY ((T1.s & ~3) | CX.out_s)",
+		"T3 AS (",
+		"((T2.s & ~6) | (CX.out_s << 1)) AS s",
+		"FROM T2 JOIN CX ON CX.in_s = ((T2.s >> 1) & 3)",
+		"GROUP BY ((T2.s & ~6) | (CX.out_s << 1))",
+		"SELECT s, r, i FROM T3 ORDER BY s",
+	}
+	for _, f := range fragments {
+		if !strings.Contains(q, f) {
+			t.Errorf("query missing fragment %q\nfull query:\n%s", f, q)
+		}
+	}
+}
+
+// TestFig2EndToEnd executes the translation and checks the exact
+// intermediate states (Fig. 2c: T1 = {0,1}, T2 = {0,3}) and the final
+// GHZ output T3 = {0,7} with amplitude 1/√2 each.
+func TestFig2EndToEnd(t *testing.T) {
+	tr, err := Translate(ghz3(), nil, Options{Mode: MaterializedChain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := sqlengine.Open(sqlengine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for _, stmt := range tr.Statements() {
+		if _, err := db.Exec(stmt); err != nil {
+			t.Fatalf("%v\nstatement:\n%s", err, stmt)
+		}
+	}
+
+	expect := map[string][]uint64{
+		"T1": {0, 1},
+		"T2": {0, 3},
+		"T3": {0, 7},
+	}
+	inv := 1 / math.Sqrt2
+	for table, states := range expect {
+		rs, err := db.Query("SELECT s, r, i FROM " + table + " ORDER BY s")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows, err := rs.All()
+		rs.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != len(states) {
+			t.Fatalf("%s has %d rows, want %d", table, len(rows), len(states))
+		}
+		for i, want := range states {
+			s, _ := rows[i][0].AsInt()
+			r, _ := rows[i][1].AsFloat()
+			im, _ := rows[i][2].AsFloat()
+			if uint64(s) != want {
+				t.Fatalf("%s row %d: s=%d, want %d", table, i, s, want)
+			}
+			if math.Abs(r-inv) > 1e-12 || math.Abs(im) > 1e-12 {
+				t.Fatalf("%s row %d: amp=(%v,%v), want (%v,0)", table, i, r, im, inv)
+			}
+		}
+	}
+
+	// The final query returns the same rows.
+	rs, err := db.Query(tr.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	rows, err := rs.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("final rows = %v", rows)
+	}
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"fmt"
+
+	"qymera/internal/linalg"
+	"qymera/internal/quantum"
+)
+
+// FusionLevel controls the gate-fusion query optimization of §3.2: fusing
+// consecutive gates reduces the number of join+group-by stages and the
+// intermediate tables the RDBMS materializes.
+type FusionLevel int
+
+const (
+	// FusionOff translates every gate into its own query stage.
+	FusionOff FusionLevel = iota
+	// FusionSameQubits fuses runs of consecutive gates acting on the
+	// identical qubit tuple (e.g. chains of single-qubit rotations).
+	FusionSameQubits
+	// FusionSubset additionally absorbs a gate into an adjacent gate
+	// whose qubit set contains it (e.g. an H preceding a CX on a shared
+	// qubit), lifting the smaller matrix into the larger qubit space.
+	FusionSubset
+)
+
+func (f FusionLevel) String() string {
+	switch f {
+	case FusionOff:
+		return "off"
+	case FusionSameQubits:
+		return "same-qubits"
+	case FusionSubset:
+		return "subset"
+	}
+	return fmt.Sprintf("FusionLevel(%d)", int(f))
+}
+
+// resolvedGate is a gate with its matrix materialized, the unit the
+// translator and the fusion pass operate on.
+type resolvedGate struct {
+	label  string // stable identity for gate-table sharing
+	qubits []int
+	matrix *linalg.Matrix
+	fused  bool
+}
+
+// resolveGates materializes the matrix of every gate in the circuit.
+func resolveGates(c *quantum.Circuit) ([]resolvedGate, error) {
+	out := make([]resolvedGate, 0, c.Len())
+	for _, g := range c.Gates() {
+		m, err := g.Matrix()
+		if err != nil {
+			return nil, err
+		}
+		qs := make([]int, len(g.Qubits))
+		copy(qs, g.Qubits)
+		out = append(out, resolvedGate{label: g.Label(), qubits: qs, matrix: m})
+	}
+	return out, nil
+}
+
+// subsetOf reports whether every element of inner appears in outer.
+func subsetOf(inner, outer []int) bool {
+	for _, q := range inner {
+		found := false
+		for _, o := range outer {
+			if o == q {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+func sameTuple(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// liftMatrix embeds a gate matrix defined on tuple `from` into the local
+// index space of tuple `to` (from ⊆ to as sets). Local bit j of the
+// source corresponds to global qubit from[j], which sits at some position
+// p(j) within `to`; bits of `to` outside the source act as identity.
+func liftMatrix(m *linalg.Matrix, from, to []int) (*linalg.Matrix, error) {
+	pos := make([]int, len(from))
+	for j, q := range from {
+		p := -1
+		for i, t := range to {
+			if t == q {
+				p = i
+				break
+			}
+		}
+		if p < 0 {
+			return nil, fmt.Errorf("core: lift: qubit %d not in target tuple %v", q, to)
+		}
+		pos[j] = p
+	}
+	var srcMask int
+	for _, p := range pos {
+		srcMask |= 1 << uint(p)
+	}
+	gather := func(x int) int {
+		g := 0
+		for j, p := range pos {
+			g |= ((x >> uint(p)) & 1) << uint(j)
+		}
+		return g
+	}
+	dim := 1 << uint(len(to))
+	out := linalg.NewMatrix(dim, dim)
+	for in := 0; in < dim; in++ {
+		for o := 0; o < dim; o++ {
+			if in&^srcMask != o&^srcMask {
+				continue
+			}
+			out.Set(o, in, m.At(gather(o), gather(in)))
+		}
+	}
+	return out, nil
+}
+
+// fuseGates applies the requested fusion level to the resolved gate
+// sequence. Fusion multiplies matrices in application order: if g1 runs
+// before g2, the fused matrix is M2 · M1.
+func fuseGates(gates []resolvedGate, level FusionLevel) ([]resolvedGate, error) {
+	if level == FusionOff || len(gates) == 0 {
+		return gates, nil
+	}
+	fusedCount := 0
+	out := make([]resolvedGate, 0, len(gates))
+	for _, g := range gates {
+		if len(out) > 0 {
+			last := &out[len(out)-1]
+			if sameTuple(last.qubits, g.qubits) {
+				last.matrix = g.matrix.Mul(last.matrix)
+				fusedCount++
+				last.label = fmt.Sprintf("FUSED_%d", fusedCount)
+				last.fused = true
+				continue
+			}
+			if level >= FusionSubset {
+				if subsetOf(g.qubits, last.qubits) {
+					lifted, err := liftMatrix(g.matrix, g.qubits, last.qubits)
+					if err != nil {
+						return nil, err
+					}
+					last.matrix = lifted.Mul(last.matrix)
+					fusedCount++
+					last.label = fmt.Sprintf("FUSED_%d", fusedCount)
+					last.fused = true
+					continue
+				}
+				if subsetOf(last.qubits, g.qubits) {
+					lifted, err := liftMatrix(last.matrix, last.qubits, g.qubits)
+					if err != nil {
+						return nil, err
+					}
+					fusedCount++
+					out[len(out)-1] = resolvedGate{
+						label:  fmt.Sprintf("FUSED_%d", fusedCount),
+						qubits: g.qubits,
+						matrix: g.matrix.Mul(lifted),
+						fused:  true,
+					}
+					continue
+				}
+			}
+		}
+		out = append(out, g)
+	}
+	return out, nil
+}

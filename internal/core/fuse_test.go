@@ -1,0 +1,200 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"qymera/internal/linalg"
+	"qymera/internal/quantum"
+)
+
+func TestFuseSameQubitRun(t *testing.T) {
+	// H·H = I on the same qubit: one fused stage.
+	c := quantum.NewCircuit(1).H(0).H(0)
+	gates, err := resolveGates(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused, err := fuseGates(gates, FusionSameQubits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fused) != 1 {
+		t.Fatalf("stages = %d", len(fused))
+	}
+	if !fused[0].matrix.EqualApprox(linalg.Identity(2), 1e-12) {
+		t.Fatalf("H·H != I:\n%v", fused[0].matrix)
+	}
+}
+
+func TestFuseOrderMatters(t *testing.T) {
+	// S then T on one qubit: fused = T·S (application order).
+	c := quantum.NewCircuit(1).S(0).T(0)
+	gates, _ := resolveGates(c)
+	fused, err := fuseGates(gates, FusionSameQubits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := quantum.Gate{Name: "S", Qubits: []int{0}}.MustMatrix()
+	tm := quantum.Gate{Name: "T", Qubits: []int{0}}.MustMatrix()
+	want := tm.Mul(s)
+	if !fused[0].matrix.EqualApprox(want, 1e-12) {
+		t.Fatalf("fusion order wrong:\n%v\nwant\n%v", fused[0].matrix, want)
+	}
+}
+
+func TestFuseDisjointNotFused(t *testing.T) {
+	c := quantum.NewCircuit(2).H(0).H(1)
+	gates, _ := resolveGates(c)
+	fused, err := fuseGates(gates, FusionSubset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fused) != 2 {
+		t.Fatalf("disjoint gates must not fuse, got %d stages", len(fused))
+	}
+}
+
+func TestFuseSubsetAbsorbsSingleQubit(t *testing.T) {
+	// H(0) then CX(0,1): at subset level one 2-qubit stage remains.
+	c := quantum.NewCircuit(2).H(0).CX(0, 1)
+	gates, _ := resolveGates(c)
+	fused, err := fuseGates(gates, FusionSubset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fused) != 1 {
+		t.Fatalf("stages = %d", len(fused))
+	}
+	// Fused matrix must equal CX · (I⊗H) with local bit 0 = qubit 0.
+	h := quantum.Gate{Name: "H", Qubits: []int{0}}.MustMatrix()
+	cx := quantum.Gate{Name: "CX", Qubits: []int{0, 1}}.MustMatrix()
+	lifted, err := liftMatrix(h, []int{0}, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cx.Mul(lifted)
+	if !fused[0].matrix.EqualApprox(want, 1e-12) {
+		t.Fatalf("fused:\n%v\nwant:\n%v", fused[0].matrix, want)
+	}
+	if !fused[0].matrix.IsUnitary(1e-12) {
+		t.Fatal("fused matrix must stay unitary")
+	}
+}
+
+func TestLiftMatrixIdentityOutside(t *testing.T) {
+	// Lift X on qubit 2 into tuple (0,2): acts on local bit 1.
+	x := quantum.Gate{Name: "X", Qubits: []int{0}}.MustMatrix()
+	lifted, err := liftMatrix(x, []int{2}, []int{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expect mapping: local 00->10, 01->11, 10->00, 11->01 (bit 1 flips).
+	for in := 0; in < 4; in++ {
+		want := in ^ 2
+		for out := 0; out < 4; out++ {
+			w := complex128(0)
+			if out == want {
+				w = 1
+			}
+			if lifted.At(out, in) != w {
+				t.Fatalf("lifted[%d][%d] = %v, want %v", out, in, lifted.At(out, in), w)
+			}
+		}
+	}
+	// Unknown qubit errors.
+	if _, err := liftMatrix(x, []int{5}, []int{0, 2}); err == nil {
+		t.Fatal("expected error for qubit not in target tuple")
+	}
+}
+
+func TestLiftPreservesUnitarity(t *testing.T) {
+	ry := quantum.Gate{Name: "RY", Qubits: []int{0}, Params: []float64{0.8}}.MustMatrix()
+	lifted, err := liftMatrix(ry, []int{1}, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lifted.IsUnitary(1e-12) {
+		t.Fatal("lifted RY must be unitary")
+	}
+}
+
+func TestFusionLevelsProgressivelyReduceGHZ(t *testing.T) {
+	c := ghz3()
+	gates, _ := resolveGates(c)
+	off, _ := fuseGates(gates, FusionOff)
+	same, err := fuseGates(gates, FusionSameQubits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := fuseGates(gates, FusionSubset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(off) != 3 {
+		t.Fatalf("off = %d", len(off))
+	}
+	if len(same) != 3 { // H(0), CX(0,1), CX(1,2) share no tuple
+		t.Fatalf("same = %d", len(same))
+	}
+	if len(sub) != 2 { // H absorbed into CX(0,1)
+		t.Fatalf("subset = %d", len(sub))
+	}
+}
+
+func TestFusedGHZStillCorrect(t *testing.T) {
+	// Verify via direct matrix application that the fused pipeline
+	// produces the GHZ state.
+	gates, _ := resolveGates(ghz3())
+	fused, err := fuseGates(gates, FusionSubset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	amp := make([]complex128, 8)
+	amp[0] = 1
+	for _, g := range fused {
+		applyRef(amp, g.qubits, g.matrix)
+	}
+	inv := 1 / math.Sqrt2
+	for i, a := range amp {
+		want := complex(0, 0)
+		if i == 0 || i == 7 {
+			want = complex(inv, 0)
+		}
+		if d := a - want; math.Hypot(real(d), imag(d)) > 1e-12 {
+			t.Fatalf("amp[%d] = %v, want %v", i, a, want)
+		}
+	}
+}
+
+// applyRef is an independent dense gate application used only by tests.
+func applyRef(amp []complex128, qubits []int, m *linalg.Matrix) {
+	n := len(amp)
+	k := len(qubits)
+	kdim := 1 << uint(k)
+	out := make([]complex128, n)
+	for s := 0; s < n; s++ {
+		in := 0
+		for j, q := range qubits {
+			in |= (s >> uint(q) & 1) << uint(j)
+		}
+		base := s
+		for _, q := range qubits {
+			base &^= 1 << uint(q)
+		}
+		for o := 0; o < kdim; o++ {
+			coef := m.At(o, in)
+			if coef == 0 {
+				continue
+			}
+			ns := base
+			for j, q := range qubits {
+				if o>>uint(j)&1 == 1 {
+					ns |= 1 << uint(q)
+				}
+			}
+			out[ns] += coef * amp[s]
+		}
+	}
+	copy(amp, out)
+}

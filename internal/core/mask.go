@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Encoding selects how the translator locates qubits inside the integer
+// state index.
+type Encoding int
+
+const (
+	// EncodingBitwise uses the paper's bitwise operators (Table 1):
+	// masks, shifts, AND/OR/NOT. This is the Qymera contribution.
+	EncodingBitwise Encoding = iota
+	// EncodingArithmetic expresses the same index manipulation with
+	// division, modulo, multiplication, and addition only. It exists as
+	// the ablation baseline for the claim that CPU-native bitwise
+	// instructions beat arithmetic index math (DESIGN.md §4).
+	EncodingArithmetic
+)
+
+func (e Encoding) String() string {
+	if e == EncodingArithmetic {
+		return "arithmetic"
+	}
+	return "bitwise"
+}
+
+// contiguousAscending reports whether qubits form q0, q0+1, ..., q0+k-1.
+func contiguousAscending(qubits []int) bool {
+	for i := 1; i < len(qubits); i++ {
+		if qubits[i] != qubits[0]+i {
+			return false
+		}
+	}
+	return true
+}
+
+// placeMask returns the OR of 1<<q for each target qubit.
+func placeMask(qubits []int) uint64 {
+	var m uint64
+	for _, q := range qubits {
+		m |= uint64(1) << uint(q)
+	}
+	return m
+}
+
+// inputIndexExpr renders the SQL expression extracting the gate-local
+// input index from column ref (e.g. "T0.s") for a gate on the given
+// qubits. For the paper's contiguous cases it produces exactly the forms
+// of Fig. 2c:
+//
+//	qubit 0 tuple (0):      (T0.s & 1)
+//	qubit tuple (0,1):      (T1.s & 3)
+//	qubit tuple (1,2):      ((T2.s >> 1) & 3)
+func inputIndexExpr(ref string, qubits []int, enc Encoding) string {
+	k := len(qubits)
+	if enc == EncodingArithmetic {
+		return arithGather(ref, qubits)
+	}
+	if contiguousAscending(qubits) {
+		mask := (uint64(1) << uint(k)) - 1
+		if qubits[0] == 0 {
+			return fmt.Sprintf("(%s & %d)", ref, mask)
+		}
+		return fmt.Sprintf("((%s >> %d) & %d)", ref, qubits[0], mask)
+	}
+	// General gather: local bit j comes from global qubit qubits[j].
+	parts := make([]string, k)
+	for j, q := range qubits {
+		bit := fmt.Sprintf("((%s >> %d) & 1)", ref, q)
+		if q == 0 {
+			bit = fmt.Sprintf("(%s & 1)", ref)
+		}
+		if j == 0 {
+			parts[j] = bit
+		} else {
+			parts[j] = fmt.Sprintf("(%s << %d)", bit, j)
+		}
+	}
+	return "(" + strings.Join(parts, " | ") + ")"
+}
+
+// outputIndexExpr renders the SQL expression computing the successor
+// state index: the old index with the gate's qubits replaced by the gate
+// table's out_s. stateRef is e.g. "T0.s", gateRef e.g. "H.out_s". The
+// contiguous forms match Fig. 2c:
+//
+//	tuple (0):   ((T0.s & ~1) | H.out_s)
+//	tuple (0,1): ((T1.s & ~3) | CX.out_s)
+//	tuple (1,2): ((T2.s & ~6) | (CX.out_s << 1))
+func outputIndexExpr(stateRef, gateRef string, qubits []int, enc Encoding) string {
+	if enc == EncodingArithmetic {
+		return arithScatter(stateRef, gateRef, qubits)
+	}
+	pm := placeMask(qubits)
+	cleared := fmt.Sprintf("(%s & ~%d)", stateRef, pm)
+	var scatter string
+	if contiguousAscending(qubits) {
+		if qubits[0] == 0 {
+			scatter = gateRef
+		} else {
+			scatter = fmt.Sprintf("(%s << %d)", gateRef, qubits[0])
+		}
+	} else {
+		parts := make([]string, len(qubits))
+		for j, q := range qubits {
+			bit := fmt.Sprintf("((%s >> %d) & 1)", gateRef, j)
+			if j == 0 {
+				bit = fmt.Sprintf("(%s & 1)", gateRef)
+			}
+			if q == 0 {
+				parts[j] = bit
+			} else {
+				parts[j] = fmt.Sprintf("(%s << %d)", bit, q)
+			}
+		}
+		scatter = "(" + strings.Join(parts, " | ") + ")"
+	}
+	return fmt.Sprintf("(%s | %s)", cleared, scatter)
+}
+
+// arithGather is the arithmetic-only equivalent of inputIndexExpr:
+// bit j of the local index is ((s / 2^q) % 2) * 2^j.
+func arithGather(ref string, qubits []int) string {
+	if contiguousAscending(qubits) {
+		k := len(qubits)
+		div := uint64(1) << uint(qubits[0])
+		mod := uint64(1) << uint(k)
+		if div == 1 {
+			return fmt.Sprintf("(%s %% %d)", ref, mod)
+		}
+		return fmt.Sprintf("((%s / %d) %% %d)", ref, div, mod)
+	}
+	parts := make([]string, len(qubits))
+	for j, q := range qubits {
+		div := uint64(1) << uint(q)
+		bit := fmt.Sprintf("((%s / %d) %% 2)", ref, div)
+		if div == 1 {
+			bit = fmt.Sprintf("(%s %% 2)", ref)
+		}
+		if j == 0 {
+			parts[j] = bit
+		} else {
+			parts[j] = fmt.Sprintf("(%s * %d)", bit, uint64(1)<<uint(j))
+		}
+	}
+	return "(" + strings.Join(parts, " + ") + ")"
+}
+
+// arithScatter is the arithmetic-only equivalent of outputIndexExpr:
+// subtract each of the gate's bits from the state, then add the scattered
+// out_s bits.
+func arithScatter(stateRef, gateRef string, qubits []int) string {
+	// cleared = s - Σ_q ((s / 2^q) % 2) * 2^q
+	subs := make([]string, len(qubits))
+	for j, q := range qubits {
+		div := uint64(1) << uint(q)
+		bit := fmt.Sprintf("((%s / %d) %% 2)", stateRef, div)
+		if div == 1 {
+			bit = fmt.Sprintf("(%s %% 2)", stateRef)
+		}
+		subs[j] = fmt.Sprintf("(%s * %d)", bit, div)
+	}
+	cleared := fmt.Sprintf("(%s - %s)", stateRef, strings.Join(subs, " - "))
+
+	adds := make([]string, len(qubits))
+	for j, q := range qubits {
+		divJ := uint64(1) << uint(j)
+		bit := fmt.Sprintf("((%s / %d) %% 2)", gateRef, divJ)
+		if divJ == 1 {
+			bit = fmt.Sprintf("(%s %% 2)", gateRef)
+		}
+		adds[j] = fmt.Sprintf("(%s * %d)", bit, uint64(1)<<uint(q))
+	}
+	return fmt.Sprintf("(%s + %s)", cleared, strings.Join(adds, " + "))
+}

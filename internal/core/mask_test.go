@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"qymera/internal/sqlengine"
+)
+
+// TestFig2MaskExpressions pins the generated bit expressions to the
+// exact forms of the paper's Fig. 2c.
+func TestFig2MaskExpressions(t *testing.T) {
+	// q1: H on qubit 0 of T0.
+	if got := inputIndexExpr("T0.s", []int{0}, EncodingBitwise); got != "(T0.s & 1)" {
+		t.Errorf("H in = %q", got)
+	}
+	if got := outputIndexExpr("T0.s", "H.out_s", []int{0}, EncodingBitwise); got != "((T0.s & ~1) | H.out_s)" {
+		t.Errorf("H out = %q", got)
+	}
+	// q2: CX on qubits (0,1) of T1.
+	if got := inputIndexExpr("T1.s", []int{0, 1}, EncodingBitwise); got != "(T1.s & 3)" {
+		t.Errorf("CX01 in = %q", got)
+	}
+	if got := outputIndexExpr("T1.s", "CX.out_s", []int{0, 1}, EncodingBitwise); got != "((T1.s & ~3) | CX.out_s)" {
+		t.Errorf("CX01 out = %q", got)
+	}
+	// q3: CX on qubits (1,2) of T2.
+	if got := inputIndexExpr("T2.s", []int{1, 2}, EncodingBitwise); got != "((T2.s >> 1) & 3)" {
+		t.Errorf("CX12 in = %q", got)
+	}
+	if got := outputIndexExpr("T2.s", "CX.out_s", []int{1, 2}, EncodingBitwise); got != "((T2.s & ~6) | (CX.out_s << 1))" {
+		t.Errorf("CX12 out = %q", got)
+	}
+}
+
+// evalIntExpr runs one scalar SQL expression through the engine.
+func evalIntExpr(t *testing.T, db *sqlengine.DB, expr string, bind map[string]int64) int64 {
+	t.Helper()
+	// Bindings become a one-row CTE so qualified refs resolve.
+	sql := expr
+	for name, v := range bind {
+		sql = replaceAll(sql, name, fmt.Sprintf("%d", v))
+	}
+	rs, err := db.Query("SELECT " + sql)
+	if err != nil {
+		t.Fatalf("eval %q: %v", sql, err)
+	}
+	defer rs.Close()
+	rows, err := rs.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv, err := rows[0][0].AsInt()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return iv
+}
+
+func replaceAll(s, old, new string) string {
+	for {
+		i := indexOf(s, old)
+		if i < 0 {
+			return s
+		}
+		s = s[:i] + new + s[i+len(old):]
+	}
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestGatherScatterAgainstGo property-checks the generated expressions
+// (both encodings) against direct Go bit manipulation, including
+// non-contiguous and reversed qubit tuples.
+func TestGatherScatterAgainstGo(t *testing.T) {
+	db, err := sqlengine.Open(sqlengine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	tuples := [][]int{
+		{0}, {2}, {0, 1}, {1, 2}, {2, 0}, {0, 3}, {3, 1}, {0, 1, 2}, {4, 2, 0},
+	}
+	goGather := func(s uint64, qs []int) uint64 {
+		var x uint64
+		for j, q := range qs {
+			x |= (s >> uint(q) & 1) << uint(j)
+		}
+		return x
+	}
+	goScatter := func(s, out uint64, qs []int) uint64 {
+		var mask uint64
+		for _, q := range qs {
+			mask |= 1 << uint(q)
+		}
+		ns := s &^ mask
+		for j, q := range qs {
+			ns |= (out >> uint(j) & 1) << uint(q)
+		}
+		return ns
+	}
+
+	f := func(sRaw uint16, outRaw uint8, ti uint8, useArith bool) bool {
+		qs := tuples[int(ti)%len(tuples)]
+		enc := EncodingBitwise
+		if useArith {
+			enc = EncodingArithmetic
+		}
+		s := uint64(sRaw) % 1024
+		out := uint64(outRaw) % (1 << uint(len(qs)))
+
+		inExpr := inputIndexExpr("S", qs, enc)
+		outExpr := outputIndexExpr("S", "O", qs, enc)
+		gotIn := evalIntExpr(t, db, inExpr, map[string]int64{"S": int64(s)})
+		gotOut := evalIntExpr(t, db, outExpr, map[string]int64{"S": int64(s), "O": int64(out)})
+		return gotIn == int64(goGather(s, qs)) && gotOut == int64(goScatter(s, out, qs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArithmeticEncodingForms(t *testing.T) {
+	if got := arithGather("T.s", []int{0}); got != "(T.s % 2)" {
+		t.Errorf("gather q0 = %q", got)
+	}
+	if got := arithGather("T.s", []int{1, 2}); got != "((T.s / 2) % 4)" {
+		t.Errorf("gather q12 = %q", got)
+	}
+}
+
+func TestContiguousDetection(t *testing.T) {
+	cases := []struct {
+		qs   []int
+		want bool
+	}{
+		{[]int{0}, true},
+		{[]int{3}, true},
+		{[]int{0, 1}, true},
+		{[]int{1, 2, 3}, true},
+		{[]int{1, 0}, false},
+		{[]int{0, 2}, false},
+	}
+	for _, tc := range cases {
+		if got := contiguousAscending(tc.qs); got != tc.want {
+			t.Errorf("contiguous(%v) = %v", tc.qs, got)
+		}
+	}
+}

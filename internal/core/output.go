@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file generates the Output Layer's analysis queries: measurement
+// probabilities, per-qubit and multi-qubit marginals, and Z-observable
+// expectations, all computed inside the RDBMS over a state table
+// T(s, r, i). They reuse the same bitwise index machinery as the gate
+// translation, demonstrating that post-processing also stays
+// declarative.
+
+// ProbabilityQuery returns SQL computing the measurement distribution
+// of a state table, highest probability first.
+func ProbabilityQuery(table string) string {
+	return fmt.Sprintf(
+		"SELECT s, ((r * r) + (i * i)) AS p FROM %s ORDER BY p DESC, s", table)
+}
+
+// NormQuery returns SQL computing Σ|a|²; 1.0 for a valid state — the
+// Output Layer's sanity check.
+func NormQuery(table string) string {
+	return fmt.Sprintf("SELECT SUM((r * r) + (i * i)) AS norm2 FROM %s", table)
+}
+
+// QubitProbabilityQuery returns SQL computing P(qubit q = 1) using the
+// bitwise qubit locator of Table 1.
+func QubitProbabilityQuery(table string, q int) string {
+	bit := fmt.Sprintf("((s >> %d) & 1)", q)
+	if q == 0 {
+		bit = "(s & 1)"
+	}
+	return fmt.Sprintf(
+		"SELECT COALESCE(SUM((r * r) + (i * i)), 0.0) AS p FROM %s WHERE %s = 1", table, bit)
+}
+
+// MarginalQuery returns SQL computing the joint distribution over the
+// given qubits (traced over the rest): one row per observed pattern,
+// with qubits[0] at bit 0 of the m column. It reuses the gate
+// translation's bit-gather expression.
+func MarginalQuery(table string, qubits []int) (string, error) {
+	if len(qubits) == 0 {
+		return "", fmt.Errorf("core: marginal needs at least one qubit")
+	}
+	seen := map[int]bool{}
+	for _, q := range qubits {
+		if q < 0 {
+			return "", fmt.Errorf("core: negative qubit %d", q)
+		}
+		if seen[q] {
+			return "", fmt.Errorf("core: duplicate qubit %d in marginal", q)
+		}
+		seen[q] = true
+	}
+	gather := inputIndexExpr(table+".s", qubits, EncodingBitwise)
+	return fmt.Sprintf(
+		"SELECT %s AS m, SUM((%s.r * %s.r) + (%s.i * %s.i)) AS p FROM %s GROUP BY %s ORDER BY m",
+		gather, table, table, table, table, table, gather), nil
+}
+
+// ExpectationZQuery returns SQL computing ⟨Z_{q1}⊗Z_{q2}⊗…⟩: each row
+// contributes +|a|² when the parity of the selected bits is even and
+// −|a|² when odd. The parity is computed with shifts and AND, then the
+// sign via CASE.
+func ExpectationZQuery(table string, qubits []int) (string, error) {
+	if len(qubits) == 0 {
+		return "", fmt.Errorf("core: expectation needs at least one qubit")
+	}
+	parts := make([]string, len(qubits))
+	for i, q := range qubits {
+		if q < 0 {
+			return "", fmt.Errorf("core: negative qubit %d", q)
+		}
+		if q == 0 {
+			parts[i] = "(s & 1)"
+		} else {
+			parts[i] = fmt.Sprintf("((s >> %d) & 1)", q)
+		}
+	}
+	parity := "(" + strings.Join(parts, " + ") + ") % 2"
+	return fmt.Sprintf(
+		"SELECT SUM(CASE WHEN (%s) = 0 THEN ((r * r) + (i * i)) ELSE -((r * r) + (i * i)) END) AS ez FROM %s",
+		parity, table), nil
+}
+
+// SampleableDistributionQuery returns SQL producing (s, p, cumulative)
+// rows: the cumulative column lets a client draw samples with one
+// uniform random number per shot via a range lookup. Window functions
+// are out of scope for the engine, so the cumulative sum is computed
+// with a self-join — quadratic but fine for inspection-scale supports.
+func SampleableDistributionQuery(table string) string {
+	return fmt.Sprintf(`SELECT a.s AS s, ((a.r * a.r) + (a.i * a.i)) AS p,
+       SUM((b.r * b.r) + (b.i * b.i)) AS cumulative
+FROM %s a JOIN %s b ON b.s <= a.s
+GROUP BY a.s, a.r, a.i
+ORDER BY a.s`, table, table)
+}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"qymera/internal/quantum"
+	"qymera/internal/sqlengine"
+)
+
+// loadStateTable materializes a circuit's final state into table TN of a
+// fresh database and returns the db plus the final table name.
+func loadStateTable(t *testing.T, c *quantum.Circuit) (*sqlengine.DB, string) {
+	t.Helper()
+	tr, err := Translate(c, nil, Options{Mode: MaterializedChain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := sqlengine.Open(sqlengine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	for _, stmt := range tr.Statements() {
+		if _, err := db.Exec(stmt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db, tr.FinalTable
+}
+
+func queryFloat(t *testing.T, db *sqlengine.DB, sql string) float64 {
+	t.Helper()
+	rs, err := db.Query(sql)
+	if err != nil {
+		t.Fatalf("%v\nquery: %s", err, sql)
+	}
+	defer rs.Close()
+	rows, err := rs.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	f, err := rows[0][0].AsFloat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestProbabilityQueryGHZ(t *testing.T) {
+	db, table := loadStateTable(t, quantum.NewCircuit(3).H(0).CX(0, 1).CX(1, 2))
+	rs, err := db.Query(ProbabilityQuery(table))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	rows, err := rs.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	for _, r := range rows {
+		p, _ := r[1].AsFloat()
+		if math.Abs(p-0.5) > 1e-12 {
+			t.Fatalf("p = %v", p)
+		}
+	}
+}
+
+func TestNormQueryIsOne(t *testing.T) {
+	db, table := loadStateTable(t, quantum.NewCircuit(4).H(0).H(1).CX(1, 2).T(3))
+	if norm2 := queryFloat(t, db, NormQuery(table)); math.Abs(norm2-1) > 1e-12 {
+		t.Fatalf("norm² = %v", norm2)
+	}
+}
+
+func TestQubitProbabilityQueryMatchesState(t *testing.T) {
+	c := quantum.NewCircuit(3).H(0).CX(0, 1).RY(2, 0.9)
+	db, table := loadStateTable(t, c)
+
+	// Reference via the quantum package.
+	tr, _ := Translate(c, nil, Options{})
+	_ = tr
+	st := stateFromTable(t, db, table, 3)
+	for q := 0; q < 3; q++ {
+		got := queryFloat(t, db, QubitProbabilityQuery(table, q))
+		want := st.QubitProbability(q)
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("q%d: sql=%v state=%v", q, got, want)
+		}
+	}
+}
+
+// stateFromTable reads a state table back into a quantum.State.
+func stateFromTable(t *testing.T, db *sqlengine.DB, table string, n int) *quantum.State {
+	t.Helper()
+	rs, err := db.Query("SELECT s, r, i FROM " + table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	st := quantum.NewState(n)
+	rows, err := rs.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
+		s, _ := row[0].AsInt()
+		r, _ := row[1].AsFloat()
+		im, _ := row[2].AsFloat()
+		st.Set(uint64(s), complex(r, im))
+	}
+	return st
+}
+
+func TestMarginalQueryMatchesState(t *testing.T) {
+	c := quantum.NewCircuit(4).H(0).CX(0, 2).RY(1, 0.7).CX(1, 3)
+	db, table := loadStateTable(t, c)
+	st := stateFromTable(t, db, table, 4)
+
+	for _, qubits := range [][]int{{0}, {2}, {0, 2}, {3, 1}, {0, 1, 2, 3}} {
+		sql, err := MarginalQuery(table, qubits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := db.Query(sql)
+		if err != nil {
+			t.Fatalf("%v\n%s", err, sql)
+		}
+		rows, err := rs.All()
+		rs.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := st.MarginalProbabilities(qubits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := map[uint64]float64{}
+		for _, row := range rows {
+			m, _ := row[0].AsInt()
+			p, _ := row[1].AsFloat()
+			got[uint64(m)] = p
+		}
+		if len(got) != len(want) {
+			t.Fatalf("qubits %v: got %v want %v", qubits, got, want)
+		}
+		for k, w := range want {
+			if math.Abs(got[k]-w) > 1e-12 {
+				t.Fatalf("qubits %v key %d: got %v want %v", qubits, k, got[k], w)
+			}
+		}
+	}
+	if _, err := MarginalQuery(table, nil); err == nil {
+		t.Fatal("expected error for empty qubit list")
+	}
+	if _, err := MarginalQuery(table, []int{1, 1}); err == nil {
+		t.Fatal("expected error for duplicate qubits")
+	}
+}
+
+func TestExpectationZQueryMatchesState(t *testing.T) {
+	c := quantum.NewCircuit(3).H(0).CX(0, 1).RX(2, 1.1)
+	db, table := loadStateTable(t, c)
+	st := stateFromTable(t, db, table, 3)
+
+	for _, qubits := range [][]int{{0}, {1}, {0, 1}, {0, 1, 2}} {
+		sql, err := ExpectationZQuery(table, qubits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := queryFloat(t, db, sql)
+		want := st.ExpectationZProduct(qubits)
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("qubits %v: sql=%v state=%v", qubits, got, want)
+		}
+	}
+}
+
+func TestSampleableDistributionQuery(t *testing.T) {
+	db, table := loadStateTable(t, quantum.NewCircuit(2).H(0).H(1))
+	rs, err := db.Query(SampleableDistributionQuery(table))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	rows, err := rs.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %v", rows)
+	}
+	// Cumulative column must be nondecreasing and end at 1.
+	prev := 0.0
+	for _, row := range rows {
+		c, _ := row[2].AsFloat()
+		if c < prev-1e-12 {
+			t.Fatalf("cumulative decreased: %v after %v", c, prev)
+		}
+		prev = c
+	}
+	if math.Abs(prev-1) > 1e-12 {
+		t.Fatalf("final cumulative = %v", prev)
+	}
+}

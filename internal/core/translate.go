@@ -1,0 +1,327 @@
+// Package core implements the Qymera paper's contribution: translating
+// quantum circuits into SQL so that a relational engine simulates them.
+//
+// States are relations T(s, r, i) — basis index, real, imaginary — and a
+// k-qubit gate is a relation G(in_s, out_s, r, i) of transition
+// amplitudes between local k-bit indices. One gate application is a
+// join + group-by:
+//
+//	SELECT ((T0.s & ~1) | H.out_s)            AS s,
+//	       SUM((T0.r * H.r) - (T0.i * H.i))   AS r,
+//	       SUM((T0.r * H.i) + (T0.i * H.r))   AS i
+//	FROM T0 JOIN H ON H.in_s = (T0.s & 1)
+//	GROUP BY ((T0.s & ~1) | H.out_s)
+//
+// (Fig. 2c of the paper). The bitwise mask locates the gate's qubits
+// inside the integer state index; the SUM accumulates interfering
+// amplitude contributions; only nonzero basis states are ever stored.
+package core
+
+import (
+	"fmt"
+	"math/cmplx"
+	"strconv"
+	"strings"
+
+	"qymera/internal/quantum"
+)
+
+// Mode selects the shape of the generated SQL.
+type Mode int
+
+const (
+	// SingleQuery emits one WITH-chained query (Fig. 2c): the RDBMS
+	// sees the whole circuit at once and can optimize across stages.
+	SingleQuery Mode = iota
+	// MaterializedChain emits one CREATE TABLE ... AS SELECT per stage,
+	// so intermediate quantum states are inspectable tables — the
+	// workflow of the paper's algorithm-design demo scenario.
+	MaterializedChain
+)
+
+func (m Mode) String() string {
+	if m == MaterializedChain {
+		return "materialized-chain"
+	}
+	return "single-query"
+}
+
+// Options configure translation.
+type Options struct {
+	Mode     Mode
+	Fusion   FusionLevel
+	Encoding Encoding
+	// PruneEps, when positive, adds a HAVING clause dropping result
+	// amplitudes with |a|² <= PruneEps², the relational analogue of
+	// sparse-state pruning. Zero disables pruning.
+	PruneEps float64
+	// StatePrefix names the state tables: <prefix>0 is the initial
+	// state, <prefix>k the state after stage k. Defaults to "T".
+	StatePrefix string
+}
+
+// GateRow is one transition-amplitude tuple of a gate table.
+type GateRow struct {
+	InS, OutS uint64
+	R, I      float64
+}
+
+// GateTable is the relational form of one distinct gate.
+type GateTable struct {
+	Name  string // SQL table name
+	Label string // gate label, e.g. "CX" or "RZ(0.25)"
+	Arity int
+	Rows  []GateRow
+}
+
+// Step is one gate-application stage of the translation.
+type Step struct {
+	Table     string // state table/CTE produced by this stage
+	GateTable string // gate table joined in this stage
+	Qubits    []int
+	Body      string // the stage's SELECT text
+	SQL       string // full statement in MaterializedChain mode ("" otherwise)
+}
+
+// Translation is the complete SQL program for simulating one circuit.
+type Translation struct {
+	NumQubits         int
+	Setup             []string // DDL+DML: initial state and gate tables
+	Steps             []Step
+	FinalTable        string
+	Query             string // the query returning the final state (s, r, i)
+	GateTables        []GateTable
+	StageCount        int // gates after fusion == len(Steps)
+	OriginalGateCount int
+	Options           Options
+}
+
+// zeroTol drops gate-matrix entries with |a| below this when building
+// gate tables; exact zeros dominate (permutation-like gates).
+const zeroTol = 1e-15
+
+// Translate converts a circuit and an initial state into a SQL program.
+// A nil initial state means |0...0⟩.
+func Translate(c *quantum.Circuit, initial *quantum.State, opts Options) (*Translation, error) {
+	if opts.StatePrefix == "" {
+		opts.StatePrefix = "T"
+	}
+	if initial == nil {
+		initial = quantum.ZeroState(c.NumQubits())
+	}
+	if initial.NumQubits() != c.NumQubits() {
+		return nil, fmt.Errorf("core: initial state has %d qubits, circuit has %d", initial.NumQubits(), c.NumQubits())
+	}
+
+	gates, err := resolveGates(c)
+	if err != nil {
+		return nil, err
+	}
+	fused, err := fuseGates(gates, opts.Fusion)
+	if err != nil {
+		return nil, err
+	}
+
+	tr := &Translation{
+		NumQubits:         c.NumQubits(),
+		StageCount:        len(fused),
+		OriginalGateCount: c.Len(),
+		Options:           opts,
+	}
+
+	// Build gate tables, shared across stages with equal labels.
+	names := map[string]string{}
+	used := map[string]bool{}
+	for _, g := range fused {
+		if _, ok := names[g.label]; ok {
+			continue
+		}
+		name := sanitizeTableName(g.label, used)
+		names[g.label] = name
+		tbl := GateTable{Name: name, Label: g.label, Arity: len(g.qubits)}
+		dim := g.matrix.Rows
+		for in := 0; in < dim; in++ {
+			for out := 0; out < dim; out++ {
+				a := g.matrix.At(out, in)
+				if cmplx.Abs(a) <= zeroTol {
+					continue
+				}
+				tbl.Rows = append(tbl.Rows, GateRow{
+					InS: uint64(in), OutS: uint64(out),
+					R: real(a), I: imag(a),
+				})
+			}
+		}
+		tr.GateTables = append(tr.GateTables, tbl)
+	}
+
+	// Setup: initial state table.
+	t0 := opts.StatePrefix + "0"
+	tr.Setup = append(tr.Setup,
+		fmt.Sprintf("CREATE TABLE %s (s INTEGER, r REAL, i REAL)", t0))
+	var vals []string
+	for _, idx := range initial.Indices() {
+		a := initial.Amplitude(idx)
+		vals = append(vals, fmt.Sprintf("(%d, %s, %s)", idx, formatFloat(real(a)), formatFloat(imag(a))))
+	}
+	if len(vals) > 0 {
+		tr.Setup = append(tr.Setup, fmt.Sprintf("INSERT INTO %s VALUES %s", t0, strings.Join(vals, ", ")))
+	}
+
+	// Setup: gate tables.
+	for _, tbl := range tr.GateTables {
+		tr.Setup = append(tr.Setup,
+			fmt.Sprintf("CREATE TABLE %s (in_s INTEGER, out_s INTEGER, r REAL, i REAL)", tbl.Name))
+		rows := make([]string, len(tbl.Rows))
+		for i, r := range tbl.Rows {
+			rows[i] = fmt.Sprintf("(%d, %d, %s, %s)", r.InS, r.OutS, formatFloat(r.R), formatFloat(r.I))
+		}
+		if len(rows) > 0 {
+			tr.Setup = append(tr.Setup,
+				fmt.Sprintf("INSERT INTO %s VALUES %s", tbl.Name, strings.Join(rows, ", ")))
+		}
+	}
+
+	// Per-stage queries.
+	prev := t0
+	for k, g := range fused {
+		table := fmt.Sprintf("%s%d", opts.StatePrefix, k+1)
+		gate := names[g.label]
+		body := stageSelect(prev, gate, g.qubits, opts)
+		step := Step{Table: table, GateTable: gate, Qubits: g.qubits, Body: body}
+		if opts.Mode == MaterializedChain {
+			step.SQL = fmt.Sprintf("CREATE TABLE %s AS %s", table, body)
+		}
+		tr.Steps = append(tr.Steps, step)
+		prev = table
+	}
+	tr.FinalTable = prev
+
+	final := fmt.Sprintf("SELECT s, r, i FROM %s ORDER BY s", tr.FinalTable)
+	switch opts.Mode {
+	case MaterializedChain:
+		tr.Query = final
+	default:
+		if len(tr.Steps) == 0 {
+			tr.Query = final
+			break
+		}
+		var b strings.Builder
+		b.WriteString("WITH ")
+		for i, st := range tr.Steps {
+			if i > 0 {
+				b.WriteString(",\n")
+			}
+			fmt.Fprintf(&b, "%s AS (\n%s)", st.Table, indent(st.Body, "  "))
+		}
+		b.WriteString("\n")
+		b.WriteString(final)
+		tr.Query = b.String()
+	}
+	return tr, nil
+}
+
+// stageSelect renders one gate application (Fig. 2c query body).
+func stageSelect(prev, gate string, qubits []int, opts Options) string {
+	sRef := prev + ".s"
+	inExpr := inputIndexExpr(sRef, qubits, opts.Encoding)
+	outExpr := outputIndexExpr(sRef, gate+".out_s", qubits, opts.Encoding)
+	sumR := fmt.Sprintf("SUM((%s.r * %s.r) - (%s.i * %s.i))", prev, gate, prev, gate)
+	sumI := fmt.Sprintf("SUM((%s.r * %s.i) + (%s.i * %s.r))", prev, gate, prev, gate)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "SELECT %s AS s,\n", outExpr)
+	fmt.Fprintf(&b, "       %s AS r,\n", sumR)
+	fmt.Fprintf(&b, "       %s AS i\n", sumI)
+	fmt.Fprintf(&b, "FROM %s JOIN %s ON %s.in_s = %s\n", prev, gate, gate, inExpr)
+	fmt.Fprintf(&b, "GROUP BY %s", outExpr)
+	if opts.PruneEps > 0 {
+		eps2 := opts.PruneEps * opts.PruneEps
+		fmt.Fprintf(&b, "\nHAVING ((%s * %s) + (%s * %s)) > %s", sumR, sumR, sumI, sumI, formatFloat(eps2))
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// SetupScript joins the setup statements into one executable script.
+func (tr *Translation) SetupScript() string {
+	return strings.Join(tr.Setup, ";\n") + ";\n"
+}
+
+// Statements returns every statement to execute in order, excluding the
+// final Query: setup plus, in MaterializedChain mode, the per-stage CTAS
+// statements.
+func (tr *Translation) Statements() []string {
+	out := append([]string{}, tr.Setup...)
+	for _, st := range tr.Steps {
+		if st.SQL != "" {
+			out = append(out, st.SQL)
+		}
+	}
+	return out
+}
+
+// Script renders the full SQL program including the final query, for
+// display and export.
+func (tr *Translation) Script() string {
+	var b strings.Builder
+	for _, s := range tr.Statements() {
+		b.WriteString(s)
+		b.WriteString(";\n")
+	}
+	b.WriteString(tr.Query)
+	b.WriteString(";\n")
+	return b.String()
+}
+
+// formatFloat renders a float with round-trip precision, keeping the SQL
+// text exact.
+func formatFloat(f float64) string {
+	s := strconv.FormatFloat(f, 'g', -1, 64)
+	// Ensure REAL affinity survives: "1" stays an integer literal in
+	// SQL, which is fine for the engine's dynamic typing, but keep the
+	// paper's style of writing amplitudes with a decimal point.
+	if !strings.ContainsAny(s, ".eE") {
+		s += ".0"
+	}
+	return s
+}
+
+// sanitizeTableName maps a gate label to a unique SQL identifier: plain
+// names pass through (H, CX); parameterized labels like "RZ(0.25)" become
+// RZ_1, RZ_2, ... per distinct parameterization.
+func sanitizeTableName(label string, used map[string]bool) string {
+	base := label
+	if i := strings.IndexByte(label, '('); i >= 0 {
+		base = label[:i]
+	}
+	var b strings.Builder
+	for _, r := range base {
+		if r == '_' || (r >= 'A' && r <= 'Z') || (r >= 'a' && r <= 'z') || (r >= '0' && r <= '9') {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	name := b.String()
+	if name == "" {
+		name = "G"
+	}
+	if base != label || used[name] {
+		i := 1
+		for used[fmt.Sprintf("%s_%d", name, i)] {
+			i++
+		}
+		name = fmt.Sprintf("%s_%d", name, i)
+	}
+	used[name] = true
+	return name
+}
+
+func indent(s, pad string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = pad + l
+	}
+	return strings.Join(lines, "\n") + "\n"
+}

@@ -1,0 +1,236 @@
+// Package linalg provides dense complex linear algebra used by the
+// quantum gate library, the gate-fusion query optimizer, and the matrix
+// product state (MPS) simulator. It implements only what the simulators
+// need — small dense matrices, Kronecker products, and a complex SVD —
+// with no external dependencies.
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"strings"
+)
+
+// Matrix is a dense, row-major complex matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []complex128 // len == Rows*Cols, Data[r*Cols+c]
+}
+
+// NewMatrix returns a zero matrix of the given shape.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("linalg: invalid shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]complex128, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices. All rows must share a length.
+func FromRows(rows [][]complex128) *Matrix {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0)
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for r, row := range rows {
+		if len(row) != m.Cols {
+			panic(fmt.Sprintf("linalg: ragged row %d: want %d elems, got %d", r, m.Cols, len(row)))
+		}
+		copy(m.Data[r*m.Cols:(r+1)*m.Cols], row)
+	}
+	return m
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Data[i*n+i] = 1
+	}
+	return m
+}
+
+// At returns element (r, c).
+func (m *Matrix) At(r, c int) complex128 { return m.Data[r*m.Cols+c] }
+
+// Set assigns element (r, c).
+func (m *Matrix) Set(r, c int, v complex128) { m.Data[r*m.Cols+c] = v }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Mul returns m · other.
+func (m *Matrix) Mul(other *Matrix) *Matrix {
+	if m.Cols != other.Rows {
+		panic(fmt.Sprintf("linalg: mul shape mismatch %dx%d · %dx%d", m.Rows, m.Cols, other.Rows, other.Cols))
+	}
+	out := NewMatrix(m.Rows, other.Cols)
+	for r := 0; r < m.Rows; r++ {
+		for k := 0; k < m.Cols; k++ {
+			a := m.Data[r*m.Cols+k]
+			if a == 0 {
+				continue
+			}
+			rowOut := out.Data[r*out.Cols : (r+1)*out.Cols]
+			rowB := other.Data[k*other.Cols : (k+1)*other.Cols]
+			for c := range rowB {
+				rowOut[c] += a * rowB[c]
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns m · v for a column vector v (len == Cols).
+func (m *Matrix) MulVec(v []complex128) []complex128 {
+	if len(v) != m.Cols {
+		panic(fmt.Sprintf("linalg: mulvec shape mismatch %dx%d · %d", m.Rows, m.Cols, len(v)))
+	}
+	out := make([]complex128, m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		var sum complex128
+		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+		for c, x := range v {
+			sum += row[c] * x
+		}
+		out[r] = sum
+	}
+	return out
+}
+
+// Scale returns s·m as a new matrix.
+func (m *Matrix) Scale(s complex128) *Matrix {
+	out := m.Clone()
+	for i := range out.Data {
+		out.Data[i] *= s
+	}
+	return out
+}
+
+// Add returns m + other.
+func (m *Matrix) Add(other *Matrix) *Matrix {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		panic("linalg: add shape mismatch")
+	}
+	out := m.Clone()
+	for i, v := range other.Data {
+		out.Data[i] += v
+	}
+	return out
+}
+
+// ConjTranspose returns the Hermitian adjoint m†.
+func (m *Matrix) ConjTranspose() *Matrix {
+	out := NewMatrix(m.Cols, m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		for c := 0; c < m.Cols; c++ {
+			out.Data[c*out.Cols+r] = cmplx.Conj(m.Data[r*m.Cols+c])
+		}
+	}
+	return out
+}
+
+// Kron returns the Kronecker product m ⊗ other.
+func (m *Matrix) Kron(other *Matrix) *Matrix {
+	out := NewMatrix(m.Rows*other.Rows, m.Cols*other.Cols)
+	for r1 := 0; r1 < m.Rows; r1++ {
+		for c1 := 0; c1 < m.Cols; c1++ {
+			a := m.Data[r1*m.Cols+c1]
+			if a == 0 {
+				continue
+			}
+			for r2 := 0; r2 < other.Rows; r2++ {
+				dst := ((r1*other.Rows + r2) * out.Cols) + c1*other.Cols
+				src := r2 * other.Cols
+				for c2 := 0; c2 < other.Cols; c2++ {
+					out.Data[dst+c2] = a * other.Data[src+c2]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// IsUnitary reports whether m†m ≈ I within tol (max-abs elementwise).
+func (m *Matrix) IsUnitary(tol float64) bool {
+	if m.Rows != m.Cols {
+		return false
+	}
+	p := m.ConjTranspose().Mul(m)
+	for r := 0; r < p.Rows; r++ {
+		for c := 0; c < p.Cols; c++ {
+			want := complex(0, 0)
+			if r == c {
+				want = 1
+			}
+			if cmplx.Abs(p.At(r, c)-want) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// EqualApprox reports elementwise equality within tol.
+func (m *Matrix) EqualApprox(other *Matrix, tol float64) bool {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		return false
+	}
+	for i := range m.Data {
+		if cmplx.Abs(m.Data[i]-other.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// FrobeniusNorm returns sqrt(sum |a_ij|^2).
+func (m *Matrix) FrobeniusNorm() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += real(v)*real(v) + imag(v)*imag(v)
+	}
+	return math.Sqrt(s)
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	for r := 0; r < m.Rows; r++ {
+		b.WriteString("[")
+		for c := 0; c < m.Cols; c++ {
+			if c > 0 {
+				b.WriteString(", ")
+			}
+			v := m.At(r, c)
+			fmt.Fprintf(&b, "%.4g%+.4gi", real(v), imag(v))
+		}
+		b.WriteString("]\n")
+	}
+	return b.String()
+}
+
+// VecNorm returns the Euclidean norm of a complex vector.
+func VecNorm(v []complex128) float64 {
+	var s float64
+	for _, x := range v {
+		s += real(x)*real(x) + imag(x)*imag(x)
+	}
+	return math.Sqrt(s)
+}
+
+// VecDot returns the Hermitian inner product ⟨a|b⟩ = Σ conj(a_i)·b_i.
+func VecDot(a, b []complex128) complex128 {
+	if len(a) != len(b) {
+		panic("linalg: dot length mismatch")
+	}
+	var s complex128
+	for i := range a {
+		s += cmplx.Conj(a[i]) * b[i]
+	}
+	return s
+}

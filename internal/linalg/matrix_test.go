@@ -1,0 +1,213 @@
+package linalg
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIdentityMul(t *testing.T) {
+	a := FromRows([][]complex128{
+		{1, 2i},
+		{3 - 1i, 4},
+	})
+	if got := Identity(2).Mul(a); !got.EqualApprox(a, 1e-12) {
+		t.Fatalf("I·A != A:\n%v", got)
+	}
+	if got := a.Mul(Identity(2)); !got.EqualApprox(a, 1e-12) {
+		t.Fatalf("A·I != A:\n%v", got)
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a := FromRows([][]complex128{{1, 2}, {3, 4}})
+	b := FromRows([][]complex128{{5, 6}, {7, 8}})
+	want := FromRows([][]complex128{{19, 22}, {43, 50}})
+	if got := a.Mul(b); !got.EqualApprox(want, 1e-12) {
+		t.Fatalf("got\n%v want\n%v", got, want)
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := FromRows([][]complex128{{0, 1}, {1, 0}}) // X gate
+	v := []complex128{1, 0}
+	got := a.MulVec(v)
+	if got[0] != 0 || got[1] != 1 {
+		t.Fatalf("X|0> = %v, want |1>", got)
+	}
+}
+
+func TestConjTranspose(t *testing.T) {
+	a := FromRows([][]complex128{{1 + 2i, 3}, {4i, 5 - 1i}})
+	at := a.ConjTranspose()
+	if at.At(0, 0) != 1-2i || at.At(0, 1) != -4i || at.At(1, 0) != 3 || at.At(1, 1) != 5+1i {
+		t.Fatalf("adjoint wrong:\n%v", at)
+	}
+}
+
+func TestKronShapeAndValues(t *testing.T) {
+	a := FromRows([][]complex128{{1, 2}})   // 1x2
+	b := FromRows([][]complex128{{3}, {4}}) // 2x1
+	k := a.Kron(b)                          // 2x2
+	want := FromRows([][]complex128{{3, 6}, {4, 8}})
+	if !k.EqualApprox(want, 1e-12) {
+		t.Fatalf("kron wrong:\n%v", k)
+	}
+}
+
+func TestKronIdentityIsBlockDiag(t *testing.T) {
+	h := FromRows([][]complex128{
+		{complex(1/math.Sqrt2, 0), complex(1/math.Sqrt2, 0)},
+		{complex(1/math.Sqrt2, 0), complex(-1/math.Sqrt2, 0)},
+	})
+	k := Identity(2).Kron(h)
+	if k.Rows != 4 || k.Cols != 4 {
+		t.Fatalf("shape %dx%d", k.Rows, k.Cols)
+	}
+	if !k.IsUnitary(1e-12) {
+		t.Fatal("I⊗H should be unitary")
+	}
+}
+
+func TestIsUnitary(t *testing.T) {
+	h := FromRows([][]complex128{
+		{complex(1/math.Sqrt2, 0), complex(1/math.Sqrt2, 0)},
+		{complex(1/math.Sqrt2, 0), complex(-1/math.Sqrt2, 0)},
+	})
+	if !h.IsUnitary(1e-12) {
+		t.Fatal("H must be unitary")
+	}
+	notU := FromRows([][]complex128{{1, 1}, {0, 1}})
+	if notU.IsUnitary(1e-12) {
+		t.Fatal("shear matrix is not unitary")
+	}
+}
+
+func TestVecDotNorm(t *testing.T) {
+	v := []complex128{3, 4i}
+	if n := VecNorm(v); math.Abs(n-5) > 1e-12 {
+		t.Fatalf("norm = %v, want 5", n)
+	}
+	d := VecDot([]complex128{1i, 0}, []complex128{1i, 0})
+	if cmplx.Abs(d-1) > 1e-12 {
+		t.Fatalf("<v|v> = %v, want 1", d)
+	}
+}
+
+func randomMatrix(rng *rand.Rand, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return m
+}
+
+func TestSVDReconstruct(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, shape := range [][2]int{{4, 4}, {6, 3}, {3, 6}, {8, 5}, {1, 4}, {5, 1}} {
+		a := randomMatrix(rng, shape[0], shape[1])
+		d := ComputeSVD(a)
+		rec := d.Reconstruct()
+		if !rec.EqualApprox(a, 1e-9) {
+			t.Fatalf("shape %v: reconstruction error %g", shape, rec.Add(a.Scale(-1)).FrobeniusNorm())
+		}
+		for j := 1; j < len(d.S); j++ {
+			if d.S[j] > d.S[j-1]+1e-12 {
+				t.Fatalf("singular values not sorted: %v", d.S)
+			}
+		}
+		for _, s := range d.S {
+			if s < 0 {
+				t.Fatalf("negative singular value %v", s)
+			}
+		}
+	}
+}
+
+func TestSVDOrthonormalFactors(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := randomMatrix(rng, 6, 4)
+	d := ComputeSVD(a)
+	utu := d.U.ConjTranspose().Mul(d.U)
+	if !utu.EqualApprox(Identity(4), 1e-9) {
+		t.Fatalf("U†U != I:\n%v", utu)
+	}
+	vtv := d.V.ConjTranspose().Mul(d.V)
+	if !vtv.EqualApprox(Identity(4), 1e-9) {
+		t.Fatalf("V†V != I:\n%v", vtv)
+	}
+}
+
+func TestSVDRankDeficient(t *testing.T) {
+	// Rank-1 matrix: outer product.
+	a := FromRows([][]complex128{{1, 2, 3}, {2, 4, 6}, {-1i, -2i, -3i}})
+	d := ComputeSVD(a)
+	if !d.Reconstruct().EqualApprox(a, 1e-9) {
+		t.Fatal("rank-1 reconstruction failed")
+	}
+	nonzero := 0
+	for _, s := range d.S {
+		if s > 1e-9 {
+			nonzero++
+		}
+	}
+	if nonzero != 1 {
+		t.Fatalf("expected rank 1, got %d nonzero singular values %v", nonzero, d.S)
+	}
+}
+
+func TestSVDTruncate(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomMatrix(rng, 6, 6)
+	d := ComputeSVD(a)
+	tr, discarded := d.Truncate(3, 0)
+	if len(tr.S) != 3 {
+		t.Fatalf("rank after truncation = %d", len(tr.S))
+	}
+	var want float64
+	for _, s := range d.S[3:] {
+		want += s * s
+	}
+	if math.Abs(discarded-want) > 1e-9 {
+		t.Fatalf("discarded weight %v, want %v", discarded, want)
+	}
+	// Eckart–Young: truncated reconstruction error equals sqrt(discarded).
+	err := tr.Reconstruct().Add(a.Scale(-1)).FrobeniusNorm()
+	if math.Abs(err-math.Sqrt(want)) > 1e-8 {
+		t.Fatalf("reconstruction error %v, want %v", err, math.Sqrt(want))
+	}
+}
+
+func TestSVDSingularValuesInvariantProperty(t *testing.T) {
+	// Property: Frobenius norm equals sqrt(sum of squared singular values).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 2 + rng.Intn(5)
+		cols := 2 + rng.Intn(5)
+		a := randomMatrix(rng, rows, cols)
+		d := ComputeSVD(a)
+		var ss float64
+		for _, s := range d.S {
+			ss += s * s
+		}
+		return math.Abs(math.Sqrt(ss)-a.FrobeniusNorm()) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSVDUnitaryHasUnitSingularValues(t *testing.T) {
+	h := FromRows([][]complex128{
+		{complex(1/math.Sqrt2, 0), complex(1/math.Sqrt2, 0)},
+		{complex(1/math.Sqrt2, 0), complex(-1/math.Sqrt2, 0)},
+	})
+	d := ComputeSVD(h)
+	for _, s := range d.S {
+		if math.Abs(s-1) > 1e-10 {
+			t.Fatalf("unitary matrix should have all σ=1, got %v", d.S)
+		}
+	}
+}

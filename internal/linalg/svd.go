@@ -1,0 +1,173 @@
+package linalg
+
+import (
+	"math"
+	"math/cmplx"
+	"sort"
+)
+
+// SVD holds a (thin) singular value decomposition A = U · diag(S) · V†,
+// with U of shape m×k, S of length k, and V of shape n×k, where
+// k = min(m, n). Singular values are sorted in descending order.
+type SVD struct {
+	U *Matrix
+	S []float64
+	V *Matrix
+}
+
+// maxJacobiSweeps bounds the one-sided Jacobi iteration. Convergence for
+// the small (≤ few hundred columns) matrices the MPS simulator produces is
+// typically under 15 sweeps.
+const maxJacobiSweeps = 64
+
+// ComputeSVD returns the thin SVD of a using one-sided Jacobi
+// orthogonalization, which is simple, numerically robust, and accurate for
+// the small complex matrices arising in tensor-network simulation.
+func ComputeSVD(a *Matrix) SVD {
+	if a.Rows < a.Cols {
+		// Work on the adjoint and swap the factors:
+		// A† = U'SV'† ⇒ A = V'SU'†.
+		s := ComputeSVD(a.ConjTranspose())
+		return SVD{U: s.V, S: s.S, V: s.U}
+	}
+	m, n := a.Rows, a.Cols
+	g := a.Clone() // columns converge to U_j * σ_j
+	v := Identity(n)
+
+	const eps = 1e-13
+	for sweep := 0; sweep < maxJacobiSweeps; sweep++ {
+		converged := true
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				var alpha, beta float64
+				var gamma complex128
+				for r := 0; r < m; r++ {
+					gp := g.Data[r*n+p]
+					gq := g.Data[r*n+q]
+					alpha += real(gp)*real(gp) + imag(gp)*imag(gp)
+					beta += real(gq)*real(gq) + imag(gq)*imag(gq)
+					gamma += cmplx.Conj(gp) * gq
+				}
+				ag := cmplx.Abs(gamma)
+				if ag <= eps*math.Sqrt(alpha*beta) || alpha == 0 || beta == 0 {
+					continue
+				}
+				converged = false
+				// Phase that makes the inner product real-positive.
+				phase := gamma / complex(ag, 0)
+				zeta := (beta - alpha) / (2 * ag)
+				t := math.Copysign(1, zeta) / (math.Abs(zeta) + math.Sqrt(1+zeta*zeta))
+				c := 1 / math.Sqrt(1+t*t)
+				s := c * t
+				cs := complex(c, 0)
+				sPhaseConj := complex(s, 0) * cmplx.Conj(phase) // s·e^{-iφ}
+				sPhase := complex(s, 0) * phase                 // s·e^{+iφ}
+				rotateColumns(g, p, q, cs, sPhaseConj, sPhase)
+				rotateColumns(v, p, q, cs, sPhaseConj, sPhase)
+			}
+		}
+		if converged {
+			break
+		}
+	}
+
+	// Extract singular values and normalize U columns.
+	sv := make([]float64, n)
+	u := NewMatrix(m, n)
+	for j := 0; j < n; j++ {
+		var norm float64
+		for r := 0; r < m; r++ {
+			x := g.Data[r*n+j]
+			norm += real(x)*real(x) + imag(x)*imag(x)
+		}
+		norm = math.Sqrt(norm)
+		sv[j] = norm
+		if norm > 0 {
+			inv := complex(1/norm, 0)
+			for r := 0; r < m; r++ {
+				u.Data[r*n+j] = g.Data[r*n+j] * inv
+			}
+		}
+	}
+
+	// Sort descending by singular value.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(i, j int) bool { return sv[idx[i]] > sv[idx[j]] })
+	us := NewMatrix(m, n)
+	vs := NewMatrix(n, n)
+	ss := make([]float64, n)
+	for newJ, oldJ := range idx {
+		ss[newJ] = sv[oldJ]
+		for r := 0; r < m; r++ {
+			us.Data[r*n+newJ] = u.Data[r*n+oldJ]
+		}
+		for r := 0; r < n; r++ {
+			vs.Data[r*n+newJ] = v.Data[r*n+oldJ]
+		}
+	}
+	return SVD{U: us, S: ss, V: vs}
+}
+
+// rotateColumns applies the 2-column unitary update
+//
+//	col_p ← c·col_p − s·e^{-iφ}·col_q
+//	col_q ← s·e^{+iφ}·col_p + c·col_q
+//
+// in place, where cs=c, spc=s·e^{-iφ}, sp=s·e^{+iφ}.
+func rotateColumns(m *Matrix, p, q int, cs, spc, sp complex128) {
+	n := m.Cols
+	for r := 0; r < m.Rows; r++ {
+		gp := m.Data[r*n+p]
+		gq := m.Data[r*n+q]
+		m.Data[r*n+p] = cs*gp - spc*gq
+		m.Data[r*n+q] = sp*gp + cs*gq
+	}
+}
+
+// Truncate reduces the decomposition to at most maxRank singular values and
+// drops values below absTol. It returns the retained rank and the truncated
+// factors (copies). The discarded weight (sum of squared dropped singular
+// values) is returned so callers can track truncation error.
+func (d SVD) Truncate(maxRank int, absTol float64) (SVD, float64) {
+	k := len(d.S)
+	rank := 0
+	for rank < k && d.S[rank] > absTol {
+		rank++
+	}
+	if maxRank > 0 && rank > maxRank {
+		rank = maxRank
+	}
+	if rank == 0 {
+		rank = 1 // always keep at least one component to preserve shape
+	}
+	var discarded float64
+	for j := rank; j < k; j++ {
+		discarded += d.S[j] * d.S[j]
+	}
+	u := NewMatrix(d.U.Rows, rank)
+	v := NewMatrix(d.V.Rows, rank)
+	for r := 0; r < d.U.Rows; r++ {
+		copy(u.Data[r*rank:(r+1)*rank], d.U.Data[r*d.U.Cols:r*d.U.Cols+rank])
+	}
+	for r := 0; r < d.V.Rows; r++ {
+		copy(v.Data[r*rank:(r+1)*rank], d.V.Data[r*d.V.Cols:r*d.V.Cols+rank])
+	}
+	s := make([]float64, rank)
+	copy(s, d.S[:rank])
+	return SVD{U: u, S: s, V: v}, discarded
+}
+
+// Reconstruct returns U · diag(S) · V†, useful for testing.
+func (d SVD) Reconstruct() *Matrix {
+	k := len(d.S)
+	us := NewMatrix(d.U.Rows, k)
+	for r := 0; r < d.U.Rows; r++ {
+		for j := 0; j < k; j++ {
+			us.Data[r*k+j] = d.U.Data[r*d.U.Cols+j] * complex(d.S[j], 0)
+		}
+	}
+	return us.Mul(d.V.ConjTranspose())
+}

@@ -1,0 +1,229 @@
+package quantum
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Circuit is an ordered sequence of gates over a fixed qubit register.
+// The zero value is unusable; construct circuits with NewCircuit.
+type Circuit struct {
+	numQubits int
+	gates     []Gate
+	name      string
+}
+
+// NewCircuit returns an empty circuit over n qubits.
+func NewCircuit(n int) *Circuit {
+	if n <= 0 {
+		panic(fmt.Sprintf("quantum: circuit needs at least 1 qubit, got %d", n))
+	}
+	return &Circuit{numQubits: n}
+}
+
+// NumQubits returns the register width.
+func (c *Circuit) NumQubits() int { return c.numQubits }
+
+// Gates returns the gate sequence. Callers must not mutate the result.
+func (c *Circuit) Gates() []Gate { return c.gates }
+
+// Len returns the number of gates.
+func (c *Circuit) Len() int { return len(c.gates) }
+
+// Name returns the optional descriptive name set with SetName.
+func (c *Circuit) Name() string { return c.name }
+
+// SetName attaches a descriptive name (used in reports and benchmarks).
+func (c *Circuit) SetName(name string) *Circuit {
+	c.name = name
+	return c
+}
+
+// Append validates the gate and adds it to the circuit.
+func (c *Circuit) Append(g Gate) error {
+	def, ok := gateDefs[g.Name]
+	if !ok {
+		return fmt.Errorf("quantum: unknown gate %q", g.Name)
+	}
+	if len(g.Qubits) != def.arity {
+		return fmt.Errorf("quantum: gate %s expects %d qubits, got %d", g.Name, def.arity, len(g.Qubits))
+	}
+	if len(g.Params) != def.params {
+		return fmt.Errorf("quantum: gate %s expects %d params, got %d", g.Name, def.params, len(g.Params))
+	}
+	seen := make(map[int]bool, len(g.Qubits))
+	for _, q := range g.Qubits {
+		if q < 0 || q >= c.numQubits {
+			return fmt.Errorf("quantum: gate %s targets qubit %d outside register [0,%d)", g.Name, q, c.numQubits)
+		}
+		if seen[q] {
+			return fmt.Errorf("quantum: gate %s lists qubit %d twice", g.Name, q)
+		}
+		seen[q] = true
+	}
+	c.gates = append(c.gates, g)
+	return nil
+}
+
+// mustAppend backs the fluent builder methods; any invalid call is a
+// programming error in the caller, so it panics.
+func (c *Circuit) mustAppend(name string, qubits []int, params ...float64) *Circuit {
+	if err := c.Append(Gate{Name: name, Qubits: qubits, Params: params}); err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Fluent builder methods, one per registered gate. They panic on invalid
+// qubit indices, mirroring how Qiskit-style circuit APIs raise.
+
+func (c *Circuit) H(q int) *Circuit     { return c.mustAppend("H", []int{q}) }
+func (c *Circuit) X(q int) *Circuit     { return c.mustAppend("X", []int{q}) }
+func (c *Circuit) Y(q int) *Circuit     { return c.mustAppend("Y", []int{q}) }
+func (c *Circuit) Z(q int) *Circuit     { return c.mustAppend("Z", []int{q}) }
+func (c *Circuit) S(q int) *Circuit     { return c.mustAppend("S", []int{q}) }
+func (c *Circuit) Sdg(q int) *Circuit   { return c.mustAppend("SDG", []int{q}) }
+func (c *Circuit) T(q int) *Circuit     { return c.mustAppend("T", []int{q}) }
+func (c *Circuit) Tdg(q int) *Circuit   { return c.mustAppend("TDG", []int{q}) }
+func (c *Circuit) SX(q int) *Circuit    { return c.mustAppend("SX", []int{q}) }
+func (c *Circuit) Ident(q int) *Circuit { return c.mustAppend("I", []int{q}) }
+
+func (c *Circuit) RX(q int, theta float64) *Circuit { return c.mustAppend("RX", []int{q}, theta) }
+func (c *Circuit) RY(q int, theta float64) *Circuit { return c.mustAppend("RY", []int{q}, theta) }
+func (c *Circuit) RZ(q int, theta float64) *Circuit { return c.mustAppend("RZ", []int{q}, theta) }
+func (c *Circuit) P(q int, lambda float64) *Circuit { return c.mustAppend("P", []int{q}, lambda) }
+func (c *Circuit) U(q int, theta, phi, lambda float64) *Circuit {
+	return c.mustAppend("U", []int{q}, theta, phi, lambda)
+}
+
+func (c *Circuit) CX(control, target int) *Circuit { return c.mustAppend("CX", []int{control, target}) }
+func (c *Circuit) CY(control, target int) *Circuit { return c.mustAppend("CY", []int{control, target}) }
+func (c *Circuit) CZ(control, target int) *Circuit { return c.mustAppend("CZ", []int{control, target}) }
+func (c *Circuit) CH(control, target int) *Circuit { return c.mustAppend("CH", []int{control, target}) }
+func (c *Circuit) CP(control, target int, lambda float64) *Circuit {
+	return c.mustAppend("CP", []int{control, target}, lambda)
+}
+func (c *Circuit) CRX(control, target int, theta float64) *Circuit {
+	return c.mustAppend("CRX", []int{control, target}, theta)
+}
+func (c *Circuit) CRY(control, target int, theta float64) *Circuit {
+	return c.mustAppend("CRY", []int{control, target}, theta)
+}
+func (c *Circuit) CRZ(control, target int, theta float64) *Circuit {
+	return c.mustAppend("CRZ", []int{control, target}, theta)
+}
+func (c *Circuit) SWAP(a, b int) *Circuit  { return c.mustAppend("SWAP", []int{a, b}) }
+func (c *Circuit) ISWAP(a, b int) *Circuit { return c.mustAppend("ISWAP", []int{a, b}) }
+
+func (c *Circuit) CCX(c1, c2, target int) *Circuit { return c.mustAppend("CCX", []int{c1, c2, target}) }
+func (c *Circuit) CCZ(c1, c2, target int) *Circuit { return c.mustAppend("CCZ", []int{c1, c2, target}) }
+func (c *Circuit) CSWAP(control, a, b int) *Circuit {
+	return c.mustAppend("CSWAP", []int{control, a, b})
+}
+
+// Clone returns a deep copy of the circuit.
+func (c *Circuit) Clone() *Circuit {
+	out := NewCircuit(c.numQubits)
+	out.name = c.name
+	out.gates = make([]Gate, len(c.gates))
+	for i, g := range c.gates {
+		qs := make([]int, len(g.Qubits))
+		copy(qs, g.Qubits)
+		var ps []float64
+		if len(g.Params) > 0 {
+			ps = make([]float64, len(g.Params))
+			copy(ps, g.Params)
+		}
+		out.gates[i] = Gate{Name: g.Name, Qubits: qs, Params: ps}
+	}
+	return out
+}
+
+// Compose appends all gates of other to c. Register widths must match.
+func (c *Circuit) Compose(other *Circuit) error {
+	if other.numQubits != c.numQubits {
+		return fmt.Errorf("quantum: compose width mismatch %d vs %d", c.numQubits, other.numQubits)
+	}
+	for _, g := range other.gates {
+		if err := c.Append(g); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Inverse returns the adjoint circuit: gates reversed and each replaced
+// by its inverse, so c followed by c.Inverse() is the identity.
+func (c *Circuit) Inverse() (*Circuit, error) {
+	out := NewCircuit(c.numQubits)
+	if c.name != "" {
+		out.name = c.name + "-dg"
+	}
+	for i := len(c.gates) - 1; i >= 0; i-- {
+		inv, err := c.gates[i].Inverse()
+		if err != nil {
+			return nil, err
+		}
+		if err := out.Append(inv); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Depth returns the circuit depth: the number of layers when gates that
+// touch disjoint qubits are packed greedily into parallel layers.
+func (c *Circuit) Depth() int {
+	if len(c.gates) == 0 {
+		return 0
+	}
+	level := make([]int, c.numQubits)
+	depth := 0
+	for _, g := range c.gates {
+		max := 0
+		for _, q := range g.Qubits {
+			if level[q] > max {
+				max = level[q]
+			}
+		}
+		max++
+		for _, q := range g.Qubits {
+			level[q] = max
+		}
+		if max > depth {
+			depth = max
+		}
+	}
+	return depth
+}
+
+// CountByName returns gate counts keyed by gate name.
+func (c *Circuit) CountByName() map[string]int {
+	m := make(map[string]int)
+	for _, g := range c.gates {
+		m[g.Name]++
+	}
+	return m
+}
+
+// TwoQubitGateCount returns the number of gates with arity >= 2, a common
+// hardness proxy for simulators.
+func (c *Circuit) TwoQubitGateCount() int {
+	n := 0
+	for _, g := range c.gates {
+		if len(g.Qubits) >= 2 {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders one gate per line, preceded by a header.
+func (c *Circuit) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "circuit %q: %d qubits, %d gates\n", c.name, c.numQubits, len(c.gates))
+	for i, g := range c.gates {
+		fmt.Fprintf(&b, "  %3d: %s\n", i, g.String())
+	}
+	return b.String()
+}

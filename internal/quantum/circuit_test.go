@@ -1,0 +1,102 @@
+package quantum
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCircuitBuilder(t *testing.T) {
+	c := NewCircuit(3).H(0).CX(0, 1).CX(1, 2)
+	if c.Len() != 3 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	if got := c.Gates()[1].Name; got != "CX" {
+		t.Fatalf("gate[1] = %s", got)
+	}
+	if got := c.Gates()[2].Qubits[0]; got != 1 {
+		t.Fatalf("gate[2] control = %d", got)
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	c := NewCircuit(2)
+	cases := []struct {
+		g    Gate
+		want string
+	}{
+		{Gate{Name: "NOPE", Qubits: []int{0}}, "unknown gate"},
+		{Gate{Name: "H", Qubits: []int{0, 1}}, "expects 1 qubits"},
+		{Gate{Name: "CX", Qubits: []int{0, 2}}, "outside register"},
+		{Gate{Name: "CX", Qubits: []int{1, 1}}, "twice"},
+		{Gate{Name: "RZ", Qubits: []int{0}}, "expects 1 params"},
+	}
+	for _, tc := range cases {
+		err := c.Append(tc.g)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("Append(%v) err = %v, want contains %q", tc.g, err, tc.want)
+		}
+	}
+	if c.Len() != 0 {
+		t.Fatal("failed appends must not modify the circuit")
+	}
+}
+
+func TestDepth(t *testing.T) {
+	// H on each of 3 qubits: all parallel, depth 1.
+	c := NewCircuit(3).H(0).H(1).H(2)
+	if d := c.Depth(); d != 1 {
+		t.Fatalf("depth = %d, want 1", d)
+	}
+	// GHZ chain: H, CX(0,1), CX(1,2) — depth 3.
+	g := NewCircuit(3).H(0).CX(0, 1).CX(1, 2)
+	if d := g.Depth(); d != 3 {
+		t.Fatalf("depth = %d, want 3", d)
+	}
+	if d := NewCircuit(2).Depth(); d != 0 {
+		t.Fatalf("empty depth = %d", d)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	c := NewCircuit(2).RZ(0, 0.5)
+	cl := c.Clone()
+	cl.Gates()[0].Params[0] = 99
+	cl.Gates()[0].Qubits[0] = 1
+	if c.Gates()[0].Params[0] != 0.5 || c.Gates()[0].Qubits[0] != 0 {
+		t.Fatal("Clone shares backing arrays with original")
+	}
+}
+
+func TestCompose(t *testing.T) {
+	a := NewCircuit(2).H(0)
+	b := NewCircuit(2).CX(0, 1)
+	if err := a.Compose(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 2 {
+		t.Fatalf("len = %d", a.Len())
+	}
+	wrong := NewCircuit(3)
+	if err := a.Compose(wrong); err == nil {
+		t.Fatal("expected width mismatch error")
+	}
+}
+
+func TestCountByName(t *testing.T) {
+	c := NewCircuit(3).H(0).H(1).CX(0, 1).CX(1, 2).T(2)
+	counts := c.CountByName()
+	if counts["H"] != 2 || counts["CX"] != 2 || counts["T"] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+	if c.TwoQubitGateCount() != 2 {
+		t.Fatalf("two-qubit count = %d", c.TwoQubitGateCount())
+	}
+}
+
+func TestCircuitString(t *testing.T) {
+	c := NewCircuit(2).SetName("bell").H(0).CX(0, 1)
+	s := c.String()
+	if !strings.Contains(s, "bell") || !strings.Contains(s, "CX q0,q1") {
+		t.Fatalf("render:\n%s", s)
+	}
+}

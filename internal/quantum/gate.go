@@ -1,0 +1,302 @@
+// Package quantum defines the circuit model shared by every simulation
+// backend: quantum gates (with their unitary matrices), circuits as gate
+// sequences, and sparse quantum states.
+//
+// Bit convention. Basis states are encoded as unsigned integers where
+// qubit q corresponds to bit q (qubit 0 is the least significant bit),
+// matching the relational encoding of the Qymera paper: a gate acting on
+// qubits (q_0, …, q_{k-1}) sees a local index whose bit j is the value of
+// global qubit q_j.
+package quantum
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"sort"
+	"strings"
+
+	"qymera/internal/linalg"
+)
+
+// Gate is one operation in a circuit: a named unitary applied to an
+// ordered tuple of qubits. For controlled gates the control qubit(s) come
+// first in Qubits. Params holds rotation angles for parameterized gates.
+type Gate struct {
+	Name   string
+	Qubits []int
+	Params []float64
+}
+
+// Arity returns the number of qubits the gate acts on.
+func (g Gate) Arity() int { return len(g.Qubits) }
+
+// Label returns a stable identifier that distinguishes parameterized
+// instances, e.g. "RZ(0.7854)". Gates with equal labels have equal
+// matrices, which the SQL translator uses to share gate tables.
+func (g Gate) Label() string {
+	if len(g.Params) == 0 {
+		return g.Name
+	}
+	parts := make([]string, len(g.Params))
+	for i, p := range g.Params {
+		parts[i] = fmt.Sprintf("%.12g", p)
+	}
+	return g.Name + "(" + strings.Join(parts, ",") + ")"
+}
+
+// String renders the gate as e.g. "CX q0,q1" or "RZ(1.57) q2".
+func (g Gate) String() string {
+	qs := make([]string, len(g.Qubits))
+	for i, q := range g.Qubits {
+		qs[i] = fmt.Sprintf("q%d", q)
+	}
+	return g.Label() + " " + strings.Join(qs, ",")
+}
+
+// Matrix returns the 2^k × 2^k unitary for the gate, with element
+// (out, in) being the transition amplitude in → out under the bit
+// convention described in the package comment.
+func (g Gate) Matrix() (*linalg.Matrix, error) {
+	def, ok := gateDefs[g.Name]
+	if !ok {
+		return nil, fmt.Errorf("quantum: unknown gate %q", g.Name)
+	}
+	if len(g.Qubits) != def.arity {
+		return nil, fmt.Errorf("quantum: gate %s expects %d qubits, got %d", g.Name, def.arity, len(g.Qubits))
+	}
+	if len(g.Params) != def.params {
+		return nil, fmt.Errorf("quantum: gate %s expects %d params, got %d", g.Name, def.params, len(g.Params))
+	}
+	return def.matrix(g.Params), nil
+}
+
+// MustMatrix is Matrix for known-valid gates; it panics on error and is
+// intended for gates that already passed circuit validation.
+func (g Gate) MustMatrix() *linalg.Matrix {
+	m, err := g.Matrix()
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// gateDef describes one entry of the gate registry.
+type gateDef struct {
+	arity  int
+	params int
+	matrix func(p []float64) *linalg.Matrix
+}
+
+// IsKnownGate reports whether name is in the gate registry.
+func IsKnownGate(name string) bool {
+	_, ok := gateDefs[name]
+	return ok
+}
+
+// GateArity returns the qubit count for a registered gate name.
+func GateArity(name string) (int, bool) {
+	d, ok := gateDefs[name]
+	if !ok {
+		return 0, false
+	}
+	return d.arity, true
+}
+
+// GateParamCount returns the parameter count for a registered gate name.
+func GateParamCount(name string) (int, bool) {
+	d, ok := gateDefs[name]
+	if !ok {
+		return 0, false
+	}
+	return d.params, true
+}
+
+// KnownGates returns all registered gate names, sorted.
+func KnownGates() []string {
+	names := make([]string, 0, len(gateDefs))
+	for n := range gateDefs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+const invSqrt2 = 1 / math.Sqrt2
+
+func m2(a, b, c, d complex128) *linalg.Matrix {
+	return linalg.FromRows([][]complex128{{a, b}, {c, d}})
+}
+
+func constMat(m *linalg.Matrix) func([]float64) *linalg.Matrix {
+	return func([]float64) *linalg.Matrix { return m.Clone() }
+}
+
+// controlled lifts a k-qubit matrix to a (k+1)-qubit controlled version
+// where local bit 0 is the control and bits 1..k address the base gate.
+func controlled(base *linalg.Matrix) *linalg.Matrix {
+	dim := base.Rows * 2
+	out := linalg.NewMatrix(dim, dim)
+	for in := 0; in < dim; in++ {
+		if in&1 == 0 { // control clear: identity
+			out.Set(in, in, 1)
+			continue
+		}
+		for outRow := 0; outRow < base.Rows; outRow++ {
+			v := base.At(outRow, in>>1)
+			if v != 0 {
+				out.Set(outRow<<1|1, in, v)
+			}
+		}
+	}
+	return out
+}
+
+// permutation builds a unitary from a basis permutation out[in].
+func permutation(perm []int) *linalg.Matrix {
+	m := linalg.NewMatrix(len(perm), len(perm))
+	for in, out := range perm {
+		m.Set(out, in, 1)
+	}
+	return m
+}
+
+var (
+	matI    = m2(1, 0, 0, 1)
+	matH    = m2(complex(invSqrt2, 0), complex(invSqrt2, 0), complex(invSqrt2, 0), complex(-invSqrt2, 0))
+	matX    = m2(0, 1, 1, 0)
+	matY    = m2(0, -1i, 1i, 0)
+	matZ    = m2(1, 0, 0, -1)
+	matS    = m2(1, 0, 0, 1i)
+	matSdg  = m2(1, 0, 0, -1i)
+	matT    = m2(1, 0, 0, cmplx.Exp(complex(0, math.Pi/4)))
+	matTdg  = m2(1, 0, 0, cmplx.Exp(complex(0, -math.Pi/4)))
+	matSX   = m2(0.5+0.5i, 0.5-0.5i, 0.5-0.5i, 0.5+0.5i)
+	matSXdg = m2(0.5-0.5i, 0.5+0.5i, 0.5+0.5i, 0.5-0.5i)
+	// SWAP exchanges local bits 0 and 1: 01 <-> 10.
+	matSWAP = permutation([]int{0, 2, 1, 3})
+	// ISWAP additionally multiplies the swapped states by i.
+	matISWAP = linalg.FromRows([][]complex128{
+		{1, 0, 0, 0},
+		{0, 0, 1i, 0},
+		{0, 1i, 0, 0},
+		{0, 0, 0, 1},
+	})
+)
+
+func rx(p []float64) *linalg.Matrix {
+	c, s := math.Cos(p[0]/2), math.Sin(p[0]/2)
+	return m2(complex(c, 0), complex(0, -s), complex(0, -s), complex(c, 0))
+}
+
+func ry(p []float64) *linalg.Matrix {
+	c, s := math.Cos(p[0]/2), math.Sin(p[0]/2)
+	return m2(complex(c, 0), complex(-s, 0), complex(s, 0), complex(c, 0))
+}
+
+func rz(p []float64) *linalg.Matrix {
+	return m2(cmplx.Exp(complex(0, -p[0]/2)), 0, 0, cmplx.Exp(complex(0, p[0]/2)))
+}
+
+func phase(p []float64) *linalg.Matrix {
+	return m2(1, 0, 0, cmplx.Exp(complex(0, p[0])))
+}
+
+// u3 is the generic single-qubit unitary U(θ, φ, λ).
+func u3(p []float64) *linalg.Matrix {
+	theta, phi, lam := p[0], p[1], p[2]
+	c, s := math.Cos(theta/2), math.Sin(theta/2)
+	return m2(
+		complex(c, 0),
+		-cmplx.Exp(complex(0, lam))*complex(s, 0),
+		cmplx.Exp(complex(0, phi))*complex(s, 0),
+		cmplx.Exp(complex(0, phi+lam))*complex(c, 0),
+	)
+}
+
+var gateDefs = map[string]gateDef{
+	"I":     {1, 0, constMat(matI)},
+	"H":     {1, 0, constMat(matH)},
+	"X":     {1, 0, constMat(matX)},
+	"Y":     {1, 0, constMat(matY)},
+	"Z":     {1, 0, constMat(matZ)},
+	"S":     {1, 0, constMat(matS)},
+	"SDG":   {1, 0, constMat(matSdg)},
+	"T":     {1, 0, constMat(matT)},
+	"TDG":   {1, 0, constMat(matTdg)},
+	"SX":    {1, 0, constMat(matSX)},
+	"SXDG":  {1, 0, constMat(matSXdg)},
+	"RX":    {1, 1, rx},
+	"RY":    {1, 1, ry},
+	"RZ":    {1, 1, rz},
+	"P":     {1, 1, phase},
+	"U":     {1, 3, u3},
+	"CX":    {2, 0, constMat(controlled(matX))},
+	"CY":    {2, 0, constMat(controlled(matY))},
+	"CZ":    {2, 0, constMat(controlled(matZ))},
+	"CH":    {2, 0, constMat(controlled(matH))},
+	"CS":    {2, 0, constMat(controlled(matS))},
+	"CP":    {2, 1, func(p []float64) *linalg.Matrix { return controlled(phase(p)) }},
+	"CRX":   {2, 1, func(p []float64) *linalg.Matrix { return controlled(rx(p)) }},
+	"CRY":   {2, 1, func(p []float64) *linalg.Matrix { return controlled(ry(p)) }},
+	"CRZ":   {2, 1, func(p []float64) *linalg.Matrix { return controlled(rz(p)) }},
+	"SWAP":  {2, 0, constMat(matSWAP)},
+	"ISWAP": {2, 0, constMat(matISWAP)},
+	"CCX":   {3, 0, constMat(controlled(controlled(matX)))},
+	"CCZ":   {3, 0, constMat(controlled(controlled(matZ)))},
+	// CSWAP: control is local bit 0, swap is between bits 1 and 2.
+	"CSWAP": {3, 0, constMat(controlled(matSWAP))},
+	// Higher-order controlled gates (controls first, target last);
+	// used by Grover's diffusion operator on 4-5 qubits.
+	"C3X": {4, 0, constMat(controlled(controlled(controlled(matX))))},
+	"C3Z": {4, 0, constMat(controlled(controlled(controlled(matZ))))},
+	"C4X": {5, 0, constMat(controlled(controlled(controlled(controlled(matX)))))},
+	"C4Z": {5, 0, constMat(controlled(controlled(controlled(controlled(matZ)))))},
+	// Daggered forms needed for circuit inversion.
+	"CSDG":    {2, 0, constMat(controlled(matSdg))},
+	"ISWAPDG": {2, 0, constMat(matISWAP.ConjTranspose())},
+}
+
+// Inverse returns a gate implementing the adjoint U†. Every registry
+// gate has a registry inverse: self-inverse gates map to themselves,
+// daggered pairs swap, and parameterized gates negate their angles.
+func (g Gate) Inverse() (Gate, error) {
+	qs := make([]int, len(g.Qubits))
+	copy(qs, g.Qubits)
+	inv := Gate{Qubits: qs}
+	switch g.Name {
+	case "I", "H", "X", "Y", "Z", "CX", "CY", "CZ", "CH", "SWAP",
+		"CCX", "CCZ", "CSWAP", "C3X", "C3Z", "C4X", "C4Z":
+		inv.Name = g.Name
+	case "S":
+		inv.Name = "SDG"
+	case "SDG":
+		inv.Name = "S"
+	case "T":
+		inv.Name = "TDG"
+	case "TDG":
+		inv.Name = "T"
+	case "SX":
+		inv.Name = "SXDG"
+	case "SXDG":
+		inv.Name = "SX"
+	case "CS":
+		inv.Name = "CSDG"
+	case "CSDG":
+		inv.Name = "CS"
+	case "ISWAP":
+		inv.Name = "ISWAPDG"
+	case "ISWAPDG":
+		inv.Name = "ISWAP"
+	case "RX", "RY", "RZ", "P", "CP", "CRX", "CRY", "CRZ":
+		inv.Name = g.Name
+		inv.Params = []float64{-g.Params[0]}
+	case "U":
+		// U(θ, φ, λ)† = U(−θ, −λ, −φ).
+		inv.Name = "U"
+		inv.Params = []float64{-g.Params[0], -g.Params[2], -g.Params[1]}
+	default:
+		return Gate{}, fmt.Errorf("quantum: no inverse registered for gate %s", g.Name)
+	}
+	return inv, nil
+}

@@ -1,0 +1,192 @@
+package quantum
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"qymera/internal/linalg"
+)
+
+func TestAllGatesUnitary(t *testing.T) {
+	params := []float64{0.7, 1.3, -0.4}
+	for _, name := range KnownGates() {
+		arity, _ := GateArity(name)
+		np, _ := GateParamCount(name)
+		qs := make([]int, arity)
+		for i := range qs {
+			qs[i] = i
+		}
+		g := Gate{Name: name, Qubits: qs, Params: params[:np]}
+		m, err := g.Matrix()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if m.Rows != 1<<arity {
+			t.Fatalf("%s: dim %d, want %d", name, m.Rows, 1<<arity)
+		}
+		if !m.IsUnitary(1e-10) {
+			t.Fatalf("%s is not unitary:\n%v", name, m)
+		}
+	}
+}
+
+// TestCXMatchesPaperTable checks the CX relational encoding of Fig. 2b:
+// in_s→out_s pairs (0,0), (1,3), (2,2), (3,1) all with amplitude 1.
+func TestCXMatchesPaperTable(t *testing.T) {
+	m := Gate{Name: "CX", Qubits: []int{0, 1}}.MustMatrix()
+	want := map[[2]int]complex128{
+		{0, 0}: 1, {3, 1}: 1, {2, 2}: 1, {1, 3}: 1,
+	}
+	for out := 0; out < 4; out++ {
+		for in := 0; in < 4; in++ {
+			w := want[[2]int{out, in}]
+			if m.At(out, in) != w {
+				t.Fatalf("CX[%d][%d] = %v, want %v", out, in, m.At(out, in), w)
+			}
+		}
+	}
+}
+
+func TestHMatchesPaperTable(t *testing.T) {
+	m := Gate{Name: "H", Qubits: []int{0}}.MustMatrix()
+	s := complex(1/math.Sqrt2, 0)
+	for out := 0; out < 2; out++ {
+		for in := 0; in < 2; in++ {
+			want := s
+			if out == 1 && in == 1 {
+				want = -s
+			}
+			if cmplx.Abs(m.At(out, in)-want) > 1e-12 {
+				t.Fatalf("H[%d][%d] = %v, want %v", out, in, m.At(out, in), want)
+			}
+		}
+	}
+}
+
+func TestPauliAlgebra(t *testing.T) {
+	x := Gate{Name: "X", Qubits: []int{0}}.MustMatrix()
+	y := Gate{Name: "Y", Qubits: []int{0}}.MustMatrix()
+	z := Gate{Name: "Z", Qubits: []int{0}}.MustMatrix()
+	// XY = iZ
+	if !x.Mul(y).EqualApprox(z.Scale(1i), 1e-12) {
+		t.Fatal("XY != iZ")
+	}
+	// X² = I
+	if !x.Mul(x).EqualApprox(linalg.Identity(2), 1e-12) {
+		t.Fatal("X² != I")
+	}
+	// HZH = X
+	h := Gate{Name: "H", Qubits: []int{0}}.MustMatrix()
+	if !h.Mul(z).Mul(h).EqualApprox(x, 1e-12) {
+		t.Fatal("HZH != X")
+	}
+}
+
+func TestSTInverses(t *testing.T) {
+	s := Gate{Name: "S", Qubits: []int{0}}.MustMatrix()
+	sdg := Gate{Name: "SDG", Qubits: []int{0}}.MustMatrix()
+	if !s.Mul(sdg).EqualApprox(linalg.Identity(2), 1e-12) {
+		t.Fatal("S·S† != I")
+	}
+	tm := Gate{Name: "T", Qubits: []int{0}}.MustMatrix()
+	tdg := Gate{Name: "TDG", Qubits: []int{0}}.MustMatrix()
+	if !tm.Mul(tdg).EqualApprox(linalg.Identity(2), 1e-12) {
+		t.Fatal("T·T† != I")
+	}
+	// T² = S
+	if !tm.Mul(tm).EqualApprox(s, 1e-12) {
+		t.Fatal("T² != S")
+	}
+	// SX² = X
+	sx := Gate{Name: "SX", Qubits: []int{0}}.MustMatrix()
+	x := Gate{Name: "X", Qubits: []int{0}}.MustMatrix()
+	if !sx.Mul(sx).EqualApprox(x, 1e-12) {
+		t.Fatal("SX² != X")
+	}
+}
+
+func TestRotationComposition(t *testing.T) {
+	// RZ(a)·RZ(b) == RZ(a+b)
+	f := func(a, b float64) bool {
+		a = math.Mod(a, math.Pi)
+		b = math.Mod(b, math.Pi)
+		ra := Gate{Name: "RZ", Qubits: []int{0}, Params: []float64{a}}.MustMatrix()
+		rb := Gate{Name: "RZ", Qubits: []int{0}, Params: []float64{b}}.MustMatrix()
+		rab := Gate{Name: "RZ", Qubits: []int{0}, Params: []float64{a + b}}.MustMatrix()
+		return ra.Mul(rb).EqualApprox(rab, 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUGeneralizesNamedGates(t *testing.T) {
+	// U(π/2, 0, π) == H up to rounding.
+	u := Gate{Name: "U", Qubits: []int{0}, Params: []float64{math.Pi / 2, 0, math.Pi}}.MustMatrix()
+	h := Gate{Name: "H", Qubits: []int{0}}.MustMatrix()
+	if !u.EqualApprox(h, 1e-12) {
+		t.Fatalf("U(π/2,0,π) != H:\n%v", u)
+	}
+	// U(0,0,λ) == P(λ)
+	u2 := Gate{Name: "U", Qubits: []int{0}, Params: []float64{0, 0, 0.9}}.MustMatrix()
+	p := Gate{Name: "P", Qubits: []int{0}, Params: []float64{0.9}}.MustMatrix()
+	if !u2.EqualApprox(p, 1e-12) {
+		t.Fatal("U(0,0,λ) != P(λ)")
+	}
+}
+
+func TestCCXPermutation(t *testing.T) {
+	// CCX with controls bits 0,1 and target bit 2: flips bit 2 iff bits
+	// 0 and 1 are both set.
+	m := Gate{Name: "CCX", Qubits: []int{0, 1, 2}}.MustMatrix()
+	for in := 0; in < 8; in++ {
+		wantOut := in
+		if in&3 == 3 {
+			wantOut = in ^ 4
+		}
+		for out := 0; out < 8; out++ {
+			want := complex128(0)
+			if out == wantOut {
+				want = 1
+			}
+			if m.At(out, in) != want {
+				t.Fatalf("CCX[%d][%d] = %v, want %v", out, in, m.At(out, in), want)
+			}
+		}
+	}
+}
+
+func TestSWAPPermutation(t *testing.T) {
+	m := Gate{Name: "SWAP", Qubits: []int{0, 1}}.MustMatrix()
+	wants := map[int]int{0: 0, 1: 2, 2: 1, 3: 3}
+	for in, out := range wants {
+		if m.At(out, in) != 1 {
+			t.Fatalf("SWAP should map %d→%d", in, out)
+		}
+	}
+}
+
+func TestGateLabel(t *testing.T) {
+	g := Gate{Name: "RZ", Qubits: []int{0}, Params: []float64{0.25}}
+	if g.Label() != "RZ(0.25)" {
+		t.Fatalf("label = %q", g.Label())
+	}
+	g2 := Gate{Name: "CX", Qubits: []int{0, 1}}
+	if g2.Label() != "CX" {
+		t.Fatalf("label = %q", g2.Label())
+	}
+}
+
+func TestUnknownGateErrors(t *testing.T) {
+	if _, err := (Gate{Name: "BOGUS", Qubits: []int{0}}).Matrix(); err == nil {
+		t.Fatal("expected error for unknown gate")
+	}
+	if _, err := (Gate{Name: "CX", Qubits: []int{0}}).Matrix(); err == nil {
+		t.Fatal("expected arity error")
+	}
+	if _, err := (Gate{Name: "RZ", Qubits: []int{0}}).Matrix(); err == nil {
+		t.Fatal("expected param-count error")
+	}
+}

@@ -1,0 +1,132 @@
+package quantum
+
+import (
+	"math/cmplx"
+	"testing"
+
+	"qymera/internal/linalg"
+)
+
+// TestEveryGateHasExactInverse multiplies each gate's matrix by its
+// inverse's matrix and demands the identity.
+func TestEveryGateHasExactInverse(t *testing.T) {
+	params := []float64{0.7, -1.3, 0.4}
+	for _, name := range KnownGates() {
+		arity, _ := GateArity(name)
+		np, _ := GateParamCount(name)
+		qs := make([]int, arity)
+		for i := range qs {
+			qs[i] = i
+		}
+		g := Gate{Name: name, Qubits: qs, Params: params[:np]}
+		inv, err := g.Inverse()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		prod := inv.MustMatrix().Mul(g.MustMatrix())
+		if !prod.EqualApprox(linalg.Identity(1<<arity), 1e-10) {
+			t.Fatalf("%s · %s != I:\n%v", inv.Label(), g.Label(), prod)
+		}
+	}
+}
+
+func TestInverseKeepsQubits(t *testing.T) {
+	g := Gate{Name: "CX", Qubits: []int{3, 1}}
+	inv, err := g.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv.Qubits[0] != 3 || inv.Qubits[1] != 1 {
+		t.Fatalf("qubits = %v", inv.Qubits)
+	}
+	// Mutating the inverse must not touch the original.
+	inv.Qubits[0] = 9
+	if g.Qubits[0] != 3 {
+		t.Fatal("Inverse shares qubit slice")
+	}
+}
+
+// TestCircuitEcho applies c then c.Inverse() and demands the state
+// returns to |0…0⟩ exactly.
+func TestCircuitEcho(t *testing.T) {
+	c := NewCircuit(3).
+		H(0).T(1).SX(2).
+		CX(0, 1).CP(1, 2, 0.9).
+		RY(0, 1.1).RZ(2, -0.4).
+		CCX(0, 1, 2).ISWAP(0, 2).
+		U(1, 0.3, 0.5, 0.7)
+	inv, err := c.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	echo := c.Clone()
+	if err := echo.Compose(inv); err != nil {
+		t.Fatal(err)
+	}
+
+	// Direct dense application.
+	amp := make([]complex128, 8)
+	amp[0] = 1
+	for _, g := range echo.Gates() {
+		applyTestGate(amp, g)
+	}
+	for i, a := range amp {
+		want := complex128(0)
+		if i == 0 {
+			want = 1
+		}
+		if cmplx.Abs(a-want) > 1e-10 {
+			t.Fatalf("amp[%d] = %v, want %v", i, a, want)
+		}
+	}
+}
+
+// applyTestGate is an independent reference implementation.
+func applyTestGate(amp []complex128, g Gate) {
+	m := g.MustMatrix()
+	n := len(amp)
+	k := len(g.Qubits)
+	kdim := 1 << uint(k)
+	out := make([]complex128, n)
+	for s := 0; s < n; s++ {
+		if amp[s] == 0 {
+			continue
+		}
+		in := 0
+		for j, q := range g.Qubits {
+			in |= (s >> uint(q) & 1) << uint(j)
+		}
+		base := s
+		for _, q := range g.Qubits {
+			base &^= 1 << uint(q)
+		}
+		for o := 0; o < kdim; o++ {
+			coef := m.At(o, in)
+			if coef == 0 {
+				continue
+			}
+			ns := base
+			for j, q := range g.Qubits {
+				if o>>uint(j)&1 == 1 {
+					ns |= 1 << uint(q)
+				}
+			}
+			out[ns] += coef * amp[s]
+		}
+	}
+	copy(amp, out)
+}
+
+func TestInverseNaming(t *testing.T) {
+	c := NewCircuit(1).SetName("fwd").S(0)
+	inv, err := c.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv.Name() != "fwd-dg" {
+		t.Fatalf("name = %s", inv.Name())
+	}
+	if inv.Gates()[0].Name != "SDG" {
+		t.Fatalf("gate = %s", inv.Gates()[0].Name)
+	}
+}

@@ -1,0 +1,197 @@
+package quantum
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// This file implements the analysis side of the Output Layer:
+// measurement sampling, marginal distributions, expectation values, and
+// Bloch-sphere coordinates for single qubits.
+
+// Sample draws shots measurement outcomes in the computational basis
+// using the provided RNG (pass a seeded rand.Rand for reproducibility).
+// It returns outcome counts. The state need not be normalized; sampling
+// uses renormalized probabilities.
+func (s *State) Sample(rng *rand.Rand, shots int) map[uint64]int {
+	idx := s.Indices()
+	probs := make([]float64, len(idx))
+	total := 0.0
+	for i, k := range idx {
+		probs[i] = s.Probability(k)
+		total += probs[i]
+	}
+	counts := make(map[uint64]int)
+	if total == 0 || len(idx) == 0 {
+		return counts
+	}
+	// Cumulative distribution + binary search per shot.
+	cum := make([]float64, len(probs))
+	acc := 0.0
+	for i, p := range probs {
+		acc += p / total
+		cum[i] = acc
+	}
+	for i := 0; i < shots; i++ {
+		r := rng.Float64()
+		j := sort.SearchFloat64s(cum, r)
+		if j >= len(idx) {
+			j = len(idx) - 1
+		}
+		counts[idx[j]]++
+	}
+	return counts
+}
+
+// MarginalProbabilities returns the distribution over the given qubits,
+// tracing out the rest. Keys are packed with qubits[0] at bit 0.
+func (s *State) MarginalProbabilities(qubits []int) (map[uint64]float64, error) {
+	for _, q := range qubits {
+		if q < 0 || q >= s.numQubits {
+			return nil, fmt.Errorf("quantum: marginal qubit %d outside register [0,%d)", q, s.numQubits)
+		}
+	}
+	out := make(map[uint64]float64)
+	for k, a := range s.amp {
+		var key uint64
+		for j, q := range qubits {
+			key |= (k >> uint(q) & 1) << uint(j)
+		}
+		out[key] += real(a)*real(a) + imag(a)*imag(a)
+	}
+	return out, nil
+}
+
+// ExpectationZ returns ⟨Z_q⟩ = P(q=0) − P(q=1) for one qubit.
+func (s *State) ExpectationZ(q int) float64 {
+	p1 := s.QubitProbability(q)
+	norm := s.Norm()
+	total := norm * norm
+	return (total - p1) - p1
+}
+
+// ExpectationZProduct returns ⟨Z_{q1} ⊗ Z_{q2} ⊗ …⟩: the expectation of
+// the parity observable over the listed qubits.
+func (s *State) ExpectationZProduct(qubits []int) float64 {
+	var e float64
+	for k, a := range s.amp {
+		p := real(a)*real(a) + imag(a)*imag(a)
+		ones := 0
+		for _, q := range qubits {
+			if k>>uint(q)&1 == 1 {
+				ones++
+			}
+		}
+		if ones%2 == 0 {
+			e += p
+		} else {
+			e -= p
+		}
+	}
+	return e
+}
+
+// BlochVector returns the Bloch-sphere coordinates (x, y, z) of one
+// qubit's reduced density matrix: x = 2·Re(ρ01), y = 2·Im(ρ10),
+// z = ρ00 − ρ11. For a qubit entangled with the rest of the register
+// the vector length is < 1 (the educational visualization the paper's
+// third demo scenario calls for).
+func (s *State) BlochVector(q int) (x, y, z float64, err error) {
+	if q < 0 || q >= s.numQubits {
+		return 0, 0, 0, fmt.Errorf("quantum: Bloch qubit %d outside register [0,%d)", q, s.numQubits)
+	}
+	mask := uint64(1) << uint(q)
+	// Reduced density matrix entries: ρ00, ρ11 real; ρ01 complex.
+	var rho00, rho11 float64
+	var rho01 complex128
+	for k, a := range s.amp {
+		p := real(a)*real(a) + imag(a)*imag(a)
+		if k&mask == 0 {
+			rho00 += p
+			// Pair with the partner state where qubit q is 1.
+			if b, ok := s.amp[k|mask]; ok {
+				// ρ01 = Σ a_{...0...} · conj(a_{...1...})
+				rho01 += a * complexConj(b)
+			}
+		} else {
+			rho11 += p
+		}
+	}
+	x = 2 * real(rho01)
+	y = -2 * imag(rho01) // y = 2·Im(ρ10) = −2·Im(ρ01)
+	z = rho00 - rho11
+	return x, y, z, nil
+}
+
+func complexConj(c complex128) complex128 { return complex(real(c), -imag(c)) }
+
+// PurityOfQubit returns Tr(ρ_q²) ∈ [0.5, 1]: 1 for a separable qubit,
+// 0.5 for one maximally entangled with the rest.
+func (s *State) PurityOfQubit(q int) (float64, error) {
+	x, y, z, err := s.BlochVector(q)
+	if err != nil {
+		return 0, err
+	}
+	r2 := x*x + y*y + z*z
+	return 0.5 * (1 + r2), nil
+}
+
+// TopOutcomes returns the most probable basis states in descending
+// probability order (ties broken by index), at most n entries.
+type Outcome struct {
+	Index       uint64
+	Probability float64
+}
+
+// TopOutcomes lists the n highest-probability outcomes.
+func (s *State) TopOutcomes(n int) []Outcome {
+	out := make([]Outcome, 0, len(s.amp))
+	for k := range s.amp {
+		out = append(out, Outcome{Index: k, Probability: s.Probability(k)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Probability != out[j].Probability {
+			return out[i].Probability > out[j].Probability
+		}
+		return out[i].Index < out[j].Index
+	})
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+// TotalVariationDistance compares two outcome distributions (e.g.
+// sampled counts vs exact probabilities): ½·Σ|p_i − q_i|.
+func TotalVariationDistance(p, q map[uint64]float64) float64 {
+	seen := make(map[uint64]bool)
+	var d float64
+	for k, v := range p {
+		d += math.Abs(v - q[k])
+		seen[k] = true
+	}
+	for k, v := range q {
+		if !seen[k] {
+			d += v
+		}
+	}
+	return d / 2
+}
+
+// CountsToDistribution normalizes sampled counts into probabilities.
+func CountsToDistribution(counts map[uint64]int) map[uint64]float64 {
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	out := make(map[uint64]float64, len(counts))
+	if total == 0 {
+		return out
+	}
+	for k, c := range counts {
+		out[k] = float64(c) / float64(total)
+	}
+	return out
+}

@@ -1,0 +1,189 @@
+package quantum
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// ghzState builds (|0…0⟩ + |1…1⟩)/√2 directly.
+func ghzState(n int) *State {
+	s := NewState(n)
+	inv := complex(1/math.Sqrt2, 0)
+	s.Set(0, inv)
+	s.Set(uint64(1)<<uint(n)-1, inv)
+	return s
+}
+
+func TestSampleDistribution(t *testing.T) {
+	s := ghzState(3)
+	rng := rand.New(rand.NewSource(42))
+	counts := s.Sample(rng, 10000)
+	if len(counts) != 2 {
+		t.Fatalf("outcomes = %v", counts)
+	}
+	dist := CountsToDistribution(counts)
+	exact := s.Probabilities()
+	if tv := TotalVariationDistance(dist, exact); tv > 0.03 {
+		t.Fatalf("TV distance = %v", tv)
+	}
+}
+
+func TestSampleDeterministicSeed(t *testing.T) {
+	s := ghzState(2)
+	a := s.Sample(rand.New(rand.NewSource(7)), 100)
+	b := s.Sample(rand.New(rand.NewSource(7)), 100)
+	for k, v := range a {
+		if b[k] != v {
+			t.Fatalf("same seed, different counts: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestSampleEdgeCases(t *testing.T) {
+	empty := NewState(2)
+	if counts := empty.Sample(rand.New(rand.NewSource(1)), 10); len(counts) != 0 {
+		t.Fatalf("empty state sampled %v", counts)
+	}
+	basis := BasisState(2, 3)
+	counts := basis.Sample(rand.New(rand.NewSource(1)), 50)
+	if counts[3] != 50 {
+		t.Fatalf("basis state counts = %v", counts)
+	}
+}
+
+func TestMarginalProbabilities(t *testing.T) {
+	s := ghzState(3)
+	// Marginal over qubit 1 alone: P(0) = P(1) = 1/2.
+	m, err := s.MarginalProbabilities([]int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m[0]-0.5) > 1e-12 || math.Abs(m[1]-0.5) > 1e-12 {
+		t.Fatalf("marginal = %v", m)
+	}
+	// Marginal over (q2, q0): GHZ collapses to keys 00 and 11.
+	m2, err := s.MarginalProbabilities([]int{2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m2[0]-0.5) > 1e-12 || math.Abs(m2[3]-0.5) > 1e-12 || len(m2) != 2 {
+		t.Fatalf("marginal2 = %v", m2)
+	}
+	if _, err := s.MarginalProbabilities([]int{9}); err == nil {
+		t.Fatal("expected range error")
+	}
+}
+
+func TestExpectationZ(t *testing.T) {
+	zero := ZeroState(1)
+	if e := zero.ExpectationZ(0); math.Abs(e-1) > 1e-12 {
+		t.Fatalf("<Z> on |0> = %v", e)
+	}
+	one := BasisState(1, 1)
+	if e := one.ExpectationZ(0); math.Abs(e+1) > 1e-12 {
+		t.Fatalf("<Z> on |1> = %v", e)
+	}
+	plus := NewState(1)
+	plus.Set(0, complex(1/math.Sqrt2, 0))
+	plus.Set(1, complex(1/math.Sqrt2, 0))
+	if e := plus.ExpectationZ(0); math.Abs(e) > 1e-12 {
+		t.Fatalf("<Z> on |+> = %v", e)
+	}
+}
+
+func TestExpectationZProduct(t *testing.T) {
+	s := ghzState(3)
+	// GHZ: <Z⊗Z> = +1 for any pair, <Z> = 0 for any single qubit.
+	if e := s.ExpectationZProduct([]int{0, 1}); math.Abs(e-1) > 1e-12 {
+		t.Fatalf("<ZZ> = %v", e)
+	}
+	if e := s.ExpectationZProduct([]int{2}); math.Abs(e) > 1e-12 {
+		t.Fatalf("<Z2> = %v", e)
+	}
+	if e := s.ExpectationZProduct([]int{0, 1, 2}); math.Abs(e) > 1e-12 {
+		t.Fatalf("<ZZZ> = %v", e)
+	}
+}
+
+func TestBlochVector(t *testing.T) {
+	// |0⟩ → (0, 0, 1).
+	z0 := ZeroState(1)
+	x, y, z, err := z0.BlochVector(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x) > 1e-12 || math.Abs(y) > 1e-12 || math.Abs(z-1) > 1e-12 {
+		t.Fatalf("Bloch(|0>) = (%v, %v, %v)", x, y, z)
+	}
+	// |+⟩ → (1, 0, 0).
+	plus := NewState(1)
+	plus.Set(0, complex(1/math.Sqrt2, 0))
+	plus.Set(1, complex(1/math.Sqrt2, 0))
+	x, y, z, _ = plus.BlochVector(0)
+	if math.Abs(x-1) > 1e-12 || math.Abs(y) > 1e-12 || math.Abs(z) > 1e-12 {
+		t.Fatalf("Bloch(|+>) = (%v, %v, %v)", x, y, z)
+	}
+	// |+i⟩ = (|0⟩ + i|1⟩)/√2 → (0, 1, 0).
+	pi := NewState(1)
+	pi.Set(0, complex(1/math.Sqrt2, 0))
+	pi.Set(1, complex(0, 1/math.Sqrt2))
+	x, y, z, _ = pi.BlochVector(0)
+	if math.Abs(x) > 1e-12 || math.Abs(y-1) > 1e-12 || math.Abs(z) > 1e-12 {
+		t.Fatalf("Bloch(|+i>) = (%v, %v, %v)", x, y, z)
+	}
+	if _, _, _, err := z0.BlochVector(5); err == nil {
+		t.Fatal("expected range error")
+	}
+}
+
+func TestBlochVectorEntangledQubitIsMixed(t *testing.T) {
+	s := ghzState(2)
+	x, y, z, err := s.BlochVector(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A GHZ qubit is maximally mixed: Bloch vector ~ 0.
+	if r := math.Sqrt(x*x + y*y + z*z); r > 1e-12 {
+		t.Fatalf("|Bloch| = %v, want 0", r)
+	}
+	p, err := s.PurityOfQubit(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.5) > 1e-12 {
+		t.Fatalf("purity = %v, want 0.5", p)
+	}
+	// A separable qubit has purity 1.
+	sep := ZeroState(2)
+	p, _ = sep.PurityOfQubit(1)
+	if math.Abs(p-1) > 1e-12 {
+		t.Fatalf("separable purity = %v", p)
+	}
+}
+
+func TestTopOutcomes(t *testing.T) {
+	s := NewState(3)
+	s.Set(1, complex(math.Sqrt(0.5), 0))
+	s.Set(4, complex(math.Sqrt(0.3), 0))
+	s.Set(6, complex(math.Sqrt(0.2), 0))
+	top := s.TopOutcomes(2)
+	if len(top) != 2 || top[0].Index != 1 || top[1].Index != 4 {
+		t.Fatalf("top = %+v", top)
+	}
+	all := s.TopOutcomes(100)
+	if len(all) != 3 {
+		t.Fatalf("all = %+v", all)
+	}
+}
+
+func TestTotalVariationDistance(t *testing.T) {
+	p := map[uint64]float64{0: 0.5, 1: 0.5}
+	q := map[uint64]float64{0: 1.0}
+	if d := TotalVariationDistance(p, q); math.Abs(d-0.5) > 1e-12 {
+		t.Fatalf("TV = %v", d)
+	}
+	if d := TotalVariationDistance(p, p); d != 0 {
+		t.Fatalf("TV self = %v", d)
+	}
+}

@@ -1,0 +1,238 @@
+package quantum
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"sort"
+	"strings"
+)
+
+// State is a sparse quantum state over n qubits: a map from basis index
+// (integer encoding, qubit 0 = least significant bit) to complex
+// amplitude. Only nonzero amplitudes are stored, mirroring the relational
+// representation T(s, r, i) of the paper.
+type State struct {
+	numQubits int
+	amp       map[uint64]complex128
+}
+
+// NewState returns an empty (all-zero amplitude) state over n qubits.
+func NewState(n int) *State {
+	if n <= 0 || n > 63 {
+		panic(fmt.Sprintf("quantum: state width %d out of range [1,63]", n))
+	}
+	return &State{numQubits: n, amp: make(map[uint64]complex128)}
+}
+
+// ZeroState returns |0...0⟩ over n qubits.
+func ZeroState(n int) *State {
+	s := NewState(n)
+	s.amp[0] = 1
+	return s
+}
+
+// BasisState returns |index⟩ over n qubits.
+func BasisState(n int, index uint64) *State {
+	s := NewState(n)
+	if index >= uint64(1)<<uint(n) {
+		panic(fmt.Sprintf("quantum: basis index %d out of range for %d qubits", index, n))
+	}
+	s.amp[index] = 1
+	return s
+}
+
+// NumQubits returns the register width.
+func (s *State) NumQubits() int { return s.numQubits }
+
+// Amplitude returns the amplitude of basis state index (zero if absent).
+func (s *State) Amplitude(index uint64) complex128 { return s.amp[index] }
+
+// Set assigns the amplitude of a basis state, deleting zero entries.
+func (s *State) Set(index uint64, a complex128) {
+	if a == 0 {
+		delete(s.amp, index)
+		return
+	}
+	s.amp[index] = a
+}
+
+// Add accumulates into the amplitude of a basis state.
+func (s *State) Add(index uint64, a complex128) {
+	v := s.amp[index] + a
+	if v == 0 {
+		delete(s.amp, index)
+		return
+	}
+	s.amp[index] = v
+}
+
+// Len returns the number of stored (nonzero) amplitudes.
+func (s *State) Len() int { return len(s.amp) }
+
+// Indices returns the stored basis indices in ascending order.
+func (s *State) Indices() []uint64 {
+	idx := make([]uint64, 0, len(s.amp))
+	for k := range s.amp {
+		idx = append(idx, k)
+	}
+	sort.Slice(idx, func(i, j int) bool { return idx[i] < idx[j] })
+	return idx
+}
+
+// Norm returns the L2 norm sqrt(Σ|a|²); 1 for a valid quantum state.
+func (s *State) Norm() float64 {
+	var t float64
+	for _, a := range s.amp {
+		t += real(a)*real(a) + imag(a)*imag(a)
+	}
+	return math.Sqrt(t)
+}
+
+// Normalize rescales amplitudes to unit norm. It is a no-op on the zero
+// state.
+func (s *State) Normalize() {
+	n := s.Norm()
+	if n == 0 || n == 1 {
+		return
+	}
+	inv := complex(1/n, 0)
+	for k, a := range s.amp {
+		s.amp[k] = a * inv
+	}
+}
+
+// Prune removes amplitudes with |a| <= eps, the relational analogue of
+// dropping all-but-nonzero rows from the state table.
+func (s *State) Prune(eps float64) {
+	for k, a := range s.amp {
+		if cmplx.Abs(a) <= eps {
+			delete(s.amp, k)
+		}
+	}
+}
+
+// Probability returns |amplitude|² of a basis state.
+func (s *State) Probability(index uint64) float64 {
+	a := s.amp[index]
+	return real(a)*real(a) + imag(a)*imag(a)
+}
+
+// Probabilities returns the measurement distribution over stored basis
+// states.
+func (s *State) Probabilities() map[uint64]float64 {
+	out := make(map[uint64]float64, len(s.amp))
+	for k, a := range s.amp {
+		out[k] = real(a)*real(a) + imag(a)*imag(a)
+	}
+	return out
+}
+
+// QubitProbability returns the probability that measuring qubit q yields 1.
+func (s *State) QubitProbability(q int) float64 {
+	var p float64
+	mask := uint64(1) << uint(q)
+	for k, a := range s.amp {
+		if k&mask != 0 {
+			p += real(a)*real(a) + imag(a)*imag(a)
+		}
+	}
+	return p
+}
+
+// Fidelity returns |⟨s|other⟩|², the squared overlap of two pure states.
+func (s *State) Fidelity(other *State) float64 {
+	if s.numQubits != other.numQubits {
+		return 0
+	}
+	// Iterate over the smaller support.
+	a, b := s, other
+	if len(b.amp) < len(a.amp) {
+		a, b = b, a
+	}
+	var dot complex128
+	for k, av := range a.amp {
+		if bv, ok := b.amp[k]; ok {
+			dot += cmplx.Conj(av) * bv
+		}
+	}
+	m := cmplx.Abs(dot)
+	return m * m
+}
+
+// EqualApprox reports whether the two states have the same amplitudes
+// within tol (elementwise, exact global phase).
+func (s *State) EqualApprox(other *State, tol float64) bool {
+	if s.numQubits != other.numQubits {
+		return false
+	}
+	for k, a := range s.amp {
+		if cmplx.Abs(a-other.amp[k]) > tol {
+			return false
+		}
+	}
+	for k, b := range other.amp {
+		if _, ok := s.amp[k]; !ok && cmplx.Abs(b) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy.
+func (s *State) Clone() *State {
+	out := NewState(s.numQubits)
+	for k, v := range s.amp {
+		out.amp[k] = v
+	}
+	return out
+}
+
+// Dense expands the state into a full 2^n vector. It panics for n > 30 to
+// guard against accidental huge allocations.
+func (s *State) Dense() []complex128 {
+	if s.numQubits > 30 {
+		panic("quantum: refusing to densify state with more than 30 qubits")
+	}
+	v := make([]complex128, uint64(1)<<uint(s.numQubits))
+	for k, a := range s.amp {
+		v[k] = a
+	}
+	return v
+}
+
+// FromDense builds a sparse state from a dense amplitude vector, dropping
+// entries with |a| <= eps.
+func FromDense(n int, v []complex128, eps float64) *State {
+	s := NewState(n)
+	for i, a := range v {
+		if cmplx.Abs(a) > eps {
+			s.amp[uint64(i)] = a
+		}
+	}
+	return s
+}
+
+// FormatKet renders the state in ket notation, e.g.
+// "0.7071|000⟩ + 0.7071|111⟩", with basis bitstrings printed most
+// significant qubit first.
+func (s *State) FormatKet() string {
+	if len(s.amp) == 0 {
+		return "0"
+	}
+	idx := s.Indices()
+	var b strings.Builder
+	for i, k := range idx {
+		if i > 0 {
+			b.WriteString(" + ")
+		}
+		a := s.amp[k]
+		if imag(a) == 0 {
+			fmt.Fprintf(&b, "%.4g", real(a))
+		} else {
+			fmt.Fprintf(&b, "(%.4g%+.4gi)", real(a), imag(a))
+		}
+		fmt.Fprintf(&b, "|%0*b⟩", s.numQubits, k)
+	}
+	return b.String()
+}

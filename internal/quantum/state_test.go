@@ -1,0 +1,158 @@
+package quantum
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroAndBasisState(t *testing.T) {
+	s := ZeroState(3)
+	if s.Amplitude(0) != 1 || s.Len() != 1 {
+		t.Fatalf("zero state wrong: %v", s.FormatKet())
+	}
+	b := BasisState(3, 5)
+	if b.Amplitude(5) != 1 {
+		t.Fatal("basis state wrong")
+	}
+	if math.Abs(b.Norm()-1) > 1e-12 {
+		t.Fatal("basis state not normalized")
+	}
+}
+
+func TestSetAddDeleteZeros(t *testing.T) {
+	s := NewState(2)
+	s.Set(1, 0.5)
+	s.Add(1, -0.5)
+	if s.Len() != 0 {
+		t.Fatal("zero amplitudes must be deleted")
+	}
+	s.Set(2, 1)
+	s.Set(2, 0)
+	if s.Len() != 0 {
+		t.Fatal("Set(0) must delete")
+	}
+}
+
+func TestNormalizeAndPrune(t *testing.T) {
+	s := NewState(2)
+	s.Set(0, 3)
+	s.Set(3, 4)
+	s.Normalize()
+	if math.Abs(s.Norm()-1) > 1e-12 {
+		t.Fatalf("norm = %v", s.Norm())
+	}
+	s.Set(1, 1e-15)
+	s.Prune(1e-12)
+	if s.Len() != 2 {
+		t.Fatalf("prune failed, len = %d", s.Len())
+	}
+}
+
+func TestProbabilities(t *testing.T) {
+	s := NewState(2)
+	inv := complex(1/math.Sqrt2, 0)
+	s.Set(0, inv)
+	s.Set(3, inv)
+	p := s.Probabilities()
+	if math.Abs(p[0]-0.5) > 1e-12 || math.Abs(p[3]-0.5) > 1e-12 {
+		t.Fatalf("probs = %v", p)
+	}
+	// Qubit 0 is 1 only in |11⟩.
+	if q := s.QubitProbability(0); math.Abs(q-0.5) > 1e-12 {
+		t.Fatalf("qubit prob = %v", q)
+	}
+}
+
+func TestFidelity(t *testing.T) {
+	a := ZeroState(2)
+	if f := a.Fidelity(a); math.Abs(f-1) > 1e-12 {
+		t.Fatalf("self fidelity = %v", f)
+	}
+	b := BasisState(2, 3)
+	if f := a.Fidelity(b); f != 0 {
+		t.Fatalf("orthogonal fidelity = %v", f)
+	}
+	// Superposition overlap: |⟨0|+⟩|² = 1/2.
+	plus := NewState(1)
+	plus.Set(0, complex(1/math.Sqrt2, 0))
+	plus.Set(1, complex(1/math.Sqrt2, 0))
+	zero := ZeroState(1)
+	if f := plus.Fidelity(zero); math.Abs(f-0.5) > 1e-12 {
+		t.Fatalf("overlap fidelity = %v", f)
+	}
+}
+
+func TestDenseRoundTrip(t *testing.T) {
+	s := NewState(3)
+	s.Set(0, 0.6)
+	s.Set(7, 0.8i)
+	d := s.Dense()
+	if len(d) != 8 || d[0] != 0.6 || d[7] != 0.8i {
+		t.Fatalf("dense = %v", d)
+	}
+	back := FromDense(3, d, 0)
+	if !back.EqualApprox(s, 1e-12) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestEqualApprox(t *testing.T) {
+	a := ZeroState(1)
+	b := ZeroState(1)
+	b.Set(0, complex(1+1e-13, 0))
+	if !a.EqualApprox(b, 1e-9) {
+		t.Fatal("nearly equal states reported different")
+	}
+	b.Set(1, 0.1)
+	if a.EqualApprox(b, 1e-9) {
+		t.Fatal("different states reported equal")
+	}
+}
+
+func TestIndicesSorted(t *testing.T) {
+	s := NewState(4)
+	for _, k := range []uint64{9, 2, 15, 0} {
+		s.Set(k, 1)
+	}
+	idx := s.Indices()
+	for i := 1; i < len(idx); i++ {
+		if idx[i] < idx[i-1] {
+			t.Fatalf("unsorted: %v", idx)
+		}
+	}
+}
+
+func TestFormatKet(t *testing.T) {
+	s := NewState(3)
+	s.Set(0, complex(1/math.Sqrt2, 0))
+	s.Set(7, complex(1/math.Sqrt2, 0))
+	ket := s.FormatKet()
+	if ket != "0.7071|000⟩ + 0.7071|111⟩" {
+		t.Fatalf("ket = %q", ket)
+	}
+}
+
+func TestNormPropertyPreservedUnderPermutation(t *testing.T) {
+	// Property: permuting basis labels preserves the norm.
+	clamp := func(x float64) float64 {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return 0
+		}
+		return math.Remainder(x, 8)
+	}
+	f := func(re, im [4]float64, shift uint8) bool {
+		s := NewState(4)
+		p := NewState(4)
+		k := uint64(shift % 12)
+		for i := 0; i < 4; i++ {
+			a := complex(clamp(re[i]), clamp(im[i]))
+			s.Set(uint64(i), a)
+			p.Set(uint64(i)+k, a)
+		}
+		return math.Abs(s.Norm()-p.Norm()) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,532 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"time"
+
+	"qymera/internal/quantum"
+)
+
+// DD is a decision-diagram simulator in the style of QMDD/DDSIM (the
+// paper's "MQT DD" backend): quantum states are stored as reduced
+// ordered decision diagrams with complex edge weights and a unique
+// table, so structured states (GHZ, basis states, stabilizer-like
+// states) take O(n) nodes regardless of 2^n.
+//
+// Gates are lowered to single-qubit matrices and multi-controlled
+// single-qubit primitives whose controls sit above the target in the
+// variable order, which covers the whole registered gate set.
+type DD struct {
+	// MemoryBudget, when positive, caps estimated node memory
+	// (ddNodeBytes per live unique node).
+	MemoryBudget int64
+	// Initial overrides the |0...0⟩ initial state.
+	Initial *quantum.State
+}
+
+// Name implements Backend.
+func (d *DD) Name() string { return "dd" }
+
+const (
+	ddNodeBytes = 96
+	// ddEps quantizes edge weights for unique-table hashing and
+	// treats smaller magnitudes as zero.
+	ddEps = 1e-12
+)
+
+// ddNode is one decision node. level counts remaining qubits: the node
+// branches on qubit level-1; level 1 nodes point to the terminal.
+type ddNode struct {
+	level  int
+	w0, w1 complex128
+	c0, c1 *ddNode // nil for terminal children (level 1) or zero edges
+	id     uint64
+}
+
+// ddEdge is a weighted pointer to a (sub-)diagram.
+type ddEdge struct {
+	w complex128
+	n *ddNode // nil means the terminal
+}
+
+func (e ddEdge) isZero() bool { return e.w == 0 }
+
+// ddCtx holds the unique table and operation caches for one run.
+type ddCtx struct {
+	unique map[string]*ddNode
+	addCh  map[[2]uint64]ddEdge
+	nextID uint64
+	// terminalEdge is reused for weight-1 terminal references.
+	peakNodes int
+}
+
+func newDDCtx() *ddCtx {
+	return &ddCtx{unique: map[string]*ddNode{}, addCh: map[[2]uint64]ddEdge{}}
+}
+
+// quantize rounds a weight for hashing so numerically equal diagrams
+// share nodes.
+func quantize(w complex128) (int64, int64) {
+	const scale = 1e10
+	return int64(math.Round(real(w) * scale)), int64(math.Round(imag(w) * scale))
+}
+
+// makeNode normalizes and deduplicates a node with child edges e0, e1
+// (children of level-1 diagrams). It returns the normalized edge.
+func (ctx *ddCtx) makeNode(level int, e0, e1 ddEdge) ddEdge {
+	if cmplx.Abs(e0.w) < ddEps {
+		e0 = ddEdge{}
+	}
+	if cmplx.Abs(e1.w) < ddEps {
+		e1 = ddEdge{}
+	}
+	if e0.isZero() && e1.isZero() {
+		return ddEdge{}
+	}
+	// Normalize: pull out the larger-magnitude weight.
+	norm := e0.w
+	if cmplx.Abs(e1.w) > cmplx.Abs(e0.w) {
+		norm = e1.w
+	}
+	w0 := complexDiv(e0.w, norm)
+	w1 := complexDiv(e1.w, norm)
+
+	r0, i0 := quantize(w0)
+	r1, i1 := quantize(w1)
+	var id0, id1 uint64
+	if e0.n != nil {
+		id0 = e0.n.id
+	}
+	if e1.n != nil {
+		id1 = e1.n.id
+	}
+	key := fmt.Sprintf("%d|%d:%d,%d|%d:%d,%d", level, id0, r0, i0, id1, r1, i1)
+	if n, ok := ctx.unique[key]; ok {
+		return ddEdge{w: norm, n: n}
+	}
+	ctx.nextID++
+	n := &ddNode{level: level, w0: w0, w1: w1, c0: e0.n, c1: e1.n, id: ctx.nextID}
+	ctx.unique[key] = n
+	if len(ctx.unique) > ctx.peakNodes {
+		ctx.peakNodes = len(ctx.unique)
+	}
+	return ddEdge{w: norm, n: n}
+}
+
+func complexDiv(a, b complex128) complex128 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// child returns the i-th outgoing edge of e's node with the parent
+// weight folded in.
+func child(e ddEdge, i int) ddEdge {
+	if e.n == nil {
+		return ddEdge{}
+	}
+	if i == 0 {
+		return ddEdge{w: e.w * e.n.w0, n: e.n.c0}
+	}
+	return ddEdge{w: e.w * e.n.w1, n: e.n.c1}
+}
+
+// add computes the pointwise sum of two diagrams of equal level.
+func (ctx *ddCtx) add(a, b ddEdge, level int) ddEdge {
+	if a.isZero() {
+		return b
+	}
+	if b.isZero() {
+		return a
+	}
+	if level == 0 {
+		return ddEdge{w: a.w + b.w}
+	}
+	var ka, kb uint64
+	if a.n != nil {
+		ka = a.n.id
+	}
+	if b.n != nil {
+		kb = b.n.id
+	}
+	// The cache is keyed on node ids only, so it is valid only for
+	// weight-1 lookups; normalize the pair by a's weight.
+	ratioKeyed := ka != 0 && kb != 0 && a.w == 1 && b.w == 1
+	if ratioKeyed {
+		if r, ok := ctx.addCh[[2]uint64{ka, kb}]; ok {
+			return r
+		}
+	}
+	r0 := ctx.add(child(a, 0), child(b, 0), level-1)
+	r1 := ctx.add(child(a, 1), child(b, 1), level-1)
+	res := ctx.makeNode(level, r0, r1)
+	if ratioKeyed {
+		ctx.addCh[[2]uint64{ka, kb}] = res
+	}
+	return res
+}
+
+// ddPrimitive is a 1-qubit matrix application with zero or more control
+// qubits, all strictly above the target in the variable order.
+type ddPrimitive struct {
+	controls []int // descending, all > target
+	target   int
+	m        [4]complex128 // row-major [m00, m01, m10, m11]
+}
+
+// applyPrimitive applies the primitive to the whole diagram.
+func (ctx *ddCtx) applyPrimitive(e ddEdge, level int, p ddPrimitive, ctrlIdx int) ddEdge {
+	if e.isZero() {
+		return e
+	}
+	q := level - 1
+	if q == p.target && ctrlIdx == len(p.controls) {
+		c0 := child(e, 0)
+		c1 := child(e, 1)
+		n0 := ctx.add(scaleEdge(c0, p.m[0]), scaleEdge(c1, p.m[1]), level-1)
+		n1 := ctx.add(scaleEdge(c0, p.m[2]), scaleEdge(c1, p.m[3]), level-1)
+		return ctx.makeNode(level, n0, n1)
+	}
+	if level == 0 {
+		return e
+	}
+	var r0, r1 ddEdge
+	if ctrlIdx < len(p.controls) && q == p.controls[ctrlIdx] {
+		r0 = child(e, 0) // control clear: identity below
+		r1 = ctx.applyPrimitive(child(e, 1), level-1, p, ctrlIdx+1)
+	} else {
+		r0 = ctx.applyPrimitive(child(e, 0), level-1, p, ctrlIdx)
+		r1 = ctx.applyPrimitive(child(e, 1), level-1, p, ctrlIdx)
+	}
+	return ctx.makeNode(level, r0, r1)
+}
+
+func scaleEdge(e ddEdge, f complex128) ddEdge {
+	if f == 0 || e.isZero() {
+		return ddEdge{}
+	}
+	return ddEdge{w: e.w * f, n: e.n}
+}
+
+// Run implements Backend.
+func (d *DD) Run(c *quantum.Circuit) (*Result, error) {
+	start := time.Now()
+	n := c.NumQubits()
+	ctx := newDDCtx()
+
+	root, err := ddFromState(ctx, n, d.Initial)
+	if err != nil {
+		return nil, err
+	}
+
+	var peakReachable int
+	for gi, g := range c.Gates() {
+		prims, err := lowerGate(g)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range prims {
+			// Gate application invalidates the add cache scope anyway;
+			// keep it bounded.
+			if len(ctx.addCh) > 1<<16 {
+				ctx.addCh = map[[2]uint64]ddEdge{}
+			}
+			root = ctx.applyPrimitive(root, n, p, 0)
+		}
+		// The diagram's true size is the reachable node count; the
+		// unique table also holds garbage from intermediate results,
+		// so collect it when it outgrows the live diagram.
+		reachable := countReachable(root)
+		if reachable > peakReachable {
+			peakReachable = reachable
+		}
+		if len(ctx.unique) > 4*reachable+4096 {
+			ctx.collect(root)
+		}
+		if d.MemoryBudget > 0 && int64(reachable)*ddNodeBytes > d.MemoryBudget {
+			return nil, fmt.Errorf("dd: %d live nodes after gate %d exceed budget %d: %w",
+				reachable, gi, d.MemoryBudget, ErrMemoryBudget)
+		}
+	}
+
+	state := quantum.NewState(n)
+	extractAmplitudes(root, n, 0, 1, state)
+	state.Prune(pruneEpsDefault)
+
+	if peakReachable == 0 { // gate-free circuit
+		peakReachable = countReachable(root)
+	}
+	return &Result{
+		State: state,
+		Stats: Stats{
+			Backend:             d.Name(),
+			WallTime:            time.Since(start),
+			GateCount:           c.Len(),
+			PeakBytes:           int64(peakReachable) * ddNodeBytes,
+			FinalNonzeros:       state.Len(),
+			MaxIntermediateSize: int64(peakReachable),
+			Extra:               fmt.Sprintf("liveNodes=%d tableNodes=%d", countReachable(root), len(ctx.unique)),
+		},
+	}, nil
+}
+
+// countReachable returns the number of distinct nodes in the diagram.
+func countReachable(e ddEdge) int {
+	seen := map[*ddNode]bool{}
+	var walk func(n *ddNode)
+	walk = func(n *ddNode) {
+		if n == nil || seen[n] {
+			return
+		}
+		seen[n] = true
+		walk(n.c0)
+		walk(n.c1)
+	}
+	walk(e.n)
+	return len(seen)
+}
+
+// collect drops unique-table entries not reachable from root and clears
+// the operation caches (they may reference dead nodes).
+func (ctx *ddCtx) collect(root ddEdge) {
+	live := map[*ddNode]bool{}
+	var walk func(n *ddNode)
+	walk = func(n *ddNode) {
+		if n == nil || live[n] {
+			return
+		}
+		live[n] = true
+		walk(n.c0)
+		walk(n.c1)
+	}
+	walk(root.n)
+	for k, n := range ctx.unique {
+		if !live[n] {
+			delete(ctx.unique, k)
+		}
+	}
+	ctx.addCh = map[[2]uint64]ddEdge{}
+}
+
+// ddFromState builds the initial diagram. A nil state is |0...0⟩.
+func ddFromState(ctx *ddCtx, n int, st *quantum.State) (ddEdge, error) {
+	if st == nil {
+		e := ddEdge{w: 1}
+		for lvl := 1; lvl <= n; lvl++ {
+			e = ctx.makeNode(lvl, e, ddEdge{})
+		}
+		return e, nil
+	}
+	if st.NumQubits() != n {
+		return ddEdge{}, fmt.Errorf("dd: initial state width %d != circuit width %d", st.NumQubits(), n)
+	}
+	total := ddEdge{}
+	for _, idx := range st.Indices() {
+		amp := st.Amplitude(idx)
+		e := ddEdge{w: amp}
+		for lvl := 1; lvl <= n; lvl++ {
+			if idx>>uint(lvl-1)&1 == 0 {
+				e = ctx.makeNode(lvl, e, ddEdge{})
+			} else {
+				e = ctx.makeNode(lvl, ddEdge{}, e)
+			}
+		}
+		total = ctx.add(total, e, n)
+	}
+	return total, nil
+}
+
+// extractAmplitudes walks all nonzero paths (qubit level-1 per node).
+func extractAmplitudes(e ddEdge, level int, prefix uint64, acc complex128, out *quantum.State) {
+	if e.isZero() {
+		return
+	}
+	w := acc * e.w
+	if cmplx.Abs(w) < ddEps {
+		return
+	}
+	if level == 0 {
+		out.Add(prefix, w)
+		return
+	}
+	n := e.n
+	extractAmplitudes(ddEdge{w: n.w0, n: n.c0}, level-1, prefix, w, out)
+	extractAmplitudes(ddEdge{w: n.w1, n: n.c1}, level-1, prefix|uint64(1)<<uint(level-1), w, out)
+}
+
+// lowerGate rewrites a registry gate into controlled-1q primitives whose
+// controls are above the target. Diagonal multi-controlled phases are
+// symmetric in their qubits, which the lowering exploits.
+func lowerGate(g quantum.Gate) ([]ddPrimitive, error) {
+	m1 := func(name string, params ...float64) [4]complex128 {
+		m := quantum.Gate{Name: name, Qubits: []int{0}, Params: params}.MustMatrix()
+		return [4]complex128{m.At(0, 0), m.At(0, 1), m.At(1, 0), m.At(1, 1)}
+	}
+	single := func(target int, m [4]complex128) ddPrimitive {
+		return ddPrimitive{target: target, m: m}
+	}
+	// ctrl builds a primitive after sorting controls descending; it
+	// requires every control above the target.
+	ctrl := func(controls []int, target int, m [4]complex128) ddPrimitive {
+		cs := append([]int{}, controls...)
+		for i := 0; i < len(cs); i++ {
+			for j := i + 1; j < len(cs); j++ {
+				if cs[j] > cs[i] {
+					cs[i], cs[j] = cs[j], cs[i]
+				}
+			}
+		}
+		return ddPrimitive{controls: cs, target: target, m: m}
+	}
+	// symmetric diagonal: use the minimum qubit as target.
+	symDiag := func(qubits []int, m [4]complex128) ddPrimitive {
+		min := qubits[0]
+		for _, q := range qubits {
+			if q < min {
+				min = q
+			}
+		}
+		var cs []int
+		for _, q := range qubits {
+			if q != min {
+				cs = append(cs, q)
+			}
+		}
+		return ctrl(cs, min, m)
+	}
+	mH := m1("H")
+	mS := m1("S")
+	mSdg := m1("SDG")
+	mX := m1("X")
+	mZ := m1("Z")
+
+	// cxSeq emits CX(control, target) for arbitrary order.
+	cxSeq := func(c0, t int) []ddPrimitive {
+		if c0 > t {
+			return []ddPrimitive{ctrl([]int{c0}, t, mX)}
+		}
+		// H(t) CZ H(t) with CZ symmetric.
+		return []ddPrimitive{single(t, mH), symDiag([]int{c0, t}, mZ), single(t, mH)}
+	}
+
+	q := g.Qubits
+	switch g.Name {
+	case "I":
+		return nil, nil
+	case "H", "X", "Y", "Z", "S", "SDG", "T", "TDG", "SX", "SXDG":
+		return []ddPrimitive{single(q[0], m1(g.Name))}, nil
+	case "RX", "RY", "RZ", "P":
+		return []ddPrimitive{single(q[0], m1(g.Name, g.Params...))}, nil
+	case "U":
+		return []ddPrimitive{single(q[0], m1("U", g.Params...))}, nil
+
+	case "CX":
+		return cxSeq(q[0], q[1]), nil
+	case "CZ":
+		return []ddPrimitive{symDiag(q, mZ)}, nil
+	case "CS":
+		return []ddPrimitive{symDiag(q, mS)}, nil
+	case "CSDG":
+		return []ddPrimitive{symDiag(q, mSdg)}, nil
+	case "CP":
+		return []ddPrimitive{symDiag(q, m1("P", g.Params[0]))}, nil
+	case "CY":
+		// CY = S(t) · CX · S†(t)
+		out := []ddPrimitive{single(q[1], mSdg)}
+		out = append(out, cxSeq(q[0], q[1])...)
+		out = append(out, single(q[1], mS))
+		return out, nil
+	case "CH":
+		// H = RY(π/4)·Z·RY(−π/4): conjugate a symmetric CZ.
+		ryp := m1("RY", math.Pi/4)
+		rym := m1("RY", -math.Pi/4)
+		return []ddPrimitive{
+			single(q[1], rym),
+			symDiag(q, mZ),
+			single(q[1], ryp),
+		}, nil
+	case "CRZ":
+		// CRZ(c,t,λ) = P(c,−λ/2) · CP(c,t,λ), all diagonal.
+		return []ddPrimitive{
+			single(q[0], m1("P", -g.Params[0]/2)),
+			symDiag(q, m1("P", g.Params[0])),
+		}, nil
+	case "CRX":
+		// RX = H·RZ·H
+		out := []ddPrimitive{single(q[1], mH)}
+		inner, err := lowerGate(quantum.Gate{Name: "CRZ", Qubits: q, Params: g.Params})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, inner...)
+		out = append(out, single(q[1], mH))
+		return out, nil
+	case "CRY":
+		// RY = S·RX·S†
+		out := []ddPrimitive{single(q[1], mSdg)}
+		inner, err := lowerGate(quantum.Gate{Name: "CRX", Qubits: q, Params: g.Params})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, inner...)
+		out = append(out, single(q[1], mS))
+		return out, nil
+	case "SWAP":
+		var out []ddPrimitive
+		out = append(out, cxSeq(q[0], q[1])...)
+		out = append(out, cxSeq(q[1], q[0])...)
+		out = append(out, cxSeq(q[0], q[1])...)
+		return out, nil
+	case "ISWAP":
+		// ISWAP = (S⊗S)·CZ·SWAP.
+		var out []ddPrimitive
+		out = append(out, cxSeq(q[0], q[1])...)
+		out = append(out, cxSeq(q[1], q[0])...)
+		out = append(out, cxSeq(q[0], q[1])...)
+		out = append(out, symDiag(q, mZ), single(q[0], mS), single(q[1], mS))
+		return out, nil
+	case "ISWAPDG":
+		// ISWAP† = SWAP·CZ·(S†⊗S†): diagonals first, then the SWAP.
+		out := []ddPrimitive{single(q[0], mSdg), single(q[1], mSdg), symDiag(q, mZ)}
+		out = append(out, cxSeq(q[0], q[1])...)
+		out = append(out, cxSeq(q[1], q[0])...)
+		out = append(out, cxSeq(q[0], q[1])...)
+		return out, nil
+	case "CCZ":
+		return []ddPrimitive{symDiag(q, mZ)}, nil
+	case "CCX":
+		t := q[2]
+		return []ddPrimitive{
+			single(t, mH),
+			symDiag(q, mZ),
+			single(t, mH),
+		}, nil
+	case "CSWAP":
+		ctl, a, b := q[0], q[1], q[2]
+		ccx := func(x, y int) []ddPrimitive {
+			return []ddPrimitive{
+				single(y, mH),
+				symDiag([]int{ctl, x, y}, mZ),
+				single(y, mH),
+			}
+		}
+		var out []ddPrimitive
+		out = append(out, ccx(a, b)...)
+		out = append(out, ccx(b, a)...)
+		out = append(out, ccx(a, b)...)
+		return out, nil
+	case "C3Z", "C4Z":
+		return []ddPrimitive{symDiag(q, mZ)}, nil
+	case "C3X", "C4X":
+		t := q[len(q)-1]
+		return []ddPrimitive{
+			single(t, mH),
+			symDiag(q, mZ),
+			single(t, mH),
+		}, nil
+	}
+	return nil, fmt.Errorf("dd: gate %s is not supported by the decision-diagram backend", g.Name)
+}

@@ -1,0 +1,203 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"qymera/internal/circuits"
+	"qymera/internal/quantum"
+)
+
+// twoQubitOnly reports whether a circuit uses only 1- and 2-qubit gates
+// (the MPS backend's supported set).
+func twoQubitOnly(c *quantum.Circuit) bool {
+	for _, g := range c.Gates() {
+		if len(g.Qubits) > 2 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDDAgreesWithReference(t *testing.T) {
+	for _, c := range testCircuits() {
+		ref, err := (&StateVector{}).Run(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := (&DD{}).Run(c)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		if f := res.State.Fidelity(ref.State); math.Abs(f-1) > 1e-9 {
+			t.Errorf("%s on dd: fidelity = %v\nref: %s\ngot: %s",
+				c.Name(), f, ref.State.FormatKet(), res.State.FormatKet())
+		}
+	}
+}
+
+func TestMPSAgreesWithReference(t *testing.T) {
+	for _, c := range testCircuits() {
+		if !twoQubitOnly(c) {
+			continue
+		}
+		ref, err := (&StateVector{}).Run(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := (&MPS{}).Run(c)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		if f := res.State.Fidelity(ref.State); math.Abs(f-1) > 1e-8 {
+			t.Errorf("%s on mps: fidelity = %v\nref: %s\ngot: %s",
+				c.Name(), f, ref.State.FormatKet(), res.State.FormatKet())
+		}
+	}
+}
+
+func TestDDGHZIsLinearSize(t *testing.T) {
+	res, err := (&DD{}).Run(circuits.GHZ(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.State.Len() != 2 {
+		t.Fatalf("support = %d", res.State.Len())
+	}
+	// A GHZ diagram is a chain: O(n) unique nodes, far below 2^n.
+	if res.Stats.MaxIntermediateSize > 200 {
+		t.Fatalf("DD used %d nodes for GHZ-40", res.Stats.MaxIntermediateSize)
+	}
+}
+
+func TestDDBudget(t *testing.T) {
+	// A dense random circuit blows up the node count; a tiny budget
+	// must trip.
+	d := &DD{MemoryBudget: 4 * 1024}
+	if _, err := d.Run(circuits.RandomDense(12, 4, 3)); !errors.Is(err, ErrMemoryBudget) {
+		t.Fatalf("err = %v, want budget error", err)
+	}
+}
+
+func TestDDInitialState(t *testing.T) {
+	init := quantum.NewState(2)
+	inv := complex(1/math.Sqrt2, 0)
+	init.Set(1, inv)
+	init.Set(2, inv)
+	d := &DD{Initial: init}
+	res, err := d.Run(quantum.NewCircuit(2)) // identity circuit
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := res.State.Fidelity(init); math.Abs(f-1) > 1e-12 {
+		t.Fatalf("fidelity = %v (%s)", f, res.State.FormatKet())
+	}
+}
+
+func TestMPSGHZBondIsTwo(t *testing.T) {
+	res, err := (&MPS{}).Run(circuits.GHZ(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.State.Len() != 2 {
+		t.Fatalf("support = %d", res.State.Len())
+	}
+	if !strings.Contains(res.Stats.Extra, "maxBond=2") {
+		t.Fatalf("extra = %s, want maxBond=2", res.Stats.Extra)
+	}
+}
+
+func TestMPSNonAdjacentGates(t *testing.T) {
+	// CX(0, 3) and CX(3, 1) need swap routing.
+	c := quantum.NewCircuit(4).H(0).CX(0, 3).CX(3, 1)
+	ref, err := (&StateVector{}).Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := (&MPS{}).Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := res.State.Fidelity(ref.State); math.Abs(f-1) > 1e-9 {
+		t.Fatalf("fidelity = %v", f)
+	}
+}
+
+func TestMPSReversedQubitOrder(t *testing.T) {
+	// Control above target: CX(1, 0).
+	c := quantum.NewCircuit(2).H(1).CX(1, 0)
+	ref, _ := (&StateVector{}).Run(c)
+	res, err := (&MPS{}).Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := res.State.Fidelity(ref.State); math.Abs(f-1) > 1e-9 {
+		t.Fatalf("fidelity = %v\nref %s\ngot %s", f, ref.State.FormatKet(), res.State.FormatKet())
+	}
+}
+
+func TestMPSTruncationReportsDiscardedWeight(t *testing.T) {
+	// A heavily entangling circuit with a tight bond cap must discard
+	// weight but still return a normalized state.
+	c := circuits.RandomDense(8, 6, 5)
+	res, err := (&MPS{MaxBond: 2}).Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.State.Norm()-1) > 1e-6 {
+		t.Fatalf("norm = %v", res.State.Norm())
+	}
+	if !strings.Contains(res.Stats.Extra, "discarded=") {
+		t.Fatalf("extra = %s", res.Stats.Extra)
+	}
+	// Exact run for comparison: capped fidelity should be below 1.
+	exact, err := (&MPS{}).Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := res.State.Fidelity(exact.State)
+	if f > 0.999999 {
+		t.Logf("note: truncation did not reduce fidelity (f=%v); circuit weakly entangled", f)
+	}
+}
+
+func TestMPSRejectsThreeQubitGates(t *testing.T) {
+	c := quantum.NewCircuit(3).CCX(0, 1, 2)
+	if _, err := (&MPS{}).Run(c); err == nil {
+		t.Fatal("expected unsupported-gate error")
+	}
+}
+
+func TestMPSBudget(t *testing.T) {
+	mp := &MPS{MemoryBudget: 256}
+	if _, err := mp.Run(circuits.RandomDense(10, 4, 9)); !errors.Is(err, ErrMemoryBudget) {
+		t.Fatalf("err = %v, want budget error", err)
+	}
+}
+
+func TestMPSInitialBasis(t *testing.T) {
+	m := &MPS{InitialBasis: 5, HasInitial: true}
+	res, err := m.Run(quantum.NewCircuit(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.State.Probability(5) < 0.999 {
+		t.Fatalf("state = %s", res.State.FormatKet())
+	}
+}
+
+func TestDDMPSOnQFT(t *testing.T) {
+	c := circuits.QFT(6)
+	ref, _ := (&StateVector{}).Run(c)
+	for _, b := range []Backend{&DD{}, &MPS{}} {
+		res, err := b.Run(c)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name(), err)
+		}
+		if f := res.State.Fidelity(ref.State); math.Abs(f-1) > 1e-8 {
+			t.Errorf("%s: fidelity = %v", b.Name(), f)
+		}
+	}
+}

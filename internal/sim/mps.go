@@ -1,0 +1,392 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"time"
+
+	"qymera/internal/linalg"
+	"qymera/internal/quantum"
+)
+
+// MPS is a matrix-product-state (tensor network) simulator, the paper's
+// "MPS" backend: the state is a chain of rank-3 tensors, two-qubit gates
+// contract neighbouring tensors and split them back with a truncated
+// SVD. Memory scales with the entanglement (bond dimension), not 2^n.
+//
+// Supported gates: every 1- and 2-qubit gate in the registry (non-
+// adjacent pairs are routed with SWAPs). Gates on 3+ qubits are not
+// supported — decompose them first.
+type MPS struct {
+	// MaxBond caps the bond dimension χ; 0 means unlimited (exact).
+	MaxBond int
+	// TruncEps drops singular values below this threshold (default
+	// 1e-12); the discarded weight accumulates in Stats.Extra.
+	TruncEps float64
+	// MemoryBudget, when positive, caps the total tensor bytes.
+	MemoryBudget int64
+	// Initial overrides the |0...0⟩ initial state. It must be a
+	// product-like small support state; arbitrary states are built by
+	// summing basis MPS which can be exponential, so only basis states
+	// are accepted.
+	InitialBasis uint64
+	HasInitial   bool
+}
+
+// Name implements Backend.
+func (m *MPS) Name() string { return "mps" }
+
+// mpsTensor is a rank-3 tensor A[l][s][r]: left bond, physical (0/1),
+// right bond.
+type mpsTensor struct {
+	dl, dr int
+	data   []complex128 // index (l*2+s)*dr + r
+}
+
+func (t *mpsTensor) at(l, s, r int) complex128 { return t.data[(l*2+s)*t.dr+r] }
+func (t *mpsTensor) set(l, s, r int, v complex128) {
+	t.data[(l*2+s)*t.dr+r] = v
+}
+
+func newMPSTensor(dl, dr int) *mpsTensor {
+	return &mpsTensor{dl: dl, dr: dr, data: make([]complex128, dl*2*dr)}
+}
+
+// Run implements Backend.
+func (m *MPS) Run(c *quantum.Circuit) (*Result, error) {
+	start := time.Now()
+	n := c.NumQubits()
+	eps := m.TruncEps
+	if eps <= 0 {
+		eps = 1e-12
+	}
+
+	// Initial product state.
+	tensors := make([]*mpsTensor, n)
+	for i := 0; i < n; i++ {
+		t := newMPSTensor(1, 1)
+		bit := 0
+		if m.HasInitial {
+			bit = int(m.InitialBasis >> uint(i) & 1)
+		}
+		t.set(0, bit, 0, 1)
+		tensors[i] = t
+	}
+
+	st := &mpsState{tensors: tensors, maxBond: m.MaxBond, eps: eps}
+	var peakBytes int64
+	var maxElems int64
+
+	for _, g := range c.Gates() {
+		mat, err := g.Matrix()
+		if err != nil {
+			return nil, err
+		}
+		switch len(g.Qubits) {
+		case 1:
+			st.apply1(g.Qubits[0], mat)
+		case 2:
+			if err := st.apply2(g.Qubits[0], g.Qubits[1], mat); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("mps: %d-qubit gate %s is not supported", len(g.Qubits), g.Name)
+		}
+		if b := st.bytes(); b > peakBytes {
+			peakBytes = b
+		}
+		if e := st.elems(); e > maxElems {
+			maxElems = e
+		}
+		if m.MemoryBudget > 0 && st.bytes() > m.MemoryBudget {
+			return nil, fmt.Errorf("mps: %d tensor bytes exceed budget %d: %w", st.bytes(), m.MemoryBudget, ErrMemoryBudget)
+		}
+	}
+
+	state, err := st.extract(pruneEpsDefault)
+	if err != nil {
+		return nil, err
+	}
+	state.Normalize() // compensate accumulated truncation loss
+
+	return &Result{
+		State: state,
+		Stats: Stats{
+			Backend:             m.Name(),
+			WallTime:            time.Since(start),
+			GateCount:           c.Len(),
+			PeakBytes:           peakBytes,
+			FinalNonzeros:       state.Len(),
+			MaxIntermediateSize: maxElems,
+			Extra:               fmt.Sprintf("maxBond=%d discarded=%.3g", st.maxSeenBond, st.discarded),
+		},
+	}, nil
+}
+
+type mpsState struct {
+	tensors     []*mpsTensor
+	maxBond     int
+	eps         float64
+	discarded   float64
+	maxSeenBond int
+}
+
+func (st *mpsState) bytes() int64 {
+	var b int64
+	for _, t := range st.tensors {
+		b += int64(len(t.data)) * 16
+	}
+	return b
+}
+
+func (st *mpsState) elems() int64 {
+	var e int64
+	for _, t := range st.tensors {
+		e += int64(len(t.data))
+	}
+	return e
+}
+
+// apply1 contracts a single-qubit matrix into site q.
+func (st *mpsState) apply1(q int, m *linalg.Matrix) {
+	t := st.tensors[q]
+	out := newMPSTensor(t.dl, t.dr)
+	for l := 0; l < t.dl; l++ {
+		for r := 0; r < t.dr; r++ {
+			a0 := t.at(l, 0, r)
+			a1 := t.at(l, 1, r)
+			out.set(l, 0, r, m.At(0, 0)*a0+m.At(0, 1)*a1)
+			out.set(l, 1, r, m.At(1, 0)*a0+m.At(1, 1)*a1)
+		}
+	}
+	st.tensors[q] = out
+}
+
+// swapMat is the SWAP matrix used for routing non-adjacent gates.
+var swapMat = quantum.Gate{Name: "SWAP", Qubits: []int{0, 1}}.MustMatrix()
+
+// apply2 applies a two-qubit gate with local bit 0 on qubit a, bit 1 on
+// qubit b, routing with SWAPs when they are not adjacent.
+func (st *mpsState) apply2(a, b int, m *linalg.Matrix) error {
+	if a == b {
+		return fmt.Errorf("mps: two-qubit gate with repeated qubit %d", a)
+	}
+	// Route a next to b with SWAPs, tracked so we can swap back.
+	var swaps []int // left site of each SWAP applied
+	for a < b-1 {
+		if err := st.applyAdjacentGate(a, swapMat); err != nil {
+			return err
+		}
+		swaps = append(swaps, a)
+		a++
+	}
+	for a > b+1 {
+		if err := st.applyAdjacentGate(a-1, swapMat); err != nil {
+			return err
+		}
+		swaps = append(swaps, a-1)
+		a--
+	}
+
+	// Now |a-b| == 1. Build the site-ordered gate: local site bit 0 is
+	// the lower site index.
+	lo := a
+	gate := m
+	if a < b {
+		// bit0 (qubit a) sits at the lower site: matrix indexes already
+		// match (s_lo + 2*s_hi) = (bit0 + 2*bit1).
+	} else {
+		lo = b
+		gate = permuteBits(m)
+	}
+	if err := st.applyAdjacentGate(lo, gate); err != nil {
+		return err
+	}
+	// Undo routing.
+	for i := len(swaps) - 1; i >= 0; i-- {
+		if err := st.applyAdjacentGate(swaps[i], swapMat); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// permuteBits swaps the two local bits of a 4x4 gate matrix.
+func permuteBits(m *linalg.Matrix) *linalg.Matrix {
+	out := linalg.NewMatrix(4, 4)
+	perm := []int{0, 2, 1, 3}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			out.Set(perm[i], perm[j], m.At(i, j))
+		}
+	}
+	return out
+}
+
+// applyAdjacentGate contracts sites (p, p+1) with a 4x4 gate whose local
+// bit 0 is site p, applies it, and splits with a truncated SVD.
+func (st *mpsState) applyAdjacentGate(p int, gate *linalg.Matrix) error {
+	t1, t2 := st.tensors[p], st.tensors[p+1]
+	if t1.dr != t2.dl {
+		return fmt.Errorf("mps: internal: bond mismatch %d vs %d at site %d", t1.dr, t2.dl, p)
+	}
+	dl, k, dr := t1.dl, t1.dr, t2.dr
+
+	// theta[l, s1, s2, r] = Σ_k t1[l,s1,k]·t2[k,s2,r]
+	theta := make([]complex128, dl*2*2*dr)
+	idx := func(l, s1, s2, r int) int { return ((l*2+s1)*2+s2)*dr + r }
+	for l := 0; l < dl; l++ {
+		for s1 := 0; s1 < 2; s1++ {
+			for kk := 0; kk < k; kk++ {
+				a := t1.at(l, s1, kk)
+				if a == 0 {
+					continue
+				}
+				for s2 := 0; s2 < 2; s2++ {
+					for r := 0; r < dr; r++ {
+						theta[idx(l, s1, s2, r)] += a * t2.at(kk, s2, r)
+					}
+				}
+			}
+		}
+	}
+
+	// Apply the gate on (s1, s2): in = s1 + 2*s2, out likewise.
+	out := make([]complex128, len(theta))
+	for l := 0; l < dl; l++ {
+		for r := 0; r < dr; r++ {
+			var in [4]complex128
+			for s1 := 0; s1 < 2; s1++ {
+				for s2 := 0; s2 < 2; s2++ {
+					in[s1+2*s2] = theta[idx(l, s1, s2, r)]
+				}
+			}
+			for o := 0; o < 4; o++ {
+				var sum complex128
+				for i := 0; i < 4; i++ {
+					if g := gate.At(o, i); g != 0 {
+						sum += g * in[i]
+					}
+				}
+				out[idx(l, o&1, o>>1, r)] = sum
+			}
+		}
+	}
+
+	// Reshape to (dl*2) x (2*dr) and SVD.
+	mat := linalg.NewMatrix(dl*2, 2*dr)
+	for l := 0; l < dl; l++ {
+		for s1 := 0; s1 < 2; s1++ {
+			for s2 := 0; s2 < 2; s2++ {
+				for r := 0; r < dr; r++ {
+					mat.Set(l*2+s1, s2*dr+r, out[idx(l, s1, s2, r)])
+				}
+			}
+		}
+	}
+	svd := linalg.ComputeSVD(mat)
+	trunc, discarded := svd.Truncate(st.maxBond, st.eps)
+	st.discarded += discarded
+	chi := len(trunc.S)
+	if chi > st.maxSeenBond {
+		st.maxSeenBond = chi
+	}
+
+	// Left tensor = U, right tensor = diag(S)·V†.
+	nt1 := newMPSTensor(dl, chi)
+	for l := 0; l < dl; l++ {
+		for s1 := 0; s1 < 2; s1++ {
+			for x := 0; x < chi; x++ {
+				nt1.set(l, s1, x, trunc.U.At(l*2+s1, x))
+			}
+		}
+	}
+	nt2 := newMPSTensor(chi, dr)
+	vh := trunc.V.ConjTranspose() // chi x (2*dr)
+	for x := 0; x < chi; x++ {
+		for s2 := 0; s2 < 2; s2++ {
+			for r := 0; r < dr; r++ {
+				nt2.set(x, s2, r, complex(trunc.S[x], 0)*vh.At(x, s2*dr+r))
+			}
+		}
+	}
+	st.tensors[p] = nt1
+	st.tensors[p+1] = nt2
+	return nil
+}
+
+// extract converts the MPS to a sparse state via depth-first search with
+// exact branch-probability pruning: right environments bound the total
+// weight under any prefix, so only branches with weight > eps² are
+// visited.
+func (st *mpsState) extract(eps float64) (*quantum.State, error) {
+	n := len(st.tensors)
+	// Right environments: env[i][a*χ+a'] = Σ over suffix states of
+	// A_i..A_{n-1} contractions (Gram matrices).
+	env := make([][]complex128, n+1)
+	env[n] = []complex128{1}
+	for i := n - 1; i >= 0; i-- {
+		t := st.tensors[i]
+		e := env[i+1] // t.dr x t.dr
+		cur := make([]complex128, t.dl*t.dl)
+		for a := 0; a < t.dl; a++ {
+			for a2 := 0; a2 < t.dl; a2++ {
+				var sum complex128
+				for s := 0; s < 2; s++ {
+					for b := 0; b < t.dr; b++ {
+						for b2 := 0; b2 < t.dr; b2++ {
+							sum += t.at(a, s, b) * cmplx.Conj(t.at(a2, s, b2)) * e[b*t.dr+b2]
+						}
+					}
+				}
+				cur[a*t.dl+a2] = sum
+			}
+		}
+		env[i] = cur
+	}
+
+	out := quantum.NewState(n)
+	eps2 := eps * eps
+	// DFS with prefix vector v over the current bond.
+	var walk func(site int, prefix uint64, v []complex128)
+	walk = func(site int, prefix uint64, v []complex128) {
+		if site == n {
+			if len(v) == 1 && cmplx.Abs(v[0]) > eps {
+				out.Set(prefix, v[0])
+			}
+			return
+		}
+		t := st.tensors[site]
+		for s := 0; s < 2; s++ {
+			nv := make([]complex128, t.dr)
+			for b := 0; b < t.dr; b++ {
+				var sum complex128
+				for a := 0; a < t.dl; a++ {
+					sum += v[a] * t.at(a, s, b)
+				}
+				nv[b] = sum
+			}
+			// Branch weight = nv · env[site+1] · nv†.
+			e := env[site+1]
+			var w complex128
+			for b := 0; b < t.dr; b++ {
+				for b2 := 0; b2 < t.dr; b2++ {
+					w += nv[b] * cmplx.Conj(nv[b2]) * e[b*t.dr+b2]
+				}
+			}
+			if math.Abs(real(w)) <= eps2 {
+				continue
+			}
+			var np uint64
+			if s == 1 {
+				np = prefix | uint64(1)<<uint(site)
+			} else {
+				np = prefix
+			}
+			walk(site+1, np, nv)
+		}
+	}
+	walk(0, 0, []complex128{1})
+	return out, nil
+}

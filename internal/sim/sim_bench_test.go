@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"testing"
+
+	"qymera/internal/circuits"
+	"qymera/internal/quantum"
+)
+
+// Per-backend micro-benchmarks over the two canonical workload shapes.
+
+func benchRun(b *testing.B, backend Backend, c *quantum.Circuit) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := backend.Run(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBackendsSparseGHZ16(b *testing.B) {
+	c := circuits.GHZ(16)
+	b.Run("statevector", func(b *testing.B) { benchRun(b, &StateVector{}, c) })
+	b.Run("sparse", func(b *testing.B) { benchRun(b, &Sparse{}, c) })
+	b.Run("sql", func(b *testing.B) { benchRun(b, &SQL{}, c) })
+	b.Run("dd", func(b *testing.B) { benchRun(b, &DD{}, c) })
+	b.Run("mps", func(b *testing.B) { benchRun(b, &MPS{}, c) })
+}
+
+func BenchmarkBackendsDenseQFT8(b *testing.B) {
+	c := circuits.QFT(8)
+	b.Run("statevector", func(b *testing.B) { benchRun(b, &StateVector{}, c) })
+	b.Run("sparse", func(b *testing.B) { benchRun(b, &Sparse{}, c) })
+	b.Run("sql", func(b *testing.B) { benchRun(b, &SQL{}, c) })
+	b.Run("dd", func(b *testing.B) { benchRun(b, &DD{}, c) })
+	b.Run("mps", func(b *testing.B) { benchRun(b, &MPS{}, c) })
+}
+
+func BenchmarkStateVectorGateKernels(b *testing.B) {
+	// Isolated dense gate-application cost at n=16.
+	n := 16
+	amp := make([]complex128, 1<<uint(n))
+	amp[0] = 1
+	h := quantum.Gate{Name: "H", Qubits: []int{7}}.MustMatrix()
+	cx := quantum.Gate{Name: "CX", Qubits: []int{3, 11}}.MustMatrix()
+	b.Run("H", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			applyDense(amp, n, []int{7}, h.Data)
+		}
+	})
+	b.Run("CX", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			applyDense(amp, n, []int{3, 11}, cx.Data)
+		}
+	})
+}
+
+func BenchmarkDDGateApplication(b *testing.B) {
+	// DD cost on a structured 20-qubit state.
+	c := circuits.GHZ(20)
+	benchRun(b, &DD{}, c)
+}
+
+func BenchmarkMPSSVDSplit(b *testing.B) {
+	// Entangling circuit stressing the SVD path.
+	c := circuits.RandomDense(10, 3, 5)
+	benchRun(b, &MPS{}, c)
+}

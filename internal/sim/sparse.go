@@ -1,0 +1,139 @@
+package sim
+
+import (
+	"fmt"
+	"math/cmplx"
+	"time"
+
+	"qymera/internal/quantum"
+)
+
+// Sparse is a hash-map simulator storing only nonzero amplitudes — the
+// in-memory analogue of the relational T(s, r, i) representation. It is
+// the natural middle ground between the dense state vector and the SQL
+// backend: same asymptotics as the relational encoding, no relational
+// engine underneath.
+type Sparse struct {
+	// MemoryBudget, when positive, caps the estimated bytes of the
+	// amplitude map (48 bytes per entry, two live maps during a gate).
+	MemoryBudget int64
+	// PruneEps drops amplitudes with |a| <= eps after each gate;
+	// zero uses the shared default.
+	PruneEps float64
+	// Initial overrides the |0...0⟩ initial state.
+	Initial *quantum.State
+}
+
+// Name implements Backend.
+func (sp *Sparse) Name() string { return "sparse" }
+
+// sparseEntryBytes estimates map overhead per stored amplitude.
+const sparseEntryBytes = 48
+
+// Run implements Backend.
+func (sp *Sparse) Run(c *quantum.Circuit) (*Result, error) {
+	start := time.Now()
+	n := c.NumQubits()
+	eps := sp.PruneEps
+	if eps <= 0 {
+		eps = pruneEpsDefault
+	}
+
+	cur := make(map[uint64]complex128)
+	if sp.Initial != nil {
+		if sp.Initial.NumQubits() != n {
+			return nil, fmt.Errorf("sparse: initial state width %d != circuit width %d", sp.Initial.NumQubits(), n)
+		}
+		for _, idx := range sp.Initial.Indices() {
+			cur[idx] = sp.Initial.Amplitude(idx)
+		}
+	} else {
+		cur[0] = 1
+	}
+
+	var maxEntries int64 = int64(len(cur))
+	var peakBytes int64
+
+	for _, g := range c.Gates() {
+		m, err := g.Matrix()
+		if err != nil {
+			return nil, err
+		}
+		k := len(g.Qubits)
+		kdim := 1 << uint(k)
+		var mask uint64
+		for _, q := range g.Qubits {
+			mask |= uint64(1) << uint(q)
+		}
+		scatter := make([]uint64, kdim)
+		for x := 0; x < kdim; x++ {
+			var s uint64
+			for j, q := range g.Qubits {
+				if x>>uint(j)&1 == 1 {
+					s |= uint64(1) << uint(q)
+				}
+			}
+			scatter[x] = s
+		}
+		gather := func(s uint64) int {
+			x := 0
+			for j, q := range g.Qubits {
+				x |= int(s>>uint(q)&1) << uint(j)
+			}
+			return x
+		}
+
+		next := make(map[uint64]complex128, len(cur))
+		for s, a := range cur {
+			in := gather(s)
+			base := s &^ mask
+			for out := 0; out < kdim; out++ {
+				coef := m.Data[out*kdim+in]
+				if coef == 0 {
+					continue
+				}
+				ns := base | scatter[out]
+				v := next[ns] + a*coef
+				if v == 0 {
+					delete(next, ns)
+				} else {
+					next[ns] = v
+				}
+			}
+		}
+		// Prune tiny amplitudes to keep the support honest.
+		for s, a := range next {
+			if cmplx.Abs(a) <= eps {
+				delete(next, s)
+			}
+		}
+		live := int64(len(cur) + len(next))
+		if liveBytes := live * sparseEntryBytes; liveBytes > peakBytes {
+			peakBytes = liveBytes
+		}
+		if sp.MemoryBudget > 0 && live*sparseEntryBytes > sp.MemoryBudget {
+			return nil, fmt.Errorf("sparse: %d live entries need %d bytes, budget %d: %w",
+				live, live*sparseEntryBytes, sp.MemoryBudget, ErrMemoryBudget)
+		}
+		if int64(len(next)) > maxEntries {
+			maxEntries = int64(len(next))
+		}
+		cur = next
+	}
+
+	state := quantum.NewState(n)
+	for s, a := range cur {
+		state.Set(s, a)
+	}
+	return &Result{
+		State: state,
+		Stats: Stats{
+			Backend:             sp.Name(),
+			WallTime:            time.Since(start),
+			GateCount:           c.Len(),
+			PeakBytes:           peakBytes,
+			FinalNonzeros:       state.Len(),
+			MaxIntermediateSize: maxEntries,
+		},
+	}, nil
+}

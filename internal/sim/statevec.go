@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"fmt"
+	"math/cmplx"
+	"time"
+
+	"qymera/internal/quantum"
+)
+
+// StateVector is the conventional dense simulator: the full 2^n
+// amplitude vector held in memory, the baseline the paper compares the
+// RDBMS approach against. It is exact and fast per gate, but its memory
+// is Θ(2^n) regardless of how sparse the state is.
+type StateVector struct {
+	// MemoryBudget, when positive, caps the bytes of amplitude storage;
+	// runs needing more fail with ErrMemoryBudget (modeling the 2.0 GB
+	// cap of the paper's preliminary experiment).
+	MemoryBudget int64
+	// Initial overrides the |0...0⟩ initial state.
+	Initial *quantum.State
+}
+
+// Name implements Backend.
+func (sv *StateVector) Name() string { return "statevector" }
+
+// maxDenseQubits guards against absurd allocations independent of the
+// budget (2^30 amplitudes = 16 GiB).
+const maxDenseQubits = 30
+
+// Run implements Backend.
+func (sv *StateVector) Run(c *quantum.Circuit) (*Result, error) {
+	start := time.Now()
+	n := c.NumQubits()
+	if n > maxDenseQubits {
+		return nil, fmt.Errorf("statevector: %d qubits exceed the dense limit of %d: %w", n, maxDenseQubits, ErrMemoryBudget)
+	}
+	dim := uint64(1) << uint(n)
+	// One amplitude vector plus a 2^k scratch block per gate; the
+	// vector dominates.
+	needed := int64(dim) * 16
+	if sv.MemoryBudget > 0 && needed > sv.MemoryBudget {
+		return nil, fmt.Errorf("statevector: needs %d bytes for %d qubits, budget %d: %w", needed, n, sv.MemoryBudget, ErrMemoryBudget)
+	}
+
+	amp := make([]complex128, dim)
+	if sv.Initial != nil {
+		if sv.Initial.NumQubits() != n {
+			return nil, fmt.Errorf("statevector: initial state width %d != circuit width %d", sv.Initial.NumQubits(), n)
+		}
+		for _, idx := range sv.Initial.Indices() {
+			amp[idx] = sv.Initial.Amplitude(idx)
+		}
+	} else {
+		amp[0] = 1
+	}
+
+	for _, g := range c.Gates() {
+		m, err := g.Matrix()
+		if err != nil {
+			return nil, err
+		}
+		applyDense(amp, n, g.Qubits, m.Data)
+	}
+
+	state := quantum.NewState(n)
+	for i, a := range amp {
+		if cmplx.Abs(a) > pruneEpsDefault {
+			state.Set(uint64(i), a)
+		}
+	}
+	return &Result{
+		State: state,
+		Stats: Stats{
+			Backend:             sv.Name(),
+			WallTime:            time.Since(start),
+			GateCount:           c.Len(),
+			PeakBytes:           needed,
+			FinalNonzeros:       state.Len(),
+			MaxIntermediateSize: int64(dim),
+		},
+	}, nil
+}
+
+// applyDense applies a k-qubit gate (row-major 2^k × 2^k matrix, element
+// [out*dim+in]) to the dense amplitude vector in place.
+func applyDense(amp []complex128, n int, qubits []int, m []complex128) {
+	k := len(qubits)
+	kdim := 1 << uint(k)
+	var mask uint64
+	for _, q := range qubits {
+		mask |= uint64(1) << uint(q)
+	}
+	scatter := make([]uint64, kdim)
+	for x := 0; x < kdim; x++ {
+		var s uint64
+		for j, q := range qubits {
+			if x>>uint(j)&1 == 1 {
+				s |= uint64(1) << uint(q)
+			}
+		}
+		scatter[x] = s
+	}
+	local := make([]complex128, kdim)
+	dim := uint64(1) << uint(n)
+	for base := uint64(0); base < dim; base++ {
+		if base&mask != 0 {
+			continue // enumerate only indices with the gate's bits clear
+		}
+		for x := 0; x < kdim; x++ {
+			local[x] = amp[base|scatter[x]]
+		}
+		for out := 0; out < kdim; out++ {
+			var sum complex128
+			row := m[out*kdim : (out+1)*kdim]
+			for in := 0; in < kdim; in++ {
+				if row[in] != 0 {
+					sum += row[in] * local[in]
+				}
+			}
+			amp[base|scatter[out]] = sum
+		}
+	}
+}

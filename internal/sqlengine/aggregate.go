@@ -1,0 +1,283 @@
+package sqlengine
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// aggCall describes one aggregate computation extracted from the query.
+type aggCall struct {
+	Name     string // uppercase aggregate name
+	Distinct bool
+	Arg      Expr // nil for COUNT(*)
+}
+
+// aggNode evaluates GROUP BY aggregation. Its output schema is the group
+// expressions (qualified "#grp") followed by aggregate results
+// (qualified "#agg"); the planner rewrites the surrounding SELECT to
+// reference those synthetic columns. DISTINCT is lowered onto this node
+// with all output columns as group keys and no aggregates.
+//
+// The node first materializes evaluated (group key, aggregate argument)
+// tuples into a spillable store, then aggregates hash-partitions of that
+// store recursively, so grouping works beyond the memory budget.
+type aggNode struct {
+	child   planNode
+	groupBy []Expr
+	aggs    []aggCall
+}
+
+func (n *aggNode) schema() planSchema {
+	out := make(planSchema, 0, len(n.groupBy)+len(n.aggs))
+	for i := range n.groupBy {
+		out = append(out, planCol{table: "#grp", name: "g" + strconv.Itoa(i)})
+	}
+	for i := range n.aggs {
+		out = append(out, planCol{table: "#agg", name: "a" + strconv.Itoa(i)})
+	}
+	return out
+}
+
+func (n *aggNode) open(ctx *execCtx) (rowIter, error) {
+	childSchema := n.child.schema()
+	groupC, err := compileAll(ctx, n.groupBy, childSchema)
+	if err != nil {
+		return nil, err
+	}
+	argC := make([]compiledExpr, len(n.aggs))
+	for i, a := range n.aggs {
+		if a.Arg == nil {
+			continue
+		}
+		c, err := ctx.compile(a.Arg, childSchema)
+		if err != nil {
+			return nil, err
+		}
+		argC[i] = c
+	}
+
+	child, err := n.child.open(ctx)
+	if err != nil {
+		return nil, err
+	}
+	// Materialize [group values..., agg arguments...] rows.
+	input := newRowStore(ctx.env)
+	for {
+		row, ok, err := child.Next()
+		if err != nil {
+			child.Close()
+			input.Release()
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		tuple := make(Row, len(groupC)+len(argC))
+		for i, g := range groupC {
+			v, err := g(row)
+			if err != nil {
+				child.Close()
+				input.Release()
+				return nil, err
+			}
+			tuple[i] = v
+		}
+		for i, a := range argC {
+			if a == nil { // COUNT(*): presence marker
+				tuple[len(groupC)+i] = NewBool(true)
+				continue
+			}
+			v, err := a(row)
+			if err != nil {
+				child.Close()
+				input.Release()
+				return nil, err
+			}
+			tuple[len(groupC)+i] = v
+		}
+		if err := input.Append(tuple); err != nil {
+			child.Close()
+			input.Release()
+			return nil, err
+		}
+	}
+	child.Close()
+	if err := input.Freeze(); err != nil {
+		input.Release()
+		return nil, err
+	}
+	defer input.Release()
+
+	out := newRowStore(ctx.env)
+	exec := &aggExec{ctx: ctx, nGroup: len(n.groupBy), aggs: n.aggs}
+	if err := exec.aggregateStore(input, 0, out); err != nil {
+		out.Release()
+		return nil, err
+	}
+	// Global aggregation over empty input yields one default row.
+	if len(n.groupBy) == 0 && out.Len() == 0 && input.Len() == 0 {
+		row := make(Row, len(n.aggs))
+		for i, a := range n.aggs {
+			st, err := newAggState(a.Name, a.Distinct)
+			if err != nil {
+				out.Release()
+				return nil, err
+			}
+			row[i] = st.result()
+		}
+		if err := out.Append(row); err != nil {
+			out.Release()
+			return nil, err
+		}
+	}
+	if err := out.Freeze(); err != nil {
+		out.Release()
+		return nil, err
+	}
+	return newOwnedStoreIter(out)
+}
+
+type aggExec struct {
+	ctx    *execCtx
+	nGroup int
+	aggs   []aggCall
+}
+
+type aggGroup struct {
+	keyVals Row
+	states  []aggState
+}
+
+// aggregateStore hash-aggregates one store; under memory pressure it
+// splits the store into partitions by group-key hash and recurses.
+func (x *aggExec) aggregateStore(input *RowStore, depth int, out *RowStore) error {
+	budget := x.ctx.env.budget
+	groups := make(map[string]*aggGroup)
+	var order []string // first-seen order for deterministic output
+	var reserved int64
+	releaseAll := func() {
+		budget.release(reserved)
+		reserved = 0
+		groups = nil
+		order = nil
+	}
+
+	it, err := input.Iterator()
+	if err != nil {
+		return err
+	}
+	overflow := false
+	for {
+		tuple, ok, err := it.Next()
+		if err != nil {
+			releaseAll()
+			return err
+		}
+		if !ok {
+			break
+		}
+		key := encodeRowKey(tuple[:x.nGroup])
+		g := groups[key]
+		if g == nil {
+			need := rowBytes(tuple) + mapEntryBytes + int64(len(x.aggs))*48
+			if !budget.tryReserve(need) {
+				// See joinStores: allow a working floor so recursive
+				// partitioning always shrinks the per-level state.
+				if reserved+need > x.ctx.env.workingFloor {
+					overflow = true
+					break
+				}
+				budget.reserveForce(need)
+			}
+			reserved += need
+			g = &aggGroup{keyVals: cloneRow(tuple[:x.nGroup]), states: make([]aggState, len(x.aggs))}
+			for i, a := range x.aggs {
+				st, err := newAggState(a.Name, a.Distinct)
+				if err != nil {
+					releaseAll()
+					return err
+				}
+				g.states[i] = st
+			}
+			groups[key] = g
+			order = append(order, key)
+		}
+		for i := range x.aggs {
+			v := tuple[x.nGroup+i]
+			if err := g.states[i].add(v, true); err != nil {
+				releaseAll()
+				return err
+			}
+		}
+	}
+
+	if overflow {
+		releaseAll()
+		if !x.ctx.env.spillEnabled {
+			return errBudget
+		}
+		if depth >= maxGraceDepth {
+			return fmt.Errorf("sqlengine: aggregation exceeded maximum partitioning depth %d", maxGraceDepth)
+		}
+		return x.partitionAndRecurse(input, depth, out)
+	}
+	defer releaseAll()
+
+	for _, key := range order {
+		g := groups[key]
+		row := make(Row, x.nGroup+len(x.aggs))
+		copy(row, g.keyVals)
+		for i, st := range g.states {
+			row[x.nGroup+i] = st.result()
+		}
+		if err := out.Append(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (x *aggExec) partitionAndRecurse(input *RowStore, depth int, out *RowStore) error {
+	fanout := defaultFanout
+	parts := make([]*RowStore, fanout)
+	for i := range parts {
+		parts[i] = newRowStore(x.ctx.env)
+	}
+	it, err := input.Iterator()
+	if err != nil {
+		releaseStores(parts)
+		return err
+	}
+	for {
+		tuple, ok, err := it.Next()
+		if err != nil {
+			releaseStores(parts)
+			return err
+		}
+		if !ok {
+			break
+		}
+		key := encodeRowKey(tuple[:x.nGroup])
+		idx := hashPartition(key, depth, fanout)
+		if err := parts[idx].Append(tuple); err != nil {
+			releaseStores(parts)
+			return err
+		}
+	}
+	for _, p := range parts {
+		if err := p.Freeze(); err != nil {
+			releaseStores(parts)
+			return err
+		}
+	}
+	defer releaseStores(parts)
+	for _, p := range parts {
+		if p.Len() == 0 {
+			continue
+		}
+		if err := x.aggregateStore(p, depth+1, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}

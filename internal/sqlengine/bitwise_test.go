@@ -1,0 +1,167 @@
+package sqlengine
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// TestTable1BitwiseOperators is the conformance check for Table 1 of the
+// paper: every bitwise operator the translation relies on must evaluate
+// correctly inside SQL.
+func TestTable1BitwiseOperators(t *testing.T) {
+	db := newTestDB(t)
+	cases := []struct {
+		sql  string
+		want int64
+	}{
+		// AND
+		{"SELECT 6 & 3", 2},
+		{"SELECT 5 & 1", 1},
+		// OR
+		{"SELECT 4 | 1", 5},
+		{"SELECT 2 | 2", 2},
+		// NOT (two's complement)
+		{"SELECT ~0", -1},
+		{"SELECT ~1", -2},
+		{"SELECT 7 & ~1", 6},
+		{"SELECT 7 & ~6", 1},
+		// Left shift
+		{"SELECT 1 << 3", 8},
+		{"SELECT 3 << 1", 6},
+		// Right shift
+		{"SELECT 8 >> 2", 2},
+		{"SELECT 7 >> 1", 3},
+		// Combinations from the paper's queries.
+		{"SELECT (5 & ~1) | 1", 5},
+		{"SELECT ((6 >> 1) & 3)", 3},
+		{"SELECT (0 & ~6) | (3 << 1)", 6},
+	}
+	for _, tc := range cases {
+		rows := queryAll(t, db, tc.sql)
+		if rows[0][0].T != TypeInt || rows[0][0].I != tc.want {
+			t.Errorf("%s = %v, want %d", tc.sql, rows[0][0], tc.want)
+		}
+	}
+}
+
+func TestBitwiseOnColumns(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, "CREATE TABLE t (s INTEGER)")
+	mustExec(t, db, "INSERT INTO t VALUES (0),(1),(2),(3),(4),(5),(6),(7)")
+	rows := queryAll(t, db, "SELECT s, s & 1, (s >> 1) & 3, (s & ~1) | 1 FROM t ORDER BY s")
+	for i, r := range rows {
+		s := int64(i)
+		if r[1].I != s&1 || r[2].I != (s>>1)&3 || r[3].I != (s&^1)|1 {
+			t.Fatalf("s=%d row = %v", s, r)
+		}
+	}
+}
+
+// TestBitwiseMatchesGoSemantics property-checks SQL evaluation against
+// Go's operators on the full int64 range.
+func TestBitwiseMatchesGoSemantics(t *testing.T) {
+	db := newTestDB(t)
+	f := func(a, b int64, shift uint8) bool {
+		sh := int64(shift % 64)
+		sql := fmt.Sprintf("SELECT (%d) & (%d), (%d) | (%d), ~(%d), (%d) << %d, (%d) >> %d",
+			a, b, a, b, a, a, sh, a, sh)
+		rows := queryAll(t, db, sql)
+		r := rows[0]
+		return r[0].I == a&b && r[1].I == a|b && r[2].I == ^a &&
+			r[3].I == a<<uint(sh) && r[4].I == a>>uint(sh)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitwiseNullPropagation(t *testing.T) {
+	db := newTestDB(t)
+	rows := queryAll(t, db, "SELECT NULL & 1, 1 | NULL, ~NULL, NULL << 1, 1 >> NULL")
+	for i, v := range rows[0] {
+		if !v.IsNull() {
+			t.Fatalf("col %d = %v, want NULL", i, v)
+		}
+	}
+}
+
+func TestBitwisePrecedenceInEngine(t *testing.T) {
+	db := newTestDB(t)
+	// & binds tighter than comparison: 3 & 1 = 1 is (3&1)=1 → TRUE.
+	rows := queryAll(t, db, "SELECT 3 & 1 = 1")
+	if b, known := rows[0][0].Bool(); !known || !b {
+		t.Fatalf("3 & 1 = 1 evaluated to %v", rows[0][0])
+	}
+	// Arithmetic binds tighter than shifts: 1 << 2 + 1 is 1 << 3 = 8.
+	rows = queryAll(t, db, "SELECT 1 << 2 + 1")
+	if rows[0][0].I != 8 {
+		t.Fatalf("1 << 2 + 1 = %v, want 8", rows[0][0])
+	}
+}
+
+// TestFig2GHZQuery executes the paper's running example end to end at the
+// SQL level: 3-qubit GHZ preparation via H and two CX gates, with the
+// exact CTE chain of Fig. 2c.
+func TestFig2GHZQuery(t *testing.T) {
+	db := newTestDB(t)
+	err := db.ExecScript(`
+		CREATE TABLE T0 (s INTEGER, r REAL, i REAL);
+		INSERT INTO T0 VALUES (0, 1.0, 0.0);
+		CREATE TABLE H (in_s INTEGER, out_s INTEGER, r REAL, i REAL);
+		INSERT INTO H VALUES
+			(0, 0, 0.7071067811865476, 0.0),
+			(0, 1, 0.7071067811865476, 0.0),
+			(1, 0, 0.7071067811865476, 0.0),
+			(1, 1, -0.7071067811865476, 0.0);
+		CREATE TABLE CX (in_s INTEGER, out_s INTEGER, r REAL, i REAL);
+		INSERT INTO CX VALUES
+			(0, 0, 1.0, 0.0),
+			(1, 3, 1.0, 0.0),
+			(2, 2, 1.0, 0.0),
+			(3, 1, 1.0, 0.0);
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	query := `WITH T1 AS (
+  SELECT ((T0.s & ~1) | H.out_s) AS s,
+         SUM((T0.r * H.r) - (T0.i * H.i)) AS r,
+         SUM((T0.r * H.i) + (T0.i * H.r)) AS i
+  FROM T0 JOIN H ON H.in_s = (T0.s & 1)
+  GROUP BY ((T0.s & ~1) | H.out_s)
+),
+T2 AS (
+  SELECT ((T1.s & ~3) | CX.out_s) AS s,
+         SUM((T1.r * CX.r) - (T1.i * CX.i)) AS r,
+         SUM((T1.r * CX.i) + (T1.i * CX.r)) AS i
+  FROM T1 JOIN CX ON CX.in_s = (T1.s & 3)
+  GROUP BY ((T1.s & ~3) | CX.out_s)
+),
+T3 AS (
+  SELECT ((T2.s & ~6) | (CX.out_s << 1)) AS s,
+         SUM((T2.r * CX.r) - (T2.i * CX.i)) AS r,
+         SUM((T2.r * CX.i) + (T2.i * CX.r)) AS i
+  FROM T2 JOIN CX ON CX.in_s = ((T2.s >> 1) & 3)
+  GROUP BY ((T2.s & ~6) | (CX.out_s << 1))
+)
+SELECT s, r, i FROM T3 ORDER BY s`
+
+	rows := queryAll(t, db, query)
+	if len(rows) != 2 {
+		t.Fatalf("GHZ state should have 2 basis states, got %v", rows)
+	}
+	const inv = 0.7071067811865476
+	if rows[0][0].I != 0 || rows[1][0].I != 7 {
+		t.Fatalf("basis states = %v, %v, want 0 and 7", rows[0][0], rows[1][0])
+	}
+	for _, r := range rows {
+		if diff := r[1].F - inv; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("amplitude = %v, want %v", r[1].F, inv)
+		}
+		if r[2].F != 0 {
+			t.Fatalf("imaginary = %v, want 0", r[2].F)
+		}
+	}
+}

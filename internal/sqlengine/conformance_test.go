@@ -1,0 +1,199 @@
+package sqlengine
+
+import (
+	"testing"
+)
+
+// SQL semantics conformance: three-valued logic, aggregate edge cases,
+// and clause interactions that the translator and Output Layer queries
+// rely on.
+
+func TestThreeValuedLogicTruthTable(t *testing.T) {
+	db := newTestDB(t)
+	// Render each combination of TRUE/FALSE/NULL through AND and OR.
+	cases := []struct {
+		sql  string
+		want string // "TRUE", "FALSE", or "NULL"
+	}{
+		{"SELECT TRUE AND TRUE", "TRUE"},
+		{"SELECT TRUE AND FALSE", "FALSE"},
+		{"SELECT TRUE AND NULL", "NULL"},
+		{"SELECT FALSE AND NULL", "FALSE"}, // short-circuit: false wins
+		{"SELECT NULL AND NULL", "NULL"},
+		{"SELECT TRUE OR NULL", "TRUE"}, // short-circuit: true wins
+		{"SELECT FALSE OR NULL", "NULL"},
+		{"SELECT FALSE OR FALSE", "FALSE"},
+		{"SELECT NOT NULL", "NULL"},
+		{"SELECT NOT FALSE", "TRUE"},
+		{"SELECT NULL = NULL", "NULL"},
+		{"SELECT NULL != NULL", "NULL"},
+		{"SELECT 1 = NULL", "NULL"},
+		{"SELECT NULL IS NULL", "TRUE"},
+		{"SELECT 1 IS NOT NULL", "TRUE"},
+	}
+	for _, tc := range cases {
+		rows := queryAll(t, db, tc.sql)
+		got := rows[0][0].String()
+		if got != tc.want {
+			t.Errorf("%s = %s, want %s", tc.sql, got, tc.want)
+		}
+	}
+}
+
+func TestAggregateEdgeCases(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, "CREATE TABLE t (x INTEGER)")
+	mustExec(t, db, "INSERT INTO t VALUES (NULL), (NULL)")
+	// COUNT(*) counts rows; COUNT(x) skips NULLs; SUM of all-NULL is
+	// NULL but TOTAL is 0.0.
+	rows := queryAll(t, db, "SELECT COUNT(*), COUNT(x), SUM(x), TOTAL(x), AVG(x) FROM t")
+	r := rows[0]
+	if r[0].I != 2 || r[1].I != 0 || !r[2].IsNull() || r[3].F != 0 || !r[4].IsNull() {
+		t.Fatalf("row = %v", r)
+	}
+	// Mixed int/float SUM promotes to float.
+	mustExec(t, db, "INSERT INTO t VALUES (1)")
+	mustExec(t, db, "CREATE TABLE f (x REAL)")
+	mustExec(t, db, "INSERT INTO f VALUES (1.5), (2)")
+	rows = queryAll(t, db, "SELECT SUM(x) FROM f")
+	if rows[0][0].T != TypeFloat || rows[0][0].F != 3.5 {
+		t.Fatalf("sum = %v", rows[0][0])
+	}
+}
+
+func TestHavingWithoutGroupBy(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, "CREATE TABLE t (x INTEGER)")
+	mustExec(t, db, "INSERT INTO t VALUES (1), (2), (3)")
+	// Global aggregate with HAVING filters the single result row.
+	rows := queryAll(t, db, "SELECT SUM(x) FROM t HAVING SUM(x) > 5")
+	if len(rows) != 1 || rows[0][0].I != 6 {
+		t.Fatalf("rows = %v", rows)
+	}
+	rows = queryAll(t, db, "SELECT SUM(x) FROM t HAVING SUM(x) > 10")
+	if len(rows) != 0 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestGroupByNullsFormOneGroup(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, "CREATE TABLE t (k INTEGER, v INTEGER)")
+	mustExec(t, db, "INSERT INTO t VALUES (NULL, 1), (NULL, 2), (1, 3)")
+	rows := queryAll(t, db, "SELECT k, SUM(v) FROM t GROUP BY k ORDER BY k")
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	// NULLs sort first and group together.
+	if !rows[0][0].IsNull() || rows[0][1].I != 3 {
+		t.Fatalf("null group = %v", rows[0])
+	}
+}
+
+func TestNumericEqualityAcrossTypesInGroupBy(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, "CREATE TABLE t (k REAL)")
+	// 1 and 1.0 group together (SQL numeric equality).
+	mustExec(t, db, "INSERT INTO t VALUES (1), (1.0), (2.5)")
+	rows := queryAll(t, db, "SELECT k, COUNT(*) FROM t GROUP BY k ORDER BY k")
+	if len(rows) != 2 || rows[0][1].I != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestDeepCTEChain(t *testing.T) {
+	// 40 chained CTEs, the shape of a 40-gate circuit translation.
+	db := newTestDB(t)
+	mustExec(t, db, "CREATE TABLE t0 (x INTEGER)")
+	mustExec(t, db, "INSERT INTO t0 VALUES (1)")
+	sql := "WITH "
+	for i := 1; i <= 40; i++ {
+		if i > 1 {
+			sql += ", "
+		}
+		sql += tName(i) + " AS (SELECT x + 1 AS x FROM " + tName(i-1) + ")"
+	}
+	sql += " SELECT x FROM " + tName(40)
+	rows := queryAll(t, db, sql)
+	if rows[0][0].I != 41 {
+		t.Fatalf("x = %v", rows[0][0])
+	}
+}
+
+func tName(i int) string {
+	if i == 0 {
+		return "t0"
+	}
+	return "c" + itoa(i)
+}
+
+func itoa(i int) string {
+	if i < 10 {
+		return string(rune('0' + i))
+	}
+	return itoa(i/10) + itoa(i%10)
+}
+
+func TestSelfJoinAliases(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, "CREATE TABLE t (x INTEGER)")
+	mustExec(t, db, "INSERT INTO t VALUES (1), (2), (3)")
+	// Self-join needs distinct aliases; count ordered pairs x < y.
+	rows := queryAll(t, db, "SELECT COUNT(*) FROM t a JOIN t b ON a.x = a.x WHERE a.x < b.x")
+	if rows[0][0].I != 3 {
+		t.Fatalf("pairs = %v", rows[0][0])
+	}
+}
+
+func TestOrderByNullsFirst(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, "CREATE TABLE t (x INTEGER)")
+	mustExec(t, db, "INSERT INTO t VALUES (2), (NULL), (1)")
+	rows := queryAll(t, db, "SELECT x FROM t ORDER BY x")
+	if !rows[0][0].IsNull() || rows[1][0].I != 1 || rows[2][0].I != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	// DESC puts NULLs last.
+	rows = queryAll(t, db, "SELECT x FROM t ORDER BY x DESC")
+	if !rows[2][0].IsNull() {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestCaseInsensitiveIdentifiers(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, "CREATE TABLE MyTable (SomeCol INTEGER)")
+	mustExec(t, db, "INSERT INTO mytable VALUES (7)")
+	rows := queryAll(t, db, "SELECT SOMECOL FROM MYTABLE")
+	if rows[0][0].I != 7 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestInsertSelectSelfReference(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, "CREATE TABLE t (x INTEGER)")
+	mustExec(t, db, "INSERT INTO t VALUES (1), (2)")
+	// INSERT ... SELECT from the same table must read a snapshot, not
+	// loop forever.
+	n := mustExec(t, db, "INSERT INTO t SELECT x + 10 FROM t")
+	if n != 2 {
+		t.Fatalf("inserted %d", n)
+	}
+	rows := queryAll(t, db, "SELECT COUNT(*) FROM t")
+	if rows[0][0].I != 4 {
+		t.Fatalf("count = %v", rows[0][0])
+	}
+}
+
+func TestTextComparisonAndConcat(t *testing.T) {
+	db := newTestDB(t)
+	rows := queryAll(t, db, "SELECT 'abc' < 'abd', 'a' || 'b' || 'c', LENGTH('' || 42)")
+	r := rows[0]
+	if b, _ := r[0].Bool(); !b {
+		t.Fatalf("compare = %v", r[0])
+	}
+	if r[1].S != "abc" || r[2].I != 2 {
+		t.Fatalf("row = %v", r)
+	}
+}

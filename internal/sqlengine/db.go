@@ -1,0 +1,554 @@
+package sqlengine
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+)
+
+// Config controls an engine instance.
+type Config struct {
+	// MemoryBudget caps the estimated bytes of row data the engine holds
+	// in memory at once (tables, hash tables, sort buffers). Zero or
+	// negative means unlimited.
+	MemoryBudget int64
+	// SpillDir is where temporary spill files are created. Empty uses
+	// the OS temp directory.
+	SpillDir string
+	// DisableSpill turns off out-of-core execution; statements that
+	// exceed the budget fail with a budget error instead of spilling.
+	DisableSpill bool
+}
+
+// TableMeta describes one base table.
+type TableMeta struct {
+	Name  string
+	Cols  []ColumnDef
+	store *RowStore
+}
+
+// Stats is a snapshot of engine counters, used by the benchmarking
+// harness to report memory and spill behaviour.
+type Stats struct {
+	LiveBytes    int64 // current estimated bytes under budget
+	PeakBytes    int64 // high-water mark of budgeted bytes
+	SpilledRows  int64 // rows written to spill files
+	SpilledBytes int64 // bytes written to spill files
+	SpillFiles   int64 // spill files created
+}
+
+// DB is an embedded database instance. It is safe for concurrent use;
+// writes take an exclusive lock.
+type DB struct {
+	mu     sync.RWMutex
+	env    *storageEnv
+	tables map[string]*TableMeta
+	closed bool
+}
+
+// Open creates a new empty database.
+func Open(cfg Config) (*DB, error) {
+	if cfg.SpillDir != "" {
+		if err := os.MkdirAll(cfg.SpillDir, 0o755); err != nil {
+			return nil, fmt.Errorf("sqlengine: creating spill dir: %w", err)
+		}
+	}
+	var floor int64
+	if cfg.MemoryBudget > 0 {
+		floor = cfg.MemoryBudget / 4
+		if floor < 8*1024 {
+			floor = 8 * 1024
+		}
+	}
+	env := &storageEnv{
+		budget:       newMemBudget(cfg.MemoryBudget),
+		spillDir:     cfg.SpillDir,
+		spillEnabled: !cfg.DisableSpill,
+		workingFloor: floor,
+	}
+	return &DB{env: env, tables: map[string]*TableMeta{}}, nil
+}
+
+// Close releases all tables and spill files.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil
+	}
+	db.closed = true
+	for _, t := range db.tables {
+		t.store.Release()
+	}
+	db.tables = nil
+	return nil
+}
+
+// Stats returns a snapshot of engine counters.
+func (db *DB) Stats() Stats {
+	return Stats{
+		LiveBytes:    db.env.budget.used.Load(),
+		PeakBytes:    db.env.budget.peak.Load(),
+		SpilledRows:  db.env.spilledRows.Load(),
+		SpilledBytes: db.env.spilledBytes.Load(),
+		SpillFiles:   db.env.spillFiles.Load(),
+	}
+}
+
+// ResetPeak zeroes the peak-memory high-water mark (between benchmark
+// phases).
+func (db *DB) ResetPeak() { db.env.budget.peak.Store(db.env.budget.used.Load()) }
+
+func (db *DB) lookupTable(name string) *TableMeta {
+	return db.tables[strings.ToLower(name)]
+}
+
+// Tables lists the table names in the catalog.
+func (db *DB) Tables() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.tables))
+	for _, t := range db.tables {
+		out = append(out, t.Name)
+	}
+	return out
+}
+
+// ResultSet holds a fully materialized query result. Always Close it:
+// large results may be backed by spill files.
+type ResultSet struct {
+	Columns []string
+	store   *RowStore
+	it      *RowIterator
+}
+
+// Next returns the next row, or ok=false at the end.
+func (rs *ResultSet) Next() (Row, bool, error) {
+	if rs.it == nil {
+		var err error
+		rs.it, err = rs.store.Iterator()
+		if err != nil {
+			return nil, false, err
+		}
+	}
+	return rs.it.Next()
+}
+
+// Len returns the number of rows in the result.
+func (rs *ResultSet) Len() int64 { return rs.store.Len() }
+
+// All drains the result into a slice (convenience for tests and small
+// results).
+func (rs *ResultSet) All() ([]Row, error) {
+	var out []Row
+	for {
+		row, ok, err := rs.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, row)
+	}
+}
+
+// Close releases the backing store.
+func (rs *ResultSet) Close() {
+	if rs.store != nil {
+		rs.store.Release()
+		rs.store = nil
+	}
+}
+
+// Query parses and executes a SELECT, returning a materialized result.
+func (db *DB) Query(sqlText string, params ...Value) (*ResultSet, error) {
+	stmt, nparams, err := ParseStatement(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	if nparams > len(params) {
+		return nil, fmt.Errorf("sqlengine: statement needs %d parameters, got %d", nparams, len(params))
+	}
+	sel, ok := stmt.(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("sqlengine: Query requires a SELECT statement")
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return nil, fmt.Errorf("sqlengine: database is closed")
+	}
+	return db.runSelect(sel, params)
+}
+
+func (db *DB) runSelect(sel *SelectStmt, params []Value) (*ResultSet, error) {
+	ctx := &execCtx{env: db.env, params: params}
+	p := &planner{ctx: ctx, db: db}
+	defer p.release()
+	node, names, err := p.planSelect(sel, nil)
+	if err != nil {
+		return nil, err
+	}
+	it, err := node.open(ctx)
+	if err != nil {
+		return nil, err
+	}
+	store, err := materialize(db.env, it)
+	it.Close()
+	if err != nil {
+		return nil, err
+	}
+	return &ResultSet{Columns: names, store: store}, nil
+}
+
+// Exec parses and executes any statement. For DML it returns the number
+// of affected rows; for SELECT it returns the row count.
+func (db *DB) Exec(sqlText string, params ...Value) (int64, error) {
+	stmt, nparams, err := ParseStatement(sqlText)
+	if err != nil {
+		return 0, err
+	}
+	if nparams > len(params) {
+		return 0, fmt.Errorf("sqlengine: statement needs %d parameters, got %d", nparams, len(params))
+	}
+	return db.execStmt(stmt, params)
+}
+
+// ExecScript runs a semicolon-separated script, stopping at the first
+// error.
+func (db *DB) ExecScript(script string) error {
+	stmts, err := ParseScript(script)
+	if err != nil {
+		return err
+	}
+	for _, stmt := range stmts {
+		if _, err := db.execStmt(stmt, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (db *DB) execStmt(stmt Statement, params []Value) (int64, error) {
+	switch s := stmt.(type) {
+	case *SelectStmt:
+		rs, err := func() (*ResultSet, error) {
+			db.mu.RLock()
+			defer db.mu.RUnlock()
+			if db.closed {
+				return nil, fmt.Errorf("sqlengine: database is closed")
+			}
+			return db.runSelect(s, params)
+		}()
+		if err != nil {
+			return 0, err
+		}
+		n := rs.Len()
+		rs.Close()
+		return n, nil
+	case *CreateTableStmt:
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		return db.execCreate(s, params)
+	case *DropTableStmt:
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		return db.execDrop(s)
+	case *InsertStmt:
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		return db.execInsert(s, params)
+	case *DeleteStmt:
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		return db.execDelete(s, params)
+	case *UpdateStmt:
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		return db.execUpdate(s, params)
+	}
+	return 0, fmt.Errorf("sqlengine: unsupported statement %T", stmt)
+}
+
+func (db *DB) execCreate(s *CreateTableStmt, params []Value) (int64, error) {
+	if db.closed {
+		return 0, fmt.Errorf("sqlengine: database is closed")
+	}
+	key := strings.ToLower(s.Name)
+	if _, exists := db.tables[key]; exists {
+		if s.IfNotExists {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("sqlengine: table %s already exists", s.Name)
+	}
+	if s.AsSelect != nil {
+		rs, err := db.runSelect(s.AsSelect, params)
+		if err != nil {
+			return 0, err
+		}
+		cols := make([]ColumnDef, len(rs.Columns))
+		for i, c := range rs.Columns {
+			cols[i] = ColumnDef{Name: c, Type: TypeNull} // dynamic typing
+		}
+		db.tables[key] = &TableMeta{Name: s.Name, Cols: cols, store: rs.store}
+		rs.store.Thaw()
+		return rs.store.Len(), nil
+	}
+	seen := map[string]bool{}
+	for _, c := range s.Cols {
+		lc := strings.ToLower(c.Name)
+		if seen[lc] {
+			return 0, fmt.Errorf("sqlengine: duplicate column %s", c.Name)
+		}
+		seen[lc] = true
+	}
+	db.tables[key] = &TableMeta{Name: s.Name, Cols: s.Cols, store: newRowStore(db.env)}
+	return 0, nil
+}
+
+func (db *DB) execDrop(s *DropTableStmt) (int64, error) {
+	key := strings.ToLower(s.Name)
+	t, ok := db.tables[key]
+	if !ok {
+		if s.IfExists {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("sqlengine: no such table: %s", s.Name)
+	}
+	t.store.Release()
+	delete(db.tables, key)
+	return 0, nil
+}
+
+// resolveInsertColumns maps the INSERT column list to table slots.
+func resolveInsertColumns(meta *TableMeta, cols []string) ([]int, error) {
+	if len(cols) == 0 {
+		idx := make([]int, len(meta.Cols))
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx, nil
+	}
+	idx := make([]int, len(cols))
+	for i, c := range cols {
+		found := -1
+		for j, mc := range meta.Cols {
+			if strings.EqualFold(mc.Name, c) {
+				found = j
+				break
+			}
+		}
+		if found < 0 {
+			return nil, fmt.Errorf("sqlengine: table %s has no column %s", meta.Name, c)
+		}
+		idx[i] = found
+	}
+	return idx, nil
+}
+
+func (db *DB) execInsert(s *InsertStmt, params []Value) (int64, error) {
+	meta := db.lookupTable(s.Table)
+	if meta == nil {
+		return 0, fmt.Errorf("sqlengine: no such table: %s", s.Table)
+	}
+	slots, err := resolveInsertColumns(meta, s.Cols)
+	if err != nil {
+		return 0, err
+	}
+
+	buildRow := func(vals []Value) (Row, error) {
+		if len(vals) != len(slots) {
+			return nil, fmt.Errorf("sqlengine: INSERT has %d values for %d columns", len(vals), len(slots))
+		}
+		row := make(Row, len(meta.Cols))
+		for i := range row {
+			row[i] = Null
+		}
+		for i, v := range vals {
+			slot := slots[i]
+			row[slot] = applyAffinity(v, meta.Cols[slot].Type)
+		}
+		return row, nil
+	}
+
+	var count int64
+	if s.Select != nil {
+		rs, err := db.runSelect(s.Select, params)
+		if err != nil {
+			return 0, err
+		}
+		defer rs.Close()
+		meta.store.Thaw()
+		for {
+			row, ok, err := rs.Next()
+			if err != nil {
+				return count, err
+			}
+			if !ok {
+				break
+			}
+			out, err := buildRow(row)
+			if err != nil {
+				return count, err
+			}
+			if err := meta.store.Append(out); err != nil {
+				return count, err
+			}
+			count++
+		}
+		return count, nil
+	}
+
+	ctx := &compileCtx{resolver: planSchema(nil), params: params}
+	meta.store.Thaw()
+	for _, exprRow := range s.Rows {
+		vals := make([]Value, len(exprRow))
+		for i, e := range exprRow {
+			c, err := compileExpr(e, ctx)
+			if err != nil {
+				return count, err
+			}
+			v, err := c(nil)
+			if err != nil {
+				return count, err
+			}
+			vals[i] = v
+		}
+		out, err := buildRow(vals)
+		if err != nil {
+			return count, err
+		}
+		if err := meta.store.Append(out); err != nil {
+			return count, err
+		}
+		count++
+	}
+	return count, nil
+}
+
+// rewriteTable filters/transforms every row of a table into a fresh
+// store, swapping on success. Used by DELETE and UPDATE.
+func (db *DB) rewriteTable(meta *TableMeta, transform func(Row) (Row, bool, error)) (int64, error) {
+	newStore := newRowStore(db.env)
+	it, err := meta.store.Iterator()
+	if err != nil {
+		newStore.Release()
+		return 0, err
+	}
+	var changed int64
+	for {
+		row, ok, err := it.Next()
+		if err != nil {
+			newStore.Release()
+			return 0, err
+		}
+		if !ok {
+			break
+		}
+		out, didChange, err := transform(row)
+		if err != nil {
+			newStore.Release()
+			return 0, err
+		}
+		if didChange {
+			changed++
+		}
+		if out != nil {
+			if err := newStore.Append(out); err != nil {
+				newStore.Release()
+				return 0, err
+			}
+		}
+	}
+	meta.store.Release()
+	meta.store = newStore
+	return changed, nil
+}
+
+func (db *DB) execDelete(s *DeleteStmt, params []Value) (int64, error) {
+	meta := db.lookupTable(s.Table)
+	if meta == nil {
+		return 0, fmt.Errorf("sqlengine: no such table: %s", s.Table)
+	}
+	schema := make(planSchema, len(meta.Cols))
+	for i, c := range meta.Cols {
+		schema[i] = planCol{table: strings.ToLower(meta.Name), name: strings.ToLower(c.Name)}
+	}
+	var pred compiledExpr
+	if s.Where != nil {
+		var err error
+		pred, err = compileExpr(s.Where, &compileCtx{resolver: schema, params: params})
+		if err != nil {
+			return 0, err
+		}
+	}
+	return db.rewriteTable(meta, func(row Row) (Row, bool, error) {
+		if pred == nil {
+			return nil, true, nil // delete all
+		}
+		v, err := pred(row)
+		if err != nil {
+			return nil, false, err
+		}
+		if b, known := v.Bool(); known && b {
+			return nil, true, nil
+		}
+		return row, false, nil
+	})
+}
+
+func (db *DB) execUpdate(s *UpdateStmt, params []Value) (int64, error) {
+	meta := db.lookupTable(s.Table)
+	if meta == nil {
+		return 0, fmt.Errorf("sqlengine: no such table: %s", s.Table)
+	}
+	schema := make(planSchema, len(meta.Cols))
+	for i, c := range meta.Cols {
+		schema[i] = planCol{table: strings.ToLower(meta.Name), name: strings.ToLower(c.Name)}
+	}
+	cctx := &compileCtx{resolver: schema, params: params}
+	slots := make([]int, len(s.Cols))
+	exprs := make([]compiledExpr, len(s.Cols))
+	for i, c := range s.Cols {
+		idx, err := schema.resolveColumn("", c)
+		if err != nil {
+			return 0, err
+		}
+		slots[i] = idx
+		ce, err := compileExpr(s.Exprs[i], cctx)
+		if err != nil {
+			return 0, err
+		}
+		exprs[i] = ce
+	}
+	var pred compiledExpr
+	if s.Where != nil {
+		var err error
+		pred, err = compileExpr(s.Where, cctx)
+		if err != nil {
+			return 0, err
+		}
+	}
+	return db.rewriteTable(meta, func(row Row) (Row, bool, error) {
+		if pred != nil {
+			v, err := pred(row)
+			if err != nil {
+				return nil, false, err
+			}
+			if b, known := v.Bool(); !known || !b {
+				return row, false, nil
+			}
+		}
+		out := cloneRow(row)
+		for i, slot := range slots {
+			v, err := exprs[i](row)
+			if err != nil {
+				return nil, false, err
+			}
+			out[slot] = applyAffinity(v, meta.Cols[slot].Type)
+		}
+		return out, true, nil
+	})
+}

@@ -1,0 +1,171 @@
+package sqlengine
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// Engine micro-benchmarks: the operator costs underlying the SQL
+// backend's per-gate time.
+
+func benchDB(b *testing.B, rows int) *DB {
+	b.Helper()
+	db, err := Open(Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { db.Close() })
+	if _, err := db.Exec("CREATE TABLE t (s INTEGER, r REAL, i REAL)"); err != nil {
+		b.Fatal(err)
+	}
+	batch := make([]string, 0, 500)
+	for k := 0; k < rows; k++ {
+		batch = append(batch, fmt.Sprintf("(%d, %g, 0.0)", k, 1.0/float64(rows)))
+		if len(batch) == 500 || k == rows-1 {
+			if _, err := db.Exec("INSERT INTO t VALUES " + strings.Join(batch, ",")); err != nil {
+				b.Fatal(err)
+			}
+			batch = batch[:0]
+		}
+	}
+	return db
+}
+
+func BenchmarkParse(b *testing.B) {
+	src := `WITH T1 AS (
+	  SELECT ((T0.s & ~1) | H.out_s) AS s,
+	         SUM((T0.r * H.r) - (T0.i * H.i)) AS r,
+	         SUM((T0.r * H.i) + (T0.i * H.r)) AS i
+	  FROM T0 JOIN H ON H.in_s = (T0.s & 1)
+	  GROUP BY ((T0.s & ~1) | H.out_s)
+	) SELECT s, r, i FROM T1 ORDER BY s`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ParseStatement(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScanFilter(b *testing.B) {
+	db := benchDB(b, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs, err := db.Query("SELECT s FROM t WHERE (s & 7) = 3")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rs.Len() != 512 {
+			b.Fatalf("rows = %d", rs.Len())
+		}
+		rs.Close()
+	}
+}
+
+func BenchmarkHashJoin(b *testing.B) {
+	db := benchDB(b, 4096)
+	if _, err := db.Exec("CREATE TABLE g (in_s INTEGER, out_s INTEGER, r REAL, i REAL)"); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := db.Exec("INSERT INTO g VALUES (0,0,0.70710678,0),(0,1,0.70710678,0),(1,0,0.70710678,0),(1,1,-0.70710678,0)"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs, err := db.Query("SELECT COUNT(*) FROM t JOIN g ON g.in_s = (t.s & 1)")
+		if err != nil {
+			b.Fatal(err)
+		}
+		rs.Close()
+	}
+}
+
+func BenchmarkGroupByAggregate(b *testing.B) {
+	db := benchDB(b, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs, err := db.Query("SELECT (s & 255) AS k, SUM(r), COUNT(*) FROM t GROUP BY (s & 255)")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rs.Len() != 256 {
+			b.Fatalf("groups = %d", rs.Len())
+		}
+		rs.Close()
+	}
+}
+
+func BenchmarkOrderBy(b *testing.B) {
+	db := benchDB(b, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs, err := db.Query("SELECT s FROM t ORDER BY r DESC, s")
+		if err != nil {
+			b.Fatal(err)
+		}
+		rs.Close()
+	}
+}
+
+func BenchmarkGateStageQuery(b *testing.B) {
+	// The exact shape of one translated gate application.
+	db := benchDB(b, 4096)
+	if _, err := db.Exec("CREATE TABLE h (in_s INTEGER, out_s INTEGER, r REAL, i REAL)"); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := db.Exec("INSERT INTO h VALUES (0,0,0.70710678,0),(0,1,0.70710678,0),(1,0,0.70710678,0),(1,1,-0.70710678,0)"); err != nil {
+		b.Fatal(err)
+	}
+	q := `SELECT ((t.s & ~1) | h.out_s) AS s,
+	       SUM((t.r * h.r) - (t.i * h.i)) AS r,
+	       SUM((t.r * h.i) + (t.i * h.r)) AS i
+	FROM t JOIN h ON h.in_s = (t.s & 1)
+	GROUP BY ((t.s & ~1) | h.out_s)`
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs, err := db.Query(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rs.Len() != 4096 {
+			b.Fatalf("rows = %d", rs.Len())
+		}
+		rs.Close()
+	}
+}
+
+func BenchmarkSpillingAggregate(b *testing.B) {
+	db, err := Open(Config{MemoryBudget: 64 << 10, SpillDir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Exec("CREATE TABLE t (s INTEGER, r REAL, i REAL)"); err != nil {
+		b.Fatal(err)
+	}
+	batch := make([]string, 0, 500)
+	for k := 0; k < 8192; k++ {
+		batch = append(batch, fmt.Sprintf("(%d, 0.5, 0.0)", k))
+		if len(batch) == 500 || k == 8191 {
+			if _, err := db.Exec("INSERT INTO t VALUES " + strings.Join(batch, ",")); err != nil {
+				b.Fatal(err)
+			}
+			batch = batch[:0]
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs, err := db.Query("SELECT s, SUM(r) FROM t GROUP BY s")
+		if err != nil {
+			b.Fatal(err)
+		}
+		rs.Close()
+	}
+}

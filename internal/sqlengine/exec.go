@@ -1,0 +1,356 @@
+package sqlengine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// planCol names one output column of an operator: a qualifier (table
+// alias, lowercase, possibly empty or synthetic like "#agg") and the
+// column name.
+type planCol struct {
+	table string
+	name  string
+}
+
+// planSchema is an operator's output schema; it doubles as the column
+// resolver for expression compilation.
+type planSchema []planCol
+
+func (s planSchema) resolveColumn(table, name string) (int, error) {
+	table = strings.ToLower(table)
+	name = strings.ToLower(name)
+	found := -1
+	for i, c := range s {
+		if c.name != name {
+			continue
+		}
+		if table != "" && c.table != table {
+			continue
+		}
+		if found >= 0 {
+			if table == "" {
+				return 0, fmt.Errorf("sqlengine: ambiguous column %q", name)
+			}
+			return 0, fmt.Errorf("sqlengine: ambiguous column %q.%q", table, name)
+		}
+		found = i
+	}
+	if found < 0 {
+		if table != "" {
+			return 0, fmt.Errorf("sqlengine: no such column %s.%s", table, name)
+		}
+		return 0, fmt.Errorf("sqlengine: no such column %s", name)
+	}
+	return found, nil
+}
+
+// hasTable reports whether the schema exposes the given qualifier.
+func (s planSchema) hasTable(table string) bool {
+	table = strings.ToLower(table)
+	for _, c := range s {
+		if c.table == table {
+			return true
+		}
+	}
+	return false
+}
+
+// rowIter is the volcano iterator contract. Close must be idempotent and
+// release all resources (spill files, budget reservations).
+type rowIter interface {
+	Next() (Row, bool, error)
+	Close()
+}
+
+// planNode is a physical operator.
+type planNode interface {
+	schema() planSchema
+	open(ctx *execCtx) (rowIter, error)
+}
+
+// execCtx carries per-statement execution state.
+type execCtx struct {
+	env    *storageEnv
+	params []Value
+}
+
+func (ctx *execCtx) compile(e Expr, schema planSchema) (compiledExpr, error) {
+	return compileExpr(e, &compileCtx{resolver: schema, params: ctx.params})
+}
+
+// oneRowNode emits a single empty row; it backs FROM-less selects.
+type oneRowNode struct{}
+
+func (*oneRowNode) schema() planSchema { return nil }
+
+func (*oneRowNode) open(*execCtx) (rowIter, error) { return &sliceIter{rows: []Row{{}}}, nil }
+
+// sliceIter iterates an in-memory row slice.
+type sliceIter struct {
+	rows []Row
+	pos  int
+}
+
+func (it *sliceIter) Next() (Row, bool, error) {
+	if it.pos >= len(it.rows) {
+		return nil, false, nil
+	}
+	r := it.rows[it.pos]
+	it.pos++
+	return r, true, nil
+}
+
+func (it *sliceIter) Close() {}
+
+// storeScanNode scans a RowStore with a fixed schema. The store is owned
+// elsewhere (a base table or a materialized CTE); ownStore marks stores
+// that must be released when the iterator closes.
+type storeScanNode struct {
+	store    *RowStore
+	cols     planSchema
+	ownStore bool
+}
+
+func (n *storeScanNode) schema() planSchema { return n.cols }
+
+func (n *storeScanNode) open(*execCtx) (rowIter, error) {
+	it, err := n.store.Iterator()
+	if err != nil {
+		return nil, err
+	}
+	return &storeScanIter{it: it, store: n.store, own: n.ownStore}, nil
+}
+
+type storeScanIter struct {
+	it    *RowIterator
+	store *RowStore
+	own   bool
+}
+
+func (s *storeScanIter) Next() (Row, bool, error) { return s.it.Next() }
+
+func (s *storeScanIter) Close() {
+	if s.own && s.store != nil {
+		s.store.Release()
+		s.store = nil
+	}
+}
+
+// filterNode drops rows whose predicate is not true.
+type filterNode struct {
+	child planNode
+	pred  Expr
+}
+
+func (n *filterNode) schema() planSchema { return n.child.schema() }
+
+func (n *filterNode) open(ctx *execCtx) (rowIter, error) {
+	pred, err := ctx.compile(n.pred, n.child.schema())
+	if err != nil {
+		return nil, err
+	}
+	child, err := n.child.open(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &filterIter{child: child, pred: pred}, nil
+}
+
+type filterIter struct {
+	child rowIter
+	pred  compiledExpr
+}
+
+func (it *filterIter) Next() (Row, bool, error) {
+	for {
+		row, ok, err := it.child.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		v, err := it.pred(row)
+		if err != nil {
+			return nil, false, err
+		}
+		if b, known := v.Bool(); known && b {
+			return row, true, nil
+		}
+	}
+}
+
+func (it *filterIter) Close() { it.child.Close() }
+
+// projectNode computes output expressions.
+type projectNode struct {
+	child planNode
+	exprs []Expr
+	cols  planSchema
+}
+
+func (n *projectNode) schema() planSchema { return n.cols }
+
+func (n *projectNode) open(ctx *execCtx) (rowIter, error) {
+	compiled := make([]compiledExpr, len(n.exprs))
+	for i, e := range n.exprs {
+		c, err := ctx.compile(e, n.child.schema())
+		if err != nil {
+			return nil, err
+		}
+		compiled[i] = c
+	}
+	child, err := n.child.open(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &projectIter{child: child, exprs: compiled}, nil
+}
+
+type projectIter struct {
+	child rowIter
+	exprs []compiledExpr
+}
+
+func (it *projectIter) Next() (Row, bool, error) {
+	row, ok, err := it.child.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	out := make(Row, len(it.exprs))
+	for i, e := range it.exprs {
+		v, err := e(row)
+		if err != nil {
+			return nil, false, err
+		}
+		out[i] = v
+	}
+	return out, true, nil
+}
+
+func (it *projectIter) Close() { it.child.Close() }
+
+// sliceProjectNode projects by column index (used to strip hidden sort
+// keys).
+type sliceProjectNode struct {
+	child planNode
+	keep  int // keep columns [0, keep)
+}
+
+func (n *sliceProjectNode) schema() planSchema { return n.child.schema()[:n.keep] }
+
+func (n *sliceProjectNode) open(ctx *execCtx) (rowIter, error) {
+	child, err := n.child.open(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &sliceProjectIter{child: child, keep: n.keep}, nil
+}
+
+type sliceProjectIter struct {
+	child rowIter
+	keep  int
+}
+
+func (it *sliceProjectIter) Next() (Row, bool, error) {
+	row, ok, err := it.child.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	return row[:it.keep], true, nil
+}
+
+func (it *sliceProjectIter) Close() { it.child.Close() }
+
+// limitNode implements LIMIT/OFFSET with precomputed counts (-1 = none).
+type limitNode struct {
+	child         planNode
+	limit, offset Expr
+}
+
+func (n *limitNode) schema() planSchema { return n.child.schema() }
+
+func (n *limitNode) open(ctx *execCtx) (rowIter, error) {
+	eval := func(e Expr) (int64, error) {
+		if e == nil {
+			return -1, nil
+		}
+		c, err := ctx.compile(e, nil)
+		if err != nil {
+			return 0, err
+		}
+		v, err := c(nil)
+		if err != nil {
+			return 0, err
+		}
+		if v.IsNull() {
+			return -1, nil
+		}
+		return v.AsInt()
+	}
+	limit, err := eval(n.limit)
+	if err != nil {
+		return nil, err
+	}
+	offset, err := eval(n.offset)
+	if err != nil {
+		return nil, err
+	}
+	if offset < 0 {
+		offset = 0
+	}
+	child, err := n.child.open(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &limitIter{child: child, limit: limit, offset: offset}, nil
+}
+
+type limitIter struct {
+	child         rowIter
+	limit, offset int64
+	emitted       int64
+}
+
+func (it *limitIter) Next() (Row, bool, error) {
+	for it.offset > 0 {
+		_, ok, err := it.child.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		it.offset--
+	}
+	if it.limit >= 0 && it.emitted >= it.limit {
+		return nil, false, nil
+	}
+	row, ok, err := it.child.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	it.emitted++
+	return row, true, nil
+}
+
+func (it *limitIter) Close() { it.child.Close() }
+
+// materialize drains an iterator into a fresh RowStore.
+func materialize(env *storageEnv, it rowIter) (*RowStore, error) {
+	store := newRowStore(env)
+	for {
+		row, ok, err := it.Next()
+		if err != nil {
+			store.Release()
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		if err := store.Append(row); err != nil {
+			store.Release()
+			return nil, err
+		}
+	}
+	if err := store.Freeze(); err != nil {
+		store.Release()
+		return nil, err
+	}
+	return store, nil
+}

@@ -1,0 +1,131 @@
+package sqlengine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Explain returns a rendering of the physical plan for a SELECT
+// statement without executing it. CTEs are inlined as subplans (one per
+// reference) instead of being materialized, so EXPLAIN itself does no
+// data movement.
+func (db *DB) Explain(sqlText string, params ...Value) (string, error) {
+	stmt, nparams, err := ParseStatement(sqlText)
+	if err != nil {
+		return "", err
+	}
+	if nparams > len(params) {
+		// Explaining with unbound parameters is fine; bind NULLs.
+		pad := make([]Value, nparams-len(params))
+		params = append(params, pad...)
+	}
+	sel, ok := stmt.(*SelectStmt)
+	if !ok {
+		return "", fmt.Errorf("sqlengine: EXPLAIN requires a SELECT statement")
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return "", fmt.Errorf("sqlengine: database is closed")
+	}
+	ctx := &execCtx{env: db.env, params: params}
+	p := &planner{ctx: ctx, db: db, explain: true}
+	defer p.release()
+	node, names, err := p.planSelect(sel, nil)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "output: %s\n", strings.Join(names, ", "))
+	describePlan(&b, node, 0)
+	return b.String(), nil
+}
+
+func describePlan(b *strings.Builder, node planNode, depth int) {
+	pad := strings.Repeat("  ", depth)
+	switch n := node.(type) {
+	case *oneRowNode:
+		fmt.Fprintf(b, "%sOneRow\n", pad)
+	case *storeScanNode:
+		qual := ""
+		if len(n.cols) > 0 {
+			qual = n.cols[0].table
+		}
+		fmt.Fprintf(b, "%sScan %s (rows=%d, cols=%d)\n", pad, qual, n.store.Len(), len(n.cols))
+	case *filterNode:
+		fmt.Fprintf(b, "%sFilter %s\n", pad, n.pred.Deparse())
+		describePlan(b, n.child, depth+1)
+	case *projectNode:
+		exprs := make([]string, len(n.exprs))
+		for i, e := range n.exprs {
+			exprs[i] = e.Deparse()
+		}
+		fmt.Fprintf(b, "%sProject %s\n", pad, strings.Join(exprs, ", "))
+		describePlan(b, n.child, depth+1)
+	case *sliceProjectNode:
+		fmt.Fprintf(b, "%sStripHiddenColumns keep=%d\n", pad, n.keep)
+		describePlan(b, n.child, depth+1)
+	case *joinNode:
+		if len(n.leftKeys) > 0 {
+			keys := make([]string, len(n.leftKeys))
+			for i := range n.leftKeys {
+				keys[i] = n.leftKeys[i].Deparse() + " = " + n.rightKeys[i].Deparse()
+			}
+			residual := ""
+			if n.residual != nil {
+				residual = " residual=" + n.residual.Deparse()
+			}
+			fmt.Fprintf(b, "%sHashJoin (%s) on %s%s\n", pad, n.joinType, strings.Join(keys, " AND "), residual)
+		} else {
+			pred := ""
+			if n.residual != nil {
+				pred = " on " + n.residual.Deparse()
+			}
+			fmt.Fprintf(b, "%sNestedLoopJoin (%s)%s\n", pad, n.joinType, pred)
+		}
+		describePlan(b, n.left, depth+1)
+		describePlan(b, n.right, depth+1)
+	case *aggNode:
+		keys := make([]string, len(n.groupBy))
+		for i, g := range n.groupBy {
+			keys[i] = g.Deparse()
+		}
+		aggs := make([]string, len(n.aggs))
+		for i, a := range n.aggs {
+			arg := "*"
+			if a.Arg != nil {
+				arg = a.Arg.Deparse()
+			}
+			d := ""
+			if a.Distinct {
+				d = "DISTINCT "
+			}
+			aggs[i] = fmt.Sprintf("%s(%s%s)", a.Name, d, arg)
+		}
+		label := "HashAggregate"
+		if len(n.aggs) == 0 {
+			label = "HashDistinct"
+		}
+		fmt.Fprintf(b, "%s%s keys=[%s] aggs=[%s]\n", pad, label, strings.Join(keys, ", "), strings.Join(aggs, ", "))
+		describePlan(b, n.child, depth+1)
+	case *sortNode:
+		keys := make([]string, len(n.keys))
+		for i, k := range n.keys {
+			dir := "ASC"
+			if k.desc {
+				dir = "DESC"
+			}
+			keys[i] = k.expr.Deparse() + " " + dir
+		}
+		fmt.Fprintf(b, "%sSort %s (external merge when over budget)\n", pad, strings.Join(keys, ", "))
+		describePlan(b, n.child, depth+1)
+	case *limitNode:
+		fmt.Fprintf(b, "%sLimit\n", pad)
+		describePlan(b, n.child, depth+1)
+	case *aliasNode:
+		fmt.Fprintf(b, "%sAs %s\n", pad, n.table)
+		describePlan(b, n.child, depth+1)
+	default:
+		fmt.Fprintf(b, "%s%T\n", pad, node)
+	}
+}

@@ -1,0 +1,478 @@
+package sqlengine
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// isAggregateName reports whether the (uppercase) function name is an
+// aggregate.
+func isAggregateName(name string) bool {
+	switch name {
+	case "COUNT", "SUM", "TOTAL", "AVG", "MIN", "MAX":
+		return true
+	}
+	return false
+}
+
+// compileScalarFunc compiles a non-aggregate function call.
+func compileScalarFunc(n *FuncCall, ctx *compileCtx) (compiledExpr, error) {
+	args := make([]compiledExpr, len(n.Args))
+	for i, a := range n.Args {
+		c, err := compileExpr(a, ctx)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = c
+	}
+	need := func(min, max int) error {
+		if len(args) < min || (max >= 0 && len(args) > max) {
+			return fmt.Errorf("sqlengine: function %s: wrong argument count %d", n.Name, len(args))
+		}
+		return nil
+	}
+	evalArgs := func(row Row) ([]Value, error) {
+		vals := make([]Value, len(args))
+		for i, a := range args {
+			v, err := a(row)
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = v
+		}
+		return vals, nil
+	}
+
+	float1 := func(f func(float64) float64) (compiledExpr, error) {
+		if err := need(1, 1); err != nil {
+			return nil, err
+		}
+		return func(row Row) (Value, error) {
+			v, err := args[0](row)
+			if err != nil || v.IsNull() {
+				return Null, err
+			}
+			x, err := v.AsFloat()
+			if err != nil {
+				return Null, err
+			}
+			return NewFloat(f(x)), nil
+		}, nil
+	}
+
+	switch n.Name {
+	case "ABS":
+		if err := need(1, 1); err != nil {
+			return nil, err
+		}
+		return func(row Row) (Value, error) {
+			v, err := args[0](row)
+			if err != nil || v.IsNull() {
+				return Null, err
+			}
+			switch v.T {
+			case TypeInt:
+				if v.I < 0 {
+					return NewInt(-v.I), nil
+				}
+				return v, nil
+			case TypeFloat:
+				return NewFloat(math.Abs(v.F)), nil
+			}
+			return Null, fmt.Errorf("sqlengine: ABS requires a numeric argument")
+		}, nil
+
+	case "SQRT":
+		return float1(math.Sqrt)
+	case "EXP":
+		return float1(math.Exp)
+	case "LN":
+		return float1(math.Log)
+	case "LOG2":
+		return float1(math.Log2)
+	case "SIN":
+		return float1(math.Sin)
+	case "COS":
+		return float1(math.Cos)
+	case "FLOOR":
+		return float1(math.Floor)
+	case "CEIL", "CEILING":
+		return float1(math.Ceil)
+
+	case "POW", "POWER":
+		if err := need(2, 2); err != nil {
+			return nil, err
+		}
+		return func(row Row) (Value, error) {
+			vals, err := evalArgs(row)
+			if err != nil {
+				return Null, err
+			}
+			if vals[0].IsNull() || vals[1].IsNull() {
+				return Null, nil
+			}
+			a, err := vals[0].AsFloat()
+			if err != nil {
+				return Null, err
+			}
+			b, err := vals[1].AsFloat()
+			if err != nil {
+				return Null, err
+			}
+			return NewFloat(math.Pow(a, b)), nil
+		}, nil
+
+	case "ROUND":
+		if err := need(1, 2); err != nil {
+			return nil, err
+		}
+		return func(row Row) (Value, error) {
+			vals, err := evalArgs(row)
+			if err != nil {
+				return Null, err
+			}
+			if vals[0].IsNull() {
+				return Null, nil
+			}
+			x, err := vals[0].AsFloat()
+			if err != nil {
+				return Null, err
+			}
+			digits := int64(0)
+			if len(vals) == 2 && !vals[1].IsNull() {
+				digits, err = vals[1].AsInt()
+				if err != nil {
+					return Null, err
+				}
+			}
+			scale := math.Pow(10, float64(digits))
+			return NewFloat(math.Round(x*scale) / scale), nil
+		}, nil
+
+	case "SIGN":
+		if err := need(1, 1); err != nil {
+			return nil, err
+		}
+		return func(row Row) (Value, error) {
+			v, err := args[0](row)
+			if err != nil || v.IsNull() {
+				return Null, err
+			}
+			x, err := v.AsFloat()
+			if err != nil {
+				return Null, err
+			}
+			switch {
+			case x > 0:
+				return NewInt(1), nil
+			case x < 0:
+				return NewInt(-1), nil
+			}
+			return NewInt(0), nil
+		}, nil
+
+	case "MOD":
+		if err := need(2, 2); err != nil {
+			return nil, err
+		}
+		return func(row Row) (Value, error) {
+			vals, err := evalArgs(row)
+			if err != nil {
+				return Null, err
+			}
+			return Arithmetic("%", vals[0], vals[1])
+		}, nil
+
+	case "LENGTH":
+		if err := need(1, 1); err != nil {
+			return nil, err
+		}
+		return func(row Row) (Value, error) {
+			v, err := args[0](row)
+			if err != nil || v.IsNull() {
+				return Null, err
+			}
+			return NewInt(int64(len(v.String()))), nil
+		}, nil
+
+	case "LOWER":
+		if err := need(1, 1); err != nil {
+			return nil, err
+		}
+		return func(row Row) (Value, error) {
+			v, err := args[0](row)
+			if err != nil || v.IsNull() {
+				return Null, err
+			}
+			return NewText(strings.ToLower(v.String())), nil
+		}, nil
+
+	case "UPPER":
+		if err := need(1, 1); err != nil {
+			return nil, err
+		}
+		return func(row Row) (Value, error) {
+			v, err := args[0](row)
+			if err != nil || v.IsNull() {
+				return Null, err
+			}
+			return NewText(strings.ToUpper(v.String())), nil
+		}, nil
+
+	case "SUBSTR", "SUBSTRING":
+		if err := need(2, 3); err != nil {
+			return nil, err
+		}
+		return func(row Row) (Value, error) {
+			vals, err := evalArgs(row)
+			if err != nil {
+				return Null, err
+			}
+			if vals[0].IsNull() || vals[1].IsNull() {
+				return Null, nil
+			}
+			s := vals[0].String()
+			start, err := vals[1].AsInt()
+			if err != nil {
+				return Null, err
+			}
+			// SQL is 1-based.
+			if start < 1 {
+				start = 1
+			}
+			if start > int64(len(s)) {
+				return NewText(""), nil
+			}
+			out := s[start-1:]
+			if len(vals) == 3 && !vals[2].IsNull() {
+				n, err := vals[2].AsInt()
+				if err != nil {
+					return Null, err
+				}
+				if n < 0 {
+					n = 0
+				}
+				if n < int64(len(out)) {
+					out = out[:n]
+				}
+			}
+			return NewText(out), nil
+		}, nil
+
+	case "COALESCE":
+		if err := need(1, -1); err != nil {
+			return nil, err
+		}
+		return func(row Row) (Value, error) {
+			for _, a := range args {
+				v, err := a(row)
+				if err != nil {
+					return Null, err
+				}
+				if !v.IsNull() {
+					return v, nil
+				}
+			}
+			return Null, nil
+		}, nil
+
+	case "NULLIF":
+		if err := need(2, 2); err != nil {
+			return nil, err
+		}
+		return func(row Row) (Value, error) {
+			vals, err := evalArgs(row)
+			if err != nil {
+				return Null, err
+			}
+			if cmp, ok := CompareSQL(vals[0], vals[1]); ok && cmp == 0 {
+				return Null, nil
+			}
+			return vals[0], nil
+		}, nil
+
+	case "IIF":
+		if err := need(3, 3); err != nil {
+			return nil, err
+		}
+		return func(row Row) (Value, error) {
+			c, err := args[0](row)
+			if err != nil {
+				return Null, err
+			}
+			if b, known := c.Bool(); known && b {
+				return args[1](row)
+			}
+			return args[2](row)
+		}, nil
+	}
+	return nil, fmt.Errorf("sqlengine: unknown function %s", n.Name)
+}
+
+// aggState accumulates one aggregate over a group.
+type aggState interface {
+	add(v Value, present bool) error
+	result() Value
+}
+
+// newAggState constructs the accumulator for an aggregate call.
+// countStar aggregates receive present=true per row with v ignored.
+func newAggState(name string, distinct bool) (aggState, error) {
+	var base aggState
+	switch name {
+	case "COUNT":
+		base = &countAgg{}
+	case "SUM":
+		base = &sumAgg{}
+	case "TOTAL":
+		base = &sumAgg{total: true}
+	case "AVG":
+		base = &avgAgg{}
+	case "MIN":
+		base = &minMaxAgg{min: true}
+	case "MAX":
+		base = &minMaxAgg{}
+	default:
+		return nil, fmt.Errorf("sqlengine: unknown aggregate %s", name)
+	}
+	if distinct {
+		return &distinctAgg{inner: base, seen: make(map[string]bool)}, nil
+	}
+	return base, nil
+}
+
+type countAgg struct{ n int64 }
+
+func (a *countAgg) add(v Value, present bool) error {
+	if present && !v.IsNull() {
+		a.n++
+	}
+	return nil
+}
+func (a *countAgg) result() Value { return NewInt(a.n) }
+
+// sumAgg implements SUM (NULL on empty input) and TOTAL (0.0 on empty).
+// Integer inputs keep integer arithmetic until a float appears, like
+// SQLite.
+type sumAgg struct {
+	total   bool
+	anyRow  bool
+	isFloat bool
+	i       int64
+	f       float64
+}
+
+func (a *sumAgg) add(v Value, present bool) error {
+	if !present || v.IsNull() {
+		return nil
+	}
+	a.anyRow = true
+	switch v.T {
+	case TypeInt, TypeBool:
+		if a.isFloat {
+			a.f += float64(v.I)
+		} else {
+			a.i += v.I
+		}
+	case TypeFloat:
+		if !a.isFloat {
+			a.isFloat = true
+			a.f = float64(a.i)
+		}
+		a.f += v.F
+	default:
+		return fmt.Errorf("sqlengine: SUM over non-numeric value %q", v.String())
+	}
+	return nil
+}
+
+func (a *sumAgg) result() Value {
+	if !a.anyRow {
+		if a.total {
+			return NewFloat(0)
+		}
+		return Null
+	}
+	if a.isFloat || a.total {
+		if a.isFloat {
+			return NewFloat(a.f)
+		}
+		return NewFloat(float64(a.i))
+	}
+	return NewInt(a.i)
+}
+
+type avgAgg struct {
+	n int64
+	f float64
+}
+
+func (a *avgAgg) add(v Value, present bool) error {
+	if !present || v.IsNull() {
+		return nil
+	}
+	x, err := v.AsFloat()
+	if err != nil {
+		return err
+	}
+	a.n++
+	a.f += x
+	return nil
+}
+
+func (a *avgAgg) result() Value {
+	if a.n == 0 {
+		return Null
+	}
+	return NewFloat(a.f / float64(a.n))
+}
+
+type minMaxAgg struct {
+	min   bool
+	any   bool
+	value Value
+}
+
+func (a *minMaxAgg) add(v Value, present bool) error {
+	if !present || v.IsNull() {
+		return nil
+	}
+	if !a.any {
+		a.any = true
+		a.value = v
+		return nil
+	}
+	cmp := CompareTotal(v, a.value)
+	if (a.min && cmp < 0) || (!a.min && cmp > 0) {
+		a.value = v
+	}
+	return nil
+}
+
+func (a *minMaxAgg) result() Value {
+	if !a.any {
+		return Null
+	}
+	return a.value
+}
+
+// distinctAgg de-duplicates inputs before delegating.
+type distinctAgg struct {
+	inner aggState
+	seen  map[string]bool
+}
+
+func (a *distinctAgg) add(v Value, present bool) error {
+	if !present || v.IsNull() {
+		return a.inner.add(v, present)
+	}
+	key := encodeValueKey(v)
+	if a.seen[key] {
+		return nil
+	}
+	a.seen[key] = true
+	return a.inner.add(v, present)
+}
+
+func (a *distinctAgg) result() Value { return a.inner.result() }

@@ -1,0 +1,476 @@
+package sqlengine
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Limits for recursive grace partitioning.
+const (
+	maxGraceDepth = 8
+	defaultFanout = 16
+	mapEntryBytes = 64 // estimated per-entry map bookkeeping overhead
+)
+
+// joinNode implements INNER, LEFT, and CROSS joins. When equi-key pairs
+// were extracted from the ON clause it runs a hash join that degrades to
+// recursive grace partitioning under memory pressure; otherwise it runs a
+// block nested-loop join.
+type joinNode struct {
+	left, right planNode
+	joinType    string // "INNER", "LEFT", "CROSS"
+	leftKeys    []Expr // parallel with rightKeys
+	rightKeys   []Expr
+	residual    Expr // may be nil
+}
+
+func (n *joinNode) schema() planSchema {
+	ls := n.left.schema()
+	rs := n.right.schema()
+	out := make(planSchema, 0, len(ls)+len(rs))
+	out = append(out, ls...)
+	out = append(out, rs...)
+	return out
+}
+
+func (n *joinNode) open(ctx *execCtx) (rowIter, error) {
+	ls, rs := n.left.schema(), n.right.schema()
+	var residual compiledExpr
+	if n.residual != nil {
+		var err error
+		residual, err = ctx.compile(n.residual, n.schema())
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	leftIter, err := n.left.open(ctx)
+	if err != nil {
+		return nil, err
+	}
+	rightIter, err := n.right.open(ctx)
+	if err != nil {
+		leftIter.Close()
+		return nil, err
+	}
+
+	exec := &joinExec{
+		ctx:        ctx,
+		joinType:   n.joinType,
+		residual:   residual,
+		leftWidth:  len(ls),
+		rightWidth: len(rs),
+	}
+
+	if len(n.leftKeys) > 0 {
+		lk, err := compileAll(ctx, n.leftKeys, ls)
+		if err != nil {
+			leftIter.Close()
+			rightIter.Close()
+			return nil, err
+		}
+		rk, err := compileAll(ctx, n.rightKeys, rs)
+		if err != nil {
+			leftIter.Close()
+			rightIter.Close()
+			return nil, err
+		}
+		exec.nkeys = len(lk)
+		out, err := exec.hashJoin(leftIter, rightIter, lk, rk)
+		leftIter.Close()
+		rightIter.Close()
+		if err != nil {
+			return nil, err
+		}
+		return newOwnedStoreIter(out)
+	}
+
+	out, err := exec.nestedLoop(leftIter, rightIter)
+	leftIter.Close()
+	rightIter.Close()
+	if err != nil {
+		return nil, err
+	}
+	return newOwnedStoreIter(out)
+}
+
+func compileAll(ctx *execCtx, exprs []Expr, schema planSchema) ([]compiledExpr, error) {
+	out := make([]compiledExpr, len(exprs))
+	for i, e := range exprs {
+		c, err := ctx.compile(e, schema)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = c
+	}
+	return out, nil
+}
+
+// newOwnedStoreIter wraps a result store in an iterator that releases it
+// on Close.
+func newOwnedStoreIter(store *RowStore) (rowIter, error) {
+	it, err := store.Iterator()
+	if err != nil {
+		store.Release()
+		return nil, err
+	}
+	return &storeScanIter{it: it, store: store, own: true}, nil
+}
+
+type joinExec struct {
+	ctx        *execCtx
+	joinType   string
+	residual   compiledExpr
+	nkeys      int
+	leftWidth  int
+	rightWidth int
+}
+
+// hashJoin materializes both inputs with their join keys prepended, then
+// joins recursively.
+func (j *joinExec) hashJoin(left, right rowIter, lk, rk []compiledExpr) (*RowStore, error) {
+	leftStore, err := j.materializeKeyed(left, lk)
+	if err != nil {
+		return nil, err
+	}
+	defer leftStore.Release()
+	rightStore, err := j.materializeKeyed(right, rk)
+	if err != nil {
+		return nil, err
+	}
+	defer rightStore.Release()
+
+	out := newRowStore(j.ctx.env)
+	if err := j.joinStores(leftStore, rightStore, 0, out); err != nil {
+		out.Release()
+		return nil, err
+	}
+	if err := out.Freeze(); err != nil {
+		out.Release()
+		return nil, err
+	}
+	return out, nil
+}
+
+// materializeKeyed stores each input row as [key values..., original row...].
+func (j *joinExec) materializeKeyed(it rowIter, keys []compiledExpr) (*RowStore, error) {
+	store := newRowStore(j.ctx.env)
+	for {
+		row, ok, err := it.Next()
+		if err != nil {
+			store.Release()
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		keyed := make(Row, len(keys)+len(row))
+		for i, k := range keys {
+			v, err := k(row)
+			if err != nil {
+				store.Release()
+				return nil, err
+			}
+			keyed[i] = v
+		}
+		copy(keyed[len(keys):], row)
+		if err := store.Append(keyed); err != nil {
+			store.Release()
+			return nil, err
+		}
+	}
+	if err := store.Freeze(); err != nil {
+		store.Release()
+		return nil, err
+	}
+	return store, nil
+}
+
+// keyOf extracts the encoded join key of a keyed row; ok=false when any
+// key component is NULL (SQL equi-joins never match on NULL).
+func (j *joinExec) keyOf(keyed Row) (string, bool) {
+	for _, v := range keyed[:j.nkeys] {
+		if v.IsNull() {
+			return "", false
+		}
+	}
+	return encodeRowKey(keyed[:j.nkeys]), true
+}
+
+// joinStores joins two keyed stores, appending combined rows to out. It
+// builds a hash table on the right input; on memory pressure it
+// partitions both sides and recurses.
+func (j *joinExec) joinStores(leftStore, rightStore *RowStore, depth int, out *RowStore) error {
+	budget := j.ctx.env.budget
+	build := make(map[string][]Row)
+	var reserved int64
+	releaseAll := func() {
+		budget.release(reserved)
+		reserved = 0
+		build = nil
+	}
+
+	it, err := rightStore.Iterator()
+	if err != nil {
+		return err
+	}
+	overflow := false
+	for {
+		keyed, ok, err := it.Next()
+		if err != nil {
+			releaseAll()
+			return err
+		}
+		if !ok {
+			break
+		}
+		key, valid := j.keyOf(keyed)
+		if !valid {
+			continue
+		}
+		need := rowBytes(keyed) + mapEntryBytes
+		if !budget.tryReserve(need) {
+			// Operators may claim a small working floor even when
+			// tables hold the whole budget; otherwise partitioning
+			// could never make progress.
+			if reserved+need > j.ctx.env.workingFloor {
+				overflow = true
+				break
+			}
+			budget.reserveForce(need)
+		}
+		reserved += need
+		orig := keyed[j.nkeys:]
+		build[key] = append(build[key], orig)
+	}
+
+	if overflow {
+		releaseAll()
+		if !j.ctx.env.spillEnabled {
+			return errBudget
+		}
+		if depth >= maxGraceDepth {
+			return fmt.Errorf("sqlengine: hash join exceeded maximum partitioning depth %d", maxGraceDepth)
+		}
+		return j.partitionAndRecurse(leftStore, rightStore, depth, out)
+	}
+	defer releaseAll()
+
+	// Probe with the left input.
+	lit, err := leftStore.Iterator()
+	if err != nil {
+		return err
+	}
+	for {
+		keyed, ok, err := lit.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		leftRow := keyed[j.nkeys:]
+		key, valid := j.keyOf(keyed)
+		matched := false
+		if valid {
+			for _, rightRow := range build[key] {
+				combined := make(Row, 0, len(leftRow)+len(rightRow))
+				combined = append(combined, leftRow...)
+				combined = append(combined, rightRow...)
+				pass, err := j.passesResidual(combined)
+				if err != nil {
+					return err
+				}
+				if !pass {
+					continue
+				}
+				matched = true
+				if err := out.Append(combined); err != nil {
+					return err
+				}
+			}
+		}
+		if !matched && j.joinType == "LEFT" {
+			if err := out.Append(nullExtend(leftRow, j.rightWidth)); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+func (j *joinExec) passesResidual(combined Row) (bool, error) {
+	if j.residual == nil {
+		return true, nil
+	}
+	v, err := j.residual(combined)
+	if err != nil {
+		return false, err
+	}
+	b, known := v.Bool()
+	return known && b, nil
+}
+
+func nullExtend(left Row, rightWidth int) Row {
+	combined := make(Row, len(left)+rightWidth)
+	copy(combined, left)
+	for i := len(left); i < len(combined); i++ {
+		combined[i] = Null
+	}
+	return combined
+}
+
+// partitionAndRecurse splits both keyed stores into fanout partitions by
+// key hash (salted per depth) and joins matching pairs.
+func (j *joinExec) partitionAndRecurse(leftStore, rightStore *RowStore, depth int, out *RowStore) error {
+	fanout := defaultFanout
+	lparts, err := j.partition(leftStore, fanout, depth, true)
+	if err != nil {
+		return err
+	}
+	defer releaseStores(lparts)
+	rparts, err := j.partition(rightStore, fanout, depth, false)
+	if err != nil {
+		return err
+	}
+	defer releaseStores(rparts)
+	for i := 0; i < fanout; i++ {
+		if err := j.joinStores(lparts[i], rparts[i], depth+1, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// partition distributes keyed rows by hash. keepNullKeys controls whether
+// rows with NULL keys are kept (needed on the left side of LEFT joins so
+// they can be null-extended) — they land in partition 0.
+func (j *joinExec) partition(store *RowStore, fanout, depth int, keepNullKeys bool) ([]*RowStore, error) {
+	parts := make([]*RowStore, fanout)
+	for i := range parts {
+		parts[i] = newRowStore(j.ctx.env)
+	}
+	it, err := store.Iterator()
+	if err != nil {
+		releaseStores(parts)
+		return nil, err
+	}
+	for {
+		keyed, ok, err := it.Next()
+		if err != nil {
+			releaseStores(parts)
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		key, valid := j.keyOf(keyed)
+		if !valid {
+			if !keepNullKeys || j.joinType != "LEFT" {
+				continue
+			}
+			if err := parts[0].Append(keyed); err != nil {
+				releaseStores(parts)
+				return nil, err
+			}
+			continue
+		}
+		idx := hashPartition(key, depth, fanout)
+		if err := parts[idx].Append(keyed); err != nil {
+			releaseStores(parts)
+			return nil, err
+		}
+	}
+	for _, p := range parts {
+		if err := p.Freeze(); err != nil {
+			releaseStores(parts)
+			return nil, err
+		}
+	}
+	return parts, nil
+}
+
+func releaseStores(stores []*RowStore) {
+	for _, s := range stores {
+		if s != nil {
+			s.Release()
+		}
+	}
+}
+
+func hashPartition(key string, depth, fanout int) int {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	// FNV-1a's low bits correlate for short sequential keys, which
+	// makes recursive partitioning degenerate (a bucket's keys all land
+	// in the same sub-bucket). A splitmix64 finalizer seeded by depth
+	// decorrelates the levels.
+	x := h.Sum64() + uint64(depth)*0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return int(x % uint64(fanout))
+}
+
+// nestedLoop joins without equi keys: the right side is materialized and
+// rescanned per left row.
+func (j *joinExec) nestedLoop(left, right rowIter) (*RowStore, error) {
+	rightStore, err := materialize(j.ctx.env, right)
+	if err != nil {
+		return nil, err
+	}
+	defer rightStore.Release()
+
+	out := newRowStore(j.ctx.env)
+	fail := func(err error) (*RowStore, error) {
+		out.Release()
+		return nil, err
+	}
+	for {
+		leftRow, ok, err := left.Next()
+		if err != nil {
+			return fail(err)
+		}
+		if !ok {
+			break
+		}
+		matched := false
+		rit, err := rightStore.Iterator()
+		if err != nil {
+			return fail(err)
+		}
+		for {
+			rightRow, rok, err := rit.Next()
+			if err != nil {
+				return fail(err)
+			}
+			if !rok {
+				break
+			}
+			combined := make(Row, 0, len(leftRow)+len(rightRow))
+			combined = append(combined, leftRow...)
+			combined = append(combined, rightRow...)
+			pass, err := j.passesResidual(combined)
+			if err != nil {
+				return fail(err)
+			}
+			if !pass {
+				continue
+			}
+			matched = true
+			if err := out.Append(combined); err != nil {
+				return fail(err)
+			}
+		}
+		if !matched && j.joinType == "LEFT" {
+			if err := out.Append(nullExtend(leftRow, j.rightWidth)); err != nil {
+				return fail(err)
+			}
+		}
+	}
+	if err := out.Freeze(); err != nil {
+		return fail(err)
+	}
+	return out, nil
+}

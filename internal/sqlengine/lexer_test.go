@@ -1,0 +1,135 @@
+package sqlengine
+
+import (
+	"strings"
+	"testing"
+)
+
+func kinds(toks []token) []tokenKind {
+	out := make([]tokenKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.kind
+	}
+	return out
+}
+
+func TestLexBasicSelect(t *testing.T) {
+	toks, err := lexSQL("SELECT s, r FROM T0 WHERE s = 1;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var texts []string
+	for _, tok := range toks {
+		texts = append(texts, tok.text)
+	}
+	want := "SELECT s , r FROM T0 WHERE s = 1 ; "
+	if got := strings.Join(texts, " "); got != want {
+		t.Fatalf("tokens = %q, want %q", got, want)
+	}
+}
+
+func TestLexBitwiseOperators(t *testing.T) {
+	toks, err := lexSQL("a & ~b | c << 2 >> 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ops []string
+	for _, tok := range toks {
+		if tok.kind == tokOp {
+			ops = append(ops, tok.text)
+		}
+	}
+	want := []string{"&", "~", "|", "<<", ">>"}
+	if len(ops) != len(want) {
+		t.Fatalf("ops = %v", ops)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Fatalf("ops = %v, want %v", ops, want)
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	cases := map[string]tokenKind{
+		"42":      tokNumber,
+		"3.14":    tokNumber,
+		"1e10":    tokNumber,
+		"2.5E-3":  tokNumber,
+		".5":      tokNumber,
+		"0.70710": tokNumber,
+	}
+	for src, kind := range cases {
+		toks, err := lexSQL(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		if toks[0].kind != kind || toks[0].text != src {
+			t.Fatalf("%q lexed as %v %q", src, toks[0].kind, toks[0].text)
+		}
+	}
+}
+
+func TestLexStringsAndQuotedIdents(t *testing.T) {
+	toks, err := lexSQL(`SELECT "weird name", 'it''s' FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[1].kind != tokIdent || toks[1].text != "weird name" {
+		t.Fatalf("quoted ident = %+v", toks[1])
+	}
+	if toks[3].kind != tokString || toks[3].text != "it's" {
+		t.Fatalf("string = %+v", toks[3])
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := lexSQL("SELECT 1 -- line comment\n /* block\ncomment */ + 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SELECT, 1, +, 2, EOF
+	if len(toks) != 5 {
+		t.Fatalf("tokens = %v", kinds(toks))
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"'unterminated", `"unterminated`, "SELECT #"} {
+		if _, err := lexSQL(src); err == nil {
+			t.Fatalf("%q: expected lex error", src)
+		}
+	}
+}
+
+func TestLexParam(t *testing.T) {
+	toks, err := lexSQL("SELECT ? + ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, tok := range toks {
+		if tok.kind == tokParam {
+			n++
+		}
+	}
+	if n != 2 {
+		t.Fatalf("param count = %d", n)
+	}
+}
+
+func TestLexKeywordsCaseInsensitive(t *testing.T) {
+	toks, err := lexSQL("select FROM Select")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].kind != tokKeyword || toks[0].text != "SELECT" {
+		t.Fatalf("tok0 = %+v", toks[0])
+	}
+	if toks[1].kind != tokKeyword || toks[1].text != "FROM" {
+		t.Fatalf("tok1 = %+v", toks[1])
+	}
+	if toks[2].kind != tokKeyword {
+		t.Fatalf("tok2 = %+v", toks[2])
+	}
+}

@@ -1,0 +1,262 @@
+package sqlengine
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) Statement {
+	t.Helper()
+	stmt, _, err := ParseStatement(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return stmt
+}
+
+func TestParseCreateTable(t *testing.T) {
+	stmt := mustParse(t, "CREATE TABLE T0 (s INTEGER, r REAL, i REAL)").(*CreateTableStmt)
+	if stmt.Name != "T0" || len(stmt.Cols) != 3 {
+		t.Fatalf("stmt = %+v", stmt)
+	}
+	if stmt.Cols[0].Type != TypeInt || stmt.Cols[1].Type != TypeFloat {
+		t.Fatalf("types = %+v", stmt.Cols)
+	}
+	ifne := mustParse(t, "CREATE TABLE IF NOT EXISTS x (a INT PRIMARY KEY, b TEXT NOT NULL)").(*CreateTableStmt)
+	if !ifne.IfNotExists || len(ifne.Cols) != 2 {
+		t.Fatalf("stmt = %+v", ifne)
+	}
+}
+
+func TestParseCreateTableAsSelect(t *testing.T) {
+	stmt := mustParse(t, "CREATE TABLE T1 AS SELECT s, r FROM T0").(*CreateTableStmt)
+	if stmt.AsSelect == nil || len(stmt.AsSelect.Items) != 2 {
+		t.Fatalf("stmt = %+v", stmt)
+	}
+}
+
+func TestParseInsert(t *testing.T) {
+	stmt := mustParse(t, "INSERT INTO H (in_s, out_s, r, i) VALUES (0, 0, 0.7071, 0.0), (0, 1, 0.7071, 0.0)").(*InsertStmt)
+	if stmt.Table != "H" || len(stmt.Cols) != 4 || len(stmt.Rows) != 2 {
+		t.Fatalf("stmt = %+v", stmt)
+	}
+	sel := mustParse(t, "INSERT INTO t SELECT a FROM u").(*InsertStmt)
+	if sel.Select == nil {
+		t.Fatal("expected INSERT..SELECT")
+	}
+}
+
+func TestParseSelectWithCTEChain(t *testing.T) {
+	// The exact shape of the paper's Fig. 2c query.
+	src := `WITH T1 AS (
+	  SELECT ((T0.s & ~1) | H.out_s) AS s,
+	         SUM((T0.r * H.r) - (T0.i * H.i)) AS r,
+	         SUM((T0.r * H.i) + (T0.i * H.r)) AS i
+	  FROM T0 JOIN H ON H.in_s = (T0.s & 1)
+	  GROUP BY ((T0.s & ~1) | H.out_s)
+	)
+	SELECT s, r, i FROM T1 ORDER BY s`
+	stmt := mustParse(t, src).(*SelectStmt)
+	if len(stmt.With) != 1 || stmt.With[0].Name != "T1" {
+		t.Fatalf("with = %+v", stmt.With)
+	}
+	inner := stmt.With[0].Select
+	if len(inner.Items) != 3 || len(inner.Joins) != 1 || len(inner.GroupBy) != 1 {
+		t.Fatalf("inner = %+v", inner)
+	}
+	if inner.Joins[0].Type != "INNER" {
+		t.Fatalf("join type = %s", inner.Joins[0].Type)
+	}
+	if len(stmt.OrderBy) != 1 || stmt.OrderBy[0].Desc {
+		t.Fatalf("order by = %+v", stmt.OrderBy)
+	}
+}
+
+func TestParsePrecedenceBitwiseVsComparison(t *testing.T) {
+	// & binds tighter than =, so this parses as (a & 1) = 1.
+	stmt := mustParse(t, "SELECT a & 1 = 1 FROM t").(*SelectStmt)
+	e := stmt.Items[0].Expr.(*BinaryExpr)
+	if e.Op != "=" {
+		t.Fatalf("top op = %s, want =", e.Op)
+	}
+	if l, ok := e.L.(*BinaryExpr); !ok || l.Op != "&" {
+		t.Fatalf("lhs = %s", e.L.Deparse())
+	}
+}
+
+func TestParsePrecedenceArithVsBitwise(t *testing.T) {
+	// * binds tighter than <<: a << b*c  =>  a << (b*c)
+	stmt := mustParse(t, "SELECT a << b * c FROM t").(*SelectStmt)
+	e := stmt.Items[0].Expr.(*BinaryExpr)
+	if e.Op != "<<" {
+		t.Fatalf("top = %s", e.Op)
+	}
+	if r, ok := e.R.(*BinaryExpr); !ok || r.Op != "*" {
+		t.Fatalf("rhs = %s", e.R.Deparse())
+	}
+}
+
+func TestParseUnaryBitwiseNot(t *testing.T) {
+	stmt := mustParse(t, "SELECT s & ~6 FROM t").(*SelectStmt)
+	e := stmt.Items[0].Expr.(*BinaryExpr)
+	u, ok := e.R.(*UnaryExpr)
+	if !ok || u.Op != "~" {
+		t.Fatalf("expr = %s", e.Deparse())
+	}
+}
+
+func TestParseAliases(t *testing.T) {
+	stmt := mustParse(t, "SELECT t.a AS x, b y FROM tbl t").(*SelectStmt)
+	if stmt.Items[0].Alias != "x" || stmt.Items[1].Alias != "y" {
+		t.Fatalf("aliases = %+v", stmt.Items)
+	}
+	from := stmt.From.(*TableName)
+	if from.Name != "tbl" || from.Alias != "t" {
+		t.Fatalf("from = %+v", from)
+	}
+}
+
+func TestParseJoinVariants(t *testing.T) {
+	stmt := mustParse(t, "SELECT * FROM a JOIN b ON a.x = b.x LEFT JOIN c ON b.y = c.y CROSS JOIN d").(*SelectStmt)
+	if len(stmt.Joins) != 3 {
+		t.Fatalf("joins = %d", len(stmt.Joins))
+	}
+	if stmt.Joins[0].Type != "INNER" || stmt.Joins[1].Type != "LEFT" || stmt.Joins[2].Type != "CROSS" {
+		t.Fatalf("types = %v %v %v", stmt.Joins[0].Type, stmt.Joins[1].Type, stmt.Joins[2].Type)
+	}
+	comma := mustParse(t, "SELECT * FROM a, b").(*SelectStmt)
+	if len(comma.Joins) != 1 || comma.Joins[0].Type != "CROSS" {
+		t.Fatalf("comma join = %+v", comma.Joins)
+	}
+}
+
+func TestParseSubqueryInFrom(t *testing.T) {
+	stmt := mustParse(t, "SELECT q.s FROM (SELECT s FROM t) AS q").(*SelectStmt)
+	sub, ok := stmt.From.(*SubqueryRef)
+	if !ok || sub.Alias != "q" {
+		t.Fatalf("from = %+v", stmt.From)
+	}
+	if _, _, err := ParseStatement("SELECT 1 FROM (SELECT 1)"); err == nil {
+		t.Fatal("subquery without alias should fail")
+	}
+}
+
+func TestParseCaseInBody(t *testing.T) {
+	stmt := mustParse(t, "SELECT CASE WHEN x > 0 THEN 'pos' WHEN x < 0 THEN 'neg' ELSE 'zero' END FROM t").(*SelectStmt)
+	ce := stmt.Items[0].Expr.(*CaseExpr)
+	if len(ce.Whens) != 2 || ce.Else == nil || ce.Operand != nil {
+		t.Fatalf("case = %+v", ce)
+	}
+	st2 := mustParse(t, "SELECT CASE x WHEN 1 THEN 'one' END FROM t").(*SelectStmt)
+	ce2 := st2.Items[0].Expr.(*CaseExpr)
+	if ce2.Operand == nil {
+		t.Fatal("operand case lost operand")
+	}
+}
+
+func TestParseInBetweenIsNull(t *testing.T) {
+	stmt := mustParse(t, "SELECT * FROM t WHERE a IN (1,2,3) AND b NOT BETWEEN 1 AND 5 AND c IS NOT NULL").(*SelectStmt)
+	conjs := splitConjuncts(stmt.Where)
+	if len(conjs) != 3 {
+		t.Fatalf("conjuncts = %d", len(conjs))
+	}
+	if _, ok := conjs[0].(*InExpr); !ok {
+		t.Fatalf("conj0 = %T", conjs[0])
+	}
+	if be, ok := conjs[1].(*BetweenExpr); !ok || !be.Not {
+		t.Fatalf("conj1 = %T", conjs[1])
+	}
+	if in, ok := conjs[2].(*IsNullExpr); !ok || !in.Not {
+		t.Fatalf("conj2 = %T", conjs[2])
+	}
+}
+
+func TestParseGroupByHavingOrderLimit(t *testing.T) {
+	stmt := mustParse(t, "SELECT s, COUNT(*) c FROM t GROUP BY s HAVING COUNT(*) > 1 ORDER BY c DESC, s ASC LIMIT 10 OFFSET 5").(*SelectStmt)
+	if len(stmt.GroupBy) != 1 || stmt.Having == nil {
+		t.Fatalf("stmt = %+v", stmt)
+	}
+	if len(stmt.OrderBy) != 2 || !stmt.OrderBy[0].Desc || stmt.OrderBy[1].Desc {
+		t.Fatalf("order = %+v", stmt.OrderBy)
+	}
+	if stmt.Limit == nil || stmt.Offset == nil {
+		t.Fatal("limit/offset missing")
+	}
+}
+
+func TestParseDistinctAndFunctions(t *testing.T) {
+	stmt := mustParse(t, "SELECT DISTINCT COUNT(DISTINCT x), ABS(-3) FROM t").(*SelectStmt)
+	if !stmt.Distinct {
+		t.Fatal("distinct lost")
+	}
+	fc := stmt.Items[0].Expr.(*FuncCall)
+	if fc.Name != "COUNT" || !fc.Distinct {
+		t.Fatalf("fc = %+v", fc)
+	}
+}
+
+func TestParseDeleteUpdate(t *testing.T) {
+	del := mustParse(t, "DELETE FROM t WHERE x < 0").(*DeleteStmt)
+	if del.Table != "t" || del.Where == nil {
+		t.Fatalf("del = %+v", del)
+	}
+	up := mustParse(t, "UPDATE t SET a = a + 1, b = 2 WHERE c = 3").(*UpdateStmt)
+	if len(up.Cols) != 2 || up.Where == nil {
+		t.Fatalf("up = %+v", up)
+	}
+}
+
+func TestParseScript(t *testing.T) {
+	stmts, err := ParseScript("CREATE TABLE a (x INT); INSERT INTO a VALUES (1);; SELECT * FROM a;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 3 {
+		t.Fatalf("stmts = %d", len(stmts))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"SELECT FROM t",
+		"CREATE TABLE t (a BLOBBY)",
+		"SELECT * FROM t WHERE",
+		"WITH RECURSIVE r AS (SELECT 1) SELECT * FROM r",
+		"SELECT (SELECT 1)",
+		"SELECT 1 UNION SELECT 2",
+		"INSERT INTO t VALUES 1",
+		"SELECT 1 2 3",
+	}
+	for _, src := range cases {
+		if _, _, err := ParseStatement(src); err == nil {
+			t.Fatalf("%q: expected parse error", src)
+		}
+	}
+}
+
+func TestParseErrorHasPosition(t *testing.T) {
+	_, _, err := ParseStatement("SELECT *\nFROM")
+	if err == nil || !strings.Contains(err.Error(), "sql:2:") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestParamCounting(t *testing.T) {
+	_, n, err := ParseStatement("SELECT ? + ?, ? FROM t WHERE x = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("params = %d", n)
+	}
+}
+
+func TestDeparseRoundTrip(t *testing.T) {
+	stmt := mustParse(t, "SELECT ((T0.s & ~1) | H.out_s) FROM T0 JOIN H ON H.in_s = (T0.s & 1)").(*SelectStmt)
+	d := stmt.Items[0].Expr.Deparse()
+	// Reparse the deparsed text; it must produce the same deparse.
+	stmt2 := mustParse(t, "SELECT "+d+" FROM T0 JOIN H ON H.in_s = (T0.s & 1)").(*SelectStmt)
+	if stmt2.Items[0].Expr.Deparse() != d {
+		t.Fatalf("deparse unstable: %q vs %q", d, stmt2.Items[0].Expr.Deparse())
+	}
+}

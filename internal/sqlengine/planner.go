@@ -1,0 +1,559 @@
+package sqlengine
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// cteScope resolves CTE names, innermost WITH first.
+type cteScope struct {
+	parent *cteScope
+	tables map[string]*cteTable
+}
+
+type cteTable struct {
+	store *RowStore
+	cols  []string
+	// node is set instead of store in EXPLAIN mode, where CTEs are
+	// inlined as subplans rather than materialized.
+	node planNode
+}
+
+func (s *cteScope) lookup(name string) *cteTable {
+	for sc := s; sc != nil; sc = sc.parent {
+		if t, ok := sc.tables[strings.ToLower(name)]; ok {
+			return t
+		}
+	}
+	return nil
+}
+
+// planner builds (and partially executes — CTEs are materialized eagerly)
+// the physical plan for one statement.
+type planner struct {
+	ctx     *execCtx
+	db      *DB
+	cleanup []*RowStore // temp stores to release when the statement ends
+	// explain plans without executing: CTEs become inline subplans.
+	explain bool
+}
+
+func (p *planner) release() {
+	for _, s := range p.cleanup {
+		s.Release()
+	}
+	p.cleanup = nil
+}
+
+// aliasNode re-qualifies (and optionally renames) its child's columns.
+type aliasNode struct {
+	child planNode
+	table string
+	names []string // optional; must match child width when set
+}
+
+func (n *aliasNode) schema() planSchema {
+	cs := n.child.schema()
+	out := make(planSchema, len(cs))
+	for i, c := range cs {
+		name := c.name
+		if n.names != nil {
+			name = strings.ToLower(n.names[i])
+		}
+		out[i] = planCol{table: strings.ToLower(n.table), name: name}
+	}
+	return out
+}
+
+func (n *aliasNode) open(ctx *execCtx) (rowIter, error) { return n.child.open(ctx) }
+
+// planSelect returns the plan root and the user-visible output column
+// names.
+func (p *planner) planSelect(sel *SelectStmt, scope *cteScope) (planNode, []string, error) {
+	// Materialize WITH entries; later CTEs may reference earlier ones.
+	if len(sel.With) > 0 {
+		scope = &cteScope{parent: scope, tables: map[string]*cteTable{}}
+		for _, cte := range sel.With {
+			node, names, err := p.planSelect(cte.Select, scope)
+			if err != nil {
+				return nil, nil, err
+			}
+			cols := names
+			if len(cte.Cols) > 0 {
+				if len(cte.Cols) != len(names) {
+					return nil, nil, fmt.Errorf("sqlengine: CTE %s declares %d columns but query produces %d", cte.Name, len(cte.Cols), len(names))
+				}
+				cols = cte.Cols
+			}
+			if p.explain {
+				scope.tables[strings.ToLower(cte.Name)] = &cteTable{node: node, cols: cols}
+				continue
+			}
+			it, err := node.open(p.ctx)
+			if err != nil {
+				return nil, nil, err
+			}
+			store, err := materialize(p.ctx.env, it)
+			it.Close()
+			if err != nil {
+				return nil, nil, err
+			}
+			p.cleanup = append(p.cleanup, store)
+			scope.tables[strings.ToLower(cte.Name)] = &cteTable{store: store, cols: cols}
+		}
+	}
+
+	// FROM and JOINs.
+	var base planNode
+	if sel.From == nil {
+		base = &oneRowNode{}
+	} else {
+		var err error
+		base, err = p.planTableRef(sel.From, scope)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	for _, join := range sel.Joins {
+		right, err := p.planTableRef(join.Table, scope)
+		if err != nil {
+			return nil, nil, err
+		}
+		jn := &joinNode{left: base, right: right, joinType: join.Type}
+		if join.On != nil {
+			lks, rks, residual := extractEquiKeys(join.On, base.schema(), right.schema())
+			jn.leftKeys, jn.rightKeys, jn.residual = lks, rks, residual
+		}
+		base = jn
+	}
+
+	if sel.Where != nil {
+		if exprReferencesAggregate(sel.Where) {
+			return nil, nil, fmt.Errorf("sqlengine: aggregates are not allowed in WHERE")
+		}
+		base = &filterNode{child: base, pred: sel.Where}
+	}
+
+	// Decide whether the query aggregates.
+	needsAgg := len(sel.GroupBy) > 0
+	for _, item := range sel.Items {
+		if !item.Star && exprReferencesAggregate(item.Expr) {
+			needsAgg = true
+		}
+	}
+	if sel.Having != nil {
+		needsAgg = true
+	}
+
+	items := sel.Items
+	orderExprs := make([]Expr, len(sel.OrderBy))
+	for i, o := range sel.OrderBy {
+		orderExprs[i] = o.Expr
+	}
+	having := sel.Having
+
+	if needsAgg {
+		for _, item := range items {
+			if item.Star {
+				return nil, nil, fmt.Errorf("sqlengine: SELECT * cannot be combined with aggregation")
+			}
+		}
+		rw, err := newAggRewriter(sel.GroupBy, base.schema())
+		if err != nil {
+			return nil, nil, err
+		}
+		newItems := make([]SelectItem, len(items))
+		for i, item := range items {
+			newItems[i] = SelectItem{Expr: rw.rewrite(item.Expr), Alias: item.Alias}
+		}
+		items = newItems
+		if having != nil {
+			having = rw.rewrite(having)
+		}
+		for i, e := range orderExprs {
+			if e != nil {
+				orderExprs[i] = rw.rewrite(e)
+			}
+		}
+		base = &aggNode{child: base, groupBy: sel.GroupBy, aggs: rw.aggs}
+		if having != nil {
+			base = &filterNode{child: base, pred: having}
+		}
+	}
+
+	// Expand stars and determine output names.
+	var projExprs []Expr
+	var outNames []string
+	baseSchema := base.schema()
+	for _, item := range items {
+		if item.Star {
+			matched := false
+			for _, c := range baseSchema {
+				if item.StarTable != "" && c.table != strings.ToLower(item.StarTable) {
+					continue
+				}
+				matched = true
+				projExprs = append(projExprs, &ColumnRef{Table: c.table, Name: c.name})
+				outNames = append(outNames, c.name)
+			}
+			if !matched {
+				return nil, nil, fmt.Errorf("sqlengine: no table %q in FROM for %s.*", item.StarTable, item.StarTable)
+			}
+			continue
+		}
+		projExprs = append(projExprs, item.Expr)
+		outNames = append(outNames, outputName(item))
+	}
+
+	outSchema := make(planSchema, len(outNames))
+	for i, n := range outNames {
+		outSchema[i] = planCol{table: "", name: strings.ToLower(n)}
+	}
+
+	// ORDER BY keys: positional, output alias, or hidden input expression.
+	type plannedKey struct {
+		outIdx int  // >= 0: references an output column
+		hidden Expr // non-nil: extra hidden projection
+		desc   bool
+	}
+	var keys []plannedKey
+	var hiddenExprs []Expr
+	for i, e := range orderExprs {
+		desc := sel.OrderBy[i].Desc
+		if lit, ok := e.(*Literal); ok && lit.Val.T == TypeInt {
+			idx := int(lit.Val.I)
+			if idx < 1 || idx > len(projExprs) {
+				return nil, nil, fmt.Errorf("sqlengine: ORDER BY position %d out of range", idx)
+			}
+			keys = append(keys, plannedKey{outIdx: idx - 1, desc: desc})
+			continue
+		}
+		// A bare column matching exactly one output alias refers to it.
+		if cr, ok := e.(*ColumnRef); ok && cr.Table == "" {
+			if idx, err := outSchema.resolveColumn("", cr.Name); err == nil {
+				keys = append(keys, plannedKey{outIdx: idx, desc: desc})
+				continue
+			}
+		}
+		if sel.Distinct {
+			return nil, nil, fmt.Errorf("sqlengine: ORDER BY expression %s must appear in the SELECT DISTINCT list", e.Deparse())
+		}
+		keys = append(keys, plannedKey{outIdx: -1, hidden: e, desc: desc})
+		hiddenExprs = append(hiddenExprs, e)
+	}
+
+	// Projection (with hidden sort keys appended).
+	allExprs := append(append([]Expr{}, projExprs...), hiddenExprs...)
+	projSchema := make(planSchema, 0, len(allExprs))
+	projSchema = append(projSchema, outSchema...)
+	for i := range hiddenExprs {
+		projSchema = append(projSchema, planCol{table: "#hidden", name: "k" + strconv.Itoa(i)})
+	}
+	var node planNode = &projectNode{child: base, exprs: allExprs, cols: projSchema}
+
+	// DISTINCT: group by every output column (hidden keys are forbidden
+	// above, so the projection width equals the output width).
+	if sel.Distinct {
+		gb := make([]Expr, len(outNames))
+		for i, c := range projSchema[:len(outNames)] {
+			gb[i] = &ColumnRef{Table: c.table, Name: c.name}
+		}
+		node = &aggNode{child: node, groupBy: gb, aggs: nil}
+		node = &aliasNode{child: node, table: "", names: outNames}
+	}
+
+	// Sort.
+	if len(keys) > 0 {
+		specs := make([]sortSpec, len(keys))
+		schema := node.schema()
+		hiddenBase := len(outNames)
+		hi := 0
+		for i, k := range keys {
+			if k.outIdx >= 0 {
+				c := schema[k.outIdx]
+				specs[i] = sortSpec{expr: &ColumnRef{Table: c.table, Name: c.name}, desc: k.desc}
+			} else {
+				c := schema[hiddenBase+hi]
+				hi++
+				specs[i] = sortSpec{expr: &ColumnRef{Table: c.table, Name: c.name}, desc: k.desc}
+			}
+		}
+		node = &sortNode{child: node, keys: specs}
+	}
+
+	if sel.Limit != nil || sel.Offset != nil {
+		node = &limitNode{child: node, limit: sel.Limit, offset: sel.Offset}
+	}
+
+	if len(hiddenExprs) > 0 {
+		node = &sliceProjectNode{child: node, keep: len(outNames)}
+	}
+	return node, outNames, nil
+}
+
+// outputName picks the user-visible column name for a select item.
+func outputName(item SelectItem) string {
+	if item.Alias != "" {
+		return item.Alias
+	}
+	if cr, ok := item.Expr.(*ColumnRef); ok {
+		return cr.Name
+	}
+	return item.Expr.Deparse()
+}
+
+func (p *planner) planTableRef(ref TableRef, scope *cteScope) (planNode, error) {
+	switch r := ref.(type) {
+	case *TableName:
+		qual := r.Name
+		if r.Alias != "" {
+			qual = r.Alias
+		}
+		if cte := scope.lookup(r.Name); cte != nil {
+			if cte.node != nil { // EXPLAIN mode: inline the subplan
+				return &aliasNode{child: cte.node, table: qual, names: cte.cols}, nil
+			}
+			cols := make(planSchema, len(cte.cols))
+			for i, c := range cte.cols {
+				cols[i] = planCol{table: strings.ToLower(qual), name: strings.ToLower(c)}
+			}
+			return &storeScanNode{store: cte.store, cols: cols}, nil
+		}
+		meta := p.db.lookupTable(r.Name)
+		if meta == nil {
+			return nil, fmt.Errorf("sqlengine: no such table: %s", r.Name)
+		}
+		cols := make(planSchema, len(meta.Cols))
+		for i, c := range meta.Cols {
+			cols[i] = planCol{table: strings.ToLower(qual), name: strings.ToLower(c.Name)}
+		}
+		return &storeScanNode{store: meta.store, cols: cols}, nil
+
+	case *SubqueryRef:
+		node, names, err := p.planSelect(r.Select, scope)
+		if err != nil {
+			return nil, err
+		}
+		return &aliasNode{child: node, table: r.Alias, names: names}, nil
+	}
+	return nil, fmt.Errorf("sqlengine: unsupported table reference %T", ref)
+}
+
+// splitConjuncts flattens an AND tree.
+func splitConjuncts(e Expr) []Expr {
+	if b, ok := e.(*BinaryExpr); ok && b.Op == "AND" {
+		return append(splitConjuncts(b.L), splitConjuncts(b.R)...)
+	}
+	return []Expr{e}
+}
+
+// exprResolvesAgainst reports whether every column in e resolves within
+// the schema.
+func exprResolvesAgainst(e Expr, schema planSchema) bool {
+	ok := true
+	walkExpr(e, func(x Expr) {
+		if cr, isCol := x.(*ColumnRef); isCol {
+			if _, err := schema.resolveColumn(cr.Table, cr.Name); err != nil {
+				ok = false
+			}
+		}
+	})
+	return ok
+}
+
+// extractEquiKeys splits an ON clause into hash-join key pairs and a
+// residual predicate.
+func extractEquiKeys(on Expr, left, right planSchema) (lks, rks []Expr, residual Expr) {
+	var rest []Expr
+	for _, c := range splitConjuncts(on) {
+		if b, ok := c.(*BinaryExpr); ok && (b.Op == "=" || b.Op == "==") {
+			switch {
+			case exprResolvesAgainst(b.L, left) && exprResolvesAgainst(b.R, right):
+				lks = append(lks, b.L)
+				rks = append(rks, b.R)
+				continue
+			case exprResolvesAgainst(b.L, right) && exprResolvesAgainst(b.R, left):
+				lks = append(lks, b.R)
+				rks = append(rks, b.L)
+				continue
+			}
+		}
+		rest = append(rest, c)
+	}
+	for _, c := range rest {
+		if residual == nil {
+			residual = c
+		} else {
+			residual = &BinaryExpr{Op: "AND", L: residual, R: c}
+		}
+	}
+	return lks, rks, residual
+}
+
+// aggRewriter replaces group-by expressions and aggregate calls in a
+// SELECT/HAVING/ORDER BY expression with references to the aggNode's
+// synthetic output columns.
+type aggRewriter struct {
+	groupKeys []string // canonical strings of group expressions
+	schema    planSchema
+	aggs      []aggCall
+	aggKeys   []string
+}
+
+func newAggRewriter(groupBy []Expr, schema planSchema) (*aggRewriter, error) {
+	rw := &aggRewriter{schema: schema}
+	for _, g := range groupBy {
+		if exprReferencesAggregate(g) {
+			return nil, fmt.Errorf("sqlengine: aggregates are not allowed in GROUP BY")
+		}
+		rw.groupKeys = append(rw.groupKeys, canonicalExprString(g, schema))
+	}
+	return rw, nil
+}
+
+// rewrite returns a copy of e with grouped expressions and aggregates
+// replaced by #grp/#agg references.
+func (rw *aggRewriter) rewrite(e Expr) Expr {
+	canon := canonicalExprString(e, rw.schema)
+	for i, k := range rw.groupKeys {
+		if canon == k {
+			return &ColumnRef{Table: "#grp", Name: "g" + strconv.Itoa(i)}
+		}
+	}
+	if fc, ok := e.(*FuncCall); ok && isAggregateName(fc.Name) {
+		var arg Expr
+		if !fc.Star {
+			if len(fc.Args) != 1 {
+				// Compiled later with a clear error; keep as-is.
+				return e
+			}
+			arg = fc.Args[0]
+		}
+		key := canon
+		for i, k := range rw.aggKeys {
+			if k == key {
+				return &ColumnRef{Table: "#agg", Name: "a" + strconv.Itoa(i)}
+			}
+		}
+		rw.aggs = append(rw.aggs, aggCall{Name: fc.Name, Distinct: fc.Distinct, Arg: arg})
+		rw.aggKeys = append(rw.aggKeys, key)
+		return &ColumnRef{Table: "#agg", Name: "a" + strconv.Itoa(len(rw.aggs)-1)}
+	}
+	return rebuildExpr(e, rw.rewrite)
+}
+
+// rebuildExpr maps fn over e's direct children, returning a shallow copy.
+func rebuildExpr(e Expr, fn func(Expr) Expr) Expr {
+	switch n := e.(type) {
+	case *BinaryExpr:
+		return &BinaryExpr{Op: n.Op, L: fn(n.L), R: fn(n.R)}
+	case *UnaryExpr:
+		return &UnaryExpr{Op: n.Op, X: fn(n.X)}
+	case *FuncCall:
+		args := make([]Expr, len(n.Args))
+		for i, a := range n.Args {
+			args[i] = fn(a)
+		}
+		return &FuncCall{Name: n.Name, Args: args, Star: n.Star, Distinct: n.Distinct}
+	case *CaseExpr:
+		out := &CaseExpr{}
+		if n.Operand != nil {
+			out.Operand = fn(n.Operand)
+		}
+		for _, w := range n.Whens {
+			out.Whens = append(out.Whens, CaseWhen{When: fn(w.When), Then: fn(w.Then)})
+		}
+		if n.Else != nil {
+			out.Else = fn(n.Else)
+		}
+		return out
+	case *IsNullExpr:
+		return &IsNullExpr{X: fn(n.X), Not: n.Not}
+	case *InExpr:
+		list := make([]Expr, len(n.List))
+		for i, x := range n.List {
+			list[i] = fn(x)
+		}
+		return &InExpr{X: fn(n.X), List: list, Not: n.Not}
+	case *BetweenExpr:
+		return &BetweenExpr{X: fn(n.X), Lo: fn(n.Lo), Hi: fn(n.Hi), Not: n.Not}
+	case *CastExpr:
+		return &CastExpr{X: fn(n.X), To: n.To}
+	}
+	return e
+}
+
+// canonicalExprString renders an expression with column references
+// replaced by their resolved slot index, so that "T0.s" and "s" (when
+// unambiguous) compare equal for GROUP BY matching.
+func canonicalExprString(e Expr, schema planSchema) string {
+	switch n := e.(type) {
+	case *ColumnRef:
+		if idx, err := schema.resolveColumn(n.Table, n.Name); err == nil {
+			return "#c" + strconv.Itoa(idx)
+		}
+		return "?unresolved:" + strings.ToLower(n.Deparse())
+	case *BinaryExpr:
+		return "(" + canonicalExprString(n.L, schema) + " " + n.Op + " " + canonicalExprString(n.R, schema) + ")"
+	case *UnaryExpr:
+		return "(" + n.Op + " " + canonicalExprString(n.X, schema) + ")"
+	case *FuncCall:
+		parts := make([]string, len(n.Args))
+		for i, a := range n.Args {
+			parts[i] = canonicalExprString(a, schema)
+		}
+		d := ""
+		if n.Distinct {
+			d = "DISTINCT "
+		}
+		if n.Star {
+			return n.Name + "(*)"
+		}
+		return n.Name + "(" + d + strings.Join(parts, ",") + ")"
+	case *CaseExpr:
+		var b strings.Builder
+		b.WriteString("CASE")
+		if n.Operand != nil {
+			b.WriteString(" " + canonicalExprString(n.Operand, schema))
+		}
+		for _, w := range n.Whens {
+			b.WriteString(" WHEN " + canonicalExprString(w.When, schema))
+			b.WriteString(" THEN " + canonicalExprString(w.Then, schema))
+		}
+		if n.Else != nil {
+			b.WriteString(" ELSE " + canonicalExprString(n.Else, schema))
+		}
+		b.WriteString(" END")
+		return b.String()
+	case *IsNullExpr:
+		s := canonicalExprString(n.X, schema) + " IS "
+		if n.Not {
+			s += "NOT "
+		}
+		return s + "NULL"
+	case *InExpr:
+		parts := make([]string, len(n.List))
+		for i, x := range n.List {
+			parts[i] = canonicalExprString(x, schema)
+		}
+		s := canonicalExprString(n.X, schema)
+		if n.Not {
+			s += " NOT"
+		}
+		return s + " IN (" + strings.Join(parts, ",") + ")"
+	case *BetweenExpr:
+		s := canonicalExprString(n.X, schema)
+		if n.Not {
+			s += " NOT"
+		}
+		return s + " BETWEEN " + canonicalExprString(n.Lo, schema) + " AND " + canonicalExprString(n.Hi, schema)
+	case *CastExpr:
+		return "CAST(" + canonicalExprString(n.X, schema) + " AS " + n.To.String() + ")"
+	case *Literal:
+		return e.Deparse()
+	case *ParamRef:
+		return "?" + strconv.Itoa(n.Index)
+	}
+	return e.Deparse()
+}

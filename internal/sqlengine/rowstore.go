@@ -1,0 +1,421 @@
+package sqlengine
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sync/atomic"
+)
+
+// memBudget is the engine-wide memory accountant. Operators and row
+// stores reserve estimated bytes before buffering rows in memory; when a
+// reservation would exceed the budget the caller must spill (or fail if
+// spilling is disabled). A zero or negative limit means unlimited.
+type memBudget struct {
+	limit int64
+	used  atomic.Int64
+	peak  atomic.Int64
+}
+
+func newMemBudget(limit int64) *memBudget { return &memBudget{limit: limit} }
+
+// tryReserve attempts to reserve n bytes, reporting false when the budget
+// would be exceeded.
+func (b *memBudget) tryReserve(n int64) bool {
+	for {
+		cur := b.used.Load()
+		next := cur + n
+		if b.limit > 0 && next > b.limit {
+			return false
+		}
+		if b.used.CompareAndSwap(cur, next) {
+			b.updatePeak(next)
+			return true
+		}
+	}
+}
+
+// reserveForce reserves unconditionally (used for small bookkeeping).
+func (b *memBudget) reserveForce(n int64) {
+	v := b.used.Add(n)
+	b.updatePeak(v)
+}
+
+func (b *memBudget) release(n int64) { b.used.Add(-n) }
+
+func (b *memBudget) updatePeak(v int64) {
+	for {
+		p := b.peak.Load()
+		if v <= p || b.peak.CompareAndSwap(p, v) {
+			return
+		}
+	}
+}
+
+// storageEnv bundles what row stores need: the shared budget, spill
+// configuration, and counters.
+type storageEnv struct {
+	budget       *memBudget
+	spillDir     string
+	spillEnabled bool
+	// workingFloor is the number of bytes a blocking operator (hash
+	// join build, hash aggregation, sort buffer) may force-reserve even
+	// when the budget is exhausted by table storage. Without it, grace
+	// partitioning could not make progress once tables fill the budget.
+	// The budget is therefore a soft cap: peak usage can briefly exceed
+	// it by up to one working floor per active operator.
+	workingFloor int64
+	spilledRows  atomic.Int64
+	spilledBytes atomic.Int64
+	spillFiles   atomic.Int64
+}
+
+// errBudget is returned when memory is exhausted and spilling is off.
+var errBudget = fmt.Errorf("sqlengine: memory budget exceeded and spilling is disabled")
+
+// RowStore is an append-then-read sequence of rows that keeps a bounded
+// in-memory tail and spills its prefix to a temporary file when the
+// engine-wide budget is exceeded. It is the storage unit for base tables,
+// materialized CTEs, sort runs, and join/aggregation partitions.
+type RowStore struct {
+	env      *storageEnv
+	mem      []Row
+	memBytes int64
+	file     *os.File
+	w        *bufio.Writer
+	fileRows int64
+	frozen   bool
+}
+
+func newRowStore(env *storageEnv) *RowStore { return &RowStore{env: env} }
+
+// Append adds a row. The store takes ownership of the slice.
+func (rs *RowStore) Append(row Row) error {
+	if rs.frozen {
+		return fmt.Errorf("sqlengine: internal: append to frozen row store")
+	}
+	n := rowBytes(row)
+	if rs.env.budget.tryReserve(n) {
+		rs.mem = append(rs.mem, row)
+		rs.memBytes += n
+		return nil
+	}
+	if !rs.env.spillEnabled {
+		return errBudget
+	}
+	// Spill everything buffered so far, then the new row, keeping memory
+	// near zero for this store.
+	if err := rs.spillBuffered(); err != nil {
+		return err
+	}
+	return rs.writeSpilled(row)
+}
+
+// spillBuffered flushes the in-memory rows to the spill file and releases
+// their reservation.
+func (rs *RowStore) spillBuffered() error {
+	if rs.file == nil {
+		f, err := os.CreateTemp(rs.env.spillDir, "qymera-spill-*.rows")
+		if err != nil {
+			return fmt.Errorf("sqlengine: creating spill file: %w", err)
+		}
+		rs.file = f
+		rs.w = bufio.NewWriterSize(f, 1<<16)
+		rs.env.spillFiles.Add(1)
+	}
+	for _, row := range rs.mem {
+		if err := rs.writeSpilled(row); err != nil {
+			return err
+		}
+	}
+	rs.env.budget.release(rs.memBytes)
+	rs.mem = rs.mem[:0]
+	rs.memBytes = 0
+	return nil
+}
+
+func (rs *RowStore) writeSpilled(row Row) error {
+	if rs.file == nil {
+		if err := rs.spillBuffered(); err != nil {
+			return err
+		}
+	}
+	n, err := encodeRow(rs.w, row)
+	if err != nil {
+		return err
+	}
+	rs.fileRows++
+	rs.env.spilledRows.Add(1)
+	rs.env.spilledBytes.Add(int64(n))
+	return nil
+}
+
+// Len returns the total number of rows.
+func (rs *RowStore) Len() int64 { return rs.fileRows + int64(len(rs.mem)) }
+
+// Spilled reports whether any rows live on disk.
+func (rs *RowStore) Spilled() bool { return rs.fileRows > 0 }
+
+// Freeze transitions the store from writing to reading. Idempotent.
+func (rs *RowStore) Freeze() error {
+	if rs.frozen {
+		return nil
+	}
+	rs.frozen = true
+	if rs.w != nil {
+		if err := rs.w.Flush(); err != nil {
+			return fmt.Errorf("sqlengine: flushing spill file: %w", err)
+		}
+		rs.w = nil
+	}
+	return nil
+}
+
+// Thaw reopens a frozen store for appending. Callers must serialize
+// writes (the database write lock does); spill readers use independent
+// offsets, so iterators created before thawing keep their snapshot of the
+// on-disk prefix.
+func (rs *RowStore) Thaw() {
+	if !rs.frozen {
+		return
+	}
+	rs.frozen = false
+	if rs.file != nil {
+		rs.w = bufio.NewWriterSize(rs.file, 1<<16)
+	}
+}
+
+// Iterator returns a fresh iterator over all rows (disk prefix first,
+// then the in-memory tail). Multiple concurrent iterators are allowed
+// once the store is frozen.
+func (rs *RowStore) Iterator() (*RowIterator, error) {
+	if err := rs.Freeze(); err != nil {
+		return nil, err
+	}
+	it := &RowIterator{store: rs}
+	if rs.file != nil && rs.fileRows > 0 {
+		info, err := rs.file.Stat()
+		if err != nil {
+			return nil, err
+		}
+		it.r = bufio.NewReaderSize(io.NewSectionReader(rs.file, 0, info.Size()), 1<<16)
+		it.fileLeft = rs.fileRows
+	}
+	return it, nil
+}
+
+// Release frees memory reservations and deletes any spill file. The
+// store must not be used afterwards.
+func (rs *RowStore) Release() {
+	rs.env.budget.release(rs.memBytes)
+	rs.mem = nil
+	rs.memBytes = 0
+	if rs.file != nil {
+		name := rs.file.Name()
+		rs.file.Close()
+		os.Remove(name)
+		rs.file = nil
+	}
+}
+
+// RowIterator walks a frozen RowStore.
+type RowIterator struct {
+	store    *RowStore
+	r        *bufio.Reader
+	fileLeft int64
+	memIdx   int
+}
+
+// Next returns the next row, or ok=false at the end.
+func (it *RowIterator) Next() (Row, bool, error) {
+	if it.fileLeft > 0 {
+		row, err := decodeRow(it.r)
+		if err != nil {
+			return nil, false, fmt.Errorf("sqlengine: reading spill file: %w", err)
+		}
+		it.fileLeft--
+		return row, true, nil
+	}
+	if it.memIdx < len(it.store.mem) {
+		row := it.store.mem[it.memIdx]
+		it.memIdx++
+		return row, true, nil
+	}
+	return nil, false, nil
+}
+
+// Row/value binary encoding for spill files.
+
+const (
+	encNull  byte = 0
+	encInt   byte = 1
+	encFloat byte = 2
+	encText  byte = 3
+	encBool  byte = 4
+)
+
+func encodeRow(w *bufio.Writer, row Row) (int, error) {
+	var scratch [binary.MaxVarintLen64]byte
+	total := 0
+	n := binary.PutUvarint(scratch[:], uint64(len(row)))
+	if _, err := w.Write(scratch[:n]); err != nil {
+		return total, err
+	}
+	total += n
+	for _, v := range row {
+		if err := w.WriteByte(byte(encTag(v))); err != nil {
+			return total, err
+		}
+		total++
+		switch v.T {
+		case TypeNull:
+		case TypeInt:
+			n := binary.PutVarint(scratch[:], v.I)
+			if _, err := w.Write(scratch[:n]); err != nil {
+				return total, err
+			}
+			total += n
+		case TypeFloat:
+			binary.LittleEndian.PutUint64(scratch[:8], math.Float64bits(v.F))
+			if _, err := w.Write(scratch[:8]); err != nil {
+				return total, err
+			}
+			total += 8
+		case TypeText:
+			n := binary.PutUvarint(scratch[:], uint64(len(v.S)))
+			if _, err := w.Write(scratch[:n]); err != nil {
+				return total, err
+			}
+			total += n
+			if _, err := w.WriteString(v.S); err != nil {
+				return total, err
+			}
+			total += len(v.S)
+		case TypeBool:
+			b := byte(0)
+			if v.I != 0 {
+				b = 1
+			}
+			if err := w.WriteByte(b); err != nil {
+				return total, err
+			}
+			total++
+		}
+	}
+	return total, nil
+}
+
+func encTag(v Value) byte {
+	switch v.T {
+	case TypeInt:
+		return encInt
+	case TypeFloat:
+		return encFloat
+	case TypeText:
+		return encText
+	case TypeBool:
+		return encBool
+	}
+	return encNull
+}
+
+func decodeRow(r *bufio.Reader) (Row, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	row := make(Row, n)
+	for i := range row {
+		tag, err := r.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		switch tag {
+		case encNull:
+			row[i] = Null
+		case encInt:
+			x, err := binary.ReadVarint(r)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = NewInt(x)
+		case encFloat:
+			var buf [8]byte
+			if _, err := io.ReadFull(r, buf[:]); err != nil {
+				return nil, err
+			}
+			row[i] = NewFloat(math.Float64frombits(binary.LittleEndian.Uint64(buf[:])))
+		case encText:
+			ln, err := binary.ReadUvarint(r)
+			if err != nil {
+				return nil, err
+			}
+			buf := make([]byte, ln)
+			if _, err := io.ReadFull(r, buf); err != nil {
+				return nil, err
+			}
+			row[i] = NewText(string(buf))
+		case encBool:
+			b, err := r.ReadByte()
+			if err != nil {
+				return nil, err
+			}
+			row[i] = NewBool(b != 0)
+		default:
+			return nil, fmt.Errorf("sqlengine: corrupt spill file: tag %d", tag)
+		}
+	}
+	return row, nil
+}
+
+// encodeValueKey produces a canonical byte-string key for grouping and
+// DISTINCT. Numerically equal INTEGER/REAL/BOOLEAN values map to the same
+// key (SQL equality), while remaining distinct from texts.
+func encodeValueKey(v Value) string {
+	switch v.T {
+	case TypeNull:
+		return "\x00"
+	case TypeInt, TypeBool:
+		var buf [1 + binary.MaxVarintLen64]byte
+		buf[0] = 1
+		n := binary.PutVarint(buf[1:], v.I)
+		return string(buf[:1+n])
+	case TypeFloat:
+		// Integral floats share keys with equal ints.
+		if v.F == math.Trunc(v.F) && math.Abs(v.F) < 1<<62 {
+			var buf [1 + binary.MaxVarintLen64]byte
+			buf[0] = 1
+			n := binary.PutVarint(buf[1:], int64(v.F))
+			return string(buf[:1+n])
+		}
+		var buf [9]byte
+		buf[0] = 2
+		binary.LittleEndian.PutUint64(buf[1:], math.Float64bits(v.F))
+		return string(buf[:])
+	case TypeText:
+		return "\x03" + v.S
+	}
+	return "\x7f"
+}
+
+// encodeRowKey concatenates value keys with length prefixes so composite
+// keys cannot collide.
+func encodeRowKey(vals []Value) string {
+	total := 0
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = encodeValueKey(v)
+		total += len(parts[i]) + binary.MaxVarintLen64
+	}
+	buf := make([]byte, 0, total)
+	var scratch [binary.MaxVarintLen64]byte
+	for _, p := range parts {
+		n := binary.PutUvarint(scratch[:], uint64(len(p)))
+		buf = append(buf, scratch[:n]...)
+		buf = append(buf, p...)
+	}
+	return string(buf)
+}

@@ -1,0 +1,198 @@
+package sqlengine
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func testEnv(t *testing.T, budget int64) *storageEnv {
+	t.Helper()
+	return &storageEnv{
+		budget:       newMemBudget(budget),
+		spillDir:     t.TempDir(),
+		spillEnabled: true,
+		workingFloor: 8 << 10,
+	}
+}
+
+func TestRowStoreInMemoryRoundTrip(t *testing.T) {
+	env := testEnv(t, 0)
+	rs := newRowStore(env)
+	for i := 0; i < 100; i++ {
+		if err := rs.Append(Row{NewInt(int64(i)), NewText(fmt.Sprint(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rs.Len() != 100 || rs.Spilled() {
+		t.Fatalf("len=%d spilled=%v", rs.Len(), rs.Spilled())
+	}
+	it, err := rs.Iterator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		row, ok, err := it.Next()
+		if err != nil || !ok {
+			t.Fatalf("row %d: ok=%v err=%v", i, ok, err)
+		}
+		if row[0].I != int64(i) {
+			t.Fatalf("row %d = %v", i, row)
+		}
+	}
+	if _, ok, _ := it.Next(); ok {
+		t.Fatal("iterator should be exhausted")
+	}
+	rs.Release()
+}
+
+func TestRowStoreSpillRoundTrip(t *testing.T) {
+	env := testEnv(t, 1024) // tiny budget forces spilling
+	rs := newRowStore(env)
+	const n = 2000
+	for i := 0; i < n; i++ {
+		row := Row{NewInt(int64(i)), NewFloat(float64(i) / 3), NewText("x"), Null, NewBool(i%2 == 0)}
+		if err := rs.Append(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !rs.Spilled() {
+		t.Fatal("expected spill under 1KB budget")
+	}
+	// Two concurrent iterators must both see everything.
+	it1, err := rs.Iterator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	it2, err := rs.Iterator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		r1, ok1, err1 := it1.Next()
+		r2, ok2, err2 := it2.Next()
+		if !ok1 || !ok2 || err1 != nil || err2 != nil {
+			t.Fatalf("row %d: %v %v %v %v", i, ok1, ok2, err1, err2)
+		}
+		if r1[0].I != int64(i) || r2[0].I != int64(i) {
+			t.Fatalf("row %d: %v / %v", i, r1, r2)
+		}
+		if r1[3].T != TypeNull || r1[4].T != TypeBool {
+			t.Fatalf("types lost in spill: %v", r1)
+		}
+	}
+	rs.Release()
+}
+
+func TestRowStoreThawAppends(t *testing.T) {
+	env := testEnv(t, 512)
+	rs := newRowStore(env)
+	for i := 0; i < 50; i++ {
+		if err := rs.Append(Row{NewInt(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rs.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	rs.Thaw()
+	for i := 50; i < 80; i++ {
+		if err := rs.Append(Row{NewInt(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	it, err := rs.Iterator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for {
+		_, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		count++
+	}
+	if count != 80 {
+		t.Fatalf("count = %d", count)
+	}
+	rs.Release()
+}
+
+func TestRowEncodingPropertyRoundTrip(t *testing.T) {
+	env := testEnv(t, 1) // everything spills → full encode/decode path
+	f := func(i int64, fl float64, s string, b bool, hasNull bool) bool {
+		rs := newRowStore(env)
+		defer rs.Release()
+		row := Row{NewInt(i), NewFloat(fl), NewText(s), NewBool(b)}
+		if hasNull {
+			row = append(row, Null)
+		}
+		if err := rs.Append(cloneRow(row)); err != nil {
+			return false
+		}
+		it, err := rs.Iterator()
+		if err != nil {
+			return false
+		}
+		got, ok, err := it.Next()
+		if err != nil || !ok || len(got) != len(row) {
+			return false
+		}
+		for j := range row {
+			if got[j].T != row[j].T {
+				return false
+			}
+			// NaN != NaN: compare bit patterns via String.
+			if got[j].String() != row[j].String() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemBudgetAccounting(t *testing.T) {
+	b := newMemBudget(1000)
+	if !b.tryReserve(600) {
+		t.Fatal("first reserve should fit")
+	}
+	if b.tryReserve(600) {
+		t.Fatal("second reserve must exceed")
+	}
+	b.release(600)
+	if !b.tryReserve(900) {
+		t.Fatal("after release it fits")
+	}
+	if b.peak.Load() != 900 {
+		t.Fatalf("peak = %d", b.peak.Load())
+	}
+	// Unlimited budget always succeeds.
+	u := newMemBudget(0)
+	if !u.tryReserve(1 << 40) {
+		t.Fatal("unlimited budget refused")
+	}
+}
+
+func TestRowStoreReleaseFreesBudget(t *testing.T) {
+	env := testEnv(t, 0)
+	rs := newRowStore(env)
+	for i := 0; i < 100; i++ {
+		if err := rs.Append(Row{NewText("some content here")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if env.budget.used.Load() == 0 {
+		t.Fatal("expected live reservation")
+	}
+	rs.Release()
+	if env.budget.used.Load() != 0 {
+		t.Fatalf("leaked %d bytes", env.budget.used.Load())
+	}
+}

@@ -1,0 +1,249 @@
+package sqlengine
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// sortSpec is one ORDER BY key.
+type sortSpec struct {
+	expr Expr
+	desc bool
+}
+
+// sortNode sorts its input. It accumulates rows in memory under the
+// budget; on overflow it writes sorted runs to spillable stores and
+// merges them with a loser-tree style heap (external merge sort).
+type sortNode struct {
+	child planNode
+	keys  []sortSpec
+}
+
+func (n *sortNode) schema() planSchema { return n.child.schema() }
+
+func (n *sortNode) open(ctx *execCtx) (rowIter, error) {
+	keyExprs := make([]Expr, len(n.keys))
+	for i, k := range n.keys {
+		keyExprs[i] = k.expr
+	}
+	compiled, err := compileAll(ctx, keyExprs, n.child.schema())
+	if err != nil {
+		return nil, err
+	}
+	descs := make([]bool, len(n.keys))
+	for i, k := range n.keys {
+		descs[i] = k.desc
+	}
+
+	child, err := n.child.open(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer child.Close()
+
+	budget := ctx.env.budget
+	nk := len(compiled)
+
+	var buf []Row // each row is [keys..., original...]
+	var bufBytes int64
+	var runs []*RowStore
+	failAll := func(err error) (rowIter, error) {
+		budget.release(bufBytes)
+		releaseStores(runs)
+		return nil, err
+	}
+
+	sortBuf := func() {
+		sort.SliceStable(buf, func(a, b int) bool {
+			return compareKeyedRows(buf[a], buf[b], nk, descs) < 0
+		})
+	}
+	flushRun := func() error {
+		sortBuf()
+		run := newRowStore(ctx.env)
+		for _, r := range buf {
+			if err := run.Append(r); err != nil {
+				run.Release()
+				return err
+			}
+		}
+		if err := run.Freeze(); err != nil {
+			run.Release()
+			return err
+		}
+		runs = append(runs, run)
+		budget.release(bufBytes)
+		buf = buf[:0]
+		bufBytes = 0
+		return nil
+	}
+
+	for {
+		row, ok, err := child.Next()
+		if err != nil {
+			return failAll(err)
+		}
+		if !ok {
+			break
+		}
+		keyed := make(Row, nk+len(row))
+		for i, c := range compiled {
+			v, err := c(row)
+			if err != nil {
+				return failAll(err)
+			}
+			keyed[i] = v
+		}
+		copy(keyed[nk:], row)
+		need := rowBytes(keyed)
+		if !budget.tryReserve(need) {
+			// Claim the working floor before breaking a run so runs
+			// stay reasonably sized even when tables hold the budget.
+			if bufBytes+need <= ctx.env.workingFloor {
+				budget.reserveForce(need)
+			} else {
+				if !ctx.env.spillEnabled {
+					return failAll(errBudget)
+				}
+				if err := flushRun(); err != nil {
+					return failAll(err)
+				}
+				budget.reserveForce(need)
+			}
+		}
+		bufBytes += need
+		buf = append(buf, keyed)
+	}
+
+	if len(runs) == 0 {
+		sortBuf()
+		return &sortedBufIter{buf: buf, nk: nk, budget: budget, bytes: bufBytes}, nil
+	}
+	if len(buf) > 0 {
+		if err := flushRun(); err != nil {
+			return failAll(err)
+		}
+	}
+	m := &mergeIter{nk: nk, descs: descs, runs: runs}
+	if err := m.init(); err != nil {
+		return failAll(err)
+	}
+	return m, nil
+}
+
+// compareKeyedRows compares the key prefixes of two keyed rows.
+func compareKeyedRows(a, b Row, nk int, descs []bool) int {
+	for i := 0; i < nk; i++ {
+		c := CompareTotal(a[i], b[i])
+		if c != 0 {
+			if descs[i] {
+				return -c
+			}
+			return c
+		}
+	}
+	return 0
+}
+
+// sortedBufIter streams an in-memory sorted buffer, stripping key
+// prefixes.
+type sortedBufIter struct {
+	buf    []Row
+	pos    int
+	nk     int
+	budget *memBudget
+	bytes  int64
+}
+
+func (it *sortedBufIter) Next() (Row, bool, error) {
+	if it.pos >= len(it.buf) {
+		return nil, false, nil
+	}
+	r := it.buf[it.pos]
+	it.pos++
+	return r[it.nk:], true, nil
+}
+
+func (it *sortedBufIter) Close() {
+	if it.buf != nil {
+		it.budget.release(it.bytes)
+		it.buf = nil
+	}
+}
+
+// mergeIter k-way merges sorted runs.
+type mergeIter struct {
+	nk    int
+	descs []bool
+	runs  []*RowStore
+	heap  mergeHeap
+}
+
+type mergeEntry struct {
+	row Row
+	src *RowIterator
+	seq int // run index; breaks ties to keep the merge stable
+}
+
+type mergeHeap struct {
+	entries []mergeEntry
+	nk      int
+	descs   []bool
+}
+
+func (h *mergeHeap) Len() int { return len(h.entries) }
+func (h *mergeHeap) Less(a, b int) bool {
+	c := compareKeyedRows(h.entries[a].row, h.entries[b].row, h.nk, h.descs)
+	if c != 0 {
+		return c < 0
+	}
+	return h.entries[a].seq < h.entries[b].seq
+}
+func (h *mergeHeap) Swap(a, b int) { h.entries[a], h.entries[b] = h.entries[b], h.entries[a] }
+func (h *mergeHeap) Push(x any)    { h.entries = append(h.entries, x.(mergeEntry)) }
+func (h *mergeHeap) Pop() any {
+	n := len(h.entries)
+	e := h.entries[n-1]
+	h.entries = h.entries[:n-1]
+	return e
+}
+
+func (m *mergeIter) init() error {
+	m.heap = mergeHeap{nk: m.nk, descs: m.descs}
+	for i, run := range m.runs {
+		it, err := run.Iterator()
+		if err != nil {
+			return err
+		}
+		row, ok, err := it.Next()
+		if err != nil {
+			return err
+		}
+		if ok {
+			m.heap.entries = append(m.heap.entries, mergeEntry{row: row, src: it, seq: i})
+		}
+	}
+	heap.Init(&m.heap)
+	return nil
+}
+
+func (m *mergeIter) Next() (Row, bool, error) {
+	if m.heap.Len() == 0 {
+		return nil, false, nil
+	}
+	e := heap.Pop(&m.heap).(mergeEntry)
+	out := e.row[m.nk:]
+	next, ok, err := e.src.Next()
+	if err != nil {
+		return nil, false, err
+	}
+	if ok {
+		heap.Push(&m.heap, mergeEntry{row: next, src: e.src, seq: e.seq})
+	}
+	return out, true, nil
+}
+
+func (m *mergeIter) Close() {
+	releaseStores(m.runs)
+	m.runs = nil
+}

@@ -1,0 +1,188 @@
+package sqlengine
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null, "NULL"},
+		{NewInt(-42), "-42"},
+		{NewFloat(2.5), "2.5"},
+		{NewText("hi"), "hi"},
+		{NewBool(true), "TRUE"},
+		{NewBool(false), "FALSE"},
+	}
+	for _, tc := range cases {
+		if got := tc.v.String(); got != tc.want {
+			t.Errorf("%+v.String() = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestValueCoercions(t *testing.T) {
+	if i, err := NewText(" 42 ").AsInt(); err != nil || i != 42 {
+		t.Fatalf("AsInt = %v, %v", i, err)
+	}
+	if _, err := NewText("nope").AsInt(); err == nil {
+		t.Fatal("expected error")
+	}
+	if f, err := NewInt(3).AsFloat(); err != nil || f != 3.0 {
+		t.Fatalf("AsFloat = %v, %v", f, err)
+	}
+	if f, err := NewText("2.5e2").AsFloat(); err != nil || f != 250 {
+		t.Fatalf("AsFloat = %v, %v", f, err)
+	}
+	if _, err := Null.AsInt(); err == nil {
+		t.Fatal("NULL AsInt must error")
+	}
+}
+
+func TestValueBoolTruthiness(t *testing.T) {
+	if b, known := NewInt(0).Bool(); known && b {
+		t.Fatal("0 must be false")
+	}
+	if b, known := NewFloat(0.1).Bool(); !known || !b {
+		t.Fatal("0.1 must be true")
+	}
+	if _, known := Null.Bool(); known {
+		t.Fatal("NULL truth must be unknown")
+	}
+}
+
+func TestCompareTotalOrdering(t *testing.T) {
+	// NULL < numbers < text.
+	if CompareTotal(Null, NewInt(-999)) >= 0 {
+		t.Fatal("NULL must sort first")
+	}
+	if CompareTotal(NewInt(5), NewText("0")) >= 0 {
+		t.Fatal("numbers sort before text")
+	}
+	// Cross-type numeric comparison.
+	if CompareTotal(NewInt(2), NewFloat(2.5)) >= 0 {
+		t.Fatal("2 < 2.5")
+	}
+	if CompareTotal(NewFloat(2.0), NewInt(2)) != 0 {
+		t.Fatal("2.0 == 2")
+	}
+	// Large int64 values must compare exactly, not via float rounding.
+	a := NewInt(1<<62 + 1)
+	b := NewInt(1 << 62)
+	if CompareTotal(a, b) <= 0 {
+		t.Fatal("large ints must compare exactly")
+	}
+}
+
+func TestArithmeticIntFloatPromotion(t *testing.T) {
+	v, err := Arithmetic("+", NewInt(1), NewFloat(0.5))
+	if err != nil || v.T != TypeFloat || v.F != 1.5 {
+		t.Fatalf("1 + 0.5 = %+v, %v", v, err)
+	}
+	v, _ = Arithmetic("*", NewInt(3), NewInt(4))
+	if v.T != TypeInt || v.I != 12 {
+		t.Fatalf("3*4 = %+v", v)
+	}
+	// Integer division truncates; float division does not.
+	v, _ = Arithmetic("/", NewInt(7), NewInt(2))
+	if v.I != 3 {
+		t.Fatalf("7/2 = %+v", v)
+	}
+	v, _ = Arithmetic("/", NewFloat(7), NewInt(2))
+	if v.F != 3.5 {
+		t.Fatalf("7.0/2 = %+v", v)
+	}
+	// Division and modulo by zero are NULL.
+	for _, op := range []string{"/", "%"} {
+		v, err := Arithmetic(op, NewInt(1), NewInt(0))
+		if err != nil || !v.IsNull() {
+			t.Fatalf("1 %s 0 = %+v, %v", op, v, err)
+		}
+	}
+	if _, err := Arithmetic("+", NewText("a"), NewInt(1)); err == nil {
+		t.Fatal("text arithmetic must error")
+	}
+}
+
+func TestApplyAffinity(t *testing.T) {
+	// Integral float to INT column becomes int.
+	if v := applyAffinity(NewFloat(3.0), TypeInt); v.T != TypeInt || v.I != 3 {
+		t.Fatalf("v = %+v", v)
+	}
+	// Non-integral float keeps its value (dynamic typing).
+	if v := applyAffinity(NewFloat(3.5), TypeInt); v.T != TypeFloat {
+		t.Fatalf("v = %+v", v)
+	}
+	// Int to REAL column becomes float.
+	if v := applyAffinity(NewInt(7), TypeFloat); v.T != TypeFloat || v.F != 7 {
+		t.Fatalf("v = %+v", v)
+	}
+	// 0/1 to BOOLEAN column becomes bool.
+	if v := applyAffinity(NewInt(1), TypeBool); v.T != TypeBool || v.I != 1 {
+		t.Fatalf("v = %+v", v)
+	}
+	// NULL passes through.
+	if v := applyAffinity(Null, TypeInt); !v.IsNull() {
+		t.Fatalf("v = %+v", v)
+	}
+}
+
+func TestEncodeValueKeyNumericEquality(t *testing.T) {
+	// SQL equality: 1, 1.0, TRUE group together.
+	k1 := encodeValueKey(NewInt(1))
+	k2 := encodeValueKey(NewFloat(1.0))
+	k3 := encodeValueKey(NewBool(true))
+	if k1 != k2 || k1 != k3 {
+		t.Fatalf("keys differ: %q %q %q", k1, k2, k3)
+	}
+	// But text "1" stays distinct.
+	if encodeValueKey(NewText("1")) == k1 {
+		t.Fatal("text must not collide with number")
+	}
+	// Non-integral floats distinct from ints.
+	if encodeValueKey(NewFloat(1.5)) == k1 {
+		t.Fatal("1.5 must not collide with 1")
+	}
+}
+
+func TestEncodeRowKeyNoCollisions(t *testing.T) {
+	// Composite keys must not collide across boundaries:
+	// ("ab", "c") vs ("a", "bc").
+	a := encodeRowKey([]Value{NewText("ab"), NewText("c")})
+	b := encodeRowKey([]Value{NewText("a"), NewText("bc")})
+	if a == b {
+		t.Fatal("length prefixes failed")
+	}
+}
+
+func TestCompareTotalPropertyAntisymmetric(t *testing.T) {
+	f := func(a, b int64, fa, fb float64) bool {
+		if math.IsNaN(fa) || math.IsNaN(fb) {
+			return true
+		}
+		vals := []Value{NewInt(a), NewInt(b), NewFloat(fa), NewFloat(fb), Null, NewText("x")}
+		for _, x := range vals {
+			for _, y := range vals {
+				if CompareTotal(x, y) != -CompareTotal(y, x) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRowBytesGrowsWithContent(t *testing.T) {
+	small := rowBytes(Row{NewInt(1)})
+	big := rowBytes(Row{NewInt(1), NewText("a longer string value here")})
+	if big <= small {
+		t.Fatalf("rowBytes: %d vs %d", small, big)
+	}
+}

@@ -1,0 +1,116 @@
+package qymera_test
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"qymera"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	c := qymera.NewCircuit(3).H(0).CX(0, 1).CX(1, 2)
+	res, err := qymera.NewSQLBackend().Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ket := res.State.FormatKet()
+	if !strings.Contains(ket, "|000⟩") || !strings.Contains(ket, "|111⟩") {
+		t.Fatalf("ket = %s", ket)
+	}
+}
+
+func TestTranslateFacade(t *testing.T) {
+	tr, err := qymera.Translate(qymera.GHZ(3), nil, qymera.TranslateOptions{Mode: qymera.SingleQuery})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tr.Query, "WITH T1 AS") {
+		t.Fatalf("query = %s", tr.Query)
+	}
+}
+
+func TestBackendByName(t *testing.T) {
+	for _, name := range qymera.BackendNames() {
+		b, err := qymera.BackendByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := b.Run(qymera.GHZ(3))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.State.Len() != 2 {
+			t.Fatalf("%s: support = %d", name, res.State.Len())
+		}
+	}
+	if _, err := qymera.BackendByName("quantum-annealer"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestBackendsAgreeOnQFTFacade(t *testing.T) {
+	c := qymera.QFT(5)
+	ref, err := qymera.NewStateVectorBackend().Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"sql", "sparse", "mps", "dd"} {
+		b, _ := qymera.BackendByName(name)
+		res, err := b.Run(c)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if f := res.State.Fidelity(ref.State); math.Abs(f-1) > 1e-8 {
+			t.Fatalf("%s fidelity = %v", name, f)
+		}
+	}
+}
+
+func TestIOFacade(t *testing.T) {
+	var buf bytes.Buffer
+	if err := qymera.WriteJSON(&buf, qymera.WState(3)); err != nil {
+		t.Fatal(err)
+	}
+	c, err := qymera.ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumQubits() != 3 {
+		t.Fatalf("n = %d", c.NumQubits())
+	}
+	q, err := qymera.ReadQASM("qreg q[2]; h q[0]; cx q[0], q[1];")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := qymera.Draw(q); !strings.Contains(out, "[H]") {
+		t.Fatalf("draw:\n%s", out)
+	}
+}
+
+func TestMemoryBudgetFacade(t *testing.T) {
+	b := qymera.NewStateVectorBackend(1 << 10)
+	if _, err := b.Run(qymera.EqualSuperposition(12)); err == nil {
+		t.Fatal("expected budget error")
+	}
+	sql := qymera.NewSQLBackend(qymera.SQLBackendOptions{MemoryBudget: 1 << 14, SpillDir: t.TempDir()})
+	res, err := sql.Run(qymera.EqualSuperposition(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.SpilledRows == 0 {
+		t.Fatal("expected out-of-core spilling")
+	}
+}
+
+func TestParityCheckFacade(t *testing.T) {
+	res, err := qymera.NewSQLBackend().Run(qymera.ParityCheck([]bool{true, true, true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Odd number of ones: ancilla (qubit 3) must read 1.
+	if p := res.State.QubitProbability(3); math.Abs(p-1) > 1e-9 {
+		t.Fatalf("ancilla prob = %v", p)
+	}
+}
