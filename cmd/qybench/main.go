@@ -9,6 +9,10 @@
 //	qybench -quick           # smaller sizes (seconds, for CI)
 //	qybench -format md       # markdown tables
 //	qybench -out results/    # additionally write one CSV per table
+//	qybench -benchjson BENCH_sqlengine.json
+//	                         # write the machine-readable engine
+//	                         # throughput report (GHZ/QFT/parity via
+//	                         # the SQL backend)
 package main
 
 import (
@@ -28,7 +32,22 @@ func main() {
 	format := flag.String("format", "text", "text, md, or csv")
 	out := flag.String("out", "", "directory for per-table CSV files")
 	list := flag.Bool("list", false, "list experiments and exit")
+	benchJSON := flag.String("benchjson", "", "write the SQL-engine throughput report (BENCH_sqlengine.json) to this path and exit")
 	flag.Parse()
+
+	if *benchJSON != "" {
+		data, err := bench.EngineBenchJSON(bench.Options{Quick: *quick})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qybench:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*benchJSON, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "qybench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *benchJSON)
+		return
+	}
 
 	if *list {
 		for _, e := range bench.Experiments() {

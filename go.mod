@@ -1,0 +1,3 @@
+module qymera
+
+go 1.24

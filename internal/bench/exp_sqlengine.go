@@ -1,0 +1,133 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"qymera/internal/circuits"
+	"qymera/internal/quantum"
+	"qymera/internal/sim"
+	"qymera/internal/sqlengine"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "sqlengine",
+		Paper: "engine throughput — GHZ/QFT/parity via the SQL backend",
+		Desc:  "vectorized relational engine benchmark: per-workload wall time and gate-row throughput; qybench -benchjson writes the machine-readable BENCH_sqlengine.json",
+		Run:   runSQLEngine,
+	})
+}
+
+// EngineBenchEntry is one workload measurement of the SQL backend.
+type EngineBenchEntry struct {
+	Workload    string  `json:"workload"`
+	Qubits      int     `json:"qubits"`
+	Gates       int     `json:"gates"`
+	WallSeconds float64 `json:"wall_seconds"`
+	// MaxRows is the largest intermediate nonzero-amplitude table.
+	MaxRows int64 `json:"max_intermediate_rows"`
+	// GateRowsPerSec approximates engine throughput as gate count times
+	// the peak intermediate table size divided by wall time — an upper
+	// bound on the rows each join+group-by stage pushes per second.
+	GateRowsPerSec float64 `json:"gate_rows_per_sec"`
+	SpilledRows    int64   `json:"spilled_rows"`
+	FinalNonzeros  int     `json:"final_nonzeros"`
+}
+
+// EngineBenchReport is the machine-readable BENCH_sqlengine.json
+// payload, recording engine throughput so runs before and after an
+// executor change can be diffed.
+type EngineBenchReport struct {
+	Engine    string             `json:"engine"`
+	BatchSize int                `json:"batch_size"`
+	Entries   []EngineBenchEntry `json:"entries"`
+}
+
+// engineWorkloads are the circuit families exercised by the engine
+// benchmark.
+func engineWorkloads(quick bool) []struct {
+	name  string
+	n     int
+	build func(int) *quantum.Circuit
+} {
+	ghz, qft, par := 16, 10, 12
+	if quick {
+		ghz, qft, par = 8, 6, 6
+	}
+	return []struct {
+		name  string
+		n     int
+		build func(int) *quantum.Circuit
+	}{
+		{"ghz", ghz, circuits.GHZ},
+		{"qft", qft, circuits.QFT},
+		{"parity", par, circuits.ParitySuperposition},
+	}
+}
+
+// RunEngineBench executes the engine workloads through the SQL backend
+// and returns the throughput report.
+func RunEngineBench(opts Options) (*EngineBenchReport, error) {
+	report := &EngineBenchReport{Engine: "vectorized-batch", BatchSize: sqlengine.BatchSize}
+	for _, w := range engineWorkloads(opts.Quick) {
+		c := w.build(w.n)
+		var res *sim.Result
+		wall, err := Median3(func() (time.Duration, error) {
+			r, err := (&sim.SQL{SpillDir: opts.SpillDir}).Run(c)
+			if err != nil {
+				return 0, err
+			}
+			res = r
+			return r.Stats.WallTime, nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: sqlengine workload %s: %w", w.name, err)
+		}
+		secs := wall.Seconds()
+		entry := EngineBenchEntry{
+			Workload:      w.name,
+			Qubits:        c.NumQubits(),
+			Gates:         res.Stats.GateCount,
+			WallSeconds:   secs,
+			MaxRows:       res.Stats.MaxIntermediateSize,
+			SpilledRows:   res.Stats.SpilledRows,
+			FinalNonzeros: res.Stats.FinalNonzeros,
+		}
+		if secs > 0 {
+			entry.GateRowsPerSec = float64(res.Stats.GateCount) * float64(res.Stats.MaxIntermediateSize) / secs
+		}
+		report.Entries = append(report.Entries, entry)
+	}
+	return report, nil
+}
+
+// EngineBenchJSON renders the report for BENCH_sqlengine.json.
+func EngineBenchJSON(opts Options) ([]byte, error) {
+	report, err := RunEngineBench(opts)
+	if err != nil {
+		return nil, err
+	}
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+func runSQLEngine(opts Options) ([]*Table, error) {
+	report, err := RunEngineBench(opts)
+	if err != nil {
+		return nil, err
+	}
+	t := NewTable("SQL engine throughput (vectorized batch executor)",
+		"workload", "qubits", "gates", "wall", "max rows", "gate-rows/s", "spilled rows")
+	for _, e := range report.Entries {
+		t.Addf(e.Workload, e.Qubits, e.Gates,
+			FormatDuration(time.Duration(e.WallSeconds*float64(time.Second))),
+			e.MaxRows, fmt.Sprintf("%.3g", e.GateRowsPerSec), e.SpilledRows)
+	}
+	t.Note("batch=%d; gate-rows/s = gates x max intermediate rows / wall time", report.BatchSize)
+	return []*Table{t}, nil
+}

@@ -15,7 +15,9 @@ import (
 // relational engine (internal/sqlengine): every gate is a join +
 // group-by over the nonzero-amplitude table, the engine's optimizer and
 // operators do the rest, and the buffer manager spills to disk for
-// out-of-core simulation (§3.3).
+// out-of-core simulation (§3.3). The engine executes vectorized (batches
+// of ~1024 rows with selection vectors, streaming hash join/aggregate);
+// this type's API is unchanged by that — only per-gate throughput.
 type SQL struct {
 	// Mode selects one WITH-chained query or per-gate materialized
 	// tables (inspectable intermediate states).

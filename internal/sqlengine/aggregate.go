@@ -18,9 +18,16 @@ type aggCall struct {
 // reference those synthetic columns. DISTINCT is lowered onto this node
 // with all output columns as group keys and no aggregates.
 //
-// The node first materializes evaluated (group key, aggregate argument)
-// tuples into a spillable store, then aggregates hash-partitions of that
-// store recursively, so grouping works beyond the memory budget.
+// Execution is streaming: input batches are aggregated directly into a
+// hash table (group keys and aggregate arguments evaluated vectorized),
+// with no materialization of the input. When the hash table outgrows the
+// memory budget, accumulated groups are dumped as partial-aggregate
+// tuples — every built-in non-DISTINCT aggregate decomposes into 1–2
+// mergeable values — and the rest of the input is converted to the same
+// partial form; the partial store is then merge-aggregated with
+// recursive grace partitioning, so grouping works beyond the budget.
+// DISTINCT aggregates are not decomposable and take the legacy path:
+// materialize evaluated tuples first, then aggregate recursively.
 type aggNode struct {
 	child   planNode
 	groupBy []Expr
@@ -38,18 +45,18 @@ func (n *aggNode) schema() planSchema {
 	return out
 }
 
-func (n *aggNode) open(ctx *execCtx) (rowIter, error) {
+func (n *aggNode) open(ctx *execCtx) (batchIter, error) {
 	childSchema := n.child.schema()
-	groupC, err := compileAll(ctx, n.groupBy, childSchema)
+	groupC, err := ctx.compileVecAll(n.groupBy, childSchema)
 	if err != nil {
 		return nil, err
 	}
-	argC := make([]compiledExpr, len(n.aggs))
+	argC := make([]vecExpr, len(n.aggs))
 	for i, a := range n.aggs {
 		if a.Arg == nil {
 			continue
 		}
-		c, err := ctx.compile(a.Arg, childSchema)
+		c, err := ctx.compileVec(a.Arg, childSchema)
 		if err != nil {
 			return nil, err
 		}
@@ -60,87 +67,165 @@ func (n *aggNode) open(ctx *execCtx) (rowIter, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Materialize [group values..., agg arguments...] rows.
-	input := newRowStore(ctx.env)
-	for {
-		row, ok, err := child.Next()
-		if err != nil {
-			child.Close()
-			input.Release()
-			return nil, err
-		}
-		if !ok {
-			break
-		}
-		tuple := make(Row, len(groupC)+len(argC))
-		for i, g := range groupC {
-			v, err := g(row)
-			if err != nil {
-				child.Close()
-				input.Release()
-				return nil, err
-			}
-			tuple[i] = v
-		}
-		for i, a := range argC {
-			if a == nil { // COUNT(*): presence marker
-				tuple[len(groupC)+i] = NewBool(true)
-				continue
-			}
-			v, err := a(row)
-			if err != nil {
-				child.Close()
-				input.Release()
-				return nil, err
-			}
-			tuple[len(groupC)+i] = v
-		}
-		if err := input.Append(tuple); err != nil {
-			child.Close()
-			input.Release()
-			return nil, err
-		}
-	}
-	child.Close()
-	if err := input.Freeze(); err != nil {
-		input.Release()
-		return nil, err
-	}
-	defer input.Release()
 
+	exec := newAggExec(ctx, len(n.groupBy), n.aggs)
 	out := newRowStore(ctx.env)
-	exec := &aggExec{ctx: ctx, nGroup: len(n.groupBy), aggs: n.aggs}
-	if err := exec.aggregateStore(input, 0, out); err != nil {
+	width := len(n.groupBy) + len(n.aggs)
+	fail := func(err error) (batchIter, error) {
 		out.Release()
 		return nil, err
 	}
+
+	var rowsSeen bool
+	if exec.streamable() {
+		rowsSeen, err = exec.streamAggregate(child, groupC, argC, out)
+		child.Close()
+		if err != nil {
+			return fail(err)
+		}
+	} else {
+		input, merr := n.materializeTuples(ctx, child, groupC, argC)
+		child.Close()
+		if merr != nil {
+			return fail(merr)
+		}
+		rowsSeen = input.Len() > 0
+		err = exec.aggregateStore(input, 0, out)
+		input.Release()
+		if err != nil {
+			return fail(err)
+		}
+	}
+
 	// Global aggregation over empty input yields one default row.
-	if len(n.groupBy) == 0 && out.Len() == 0 && input.Len() == 0 {
+	if len(n.groupBy) == 0 && out.Len() == 0 && !rowsSeen {
 		row := make(Row, len(n.aggs))
 		for i, a := range n.aggs {
 			st, err := newAggState(a.Name, a.Distinct)
 			if err != nil {
-				out.Release()
-				return nil, err
+				return fail(err)
 			}
 			row[i] = st.result()
 		}
 		if err := out.Append(row); err != nil {
-			out.Release()
-			return nil, err
+			return fail(err)
 		}
 	}
 	if err := out.Freeze(); err != nil {
-		out.Release()
+		return fail(err)
+	}
+	return newOwnedStoreIter(out, width)
+}
+
+// materializeTuples drains the child, evaluating group keys and
+// aggregate arguments vectorized, and stores one tuple per input row
+// (the legacy path, required for DISTINCT aggregates).
+func (n *aggNode) materializeTuples(ctx *execCtx, child batchIter, groupC []vecExpr, argC []vecExpr) (*RowStore, error) {
+	input := newRowStore(ctx.env)
+	nGroup := len(groupC)
+	tupleWidth := nGroup + len(argC)
+	groupCols := make([]colVec, nGroup)
+	argCols := make([]colVec, len(argC))
+	for {
+		b, err := child.NextBatch()
+		if err != nil {
+			input.Release()
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		sel, err := evalGroupArgs(b, groupC, argC, groupCols, argCols)
+		if err != nil {
+			input.Release()
+			return nil, err
+		}
+		for _, pos := range sel {
+			tuple := make(Row, tupleWidth)
+			for i := 0; i < nGroup; i++ {
+				tuple[i] = groupCols[i][pos]
+			}
+			for i := range argC {
+				if argC[i] == nil { // COUNT(*): presence marker
+					tuple[nGroup+i] = NewBool(true)
+					continue
+				}
+				tuple[nGroup+i] = argCols[i][pos]
+			}
+			if err := input.Append(tuple); err != nil {
+				input.Release()
+				return nil, err
+			}
+		}
+	}
+	if err := input.Freeze(); err != nil {
+		input.Release()
 		return nil, err
 	}
-	return newOwnedStoreIter(out)
+	return input, nil
+}
+
+// evalGroupArgs evaluates group-key and aggregate-argument expressions
+// over one batch, filling the provided column slices.
+func evalGroupArgs(b *rowBatch, groupC, argC []vecExpr, groupCols, argCols []colVec) ([]int, error) {
+	sel := b.selection()
+	for i, g := range groupC {
+		col, err := g(b, sel)
+		if err != nil {
+			return nil, err
+		}
+		groupCols[i] = col
+	}
+	for i, a := range argC {
+		if a == nil {
+			continue
+		}
+		col, err := a(b, sel)
+		if err != nil {
+			return nil, err
+		}
+		argCols[i] = col
+	}
+	return sel, nil
 }
 
 type aggExec struct {
 	ctx    *execCtx
 	nGroup int
 	aggs   []aggCall
+	// Partial-tuple layout for the streaming spill path: per-aggregate
+	// slot offsets within the partial section of a tuple.
+	partOffs  []int
+	partTotal int
+}
+
+func newAggExec(ctx *execCtx, nGroup int, aggs []aggCall) *aggExec {
+	x := &aggExec{ctx: ctx, nGroup: nGroup, aggs: aggs, partOffs: make([]int, len(aggs))}
+	for i, a := range aggs {
+		x.partOffs[i] = x.partTotal
+		x.partTotal += partialWidth(a.Name)
+	}
+	return x
+}
+
+// streamable reports whether the streaming partial-spill path applies:
+// DISTINCT aggregates need the full input and use the legacy path.
+func (x *aggExec) streamable() bool {
+	for _, a := range x.aggs {
+		if a.Distinct {
+			return false
+		}
+	}
+	return true
+}
+
+// partialWidth is the number of Values an aggregate's mergeable partial
+// state occupies in a spilled tuple.
+func partialWidth(name string) int {
+	if name == "AVG" {
+		return 2 // (sum, count)
+	}
+	return 1
 }
 
 type aggGroup struct {
@@ -148,18 +233,309 @@ type aggGroup struct {
 	states  []aggState
 }
 
-// aggregateStore hash-aggregates one store; under memory pressure it
-// splits the store into partitions by group-key hash and recurses.
-func (x *aggExec) aggregateStore(input *RowStore, depth int, out *RowStore) error {
+// groupTable is the aggregation hash table: single-column integer-like
+// group keys use an int64-keyed map (no key encoding or string
+// allocation per row — see intKey for why the split preserves grouping
+// semantics), everything else the encoded string key. order preserves
+// first-seen order for deterministic output.
+type groupTable[G any] struct {
+	useInt bool
+	ints   map[int64]G
+	strs   map[string]G
+	order  []G
+}
+
+func newGroupTable[G any](nGroup int) *groupTable[G] {
+	return &groupTable[G]{useInt: nGroup == 1, ints: make(map[int64]G), strs: make(map[string]G)}
+}
+
+// streamAggregate drains child batches into the hash table; on budget
+// overflow it switches to the partial-spill path. rowsSeen reports
+// whether any input row was consumed.
+func (x *aggExec) streamAggregate(child batchIter, groupC, argC []vecExpr, out *RowStore) (bool, error) {
 	budget := x.ctx.env.budget
-	groups := make(map[string]*aggGroup)
-	var order []string // first-seen order for deterministic output
+	table := newGroupTable[*aggGroup](x.nGroup)
 	var reserved int64
 	releaseAll := func() {
 		budget.release(reserved)
 		reserved = 0
-		groups = nil
-		order = nil
+		table = nil
+	}
+
+	groupCols := make([]colVec, len(groupC))
+	argCols := make([]colVec, len(argC))
+	keyBuf := make(Row, x.nGroup)
+	rowsSeen := false
+
+	for {
+		b, err := child.NextBatch()
+		if err != nil {
+			releaseAll()
+			return rowsSeen, err
+		}
+		if b == nil {
+			break
+		}
+		sel, err := evalGroupArgs(b, groupC, argC, groupCols, argCols)
+		if err != nil {
+			releaseAll()
+			return rowsSeen, err
+		}
+		rowsSeen = rowsSeen || len(sel) > 0
+		for si, pos := range sel {
+			for i := 0; i < x.nGroup; i++ {
+				keyBuf[i] = groupCols[i][pos]
+			}
+			var g *aggGroup
+			ik, isInt := int64(0), false
+			if table.useInt {
+				ik, isInt = intKey(keyBuf[0])
+			}
+			if isInt {
+				g = table.ints[ik]
+			} else {
+				g = table.strs[encodeRowKey(keyBuf)]
+			}
+			if g == nil {
+				need := rowBytes(keyBuf) + mapEntryBytes + int64(len(x.aggs))*48
+				if !budget.tryReserve(need) {
+					// See joinStores: blocking operators may claim a
+					// small working floor before giving up.
+					if reserved+need > x.ctx.env.workingFloor {
+						// Overflow: dump groups and the rest of the
+						// stream as mergeable partial tuples.
+						order := table.order
+						releaseAll()
+						if !x.ctx.env.spillEnabled {
+							return rowsSeen, errBudget
+						}
+						return true, x.spillAndMerge(child, groupC, argC, order, sel[si:], groupCols, argCols, out)
+					}
+					budget.reserveForce(need)
+				}
+				reserved += need
+				g = &aggGroup{keyVals: cloneRow(keyBuf), states: make([]aggState, len(x.aggs))}
+				for i, a := range x.aggs {
+					st, err := newAggState(a.Name, a.Distinct)
+					if err != nil {
+						releaseAll()
+						return rowsSeen, err
+					}
+					g.states[i] = st
+				}
+				if isInt {
+					table.ints[ik] = g
+				} else {
+					table.strs[encodeRowKey(keyBuf)] = g
+				}
+				table.order = append(table.order, g)
+			}
+			for i := range x.aggs {
+				var v Value
+				if argC[i] == nil {
+					v = NewBool(true) // COUNT(*): presence marker
+				} else {
+					v = argCols[i][pos]
+				}
+				if err := g.states[i].add(v, true); err != nil {
+					releaseAll()
+					return rowsSeen, err
+				}
+			}
+		}
+	}
+
+	defer releaseAll()
+	for _, g := range table.order {
+		row := make(Row, x.nGroup+len(x.aggs))
+		copy(row, g.keyVals)
+		for i, st := range g.states {
+			row[x.nGroup+i] = st.result()
+		}
+		if err := out.Append(row); err != nil {
+			return true, err
+		}
+	}
+	return rowsSeen, nil
+}
+
+// spillAndMerge handles streaming overflow: accumulated groups are
+// dumped as partial tuples (in first-seen order, keeping output
+// deterministic), the rest of the input is converted row-by-row to the
+// same partial form, and the combined store is merge-aggregated.
+func (x *aggExec) spillAndMerge(child batchIter, groupC, argC []vecExpr, dumped []*aggGroup, curSel []int, groupCols, argCols []colVec, out *RowStore) error {
+	partials := newRowStore(x.ctx.env)
+	fail := func(err error) error {
+		partials.Release()
+		return err
+	}
+	for _, g := range dumped {
+		row := make(Row, x.nGroup+x.partTotal)
+		copy(row, g.keyVals)
+		dst := row[x.nGroup:x.nGroup]
+		for _, st := range g.states {
+			dst = st.(partialDumper).partial(dst)
+		}
+		if err := partials.Append(row); err != nil {
+			return fail(err)
+		}
+	}
+	appendRaw := func(sel []int, groupCols, argCols []colVec) error {
+		for _, pos := range sel {
+			row := make(Row, x.nGroup+x.partTotal)
+			for i := 0; i < x.nGroup; i++ {
+				row[i] = groupCols[i][pos]
+			}
+			for i, a := range x.aggs {
+				var v Value
+				if argC[i] != nil {
+					v = argCols[i][pos]
+				}
+				if err := rawPartial(a.Name, argC[i] == nil, v, row[x.nGroup+x.partOffs[i]:]); err != nil {
+					return err
+				}
+			}
+			if err := partials.Append(row); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// The unconsumed tail of the current batch, then the rest of the
+	// stream.
+	if err := appendRaw(curSel, groupCols, argCols); err != nil {
+		return fail(err)
+	}
+	for {
+		b, err := child.NextBatch()
+		if err != nil {
+			return fail(err)
+		}
+		if b == nil {
+			break
+		}
+		sel, err := evalGroupArgs(b, groupC, argC, groupCols, argCols)
+		if err != nil {
+			return fail(err)
+		}
+		if err := appendRaw(sel, groupCols, argCols); err != nil {
+			return fail(err)
+		}
+	}
+	if err := partials.Freeze(); err != nil {
+		return fail(err)
+	}
+	defer partials.Release()
+	return x.mergeStore(partials, 0, out)
+}
+
+// rawPartial writes the single-row partial representation of an
+// aggregate input value into dst.
+func rawPartial(name string, star bool, v Value, dst Row) error {
+	switch name {
+	case "COUNT":
+		if star || !v.IsNull() {
+			dst[0] = NewInt(1)
+		} else {
+			dst[0] = NewInt(0)
+		}
+	case "SUM", "TOTAL", "MIN", "MAX":
+		dst[0] = v
+	case "AVG":
+		if v.IsNull() {
+			dst[0], dst[1] = NewFloat(0), NewInt(0)
+			return nil
+		}
+		f, err := v.AsFloat()
+		if err != nil {
+			return err
+		}
+		dst[0], dst[1] = NewFloat(f), NewInt(1)
+	default:
+		return fmt.Errorf("sqlengine: aggregate %s cannot be spilled as a partial", name)
+	}
+	return nil
+}
+
+// mergeAcc accumulates mergeable partial states for one aggregate.
+// (Merge levels re-read their input store on overflow, so unlike the
+// streaming level they never need to dump partials again.)
+type mergeAcc interface {
+	merge(slots []Value) error
+	result() Value
+}
+
+// scalarMergeAcc merges single-slot partials through an underlying
+// aggState whose add() is associative over partials (SUM/TOTAL merge via
+// summation, MIN/MAX via comparison, COUNT via summation of counts).
+type scalarMergeAcc struct {
+	st aggState
+}
+
+func (m *scalarMergeAcc) merge(slots []Value) error { return m.st.add(slots[0], true) }
+func (m *scalarMergeAcc) result() Value             { return m.st.result() }
+
+// avgMergeAcc merges (sum, count) pairs.
+type avgMergeAcc struct {
+	f float64
+	n int64
+}
+
+func (m *avgMergeAcc) merge(slots []Value) error {
+	n, err := slots[1].AsInt()
+	if err != nil {
+		return err
+	}
+	if n == 0 {
+		return nil
+	}
+	f, err := slots[0].AsFloat()
+	if err != nil {
+		return err
+	}
+	m.f += f
+	m.n += n
+	return nil
+}
+
+func (m *avgMergeAcc) result() Value {
+	if m.n == 0 {
+		return Null
+	}
+	return NewFloat(m.f / float64(m.n))
+}
+
+func newMergeAcc(name string) (mergeAcc, error) {
+	switch name {
+	case "COUNT", "SUM":
+		return &scalarMergeAcc{st: &sumAgg{}}, nil
+	case "TOTAL":
+		return &scalarMergeAcc{st: &sumAgg{total: true}}, nil
+	case "AVG":
+		return &avgMergeAcc{}, nil
+	case "MIN":
+		return &scalarMergeAcc{st: &minMaxAgg{min: true}}, nil
+	case "MAX":
+		return &scalarMergeAcc{st: &minMaxAgg{}}, nil
+	}
+	return nil, fmt.Errorf("sqlengine: aggregate %s cannot be merged", name)
+}
+
+type mergeGroup struct {
+	keyVals Row
+	accs    []mergeAcc
+}
+
+// mergeStore merge-aggregates a store of partial tuples; under memory
+// pressure it partitions the store by group-key hash and recurses.
+func (x *aggExec) mergeStore(input *RowStore, depth int, out *RowStore) error {
+	budget := x.ctx.env.budget
+	table := newGroupTable[*mergeGroup](x.nGroup)
+	var reserved int64
+	releaseAll := func() {
+		budget.release(reserved)
+		reserved = 0
+		table = nil
 	}
 
 	it, err := input.Iterator()
@@ -176,8 +552,113 @@ func (x *aggExec) aggregateStore(input *RowStore, depth int, out *RowStore) erro
 		if !ok {
 			break
 		}
-		key := encodeRowKey(tuple[:x.nGroup])
-		g := groups[key]
+		var g *mergeGroup
+		ik, isInt := int64(0), false
+		if table.useInt {
+			ik, isInt = intKey(tuple[0])
+		}
+		if isInt {
+			g = table.ints[ik]
+		} else {
+			g = table.strs[encodeRowKey(tuple[:x.nGroup])]
+		}
+		if g == nil {
+			need := rowBytes(tuple) + mapEntryBytes + int64(len(x.aggs))*48
+			if !budget.tryReserve(need) {
+				if reserved+need > x.ctx.env.workingFloor {
+					overflow = true
+					break
+				}
+				budget.reserveForce(need)
+			}
+			reserved += need
+			g = &mergeGroup{keyVals: cloneRow(tuple[:x.nGroup]), accs: make([]mergeAcc, len(x.aggs))}
+			for i, a := range x.aggs {
+				acc, err := newMergeAcc(a.Name)
+				if err != nil {
+					releaseAll()
+					return err
+				}
+				g.accs[i] = acc
+			}
+			if isInt {
+				table.ints[ik] = g
+			} else {
+				table.strs[encodeRowKey(tuple[:x.nGroup])] = g
+			}
+			table.order = append(table.order, g)
+		}
+		for i := range x.aggs {
+			off := x.nGroup + x.partOffs[i]
+			if err := g.accs[i].merge(tuple[off : off+partialWidth(x.aggs[i].Name)]); err != nil {
+				releaseAll()
+				return err
+			}
+		}
+	}
+
+	if overflow {
+		releaseAll()
+		if !x.ctx.env.spillEnabled {
+			return errBudget
+		}
+		if depth >= maxGraceDepth {
+			return fmt.Errorf("sqlengine: aggregation exceeded maximum partitioning depth %d", maxGraceDepth)
+		}
+		return x.partitionStore(input, depth, out, x.mergeStore)
+	}
+	defer releaseAll()
+
+	for _, g := range table.order {
+		row := make(Row, x.nGroup+len(x.aggs))
+		copy(row, g.keyVals)
+		for i, acc := range g.accs {
+			row[x.nGroup+i] = acc.result()
+		}
+		if err := out.Append(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// aggregateStore hash-aggregates one store of raw tuples (the legacy
+// DISTINCT-capable path); under memory pressure it splits the store into
+// partitions by group-key hash and recurses.
+func (x *aggExec) aggregateStore(input *RowStore, depth int, out *RowStore) error {
+	budget := x.ctx.env.budget
+	table := newGroupTable[*aggGroup](x.nGroup)
+	var reserved int64
+	releaseAll := func() {
+		budget.release(reserved)
+		reserved = 0
+		table = nil
+	}
+
+	it, err := input.Iterator()
+	if err != nil {
+		return err
+	}
+	overflow := false
+	for {
+		tuple, ok, err := it.Next()
+		if err != nil {
+			releaseAll()
+			return err
+		}
+		if !ok {
+			break
+		}
+		var g *aggGroup
+		ik, isInt := int64(0), false
+		if table.useInt {
+			ik, isInt = intKey(tuple[0])
+		}
+		if isInt {
+			g = table.ints[ik]
+		} else {
+			g = table.strs[encodeRowKey(tuple[:x.nGroup])]
+		}
 		if g == nil {
 			need := rowBytes(tuple) + mapEntryBytes + int64(len(x.aggs))*48
 			if !budget.tryReserve(need) {
@@ -199,8 +680,12 @@ func (x *aggExec) aggregateStore(input *RowStore, depth int, out *RowStore) erro
 				}
 				g.states[i] = st
 			}
-			groups[key] = g
-			order = append(order, key)
+			if isInt {
+				table.ints[ik] = g
+			} else {
+				table.strs[encodeRowKey(tuple[:x.nGroup])] = g
+			}
+			table.order = append(table.order, g)
 		}
 		for i := range x.aggs {
 			v := tuple[x.nGroup+i]
@@ -219,12 +704,11 @@ func (x *aggExec) aggregateStore(input *RowStore, depth int, out *RowStore) erro
 		if depth >= maxGraceDepth {
 			return fmt.Errorf("sqlengine: aggregation exceeded maximum partitioning depth %d", maxGraceDepth)
 		}
-		return x.partitionAndRecurse(input, depth, out)
+		return x.partitionStore(input, depth, out, x.aggregateStore)
 	}
 	defer releaseAll()
 
-	for _, key := range order {
-		g := groups[key]
+	for _, g := range table.order {
 		row := make(Row, x.nGroup+len(x.aggs))
 		copy(row, g.keyVals)
 		for i, st := range g.states {
@@ -237,7 +721,21 @@ func (x *aggExec) aggregateStore(input *RowStore, depth int, out *RowStore) erro
 	return nil
 }
 
-func (x *aggExec) partitionAndRecurse(input *RowStore, depth int, out *RowStore) error {
+// partitionIndex buckets a tuple by its group key, using the integer
+// mix for normalizable single-column keys (consistent across recursion
+// levels because normalization is deterministic).
+func (x *aggExec) partitionIndex(tuple Row, depth, fanout int) int {
+	if x.nGroup == 1 {
+		if ik, ok := intKey(tuple[0]); ok {
+			return hashPartitionInt(ik, depth, fanout)
+		}
+	}
+	return hashPartition(encodeRowKey(tuple[:x.nGroup]), depth, fanout)
+}
+
+// partitionStore splits a tuple store into fanout hash partitions and
+// applies recurse to each non-empty one at depth+1.
+func (x *aggExec) partitionStore(input *RowStore, depth int, out *RowStore, recurse func(*RowStore, int, *RowStore) error) error {
 	fanout := defaultFanout
 	parts := make([]*RowStore, fanout)
 	for i := range parts {
@@ -257,8 +755,7 @@ func (x *aggExec) partitionAndRecurse(input *RowStore, depth int, out *RowStore)
 		if !ok {
 			break
 		}
-		key := encodeRowKey(tuple[:x.nGroup])
-		idx := hashPartition(key, depth, fanout)
+		idx := x.partitionIndex(tuple, depth, fanout)
 		if err := parts[idx].Append(tuple); err != nil {
 			releaseStores(parts)
 			return err
@@ -275,7 +772,7 @@ func (x *aggExec) partitionAndRecurse(input *RowStore, depth int, out *RowStore)
 		if p.Len() == 0 {
 			continue
 		}
-		if err := x.aggregateStore(p, depth+1, out); err != nil {
+		if err := recurse(p, depth+1, out); err != nil {
 			return err
 		}
 	}

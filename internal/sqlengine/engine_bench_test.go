@@ -1,13 +1,18 @@
 package sqlengine
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
 	"strings"
 	"testing"
+	"time"
 )
 
 // Engine micro-benchmarks: the operator costs underlying the SQL
-// backend's per-gate time.
+// backend's per-gate time. Set QYMERA_BENCH_JSON=<path> and run
+// TestWriteEngineBenchJSON to emit a machine-readable rows/sec report
+// (cmd/qybench -benchjson writes the circuit-level counterpart).
 
 func benchDB(b *testing.B, rows int) *DB {
 	b.Helper()
@@ -138,6 +143,104 @@ func BenchmarkGateStageQuery(b *testing.B) {
 		}
 		rs.Close()
 	}
+}
+
+// engineMicroWorkloads are the operator shapes measured by both the Go
+// benchmarks above and the JSON report: predicate scan, hash join,
+// hash aggregation, and the full translated gate stage.
+var engineMicroWorkloads = []struct {
+	name string
+	rows int // input rows per execution, for rows/sec
+	sql  string
+}{
+	{"scan_filter", 4096, "SELECT s FROM t WHERE (s & 7) = 3"},
+	{"hash_join", 4096, "SELECT COUNT(*) FROM t JOIN h ON h.in_s = (t.s & 1)"},
+	{"group_by", 4096, "SELECT (s & 255) AS k, SUM(r), COUNT(*) FROM t GROUP BY (s & 255)"},
+	{"gate_stage", 4096, `SELECT ((t.s & ~1) | h.out_s) AS s,
+	       SUM((t.r * h.r) - (t.i * h.i)) AS r,
+	       SUM((t.r * h.i) + (t.i * h.r)) AS i
+	FROM t JOIN h ON h.in_s = (t.s & 1)
+	GROUP BY ((t.s & ~1) | h.out_s)`},
+}
+
+// TestWriteEngineBenchJSON measures rows/sec for each micro workload
+// and, when QYMERA_BENCH_JSON names a path, writes the report there
+// (e.g. BENCH_sqlengine.json). Without the variable it only sanity
+// checks that every workload executes.
+func TestWriteEngineBenchJSON(t *testing.T) {
+	path := os.Getenv("QYMERA_BENCH_JSON")
+	db, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Exec("CREATE TABLE t (s INTEGER, r REAL, i REAL)"); err != nil {
+		t.Fatal(err)
+	}
+	batch := make([]string, 0, 500)
+	for k := 0; k < 4096; k++ {
+		batch = append(batch, fmt.Sprintf("(%d, %g, 0.0)", k, 1.0/4096.0))
+		if len(batch) == 500 || k == 4095 {
+			if _, err := db.Exec("INSERT INTO t VALUES " + strings.Join(batch, ",")); err != nil {
+				t.Fatal(err)
+			}
+			batch = batch[:0]
+		}
+	}
+	if _, err := db.Exec("CREATE TABLE h (in_s INTEGER, out_s INTEGER, r REAL, i REAL)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("INSERT INTO h VALUES (0,0,0.70710678,0),(0,1,0.70710678,0),(1,0,0.70710678,0),(1,1,-0.70710678,0)"); err != nil {
+		t.Fatal(err)
+	}
+
+	type entry struct {
+		Workload   string  `json:"workload"`
+		InputRows  int     `json:"input_rows"`
+		Iterations int     `json:"iterations"`
+		NsPerOp    float64 `json:"ns_per_op"`
+		RowsPerSec float64 `json:"rows_per_sec"`
+	}
+	report := struct {
+		Engine    string  `json:"engine"`
+		BatchSize int     `json:"batch_size"`
+		Entries   []entry `json:"entries"`
+	}{Engine: "vectorized-batch", BatchSize: BatchSize}
+
+	iters := 20
+	if path == "" {
+		iters = 1 // plain test runs just verify the workloads
+	}
+	for _, w := range engineMicroWorkloads {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			rs, err := db.Query(w.sql)
+			if err != nil {
+				t.Fatalf("%s: %v", w.name, err)
+			}
+			rs.Close()
+		}
+		elapsed := time.Since(start)
+		nsPerOp := float64(elapsed.Nanoseconds()) / float64(iters)
+		report.Entries = append(report.Entries, entry{
+			Workload:   w.name,
+			InputRows:  w.rows,
+			Iterations: iters,
+			NsPerOp:    nsPerOp,
+			RowsPerSec: float64(w.rows) / (nsPerOp / 1e9),
+		})
+	}
+	if path == "" {
+		t.Skip("QYMERA_BENCH_JSON not set; workloads verified, no report written")
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", path)
 }
 
 func BenchmarkSpillingAggregate(b *testing.B) {

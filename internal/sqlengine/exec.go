@@ -56,17 +56,20 @@ func (s planSchema) hasTable(table string) bool {
 	return false
 }
 
-// rowIter is the volcano iterator contract. Close must be idempotent and
-// release all resources (spill files, budget reservations).
+// rowIter is the legacy volcano iterator contract, kept for the row
+// adapters at the engine's edges. Close must be idempotent and release
+// all resources (spill files, budget reservations).
 type rowIter interface {
 	Next() (Row, bool, error)
 	Close()
 }
 
-// planNode is a physical operator.
+// planNode is a physical operator. open returns a vectorized batch
+// iterator; row-oriented surfaces gather batches back into rows at the
+// materialize boundary (RowStore.AppendBatch).
 type planNode interface {
 	schema() planSchema
-	open(ctx *execCtx) (rowIter, error)
+	open(ctx *execCtx) (batchIter, error)
 }
 
 // execCtx carries per-statement execution state.
@@ -79,29 +82,32 @@ func (ctx *execCtx) compile(e Expr, schema planSchema) (compiledExpr, error) {
 	return compileExpr(e, &compileCtx{resolver: schema, params: ctx.params})
 }
 
+func (ctx *execCtx) compileVec(e Expr, schema planSchema) (vecExpr, error) {
+	return compileVec(e, &compileCtx{resolver: schema, params: ctx.params})
+}
+
+func (ctx *execCtx) compileVecAll(exprs []Expr, schema planSchema) ([]vecExpr, error) {
+	return compileVecAll(exprs, &compileCtx{resolver: schema, params: ctx.params})
+}
+
 // oneRowNode emits a single empty row; it backs FROM-less selects.
 type oneRowNode struct{}
 
 func (*oneRowNode) schema() planSchema { return nil }
 
-func (*oneRowNode) open(*execCtx) (rowIter, error) { return &sliceIter{rows: []Row{{}}}, nil }
+func (*oneRowNode) open(*execCtx) (batchIter, error) { return &oneRowBatchIter{}, nil }
 
-// sliceIter iterates an in-memory row slice.
-type sliceIter struct {
-	rows []Row
-	pos  int
-}
+type oneRowBatchIter struct{ done bool }
 
-func (it *sliceIter) Next() (Row, bool, error) {
-	if it.pos >= len(it.rows) {
-		return nil, false, nil
+func (it *oneRowBatchIter) NextBatch() (*rowBatch, error) {
+	if it.done {
+		return nil, nil
 	}
-	r := it.rows[it.pos]
-	it.pos++
-	return r, true, nil
+	it.done = true
+	return &rowBatch{n: 1}, nil
 }
 
-func (it *sliceIter) Close() {}
+func (it *oneRowBatchIter) Close() {}
 
 // storeScanNode scans a RowStore with a fixed schema. The store is owned
 // elsewhere (a base table or a materialized CTE); ownStore marks stores
@@ -114,21 +120,45 @@ type storeScanNode struct {
 
 func (n *storeScanNode) schema() planSchema { return n.cols }
 
-func (n *storeScanNode) open(*execCtx) (rowIter, error) {
+func (n *storeScanNode) open(*execCtx) (batchIter, error) {
 	it, err := n.store.Iterator()
 	if err != nil {
 		return nil, err
 	}
-	return &storeScanIter{it: it, store: n.store, own: n.ownStore}, nil
+	return &storeScanIter{it: it, store: n.store, own: n.ownStore, width: len(n.cols)}, nil
 }
 
+// storeScanIter reads a RowStore in batches of batchSize rows,
+// transposing the stored rows into a reusable column-major batch.
 type storeScanIter struct {
 	it    *RowIterator
 	store *RowStore
 	own   bool
+	width int
+	buf   *rowBatch
+	done  bool
 }
 
-func (s *storeScanIter) Next() (Row, bool, error) { return s.it.Next() }
+func (s *storeScanIter) NextBatch() (*rowBatch, error) {
+	if s.done {
+		return nil, nil
+	}
+	if s.buf == nil {
+		s.buf = newRowBatch(s.width)
+	}
+	s.buf.reset()
+	n, err := s.it.ReadBatch(s.buf, batchSize)
+	if err != nil {
+		return nil, err
+	}
+	if n < batchSize {
+		s.done = true
+	}
+	if s.buf.n == 0 {
+		return nil, nil
+	}
+	return s.buf, nil
+}
 
 func (s *storeScanIter) Close() {
 	if s.own && s.store != nil {
@@ -137,7 +167,20 @@ func (s *storeScanIter) Close() {
 	}
 }
 
-// filterNode drops rows whose predicate is not true.
+// newOwnedStoreIter wraps a result store in a batch iterator that
+// releases it on Close.
+func newOwnedStoreIter(store *RowStore, width int) (batchIter, error) {
+	it, err := store.Iterator()
+	if err != nil {
+		store.Release()
+		return nil, err
+	}
+	return &storeScanIter{it: it, store: store, own: true, width: width}, nil
+}
+
+// filterNode drops rows whose predicate is not true. Filtering is a
+// selection-vector rewrite: the child's batch is passed through with a
+// narrowed selection and no data movement.
 type filterNode struct {
 	child planNode
 	pred  Expr
@@ -145,8 +188,8 @@ type filterNode struct {
 
 func (n *filterNode) schema() planSchema { return n.child.schema() }
 
-func (n *filterNode) open(ctx *execCtx) (rowIter, error) {
-	pred, err := ctx.compile(n.pred, n.child.schema())
+func (n *filterNode) open(ctx *execCtx) (batchIter, error) {
+	pred, err := ctx.compileVec(n.pred, n.child.schema())
 	if err != nil {
 		return nil, err
 	}
@@ -158,29 +201,41 @@ func (n *filterNode) open(ctx *execCtx) (rowIter, error) {
 }
 
 type filterIter struct {
-	child rowIter
-	pred  compiledExpr
+	child batchIter
+	pred  vecExpr
+	sel   []int // reusable output selection
 }
 
-func (it *filterIter) Next() (Row, bool, error) {
+func (it *filterIter) NextBatch() (*rowBatch, error) {
 	for {
-		row, ok, err := it.child.Next()
-		if err != nil || !ok {
-			return nil, false, err
+		b, err := it.child.NextBatch()
+		if err != nil || b == nil {
+			return nil, err
 		}
-		v, err := it.pred(row)
+		sel := b.selection()
+		vals, err := it.pred(b, sel)
 		if err != nil {
-			return nil, false, err
+			return nil, err
 		}
-		if b, known := v.Bool(); known && b {
-			return row, true, nil
+		it.sel = it.sel[:0]
+		for _, i := range sel {
+			if ok, known := vals[i].Bool(); known && ok {
+				it.sel = append(it.sel, i)
+			}
 		}
+		if len(it.sel) == 0 {
+			continue
+		}
+		b.sel = it.sel
+		return b, nil
 	}
 }
 
 func (it *filterIter) Close() { it.child.Close() }
 
-// projectNode computes output expressions.
+// projectNode computes output expressions. The output batch aliases the
+// expression result columns (and, for bare column references, the
+// child's columns) — no per-row materialization happens here.
 type projectNode struct {
 	child planNode
 	exprs []Expr
@@ -189,47 +244,46 @@ type projectNode struct {
 
 func (n *projectNode) schema() planSchema { return n.cols }
 
-func (n *projectNode) open(ctx *execCtx) (rowIter, error) {
-	compiled := make([]compiledExpr, len(n.exprs))
-	for i, e := range n.exprs {
-		c, err := ctx.compile(e, n.child.schema())
-		if err != nil {
-			return nil, err
-		}
-		compiled[i] = c
+func (n *projectNode) open(ctx *execCtx) (batchIter, error) {
+	compiled, err := ctx.compileVecAll(n.exprs, n.child.schema())
+	if err != nil {
+		return nil, err
 	}
 	child, err := n.child.open(ctx)
 	if err != nil {
 		return nil, err
 	}
-	return &projectIter{child: child, exprs: compiled}, nil
+	return &projectIter{child: child, exprs: compiled, out: &rowBatch{cols: make([]colVec, len(compiled))}}, nil
 }
 
 type projectIter struct {
-	child rowIter
-	exprs []compiledExpr
+	child batchIter
+	exprs []vecExpr
+	out   *rowBatch
 }
 
-func (it *projectIter) Next() (Row, bool, error) {
-	row, ok, err := it.child.Next()
-	if err != nil || !ok {
-		return nil, false, err
+func (it *projectIter) NextBatch() (*rowBatch, error) {
+	b, err := it.child.NextBatch()
+	if err != nil || b == nil {
+		return nil, err
 	}
-	out := make(Row, len(it.exprs))
+	sel := b.selection()
 	for i, e := range it.exprs {
-		v, err := e(row)
+		col, err := e(b, sel)
 		if err != nil {
-			return nil, false, err
+			return nil, err
 		}
-		out[i] = v
+		it.out.cols[i] = col[:b.n]
 	}
-	return out, true, nil
+	it.out.n = b.n
+	it.out.sel = sel
+	return it.out, nil
 }
 
 func (it *projectIter) Close() { it.child.Close() }
 
 // sliceProjectNode projects by column index (used to strip hidden sort
-// keys).
+// keys). The output batch shares the child's column storage.
 type sliceProjectNode struct {
 	child planNode
 	keep  int // keep columns [0, keep)
@@ -237,25 +291,29 @@ type sliceProjectNode struct {
 
 func (n *sliceProjectNode) schema() planSchema { return n.child.schema()[:n.keep] }
 
-func (n *sliceProjectNode) open(ctx *execCtx) (rowIter, error) {
+func (n *sliceProjectNode) open(ctx *execCtx) (batchIter, error) {
 	child, err := n.child.open(ctx)
 	if err != nil {
 		return nil, err
 	}
-	return &sliceProjectIter{child: child, keep: n.keep}, nil
+	return &sliceProjectIter{child: child, keep: n.keep, out: &rowBatch{}}, nil
 }
 
 type sliceProjectIter struct {
-	child rowIter
+	child batchIter
 	keep  int
+	out   *rowBatch
 }
 
-func (it *sliceProjectIter) Next() (Row, bool, error) {
-	row, ok, err := it.child.Next()
-	if err != nil || !ok {
-		return nil, false, err
+func (it *sliceProjectIter) NextBatch() (*rowBatch, error) {
+	b, err := it.child.NextBatch()
+	if err != nil || b == nil {
+		return nil, err
 	}
-	return row[:it.keep], true, nil
+	it.out.cols = b.cols[:it.keep]
+	it.out.n = b.n
+	it.out.sel = b.sel
+	return it.out, nil
 }
 
 func (it *sliceProjectIter) Close() { it.child.Close() }
@@ -268,7 +326,7 @@ type limitNode struct {
 
 func (n *limitNode) schema() planSchema { return n.child.schema() }
 
-func (n *limitNode) open(ctx *execCtx) (rowIter, error) {
+func (n *limitNode) open(ctx *execCtx) (batchIter, error) {
 	eval := func(e Expr) (int64, error) {
 		if e == nil {
 			return -1, nil
@@ -304,46 +362,62 @@ func (n *limitNode) open(ctx *execCtx) (rowIter, error) {
 	return &limitIter{child: child, limit: limit, offset: offset}, nil
 }
 
+// limitIter trims batch selection vectors: it skips the first offset
+// selected rows and passes through at most limit rows in total.
 type limitIter struct {
-	child         rowIter
+	child         batchIter
 	limit, offset int64
 	emitted       int64
 }
 
-func (it *limitIter) Next() (Row, bool, error) {
-	for it.offset > 0 {
-		_, ok, err := it.child.Next()
-		if err != nil || !ok {
-			return nil, false, err
+func (it *limitIter) NextBatch() (*rowBatch, error) {
+	for {
+		if it.limit >= 0 && it.emitted >= it.limit {
+			return nil, nil
 		}
-		it.offset--
+		b, err := it.child.NextBatch()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		sel := b.selection()
+		if it.offset > 0 {
+			if int64(len(sel)) <= it.offset {
+				it.offset -= int64(len(sel))
+				continue
+			}
+			sel = sel[it.offset:]
+			it.offset = 0
+		}
+		if it.limit >= 0 {
+			remain := it.limit - it.emitted
+			if int64(len(sel)) > remain {
+				sel = sel[:remain]
+			}
+		}
+		if len(sel) == 0 {
+			continue
+		}
+		it.emitted += int64(len(sel))
+		b.sel = sel
+		return b, nil
 	}
-	if it.limit >= 0 && it.emitted >= it.limit {
-		return nil, false, nil
-	}
-	row, ok, err := it.child.Next()
-	if err != nil || !ok {
-		return nil, false, err
-	}
-	it.emitted++
-	return row, true, nil
 }
 
 func (it *limitIter) Close() { it.child.Close() }
 
-// materialize drains an iterator into a fresh RowStore.
-func materialize(env *storageEnv, it rowIter) (*RowStore, error) {
+// materialize drains a batch iterator into a fresh RowStore.
+func materialize(env *storageEnv, it batchIter) (*RowStore, error) {
 	store := newRowStore(env)
 	for {
-		row, ok, err := it.Next()
+		b, err := it.NextBatch()
 		if err != nil {
 			store.Release()
 			return nil, err
 		}
-		if !ok {
+		if b == nil {
 			break
 		}
-		if err := store.Append(row); err != nil {
+		if err := store.AppendBatch(b); err != nil {
 			store.Release()
 			return nil, err
 		}

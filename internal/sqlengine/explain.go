@@ -37,6 +37,7 @@ func (db *DB) Explain(sqlText string, params ...Value) (string, error) {
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "output: %s\n", strings.Join(names, ", "))
+	fmt.Fprintf(&b, "executor: vectorized (batch=%d, selection vectors)\n", batchSize)
 	describePlan(&b, node, 0)
 	return b.String(), nil
 }
@@ -51,16 +52,16 @@ func describePlan(b *strings.Builder, node planNode, depth int) {
 		if len(n.cols) > 0 {
 			qual = n.cols[0].table
 		}
-		fmt.Fprintf(b, "%sScan %s (rows=%d, cols=%d)\n", pad, qual, n.store.Len(), len(n.cols))
+		fmt.Fprintf(b, "%sBatchScan %s (rows=%d, cols=%d, batch=%d)\n", pad, qual, n.store.Len(), len(n.cols), batchSize)
 	case *filterNode:
-		fmt.Fprintf(b, "%sFilter %s\n", pad, n.pred.Deparse())
+		fmt.Fprintf(b, "%sBatchFilter %s [selection vector]\n", pad, n.pred.Deparse())
 		describePlan(b, n.child, depth+1)
 	case *projectNode:
 		exprs := make([]string, len(n.exprs))
 		for i, e := range n.exprs {
 			exprs[i] = e.Deparse()
 		}
-		fmt.Fprintf(b, "%sProject %s\n", pad, strings.Join(exprs, ", "))
+		fmt.Fprintf(b, "%sBatchProject %s\n", pad, strings.Join(exprs, ", "))
 		describePlan(b, n.child, depth+1)
 	case *sliceProjectNode:
 		fmt.Fprintf(b, "%sStripHiddenColumns keep=%d\n", pad, n.keep)
@@ -75,7 +76,7 @@ func describePlan(b *strings.Builder, node planNode, depth int) {
 			if n.residual != nil {
 				residual = " residual=" + n.residual.Deparse()
 			}
-			fmt.Fprintf(b, "%sHashJoin (%s) on %s%s\n", pad, n.joinType, strings.Join(keys, " AND "), residual)
+			fmt.Fprintf(b, "%sHashJoin (%s) on %s%s [streaming batch probe]\n", pad, n.joinType, strings.Join(keys, " AND "), residual)
 		} else {
 			pred := ""
 			if n.residual != nil {
@@ -91,6 +92,7 @@ func describePlan(b *strings.Builder, node planNode, depth int) {
 			keys[i] = g.Deparse()
 		}
 		aggs := make([]string, len(n.aggs))
+		distinct := false
 		for i, a := range n.aggs {
 			arg := "*"
 			if a.Arg != nil {
@@ -99,6 +101,7 @@ func describePlan(b *strings.Builder, node planNode, depth int) {
 			d := ""
 			if a.Distinct {
 				d = "DISTINCT "
+				distinct = true
 			}
 			aggs[i] = fmt.Sprintf("%s(%s%s)", a.Name, d, arg)
 		}
@@ -106,7 +109,11 @@ func describePlan(b *strings.Builder, node planNode, depth int) {
 		if len(n.aggs) == 0 {
 			label = "HashDistinct"
 		}
-		fmt.Fprintf(b, "%s%s keys=[%s] aggs=[%s]\n", pad, label, strings.Join(keys, ", "), strings.Join(aggs, ", "))
+		mode := " [streaming]"
+		if distinct {
+			mode = " [materialized]"
+		}
+		fmt.Fprintf(b, "%s%s keys=[%s] aggs=[%s]%s\n", pad, label, strings.Join(keys, ", "), strings.Join(aggs, ", "), mode)
 		describePlan(b, n.child, depth+1)
 	case *sortNode:
 		keys := make([]string, len(n.keys))

@@ -100,6 +100,57 @@ func TestExplainErrors(t *testing.T) {
 	}
 }
 
+// TestExplainBatchOperators pins the vectorized executor's operator
+// names and per-operator row counts: plans must advertise the batched
+// physical operators (BatchScan/BatchFilter/BatchProject), the batch
+// size, and the scanned row count.
+func TestExplainBatchOperators(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, "CREATE TABLE t (a INTEGER, b REAL)")
+	mustExec(t, db, "INSERT INTO t VALUES (1, 2.0), (3, 4.0), (5, 6.0)")
+	plan, err := db.Explain("SELECT a * 2 FROM t WHERE a > 1 ORDER BY a LIMIT 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{
+		"executor: vectorized (batch=1024, selection vectors)",
+		"BatchScan t (rows=3, cols=2, batch=1024)",
+		"BatchFilter (a > 1) [selection vector]",
+		"BatchProject (a * 2)",
+	} {
+		if !strings.Contains(plan, frag) {
+			t.Fatalf("plan missing %q:\n%s", frag, plan)
+		}
+	}
+}
+
+// TestExplainBatchJoinAggregateModes verifies the blocking operators
+// report their batch execution strategy: streaming probe for hash
+// joins, streaming vs materialized hash aggregation (DISTINCT
+// aggregates cannot stream).
+func TestExplainBatchJoinAggregateModes(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, "CREATE TABLE a (x INTEGER)")
+	mustExec(t, db, "CREATE TABLE b (x INTEGER, y INTEGER)")
+	plan, err := db.Explain("SELECT a.x, COUNT(*) FROM a JOIN b ON a.x = b.x GROUP BY a.x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "HashJoin (INNER) on a.x = b.x [streaming batch probe]") {
+		t.Fatalf("plan:\n%s", plan)
+	}
+	if !strings.Contains(plan, "HashAggregate keys=[a.x] aggs=[COUNT(*)] [streaming]") {
+		t.Fatalf("plan:\n%s", plan)
+	}
+	plan, err = db.Explain("SELECT COUNT(DISTINCT y) FROM b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "aggs=[COUNT(DISTINCT y)] [materialized]") {
+		t.Fatalf("plan:\n%s", plan)
+	}
+}
+
 func TestExplainWithUnboundParams(t *testing.T) {
 	db := newTestDB(t)
 	mustExec(t, db, "CREATE TABLE t (x INTEGER)")

@@ -342,6 +342,14 @@ func newAggState(name string, distinct bool) (aggState, error) {
 	return base, nil
 }
 
+// partialDumper is implemented by aggregate states whose accumulated
+// value decomposes into mergeable partials (see aggregate.go's
+// streaming spill path). partial appends the state's partial values to
+// dst; the slot count must match partialWidth.
+type partialDumper interface {
+	partial(dst Row) Row
+}
+
 type countAgg struct{ n int64 }
 
 func (a *countAgg) add(v Value, present bool) error {
@@ -350,7 +358,8 @@ func (a *countAgg) add(v Value, present bool) error {
 	}
 	return nil
 }
-func (a *countAgg) result() Value { return NewInt(a.n) }
+func (a *countAgg) result() Value       { return NewInt(a.n) }
+func (a *countAgg) partial(dst Row) Row { return append(dst, NewInt(a.n)) }
 
 // sumAgg implements SUM (NULL on empty input) and TOTAL (0.0 on empty).
 // Integer inputs keep integer arithmetic until a float appears, like
@@ -386,6 +395,10 @@ func (a *sumAgg) add(v Value, present bool) error {
 	}
 	return nil
 }
+
+// partial appends the running sum (NULL when no rows were added), which
+// merges correctly through another sumAgg.
+func (a *sumAgg) partial(dst Row) Row { return append(dst, a.result()) }
 
 func (a *sumAgg) result() Value {
 	if !a.anyRow {
@@ -428,6 +441,8 @@ func (a *avgAgg) result() Value {
 	return NewFloat(a.f / float64(a.n))
 }
 
+func (a *avgAgg) partial(dst Row) Row { return append(dst, NewFloat(a.f), NewInt(a.n)) }
+
 type minMaxAgg struct {
 	min   bool
 	any   bool
@@ -456,6 +471,8 @@ func (a *minMaxAgg) result() Value {
 	}
 	return a.value
 }
+
+func (a *minMaxAgg) partial(dst Row) Row { return append(dst, a.result()) }
 
 // distinctAgg de-duplicates inputs before delegating.
 type distinctAgg struct {

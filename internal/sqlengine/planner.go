@@ -66,7 +66,7 @@ func (n *aliasNode) schema() planSchema {
 	return out
 }
 
-func (n *aliasNode) open(ctx *execCtx) (rowIter, error) { return n.child.open(ctx) }
+func (n *aliasNode) open(ctx *execCtx) (batchIter, error) { return n.child.open(ctx) }
 
 // planSelect returns the plan root and the user-visible output column
 // names.

@@ -153,6 +153,17 @@ func (rs *RowStore) writeSpilled(row Row) error {
 	return nil
 }
 
+// AppendBatch appends every selected row of a batch, materializing each
+// into a fresh Row the store takes ownership of.
+func (rs *RowStore) AppendBatch(b *rowBatch) error {
+	for _, pos := range b.selection() {
+		if err := rs.Append(b.materializeRow(pos)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Len returns the total number of rows.
 func (rs *RowStore) Len() int64 { return rs.fileRows + int64(len(rs.mem)) }
 
@@ -245,6 +256,30 @@ func (it *RowIterator) Next() (Row, bool, error) {
 		return row, true, nil
 	}
 	return nil, false, nil
+}
+
+// ReadBatch appends up to max rows into b (the spilled prefix first,
+// then the in-memory tail) and returns the number of rows read; fewer
+// than max means the iterator is exhausted. The batch's width must match
+// the stored rows.
+func (it *RowIterator) ReadBatch(b *rowBatch, max int) (int, error) {
+	read := 0
+	for read < max && it.fileLeft > 0 {
+		row, err := decodeRow(it.r)
+		if err != nil {
+			return read, fmt.Errorf("sqlengine: reading spill file: %w", err)
+		}
+		it.fileLeft--
+		b.appendRow(row)
+		read++
+	}
+	mem := it.store.mem
+	for read < max && it.memIdx < len(mem) {
+		b.appendRow(mem[it.memIdx])
+		it.memIdx++
+		read++
+	}
+	return read, nil
 }
 
 // Row/value binary encoding for spill files.

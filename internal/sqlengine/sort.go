@@ -11,9 +11,14 @@ type sortSpec struct {
 	desc bool
 }
 
-// sortNode sorts its input. It accumulates rows in memory under the
-// budget; on overflow it writes sorted runs to spillable stores and
-// merges them with a loser-tree style heap (external merge sort).
+// sortNode sorts its input. It consumes batches and accumulates rows in
+// memory under the budget; on overflow it writes sorted runs to
+// spillable stores and merges them with a loser-tree style heap
+// (external merge sort). When every key is a bare column reference —
+// the common case after projection — rows are buffered as-is and
+// compared by column index; otherwise the keys are evaluated vectorized
+// and prepended to each buffered row. The sorted output is row-oriented
+// internally and re-batched through the row adapter.
 type sortNode struct {
 	child planNode
 	keys  []sortSpec
@@ -21,18 +26,84 @@ type sortNode struct {
 
 func (n *sortNode) schema() planSchema { return n.child.schema() }
 
-func (n *sortNode) open(ctx *execCtx) (rowIter, error) {
-	keyExprs := make([]Expr, len(n.keys))
-	for i, k := range n.keys {
-		keyExprs[i] = k.expr
+// rowCmp orders buffered (possibly key-prefixed) rows.
+type rowCmp func(a, b Row) int
+
+// prefixCmp compares the first nk values (the evaluated keys).
+func prefixCmp(nk int, descs []bool) rowCmp {
+	return func(a, b Row) int {
+		for i := 0; i < nk; i++ {
+			c := CompareTotal(a[i], b[i])
+			if c != 0 {
+				if descs[i] {
+					return -c
+				}
+				return c
+			}
+		}
+		return 0
 	}
-	compiled, err := compileAll(ctx, keyExprs, n.child.schema())
-	if err != nil {
-		return nil, err
+}
+
+// indexCmp compares by column position, for key-less buffered rows.
+func indexCmp(idx []int, descs []bool) rowCmp {
+	return func(a, b Row) int {
+		for i, k := range idx {
+			c := CompareTotal(a[k], b[k])
+			if c != 0 {
+				if descs[i] {
+					return -c
+				}
+				return c
+			}
+		}
+		return 0
 	}
+}
+
+// simpleKeyIdx resolves every sort key to a column index, or ok=false
+// when some key is a computed expression.
+func simpleKeyIdx(keys []sortSpec, schema planSchema) ([]int, bool) {
+	idx := make([]int, len(keys))
+	for i, k := range keys {
+		cr, isCol := k.expr.(*ColumnRef)
+		if !isCol {
+			return nil, false
+		}
+		j, err := schema.resolveColumn(cr.Table, cr.Name)
+		if err != nil {
+			return nil, false
+		}
+		idx[i] = j
+	}
+	return idx, true
+}
+
+func (n *sortNode) open(ctx *execCtx) (batchIter, error) {
+	schema := n.child.schema()
+	width := len(schema)
 	descs := make([]bool, len(n.keys))
 	for i, k := range n.keys {
 		descs[i] = k.desc
+	}
+
+	var compiled []vecExpr
+	var cmp rowCmp
+	nk := 0
+	if idx, ok := simpleKeyIdx(n.keys, schema); ok {
+		cmp = indexCmp(idx, descs)
+	} else {
+		keyExprs := make([]Expr, len(n.keys))
+		for i, k := range n.keys {
+			keyExprs[i] = k.expr
+		}
+		var err error
+		compiled, err = ctx.compileVecAll(keyExprs, schema)
+		if err != nil {
+			return nil, err
+		}
+		nk = len(compiled)
+		cmp = prefixCmp(nk, descs)
 	}
 
 	child, err := n.child.open(ctx)
@@ -42,21 +113,18 @@ func (n *sortNode) open(ctx *execCtx) (rowIter, error) {
 	defer child.Close()
 
 	budget := ctx.env.budget
-	nk := len(compiled)
 
-	var buf []Row // each row is [keys..., original...]
+	var buf []Row // each row is [keys..., original...] (keys empty on the fast path)
 	var bufBytes int64
 	var runs []*RowStore
-	failAll := func(err error) (rowIter, error) {
+	failAll := func(err error) (batchIter, error) {
 		budget.release(bufBytes)
 		releaseStores(runs)
 		return nil, err
 	}
 
 	sortBuf := func() {
-		sort.SliceStable(buf, func(a, b int) bool {
-			return compareKeyedRows(buf[a], buf[b], nk, descs) < 0
-		})
+		sort.SliceStable(buf, func(a, b int) bool { return cmp(buf[a], buf[b]) < 0 })
 	}
 	flushRun := func() error {
 		sortBuf()
@@ -78,71 +146,64 @@ func (n *sortNode) open(ctx *execCtx) (rowIter, error) {
 		return nil
 	}
 
+	keyCols := make([]colVec, nk)
 	for {
-		row, ok, err := child.Next()
+		b, err := child.NextBatch()
 		if err != nil {
 			return failAll(err)
 		}
-		if !ok {
+		if b == nil {
 			break
 		}
-		keyed := make(Row, nk+len(row))
+		sel := b.selection()
 		for i, c := range compiled {
-			v, err := c(row)
+			col, err := c(b, sel)
 			if err != nil {
 				return failAll(err)
 			}
-			keyed[i] = v
+			keyCols[i] = col
 		}
-		copy(keyed[nk:], row)
-		need := rowBytes(keyed)
-		if !budget.tryReserve(need) {
-			// Claim the working floor before breaking a run so runs
-			// stay reasonably sized even when tables hold the budget.
-			if bufBytes+need <= ctx.env.workingFloor {
-				budget.reserveForce(need)
-			} else {
-				if !ctx.env.spillEnabled {
-					return failAll(errBudget)
-				}
-				if err := flushRun(); err != nil {
-					return failAll(err)
-				}
-				budget.reserveForce(need)
+		for _, pos := range sel {
+			keyed := make(Row, nk+width)
+			for i := 0; i < nk; i++ {
+				keyed[i] = keyCols[i][pos]
 			}
+			b.gather(pos, keyed[nk:])
+			need := rowBytes(keyed)
+			if !budget.tryReserve(need) {
+				// Claim the working floor before breaking a run so runs
+				// stay reasonably sized even when tables hold the budget.
+				if bufBytes+need <= ctx.env.workingFloor {
+					budget.reserveForce(need)
+				} else {
+					if !ctx.env.spillEnabled {
+						return failAll(errBudget)
+					}
+					if err := flushRun(); err != nil {
+						return failAll(err)
+					}
+					budget.reserveForce(need)
+				}
+			}
+			bufBytes += need
+			buf = append(buf, keyed)
 		}
-		bufBytes += need
-		buf = append(buf, keyed)
 	}
 
 	if len(runs) == 0 {
 		sortBuf()
-		return &sortedBufIter{buf: buf, nk: nk, budget: budget, bytes: bufBytes}, nil
+		return newRowAdapter(&sortedBufIter{buf: buf, nk: nk, budget: budget, bytes: bufBytes}, width), nil
 	}
 	if len(buf) > 0 {
 		if err := flushRun(); err != nil {
 			return failAll(err)
 		}
 	}
-	m := &mergeIter{nk: nk, descs: descs, runs: runs}
+	m := &mergeIter{nk: nk, cmp: cmp, runs: runs}
 	if err := m.init(); err != nil {
 		return failAll(err)
 	}
-	return m, nil
-}
-
-// compareKeyedRows compares the key prefixes of two keyed rows.
-func compareKeyedRows(a, b Row, nk int, descs []bool) int {
-	for i := 0; i < nk; i++ {
-		c := CompareTotal(a[i], b[i])
-		if c != 0 {
-			if descs[i] {
-				return -c
-			}
-			return c
-		}
-	}
-	return 0
+	return newRowAdapter(m, width), nil
 }
 
 // sortedBufIter streams an in-memory sorted buffer, stripping key
@@ -173,10 +234,10 @@ func (it *sortedBufIter) Close() {
 
 // mergeIter k-way merges sorted runs.
 type mergeIter struct {
-	nk    int
-	descs []bool
-	runs  []*RowStore
-	heap  mergeHeap
+	nk   int
+	cmp  rowCmp
+	runs []*RowStore
+	heap mergeHeap
 }
 
 type mergeEntry struct {
@@ -187,13 +248,12 @@ type mergeEntry struct {
 
 type mergeHeap struct {
 	entries []mergeEntry
-	nk      int
-	descs   []bool
+	cmp     rowCmp
 }
 
 func (h *mergeHeap) Len() int { return len(h.entries) }
 func (h *mergeHeap) Less(a, b int) bool {
-	c := compareKeyedRows(h.entries[a].row, h.entries[b].row, h.nk, h.descs)
+	c := h.cmp(h.entries[a].row, h.entries[b].row)
 	if c != 0 {
 		return c < 0
 	}
@@ -209,7 +269,7 @@ func (h *mergeHeap) Pop() any {
 }
 
 func (m *mergeIter) init() error {
-	m.heap = mergeHeap{nk: m.nk, descs: m.descs}
+	m.heap = mergeHeap{cmp: m.cmp}
 	for i, run := range m.runs {
 		it, err := run.Iterator()
 		if err != nil {

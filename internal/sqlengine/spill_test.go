@@ -181,6 +181,157 @@ func TestSpillFilesCleanedUp(t *testing.T) {
 	}
 }
 
+// tableScanNode builds a storeScanNode over a base table for tests that
+// open operator iterators directly.
+func tableScanNode(t *testing.T, db *DB, name string) *storeScanNode {
+	t.Helper()
+	meta := db.lookupTable(name)
+	if meta == nil {
+		t.Fatalf("no table %s", name)
+	}
+	cols := make(planSchema, len(meta.Cols))
+	for i, c := range meta.Cols {
+		cols[i] = planCol{table: strings.ToLower(name), name: strings.ToLower(c.Name)}
+	}
+	return &storeScanNode{store: meta.store, cols: cols}
+}
+
+// TestBatchSortEarlyCloseReleasesBudget verifies that closing a batched
+// sort iterator mid-stream releases its full memBudget reservation and
+// that Close stays idempotent.
+func TestBatchSortEarlyCloseReleasesBudget(t *testing.T) {
+	db := newBudgetDB(t, 1<<20)
+	mustExec(t, db, "CREATE TABLE t (x INTEGER, y INTEGER)")
+	fillSequence(t, db, "t", 4000)
+	baseline := db.env.budget.used.Load()
+
+	ctx := &execCtx{env: db.env}
+	sn := &sortNode{child: tableScanNode(t, db, "t"), keys: []sortSpec{{expr: &ColumnRef{Name: "x"}, desc: true}}}
+	it, err := sn.open(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.env.budget.used.Load() <= baseline {
+		t.Fatal("sort buffer should hold a budget reservation while open")
+	}
+	if b, err := it.NextBatch(); err != nil || b == nil || b.rows() == 0 {
+		t.Fatalf("first batch: %v rows, err %v", b, err)
+	}
+	it.Close()
+	it.Close() // must be idempotent
+	if got := db.env.budget.used.Load(); got != baseline {
+		t.Fatalf("budget after early close = %d, want baseline %d", got, baseline)
+	}
+}
+
+// TestBatchJoinEarlyCloseReleasesBudget does the same for the streaming
+// hash-join probe, whose build table holds the reservation.
+func TestBatchJoinEarlyCloseReleasesBudget(t *testing.T) {
+	db := newBudgetDB(t, 8<<20)
+	mustExec(t, db, "CREATE TABLE a (x INTEGER, y INTEGER)")
+	mustExec(t, db, "CREATE TABLE b (x INTEGER, y INTEGER)")
+	fillSequence(t, db, "a", 3000)
+	fillSequence(t, db, "b", 3000)
+	baseline := db.env.budget.used.Load()
+
+	ctx := &execCtx{env: db.env}
+	jn := &joinNode{
+		left:     tableScanNode(t, db, "a"),
+		right:    tableScanNode(t, db, "b"),
+		joinType: "INNER",
+		leftKeys: []Expr{&ColumnRef{Table: "a", Name: "x"}}, rightKeys: []Expr{&ColumnRef{Table: "b", Name: "x"}},
+	}
+	it, err := jn.open(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.env.budget.used.Load() <= baseline {
+		t.Fatal("join build table should hold a budget reservation while open")
+	}
+	if b, err := it.NextBatch(); err != nil || b == nil || b.rows() == 0 {
+		t.Fatalf("first batch: %v rows, err %v", b, err)
+	}
+	it.Close()
+	it.Close()
+	if got := db.env.budget.used.Load(); got != baseline {
+		t.Fatalf("budget after early close = %d, want baseline %d", got, baseline)
+	}
+}
+
+// TestBatchAggregateEarlyCloseReleasesBudget closes a streaming
+// aggregation's output mid-stream; the owned result store must be
+// released.
+func TestBatchAggregateEarlyCloseReleasesBudget(t *testing.T) {
+	db := newBudgetDB(t, 1<<20)
+	mustExec(t, db, "CREATE TABLE t (x INTEGER, y INTEGER)")
+	fillSequence(t, db, "t", 4000)
+	baseline := db.env.budget.used.Load()
+
+	ctx := &execCtx{env: db.env}
+	an := &aggNode{
+		child:   tableScanNode(t, db, "t"),
+		groupBy: []Expr{&ColumnRef{Name: "y"}},
+		aggs:    []aggCall{{Name: "SUM", Arg: &ColumnRef{Name: "x"}}},
+	}
+	it, err := an.open(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b, err := it.NextBatch(); err != nil || b == nil || b.rows() == 0 {
+		t.Fatalf("first batch: %v rows, err %v", b, err)
+	}
+	it.Close()
+	it.Close()
+	if got := db.env.budget.used.Load(); got != baseline {
+		t.Fatalf("budget after early close = %d, want baseline %d", got, baseline)
+	}
+}
+
+// TestStreamingAggregateSpillMatchesInMemory drives the partial-spill
+// path (streaming aggregation overflowing the budget) and checks the
+// merged results against an unconstrained engine.
+func TestStreamingAggregateSpillMatchesInMemory(t *testing.T) {
+	big := newBudgetDB(t, 24*1024)
+	small, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer small.Close()
+	for _, db := range []*DB{big, small} {
+		if _, err := db.Exec("CREATE TABLE t (x INTEGER, y INTEGER)"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, db := range []*DB{big, small} {
+		batch := make([]string, 0, 500)
+		for i := 0; i < 6000; i++ {
+			batch = append(batch, fmt.Sprintf("(%d, %d)", i, i%997))
+			if len(batch) == 500 {
+				if _, err := db.Exec("INSERT INTO t VALUES " + strings.Join(batch, ",")); err != nil {
+					t.Fatal(err)
+				}
+				batch = batch[:0]
+			}
+		}
+	}
+	q := "SELECT y, COUNT(*), SUM(x), AVG(x), MIN(x), MAX(x), TOTAL(x) FROM t GROUP BY y ORDER BY y"
+	bigRows := queryAll(t, big, q)
+	smallRows := queryAll(t, small, q)
+	if len(bigRows) != 997 || len(smallRows) != 997 {
+		t.Fatalf("groups = %d vs %d", len(bigRows), len(smallRows))
+	}
+	for i := range bigRows {
+		for j := range bigRows[i] {
+			if CompareTotal(bigRows[i][j], smallRows[i][j]) != 0 {
+				t.Fatalf("row %d col %d: %v vs %v", i, j, bigRows[i][j], smallRows[i][j])
+			}
+		}
+	}
+	if st := big.Stats(); st.SpilledRows == 0 {
+		t.Fatalf("expected the partial-aggregate spill path to engage, stats = %+v", st)
+	}
+}
+
 func TestPeakMemoryStaysNearBudget(t *testing.T) {
 	// The budget is a soft cap: each blocking operator may claim one
 	// working floor (budget/4) beyond it, so a join+sort pipeline stays

@@ -1,8 +1,16 @@
 // Package sqlengine is an embedded relational database engine with a SQL
 // front end. It exists so that the Qymera circuit→SQL translation can run
-// against a real relational execution pipeline — parser, planner, volcano
-// executor with hash joins and hash aggregation, and buffer-managed
-// storage that spills to disk — using only the Go standard library.
+// against a real relational execution pipeline — parser, planner,
+// vectorized batch executor with streaming hash joins and hash
+// aggregation, and buffer-managed storage that spills to disk — using
+// only the Go standard library.
+//
+// Execution is batch-at-a-time: operators exchange column-major batches
+// of ~1024 rows with selection vectors (see batch.go), expressions are
+// compiled to loops over batches with integer/float fast paths (see
+// evalvec.go), and a thin row adapter keeps row-oriented surfaces
+// (database/sql driver, ResultSet) and internals composing with the
+// batched tree.
 //
 // The engine implements the SQL subset that RDBMS-based quantum circuit
 // simulation requires (and a bit more): CREATE/DROP TABLE, INSERT,

@@ -11,8 +11,10 @@
 //     paper): state tables T(s, r, i), gate tables G(in_s, out_s, r, i),
 //     and one join+group-by query per gate;
 //   - Backends execute circuits: the RDBMS backend (NewSQLBackend) runs
-//     the translation on an embedded relational engine with out-of-core
-//     spilling, alongside state-vector, sparse, matrix-product-state,
+//     the translation on an embedded relational engine — a vectorized
+//     batch executor (column-major batches of ~1024 rows with selection
+//     vectors, streaming hash join and hash aggregation, out-of-core
+//     spilling) — alongside state-vector, sparse, matrix-product-state,
 //     and decision-diagram simulators for comparison;
 //   - the benchmarking harness (cmd/qybench) regenerates the paper's
 //     experiments.
