@@ -1,6 +1,7 @@
 // Command qybench regenerates the paper's experiments: every table and
 // figure artifact has a corresponding experiment in internal/bench (see
-// DESIGN.md's experiment index and EXPERIMENTS.md for results).
+// docs/BENCHMARKS.md for the experiment index, the JSON report schemas,
+// and how to compare runs against the committed BENCH_*.json baselines).
 //
 // Usage:
 //
@@ -13,6 +14,10 @@
 //	                         # write the machine-readable engine
 //	                         # throughput report (GHZ/QFT/parity via
 //	                         # the SQL backend)
+//	qybench -benchjson BENCH_sqlengine_parallel.json
+//	                         # paths containing "parallel" write the
+//	                         # morsel-parallel scaling report instead
+//	                         # (1/2/4/8 workers + amplitude bit-identity)
 package main
 
 import (
@@ -32,11 +37,17 @@ func main() {
 	format := flag.String("format", "text", "text, md, or csv")
 	out := flag.String("out", "", "directory for per-table CSV files")
 	list := flag.Bool("list", false, "list experiments and exit")
-	benchJSON := flag.String("benchjson", "", "write the SQL-engine throughput report (BENCH_sqlengine.json) to this path and exit")
+	benchJSON := flag.String("benchjson", "", "write a machine-readable SQL-engine report to this path and exit: paths containing \"parallel\" get the morsel-parallel scaling report (BENCH_sqlengine_parallel.json), anything else the throughput report (BENCH_sqlengine.json)")
 	flag.Parse()
 
 	if *benchJSON != "" {
-		data, err := bench.EngineBenchJSON(bench.Options{Quick: *quick})
+		var data []byte
+		var err error
+		if strings.Contains(filepath.Base(*benchJSON), "parallel") {
+			data, err = bench.ParallelBenchJSON(bench.Options{Quick: *quick})
+		} else {
+			data, err = bench.EngineBenchJSON(bench.Options{Quick: *quick})
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "qybench:", err)
 			os.Exit(1)

@@ -1,0 +1,244 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"qymera/internal/circuits"
+	"qymera/internal/quantum"
+	"qymera/internal/sim"
+	"qymera/internal/sqlengine"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "sqlengine_parallel",
+		Paper: "morsel-parallel scaling — gate-stage query and circuit workloads at 1/2/4/8 workers",
+		Desc:  "per-worker-count wall time and speedup for the morsel-driven executor, plus a bit-identity check on simulated amplitudes; qybench -benchjson BENCH_sqlengine_parallel.json writes the machine-readable report",
+		Run:   runSQLEngineParallel,
+	})
+}
+
+// parallelWorkerCounts are the Parallelism settings the scaling sweep
+// measures.
+var parallelWorkerCounts = []int{1, 2, 4, 8}
+
+// ParallelBenchEntry is one (workload, worker count) measurement.
+type ParallelBenchEntry struct {
+	Workload    string  `json:"workload"`
+	Workers     int     `json:"workers"`
+	WallSeconds float64 `json:"wall_seconds"`
+	// Speedup is this entry's wall time relative to the same workload at
+	// one worker (1.0 for the baseline itself).
+	Speedup float64 `json:"speedup_vs_1_worker"`
+	// StateDigest fingerprints the simulated amplitudes (FNV-64a over
+	// the sorted basis indices and the exact float64 bits of each
+	// amplitude); identical digests mean bit-identical states.
+	StateDigest string `json:"state_digest,omitempty"`
+	Rows        int64  `json:"rows,omitempty"`
+}
+
+// ParallelBenchReport is the BENCH_sqlengine_parallel.json payload.
+type ParallelBenchReport struct {
+	Engine     string `json:"engine"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	BatchSize  int    `json:"batch_size"`
+	MorselRows int    `json:"morsel_rows"`
+	// AmplitudesBitIdentical reports whether every circuit workload
+	// produced the same state digest at every worker count.
+	AmplitudesBitIdentical bool                 `json:"amplitudes_bit_identical"`
+	Entries                []ParallelBenchEntry `json:"entries"`
+}
+
+// gateStageDB builds a synthetic nonzero-amplitude table of the given
+// size plus a 4-row Hadamard gate table, the exact shape of one
+// translated gate application.
+func gateStageDB(rows int, workers int) (*sqlengine.DB, error) {
+	db, err := sqlengine.Open(sqlengine.Config{Parallelism: workers})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := db.Exec("CREATE TABLE t (s INTEGER, r REAL, i REAL)"); err != nil {
+		db.Close()
+		return nil, err
+	}
+	batch := make([]string, 0, 500)
+	for k := 0; k < rows; k++ {
+		batch = append(batch, fmt.Sprintf("(%d, %g, 0.0)", k, 1.0/float64(rows)))
+		if len(batch) == 500 || k == rows-1 {
+			if _, err := db.Exec("INSERT INTO t VALUES " + strings.Join(batch, ",")); err != nil {
+				db.Close()
+				return nil, err
+			}
+			batch = batch[:0]
+		}
+	}
+	if _, err := db.Exec("CREATE TABLE h (in_s INTEGER, out_s INTEGER, r REAL, i REAL)"); err != nil {
+		db.Close()
+		return nil, err
+	}
+	if _, err := db.Exec("INSERT INTO h VALUES (0,0,0.70710678,0),(0,1,0.70710678,0),(1,0,0.70710678,0),(1,1,-0.70710678,0)"); err != nil {
+		db.Close()
+		return nil, err
+	}
+	return db, nil
+}
+
+const gateStageSQL = `SELECT ((t.s & ~1) | h.out_s) AS s,
+       SUM((t.r * h.r) - (t.i * h.i)) AS r,
+       SUM((t.r * h.i) + (t.i * h.r)) AS i
+FROM t JOIN h ON h.in_s = (t.s & 1)
+GROUP BY ((t.s & ~1) | h.out_s)`
+
+// stateDigest fingerprints a sparse state exactly: sorted basis indices
+// with the raw IEEE-754 bits of each amplitude component.
+func stateDigest(st *quantum.State) string {
+	idx := st.Indices()
+	sort.Slice(idx, func(i, j int) bool { return idx[i] < idx[j] })
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	for _, s := range idx {
+		a := st.Amplitude(s)
+		put(s)
+		put(math.Float64bits(real(a)))
+		put(math.Float64bits(imag(a)))
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// RunParallelBench measures the scaling sweep and returns the report.
+func RunParallelBench(opts Options) (*ParallelBenchReport, error) {
+	report := &ParallelBenchReport{
+		Engine:                 "vectorized-batch/morsel-parallel",
+		NumCPU:                 runtime.NumCPU(),
+		GOMAXPROCS:             runtime.GOMAXPROCS(0),
+		BatchSize:              sqlengine.BatchSize,
+		MorselRows:             sqlengine.MorselRows,
+		AmplitudesBitIdentical: true,
+	}
+
+	// Direct gate-stage query over a synthetic amplitude table.
+	stateRows := 1 << 17
+	if opts.Quick {
+		stateRows = 1 << 14
+	}
+	var baseline float64
+	for _, w := range parallelWorkerCounts {
+		db, err := gateStageDB(stateRows, w)
+		if err != nil {
+			return nil, fmt.Errorf("bench: sqlengine_parallel: %w", err)
+		}
+		var rows int64
+		wall, err := Median3(func() (time.Duration, error) {
+			start := time.Now()
+			rs, err := db.Query(gateStageSQL)
+			if err != nil {
+				return 0, err
+			}
+			rows = rs.Len()
+			rs.Close()
+			return time.Since(start), nil
+		})
+		db.Close()
+		if err != nil {
+			return nil, fmt.Errorf("bench: sqlengine_parallel: gate_stage workers=%d: %w", w, err)
+		}
+		secs := wall.Seconds()
+		if w == parallelWorkerCounts[0] {
+			baseline = secs
+		}
+		e := ParallelBenchEntry{Workload: "gate_stage", Workers: w, WallSeconds: secs, Rows: rows}
+		if secs > 0 {
+			e.Speedup = baseline / secs
+		}
+		report.Entries = append(report.Entries, e)
+	}
+
+	// Full circuit simulations through the SQL backend, with the state
+	// digest proving bit-identity across worker counts.
+	ghz, qft := 16, 10
+	if opts.Quick {
+		ghz, qft = 8, 6
+	}
+	circuitWorkloads := []struct {
+		name string
+		c    *quantum.Circuit
+	}{
+		{"ghz", circuits.GHZ(ghz)},
+		{"qft", circuits.QFT(qft)},
+	}
+	for _, wl := range circuitWorkloads {
+		var baseline float64
+		var baseDigest string
+		for _, w := range parallelWorkerCounts {
+			var res *sim.Result
+			wall, err := Median3(func() (time.Duration, error) {
+				r, err := (&sim.SQL{SpillDir: opts.SpillDir, Parallelism: w}).Run(wl.c)
+				if err != nil {
+					return 0, err
+				}
+				res = r
+				return r.Stats.WallTime, nil
+			})
+			if err != nil {
+				return nil, fmt.Errorf("bench: sqlengine_parallel: %s workers=%d: %w", wl.name, w, err)
+			}
+			digest := stateDigest(res.State)
+			if w == parallelWorkerCounts[0] {
+				baseline = wall.Seconds()
+				baseDigest = digest
+			} else if digest != baseDigest {
+				report.AmplitudesBitIdentical = false
+			}
+			e := ParallelBenchEntry{Workload: wl.name, Workers: w, WallSeconds: wall.Seconds(), StateDigest: digest}
+			if wall.Seconds() > 0 {
+				e.Speedup = baseline / wall.Seconds()
+			}
+			report.Entries = append(report.Entries, e)
+		}
+	}
+	return report, nil
+}
+
+// ParallelBenchJSON renders the report for BENCH_sqlengine_parallel.json.
+func ParallelBenchJSON(opts Options) ([]byte, error) {
+	report, err := RunParallelBench(opts)
+	if err != nil {
+		return nil, err
+	}
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+func runSQLEngineParallel(opts Options) ([]*Table, error) {
+	report, err := RunParallelBench(opts)
+	if err != nil {
+		return nil, err
+	}
+	t := NewTable("SQL engine morsel-parallel scaling",
+		"workload", "workers", "wall", "speedup vs 1", "state digest")
+	for _, e := range report.Entries {
+		t.Addf(e.Workload, e.Workers,
+			FormatDuration(time.Duration(e.WallSeconds*float64(time.Second))),
+			fmt.Sprintf("%.2fx", e.Speedup), e.StateDigest)
+	}
+	t.Note("num_cpu=%d gomaxprocs=%d morsel=%d rows; amplitudes bit-identical across worker counts: %v",
+		report.NumCPU, report.GOMAXPROCS, report.MorselRows, report.AmplitudesBitIdentical)
+	return []*Table{t}, nil
+}

@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"qymera/internal/circuits"
+	"qymera/internal/quantum"
+)
+
+// TestSQLParallelismBitIdenticalAmplitudes asserts the engine's core
+// determinism guarantee at the simulation level: the SQL backend
+// produces bitwise-identical amplitudes for every Parallelism setting,
+// because morsel boundaries and aggregation merge order depend only on
+// the data.
+func TestSQLParallelismBitIdenticalAmplitudes(t *testing.T) {
+	workloads := []struct {
+		name string
+		c    *quantum.Circuit
+	}{
+		{"ghz", circuits.GHZ(12)},
+		{"qft", circuits.QFT(7)},
+		// 2^15 nonzero amplitudes: the state table spans several
+		// morsels, so gate stages really run the parallel join+aggregate.
+		{"parity", circuits.ParitySuperposition(15)},
+	}
+	for _, wl := range workloads {
+		t.Run(wl.name, func(t *testing.T) {
+			var ref *quantum.State
+			for _, workers := range []int{1, 4} {
+				res, err := (&SQL{Parallelism: workers}).Run(wl.c)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if ref == nil {
+					ref = res.State
+					continue
+				}
+				if err := statesBitIdentical(ref, res.State); err != nil {
+					t.Fatalf("workers=1 vs %d: %v", workers, err)
+				}
+			}
+		})
+	}
+}
+
+// statesBitIdentical compares two sparse states exactly, down to the
+// IEEE-754 bit patterns of each amplitude component.
+func statesBitIdentical(a, b *quantum.State) error {
+	if a.Len() != b.Len() {
+		return fmt.Errorf("nonzero counts differ: %d vs %d", a.Len(), b.Len())
+	}
+	for _, idx := range a.Indices() {
+		aa, ba := a.Amplitude(idx), b.Amplitude(idx)
+		if math.Float64bits(real(aa)) != math.Float64bits(real(ba)) ||
+			math.Float64bits(imag(aa)) != math.Float64bits(imag(ba)) {
+			return fmt.Errorf("amplitude at |%d⟩ differs: %v vs %v", idx, aa, ba)
+		}
+	}
+	return nil
+}
+
+// TestSQLParallelismMatchesStateVector guards correctness of the
+// parallel executor against the dense reference backend.
+func TestSQLParallelismMatchesStateVector(t *testing.T) {
+	c := circuits.QFT(6)
+	ref, err := (&StateVector{}).Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := (&SQL{Parallelism: 4}).Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ref.State.EqualApprox(res.State, 1e-9) {
+		t.Fatalf("parallel SQL backend diverges from state vector")
+	}
+}

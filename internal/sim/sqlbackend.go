@@ -16,8 +16,11 @@ import (
 // group-by over the nonzero-amplitude table, the engine's optimizer and
 // operators do the rest, and the buffer manager spills to disk for
 // out-of-core simulation (§3.3). The engine executes vectorized (batches
-// of ~1024 rows with selection vectors, streaming hash join/aggregate);
-// this type's API is unchanged by that — only per-gate throughput.
+// of ~1024 rows with selection vectors, streaming hash join/aggregate)
+// and morsel-parallel: gate-stage joins and aggregations split the
+// nonzero-amplitude table into fixed morsels processed by Parallelism
+// worker goroutines. Morsel boundaries and merge order depend only on
+// the data, so amplitudes are bit-identical across worker counts.
 type SQL struct {
 	// Mode selects one WITH-chained query or per-gate materialized
 	// tables (inspectable intermediate states).
@@ -36,6 +39,10 @@ type SQL struct {
 	MemoryBudget int64
 	SpillDir     string
 	DisableSpill bool
+	// Parallelism is the engine's morsel-parallel worker count; zero
+	// derives it from GOMAXPROCS, 1 pins execution to a single worker.
+	// The simulated amplitudes are bitwise independent of the setting.
+	Parallelism int
 	// Initial overrides the |0...0⟩ initial state.
 	Initial *quantum.State
 }
@@ -72,6 +79,7 @@ func (b *SQL) Run(c *quantum.Circuit) (*Result, error) {
 		MemoryBudget: b.MemoryBudget,
 		SpillDir:     b.SpillDir,
 		DisableSpill: b.DisableSpill,
+		Parallelism:  b.Parallelism,
 	})
 	if err != nil {
 		return nil, err

@@ -47,25 +47,23 @@ func (n *aggNode) schema() planSchema {
 
 func (n *aggNode) open(ctx *execCtx) (batchIter, error) {
 	childSchema := n.child.schema()
-	groupC, err := ctx.compileVecAll(n.groupBy, childSchema)
-	if err != nil {
-		return nil, err
-	}
-	argC := make([]vecExpr, len(n.aggs))
-	for i, a := range n.aggs {
-		if a.Arg == nil {
-			continue
+	// compile builds the group-key and aggregate-argument evaluators.
+	// Deferred to the path that runs: the morsel path compiles
+	// worker-private copies instead (and surfaces the same errors).
+	compile := func() (groupC, argC []vecExpr, err error) {
+		if groupC, err = ctx.compileVecAll(n.groupBy, childSchema); err != nil {
+			return nil, nil, err
 		}
-		c, err := ctx.compileVec(a.Arg, childSchema)
-		if err != nil {
-			return nil, err
+		argC = make([]vecExpr, len(n.aggs))
+		for i, a := range n.aggs {
+			if a.Arg == nil {
+				continue
+			}
+			if argC[i], err = ctx.compileVec(a.Arg, childSchema); err != nil {
+				return nil, nil, err
+			}
 		}
-		argC[i] = c
-	}
-
-	child, err := n.child.open(ctx)
-	if err != nil {
-		return nil, err
+		return groupC, argC, nil
 	}
 
 	exec := newAggExec(ctx, len(n.groupBy), n.aggs)
@@ -77,23 +75,54 @@ func (n *aggNode) open(ctx *execCtx) (batchIter, error) {
 	}
 
 	var rowsSeen bool
+	done := false
 	if exec.streamable() {
-		rowsSeen, err = exec.streamAggregate(child, groupC, argC, out)
-		child.Close()
+		// The morsel path engages whenever the child pipeline can be
+		// morselized — for any worker count, including 1 — so the
+		// floating-point merge order and output order depend only on the
+		// data, never on the Parallelism setting (see parallel_agg.go).
+		streams, ok, perr := openMorselStreams(n.child, ctx, aggWorkers(ctx))
+		if perr != nil {
+			return fail(perr)
+		}
+		if ok {
+			rowsSeen, perr = exec.morselAggregate(n, streams, out)
+			if perr == nil {
+				done = true
+			} else if perr != errParallelFallback {
+				return fail(perr)
+			}
+			// errParallelFallback: reservations are released and streams
+			// closed; re-run below on a fresh serial child, which spills.
+		}
+	}
+	if !done {
+		groupC, argC, err := compile()
 		if err != nil {
 			return fail(err)
 		}
-	} else {
-		input, merr := n.materializeTuples(ctx, child, groupC, argC)
-		child.Close()
-		if merr != nil {
-			return fail(merr)
-		}
-		rowsSeen = input.Len() > 0
-		err = exec.aggregateStore(input, 0, out)
-		input.Release()
+		child, err := n.child.open(ctx)
 		if err != nil {
 			return fail(err)
+		}
+		if exec.streamable() {
+			rowsSeen, err = exec.streamAggregate(child, groupC, argC, out)
+			child.Close()
+			if err != nil {
+				return fail(err)
+			}
+		} else {
+			input, merr := n.materializeTuples(ctx, child, groupC, argC)
+			child.Close()
+			if merr != nil {
+				return fail(merr)
+			}
+			rowsSeen = input.Len() > 0
+			err = exec.aggregateStore(input, 0, out)
+			input.Release()
+			if err != nil {
+				return fail(err)
+			}
 		}
 	}
 
@@ -247,6 +276,31 @@ type groupTable[G any] struct {
 
 func newGroupTable[G any](nGroup int) *groupTable[G] {
 	return &groupTable[G]{useInt: nGroup == 1, ints: make(map[int64]G), strs: make(map[string]G)}
+}
+
+// get looks up the group for a key (the first nGroup values of key).
+func (t *groupTable[G]) get(key Row) (G, bool) {
+	if t.useInt {
+		if ik, ok := intKey(key[0]); ok {
+			g, found := t.ints[ik]
+			return g, found
+		}
+	}
+	g, found := t.strs[encodeRowKey(key)]
+	return g, found
+}
+
+// put files g under key and appends it to the first-seen order.
+func (t *groupTable[G]) put(key Row, g G) {
+	if t.useInt {
+		if ik, ok := intKey(key[0]); ok {
+			t.ints[ik] = g
+			t.order = append(t.order, g)
+			return
+		}
+	}
+	t.strs[encodeRowKey(key)] = g
+	t.order = append(t.order, g)
 }
 
 // streamAggregate drains child batches into the hash table; on budget

@@ -163,4 +163,3 @@ func (a *rowAdapter) NextBatch() (*rowBatch, error) {
 }
 
 func (a *rowAdapter) Close() { a.src.Close() }
-

@@ -3,6 +3,7 @@ package sqlengine
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"sync"
 )
@@ -19,6 +20,13 @@ type Config struct {
 	// DisableSpill turns off out-of-core execution; statements that
 	// exceed the budget fail with a budget error instead of spilling.
 	DisableSpill bool
+	// Parallelism is the number of worker goroutines for morsel-driven
+	// parallel execution (scans, filters, projections, hash-join probe,
+	// hash aggregation). Zero or negative derives the count from
+	// GOMAXPROCS; 1 pins execution to a single worker. Results are
+	// bitwise independent of the setting: morsel boundaries and merge
+	// order are fixed by the data, not by the scheduling.
+	Parallelism int
 }
 
 // TableMeta describes one base table.
@@ -61,11 +69,16 @@ func Open(cfg Config) (*DB, error) {
 			floor = 8 * 1024
 		}
 	}
+	workers := cfg.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	env := &storageEnv{
 		budget:       newMemBudget(cfg.MemoryBudget),
 		spillDir:     cfg.SpillDir,
 		spillEnabled: !cfg.DisableSpill,
 		workingFloor: floor,
+		workers:      workers,
 	}
 	return &DB{env: env, tables: map[string]*TableMeta{}}, nil
 }
@@ -183,20 +196,20 @@ func (db *DB) Query(sqlText string, params ...Value) (*ResultSet, error) {
 	return db.runSelect(sel, params)
 }
 
+// newExecCtx builds the per-statement execution context.
+func (db *DB) newExecCtx(params []Value) *execCtx {
+	return &execCtx{env: db.env, params: params, workers: db.env.workers}
+}
+
 func (db *DB) runSelect(sel *SelectStmt, params []Value) (*ResultSet, error) {
-	ctx := &execCtx{env: db.env, params: params}
+	ctx := db.newExecCtx(params)
 	p := &planner{ctx: ctx, db: db}
 	defer p.release()
 	node, names, err := p.planSelect(sel, nil)
 	if err != nil {
 		return nil, err
 	}
-	it, err := node.open(ctx)
-	if err != nil {
-		return nil, err
-	}
-	store, err := materialize(db.env, it)
-	it.Close()
+	store, err := materializePlan(ctx, node)
 	if err != nil {
 		return nil, err
 	}

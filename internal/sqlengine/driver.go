@@ -20,7 +20,8 @@ import (
 // Every sql.Conn opened from the same DSN shares one engine instance, so
 // the pooled connections database/sql hands out all see the same tables.
 // Supported DSN parameters: budget (bytes), spilldir (path), nospill
-// (1/true disables out-of-core execution).
+// (1/true disables out-of-core execution), parallelism (morsel-parallel
+// worker count; 0 derives it from GOMAXPROCS).
 
 func init() {
 	sql.Register("qymera", &Driver{})
@@ -87,6 +88,13 @@ func parseDSN(dsn string) (Config, error) {
 	cfg.SpillDir = q.Get("spilldir")
 	if v := q.Get("nospill"); v == "1" || strings.EqualFold(v, "true") {
 		cfg.DisableSpill = true
+	}
+	if p := q.Get("parallelism"); p != "" {
+		n, err := strconv.Atoi(p)
+		if err != nil {
+			return cfg, fmt.Errorf("sqlengine: invalid parallelism %q", p)
+		}
+		cfg.Parallelism = n
 	}
 	return cfg, nil
 }

@@ -76,6 +76,9 @@ type planNode interface {
 type execCtx struct {
 	env    *storageEnv
 	params []Value
+	// workers is the morsel-parallel worker count for this statement
+	// (>= 1; 1 means the morsel schedule runs serially).
+	workers int
 }
 
 func (ctx *execCtx) compile(e Expr, schema planSchema) (compiledExpr, error) {

@@ -28,7 +28,7 @@ func (db *DB) Explain(sqlText string, params ...Value) (string, error) {
 	if db.closed {
 		return "", fmt.Errorf("sqlengine: database is closed")
 	}
-	ctx := &execCtx{env: db.env, params: params}
+	ctx := db.newExecCtx(params)
 	p := &planner{ctx: ctx, db: db, explain: true}
 	defer p.release()
 	node, names, err := p.planSelect(sel, nil)
@@ -37,7 +37,8 @@ func (db *DB) Explain(sqlText string, params ...Value) (string, error) {
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "output: %s\n", strings.Join(names, ", "))
-	fmt.Fprintf(&b, "executor: vectorized (batch=%d, selection vectors)\n", batchSize)
+	fmt.Fprintf(&b, "executor: vectorized (batch=%d, selection vectors), morsel-parallel (workers=%d, morsel=%d rows)\n",
+		batchSize, ctx.workers, morselRows)
 	describePlan(&b, node, 0)
 	return b.String(), nil
 }

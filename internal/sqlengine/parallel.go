@@ -1,0 +1,428 @@
+package sqlengine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Morsel-driven parallel execution. A parallel-capable pipeline splits
+// its base scan into fixed-size morsels (contiguous row ranges of the
+// backing RowStore); worker goroutines claim morsels from a shared
+// atomic dispenser and run the whole pipeline — scan, filters,
+// projections, hash-join probes — over each claimed morsel with
+// worker-private compiled expressions and scratch batches. Blocking
+// consumers (hash aggregation, the top-level result gather) fork the
+// workers and join them before returning, so no goroutine outlives its
+// operator and Close semantics are unchanged.
+//
+// Determinism: morsel boundaries depend only on the data (morselRows
+// and the store length), never on the worker count, and every merge
+// step consumes per-morsel results in morsel-index order. Floating
+// point aggregation is therefore bitwise independent of how many
+// workers ran — workers=1 executes the same morsel schedule serially —
+// which keeps simulated amplitudes reproducible across machines with
+// different core counts.
+//
+// Memory: workers reserve from the shared memBudget exactly like the
+// serial operators. The parallel paths never spill themselves; when a
+// reservation fails (beyond the operator's working-floor share) the
+// whole operator aborts with errParallelFallback, releases everything
+// it reserved, and the caller re-runs the serial out-of-core path, so
+// the global budget and spilling behaviour are preserved.
+
+const (
+	// morselRows is the number of rows per morsel. A multiple of
+	// batchSize large enough to amortize claim overhead while leaving
+	// enough morsels to balance load across workers.
+	morselRows = 8 * batchSize
+
+	// MorselRows is the morsel size, exported for benchmark reporting.
+	MorselRows = morselRows
+
+	// minParallelMorsels gates morsel execution: below two morsels
+	// there is nothing to balance and the serial path is faster.
+	minParallelMorsels = 2
+)
+
+// errParallelFallback signals that a morsel-parallel operator gave up
+// (memory pressure) and the caller should re-run the serial path, which
+// knows how to spill.
+var errParallelFallback = fmt.Errorf("sqlengine: internal: parallel operator fell back")
+
+// morselStream is one worker's view of a parallelized pipeline.
+// NextMorsel claims the next unprocessed morsel from the shared
+// dispenser; NextBatch then drains the claimed morsel batch by batch
+// (nil at morsel end). Streams of the same pipeline may be driven from
+// different goroutines, but each individual stream is single-threaded.
+type morselStream interface {
+	// NextMorsel claims the next morsel, returning its index and
+	// ok=false when the input is exhausted.
+	NextMorsel() (int, bool, error)
+	// NextBatch returns the next batch of the current morsel, or nil at
+	// the end of the morsel. The batch is owned by the stream and valid
+	// only until the next NextBatch or NextMorsel call.
+	NextBatch() (*rowBatch, error)
+	// Close releases the stream's resources. Idempotent.
+	Close()
+}
+
+// parallelNode is implemented by plan operators that can split their
+// execution into morsel streams. openParallel returns one stream per
+// worker, or ok=false when this subtree cannot be morselized (spilled
+// input, too few rows, unsupported operator) and the caller must use
+// the serial open path.
+type parallelNode interface {
+	openParallel(ctx *execCtx, workers int) ([]morselStream, bool, error)
+}
+
+// aggWorkers is the worker count for parallel aggregation; the morsel
+// path runs even at one worker so results never depend on Parallelism.
+func aggWorkers(ctx *execCtx) int {
+	if ctx.workers < 1 {
+		return 1
+	}
+	return ctx.workers
+}
+
+// openMorselStreams attempts to open a plan subtree as morsel streams.
+func openMorselStreams(n planNode, ctx *execCtx, workers int) ([]morselStream, bool, error) {
+	pn, ok := n.(parallelNode)
+	if !ok {
+		return nil, false, nil
+	}
+	return pn.openParallel(ctx, workers)
+}
+
+func closeStreams(streams []morselStream) {
+	for _, s := range streams {
+		if s != nil {
+			s.Close()
+		}
+	}
+}
+
+// morselDispenser hands out morsel indices of one RowStore to a set of
+// scan streams. Claiming is a single atomic increment.
+type morselDispenser struct {
+	store *RowStore
+	count int
+	next  atomic.Int64
+}
+
+func (d *morselDispenser) claim() (int, bool) {
+	i := int(d.next.Add(1)) - 1
+	if i >= d.count {
+		return 0, false
+	}
+	return i, true
+}
+
+// openParallel splits the scan into morsels. Only fully in-memory
+// frozen stores are morselized: the spilled prefix of a store is a
+// sequential varint-encoded stream that cannot be range-partitioned.
+func (n *storeScanNode) openParallel(ctx *execCtx, workers int) ([]morselStream, bool, error) {
+	if n.ownStore {
+		return nil, false, nil
+	}
+	if err := n.store.Freeze(); err != nil {
+		return nil, false, err
+	}
+	count := n.store.morselCount()
+	if n.store.Spilled() || count < minParallelMorsels {
+		return nil, false, nil
+	}
+	d := &morselDispenser{store: n.store, count: count}
+	streams := make([]morselStream, workers)
+	for i := range streams {
+		streams[i] = &scanMorselStream{disp: d, width: len(n.cols)}
+	}
+	return streams, true, nil
+}
+
+// scanMorselStream transposes one claimed morsel's rows into reusable
+// column-major batches.
+type scanMorselStream struct {
+	disp  *morselDispenser
+	width int
+	rows  []Row // remainder of the current morsel
+	buf   *rowBatch
+}
+
+func (s *scanMorselStream) NextMorsel() (int, bool, error) {
+	i, ok := s.disp.claim()
+	if !ok {
+		s.rows = nil
+		return 0, false, nil
+	}
+	s.rows = s.disp.store.morsel(i)
+	return i, true, nil
+}
+
+func (s *scanMorselStream) NextBatch() (*rowBatch, error) {
+	if len(s.rows) == 0 {
+		return nil, nil
+	}
+	if s.buf == nil {
+		s.buf = newRowBatch(s.width)
+	}
+	s.buf.reset()
+	n := len(s.rows)
+	if n > batchSize {
+		n = batchSize
+	}
+	for _, r := range s.rows[:n] {
+		s.buf.appendRow(r)
+	}
+	s.rows = s.rows[n:]
+	return s.buf, nil
+}
+
+func (s *scanMorselStream) Close() {}
+
+// openParallel wraps each child stream with a worker-private compiled
+// predicate (vecExpr scratch buffers are not shared across goroutines).
+func (n *filterNode) openParallel(ctx *execCtx, workers int) ([]morselStream, bool, error) {
+	children, ok, err := openMorselStreams(n.child, ctx, workers)
+	if err != nil || !ok {
+		return nil, ok, err
+	}
+	out := make([]morselStream, len(children))
+	for i, c := range children {
+		pred, err := ctx.compileVec(n.pred, n.child.schema())
+		if err != nil {
+			closeStreams(children)
+			return nil, false, err
+		}
+		out[i] = &filterMorselStream{child: c, pred: pred}
+	}
+	return out, true, nil
+}
+
+// filterMorselStream narrows the child's selection vectors in place,
+// exactly like the serial filterIter.
+type filterMorselStream struct {
+	child morselStream
+	pred  vecExpr
+	sel   []int
+}
+
+func (s *filterMorselStream) NextMorsel() (int, bool, error) { return s.child.NextMorsel() }
+
+func (s *filterMorselStream) NextBatch() (*rowBatch, error) {
+	for {
+		b, err := s.child.NextBatch()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		sel := b.selection()
+		vals, err := s.pred(b, sel)
+		if err != nil {
+			return nil, err
+		}
+		s.sel = s.sel[:0]
+		for _, i := range sel {
+			if ok, known := vals[i].Bool(); known && ok {
+				s.sel = append(s.sel, i)
+			}
+		}
+		if len(s.sel) == 0 {
+			continue
+		}
+		b.sel = s.sel
+		return b, nil
+	}
+}
+
+func (s *filterMorselStream) Close() { s.child.Close() }
+
+// openParallel gives each stream its own compiled output expressions
+// and result batch.
+func (n *projectNode) openParallel(ctx *execCtx, workers int) ([]morselStream, bool, error) {
+	children, ok, err := openMorselStreams(n.child, ctx, workers)
+	if err != nil || !ok {
+		return nil, ok, err
+	}
+	out := make([]morselStream, len(children))
+	for i, c := range children {
+		compiled, err := ctx.compileVecAll(n.exprs, n.child.schema())
+		if err != nil {
+			closeStreams(children)
+			return nil, false, err
+		}
+		out[i] = &projectMorselStream{child: c, exprs: compiled, out: &rowBatch{cols: make([]colVec, len(compiled))}}
+	}
+	return out, true, nil
+}
+
+type projectMorselStream struct {
+	child morselStream
+	exprs []vecExpr
+	out   *rowBatch
+}
+
+func (s *projectMorselStream) NextMorsel() (int, bool, error) { return s.child.NextMorsel() }
+
+func (s *projectMorselStream) NextBatch() (*rowBatch, error) {
+	b, err := s.child.NextBatch()
+	if err != nil || b == nil {
+		return nil, err
+	}
+	sel := b.selection()
+	for i, e := range s.exprs {
+		col, err := e(b, sel)
+		if err != nil {
+			return nil, err
+		}
+		s.out.cols[i] = col[:b.n]
+	}
+	s.out.n = b.n
+	s.out.sel = sel
+	return s.out, nil
+}
+
+func (s *projectMorselStream) Close() { s.child.Close() }
+
+// openParallel on an alias is schema-only: streams pass through.
+func (n *aliasNode) openParallel(ctx *execCtx, workers int) ([]morselStream, bool, error) {
+	return openMorselStreams(n.child, ctx, workers)
+}
+
+// materializePlan executes a plan and materializes its output into a
+// RowStore. When the plan is morsel-capable and more than one worker is
+// configured, morsels are drained concurrently and their row buffers
+// appended in morsel order — the output row sequence is identical to
+// the serial scan order. On memory pressure the parallel gather aborts
+// and the serial (spilling) path re-runs the plan.
+func materializePlan(ctx *execCtx, node planNode) (*RowStore, error) {
+	if ctx.workers > 1 {
+		streams, ok, err := openMorselStreams(node, ctx, ctx.workers)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			store, err := gatherMorsels(ctx, streams)
+			if err == nil {
+				return store, nil
+			}
+			if err != errParallelFallback {
+				return nil, err
+			}
+		}
+	}
+	it, err := node.open(ctx)
+	if err != nil {
+		return nil, err
+	}
+	store, err := materialize(ctx.env, it)
+	it.Close()
+	return store, err
+}
+
+// morselBuf is one drained morsel: its index, materialized rows, and
+// the budget bytes reserved for them.
+type morselBuf struct {
+	idx   int
+	rows  []Row
+	bytes int64
+}
+
+// gatherMorsels drains morsel streams concurrently, buffering each
+// morsel's rows under the budget, then appends the buffers to a fresh
+// store in morsel-index order. The first failed reservation aborts the
+// gather (errParallelFallback) — large results belong to the serial
+// spilling path.
+func gatherMorsels(ctx *execCtx, streams []morselStream) (*RowStore, error) {
+	budget := ctx.env.budget
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		bufs     []morselBuf
+		firstErr error
+		abort    atomic.Bool
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		abort.Store(true)
+	}
+	for _, s := range streams {
+		wg.Add(1)
+		go func(s morselStream) {
+			defer wg.Done()
+			defer s.Close()
+			var local []morselBuf
+			defer func() {
+				mu.Lock()
+				bufs = append(bufs, local...)
+				mu.Unlock()
+			}()
+			for !abort.Load() {
+				idx, ok, err := s.NextMorsel()
+				if err != nil {
+					fail(err)
+					return
+				}
+				if !ok {
+					return
+				}
+				mb := morselBuf{idx: idx}
+				for {
+					b, err := s.NextBatch()
+					if err != nil {
+						local = append(local, mb)
+						fail(err)
+						return
+					}
+					if b == nil {
+						break
+					}
+					for _, pos := range b.selection() {
+						r := b.materializeRow(pos)
+						n := rowBytes(r)
+						if !budget.tryReserve(n) {
+							local = append(local, mb)
+							fail(errParallelFallback)
+							return
+						}
+						mb.bytes += n
+						mb.rows = append(mb.rows, r)
+					}
+				}
+				local = append(local, mb)
+			}
+		}(s)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		for _, mb := range bufs {
+			budget.release(mb.bytes)
+		}
+		return nil, firstErr
+	}
+	sort.Slice(bufs, func(i, j int) bool { return bufs[i].idx < bufs[j].idx })
+	store := newRowStore(ctx.env)
+	for k, mb := range bufs {
+		// Hand the accounting to the store: release the gather
+		// reservation, then Append re-reserves (or spills).
+		budget.release(mb.bytes)
+		for _, r := range mb.rows {
+			if err := store.Append(r); err != nil {
+				for _, rest := range bufs[k+1:] {
+					budget.release(rest.bytes)
+				}
+				store.Release()
+				return nil, err
+			}
+		}
+	}
+	if err := store.Freeze(); err != nil {
+		store.Release()
+		return nil, err
+	}
+	return store, nil
+}

@@ -1,0 +1,278 @@
+package sqlengine
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Tests for morsel-driven parallel execution. The determinism tests
+// assert bitwise-identical results across worker counts — the engine's
+// core guarantee (fixed morsel boundaries, morsel-ordered merges).
+
+// newParallelDB opens an engine with an explicit worker count.
+func newParallelDB(t *testing.T, workers int, cfg Config) *DB {
+	t.Helper()
+	cfg.Parallelism = workers
+	db, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+// fillAmplitudeTable inserts a synthetic nonzero-amplitude table t and
+// the 4-row Hadamard gate table h. rows should exceed 2*morselRows so
+// scans morselize.
+func fillAmplitudeTable(t *testing.T, db *DB, rows int) {
+	t.Helper()
+	mustExec(t, db, "CREATE TABLE t (s INTEGER, r REAL, i REAL)")
+	batch := make([]string, 0, 500)
+	for k := 0; k < rows; k++ {
+		batch = append(batch, fmt.Sprintf("(%d, %g, %g)", k, 1.0/float64(k+1), 0.25/float64(k+3)))
+		if len(batch) == 500 || k == rows-1 {
+			mustExec(t, db, "INSERT INTO t VALUES "+strings.Join(batch, ","))
+			batch = batch[:0]
+		}
+	}
+	mustExec(t, db, "CREATE TABLE h (in_s INTEGER, out_s INTEGER, r REAL, i REAL)")
+	mustExec(t, db, "INSERT INTO h VALUES (0,0,0.70710678,0),(0,1,0.70710678,0),(1,0,0.70710678,0),(1,1,-0.70710678,0)")
+}
+
+// requireBitIdentical compares two result sets exactly, including the
+// IEEE-754 bit pattern of every REAL value and the row order.
+func requireBitIdentical(t *testing.T, name string, a, b []Row) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: row counts differ: %d vs %d", name, len(a), len(b))
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatalf("%s: row %d widths differ", name, i)
+		}
+		for j := range a[i] {
+			va, vb := a[i][j], b[i][j]
+			if va.T != vb.T || va.I != vb.I || va.S != vb.S ||
+				math.Float64bits(va.F) != math.Float64bits(vb.F) {
+				t.Fatalf("%s: row %d col %d differs: %#v vs %#v", name, i, j, va, vb)
+			}
+		}
+	}
+}
+
+const testRows = 2*morselRows + 1531 // > minParallelMorsels morsels, uneven tail
+
+func TestParallelScanFilterProjectMatchesSerial(t *testing.T) {
+	q := "SELECT s * 2 + 1, r, (s & 7) FROM t WHERE (s & 3) = 1"
+	var ref []Row
+	for _, workers := range []int{1, 4} {
+		db := newParallelDB(t, workers, Config{})
+		fillAmplitudeTable(t, db, testRows)
+		rows := queryAll(t, db, q)
+		if want := (testRows + 2) / 4; len(rows) != want {
+			t.Fatalf("workers=%d: got %d rows, want %d", workers, len(rows), want)
+		}
+		if ref == nil {
+			ref = rows
+			continue
+		}
+		requireBitIdentical(t, fmt.Sprintf("workers=%d", workers), ref, rows)
+	}
+}
+
+func TestParallelGateStageBitIdentical(t *testing.T) {
+	q := `SELECT ((t.s & ~1) | h.out_s) AS s,
+	       SUM((t.r * h.r) - (t.i * h.i)) AS r,
+	       SUM((t.r * h.i) + (t.i * h.r)) AS i
+	FROM t JOIN h ON h.in_s = (t.s & 1)
+	GROUP BY ((t.s & ~1) | h.out_s)
+	ORDER BY s`
+	var ref []Row
+	for _, workers := range []int{1, 3, 4} {
+		db := newParallelDB(t, workers, Config{})
+		fillAmplitudeTable(t, db, testRows)
+		rows := queryAll(t, db, q)
+		if len(rows) != testRows+1 { // out states extend one past the input range
+			t.Fatalf("workers=%d: got %d groups, want %d", workers, len(rows), testRows+1)
+		}
+		if ref == nil {
+			ref = rows
+			continue
+		}
+		requireBitIdentical(t, fmt.Sprintf("workers=%d", workers), ref, rows)
+	}
+}
+
+func TestParallelLeftJoinResidualMatchesSerial(t *testing.T) {
+	// LEFT join with a residual predicate: every probe row must appear,
+	// null-extended when the residual rejects all matches.
+	q := `SELECT t.s, h.out_s FROM t LEFT JOIN h ON h.in_s = (t.s & 1) AND h.r > 0`
+	var ref []Row
+	for _, workers := range []int{1, 4} {
+		db := newParallelDB(t, workers, Config{})
+		fillAmplitudeTable(t, db, testRows)
+		rows := queryAll(t, db, q)
+		if ref == nil {
+			ref = rows
+			continue
+		}
+		requireBitIdentical(t, fmt.Sprintf("workers=%d", workers), ref, rows)
+	}
+}
+
+func TestParallelDistinctDeterministic(t *testing.T) {
+	q := "SELECT DISTINCT (s & 63) FROM t"
+	var ref []Row
+	for _, workers := range []int{1, 4} {
+		db := newParallelDB(t, workers, Config{})
+		fillAmplitudeTable(t, db, testRows)
+		rows := queryAll(t, db, q)
+		if len(rows) != 64 {
+			t.Fatalf("workers=%d: got %d distinct values, want 64", workers, len(rows))
+		}
+		if ref == nil {
+			ref = rows
+			continue
+		}
+		requireBitIdentical(t, fmt.Sprintf("workers=%d", workers), ref, rows)
+	}
+}
+
+// TestParallelAggBudgetFallback forces the parallel aggregation to
+// abort on memory pressure and re-run through the serial spilling path;
+// results must match an unconstrained run.
+func TestParallelAggBudgetFallback(t *testing.T) {
+	q := "SELECT s, SUM(r), COUNT(*) FROM t GROUP BY s ORDER BY s"
+	ref := func() []Row {
+		db := newParallelDB(t, 4, Config{})
+		fillAmplitudeTable(t, db, testRows)
+		return queryAll(t, db, q)
+	}()
+	// A budget that holds the base tables but not a full hash table of
+	// one group per row.
+	db := newParallelDB(t, 4, Config{MemoryBudget: 3 << 20, SpillDir: t.TempDir()})
+	fillAmplitudeTable(t, db, testRows)
+	rows := queryAll(t, db, q)
+	if len(rows) != len(ref) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(ref))
+	}
+	for i := range rows {
+		for j := range rows[i] {
+			if CompareTotal(rows[i][j], ref[i][j]) != 0 {
+				t.Fatalf("row %d col %d: %v != %v", i, j, rows[i][j], ref[i][j])
+			}
+		}
+	}
+	if live := db.Stats().LiveBytes; live <= 0 {
+		t.Fatalf("expected live table bytes, got %d", live)
+	}
+}
+
+// TestParallelAggBudgetFallbackBitIdentical pins the determinism
+// guarantee at the budget boundary: the morsel-vs-serial fallback
+// decision shares one working-floor total across workers, so under the
+// same tight budget every worker count takes the same path and
+// multi-row floating-point groups sum in the same order.
+func TestParallelAggBudgetFallbackBitIdentical(t *testing.T) {
+	// 64 rows per group: SUM(r) order matters in the last bits.
+	q := "SELECT (s & ~63), SUM(r), AVG(r) FROM t GROUP BY (s & ~63) ORDER BY 1"
+	for _, budget := range []int64{0, 3 << 20, 1 << 20} {
+		var ref []Row
+		for _, workers := range []int{1, 4} {
+			db := newParallelDB(t, workers, Config{MemoryBudget: budget, SpillDir: t.TempDir()})
+			fillAmplitudeTable(t, db, testRows)
+			rows := queryAll(t, db, q)
+			if ref == nil {
+				ref = rows
+				continue
+			}
+			requireBitIdentical(t, fmt.Sprintf("budget=%d workers=%d", budget, workers), ref, rows)
+		}
+	}
+}
+
+// TestParallelEarlyCloseReleases verifies a parallel query leaves no
+// worker goroutines behind and that closing the result set releases
+// every budget reservation the workers made.
+func TestParallelEarlyCloseReleases(t *testing.T) {
+	db := newParallelDB(t, 4, Config{})
+	fillAmplitudeTable(t, db, testRows)
+	baseline := db.Stats().LiveBytes
+	goroutines := runtime.NumGoroutine()
+
+	rs, err := db.Query(`SELECT ((t.s & ~1) | h.out_s) AS s, SUM(t.r * h.r) AS r
+		FROM t JOIN h ON h.in_s = (t.s & 1) GROUP BY ((t.s & ~1) | h.out_s)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read one row, then abandon the rest.
+	if _, ok, err := rs.Next(); err != nil || !ok {
+		t.Fatalf("first row: ok=%v err=%v", ok, err)
+	}
+	rs.Close()
+
+	if live := db.Stats().LiveBytes; live != baseline {
+		t.Fatalf("live bytes after Close = %d, want %d (baseline)", live, baseline)
+	}
+	// Workers are fork-join inside Query, so the goroutine count must
+	// return to the pre-query level (allow scheduler lag).
+	for i := 0; i < 50; i++ {
+		if runtime.NumGoroutine() <= goroutines {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines after query = %d, want <= %d", runtime.NumGoroutine(), goroutines)
+}
+
+func TestExplainReportsWorkers(t *testing.T) {
+	db := newParallelDB(t, 4, Config{})
+	mustExec(t, db, "CREATE TABLE t (a INTEGER)")
+	plan, err := db.Explain("SELECT a FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "workers=4") || !strings.Contains(plan, "morsel-parallel") {
+		t.Fatalf("plan missing worker report:\n%s", plan)
+	}
+}
+
+// TestParallelismDSN checks the database/sql DSN parameter.
+func TestParallelismDSN(t *testing.T) {
+	cfg, err := parseDSN("mem://pardsn?parallelism=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Parallelism != 3 {
+		t.Fatalf("Parallelism = %d, want 3", cfg.Parallelism)
+	}
+	if _, err := parseDSN("mem://pardsn?parallelism=abc"); err == nil {
+		t.Fatal("expected error for non-numeric parallelism")
+	}
+}
+
+// TestParallelGlobalAggregate covers the no-GROUP-BY path (single
+// group, merged across morsels in index order).
+func TestParallelGlobalAggregate(t *testing.T) {
+	var ref []Row
+	for _, workers := range []int{1, 4} {
+		db := newParallelDB(t, workers, Config{})
+		fillAmplitudeTable(t, db, testRows)
+		rows := queryAll(t, db, "SELECT COUNT(*), SUM(r), MIN(s), MAX(s), AVG(r) FROM t")
+		if len(rows) != 1 {
+			t.Fatalf("workers=%d: got %d rows", workers, len(rows))
+		}
+		if rows[0][0].I != int64(testRows) {
+			t.Fatalf("workers=%d: COUNT(*) = %v", workers, rows[0][0])
+		}
+		if ref == nil {
+			ref = rows
+			continue
+		}
+		requireBitIdentical(t, fmt.Sprintf("workers=%d", workers), ref, rows)
+	}
+}

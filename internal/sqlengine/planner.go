@@ -90,12 +90,7 @@ func (p *planner) planSelect(sel *SelectStmt, scope *cteScope) (planNode, []stri
 				scope.tables[strings.ToLower(cte.Name)] = &cteTable{node: node, cols: cols}
 				continue
 			}
-			it, err := node.open(p.ctx)
-			if err != nil {
-				return nil, nil, err
-			}
-			store, err := materialize(p.ctx.env, it)
-			it.Close()
+			store, err := materializePlan(p.ctx, node)
 			if err != nil {
 				return nil, nil, err
 			}

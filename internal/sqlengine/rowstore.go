@@ -61,6 +61,8 @@ type storageEnv struct {
 	budget       *memBudget
 	spillDir     string
 	spillEnabled bool
+	// workers is the engine's morsel-parallel worker count (>= 1).
+	workers int
 	// workingFloor is the number of bytes a blocking operator (hash
 	// join build, hash aggregation, sort buffer) may force-reserve even
 	// when the budget is exhausted by table storage. Without it, grace
@@ -197,6 +199,24 @@ func (rs *RowStore) Thaw() {
 	if rs.file != nil {
 		rs.w = bufio.NewWriterSize(rs.file, 1<<16)
 	}
+}
+
+// morselCount is the number of fixed-size morsels the in-memory rows
+// split into for parallel scans. Boundaries depend only on the data, so
+// the morsel schedule is identical for every worker count.
+func (rs *RowStore) morselCount() int {
+	return (len(rs.mem) + morselRows - 1) / morselRows
+}
+
+// morsel returns the rows of morsel i. The store must be frozen and
+// fully in memory.
+func (rs *RowStore) morsel(i int) []Row {
+	lo := i * morselRows
+	hi := lo + morselRows
+	if hi > len(rs.mem) {
+		hi = len(rs.mem)
+	}
+	return rs.mem[lo:hi]
 }
 
 // Iterator returns a fresh iterator over all rows (disk prefix first,

@@ -5,12 +5,20 @@
 // aggregation, and buffer-managed storage that spills to disk — using
 // only the Go standard library.
 //
-// Execution is batch-at-a-time: operators exchange column-major batches
-// of ~1024 rows with selection vectors (see batch.go), expressions are
-// compiled to loops over batches with integer/float fast paths (see
-// evalvec.go), and a thin row adapter keeps row-oriented surfaces
-// (database/sql driver, ResultSet) and internals composing with the
-// batched tree.
+// Execution is batch-at-a-time and morsel-parallel: operators exchange
+// column-major batches of ~1024 rows with selection vectors (see
+// batch.go), expressions are compiled to loops over batches with
+// integer/float fast paths (see evalvec.go), and a thin row adapter
+// keeps row-oriented surfaces (database/sql driver, ResultSet) and
+// internals composing with the batched tree. Pipelines over in-memory
+// tables split their base scan into fixed row-range morsels claimed by
+// Config.Parallelism worker goroutines (see parallel.go): filters and
+// projections run embarrassingly parallel, hash joins probe a shared
+// build table concurrently, and hash aggregation merges per-morsel
+// partial tables in morsel order (see parallel_agg.go), so results —
+// including floating-point rounding — are bitwise independent of the
+// worker count. Workers reserve from the shared memory budget; under
+// pressure a parallel operator falls back to the serial spilling path.
 //
 // The engine implements the SQL subset that RDBMS-based quantum circuit
 // simulation requires (and a bit more): CREATE/DROP TABLE, INSERT,

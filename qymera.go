@@ -11,13 +11,20 @@
 //     paper): state tables T(s, r, i), gate tables G(in_s, out_s, r, i),
 //     and one join+group-by query per gate;
 //   - Backends execute circuits: the RDBMS backend (NewSQLBackend) runs
-//     the translation on an embedded relational engine — a vectorized
-//     batch executor (column-major batches of ~1024 rows with selection
-//     vectors, streaming hash join and hash aggregation, out-of-core
-//     spilling) — alongside state-vector, sparse, matrix-product-state,
-//     and decision-diagram simulators for comparison;
+//     the translation on an embedded relational engine — a vectorized,
+//     morsel-parallel batch executor (column-major batches of ~1024 rows
+//     with selection vectors, streaming hash join and hash aggregation,
+//     out-of-core spilling; SQLBackendOptions.Parallelism workers claim
+//     fixed row-range morsels, so gate stages use every core while
+//     amplitudes stay bit-identical across worker counts) — alongside
+//     state-vector, sparse, matrix-product-state, and decision-diagram
+//     simulators for comparison;
 //   - the benchmarking harness (cmd/qybench) regenerates the paper's
 //     experiments.
+//
+// docs/ARCHITECTURE.md walks through the translation scheme, the
+// executor, and the package map; docs/BENCHMARKS.md documents the
+// benchmark harness and its machine-readable reports.
 //
 // Quick start:
 //
@@ -113,6 +120,10 @@ type SQLBackendOptions struct {
 	SpillDir string
 	// DisableSpill makes budget overruns fail instead of spilling.
 	DisableSpill bool
+	// Parallelism is the engine's morsel-parallel worker count (0 =
+	// GOMAXPROCS, 1 = single worker). Amplitudes are bit-identical
+	// across settings; only throughput changes.
+	Parallelism int
 	// Initial overrides the |0…0⟩ initial state.
 	Initial *State
 }
@@ -131,6 +142,7 @@ func NewSQLBackend(opts ...SQLBackendOptions) Backend {
 		MemoryBudget: o.MemoryBudget,
 		SpillDir:     o.SpillDir,
 		DisableSpill: o.DisableSpill,
+		Parallelism:  o.Parallelism,
 		Initial:      o.Initial,
 	}
 }
