@@ -17,7 +17,13 @@
 //	qybench -benchjson BENCH_sqlengine_parallel.json
 //	                         # paths containing "parallel" write the
 //	                         # morsel-parallel scaling report instead
-//	                         # (1/2/4/8 workers + amplitude bit-identity)
+//	                         # (1/2/4/8 workers + amplitude bit-identity
+//	                         # across worker counts and storage layouts)
+//	qybench -compareallocs BENCH_sqlengine.json NEW.json
+//	                         # allocation regression gate: fail when
+//	                         # NEW.json's fixed-size gate-stage query
+//	                         # allocs/op exceed the committed baseline
+//	                         # by more than 20%
 package main
 
 import (
@@ -38,7 +44,21 @@ func main() {
 	out := flag.String("out", "", "directory for per-table CSV files")
 	list := flag.Bool("list", false, "list experiments and exit")
 	benchJSON := flag.String("benchjson", "", "write a machine-readable SQL-engine report to this path and exit: paths containing \"parallel\" get the morsel-parallel scaling report (BENCH_sqlengine_parallel.json), anything else the throughput report (BENCH_sqlengine.json)")
+	compareAllocs := flag.String("compareallocs", "", "allocation regression gate: compare the gate-stage allocs/op of a fresh BENCH_sqlengine.json (first positional argument) against this committed baseline and exit nonzero on a >20% regression")
 	flag.Parse()
+
+	if *compareAllocs != "" {
+		newPath := flag.Arg(0)
+		if newPath == "" {
+			fmt.Fprintln(os.Stderr, "qybench: -compareallocs needs the new report path as an argument")
+			os.Exit(2)
+		}
+		if err := bench.CompareAllocGate(*compareAllocs, newPath); err != nil {
+			fmt.Fprintln(os.Stderr, "qybench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *benchJSON != "" {
 		var data []byte

@@ -3,6 +3,8 @@ package bench
 import (
 	"encoding/json"
 	"fmt"
+	"os"
+	"runtime"
 	"time"
 
 	"qymera/internal/circuits"
@@ -34,15 +36,83 @@ type EngineBenchEntry struct {
 	GateRowsPerSec float64 `json:"gate_rows_per_sec"`
 	SpilledRows    int64   `json:"spilled_rows"`
 	FinalNonzeros  int     `json:"final_nonzeros"`
+	// AllocsPerOp is the mean heap allocations per full simulation run
+	// of this workload (three timed runs), recorded per experiment so
+	// allocation regressions show up in baseline diffs.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// GateStageAllocBench measures the fixed-size gate-stage query — one
+// translated join+group-by over a synthetic amplitude table — with
+// allocation counts. Its size is independent of -quick, so a CI run can
+// compare allocs/op against the committed baseline (the allocation
+// regression gate: see cmd/qybench -compareallocs).
+type GateStageAllocBench struct {
+	Rows        int     `json:"rows"`
+	Workers     int     `json:"workers"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
 }
 
 // EngineBenchReport is the machine-readable BENCH_sqlengine.json
-// payload, recording engine throughput so runs before and after an
-// executor change can be diffed.
+// payload, recording engine throughput and allocation behaviour so runs
+// before and after an executor change can be diffed.
 type EngineBenchReport struct {
-	Engine    string             `json:"engine"`
-	BatchSize int                `json:"batch_size"`
-	Entries   []EngineBenchEntry `json:"entries"`
+	Engine    string `json:"engine"`
+	Storage   string `json:"storage"`
+	BatchSize int    `json:"batch_size"`
+	// GateStage is the fixed-size allocation benchmark backing the CI
+	// allocation-regression gate.
+	GateStage *GateStageAllocBench `json:"gate_stage"`
+	Entries   []EngineBenchEntry   `json:"entries"`
+}
+
+// gateStageAllocRows is the fixed input size of the allocation gate;
+// deliberately not scaled by -quick so baselines stay comparable.
+const gateStageAllocRows = 1 << 14
+
+// MeasureGateStageAllocs runs the gate-stage query over a fixed-size
+// table at one worker (the deterministic serial path) and reports mean
+// wall time and allocations per execution.
+func MeasureGateStageAllocs() (*GateStageAllocBench, error) {
+	db, err := gateStageDB(gateStageAllocRows, 1)
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+	run := func() error {
+		rs, err := db.Query(gateStageSQL)
+		if err != nil {
+			return err
+		}
+		rs.Close()
+		return nil
+	}
+	if err := run(); err != nil { // warm up caches and table freeze
+		return nil, err
+	}
+	const iters = 5
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := run(); err != nil {
+			return nil, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return &GateStageAllocBench{
+		Rows:        gateStageAllocRows,
+		Workers:     1,
+		Iterations:  iters,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / iters,
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / iters,
+		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / iters,
+	}, nil
 }
 
 // engineWorkloads are the circuit families exercised by the engine
@@ -70,11 +140,21 @@ func engineWorkloads(quick bool) []struct {
 // RunEngineBench executes the engine workloads through the SQL backend
 // and returns the throughput report.
 func RunEngineBench(opts Options) (*EngineBenchReport, error) {
-	report := &EngineBenchReport{Engine: "vectorized-batch", BatchSize: sqlengine.BatchSize}
+	report := &EngineBenchReport{Engine: "vectorized-batch", Storage: "columnar", BatchSize: sqlengine.BatchSize}
+	gs, err := MeasureGateStageAllocs()
+	if err != nil {
+		return nil, fmt.Errorf("bench: sqlengine gate-stage allocs: %w", err)
+	}
+	report.GateStage = gs
 	for _, w := range engineWorkloads(opts.Quick) {
 		c := w.build(w.n)
 		var res *sim.Result
+		var before, after runtime.MemStats
+		runs := 0 // counted in the closure so the divisor tracks Median3's iteration count
+		runtime.GC()
+		runtime.ReadMemStats(&before)
 		wall, err := Median3(func() (time.Duration, error) {
+			runs++
 			r, err := (&sim.SQL{SpillDir: opts.SpillDir}).Run(c)
 			if err != nil {
 				return 0, err
@@ -82,6 +162,7 @@ func RunEngineBench(opts Options) (*EngineBenchReport, error) {
 			res = r
 			return r.Stats.WallTime, nil
 		})
+		runtime.ReadMemStats(&after)
 		if err != nil {
 			return nil, fmt.Errorf("bench: sqlengine workload %s: %w", w.name, err)
 		}
@@ -94,6 +175,7 @@ func RunEngineBench(opts Options) (*EngineBenchReport, error) {
 			MaxRows:       res.Stats.MaxIntermediateSize,
 			SpilledRows:   res.Stats.SpilledRows,
 			FinalNonzeros: res.Stats.FinalNonzeros,
+			AllocsPerOp:   float64(after.Mallocs-before.Mallocs) / float64(runs),
 		}
 		if secs > 0 {
 			entry.GateRowsPerSec = float64(res.Stats.GateCount) * float64(res.Stats.MaxIntermediateSize) / secs
@@ -116,18 +198,67 @@ func EngineBenchJSON(opts Options) ([]byte, error) {
 	return append(out, '\n'), nil
 }
 
+// AllocGateTolerance is how far above the committed baseline the
+// gate-stage allocs/op may drift before the CI allocation gate fails.
+const AllocGateTolerance = 1.20
+
+// CompareAllocGate reads two BENCH_sqlengine.json reports and fails
+// when the new run's fixed-size gate-stage allocs/op exceed the
+// baseline by more than AllocGateTolerance. It is the allocation
+// regression gate run by CI after every push.
+func CompareAllocGate(baselinePath, newPath string) error {
+	load := func(path string) (*EngineBenchReport, error) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var r EngineBenchReport
+		if err := json.Unmarshal(data, &r); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		if r.GateStage == nil {
+			return nil, fmt.Errorf("%s: no gate_stage section (regenerate with qybench -benchjson)", path)
+		}
+		return &r, nil
+	}
+	base, err := load(baselinePath)
+	if err != nil {
+		return err
+	}
+	cur, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	if base.GateStage.Rows != cur.GateStage.Rows {
+		return fmt.Errorf("alloc gate: incomparable sizes: baseline rows=%d vs new rows=%d", base.GateStage.Rows, cur.GateStage.Rows)
+	}
+	limit := base.GateStage.AllocsPerOp * AllocGateTolerance
+	fmt.Printf("alloc gate: gate-stage query (%d rows): baseline %.0f allocs/op, new %.0f allocs/op (limit %.0f)\n",
+		base.GateStage.Rows, base.GateStage.AllocsPerOp, cur.GateStage.AllocsPerOp, limit)
+	if cur.GateStage.AllocsPerOp > limit {
+		return fmt.Errorf("alloc gate FAILED: %.0f allocs/op exceeds baseline %.0f by more than %.0f%%",
+			cur.GateStage.AllocsPerOp, base.GateStage.AllocsPerOp, (AllocGateTolerance-1)*100)
+	}
+	return nil
+}
+
 func runSQLEngine(opts Options) ([]*Table, error) {
 	report, err := RunEngineBench(opts)
 	if err != nil {
 		return nil, err
 	}
-	t := NewTable("SQL engine throughput (vectorized batch executor)",
-		"workload", "qubits", "gates", "wall", "max rows", "gate-rows/s", "spilled rows")
+	t := NewTable("SQL engine throughput (vectorized batch executor, columnar storage)",
+		"workload", "qubits", "gates", "wall", "max rows", "gate-rows/s", "spilled rows", "allocs/op")
 	for _, e := range report.Entries {
 		t.Addf(e.Workload, e.Qubits, e.Gates,
 			FormatDuration(time.Duration(e.WallSeconds*float64(time.Second))),
-			e.MaxRows, fmt.Sprintf("%.3g", e.GateRowsPerSec), e.SpilledRows)
+			e.MaxRows, fmt.Sprintf("%.3g", e.GateRowsPerSec), e.SpilledRows,
+			fmt.Sprintf("%.0f", e.AllocsPerOp))
 	}
-	t.Note("batch=%d; gate-rows/s = gates x max intermediate rows / wall time", report.BatchSize)
+	t.Note("batch=%d storage=%s; gate-rows/s = gates x max intermediate rows / wall time", report.BatchSize, report.Storage)
+	if gs := report.GateStage; gs != nil {
+		t.Note("gate-stage alloc gate: rows=%d allocs/op=%.0f bytes/op=%.0f ns/op=%.0f (CI fails >20%% over baseline)",
+			gs.Rows, gs.AllocsPerOp, gs.BytesPerOp, gs.NsPerOp)
+	}
 	return []*Table{t}, nil
 }

@@ -29,10 +29,12 @@ func init() {
 // measures.
 var parallelWorkerCounts = []int{1, 2, 4, 8}
 
-// ParallelBenchEntry is one (workload, worker count) measurement.
+// ParallelBenchEntry is one (workload, worker count, storage layout)
+// measurement. Layout is omitted for the default columnar store.
 type ParallelBenchEntry struct {
 	Workload    string  `json:"workload"`
 	Workers     int     `json:"workers"`
+	Layout      string  `json:"layout,omitempty"`
 	WallSeconds float64 `json:"wall_seconds"`
 	// Speedup is this entry's wall time relative to the same workload at
 	// one worker (1.0 for the baseline itself).
@@ -51,8 +53,12 @@ type ParallelBenchReport struct {
 	GOMAXPROCS int    `json:"gomaxprocs"`
 	BatchSize  int    `json:"batch_size"`
 	MorselRows int    `json:"morsel_rows"`
+	// StorageFormats lists the table-store layouts the bit-identity
+	// sweep covers (the columnar default plus the legacy row store).
+	StorageFormats []string `json:"storage_formats"`
 	// AmplitudesBitIdentical reports whether every circuit workload
-	// produced the same state digest at every worker count.
+	// produced the same state digest at every worker count and on every
+	// storage format.
 	AmplitudesBitIdentical bool                 `json:"amplitudes_bit_identical"`
 	Entries                []ParallelBenchEntry `json:"entries"`
 }
@@ -127,6 +133,7 @@ func RunParallelBench(opts Options) (*ParallelBenchReport, error) {
 		GOMAXPROCS:             runtime.GOMAXPROCS(0),
 		BatchSize:              sqlengine.BatchSize,
 		MorselRows:             sqlengine.MorselRows,
+		StorageFormats:         []string{sqlengine.LayoutColumnar, sqlengine.LayoutRow},
 		AmplitudesBitIdentical: true,
 	}
 
@@ -209,6 +216,31 @@ func RunParallelBench(opts Options) (*ParallelBenchReport, error) {
 			}
 			report.Entries = append(report.Entries, e)
 		}
+		// Storage-format sweep: the legacy row layout at one and four
+		// workers must reproduce the same digest bit-for-bit.
+		for _, w := range []int{1, 4} {
+			var res *sim.Result
+			wall, err := Median3(func() (time.Duration, error) {
+				r, err := (&sim.SQL{SpillDir: opts.SpillDir, Parallelism: w, Layout: sqlengine.LayoutRow}).Run(wl.c)
+				if err != nil {
+					return 0, err
+				}
+				res = r
+				return r.Stats.WallTime, nil
+			})
+			if err != nil {
+				return nil, fmt.Errorf("bench: sqlengine_parallel: %s layout=row workers=%d: %w", wl.name, w, err)
+			}
+			digest := stateDigest(res.State)
+			if digest != baseDigest {
+				report.AmplitudesBitIdentical = false
+			}
+			e := ParallelBenchEntry{Workload: wl.name, Workers: w, Layout: sqlengine.LayoutRow, WallSeconds: wall.Seconds(), StateDigest: digest}
+			if wall.Seconds() > 0 {
+				e.Speedup = baseline / wall.Seconds()
+			}
+			report.Entries = append(report.Entries, e)
+		}
 	}
 	return report, nil
 }
@@ -232,13 +264,17 @@ func runSQLEngineParallel(opts Options) ([]*Table, error) {
 		return nil, err
 	}
 	t := NewTable("SQL engine morsel-parallel scaling",
-		"workload", "workers", "wall", "speedup vs 1", "state digest")
+		"workload", "layout", "workers", "wall", "speedup vs 1", "state digest")
 	for _, e := range report.Entries {
-		t.Addf(e.Workload, e.Workers,
+		layout := e.Layout
+		if layout == "" {
+			layout = sqlengine.LayoutColumnar
+		}
+		t.Addf(e.Workload, layout, e.Workers,
 			FormatDuration(time.Duration(e.WallSeconds*float64(time.Second))),
 			fmt.Sprintf("%.2fx", e.Speedup), e.StateDigest)
 	}
-	t.Note("num_cpu=%d gomaxprocs=%d morsel=%d rows; amplitudes bit-identical across worker counts: %v",
-		report.NumCPU, report.GOMAXPROCS, report.MorselRows, report.AmplitudesBitIdentical)
+	t.Note("num_cpu=%d gomaxprocs=%d morsel=%d rows; amplitudes bit-identical across worker counts and storage formats (%s): %v",
+		report.NumCPU, report.GOMAXPROCS, report.MorselRows, strings.Join(report.StorageFormats, "/"), report.AmplitudesBitIdentical)
 	return []*Table{t}, nil
 }

@@ -43,6 +43,11 @@ type SQL struct {
 	// derives it from GOMAXPROCS, 1 pins execution to a single worker.
 	// The simulated amplitudes are bitwise independent of the setting.
 	Parallelism int
+	// Layout selects the engine's table storage format: "" or
+	// "columnar" for the typed column-vector store, "row" for the
+	// legacy row-major store. Amplitudes are bitwise independent of the
+	// layout (asserted by differential tests and the benchmark report).
+	Layout string
 	// Initial overrides the |0...0⟩ initial state.
 	Initial *quantum.State
 }
@@ -80,6 +85,7 @@ func (b *SQL) Run(c *quantum.Circuit) (*Result, error) {
 		SpillDir:     b.SpillDir,
 		DisableSpill: b.DisableSpill,
 		Parallelism:  b.Parallelism,
+		Layout:       b.Layout,
 	})
 	if err != nil {
 		return nil, err

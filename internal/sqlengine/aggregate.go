@@ -67,8 +67,7 @@ func (n *aggNode) open(ctx *execCtx) (batchIter, error) {
 	}
 
 	exec := newAggExec(ctx, len(n.groupBy), n.aggs)
-	out := newRowStore(ctx.env)
-	width := len(n.groupBy) + len(n.aggs)
+	out := ctx.env.newStore()
 	fail := func(err error) (batchIter, error) {
 		out.Release()
 		return nil, err
@@ -143,14 +142,14 @@ func (n *aggNode) open(ctx *execCtx) (batchIter, error) {
 	if err := out.Freeze(); err != nil {
 		return fail(err)
 	}
-	return newOwnedStoreIter(out, width)
+	return newOwnedStoreIter(out)
 }
 
 // materializeTuples drains the child, evaluating group keys and
 // aggregate arguments vectorized, and stores one tuple per input row
 // (the legacy path, required for DISTINCT aggregates).
-func (n *aggNode) materializeTuples(ctx *execCtx, child batchIter, groupC []vecExpr, argC []vecExpr) (*RowStore, error) {
-	input := newRowStore(ctx.env)
+func (n *aggNode) materializeTuples(ctx *execCtx, child batchIter, groupC []vecExpr, argC []vecExpr) (tableStore, error) {
+	input := ctx.env.newStore()
 	nGroup := len(groupC)
 	tupleWidth := nGroup + len(argC)
 	groupCols := make([]colVec, nGroup)
@@ -262,6 +261,95 @@ type aggGroup struct {
 	states  []aggState
 }
 
+// aggChunkGroups is the slab size of the aggregation allocators: one
+// chunk allocation amortizes over this many groups.
+const aggChunkGroups = 256
+
+// slabPut appends v to a chunked slab and returns a stable pointer to
+// it. A full chunk is replaced, never regrown, so previously returned
+// pointers stay valid (the old chunk remains referenced by them).
+func slabPut[T any](chunk *[]T, v T) *T {
+	if len(*chunk) == cap(*chunk) {
+		*chunk = make([]T, 0, aggChunkGroups)
+	}
+	*chunk = append(*chunk, v)
+	return &(*chunk)[len(*chunk)-1]
+}
+
+// slabCarve carves an n-element slice from a chunked arena,
+// capacity-clipped so appends cannot cross into the next carve.
+func slabCarve[T any](chunk *[]T, n int) []T {
+	if n == 0 {
+		return nil
+	}
+	if cap(*chunk)-len(*chunk) < n {
+		*chunk = make([]T, 0, max(aggChunkGroups*n, n))
+	}
+	i := len(*chunk)
+	*chunk = (*chunk)[:i+n]
+	return (*chunk)[i : i+n : i+n]
+}
+
+// aggAlloc slab-allocates the aggregation hash table's per-group state
+// — group structs, key clones, states slices, and the concrete
+// accumulators — cutting the half-dozen allocations per group of the
+// naive path to amortized chunk allocations. One amplitude is one group
+// in the translated gate query, so this is directly on the per-gate
+// hot path. Not safe for concurrent use; parallel aggregation gives
+// each worker its own allocator.
+type aggAlloc struct {
+	aggs       []aggCall
+	groupChunk []aggGroup
+	stateChunk []aggState
+	valChunk   []Value
+	countChunk []countAgg
+	sumChunk   []sumAgg
+	avgChunk   []avgAgg
+	mmChunk    []minMaxAgg
+}
+
+func newAggAlloc(aggs []aggCall) *aggAlloc { return &aggAlloc{aggs: aggs} }
+
+// row carves an n-Value slice from the arena.
+func (a *aggAlloc) row(n int) Row { return slabCarve(&a.valChunk, n) }
+
+func (a *aggAlloc) cloneKey(key Row) Row {
+	out := a.row(len(key))
+	copy(out, key)
+	return out
+}
+
+func (a *aggAlloc) state(call aggCall) (aggState, error) {
+	if call.Distinct {
+		return newAggState(call.Name, true)
+	}
+	switch call.Name {
+	case "COUNT":
+		return slabPut(&a.countChunk, countAgg{}), nil
+	case "SUM", "TOTAL":
+		return slabPut(&a.sumChunk, sumAgg{total: call.Name == "TOTAL"}), nil
+	case "AVG":
+		return slabPut(&a.avgChunk, avgAgg{}), nil
+	case "MIN", "MAX":
+		return slabPut(&a.mmChunk, minMaxAgg{min: call.Name == "MIN"}), nil
+	}
+	return newAggState(call.Name, false)
+}
+
+// group builds a fresh group for key, slab-backed.
+func (a *aggAlloc) group(key Row) (*aggGroup, error) {
+	g := slabPut(&a.groupChunk, aggGroup{keyVals: a.cloneKey(key)})
+	g.states = slabCarve(&a.stateChunk, len(a.aggs))
+	for j, call := range a.aggs {
+		st, err := a.state(call)
+		if err != nil {
+			return nil, err
+		}
+		g.states[j] = st
+	}
+	return g, nil
+}
+
 // groupTable is the aggregation hash table: single-column integer-like
 // group keys use an int64-keyed map (no key encoding or string
 // allocation per row — see intKey for why the split preserves grouping
@@ -306,7 +394,7 @@ func (t *groupTable[G]) put(key Row, g G) {
 // streamAggregate drains child batches into the hash table; on budget
 // overflow it switches to the partial-spill path. rowsSeen reports
 // whether any input row was consumed.
-func (x *aggExec) streamAggregate(child batchIter, groupC, argC []vecExpr, out *RowStore) (bool, error) {
+func (x *aggExec) streamAggregate(child batchIter, groupC, argC []vecExpr, out tableStore) (bool, error) {
 	budget := x.ctx.env.budget
 	table := newGroupTable[*aggGroup](x.nGroup)
 	var reserved int64
@@ -319,6 +407,7 @@ func (x *aggExec) streamAggregate(child batchIter, groupC, argC []vecExpr, out *
 	groupCols := make([]colVec, len(groupC))
 	argCols := make([]colVec, len(argC))
 	keyBuf := make(Row, x.nGroup)
+	alloc := newAggAlloc(x.aggs)
 	rowsSeen := false
 
 	for {
@@ -368,14 +457,10 @@ func (x *aggExec) streamAggregate(child batchIter, groupC, argC []vecExpr, out *
 					budget.reserveForce(need)
 				}
 				reserved += need
-				g = &aggGroup{keyVals: cloneRow(keyBuf), states: make([]aggState, len(x.aggs))}
-				for i, a := range x.aggs {
-					st, err := newAggState(a.Name, a.Distinct)
-					if err != nil {
-						releaseAll()
-						return rowsSeen, err
-					}
-					g.states[i] = st
+				var aerr error
+				if g, aerr = alloc.group(keyBuf); aerr != nil {
+					releaseAll()
+					return rowsSeen, aerr
 				}
 				if isInt {
 					table.ints[ik] = g
@@ -400,25 +485,26 @@ func (x *aggExec) streamAggregate(child batchIter, groupC, argC []vecExpr, out *
 	}
 
 	defer releaseAll()
+	app := newBatchAppender(out, x.nGroup+len(x.aggs))
+	rowBuf := make(Row, x.nGroup+len(x.aggs))
 	for _, g := range table.order {
-		row := make(Row, x.nGroup+len(x.aggs))
-		copy(row, g.keyVals)
+		copy(rowBuf, g.keyVals)
 		for i, st := range g.states {
-			row[x.nGroup+i] = st.result()
+			rowBuf[x.nGroup+i] = st.result()
 		}
-		if err := out.Append(row); err != nil {
+		if err := app.appendRow(rowBuf); err != nil {
 			return true, err
 		}
 	}
-	return rowsSeen, nil
+	return rowsSeen, app.flush()
 }
 
 // spillAndMerge handles streaming overflow: accumulated groups are
 // dumped as partial tuples (in first-seen order, keeping output
 // deterministic), the rest of the input is converted row-by-row to the
 // same partial form, and the combined store is merge-aggregated.
-func (x *aggExec) spillAndMerge(child batchIter, groupC, argC []vecExpr, dumped []*aggGroup, curSel []int, groupCols, argCols []colVec, out *RowStore) error {
-	partials := newRowStore(x.ctx.env)
+func (x *aggExec) spillAndMerge(child batchIter, groupC, argC []vecExpr, dumped []*aggGroup, curSel []int, groupCols, argCols []colVec, out tableStore) error {
+	partials := x.ctx.env.newStore()
 	fail := func(err error) error {
 		partials.Release()
 		return err
@@ -580,9 +666,60 @@ type mergeGroup struct {
 	accs    []mergeAcc
 }
 
+// mergeAlloc slab-allocates merge-phase state — mergeGroup structs, acc
+// slices, and the concrete accumulators — mirroring aggAlloc for the
+// spill merge and for phase 2 of the parallel aggregation. Not safe for
+// concurrent use.
+type mergeAlloc struct {
+	aggs        []aggCall
+	groupChunk  []mergeGroup
+	accChunk    []mergeAcc
+	scalarChunk []scalarMergeAcc
+	avgChunk    []avgMergeAcc
+	sumChunk    []sumAgg
+	mmChunk     []minMaxAgg
+	valChunk    []Value
+}
+
+func newMergeAlloc(aggs []aggCall) *mergeAlloc { return &mergeAlloc{aggs: aggs} }
+
+// row carves an n-Value slice from the arena.
+func (a *mergeAlloc) row(n int) Row { return slabCarve(&a.valChunk, n) }
+
+func (a *mergeAlloc) acc(name string) (mergeAcc, error) {
+	scalar := func(st aggState) mergeAcc { return slabPut(&a.scalarChunk, scalarMergeAcc{st: st}) }
+	switch name {
+	case "COUNT", "SUM":
+		return scalar(slabPut(&a.sumChunk, sumAgg{})), nil
+	case "TOTAL":
+		return scalar(slabPut(&a.sumChunk, sumAgg{total: true})), nil
+	case "AVG":
+		return slabPut(&a.avgChunk, avgMergeAcc{}), nil
+	case "MIN", "MAX":
+		return scalar(slabPut(&a.mmChunk, minMaxAgg{min: name == "MIN"})), nil
+	}
+	return newMergeAcc(name)
+}
+
+// group builds a fresh merge group. keyVals is referenced, not cloned:
+// callers pass keys that outlive the table (phase-1 group keys or
+// arena-cloned tuples).
+func (a *mergeAlloc) group(keyVals Row) (*mergeGroup, error) {
+	g := slabPut(&a.groupChunk, mergeGroup{keyVals: keyVals})
+	g.accs = slabCarve(&a.accChunk, len(a.aggs))
+	for j, call := range a.aggs {
+		acc, err := a.acc(call.Name)
+		if err != nil {
+			return nil, err
+		}
+		g.accs[j] = acc
+	}
+	return g, nil
+}
+
 // mergeStore merge-aggregates a store of partial tuples; under memory
 // pressure it partitions the store by group-key hash and recurses.
-func (x *aggExec) mergeStore(input *RowStore, depth int, out *RowStore) error {
+func (x *aggExec) mergeStore(input tableStore, depth int, out tableStore) error {
 	budget := x.ctx.env.budget
 	table := newGroupTable[*mergeGroup](x.nGroup)
 	var reserved int64
@@ -592,10 +729,11 @@ func (x *aggExec) mergeStore(input *RowStore, depth int, out *RowStore) error {
 		table = nil
 	}
 
-	it, err := input.Iterator()
+	it, err := input.Cursor()
 	if err != nil {
 		return err
 	}
+	alloc := newMergeAlloc(x.aggs)
 	overflow := false
 	for {
 		tuple, ok, err := it.Next()
@@ -626,14 +764,11 @@ func (x *aggExec) mergeStore(input *RowStore, depth int, out *RowStore) error {
 				budget.reserveForce(need)
 			}
 			reserved += need
-			g = &mergeGroup{keyVals: cloneRow(tuple[:x.nGroup]), accs: make([]mergeAcc, len(x.aggs))}
-			for i, a := range x.aggs {
-				acc, err := newMergeAcc(a.Name)
-				if err != nil {
-					releaseAll()
-					return err
-				}
-				g.accs[i] = acc
+			key := alloc.row(x.nGroup)
+			copy(key, tuple[:x.nGroup])
+			if g, err = alloc.group(key); err != nil {
+				releaseAll()
+				return err
 			}
 			if isInt {
 				table.ints[ik] = g
@@ -663,23 +798,24 @@ func (x *aggExec) mergeStore(input *RowStore, depth int, out *RowStore) error {
 	}
 	defer releaseAll()
 
+	app := newBatchAppender(out, x.nGroup+len(x.aggs))
+	rowBuf := make(Row, x.nGroup+len(x.aggs))
 	for _, g := range table.order {
-		row := make(Row, x.nGroup+len(x.aggs))
-		copy(row, g.keyVals)
+		copy(rowBuf, g.keyVals)
 		for i, acc := range g.accs {
-			row[x.nGroup+i] = acc.result()
+			rowBuf[x.nGroup+i] = acc.result()
 		}
-		if err := out.Append(row); err != nil {
+		if err := app.appendRow(rowBuf); err != nil {
 			return err
 		}
 	}
-	return nil
+	return app.flush()
 }
 
 // aggregateStore hash-aggregates one store of raw tuples (the legacy
 // DISTINCT-capable path); under memory pressure it splits the store into
 // partitions by group-key hash and recurses.
-func (x *aggExec) aggregateStore(input *RowStore, depth int, out *RowStore) error {
+func (x *aggExec) aggregateStore(input tableStore, depth int, out tableStore) error {
 	budget := x.ctx.env.budget
 	table := newGroupTable[*aggGroup](x.nGroup)
 	var reserved int64
@@ -689,10 +825,11 @@ func (x *aggExec) aggregateStore(input *RowStore, depth int, out *RowStore) erro
 		table = nil
 	}
 
-	it, err := input.Iterator()
+	it, err := input.Cursor()
 	if err != nil {
 		return err
 	}
+	alloc := newAggAlloc(x.aggs)
 	overflow := false
 	for {
 		tuple, ok, err := it.Next()
@@ -725,14 +862,9 @@ func (x *aggExec) aggregateStore(input *RowStore, depth int, out *RowStore) erro
 				budget.reserveForce(need)
 			}
 			reserved += need
-			g = &aggGroup{keyVals: cloneRow(tuple[:x.nGroup]), states: make([]aggState, len(x.aggs))}
-			for i, a := range x.aggs {
-				st, err := newAggState(a.Name, a.Distinct)
-				if err != nil {
-					releaseAll()
-					return err
-				}
-				g.states[i] = st
+			if g, err = alloc.group(tuple[:x.nGroup]); err != nil {
+				releaseAll()
+				return err
 			}
 			if isInt {
 				table.ints[ik] = g
@@ -762,17 +894,18 @@ func (x *aggExec) aggregateStore(input *RowStore, depth int, out *RowStore) erro
 	}
 	defer releaseAll()
 
+	app := newBatchAppender(out, x.nGroup+len(x.aggs))
+	rowBuf := make(Row, x.nGroup+len(x.aggs))
 	for _, g := range table.order {
-		row := make(Row, x.nGroup+len(x.aggs))
-		copy(row, g.keyVals)
+		copy(rowBuf, g.keyVals)
 		for i, st := range g.states {
-			row[x.nGroup+i] = st.result()
+			rowBuf[x.nGroup+i] = st.result()
 		}
-		if err := out.Append(row); err != nil {
+		if err := app.appendRow(rowBuf); err != nil {
 			return err
 		}
 	}
-	return nil
+	return app.flush()
 }
 
 // partitionIndex buckets a tuple by its group key, using the integer
@@ -789,13 +922,13 @@ func (x *aggExec) partitionIndex(tuple Row, depth, fanout int) int {
 
 // partitionStore splits a tuple store into fanout hash partitions and
 // applies recurse to each non-empty one at depth+1.
-func (x *aggExec) partitionStore(input *RowStore, depth int, out *RowStore, recurse func(*RowStore, int, *RowStore) error) error {
+func (x *aggExec) partitionStore(input tableStore, depth int, out tableStore, recurse func(tableStore, int, tableStore) error) error {
 	fanout := defaultFanout
-	parts := make([]*RowStore, fanout)
+	parts := make([]tableStore, fanout)
 	for i := range parts {
-		parts[i] = newRowStore(x.ctx.env)
+		parts[i] = x.ctx.env.newStore()
 	}
-	it, err := input.Iterator()
+	it, err := input.Cursor()
 	if err != nil {
 		releaseStores(parts)
 		return err

@@ -123,9 +123,44 @@ type batchIter interface {
 	Close()
 }
 
+// batchAppender accumulates rows into a reusable column-major scratch
+// batch and flushes it to a table store in batchSize chunks, so
+// blocking operators that produce output row-at-a-time (hash
+// aggregation emit loops) still cross the materialize boundary as
+// column vectors with no per-row allocation. Callers may reuse the same
+// Row buffer across appendRow calls: values are copied immediately.
+type batchAppender struct {
+	store tableStore
+	buf   *rowBatch
+}
+
+func newBatchAppender(store tableStore, width int) *batchAppender {
+	return &batchAppender{store: store, buf: newRowBatch(width)}
+}
+
+func (a *batchAppender) appendRow(r Row) error {
+	a.buf.appendRow(r)
+	if a.buf.full() {
+		return a.flush()
+	}
+	return nil
+}
+
+// flush pushes buffered rows to the store; call once more at the end.
+func (a *batchAppender) flush() error {
+	if a.buf.n == 0 {
+		return nil
+	}
+	err := a.store.AppendBatch(a.buf)
+	a.buf.reset()
+	return err
+}
+
 // rowAdapter adapts a row-at-a-time iterator to the batch contract. It
-// is the compatibility shim that lets any remaining (or future)
-// row-oriented operator compose with the batched tree.
+// is the engine's one remaining row-oriented internal adapter, kept for
+// the external sort's output (sorted buffers and run merges produce
+// rows; see sort.go) — every other operator boundary exchanges batches
+// or appends them straight into column vectors.
 type rowAdapter struct {
 	src   rowIter
 	buf   *rowBatch

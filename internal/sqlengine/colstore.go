@@ -1,0 +1,929 @@
+package sqlengine
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// ColStore is the native columnar table store: each column is a typed
+// vector (int64 / float64 / string / bool) with a null bitmap, falling
+// back to a generic []Value vector for columns that mix types (the
+// engine is dynamically typed). CREATE TABLE AS and INSERT … SELECT
+// append batch-at-a-time straight into the column vectors — no per-row
+// Row materialization and one budget reservation per batch — and scans,
+// including the fixed-size morsel claims of the parallel executor, are
+// column-slice ranges: generic columns are exposed to rowBatch views
+// zero-copy, typed columns through tight per-kind decode loops into
+// per-scanner scratch vectors.
+//
+// Spilling writes column runs: when a reservation overflows the budget
+// the buffered columns are flushed to the spill file as one columnar
+// chunk (per-column kind tag, null bitmap, packed data) and subsequent
+// appends accumulate into bounded pending chunks, so out-of-core stores
+// keep the columnar format end-to-end. Values round-trip exactly —
+// types, int64 values, and float64 bit patterns — which keeps simulated
+// amplitudes bitwise identical to the row layout.
+type ColStore struct {
+	env   *storageEnv
+	width int // -1 until the first append fixes the column count
+	cols  []column
+	// rows is the in-memory buffered row count (the pending chunk once
+	// the store has spilled).
+	rows     int
+	memBytes int64
+
+	file     *os.File
+	w        *bufio.Writer
+	fileRows int64
+	frozen   bool
+	// spillErr is sticky: once a chunk write fails partway the on-disk
+	// stream is unusable, so every later append, freeze, and scan must
+	// fail rather than write or decode past the partial chunk.
+	spillErr error
+}
+
+func newColStore(env *storageEnv) *ColStore { return &ColStore{env: env, width: -1} }
+
+// colKind identifies the physical representation of one column vector.
+type colKind uint8
+
+const (
+	colUnset   colKind = iota // only NULLs seen so far; nulls bitmap only
+	colInt                    // []int64 (INTEGER)
+	colFloat                  // []float64 (REAL)
+	colStr                    // []string (TEXT)
+	colBool                   // []bool (BOOLEAN)
+	colGeneric                // []Value fallback for mixed-type columns
+)
+
+func (k colKind) String() string {
+	switch k {
+	case colUnset:
+		return "null"
+	case colInt:
+		return "int64"
+	case colFloat:
+		return "float64"
+	case colStr:
+		return "string"
+	case colBool:
+		return "bool"
+	case colGeneric:
+		return "values"
+	}
+	return fmt.Sprintf("colKind(%d)", uint8(k))
+}
+
+// column is one typed column vector. Exactly one data slice is active,
+// selected by kind; nulls is the null bitmap (bit i set = row i NULL),
+// nil while the column has no NULLs, and unused for colGeneric.
+type column struct {
+	kind   colKind
+	nulls  []uint64
+	ints   []int64
+	floats []float64
+	strs   []string
+	bools  []bool
+	vals   colVec
+}
+
+func (c *column) setNull(row int) {
+	need := row>>6 + 1
+	for len(c.nulls) < need {
+		c.nulls = append(c.nulls, 0)
+	}
+	c.nulls[row>>6] |= 1 << (uint(row) & 63)
+}
+
+func (c *column) isNull(row int) bool {
+	w := row >> 6
+	return w < len(c.nulls) && c.nulls[w]&(1<<(uint(row)&63)) != 0
+}
+
+// valueAt reconstructs the Value stored at row i (exact round-trip).
+func (c *column) valueAt(i int) Value {
+	switch c.kind {
+	case colGeneric:
+		return c.vals[i]
+	case colUnset:
+		return Null
+	}
+	if c.isNull(i) {
+		return Null
+	}
+	switch c.kind {
+	case colInt:
+		return Value{T: TypeInt, I: c.ints[i]}
+	case colFloat:
+		return Value{T: TypeFloat, F: c.floats[i]}
+	case colStr:
+		return Value{T: TypeText, S: c.strs[i]}
+	case colBool:
+		if c.bools[i] {
+			return Value{T: TypeBool, I: 1}
+		}
+		return Value{T: TypeBool}
+	}
+	return Null
+}
+
+// setKind fixes an unset column's kind at row (the current length),
+// backfilling the rows seen so far — all NULL by definition — with
+// zero slots.
+func (c *column) setKind(t Type, row int) {
+	switch t {
+	case TypeInt:
+		c.kind, c.ints = colInt, make([]int64, row, max(2*row, batchSize))
+	case TypeFloat:
+		c.kind, c.floats = colFloat, make([]float64, row, max(2*row, batchSize))
+	case TypeText:
+		c.kind, c.strs = colStr, make([]string, row, max(2*row, batchSize))
+	case TypeBool:
+		c.kind, c.bools = colBool, make([]bool, row, max(2*row, batchSize))
+	}
+}
+
+// degrade converts a typed column of length row to the generic layout
+// after a type mismatch. Rare: it only happens for genuinely mixed-type
+// columns.
+func (c *column) degrade(row int) {
+	vals := make(colVec, row, max(2*row, batchSize))
+	for i := 0; i < row; i++ {
+		vals[i] = c.valueAt(i)
+	}
+	*c = column{kind: colGeneric, vals: vals}
+}
+
+// appendValue appends v at row (the current column length).
+func (c *column) appendValue(v Value, row int) {
+	for {
+		switch c.kind {
+		case colGeneric:
+			c.vals = append(c.vals, v)
+			return
+		case colUnset:
+			if v.T == TypeNull {
+				c.setNull(row)
+				return
+			}
+			c.setKind(v.T, row)
+			continue
+		case colInt:
+			switch v.T {
+			case TypeInt:
+				c.ints = append(c.ints, v.I)
+			case TypeNull:
+				c.ints = append(c.ints, 0)
+				c.setNull(row)
+			default:
+				c.degrade(row)
+				continue
+			}
+			return
+		case colFloat:
+			switch v.T {
+			case TypeFloat:
+				c.floats = append(c.floats, v.F)
+			case TypeNull:
+				c.floats = append(c.floats, 0)
+				c.setNull(row)
+			default:
+				c.degrade(row)
+				continue
+			}
+			return
+		case colStr:
+			switch v.T {
+			case TypeText:
+				c.strs = append(c.strs, v.S)
+			case TypeNull:
+				c.strs = append(c.strs, "")
+				c.setNull(row)
+			default:
+				c.degrade(row)
+				continue
+			}
+			return
+		case colBool:
+			switch v.T {
+			case TypeBool:
+				c.bools = append(c.bools, v.I != 0)
+			case TypeNull:
+				c.bools = append(c.bools, false)
+				c.setNull(row)
+			default:
+				c.degrade(row)
+				continue
+			}
+			return
+		}
+	}
+}
+
+// appendCol appends the selected values of one batch column starting at
+// row. sel == nil means the dense prefix [0, n).
+func (c *column) appendCol(src colVec, sel []int, n, row int) {
+	if sel == nil {
+		for _, v := range src[:n] {
+			c.appendValue(v, row)
+			row++
+		}
+		return
+	}
+	for _, p := range sel {
+		c.appendValue(src[p], row)
+		row++
+	}
+}
+
+// decodeRange materializes rows [lo, hi) as a column slice for a batch
+// view. Generic columns return the stored vector zero-copy; typed
+// columns decode into scratch (grown as needed). Returns the view and
+// the (possibly grown) scratch for reuse.
+func (c *column) decodeRange(lo, hi int, scratch colVec) (colVec, colVec) {
+	if c.kind == colGeneric {
+		return c.vals[lo:hi], scratch
+	}
+	n := hi - lo
+	if cap(scratch) < n {
+		scratch = make(colVec, n, max(n, batchSize))
+	}
+	out := scratch[:n]
+	switch c.kind {
+	case colUnset:
+		for j := range out {
+			out[j] = Null
+		}
+	case colInt:
+		if c.nulls == nil {
+			for j, x := range c.ints[lo:hi] {
+				out[j] = Value{T: TypeInt, I: x}
+			}
+		} else {
+			for j := 0; j < n; j++ {
+				if c.isNull(lo + j) {
+					out[j] = Null
+				} else {
+					out[j] = Value{T: TypeInt, I: c.ints[lo+j]}
+				}
+			}
+		}
+	case colFloat:
+		if c.nulls == nil {
+			for j, x := range c.floats[lo:hi] {
+				out[j] = Value{T: TypeFloat, F: x}
+			}
+		} else {
+			for j := 0; j < n; j++ {
+				if c.isNull(lo + j) {
+					out[j] = Null
+				} else {
+					out[j] = Value{T: TypeFloat, F: c.floats[lo+j]}
+				}
+			}
+		}
+	case colStr:
+		for j := 0; j < n; j++ {
+			if c.isNull(lo + j) {
+				out[j] = Null
+			} else {
+				out[j] = Value{T: TypeText, S: c.strs[lo+j]}
+			}
+		}
+	case colBool:
+		for j := 0; j < n; j++ {
+			switch {
+			case c.isNull(lo + j):
+				out[j] = Null
+			case c.bools[lo+j]:
+				out[j] = Value{T: TypeBool, I: 1}
+			default:
+				out[j] = Value{T: TypeBool}
+			}
+		}
+	}
+	return out, scratch
+}
+
+// reset clears the column for the next spill chunk, keeping the kind
+// (columns rarely change type mid-stream) and slice capacity.
+func (c *column) reset() {
+	c.nulls = c.nulls[:0]
+	c.ints = c.ints[:0]
+	c.floats = c.floats[:0]
+	c.strs = c.strs[:0]
+	c.bools = c.bools[:0]
+	c.vals = c.vals[:0]
+}
+
+// colValueBytes estimates the columnar in-memory footprint of one value:
+// the typed slot plus the amortized null-bitmap bit.
+func colValueBytes(v Value) int64 {
+	switch v.T {
+	case TypeInt, TypeFloat:
+		return 9
+	case TypeText:
+		return 17 + int64(len(v.S))
+	case TypeBool:
+		return 2
+	}
+	return 1 // NULL
+}
+
+func (cs *ColStore) ensureWidth(w int) error {
+	if cs.width < 0 {
+		cs.width = w
+		cs.cols = make([]column, w)
+		return nil
+	}
+	if cs.width != w {
+		return fmt.Errorf("sqlengine: internal: appending %d columns to a %d-column store", w, cs.width)
+	}
+	return nil
+}
+
+// chunkThreshold bounds how many pending bytes a spilled store buffers
+// before flushing the next columnar chunk. Tied to the working floor so
+// the transient over-reservation matches the blocking operators' soft
+// cap; 256 KiB with an unlimited budget.
+func (cs *ColStore) chunkThreshold() int64 {
+	if t := cs.env.workingFloor; t > 0 {
+		return t
+	}
+	return 256 << 10
+}
+
+// reserve accounts need bytes for an append. Before the first overflow
+// it reserves against the budget; on overflow it flushes the buffer as
+// the first spill chunk and from then on pending-chunk bytes are
+// force-reserved (bounded by chunkThreshold via maybeFlushChunk).
+func (cs *ColStore) reserve(need int64) error {
+	if cs.file == nil {
+		if cs.env.budget.tryReserve(need) {
+			return nil
+		}
+		if !cs.env.spillEnabled {
+			return errBudget
+		}
+		if err := cs.startSpill(); err != nil {
+			return err
+		}
+	}
+	cs.env.budget.reserveForce(need)
+	return nil
+}
+
+func (cs *ColStore) startSpill() error {
+	f, err := os.CreateTemp(cs.env.spillDir, "qymera-spill-*.cols")
+	if err != nil {
+		return fmt.Errorf("sqlengine: creating spill file: %w", err)
+	}
+	cs.file = f
+	cs.w = bufio.NewWriterSize(f, 1<<16)
+	cs.env.spillFiles.Add(1)
+	return cs.flushChunk()
+}
+
+func (cs *ColStore) maybeFlushChunk() error {
+	if cs.file != nil && cs.memBytes >= cs.chunkThreshold() {
+		return cs.flushChunk()
+	}
+	return nil
+}
+
+// flushChunk writes the buffered columns to the spill file as one
+// columnar chunk and releases their reservation.
+func (cs *ColStore) flushChunk() error {
+	if cs.spillErr != nil {
+		return cs.spillErr
+	}
+	if cs.rows == 0 {
+		return nil
+	}
+	n, err := writeChunk(cs.w, cs.cols, cs.rows)
+	if err != nil {
+		cs.spillErr = fmt.Errorf("sqlengine: writing spill chunk: %w", err)
+		return cs.spillErr
+	}
+	cs.fileRows += int64(cs.rows)
+	cs.env.spilledRows.Add(int64(cs.rows))
+	cs.env.spilledBytes.Add(int64(n))
+	cs.env.budget.release(cs.memBytes)
+	cs.memBytes = 0
+	cs.rows = 0
+	for i := range cs.cols {
+		cs.cols[i].reset()
+	}
+	return nil
+}
+
+// Append adds one row. The store takes ownership of the slice's values.
+func (cs *ColStore) Append(row Row) error {
+	if cs.frozen {
+		return fmt.Errorf("sqlengine: internal: append to frozen column store")
+	}
+	if cs.spillErr != nil {
+		return cs.spillErr
+	}
+	if err := cs.ensureWidth(len(row)); err != nil {
+		return err
+	}
+	var need int64
+	for _, v := range row {
+		need += colValueBytes(v)
+	}
+	if err := cs.reserve(need); err != nil {
+		return err
+	}
+	for i := range cs.cols {
+		cs.cols[i].appendValue(row[i], cs.rows)
+	}
+	cs.rows++
+	cs.memBytes += need
+	return cs.maybeFlushChunk()
+}
+
+// AppendBatch appends every selected row of a batch column-at-a-time:
+// one budget reservation and per-column vector appends, no per-row Row
+// materialization.
+func (cs *ColStore) AppendBatch(b *rowBatch) error {
+	if cs.frozen {
+		return fmt.Errorf("sqlengine: internal: append to frozen column store")
+	}
+	if cs.spillErr != nil {
+		return cs.spillErr
+	}
+	if err := cs.ensureWidth(b.width()); err != nil {
+		return err
+	}
+	n := b.rows()
+	if n == 0 {
+		return nil
+	}
+	var need int64
+	for i := range b.cols {
+		col := b.cols[i]
+		if b.sel == nil {
+			for _, v := range col[:b.n] {
+				need += colValueBytes(v)
+			}
+		} else {
+			for _, p := range b.sel {
+				need += colValueBytes(col[p])
+			}
+		}
+	}
+	if err := cs.reserve(need); err != nil {
+		return err
+	}
+	for i := range cs.cols {
+		cs.cols[i].appendCol(b.cols[i], b.sel, b.n, cs.rows)
+	}
+	cs.rows += n
+	cs.memBytes += need
+	return cs.maybeFlushChunk()
+}
+
+// Len returns the total number of rows.
+func (cs *ColStore) Len() int64 { return cs.fileRows + int64(cs.rows) }
+
+// Spilled reports whether any rows live on disk.
+func (cs *ColStore) Spilled() bool { return cs.fileRows > 0 }
+
+// Freeze transitions the store from writing to reading. A spilled store
+// flushes its pending chunk, so after Freeze all rows of a spilled
+// store are on disk. Idempotent; the store is marked frozen only after
+// a successful flush (a failed flush poisons the store via spillErr
+// instead of leaving a silently truncated stream).
+func (cs *ColStore) Freeze() error {
+	if cs.frozen {
+		return nil
+	}
+	if cs.w != nil {
+		if err := cs.flushChunk(); err != nil {
+			return err
+		}
+		if err := cs.w.Flush(); err != nil {
+			cs.spillErr = fmt.Errorf("sqlengine: flushing spill file: %w", err)
+			return cs.spillErr
+		}
+	}
+	cs.frozen = true
+	return nil
+}
+
+// Thaw reopens a frozen store for appending. Callers must serialize
+// writes (the database write lock does); scans opened before thawing
+// keep their snapshot of the on-disk prefix via independent section
+// readers.
+func (cs *ColStore) Thaw() { cs.frozen = false }
+
+// Release frees memory reservations and deletes any spill file. The
+// store must not be used afterwards.
+func (cs *ColStore) Release() {
+	cs.env.budget.release(cs.memBytes)
+	cs.memBytes = 0
+	cs.rows = 0
+	cs.cols = nil
+	if cs.file != nil {
+		name := cs.file.Name()
+		cs.file.Close()
+		os.Remove(name)
+		cs.file = nil
+		cs.w = nil
+	}
+}
+
+func (cs *ColStore) layout() string { return LayoutColumnar }
+
+// vectorKinds reports the per-column vector type for EXPLAIN.
+func (cs *ColStore) vectorKinds() []string {
+	if cs.width <= 0 {
+		return nil
+	}
+	out := make([]string, cs.width)
+	for i := range cs.cols {
+		out[i] = cs.cols[i].kind.String()
+	}
+	return out
+}
+
+// morselCount splits a fully in-memory frozen store into fixed-size
+// morsels; a spilled store reports 0 (its chunks are a sequential
+// stream that cannot be range-partitioned).
+func (cs *ColStore) morselCount() int {
+	if cs.Spilled() {
+		return 0
+	}
+	return (cs.rows + morselRows - 1) / morselRows
+}
+
+func (cs *ColStore) morselScanner() (morselScanner, error) {
+	if err := cs.Freeze(); err != nil {
+		return nil, err
+	}
+	return &colMorselScan{cs: cs, scratch: make([]colVec, len(cs.cols)), buf: &rowBatch{cols: make([]colVec, len(cs.cols))}}, nil
+}
+
+// colMorselScan serves one morsel at a time as column-slice batches.
+type colMorselScan struct {
+	cs       *ColStore
+	pos, end int
+	buf      *rowBatch
+	scratch  []colVec
+}
+
+func (s *colMorselScan) setMorsel(i int) {
+	s.pos = i * morselRows
+	s.end = min(s.pos+morselRows, s.cs.rows)
+}
+
+func (s *colMorselScan) NextBatch() (*rowBatch, error) {
+	if s.pos >= s.end {
+		return nil, nil
+	}
+	hi := min(s.pos+batchSize, s.end)
+	serveColumns(s.cs.cols, s.pos, hi, s.buf, s.scratch)
+	s.pos = hi
+	return s.buf, nil
+}
+
+// serveColumns exposes rows [lo, hi) of a column set as a batch view.
+func serveColumns(cols []column, lo, hi int, buf *rowBatch, scratch []colVec) {
+	for i := range cols {
+		buf.cols[i], scratch[i] = cols[i].decodeRange(lo, hi, scratch[i])
+	}
+	buf.n = hi - lo
+	buf.sel = nil
+}
+
+// batchScan returns a batch reader over all rows: spilled chunks first
+// (decoded chunk by chunk), then the in-memory tail.
+func (cs *ColStore) batchScan() (storeScan, error) {
+	if err := cs.Freeze(); err != nil {
+		return nil, err
+	}
+	if cs.spillErr != nil {
+		return nil, cs.spillErr
+	}
+	sc := &colScan{cs: cs}
+	if cs.file != nil && cs.fileRows > 0 {
+		info, err := cs.file.Stat()
+		if err != nil {
+			return nil, err
+		}
+		sc.r = bufio.NewReaderSize(io.NewSectionReader(cs.file, 0, info.Size()), 1<<16)
+		sc.fileLeft = cs.fileRows
+	}
+	return sc, nil
+}
+
+// colScan reads a frozen ColStore batch-at-a-time.
+type colScan struct {
+	cs       *ColStore
+	r        *bufio.Reader
+	fileLeft int64
+	chunk    []column
+	chunkLen int
+	chunkPos int
+	memPos   int
+	buf      *rowBatch
+	scratch  []colVec
+}
+
+func (s *colScan) NextBatch() (*rowBatch, error) {
+	if s.buf == nil {
+		s.buf = &rowBatch{cols: make([]colVec, len(s.cs.cols))}
+		s.scratch = make([]colVec, len(s.cs.cols))
+	}
+	for {
+		if s.chunkPos < s.chunkLen {
+			hi := min(s.chunkPos+batchSize, s.chunkLen)
+			serveColumns(s.chunk, s.chunkPos, hi, s.buf, s.scratch)
+			s.chunkPos = hi
+			return s.buf, nil
+		}
+		if s.fileLeft > 0 {
+			if s.chunk == nil {
+				s.chunk = make([]column, s.cs.width)
+			}
+			n, err := readChunk(s.r, s.chunk)
+			if err != nil {
+				return nil, fmt.Errorf("sqlengine: reading spill file: %w", err)
+			}
+			s.chunkLen, s.chunkPos = n, 0
+			s.fileLeft -= int64(n)
+			continue
+		}
+		if s.memPos < s.cs.rows {
+			hi := min(s.memPos+batchSize, s.cs.rows)
+			serveColumns(s.cs.cols, s.memPos, hi, s.buf, s.scratch)
+			s.memPos = hi
+			return s.buf, nil
+		}
+		return nil, nil
+	}
+}
+
+// Cursor returns the row-at-a-time gather adapter over the columnar
+// data: each Next gathers one fresh Row from the current batch view.
+// This is the engine's single row edge for columnar stores (ResultSet,
+// driver, sort-run merging, grace-partition iteration).
+func (cs *ColStore) Cursor() (rowCursor, error) {
+	sc, err := cs.batchScan()
+	if err != nil {
+		return nil, err
+	}
+	return &colCursor{scan: sc, width: max(cs.width, 0)}, nil
+}
+
+type colCursor struct {
+	scan  storeScan
+	width int
+	b     *rowBatch
+	pos   int
+}
+
+func (c *colCursor) Next() (Row, bool, error) {
+	for c.b == nil || c.pos >= c.b.n {
+		b, err := c.scan.NextBatch()
+		if err != nil {
+			return nil, false, err
+		}
+		if b == nil {
+			return nil, false, nil
+		}
+		c.b, c.pos = b, 0
+	}
+	row := make(Row, c.width)
+	for i := range row {
+		row[i] = c.b.cols[i][c.pos]
+	}
+	c.pos++
+	return row, true, nil
+}
+
+// Columnar chunk encoding for spill files. Each chunk is
+//
+//	uvarint rows
+//	per column: kind byte, then
+//	  typed kinds: hasNulls byte (+ null bitmap), packed data
+//	  generic: per-row tagged values (the row codec's value encoding)
+//
+// Integers and floats are packed as raw 8-byte little-endian words so
+// float64 bit patterns round-trip exactly.
+
+func writeChunk(w *bufio.Writer, cols []column, rows int) (int, error) {
+	var scratch [binary.MaxVarintLen64]byte
+	total := 0
+	n := binary.PutUvarint(scratch[:], uint64(rows))
+	if _, err := w.Write(scratch[:n]); err != nil {
+		return total, err
+	}
+	total += n
+	for i := range cols {
+		cn, err := writeColumnRun(w, &cols[i], rows)
+		total += cn
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+func writeColumnRun(w *bufio.Writer, c *column, rows int) (int, error) {
+	total := 0
+	if err := w.WriteByte(byte(c.kind)); err != nil {
+		return total, err
+	}
+	total++
+	if c.kind == colGeneric {
+		for i := 0; i < rows; i++ {
+			n, err := encodeValue(w, c.vals[i])
+			total += n
+			if err != nil {
+				return total, err
+			}
+		}
+		return total, nil
+	}
+	// Null bitmap.
+	hasNulls := byte(0)
+	if len(c.nulls) > 0 {
+		hasNulls = 1
+	}
+	if err := w.WriteByte(hasNulls); err != nil {
+		return total, err
+	}
+	total++
+	if hasNulls == 1 {
+		n, err := writeBitmap(w, rows, c.isNull)
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	var buf [8]byte
+	switch c.kind {
+	case colUnset:
+	case colInt:
+		for _, x := range c.ints[:rows] {
+			binary.LittleEndian.PutUint64(buf[:], uint64(x))
+			if _, err := w.Write(buf[:]); err != nil {
+				return total, err
+			}
+			total += 8
+		}
+	case colFloat:
+		for _, f := range c.floats[:rows] {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(f))
+			if _, err := w.Write(buf[:]); err != nil {
+				return total, err
+			}
+			total += 8
+		}
+	case colStr:
+		var scratch [binary.MaxVarintLen64]byte
+		for _, s := range c.strs[:rows] {
+			n := binary.PutUvarint(scratch[:], uint64(len(s)))
+			if _, err := w.Write(scratch[:n]); err != nil {
+				return total, err
+			}
+			total += n
+			if _, err := w.WriteString(s); err != nil {
+				return total, err
+			}
+			total += len(s)
+		}
+	case colBool:
+		n, err := writeBitmap(w, rows, func(i int) bool { return c.bools[i] })
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+func writeBitmap(w *bufio.Writer, rows int, bit func(int) bool) (int, error) {
+	total := 0
+	for i := 0; i < rows; i += 8 {
+		var b byte
+		for j := 0; j < 8 && i+j < rows; j++ {
+			if bit(i + j) {
+				b |= 1 << uint(j)
+			}
+		}
+		if err := w.WriteByte(b); err != nil {
+			return total, err
+		}
+		total++
+	}
+	return total, nil
+}
+
+func readBitmap(r *bufio.Reader, rows int, set func(int)) error {
+	for i := 0; i < rows; i += 8 {
+		b, err := r.ReadByte()
+		if err != nil {
+			return err
+		}
+		for j := 0; j < 8 && i+j < rows; j++ {
+			if b&(1<<uint(j)) != 0 {
+				set(i + j)
+			}
+		}
+	}
+	return nil
+}
+
+// readChunk decodes the next chunk into cols (reusing their slices) and
+// returns its row count.
+func readChunk(r *bufio.Reader, cols []column) (int, error) {
+	rows64, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, err
+	}
+	rows := int(rows64)
+	for i := range cols {
+		if err := readColumnRun(r, &cols[i], rows); err != nil {
+			return 0, err
+		}
+	}
+	return rows, nil
+}
+
+func readColumnRun(r *bufio.Reader, c *column, rows int) error {
+	kb, err := r.ReadByte()
+	if err != nil {
+		return err
+	}
+	kind := colKind(kb)
+	c.reset()
+	c.kind = kind
+	if kind == colGeneric {
+		c.vals = c.vals[:0]
+		for i := 0; i < rows; i++ {
+			v, err := decodeValue(r)
+			if err != nil {
+				return err
+			}
+			c.vals = append(c.vals, v)
+		}
+		return nil
+	}
+	if kind > colGeneric {
+		return fmt.Errorf("sqlengine: corrupt spill file: column kind %d", kb)
+	}
+	hasNulls, err := r.ReadByte()
+	if err != nil {
+		return err
+	}
+	c.nulls = c.nulls[:0]
+	if hasNulls == 1 {
+		if err := readBitmap(r, rows, c.setNull); err != nil {
+			return err
+		}
+	}
+	var buf [8]byte
+	switch kind {
+	case colUnset:
+	case colInt:
+		for i := 0; i < rows; i++ {
+			if _, err := io.ReadFull(r, buf[:]); err != nil {
+				return err
+			}
+			c.ints = append(c.ints, int64(binary.LittleEndian.Uint64(buf[:])))
+		}
+	case colFloat:
+		for i := 0; i < rows; i++ {
+			if _, err := io.ReadFull(r, buf[:]); err != nil {
+				return err
+			}
+			c.floats = append(c.floats, math.Float64frombits(binary.LittleEndian.Uint64(buf[:])))
+		}
+	case colStr:
+		for i := 0; i < rows; i++ {
+			ln, err := binary.ReadUvarint(r)
+			if err != nil {
+				return err
+			}
+			sb := make([]byte, ln)
+			if _, err := io.ReadFull(r, sb); err != nil {
+				return err
+			}
+			c.strs = append(c.strs, string(sb))
+		}
+	case colBool:
+		c.bools = append(c.bools, make([]bool, rows)...)
+		bools := c.bools[len(c.bools)-rows:]
+		if err := readBitmap(r, rows, func(i int) { bools[i] = true }); err != nil {
+			return err
+		}
+	}
+	return nil
+}

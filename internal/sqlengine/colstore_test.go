@@ -1,0 +1,338 @@
+package sqlengine
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestColStoreInMemoryRoundTrip(t *testing.T) {
+	env := testEnv(t, 0)
+	cs := newColStore(env)
+	for i := 0; i < 100; i++ {
+		if err := cs.Append(Row{NewInt(int64(i)), NewText(fmt.Sprint(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cs.Len() != 100 || cs.Spilled() {
+		t.Fatalf("len=%d spilled=%v", cs.Len(), cs.Spilled())
+	}
+	if kinds := cs.vectorKinds(); len(kinds) != 2 || kinds[0] != "int64" || kinds[1] != "string" {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	it, err := cs.Cursor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		row, ok, err := it.Next()
+		if err != nil || !ok {
+			t.Fatalf("row %d: ok=%v err=%v", i, ok, err)
+		}
+		if row[0].T != TypeInt || row[0].I != int64(i) || row[1].S != fmt.Sprint(i) {
+			t.Fatalf("row %d = %v", i, row)
+		}
+	}
+	if _, ok, _ := it.Next(); ok {
+		t.Fatal("cursor should be exhausted")
+	}
+	cs.Release()
+	if env.budget.used.Load() != 0 {
+		t.Fatalf("leaked %d bytes", env.budget.used.Load())
+	}
+}
+
+func TestColStoreAppendBatchRoundTrip(t *testing.T) {
+	env := testEnv(t, 0)
+	cs := newColStore(env)
+	// Three batches with a selection vector on the second.
+	for bi := 0; bi < 3; bi++ {
+		b := newRowBatch(2)
+		for k := 0; k < 10; k++ {
+			b.appendRow(Row{NewInt(int64(bi*10 + k)), NewFloat(float64(k) / 2)})
+		}
+		if bi == 1 {
+			b.sel = []int{1, 3, 5}
+		}
+		if err := cs.AppendBatch(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cs.Len() != 23 {
+		t.Fatalf("len = %d", cs.Len())
+	}
+	sc, err := cs.batchScan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []int64
+	for {
+		b, err := sc.NextBatch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b == nil {
+			break
+		}
+		for _, pos := range b.selection() {
+			got = append(got, b.cols[0][pos].I)
+		}
+	}
+	want := []int64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 11, 13, 15, 20, 21, 22, 23, 24, 25, 26, 27, 28, 29}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+	cs.Release()
+}
+
+func TestColStoreSpillRoundTrip(t *testing.T) {
+	env := testEnv(t, 1024) // tiny budget forces columnar chunk spilling
+	cs := newColStore(env)
+	const n = 2000
+	for i := 0; i < n; i++ {
+		row := Row{NewInt(int64(i)), NewFloat(float64(i) / 3), NewText("x"), Null, NewBool(i%2 == 0)}
+		if err := cs.Append(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !cs.Spilled() {
+		t.Fatal("expected spill under 1KB budget")
+	}
+	// Two concurrent cursors must both see everything, with exact types.
+	it1, err := cs.Cursor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	it2, err := cs.Cursor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		r1, ok1, err1 := it1.Next()
+		r2, ok2, err2 := it2.Next()
+		if !ok1 || !ok2 || err1 != nil || err2 != nil {
+			t.Fatalf("row %d: %v %v %v %v", i, ok1, ok2, err1, err2)
+		}
+		if r1[0].I != int64(i) || r2[0].I != int64(i) {
+			t.Fatalf("row %d: %v / %v", i, r1, r2)
+		}
+		if r1[1].F != float64(i)/3 || r1[2].S != "x" {
+			t.Fatalf("row %d values lost in spill: %v", i, r1)
+		}
+		if r1[3].T != TypeNull || r1[4].T != TypeBool || (r1[4].I != 0) != (i%2 == 0) {
+			t.Fatalf("types lost in columnar spill: %v", r1)
+		}
+	}
+	cs.Release()
+	if env.budget.used.Load() != 0 {
+		t.Fatalf("leaked %d bytes", env.budget.used.Load())
+	}
+}
+
+func TestColStoreThawAppends(t *testing.T) {
+	env := testEnv(t, 0)
+	cs := newColStore(env)
+	for i := 0; i < 50; i++ {
+		if err := cs.Append(Row{NewInt(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cs.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	cs.Thaw()
+	for i := 50; i < 80; i++ {
+		if err := cs.Append(Row{NewInt(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	it, err := cs.Cursor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for {
+		_, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		count++
+	}
+	if count != 80 {
+		t.Fatalf("count = %d", count)
+	}
+	cs.Release()
+}
+
+// TestColStoreMixedTypeColumnDegrades drives the generic-vector
+// fallback: a column that mixes types must round-trip every value
+// exactly, in memory and through the spill format.
+func TestColStoreMixedTypeColumnDegrades(t *testing.T) {
+	for _, budget := range []int64{0, 1} { // in-memory and all-spilled
+		env := testEnv(t, budget)
+		cs := newColStore(env)
+		rows := []Row{
+			{NewInt(7)},
+			{NewText("seven")},
+			{Null},
+			{NewFloat(2.5)},
+			{NewBool(true)},
+		}
+		for _, r := range rows {
+			if err := cs.Append(cloneRow(r)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if budget == 0 {
+			if kinds := cs.vectorKinds(); kinds[0] != "values" {
+				t.Fatalf("kinds = %v, want generic fallback", kinds)
+			}
+		}
+		it, err := cs.Cursor()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, want := range rows {
+			got, ok, err := it.Next()
+			if err != nil || !ok {
+				t.Fatalf("row %d: ok=%v err=%v", i, ok, err)
+			}
+			if got[0].T != want[0].T || got[0].String() != want[0].String() {
+				t.Fatalf("row %d = %v, want %v (budget=%d)", i, got[0], want[0], budget)
+			}
+		}
+		cs.Release()
+	}
+}
+
+// TestColStoreMorselScan checks that morsel claims are column-slice
+// ranges covering every row exactly once, in order.
+func TestColStoreMorselScan(t *testing.T) {
+	env := testEnv(t, 0)
+	cs := newColStore(env)
+	const n = morselRows*2 + 123
+	b := newRowBatch(1)
+	for i := 0; i < n; i++ {
+		b.appendRow(Row{NewInt(int64(i))})
+		if b.full() {
+			if err := cs.AppendBatch(b); err != nil {
+				t.Fatal(err)
+			}
+			b.reset()
+		}
+	}
+	if err := cs.AppendBatch(b); err != nil {
+		t.Fatal(err)
+	}
+	if got := cs.morselCount(); got != 3 {
+		t.Fatalf("morselCount = %d", got)
+	}
+	sc, err := cs.morselScanner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := int64(0)
+	for m := 0; m < 3; m++ {
+		sc.setMorsel(m)
+		for {
+			batch, err := sc.NextBatch()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if batch == nil {
+				break
+			}
+			for _, pos := range batch.selection() {
+				if batch.cols[0][pos].I != next {
+					t.Fatalf("morsel %d: got %d want %d", m, batch.cols[0][pos].I, next)
+				}
+				next++
+			}
+		}
+	}
+	if next != n {
+		t.Fatalf("scanned %d rows, want %d", next, n)
+	}
+	cs.Release()
+}
+
+// TestColStorePropertyRoundTrip pushes random values through the
+// all-spilled columnar chunk codec and demands exact round-trips (type
+// tags and float bit patterns included).
+func TestColStorePropertyRoundTrip(t *testing.T) {
+	env := testEnv(t, 1) // everything spills → full chunk encode/decode
+	f := func(i int64, fl float64, s string, b bool, hasNull bool) bool {
+		cs := newColStore(env)
+		defer cs.Release()
+		row := Row{NewInt(i), NewFloat(fl), NewText(s), NewBool(b)}
+		if hasNull {
+			row = append(row, Null)
+		}
+		if err := cs.Append(cloneRow(row)); err != nil {
+			return false
+		}
+		it, err := cs.Cursor()
+		if err != nil {
+			return false
+		}
+		got, ok, err := it.Next()
+		if err != nil || !ok || len(got) != len(row) {
+			return false
+		}
+		for j := range row {
+			if got[j].T != row[j].T {
+				return false
+			}
+			// NaN != NaN: compare rendered bit patterns via String.
+			if got[j].String() != row[j].String() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestColStoreNullRunsPromote covers kind inference across NULL runs: a
+// column that starts with NULLs adopts the first real type and keeps
+// the earlier rows NULL.
+func TestColStoreNullRunsPromote(t *testing.T) {
+	env := testEnv(t, 0)
+	cs := newColStore(env)
+	for i := 0; i < 70; i++ { // span a bitmap word boundary
+		if err := cs.Append(Row{Null}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cs.Append(Row{NewFloat(1.25)}); err != nil {
+		t.Fatal(err)
+	}
+	if kinds := cs.vectorKinds(); kinds[0] != "float64" {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	it, err := cs.Cursor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 70; i++ {
+		row, ok, _ := it.Next()
+		if !ok || row[0].T != TypeNull {
+			t.Fatalf("row %d = %v, want NULL", i, row)
+		}
+	}
+	row, ok, _ := it.Next()
+	if !ok || row[0].T != TypeFloat || row[0].F != 1.25 {
+		t.Fatalf("promoted row = %v", row)
+	}
+	cs.Release()
+}

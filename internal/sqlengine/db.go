@@ -27,13 +27,18 @@ type Config struct {
 	// bitwise independent of the setting: morsel boundaries and merge
 	// order are fixed by the data, not by the scheduling.
 	Parallelism int
+	// Layout selects the table storage format: "columnar" (the default;
+	// typed column vectors with null bitmaps, see colstore.go) or "row"
+	// (the legacy row-major store, kept for differential testing).
+	// Results are bitwise independent of the layout.
+	Layout string
 }
 
 // TableMeta describes one base table.
 type TableMeta struct {
 	Name  string
 	Cols  []ColumnDef
-	store *RowStore
+	store tableStore
 }
 
 // Stats is a snapshot of engine counters, used by the benchmarking
@@ -73,12 +78,21 @@ func Open(cfg Config) (*DB, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	rowLayout := false
+	switch cfg.Layout {
+	case "", LayoutColumnar:
+	case LayoutRow:
+		rowLayout = true
+	default:
+		return nil, fmt.Errorf("sqlengine: unknown storage layout %q (want %q or %q)", cfg.Layout, LayoutColumnar, LayoutRow)
+	}
 	env := &storageEnv{
 		budget:       newMemBudget(cfg.MemoryBudget),
 		spillDir:     cfg.SpillDir,
 		spillEnabled: !cfg.DisableSpill,
 		workingFloor: floor,
 		workers:      workers,
+		rowLayout:    rowLayout,
 	}
 	return &DB{env: env, tables: map[string]*TableMeta{}}, nil
 }
@@ -129,18 +143,20 @@ func (db *DB) Tables() []string {
 }
 
 // ResultSet holds a fully materialized query result. Always Close it:
-// large results may be backed by spill files.
+// large results may be backed by spill files. Row access goes through
+// the store's cursor — the thin gather adapter at the engine's
+// row-oriented edge.
 type ResultSet struct {
 	Columns []string
-	store   *RowStore
-	it      *RowIterator
+	store   tableStore
+	it      rowCursor
 }
 
 // Next returns the next row, or ok=false at the end.
 func (rs *ResultSet) Next() (Row, bool, error) {
 	if rs.it == nil {
 		var err error
-		rs.it, err = rs.store.Iterator()
+		rs.it, err = rs.store.Cursor()
 		if err != nil {
 			return nil, false, err
 		}
@@ -317,7 +333,7 @@ func (db *DB) execCreate(s *CreateTableStmt, params []Value) (int64, error) {
 		}
 		seen[lc] = true
 	}
-	db.tables[key] = &TableMeta{Name: s.Name, Cols: s.Cols, store: newRowStore(db.env)}
+	db.tables[key] = &TableMeta{Name: s.Name, Cols: s.Cols, store: db.env.newStore()}
 	return 0, nil
 }
 
@@ -388,30 +404,7 @@ func (db *DB) execInsert(s *InsertStmt, params []Value) (int64, error) {
 
 	var count int64
 	if s.Select != nil {
-		rs, err := db.runSelect(s.Select, params)
-		if err != nil {
-			return 0, err
-		}
-		defer rs.Close()
-		meta.store.Thaw()
-		for {
-			row, ok, err := rs.Next()
-			if err != nil {
-				return count, err
-			}
-			if !ok {
-				break
-			}
-			out, err := buildRow(row)
-			if err != nil {
-				return count, err
-			}
-			if err := meta.store.Append(out); err != nil {
-				return count, err
-			}
-			count++
-		}
-		return count, nil
+		return db.insertSelect(meta, s.Select, slots, params)
 	}
 
 	ctx := &compileCtx{resolver: planSchema(nil), params: params}
@@ -441,11 +434,68 @@ func (db *DB) execInsert(s *InsertStmt, params []Value) (int64, error) {
 	return count, nil
 }
 
+// insertSelect appends a materialized SELECT result batch-at-a-time:
+// source columns are permuted into table slots (with column affinity
+// applied vectorized) and handed to the store as whole column vectors —
+// no per-row materialization.
+func (db *DB) insertSelect(meta *TableMeta, sel *SelectStmt, slots []int, params []Value) (int64, error) {
+	rs, err := db.runSelect(sel, params)
+	if err != nil {
+		return 0, err
+	}
+	defer rs.Close()
+	if len(rs.Columns) != len(slots) {
+		return 0, fmt.Errorf("sqlengine: INSERT has %d values for %d columns", len(rs.Columns), len(slots))
+	}
+	scan, err := rs.store.batchScan()
+	if err != nil {
+		return 0, err
+	}
+	meta.store.Thaw()
+	out := &rowBatch{cols: make([]colVec, len(meta.Cols))}
+	affBuf := make([]colVec, len(slots))
+	var nullCol colVec
+	var count int64
+	for {
+		b, err := scan.NextBatch()
+		if err != nil {
+			return count, err
+		}
+		if b == nil {
+			return count, nil
+		}
+		n := b.n // store scans are dense (no selection vector)
+		nullCol = growCol(nullCol, n)
+		for k := range nullCol[:n] {
+			nullCol[k] = Null
+		}
+		for j := range out.cols {
+			out.cols[j] = nullCol[:n]
+		}
+		for i, slot := range slots {
+			src := b.cols[i][:n]
+			if t := meta.Cols[slot].Type; t != TypeNull {
+				buf := growCol(affBuf[i], n)
+				for k, v := range src {
+					buf[k] = applyAffinity(v, t)
+				}
+				affBuf[i], src = buf, buf
+			}
+			out.cols[slot] = src
+		}
+		out.n, out.sel = n, nil
+		if err := meta.store.AppendBatch(out); err != nil {
+			return count, err
+		}
+		count += int64(n)
+	}
+}
+
 // rewriteTable filters/transforms every row of a table into a fresh
 // store, swapping on success. Used by DELETE and UPDATE.
 func (db *DB) rewriteTable(meta *TableMeta, transform func(Row) (Row, bool, error)) (int64, error) {
-	newStore := newRowStore(db.env)
-	it, err := meta.store.Iterator()
+	newStore := db.env.newStore()
+	it, err := meta.store.Cursor()
 	if err != nil {
 		newStore.Release()
 		return 0, err

@@ -21,7 +21,9 @@ import (
 // the pooled connections database/sql hands out all see the same tables.
 // Supported DSN parameters: budget (bytes), spilldir (path), nospill
 // (1/true disables out-of-core execution), parallelism (morsel-parallel
-// worker count; 0 derives it from GOMAXPROCS).
+// worker count; 0 derives it from GOMAXPROCS), layout ("columnar" —
+// the default typed column-vector store — or "row" for the legacy
+// row-major store kept for differential testing).
 
 func init() {
 	sql.Register("qymera", &Driver{})
@@ -96,6 +98,7 @@ func parseDSN(dsn string) (Config, error) {
 		}
 		cfg.Parallelism = n
 	}
+	cfg.Layout = q.Get("layout")
 	return cfg, nil
 }
 

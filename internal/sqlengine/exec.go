@@ -65,8 +65,9 @@ type rowIter interface {
 }
 
 // planNode is a physical operator. open returns a vectorized batch
-// iterator; row-oriented surfaces gather batches back into rows at the
-// materialize boundary (RowStore.AppendBatch).
+// iterator; materialize boundaries append batches column-at-a-time into
+// the table store (ColStore.AppendBatch), and only the row-oriented
+// cursor edges (ResultSet, driver) gather rows.
 type planNode interface {
 	schema() planSchema
 	open(ctx *execCtx) (batchIter, error)
@@ -112,11 +113,11 @@ func (it *oneRowBatchIter) NextBatch() (*rowBatch, error) {
 
 func (it *oneRowBatchIter) Close() {}
 
-// storeScanNode scans a RowStore with a fixed schema. The store is owned
-// elsewhere (a base table or a materialized CTE); ownStore marks stores
-// that must be released when the iterator closes.
+// storeScanNode scans a table store with a fixed schema. The store is
+// owned elsewhere (a base table or a materialized CTE); ownStore marks
+// stores that must be released when the iterator closes.
 type storeScanNode struct {
-	store    *RowStore
+	store    tableStore
 	cols     planSchema
 	ownStore bool
 }
@@ -124,44 +125,23 @@ type storeScanNode struct {
 func (n *storeScanNode) schema() planSchema { return n.cols }
 
 func (n *storeScanNode) open(*execCtx) (batchIter, error) {
-	it, err := n.store.Iterator()
+	sc, err := n.store.batchScan()
 	if err != nil {
 		return nil, err
 	}
-	return &storeScanIter{it: it, store: n.store, own: n.ownStore, width: len(n.cols)}, nil
+	return &storeScanIter{scan: sc, store: n.store, own: n.ownStore}, nil
 }
 
-// storeScanIter reads a RowStore in batches of batchSize rows,
-// transposing the stored rows into a reusable column-major batch.
+// storeScanIter adapts a store's batch scan — column slices for the
+// columnar layout, transposed rows for the legacy row layout — to the
+// batchIter contract, releasing owned stores on Close.
 type storeScanIter struct {
-	it    *RowIterator
-	store *RowStore
+	scan  storeScan
+	store tableStore
 	own   bool
-	width int
-	buf   *rowBatch
-	done  bool
 }
 
-func (s *storeScanIter) NextBatch() (*rowBatch, error) {
-	if s.done {
-		return nil, nil
-	}
-	if s.buf == nil {
-		s.buf = newRowBatch(s.width)
-	}
-	s.buf.reset()
-	n, err := s.it.ReadBatch(s.buf, batchSize)
-	if err != nil {
-		return nil, err
-	}
-	if n < batchSize {
-		s.done = true
-	}
-	if s.buf.n == 0 {
-		return nil, nil
-	}
-	return s.buf, nil
-}
+func (s *storeScanIter) NextBatch() (*rowBatch, error) { return s.scan.NextBatch() }
 
 func (s *storeScanIter) Close() {
 	if s.own && s.store != nil {
@@ -172,13 +152,13 @@ func (s *storeScanIter) Close() {
 
 // newOwnedStoreIter wraps a result store in a batch iterator that
 // releases it on Close.
-func newOwnedStoreIter(store *RowStore, width int) (batchIter, error) {
-	it, err := store.Iterator()
+func newOwnedStoreIter(store tableStore) (batchIter, error) {
+	sc, err := store.batchScan()
 	if err != nil {
 		store.Release()
 		return nil, err
 	}
-	return &storeScanIter{it: it, store: store, own: true, width: width}, nil
+	return &storeScanIter{scan: sc, store: store, own: true}, nil
 }
 
 // filterNode drops rows whose predicate is not true. Filtering is a
@@ -408,9 +388,11 @@ func (it *limitIter) NextBatch() (*rowBatch, error) {
 
 func (it *limitIter) Close() { it.child.Close() }
 
-// materialize drains a batch iterator into a fresh RowStore.
-func materialize(env *storageEnv, it batchIter) (*RowStore, error) {
-	store := newRowStore(env)
+// materialize drains a batch iterator into a fresh store in the
+// engine's configured layout. With the columnar layout this is the
+// batch-in, column-vectors-out boundary: no per-row materialization.
+func materialize(env *storageEnv, it batchIter) (tableStore, error) {
+	store := env.newStore()
 	for {
 		b, err := it.NextBatch()
 		if err != nil {

@@ -39,8 +39,28 @@ func (db *DB) Explain(sqlText string, params ...Value) (string, error) {
 	fmt.Fprintf(&b, "output: %s\n", strings.Join(names, ", "))
 	fmt.Fprintf(&b, "executor: vectorized (batch=%d, selection vectors), morsel-parallel (workers=%d, morsel=%d rows)\n",
 		batchSize, ctx.workers, morselRows)
+	fmt.Fprintf(&b, "storage: %s\n", storageDesc(db.env))
 	describePlan(&b, node, 0)
 	return b.String(), nil
+}
+
+// storageDesc renders the engine's table storage layout for the EXPLAIN
+// header.
+func storageDesc(env *storageEnv) string {
+	if env.rowLayout {
+		return "row (legacy []Row layout)"
+	}
+	return "columnar (typed column vectors + null bitmaps, spill=column chunks)"
+}
+
+// scanLayout renders one scanned store's layout — for the columnar
+// store, the vector type of every column.
+func scanLayout(store tableStore) string {
+	kinds := store.vectorKinds()
+	if kinds == nil {
+		return store.layout()
+	}
+	return store.layout() + "[" + strings.Join(kinds, " ") + "]"
 }
 
 func describePlan(b *strings.Builder, node planNode, depth int) {
@@ -53,7 +73,7 @@ func describePlan(b *strings.Builder, node planNode, depth int) {
 		if len(n.cols) > 0 {
 			qual = n.cols[0].table
 		}
-		fmt.Fprintf(b, "%sBatchScan %s (rows=%d, cols=%d, batch=%d)\n", pad, qual, n.store.Len(), len(n.cols), batchSize)
+		fmt.Fprintf(b, "%sBatchScan %s (rows=%d, cols=%d, batch=%d, layout=%s)\n", pad, qual, n.store.Len(), len(n.cols), batchSize, scanLayout(n.store))
 	case *filterNode:
 		fmt.Fprintf(b, "%sBatchFilter %s [selection vector]\n", pad, n.pred.Deparse())
 		describePlan(b, n.child, depth+1)

@@ -114,10 +114,61 @@ func TestExplainBatchOperators(t *testing.T) {
 	}
 	for _, frag := range []string{
 		"executor: vectorized (batch=1024, selection vectors)",
-		"BatchScan t (rows=3, cols=2, batch=1024)",
+		"BatchScan t (rows=3, cols=2, batch=1024, layout=columnar[int64 float64])",
 		"BatchFilter (a > 1) [selection vector]",
 		"BatchProject (a * 2)",
 	} {
+		if !strings.Contains(plan, frag) {
+			t.Fatalf("plan missing %q:\n%s", frag, plan)
+		}
+	}
+}
+
+// TestExplainStorageLayout pins the storage annotations: the header
+// names the configured layout and every base-table scan reports its
+// physical format — for the columnar store, the vector type of each
+// column.
+func TestExplainStorageLayout(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, "CREATE TABLE t (s INTEGER, r REAL, name TEXT, ok BOOLEAN)")
+	mustExec(t, db, "INSERT INTO t VALUES (1, 0.5, 'x', TRUE), (2, 0.25, NULL, FALSE)")
+	plan, err := db.Explain("SELECT s FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{
+		"storage: columnar (typed column vectors + null bitmaps, spill=column chunks)",
+		"layout=columnar[int64 float64 string bool]",
+	} {
+		if !strings.Contains(plan, frag) {
+			t.Fatalf("plan missing %q:\n%s", frag, plan)
+		}
+	}
+
+	// A column that mixes types degrades to the generic vector and says
+	// so.
+	mustExec(t, db, "CREATE TABLE m (v INTEGER)")
+	mustExec(t, db, "INSERT INTO m VALUES (1), ('text')")
+	plan, err = db.Explain("SELECT v FROM m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "layout=columnar[values]") {
+		t.Fatalf("plan missing generic-vector annotation:\n%s", plan)
+	}
+
+	// The legacy row layout is reported as such, with no vector kinds.
+	rowDB, err := Open(Config{Layout: LayoutRow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rowDB.Close()
+	mustExec(t, rowDB, "CREATE TABLE t (s INTEGER)")
+	plan, err = rowDB.Explain("SELECT s FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"storage: row (legacy []Row layout)", "layout=row)"} {
 		if !strings.Contains(plan, frag) {
 			t.Fatalf("plan missing %q:\n%s", frag, plan)
 		}

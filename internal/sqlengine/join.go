@@ -89,7 +89,7 @@ func (n *joinNode) open(ctx *execCtx) (batchIter, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newOwnedStoreIter(out, exec.leftWidth+exec.rightWidth)
+	return newOwnedStoreIter(out)
 }
 
 // openHashJoin builds a hash table from the right input and, when it
@@ -119,7 +119,7 @@ func (j *joinExec) openHashJoin(left, right batchIter, lk, rk []vecExpr) (batchI
 		return nil, err
 	}
 	defer leftStore.Release()
-	out := newRowStore(j.ctx.env)
+	out := j.ctx.env.newStore()
 	if err := j.joinStores(leftStore, rightStore, 0, out); err != nil {
 		out.Release()
 		return nil, err
@@ -128,7 +128,7 @@ func (j *joinExec) openHashJoin(left, right batchIter, lk, rk []vecExpr) (batchI
 		out.Release()
 		return nil, err
 	}
-	return newOwnedStoreIter(out, j.leftWidth+j.rightWidth)
+	return newOwnedStoreIter(out)
 }
 
 // buildRight drains the right input into an in-memory build table of
@@ -136,7 +136,7 @@ func (j *joinExec) openHashJoin(left, right batchIter, lk, rk []vecExpr) (batchI
 // returned budget reservation. On budget overflow all reservations are
 // released and every right row (the ones already tabled plus the rest of
 // the stream) is returned as a keyed store for grace partitioning.
-func (j *joinExec) buildRight(right batchIter, rk []vecExpr) (*buildTable, int64, *RowStore, error) {
+func (j *joinExec) buildRight(right batchIter, rk []vecExpr) (*buildTable, int64, tableStore, error) {
 	budget := j.ctx.env.budget
 	build := newBuildTable(j.nkeys)
 	var reserved int64
@@ -204,8 +204,8 @@ func (j *joinExec) buildRight(right batchIter, rk []vecExpr) (*buildTable, int64
 	// Dump the tabled rows plus the remainder of the stream into a keyed
 	// store; map order is irrelevant because downstream access is always
 	// per-key.
-	store := newRowStore(j.ctx.env)
-	fail := func(err error) (*buildTable, int64, *RowStore, error) {
+	store := j.ctx.env.newStore()
+	fail := func(err error) (*buildTable, int64, tableStore, error) {
 		store.Release()
 		return nil, 0, nil, err
 	}
@@ -593,8 +593,8 @@ type joinExec struct {
 
 // materializeKeyed stores each input row as [key values..., original
 // row...]. Key expressions are evaluated batch-at-a-time.
-func (j *joinExec) materializeKeyed(it batchIter, keys []vecExpr) (*RowStore, error) {
-	store := newRowStore(j.ctx.env)
+func (j *joinExec) materializeKeyed(it batchIter, keys []vecExpr) (tableStore, error) {
+	store := j.ctx.env.newStore()
 	nk := len(keys)
 	keyCols := make([]colVec, nk)
 	for {
@@ -733,7 +733,7 @@ func (t *buildTable) hasValidKey(keyed Row) bool {
 // joinStores joins two keyed stores, appending combined rows to out. It
 // builds a hash table on the right input; on memory pressure it
 // partitions both sides and recurses.
-func (j *joinExec) joinStores(leftStore, rightStore *RowStore, depth int, out *RowStore) error {
+func (j *joinExec) joinStores(leftStore, rightStore tableStore, depth int, out tableStore) error {
 	budget := j.ctx.env.budget
 	build := newBuildTable(j.nkeys)
 	var reserved int64
@@ -743,7 +743,7 @@ func (j *joinExec) joinStores(leftStore, rightStore *RowStore, depth int, out *R
 		build = nil
 	}
 
-	it, err := rightStore.Iterator()
+	it, err := rightStore.Cursor()
 	if err != nil {
 		return err
 	}
@@ -788,7 +788,7 @@ func (j *joinExec) joinStores(leftStore, rightStore *RowStore, depth int, out *R
 	defer releaseAll()
 
 	// Probe with the left input.
-	lit, err := leftStore.Iterator()
+	lit, err := leftStore.Cursor()
 	if err != nil {
 		return err
 	}
@@ -855,7 +855,7 @@ func nullExtend(left Row, rightWidth int) Row {
 
 // partitionAndRecurse splits both keyed stores into fanout partitions by
 // key hash (salted per depth) and joins matching pairs.
-func (j *joinExec) partitionAndRecurse(leftStore, rightStore *RowStore, depth int, out *RowStore) error {
+func (j *joinExec) partitionAndRecurse(leftStore, rightStore tableStore, depth int, out tableStore) error {
 	fanout := defaultFanout
 	lparts, err := j.partition(leftStore, fanout, depth, true)
 	if err != nil {
@@ -891,12 +891,12 @@ func (j *joinExec) partitionIndex(keyed Row, depth, fanout int) int {
 // partition distributes keyed rows by hash. keepNullKeys controls whether
 // rows with NULL keys are kept (needed on the left side of LEFT joins so
 // they can be null-extended) — they land in partition 0.
-func (j *joinExec) partition(store *RowStore, fanout, depth int, keepNullKeys bool) ([]*RowStore, error) {
-	parts := make([]*RowStore, fanout)
+func (j *joinExec) partition(store tableStore, fanout, depth int, keepNullKeys bool) ([]tableStore, error) {
+	parts := make([]tableStore, fanout)
 	for i := range parts {
-		parts[i] = newRowStore(j.ctx.env)
+		parts[i] = j.ctx.env.newStore()
 	}
-	it, err := store.Iterator()
+	it, err := store.Cursor()
 	if err != nil {
 		releaseStores(parts)
 		return nil, err
@@ -942,14 +942,6 @@ func (j *joinExec) partition(store *RowStore, fanout, depth int, keepNullKeys bo
 	return parts, nil
 }
 
-func releaseStores(stores []*RowStore) {
-	for _, s := range stores {
-		if s != nil {
-			s.Release()
-		}
-	}
-}
-
 func hashPartition(key string, depth, fanout int) int {
 	h := fnv.New64a()
 	h.Write([]byte(key))
@@ -978,15 +970,15 @@ func mix64(x uint64, depth int) uint64 {
 
 // nestedLoop joins without equi keys: the right side is materialized and
 // rescanned per left batch row.
-func (j *joinExec) nestedLoop(left, right batchIter) (*RowStore, error) {
+func (j *joinExec) nestedLoop(left, right batchIter) (tableStore, error) {
 	rightStore, err := materialize(j.ctx.env, right)
 	if err != nil {
 		return nil, err
 	}
 	defer rightStore.Release()
 
-	out := newRowStore(j.ctx.env)
-	fail := func(err error) (*RowStore, error) {
+	out := j.ctx.env.newStore()
+	fail := func(err error) (tableStore, error) {
 		out.Release()
 		return nil, err
 	}
@@ -1002,7 +994,7 @@ func (j *joinExec) nestedLoop(left, right batchIter) (*RowStore, error) {
 		for _, pos := range b.selection() {
 			b.gather(pos, leftBuf)
 			matched := false
-			rit, err := rightStore.Iterator()
+			rit, err := rightStore.Cursor()
 			if err != nil {
 				return fail(err)
 			}

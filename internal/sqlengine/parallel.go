@@ -8,8 +8,9 @@ import (
 )
 
 // Morsel-driven parallel execution. A parallel-capable pipeline splits
-// its base scan into fixed-size morsels (contiguous row ranges of the
-// backing RowStore); worker goroutines claim morsels from a shared
+// its base scan into fixed-size morsels (contiguous row ranges — with
+// the columnar layout, column-slice ranges — of the backing table
+// store); worker goroutines claim morsels from a shared
 // atomic dispenser and run the whole pipeline — scan, filters,
 // projections, hash-join probes — over each claimed morsel with
 // worker-private compiled expressions and scratch batches. Blocking
@@ -103,10 +104,9 @@ func closeStreams(streams []morselStream) {
 	}
 }
 
-// morselDispenser hands out morsel indices of one RowStore to a set of
-// scan streams. Claiming is a single atomic increment.
+// morselDispenser hands out morsel indices of one table store to a set
+// of scan streams. Claiming is a single atomic increment.
 type morselDispenser struct {
-	store *RowStore
 	count int
 	next  atomic.Int64
 }
@@ -120,8 +120,10 @@ func (d *morselDispenser) claim() (int, bool) {
 }
 
 // openParallel splits the scan into morsels. Only fully in-memory
-// frozen stores are morselized: the spilled prefix of a store is a
-// sequential varint-encoded stream that cannot be range-partitioned.
+// frozen stores are morselized (morselCount reports 0 for spilled
+// stores, whose chunks are a sequential stream that cannot be
+// range-partitioned). With the columnar layout a morsel claim is a
+// column-slice range — no row gathering.
 func (n *storeScanNode) openParallel(ctx *execCtx, workers int) ([]morselStream, bool, error) {
 	if n.ownStore {
 		return nil, false, nil
@@ -130,53 +132,45 @@ func (n *storeScanNode) openParallel(ctx *execCtx, workers int) ([]morselStream,
 		return nil, false, err
 	}
 	count := n.store.morselCount()
-	if n.store.Spilled() || count < minParallelMorsels {
+	if count < minParallelMorsels {
 		return nil, false, nil
 	}
-	d := &morselDispenser{store: n.store, count: count}
+	d := &morselDispenser{count: count}
 	streams := make([]morselStream, workers)
 	for i := range streams {
-		streams[i] = &scanMorselStream{disp: d, width: len(n.cols)}
+		sc, err := n.store.morselScanner()
+		if err != nil {
+			return nil, false, err
+		}
+		streams[i] = &scanMorselStream{disp: d, scan: sc}
 	}
 	return streams, true, nil
 }
 
-// scanMorselStream transposes one claimed morsel's rows into reusable
-// column-major batches.
+// scanMorselStream drives one worker's store scanner over the morsels
+// it claims from the shared dispenser.
 type scanMorselStream struct {
-	disp  *morselDispenser
-	width int
-	rows  []Row // remainder of the current morsel
-	buf   *rowBatch
+	disp    *morselDispenser
+	scan    morselScanner
+	claimed bool
 }
 
 func (s *scanMorselStream) NextMorsel() (int, bool, error) {
 	i, ok := s.disp.claim()
 	if !ok {
-		s.rows = nil
+		s.claimed = false
 		return 0, false, nil
 	}
-	s.rows = s.disp.store.morsel(i)
+	s.scan.setMorsel(i)
+	s.claimed = true
 	return i, true, nil
 }
 
 func (s *scanMorselStream) NextBatch() (*rowBatch, error) {
-	if len(s.rows) == 0 {
+	if !s.claimed {
 		return nil, nil
 	}
-	if s.buf == nil {
-		s.buf = newRowBatch(s.width)
-	}
-	s.buf.reset()
-	n := len(s.rows)
-	if n > batchSize {
-		n = batchSize
-	}
-	for _, r := range s.rows[:n] {
-		s.buf.appendRow(r)
-	}
-	s.rows = s.rows[n:]
-	return s.buf, nil
+	return s.scan.NextBatch()
 }
 
 func (s *scanMorselStream) Close() {}
@@ -290,12 +284,12 @@ func (n *aliasNode) openParallel(ctx *execCtx, workers int) ([]morselStream, boo
 }
 
 // materializePlan executes a plan and materializes its output into a
-// RowStore. When the plan is morsel-capable and more than one worker is
-// configured, morsels are drained concurrently and their row buffers
-// appended in morsel order — the output row sequence is identical to
-// the serial scan order. On memory pressure the parallel gather aborts
-// and the serial (spilling) path re-runs the plan.
-func materializePlan(ctx *execCtx, node planNode) (*RowStore, error) {
+// table store. When the plan is morsel-capable and more than one worker
+// is configured, morsels are drained concurrently and their buffered
+// batches appended in morsel order — the output row sequence is
+// identical to the serial scan order. On memory pressure the parallel
+// gather aborts and the serial (spilling) path re-runs the plan.
+func materializePlan(ctx *execCtx, node planNode) (tableStore, error) {
 	if ctx.workers > 1 {
 		streams, ok, err := openMorselStreams(node, ctx, ctx.workers)
 		if err != nil {
@@ -320,20 +314,58 @@ func materializePlan(ctx *execCtx, node planNode) (*RowStore, error) {
 	return store, err
 }
 
-// morselBuf is one drained morsel: its index, materialized rows, and
-// the budget bytes reserved for them.
+// morselBuf is one drained morsel: its index, compacted column-major
+// batches, and the budget bytes reserved for them.
 type morselBuf struct {
-	idx   int
-	rows  []Row
-	bytes int64
+	idx     int
+	batches []*rowBatch
+	bytes   int64
+}
+
+// batchBytes estimates the buffered footprint of a compacted batch
+// (Value-slice columns), mirroring rowBytes for the same rows.
+func batchBytes(b *rowBatch) int64 {
+	n := int64(24 * b.rows())
+	for i := range b.cols {
+		col := b.cols[i]
+		if b.sel == nil {
+			for _, v := range col[:b.n] {
+				n += 40 + int64(len(v.S))
+			}
+		} else {
+			for _, p := range b.sel {
+				n += 40 + int64(len(col[p].S))
+			}
+		}
+	}
+	return n
+}
+
+// compactBatch copies a batch into a dense (selection-free) column-major
+// buffer that outlives the producing stream.
+func compactBatch(b *rowBatch) *rowBatch {
+	out := &rowBatch{cols: make([]colVec, len(b.cols)), n: b.rows()}
+	for i, col := range b.cols {
+		if b.sel == nil {
+			out.cols[i] = append(colVec(nil), col[:b.n]...)
+		} else {
+			dst := make(colVec, 0, len(b.sel))
+			for _, p := range b.sel {
+				dst = append(dst, col[p])
+			}
+			out.cols[i] = dst
+		}
+	}
+	return out
 }
 
 // gatherMorsels drains morsel streams concurrently, buffering each
-// morsel's rows under the budget, then appends the buffers to a fresh
-// store in morsel-index order. The first failed reservation aborts the
-// gather (errParallelFallback) — large results belong to the serial
-// spilling path.
-func gatherMorsels(ctx *execCtx, streams []morselStream) (*RowStore, error) {
+// morsel's output as compacted column batches under the budget, then
+// appends the buffers to a fresh store in morsel-index order (batch
+// appends — no per-row materialization). The first failed reservation
+// aborts the gather (errParallelFallback) — large results belong to the
+// serial spilling path.
+func gatherMorsels(ctx *execCtx, streams []morselStream) (tableStore, error) {
 	budget := ctx.env.budget
 	var (
 		wg       sync.WaitGroup
@@ -381,17 +413,17 @@ func gatherMorsels(ctx *execCtx, streams []morselStream) (*RowStore, error) {
 					if b == nil {
 						break
 					}
-					for _, pos := range b.selection() {
-						r := b.materializeRow(pos)
-						n := rowBytes(r)
-						if !budget.tryReserve(n) {
-							local = append(local, mb)
-							fail(errParallelFallback)
-							return
-						}
-						mb.bytes += n
-						mb.rows = append(mb.rows, r)
+					if b.rows() == 0 {
+						continue
 					}
+					n := batchBytes(b)
+					if !budget.tryReserve(n) {
+						local = append(local, mb)
+						fail(errParallelFallback)
+						return
+					}
+					mb.bytes += n
+					mb.batches = append(mb.batches, compactBatch(b))
 				}
 				local = append(local, mb)
 			}
@@ -405,13 +437,13 @@ func gatherMorsels(ctx *execCtx, streams []morselStream) (*RowStore, error) {
 		return nil, firstErr
 	}
 	sort.Slice(bufs, func(i, j int) bool { return bufs[i].idx < bufs[j].idx })
-	store := newRowStore(ctx.env)
+	store := ctx.env.newStore()
 	for k, mb := range bufs {
 		// Hand the accounting to the store: release the gather
-		// reservation, then Append re-reserves (or spills).
+		// reservation, then AppendBatch re-reserves (or spills).
 		budget.release(mb.bytes)
-		for _, r := range mb.rows {
-			if err := store.Append(r); err != nil {
+		for _, b := range mb.batches {
+			if err := store.AppendBatch(b); err != nil {
 				for _, rest := range bufs[k+1:] {
 					budget.release(rest.bytes)
 				}

@@ -38,7 +38,7 @@ type morselPartials struct {
 // errParallelFallback (with all reservations released and all streams
 // closed) when the budget does not fit the partial tables; the caller
 // then re-runs the serial streaming path, which knows how to spill.
-func (x *aggExec) morselAggregate(n *aggNode, streams []morselStream, out *RowStore) (bool, error) {
+func (x *aggExec) morselAggregate(n *aggNode, streams []morselStream, out tableStore) (bool, error) {
 	ctx := x.ctx
 	childSchema := n.child.schema()
 	budget := ctx.env.budget
@@ -112,6 +112,7 @@ func (x *aggExec) morselAggregate(n *aggNode, streams []morselStream, out *RowSt
 			groupCols := make([]colVec, len(groupC))
 			argCols := make([]colVec, len(argC))
 			keyBuf := make(Row, x.nGroup)
+			alloc := newAggAlloc(x.aggs) // worker-private slabs
 			for !abort.Load() {
 				idx, ok, err := s.NextMorsel()
 				if err != nil {
@@ -153,14 +154,10 @@ func (x *aggExec) morselAggregate(n *aggNode, streams []morselStream, out *RowSt
 							if !reserve(&phase1Reserved, need) {
 								return
 							}
-							g = &aggGroup{keyVals: cloneRow(keyBuf), states: make([]aggState, len(x.aggs))}
-							for i, a := range x.aggs {
-								st, err := newAggState(a.Name, a.Distinct)
-								if err != nil {
-									fail(err)
-									return
-								}
-								g.states[i] = st
+							g, err = alloc.group(keyBuf)
+							if err != nil {
+								fail(err)
+								return
 							}
 							t.put(g.keyVals, g)
 						}
@@ -209,6 +206,7 @@ func (x *aggExec) morselAggregate(n *aggNode, streams []morselStream, out *RowSt
 		go func() {
 			defer wg.Done()
 			scratch := make(Row, 0, x.partTotal)
+			alloc := newMergeAlloc(x.aggs) // worker-private slabs
 			for !abort.Load() {
 				p := int(pnext.Add(1)) - 1
 				if p >= aggPartitions {
@@ -227,14 +225,10 @@ func (x *aggExec) morselAggregate(n *aggNode, streams []morselStream, out *RowSt
 							if !reserve(&phase2Reserved, need) {
 								return
 							}
-							mg = &mergeGroup{keyVals: g.keyVals, accs: make([]mergeAcc, len(x.aggs))}
-							for i, a := range x.aggs {
-								acc, err := newMergeAcc(a.Name)
-								if err != nil {
-									fail(err)
-									return
-								}
-								mg.accs[i] = acc
+							var aerr error
+							if mg, aerr = alloc.group(g.keyVals); aerr != nil {
+								fail(aerr)
+								return
 							}
 							table.put(mg.keyVals, mg)
 						}
@@ -253,7 +247,7 @@ func (x *aggExec) morselAggregate(n *aggNode, streams []morselStream, out *RowSt
 				}
 				rows := make([]Row, 0, len(table.order))
 				for _, mg := range table.order {
-					row := make(Row, x.nGroup+len(x.aggs))
+					row := alloc.row(x.nGroup + len(x.aggs))
 					copy(row, mg.keyVals)
 					for i, acc := range mg.accs {
 						row[x.nGroup+i] = acc.result()
@@ -275,12 +269,13 @@ func (x *aggExec) morselAggregate(n *aggNode, streams []morselStream, out *RowSt
 		return false, errParallelFallback
 	}
 	defer releaseAll()
+	app := newBatchAppender(out, x.nGroup+len(x.aggs))
 	for p := range outParts {
 		for _, row := range outParts[p] {
-			if err := out.Append(row); err != nil {
+			if err := app.appendRow(row); err != nil {
 				return rowsSeen, err
 			}
 		}
 	}
-	return rowsSeen, nil
+	return rowsSeen, app.flush()
 }

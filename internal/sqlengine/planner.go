@@ -13,7 +13,7 @@ type cteScope struct {
 }
 
 type cteTable struct {
-	store *RowStore
+	store tableStore
 	cols  []string
 	// node is set instead of store in EXPLAIN mode, where CTEs are
 	// inlined as subplans rather than materialized.
@@ -34,7 +34,7 @@ func (s *cteScope) lookup(name string) *cteTable {
 type planner struct {
 	ctx     *execCtx
 	db      *DB
-	cleanup []*RowStore // temp stores to release when the statement ends
+	cleanup []tableStore // temp stores to release when the statement ends
 	// explain plans without executing: CTEs become inline subplans.
 	explain bool
 }

@@ -7,83 +7,18 @@ import (
 	"io"
 	"math"
 	"os"
-	"sync/atomic"
 )
 
-// memBudget is the engine-wide memory accountant. Operators and row
-// stores reserve estimated bytes before buffering rows in memory; when a
-// reservation would exceed the budget the caller must spill (or fail if
-// spilling is disabled). A zero or negative limit means unlimited.
-type memBudget struct {
-	limit int64
-	used  atomic.Int64
-	peak  atomic.Int64
-}
-
-func newMemBudget(limit int64) *memBudget { return &memBudget{limit: limit} }
-
-// tryReserve attempts to reserve n bytes, reporting false when the budget
-// would be exceeded.
-func (b *memBudget) tryReserve(n int64) bool {
-	for {
-		cur := b.used.Load()
-		next := cur + n
-		if b.limit > 0 && next > b.limit {
-			return false
-		}
-		if b.used.CompareAndSwap(cur, next) {
-			b.updatePeak(next)
-			return true
-		}
-	}
-}
-
-// reserveForce reserves unconditionally (used for small bookkeeping).
-func (b *memBudget) reserveForce(n int64) {
-	v := b.used.Add(n)
-	b.updatePeak(v)
-}
-
-func (b *memBudget) release(n int64) { b.used.Add(-n) }
-
-func (b *memBudget) updatePeak(v int64) {
-	for {
-		p := b.peak.Load()
-		if v <= p || b.peak.CompareAndSwap(p, v) {
-			return
-		}
-	}
-}
-
-// storageEnv bundles what row stores need: the shared budget, spill
-// configuration, and counters.
-type storageEnv struct {
-	budget       *memBudget
-	spillDir     string
-	spillEnabled bool
-	// workers is the engine's morsel-parallel worker count (>= 1).
-	workers int
-	// workingFloor is the number of bytes a blocking operator (hash
-	// join build, hash aggregation, sort buffer) may force-reserve even
-	// when the budget is exhausted by table storage. Without it, grace
-	// partitioning could not make progress once tables fill the budget.
-	// The budget is therefore a soft cap: peak usage can briefly exceed
-	// it by up to one working floor per active operator.
-	workingFloor int64
-	spilledRows  atomic.Int64
-	spilledBytes atomic.Int64
-	spillFiles   atomic.Int64
-}
-
-// errBudget is returned when memory is exhausted and spilling is off.
-var errBudget = fmt.Errorf("sqlengine: memory budget exceeded and spilling is disabled")
-
-// RowStore is an append-then-read sequence of rows that keeps a bounded
-// in-memory tail and spills its prefix to a temporary file when the
-// engine-wide budget is exceeded. It is the storage unit for base tables,
-// materialized CTEs, sort runs, and join/aggregation partitions.
+// RowStore is the legacy row-major table store: an append-then-read
+// sequence of []Row that keeps a bounded in-memory tail and spills its
+// prefix to a temporary file when the engine-wide budget is exceeded.
+// The columnar ColStore (colstore.go) replaced it as the default
+// layout; RowStore survives behind Config.Layout = "row" as the
+// reference implementation for differential testing — every query must
+// produce bitwise-identical results on both layouts.
 type RowStore struct {
 	env      *storageEnv
+	width    int // -1 until the first append
 	mem      []Row
 	memBytes int64
 	file     *os.File
@@ -92,12 +27,15 @@ type RowStore struct {
 	frozen   bool
 }
 
-func newRowStore(env *storageEnv) *RowStore { return &RowStore{env: env} }
+func newRowStore(env *storageEnv) *RowStore { return &RowStore{env: env, width: -1} }
 
 // Append adds a row. The store takes ownership of the slice.
 func (rs *RowStore) Append(row Row) error {
 	if rs.frozen {
 		return fmt.Errorf("sqlengine: internal: append to frozen row store")
+	}
+	if rs.width < 0 {
+		rs.width = len(row)
 	}
 	n := rowBytes(row)
 	if rs.env.budget.tryReserve(n) {
@@ -156,7 +94,10 @@ func (rs *RowStore) writeSpilled(row Row) error {
 }
 
 // AppendBatch appends every selected row of a batch, materializing each
-// into a fresh Row the store takes ownership of.
+// into a fresh Row. The per-row gather is inherent to the row layout —
+// the columnar store appends batches without it — and exists only so
+// the legacy layout satisfies the tableStore contract for differential
+// testing.
 func (rs *RowStore) AppendBatch(b *rowBatch) error {
 	for _, pos := range b.selection() {
 		if err := rs.Append(b.materializeRow(pos)); err != nil {
@@ -201,10 +142,19 @@ func (rs *RowStore) Thaw() {
 	}
 }
 
+func (rs *RowStore) layout() string { return LayoutRow }
+
+// vectorKinds is nil: the row layout has no typed column vectors.
+func (rs *RowStore) vectorKinds() []string { return nil }
+
 // morselCount is the number of fixed-size morsels the in-memory rows
-// split into for parallel scans. Boundaries depend only on the data, so
-// the morsel schedule is identical for every worker count.
+// split into for parallel scans, or 0 for a spilled store. Boundaries
+// depend only on the data, so the morsel schedule is identical for
+// every worker count.
 func (rs *RowStore) morselCount() int {
+	if rs.Spilled() {
+		return 0
+	}
 	return (len(rs.mem) + morselRows - 1) / morselRows
 }
 
@@ -212,17 +162,47 @@ func (rs *RowStore) morselCount() int {
 // fully in memory.
 func (rs *RowStore) morsel(i int) []Row {
 	lo := i * morselRows
-	hi := lo + morselRows
-	if hi > len(rs.mem) {
-		hi = len(rs.mem)
-	}
+	hi := min(lo+morselRows, len(rs.mem))
 	return rs.mem[lo:hi]
 }
 
-// Iterator returns a fresh iterator over all rows (disk prefix first,
-// then the in-memory tail). Multiple concurrent iterators are allowed
+func (rs *RowStore) morselScanner() (morselScanner, error) {
+	if err := rs.Freeze(); err != nil {
+		return nil, err
+	}
+	return &rowMorselScan{rs: rs}, nil
+}
+
+// rowMorselScan transposes one claimed morsel's rows into reusable
+// column-major batches.
+type rowMorselScan struct {
+	rs   *RowStore
+	rows []Row // remainder of the current morsel
+	buf  *rowBatch
+}
+
+func (s *rowMorselScan) setMorsel(i int) { s.rows = s.rs.morsel(i) }
+
+func (s *rowMorselScan) NextBatch() (*rowBatch, error) {
+	if len(s.rows) == 0 {
+		return nil, nil
+	}
+	if s.buf == nil {
+		s.buf = newRowBatch(s.rs.width)
+	}
+	s.buf.reset()
+	n := min(len(s.rows), batchSize)
+	for _, r := range s.rows[:n] {
+		s.buf.appendRow(r)
+	}
+	s.rows = s.rows[n:]
+	return s.buf, nil
+}
+
+// Cursor returns a fresh row iterator over all rows (disk prefix first,
+// then the in-memory tail). Multiple concurrent cursors are allowed
 // once the store is frozen.
-func (rs *RowStore) Iterator() (*RowIterator, error) {
+func (rs *RowStore) Cursor() (rowCursor, error) {
 	if err := rs.Freeze(); err != nil {
 		return nil, err
 	}
@@ -236,6 +216,49 @@ func (rs *RowStore) Iterator() (*RowIterator, error) {
 		it.fileLeft = rs.fileRows
 	}
 	return it, nil
+}
+
+// batchScan reads the store in batches, transposing stored rows into a
+// reusable column-major batch (the row layout's scan cost; the columnar
+// store serves column slices instead).
+func (rs *RowStore) batchScan() (storeScan, error) {
+	cur, err := rs.Cursor()
+	if err != nil {
+		return nil, err
+	}
+	return &rowStoreScan{it: cur.(*RowIterator), width: max(rs.width, 0)}, nil
+}
+
+type rowStoreScan struct {
+	it    *RowIterator
+	width int
+	buf   *rowBatch
+	done  bool
+}
+
+func (s *rowStoreScan) NextBatch() (*rowBatch, error) {
+	if s.done {
+		return nil, nil
+	}
+	if s.buf == nil {
+		s.buf = newRowBatch(s.width)
+	}
+	s.buf.reset()
+	for !s.buf.full() {
+		row, ok, err := s.it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			s.done = true
+			break
+		}
+		s.buf.appendRow(row)
+	}
+	if s.buf.n == 0 {
+		return nil, nil
+	}
+	return s.buf, nil
 }
 
 // Release frees memory reservations and deletes any spill file. The
@@ -278,31 +301,9 @@ func (it *RowIterator) Next() (Row, bool, error) {
 	return nil, false, nil
 }
 
-// ReadBatch appends up to max rows into b (the spilled prefix first,
-// then the in-memory tail) and returns the number of rows read; fewer
-// than max means the iterator is exhausted. The batch's width must match
-// the stored rows.
-func (it *RowIterator) ReadBatch(b *rowBatch, max int) (int, error) {
-	read := 0
-	for read < max && it.fileLeft > 0 {
-		row, err := decodeRow(it.r)
-		if err != nil {
-			return read, fmt.Errorf("sqlengine: reading spill file: %w", err)
-		}
-		it.fileLeft--
-		b.appendRow(row)
-		read++
-	}
-	mem := it.store.mem
-	for read < max && it.memIdx < len(mem) {
-		b.appendRow(mem[it.memIdx])
-		it.memIdx++
-		read++
-	}
-	return read, nil
-}
-
-// Row/value binary encoding for spill files.
+// Row/value binary encoding for row-layout spill files; the columnar
+// spill format reuses the per-value codec for generic (mixed-type)
+// column runs.
 
 const (
 	encNull  byte = 0
@@ -311,6 +312,51 @@ const (
 	encText  byte = 3
 	encBool  byte = 4
 )
+
+// encodeValue writes one tagged value, returning the bytes written.
+func encodeValue(w *bufio.Writer, v Value) (int, error) {
+	var scratch [binary.MaxVarintLen64]byte
+	total := 0
+	if err := w.WriteByte(encTag(v)); err != nil {
+		return total, err
+	}
+	total++
+	switch v.T {
+	case TypeNull:
+	case TypeInt:
+		n := binary.PutVarint(scratch[:], v.I)
+		if _, err := w.Write(scratch[:n]); err != nil {
+			return total, err
+		}
+		total += n
+	case TypeFloat:
+		binary.LittleEndian.PutUint64(scratch[:8], math.Float64bits(v.F))
+		if _, err := w.Write(scratch[:8]); err != nil {
+			return total, err
+		}
+		total += 8
+	case TypeText:
+		n := binary.PutUvarint(scratch[:], uint64(len(v.S)))
+		if _, err := w.Write(scratch[:n]); err != nil {
+			return total, err
+		}
+		total += n
+		if _, err := w.WriteString(v.S); err != nil {
+			return total, err
+		}
+		total += len(v.S)
+	case TypeBool:
+		b := byte(0)
+		if v.I != 0 {
+			b = 1
+		}
+		if err := w.WriteByte(b); err != nil {
+			return total, err
+		}
+		total++
+	}
+	return total, nil
+}
 
 func encodeRow(w *bufio.Writer, row Row) (int, error) {
 	var scratch [binary.MaxVarintLen64]byte
@@ -321,43 +367,10 @@ func encodeRow(w *bufio.Writer, row Row) (int, error) {
 	}
 	total += n
 	for _, v := range row {
-		if err := w.WriteByte(byte(encTag(v))); err != nil {
+		vn, err := encodeValue(w, v)
+		total += vn
+		if err != nil {
 			return total, err
-		}
-		total++
-		switch v.T {
-		case TypeNull:
-		case TypeInt:
-			n := binary.PutVarint(scratch[:], v.I)
-			if _, err := w.Write(scratch[:n]); err != nil {
-				return total, err
-			}
-			total += n
-		case TypeFloat:
-			binary.LittleEndian.PutUint64(scratch[:8], math.Float64bits(v.F))
-			if _, err := w.Write(scratch[:8]); err != nil {
-				return total, err
-			}
-			total += 8
-		case TypeText:
-			n := binary.PutUvarint(scratch[:], uint64(len(v.S)))
-			if _, err := w.Write(scratch[:n]); err != nil {
-				return total, err
-			}
-			total += n
-			if _, err := w.WriteString(v.S); err != nil {
-				return total, err
-			}
-			total += len(v.S)
-		case TypeBool:
-			b := byte(0)
-			if v.I != 0 {
-				b = 1
-			}
-			if err := w.WriteByte(b); err != nil {
-				return total, err
-			}
-			total++
 		}
 	}
 	return total, nil
@@ -377,6 +390,47 @@ func encTag(v Value) byte {
 	return encNull
 }
 
+// decodeValue reads one tagged value.
+func decodeValue(r *bufio.Reader) (Value, error) {
+	tag, err := r.ReadByte()
+	if err != nil {
+		return Null, err
+	}
+	switch tag {
+	case encNull:
+		return Null, nil
+	case encInt:
+		x, err := binary.ReadVarint(r)
+		if err != nil {
+			return Null, err
+		}
+		return NewInt(x), nil
+	case encFloat:
+		var buf [8]byte
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return Null, err
+		}
+		return NewFloat(math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))), nil
+	case encText:
+		ln, err := binary.ReadUvarint(r)
+		if err != nil {
+			return Null, err
+		}
+		buf := make([]byte, ln)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return Null, err
+		}
+		return NewText(string(buf)), nil
+	case encBool:
+		b, err := r.ReadByte()
+		if err != nil {
+			return Null, err
+		}
+		return NewBool(b != 0), nil
+	}
+	return Null, fmt.Errorf("sqlengine: corrupt spill file: tag %d", tag)
+}
+
 func decodeRow(r *bufio.Reader) (Row, error) {
 	n, err := binary.ReadUvarint(r)
 	if err != nil {
@@ -384,44 +438,11 @@ func decodeRow(r *bufio.Reader) (Row, error) {
 	}
 	row := make(Row, n)
 	for i := range row {
-		tag, err := r.ReadByte()
+		v, err := decodeValue(r)
 		if err != nil {
 			return nil, err
 		}
-		switch tag {
-		case encNull:
-			row[i] = Null
-		case encInt:
-			x, err := binary.ReadVarint(r)
-			if err != nil {
-				return nil, err
-			}
-			row[i] = NewInt(x)
-		case encFloat:
-			var buf [8]byte
-			if _, err := io.ReadFull(r, buf[:]); err != nil {
-				return nil, err
-			}
-			row[i] = NewFloat(math.Float64frombits(binary.LittleEndian.Uint64(buf[:])))
-		case encText:
-			ln, err := binary.ReadUvarint(r)
-			if err != nil {
-				return nil, err
-			}
-			buf := make([]byte, ln)
-			if _, err := io.ReadFull(r, buf); err != nil {
-				return nil, err
-			}
-			row[i] = NewText(string(buf))
-		case encBool:
-			b, err := r.ReadByte()
-			if err != nil {
-				return nil, err
-			}
-			row[i] = NewBool(b != 0)
-		default:
-			return nil, fmt.Errorf("sqlengine: corrupt spill file: tag %d", tag)
-		}
+		row[i] = v
 	}
 	return row, nil
 }

@@ -27,7 +27,7 @@ func TestRowStoreInMemoryRoundTrip(t *testing.T) {
 	if rs.Len() != 100 || rs.Spilled() {
 		t.Fatalf("len=%d spilled=%v", rs.Len(), rs.Spilled())
 	}
-	it, err := rs.Iterator()
+	it, err := rs.Cursor()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,11 +60,11 @@ func TestRowStoreSpillRoundTrip(t *testing.T) {
 		t.Fatal("expected spill under 1KB budget")
 	}
 	// Two concurrent iterators must both see everything.
-	it1, err := rs.Iterator()
+	it1, err := rs.Cursor()
 	if err != nil {
 		t.Fatal(err)
 	}
-	it2, err := rs.Iterator()
+	it2, err := rs.Cursor()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +101,7 @@ func TestRowStoreThawAppends(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	it, err := rs.Iterator()
+	it, err := rs.Cursor()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +134,7 @@ func TestRowEncodingPropertyRoundTrip(t *testing.T) {
 		if err := rs.Append(cloneRow(row)); err != nil {
 			return false
 		}
-		it, err := rs.Iterator()
+		it, err := rs.Cursor()
 		if err != nil {
 			return false
 		}

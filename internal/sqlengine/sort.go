@@ -13,12 +13,15 @@ type sortSpec struct {
 
 // sortNode sorts its input. It consumes batches and accumulates rows in
 // memory under the budget; on overflow it writes sorted runs to
-// spillable stores and merges them with a loser-tree style heap
-// (external merge sort). When every key is a bare column reference —
-// the common case after projection — rows are buffered as-is and
-// compared by column index; otherwise the keys are evaluated vectorized
-// and prepended to each buffered row. The sorted output is row-oriented
-// internally and re-batched through the row adapter.
+// spillable stores — column runs under the default columnar layout —
+// and merges them with a loser-tree style heap (external merge sort).
+// When every key is a bare column reference — the common case after
+// projection — rows are buffered as-is and compared by column index;
+// otherwise the keys are evaluated vectorized and prepended to each
+// buffered row. The sorted output is row-oriented internally (sorting
+// permutes rows, so there is no column locality to preserve) and
+// re-batched through the row adapter — the engine's one remaining
+// row-oriented internal.
 type sortNode struct {
 	child planNode
 	keys  []sortSpec
@@ -116,7 +119,7 @@ func (n *sortNode) open(ctx *execCtx) (batchIter, error) {
 
 	var buf []Row // each row is [keys..., original...] (keys empty on the fast path)
 	var bufBytes int64
-	var runs []*RowStore
+	var runs []tableStore
 	failAll := func(err error) (batchIter, error) {
 		budget.release(bufBytes)
 		releaseStores(runs)
@@ -128,7 +131,7 @@ func (n *sortNode) open(ctx *execCtx) (batchIter, error) {
 	}
 	flushRun := func() error {
 		sortBuf()
-		run := newRowStore(ctx.env)
+		run := ctx.env.newStore()
 		for _, r := range buf {
 			if err := run.Append(r); err != nil {
 				run.Release()
@@ -232,17 +235,18 @@ func (it *sortedBufIter) Close() {
 	}
 }
 
-// mergeIter k-way merges sorted runs.
+// mergeIter k-way merges sorted runs, reading each through its store's
+// row cursor.
 type mergeIter struct {
 	nk   int
 	cmp  rowCmp
-	runs []*RowStore
+	runs []tableStore
 	heap mergeHeap
 }
 
 type mergeEntry struct {
 	row Row
-	src *RowIterator
+	src rowCursor
 	seq int // run index; breaks ties to keep the merge stable
 }
 
@@ -271,7 +275,7 @@ func (h *mergeHeap) Pop() any {
 func (m *mergeIter) init() error {
 	m.heap = mergeHeap{cmp: m.cmp}
 	for i, run := range m.runs {
-		it, err := run.Iterator()
+		it, err := run.Cursor()
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,185 @@
+package sqlengine
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Storage layer contract. Tables, materialized results, sort runs, and
+// grace partitions are all tableStores: append-then-read sequences of
+// rows with a bounded in-memory representation that spills to disk when
+// the engine-wide budget is exceeded.
+//
+// Two layouts implement the contract. The default ColStore
+// (colstore.go) keeps typed column vectors — int64 / float64 / string /
+// bool with null bitmaps — appends whole batches without per-row
+// materialization, and serves scans as column slices. The legacy
+// RowStore (rowstore.go) keeps []Row and survives as the alternate
+// layout for differential testing (Config.Layout = "row"): every query
+// must produce bitwise-identical results on both.
+
+// Layout names accepted by Config.Layout and the DSN "layout" param.
+const (
+	LayoutColumnar = "columnar"
+	LayoutRow      = "row"
+)
+
+// memBudget is the engine-wide memory accountant. Operators and table
+// stores reserve estimated bytes before buffering rows in memory; when a
+// reservation would exceed the budget the caller must spill (or fail if
+// spilling is disabled). A zero or negative limit means unlimited.
+type memBudget struct {
+	limit int64
+	used  atomic.Int64
+	peak  atomic.Int64
+}
+
+func newMemBudget(limit int64) *memBudget { return &memBudget{limit: limit} }
+
+// tryReserve attempts to reserve n bytes, reporting false when the budget
+// would be exceeded.
+func (b *memBudget) tryReserve(n int64) bool {
+	for {
+		cur := b.used.Load()
+		next := cur + n
+		if b.limit > 0 && next > b.limit {
+			return false
+		}
+		if b.used.CompareAndSwap(cur, next) {
+			b.updatePeak(next)
+			return true
+		}
+	}
+}
+
+// reserveForce reserves unconditionally (used for small bookkeeping).
+func (b *memBudget) reserveForce(n int64) {
+	v := b.used.Add(n)
+	b.updatePeak(v)
+}
+
+func (b *memBudget) release(n int64) { b.used.Add(-n) }
+
+func (b *memBudget) updatePeak(v int64) {
+	for {
+		p := b.peak.Load()
+		if v <= p || b.peak.CompareAndSwap(p, v) {
+			return
+		}
+	}
+}
+
+// storageEnv bundles what table stores need: the shared budget, spill
+// configuration, and counters.
+type storageEnv struct {
+	budget       *memBudget
+	spillDir     string
+	spillEnabled bool
+	// rowLayout selects the legacy row-major RowStore for every table
+	// store the engine creates (Config.Layout = "row").
+	rowLayout bool
+	// workers is the engine's morsel-parallel worker count (>= 1).
+	workers int
+	// workingFloor is the number of bytes a blocking operator (hash
+	// join build, hash aggregation, sort buffer) may force-reserve even
+	// when the budget is exhausted by table storage. Without it, grace
+	// partitioning could not make progress once tables fill the budget.
+	// The budget is therefore a soft cap: peak usage can briefly exceed
+	// it by up to one working floor per active operator.
+	workingFloor int64
+	spilledRows  atomic.Int64
+	spilledBytes atomic.Int64
+	spillFiles   atomic.Int64
+}
+
+// newStore creates a table store in the engine's configured layout.
+func (env *storageEnv) newStore() tableStore {
+	if env.rowLayout {
+		return newRowStore(env)
+	}
+	return newColStore(env)
+}
+
+// layoutName reports the configured layout for EXPLAIN.
+func (env *storageEnv) layoutName() string {
+	if env.rowLayout {
+		return LayoutRow
+	}
+	return LayoutColumnar
+}
+
+// errBudget is returned when memory is exhausted and spilling is off.
+var errBudget = fmt.Errorf("sqlengine: memory budget exceeded and spilling is disabled")
+
+// tableStore is the storage contract shared by the columnar ColStore and
+// the legacy row-major RowStore. A store is write-only until Freeze and
+// read-only afterwards (Thaw reopens it for appending); Release must
+// free every budget reservation and spill file even mid-read.
+type tableStore interface {
+	// Append adds one row; the store takes ownership of the slice.
+	Append(Row) error
+	// AppendBatch appends every selected row of a batch. The columnar
+	// store copies column vectors directly; the row store gathers (its
+	// documented layout cost).
+	AppendBatch(*rowBatch) error
+	Len() int64
+	Spilled() bool
+	Freeze() error
+	Thaw()
+	Release()
+
+	// layout and vectorKinds describe the physical format for EXPLAIN:
+	// the layout name and, for the columnar store, the per-column vector
+	// type (nil for the row layout or an empty store).
+	layout() string
+	vectorKinds() []string
+
+	// Cursor returns a row-at-a-time reader — the one gather adapter at
+	// the engine's row-oriented edges (ResultSet, database/sql driver,
+	// external sort-run merging, grace-partition iteration). Freezes the
+	// store; multiple concurrent cursors are allowed once frozen.
+	Cursor() (rowCursor, error)
+	// batchScan returns a batch-at-a-time reader over all rows (spilled
+	// prefix first, then the in-memory tail). Freezes the store.
+	batchScan() (storeScan, error)
+
+	// morselCount is the number of fixed-size morsels the store splits
+	// into for parallel scans, or 0 when the store cannot be morselized
+	// (spilled to disk). Boundaries depend only on the data, never on
+	// the worker count.
+	morselCount() int
+	// morselScanner returns a per-worker scanner over individual
+	// morsels. Freezes the store; only valid when morselCount() > 0.
+	morselScanner() (morselScanner, error)
+}
+
+// rowCursor walks a frozen store row by row. Returned rows are owned by
+// the caller (the columnar cursor gathers fresh rows; the row store
+// returns its stored slices, which callers treat as read-only or clone).
+type rowCursor interface {
+	Next() (Row, bool, error)
+}
+
+// storeScan reads a frozen store batch-at-a-time. The returned batch is
+// owned by the scan and valid only until the next NextBatch call; nil
+// signals the end.
+type storeScan interface {
+	NextBatch() (*rowBatch, error)
+}
+
+// morselScanner reads one claimed morsel at a time: setMorsel positions
+// the scanner, NextBatch drains the morsel in batches (nil at morsel
+// end). Each scanner is single-threaded; different scanners of the same
+// store may run concurrently.
+type morselScanner interface {
+	setMorsel(i int)
+	NextBatch() (*rowBatch, error)
+}
+
+func releaseStores(stores []tableStore) {
+	for _, s := range stores {
+		if s != nil {
+			s.Release()
+		}
+	}
+}

@@ -5,20 +5,26 @@
 // aggregation, and buffer-managed storage that spills to disk — using
 // only the Go standard library.
 //
-// Execution is batch-at-a-time and morsel-parallel: operators exchange
-// column-major batches of ~1024 rows with selection vectors (see
-// batch.go), expressions are compiled to loops over batches with
-// integer/float fast paths (see evalvec.go), and a thin row adapter
-// keeps row-oriented surfaces (database/sql driver, ResultSet) and
-// internals composing with the batched tree. Pipelines over in-memory
-// tables split their base scan into fixed row-range morsels claimed by
+// Execution is batch-at-a-time and morsel-parallel over natively
+// columnar table storage: operators exchange column-major batches of
+// ~1024 rows with selection vectors (see batch.go), expressions are
+// compiled to loops over batches with integer/float fast paths (see
+// evalvec.go), and tables are stored as typed column vectors — int64 /
+// float64 / string / bool with null bitmaps — that CREATE TABLE AS and
+// INSERT … SELECT append batch-at-a-time and scans serve as column
+// slices (see colstore.go; the legacy row layout survives behind
+// Config.Layout for differential testing). A thin cursor at the row
+// edges keeps row-oriented surfaces (database/sql driver, ResultSet)
+// composing with the columnar tree. Pipelines over in-memory tables
+// split their base scan into fixed row-range morsels claimed by
 // Config.Parallelism worker goroutines (see parallel.go): filters and
 // projections run embarrassingly parallel, hash joins probe a shared
 // build table concurrently, and hash aggregation merges per-morsel
 // partial tables in morsel order (see parallel_agg.go), so results —
 // including floating-point rounding — are bitwise independent of the
-// worker count. Workers reserve from the shared memory budget; under
-// pressure a parallel operator falls back to the serial spilling path.
+// worker count and the storage layout. Workers reserve from the shared
+// memory budget; under pressure a parallel operator falls back to the
+// serial spilling path, which writes columnar chunk runs to disk.
 //
 // The engine implements the SQL subset that RDBMS-based quantum circuit
 // simulation requires (and a bit more): CREATE/DROP TABLE, INSERT,

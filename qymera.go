@@ -124,6 +124,11 @@ type SQLBackendOptions struct {
 	// GOMAXPROCS, 1 = single worker). Amplitudes are bit-identical
 	// across settings; only throughput changes.
 	Parallelism int
+	// StorageLayout selects the engine's table storage format: "" or
+	// "columnar" for the typed column-vector store (the default), "row"
+	// for the legacy row-major store. Amplitudes are bit-identical
+	// across layouts; only throughput and memory density change.
+	StorageLayout string
 	// Initial overrides the |0…0⟩ initial state.
 	Initial *State
 }
@@ -143,6 +148,7 @@ func NewSQLBackend(opts ...SQLBackendOptions) Backend {
 		SpillDir:     o.SpillDir,
 		DisableSpill: o.DisableSpill,
 		Parallelism:  o.Parallelism,
+		Layout:       o.StorageLayout,
 		Initial:      o.Initial,
 	}
 }
