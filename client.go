@@ -1,0 +1,258 @@
+package qymera
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"qymera/internal/circuitio"
+	"qymera/internal/quantum"
+	"qymera/internal/service"
+)
+
+// Client speaks the qymerad HTTP API (docs/SERVICE.md) from Go: the
+// remote counterpart of the in-process backends. Synchronous runs use
+// NDJSON amplitude streaming, so large states never require one giant
+// response buffer on either side.
+type Client struct {
+	// BaseURL locates the server, e.g. "http://localhost:8087".
+	BaseURL string
+	// HTTPClient overrides http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// Wire types re-exported from the service package.
+type (
+	// RemoteOptions are the per-request backend knobs of the HTTP API.
+	RemoteOptions = service.RequestOptions
+	// RemoteStats mirror sim.Stats on the wire.
+	RemoteStats = service.StatsJSON
+	// RemoteJob is one job's status on the wire.
+	RemoteJob = service.JobJSON
+	// RemoteMetrics is the /metrics document.
+	RemoteMetrics = service.MetricsJSON
+	// RemoteHealth is the /healthz document.
+	RemoteHealth = service.HealthJSON
+)
+
+// RemoteResult is a completed remote simulation.
+type RemoteResult struct {
+	State *State
+	Stats RemoteStats
+}
+
+// NewClient returns a client for the given base URL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+func (cl *Client) httpClient() *http.Client {
+	if cl.HTTPClient != nil {
+		return cl.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// request builds the wire body for a circuit run.
+func requestBody(c *Circuit, backend string, opts []RemoteOptions) ([]byte, error) {
+	doc, err := circuitio.MarshalJSON(c)
+	if err != nil {
+		return nil, err
+	}
+	req := service.Request{Circuit: doc, Backend: backend}
+	if len(opts) > 0 {
+		req.Options = opts[0]
+	}
+	return json.Marshal(req)
+}
+
+func (cl *Client) do(ctx context.Context, method, path string, body []byte, accept string) (*http.Response, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, cl.BaseURL+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	resp, err := cl.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode >= 300 {
+		defer resp.Body.Close()
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			return nil, fmt.Errorf("qymera: server: %s (HTTP %d)", e.Error, resp.StatusCode)
+		}
+		return nil, fmt.Errorf("qymera: server returned HTTP %d for %s %s", resp.StatusCode, method, path)
+	}
+	return resp, nil
+}
+
+func (cl *Client) getJSON(ctx context.Context, path string, out any) error {
+	resp, err := cl.do(ctx, http.MethodGet, path, nil, "")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Simulate runs a circuit synchronously on the server, streaming the
+// amplitudes back as NDJSON. Cancelling ctx mid-run cancels the job on
+// the server too — down to the engine's batch boundaries.
+func (cl *Client) Simulate(ctx context.Context, c *Circuit, backend string, opts ...RemoteOptions) (*RemoteResult, error) {
+	body, err := requestBody(c, backend, opts)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := cl.do(ctx, http.MethodPost, "/v1/simulate?stream=ndjson", body, "application/x-ndjson")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("qymera: empty stream from server")
+	}
+	var hdr struct {
+		NumQubits int `json:"num_qubits"`
+	}
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return nil, fmt.Errorf("qymera: bad stream header: %w", err)
+	}
+	state := quantum.NewState(hdr.NumQubits)
+	out := &RemoteResult{State: state}
+	sawStats := false
+	for sc.Scan() {
+		line := sc.Bytes()
+		if bytes.Contains(line, []byte(`"stats"`)) {
+			var tr struct {
+				Stats RemoteStats `json:"stats"`
+			}
+			if err := json.Unmarshal(line, &tr); err != nil {
+				return nil, fmt.Errorf("qymera: bad stream trailer: %w", err)
+			}
+			out.Stats = tr.Stats
+			sawStats = true
+			continue
+		}
+		var a service.Amplitude
+		if err := json.Unmarshal(line, &a); err != nil {
+			return nil, fmt.Errorf("qymera: bad amplitude line: %w", err)
+		}
+		state.Set(a.S, complex(a.R, a.I))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawStats {
+		return nil, fmt.Errorf("qymera: truncated stream (no stats trailer)")
+	}
+	return out, nil
+}
+
+// SubmitJob enqueues an asynchronous job and returns its id.
+func (cl *Client) SubmitJob(ctx context.Context, c *Circuit, backend string, opts ...RemoteOptions) (string, error) {
+	body, err := requestBody(c, backend, opts)
+	if err != nil {
+		return "", err
+	}
+	resp, err := cl.do(ctx, http.MethodPost, "/v1/jobs", body, "")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	var j RemoteJob
+	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+		return "", err
+	}
+	return j.ID, nil
+}
+
+// Job fetches one job's status (with its result once done).
+func (cl *Client) Job(ctx context.Context, id string) (RemoteJob, error) {
+	var j RemoteJob
+	err := cl.getJSON(ctx, "/v1/jobs/"+id, &j)
+	return j, err
+}
+
+// CancelJob cancels a queued or running job; the server aborts running
+// engine work at the next batch boundary.
+func (cl *Client) CancelJob(ctx context.Context, id string) error {
+	resp, err := cl.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, "")
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	return nil
+}
+
+// WaitJob polls until the job reaches a terminal state (poll <= 0 uses
+// 50ms) and converts a done job's result. Failed and cancelled jobs
+// return an error carrying the job's error text.
+func (cl *Client) WaitJob(ctx context.Context, id string, poll time.Duration) (*RemoteResult, error) {
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	for {
+		j, err := cl.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		switch service.JobStatus(j.Status) {
+		case service.JobDone:
+			if j.Result == nil {
+				return nil, fmt.Errorf("qymera: job %s done without result", id)
+			}
+			state := quantum.NewState(j.Result.NumQubits)
+			for _, a := range j.Result.Amplitudes {
+				state.Set(a.S, complex(a.R, a.I))
+			}
+			return &RemoteResult{State: state, Stats: j.Result.Stats}, nil
+		case service.JobFailed:
+			return nil, fmt.Errorf("qymera: job %s failed: %s", id, j.Error)
+		case service.JobCancelled:
+			return nil, fmt.Errorf("qymera: job %s was cancelled", id)
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(poll):
+		}
+	}
+}
+
+// Health fetches /healthz.
+func (cl *Client) Health(ctx context.Context) (RemoteHealth, error) {
+	var h RemoteHealth
+	err := cl.getJSON(ctx, "/healthz", &h)
+	return h, err
+}
+
+// Metrics fetches /metrics.
+func (cl *Client) Metrics(ctx context.Context) (RemoteMetrics, error) {
+	var m RemoteMetrics
+	err := cl.getJSON(ctx, "/metrics", &m)
+	return m, err
+}

@@ -1,0 +1,119 @@
+package qymera_test
+
+import (
+	"context"
+	"math"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"qymera"
+)
+
+func startService(t *testing.T) (*qymera.Client, *qymera.Service) {
+	t.Helper()
+	svc := qymera.NewService(qymera.ServiceConfig{Workers: 2})
+	ts := httptest.NewServer(svc)
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+	})
+	return qymera.NewClient(ts.URL), svc
+}
+
+func remoteStatesMatch(t *testing.T, want, got *qymera.State) {
+	t.Helper()
+	if want.Len() != got.Len() {
+		t.Fatalf("nonzero counts differ: want %d, got %d", want.Len(), got.Len())
+	}
+	for _, idx := range want.Indices() {
+		w, g := want.Amplitude(idx), got.Amplitude(idx)
+		if math.Float64bits(real(w)) != math.Float64bits(real(g)) ||
+			math.Float64bits(imag(w)) != math.Float64bits(imag(g)) {
+			t.Fatalf("amplitude at |%d⟩ differs: %v vs %v", idx, w, g)
+		}
+	}
+}
+
+// TestClientSimulateMatchesLocal round-trips a circuit through the
+// HTTP service: remote amplitudes must be bit-identical to the local
+// backend for every method.
+func TestClientSimulateMatchesLocal(t *testing.T) {
+	client, _ := startService(t)
+	c := qymera.GHZ(8)
+	for _, backend := range qymera.BackendNames() {
+		local, err := mustBackend(backend).Run(c)
+		if err != nil {
+			t.Fatalf("%s local: %v", backend, err)
+		}
+		remote, err := client.Simulate(context.Background(), c, backend)
+		if err != nil {
+			t.Fatalf("%s remote: %v", backend, err)
+		}
+		remoteStatesMatch(t, local.State, remote.State)
+		if remote.Stats.GateCount != c.Len() {
+			t.Fatalf("%s stats: %+v", backend, remote.Stats)
+		}
+	}
+}
+
+func mustBackend(name string) qymera.Backend {
+	b, err := qymera.BackendByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+func TestClientJobLifecycle(t *testing.T) {
+	client, _ := startService(t)
+	c := qymera.QFT(6)
+	local, err := qymera.NewSQLBackend().Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	id, err := client.SubmitJob(context.Background(), c, "sql")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	res, err := client.WaitJob(ctx, id, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remoteStatesMatch(t, local.State, res.State)
+
+	h, err := client.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" {
+		t.Fatalf("health %+v", h)
+	}
+	m, err := client.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Jobs["done"] < 1 {
+		t.Fatalf("metrics %+v", m)
+	}
+}
+
+func TestClientCancelJob(t *testing.T) {
+	client, _ := startService(t)
+	id, err := client.SubmitJob(context.Background(), qymera.ParitySuperposition(16), "sql")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.CancelJob(context.Background(), id); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	_, err = client.WaitJob(ctx, id, 10*time.Millisecond)
+	if err == nil {
+		t.Skip("job finished before cancellation landed")
+	}
+}

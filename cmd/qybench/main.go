@@ -19,6 +19,11 @@
 //	                         # morsel-parallel scaling report instead
 //	                         # (1/2/4/8 workers + amplitude bit-identity
 //	                         # across worker counts and storage layouts)
+//	qybench -benchjson BENCH_service.json
+//	                         # paths containing "service" write the
+//	                         # qymerad service-tier report (sync request
+//	                         # throughput, plan-cache hit speedups,
+//	                         # served-vs-direct amplitude bit-identity)
 //	qybench -compareallocs BENCH_sqlengine.json NEW.json
 //	                         # allocation regression gate: fail when
 //	                         # NEW.json's fixed-size gate-stage query
@@ -63,9 +68,12 @@ func main() {
 	if *benchJSON != "" {
 		var data []byte
 		var err error
-		if strings.Contains(filepath.Base(*benchJSON), "parallel") {
+		switch base := filepath.Base(*benchJSON); {
+		case strings.Contains(base, "parallel"):
 			data, err = bench.ParallelBenchJSON(bench.Options{Quick: *quick})
-		} else {
+		case strings.Contains(base, "service"):
+			data, err = bench.ServiceBenchJSON(bench.Options{Quick: *quick})
+		default:
 			data, err = bench.EngineBenchJSON(bench.Options{Quick: *quick})
 		}
 		if err != nil {

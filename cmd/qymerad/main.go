@@ -1,0 +1,87 @@
+// Command qymerad serves Qymera's simulation service over HTTP: a
+// bounded worker pool with a FIFO job queue, admission control against
+// a shared engine memory budget, a plan cache reused across requests,
+// and engine-level cancellation (DELETE /v1/jobs/{id} aborts an
+// in-flight gate-stage query at the next batch boundary).
+//
+// Usage:
+//
+//	qymerad                         # serve on :8087 with defaults
+//	qymerad -addr :9000 -workers 8  # bigger pool
+//	qymerad -mem-budget 2147483648  # 2 GiB shared engine budget
+//
+// The HTTP API is documented in docs/SERVICE.md; a quick check:
+//
+//	curl localhost:8087/healthz
+//	curl -X POST localhost:8087/v1/simulate -d '{
+//	  "circuit": {"num_qubits": 2,
+//	              "gates": [{"name":"H","qubits":[0]},
+//	                        {"name":"CX","qubits":[0,1]}]}}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"qymera/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8087", "listen address")
+	workers := flag.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 64, "job queue depth; submissions beyond it get HTTP 429")
+	memBudget := flag.Int64("mem-budget", 0, "shared engine memory budget in bytes across all jobs (0 = unlimited)")
+	planCache := flag.Int("plan-cache", 0, "plan cache capacity in translations (0 = default, negative disables)")
+	parallelism := flag.Int("parallelism", 0, "per-query morsel-parallel workers (0 = GOMAXPROCS)")
+	spillDir := flag.String("spill-dir", "", "directory for out-of-core spill files (empty = OS temp)")
+	retain := flag.Int("retain-jobs", 256, "finished jobs kept queryable")
+	flag.Parse()
+
+	srv := service.New(service.Config{
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		MemoryBudget:  *memBudget,
+		PlanCacheSize: *planCache,
+		Parallelism:   *parallelism,
+		SpillDir:      *spillDir,
+		RetainJobs:    *retain,
+	})
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	effectiveWorkers := *workers
+	if effectiveWorkers <= 0 {
+		effectiveWorkers = runtime.GOMAXPROCS(0)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("qymerad: serving on %s (workers=%d, queue=%d, mem-budget=%d)",
+			*addr, effectiveWorkers, *queue, *memBudget)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("qymerad: %v", err)
+		}
+	case <-ctx.Done():
+		log.Print("qymerad: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("qymerad: shutdown: %v", err)
+		}
+		srv.Close() // cancels queued + running jobs engine-level
+	}
+}

@@ -1,0 +1,98 @@
+// Simulation as a service: starts the qymerad service in-process on a
+// loopback port, then drives it with the qymera.Client exactly as a
+// remote caller would — a synchronous streamed run, an asynchronous
+// job with polling, a cancelled job, and a /metrics snapshot showing
+// the plan cache earning its keep on repeated circuits.
+//
+// Against an already-running server, point the client at it instead:
+//
+//	client := qymera.NewClient("http://localhost:8087")
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"qymera"
+)
+
+func main() {
+	// Start the service on a free loopback port (in production this is
+	// `qymerad -addr :8087`).
+	svc := qymera.NewService(qymera.ServiceConfig{Workers: 2})
+	defer svc.Close()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go http.Serve(l, svc)
+	client := qymera.NewClient("http://" + l.Addr().String())
+	ctx := context.Background()
+
+	h, err := client.Health(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("server up: %s, backends %v\n\n", h.Status, h.Backends)
+
+	// 1. Synchronous run, amplitudes streamed back as NDJSON.
+	ghz := qymera.GHZ(10)
+	res, err := client.Simulate(ctx, ghz, "sql")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sync GHZ-10 on %s: %d nonzeros in %.1fms\n",
+		res.Stats.Backend, res.State.Len(), res.Stats.WallSeconds*1e3)
+	fmt.Printf("  %s\n\n", res.State.FormatKet())
+
+	// Run it twice more: the repeated circuit hits the plan cache.
+	for i := 0; i < 2; i++ {
+		if _, err := client.Simulate(ctx, ghz, "sql"); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// 2. Asynchronous job: submit, poll, fetch the result.
+	id, err := client.SubmitJob(ctx, qymera.QFT(8), "sql")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("submitted async QFT-8 as %s\n", id)
+	jres, err := client.WaitJob(ctx, id, 20*time.Millisecond)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("job %s done: %d amplitudes, wall %.1fms\n\n", id, jres.State.Len(), jres.Stats.WallSeconds*1e3)
+
+	// 3. Cancellation: a big job, cancelled mid-flight. The server
+	// aborts the engine's gate-stage query at the next batch boundary.
+	id, err = client.SubmitJob(ctx, qymera.ParitySuperposition(16), "sql")
+	if err != nil {
+		log.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	if err := client.CancelJob(ctx, id); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := client.WaitJob(ctx, id, 10*time.Millisecond); err != nil {
+		fmt.Printf("cancelled job %s: %v\n\n", id, err)
+	} else {
+		fmt.Printf("job %s finished before the cancel landed\n\n", id)
+	}
+
+	// 4. Metrics: queue, plan cache, per-backend latency.
+	m, err := client.Metrics(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("metrics: %d jobs done, plan cache %d exact + %d structural hits / %d misses\n",
+		m.Jobs["done"], m.PlanCache.Hits, m.PlanCache.StructuralHits, m.PlanCache.Misses)
+	for name, lat := range m.Backends {
+		fmt.Printf("  %-12s %d runs, avg %.1fms, max %.1fms\n",
+			name, lat.Count, lat.AvgSeconds*1e3, lat.MaxSeconds*1e3)
+	}
+}

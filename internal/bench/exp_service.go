@@ -1,0 +1,336 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qymera/internal/circuits"
+	"qymera/internal/core"
+	"qymera/internal/quantum"
+	"qymera/internal/service"
+	"qymera/internal/sim"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "service",
+		Paper: "qymerad service tier — sync request throughput and plan-cache hit speedup over a GHZ/QFT mix",
+		Desc:  "drives an in-process qymerad over loopback HTTP with concurrent clients, checks served amplitudes are bit-identical to direct runs, and measures cold translation vs plan-cache hits; qybench -benchjson BENCH_service.json writes the machine-readable report",
+		Run:   runService,
+	})
+}
+
+// ServicePlanCacheBench is the plan-cache section of the report: cold
+// translation time vs the two cache-hit tiers for one deep
+// parameterized circuit.
+type ServicePlanCacheBench struct {
+	// Counters observed on the server after the request mix (the mix
+	// repeats circuits, so Hits must be > 0).
+	Hits           uint64 `json:"hits"`
+	StructuralHits uint64 `json:"structural_hits"`
+	Misses         uint64 `json:"misses"`
+
+	// Microbenchmark of the translation path itself (median of 3).
+	ColdTranslateSeconds float64 `json:"cold_translate_seconds"`
+	ExactHitSeconds      float64 `json:"exact_hit_seconds"`
+	StructuralHitSeconds float64 `json:"structural_hit_seconds"`
+	ExactHitSpeedup      float64 `json:"exact_hit_speedup"`
+	StructuralHitSpeedup float64 `json:"structural_hit_speedup"`
+	BenchCircuitGates    int     `json:"bench_circuit_gates"`
+	BenchCircuitStages   int     `json:"bench_circuit_stages"`
+}
+
+// ServiceBenchReport is the BENCH_service.json payload.
+type ServiceBenchReport struct {
+	Engine      string   `json:"engine"`
+	NumCPU      int      `json:"num_cpu"`
+	Workers     int      `json:"workers"`
+	Concurrency int      `json:"concurrency"`
+	Requests    int      `json:"requests"`
+	Mix         []string `json:"mix"`
+
+	WallSeconds       float64 `json:"wall_seconds"`
+	SyncThroughputRPS float64 `json:"sync_throughput_rps"`
+
+	// AmplitudesBitIdentical: every mix circuit served over HTTP
+	// produced the same state digest as a direct in-process run.
+	AmplitudesBitIdentical bool `json:"amplitudes_bit_identical"`
+
+	PlanCache ServicePlanCacheBench             `json:"plan_cache"`
+	Backends  map[string]service.BackendLatency `json:"backends"`
+}
+
+// serviceMix is the request mix: named circuits, repeated round-robin
+// so the plan cache sees repeats.
+func serviceMix(opts Options) []struct {
+	name string
+	c    *quantum.Circuit
+} {
+	ghz, qft := 10, 7
+	if opts.Quick {
+		ghz, qft = 6, 5
+	}
+	return []struct {
+		name string
+		c    *quantum.Circuit
+	}{
+		{fmt.Sprintf("ghz-%d", ghz), circuits.GHZ(ghz)},
+		{fmt.Sprintf("qft-%d", qft), circuits.QFT(qft)},
+	}
+}
+
+// RunServiceBench measures the service tier and returns the report.
+func RunServiceBench(opts Options) (*ServiceBenchReport, error) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 4 {
+		workers = 4
+	}
+	requests, concurrency := 64, 8
+	if opts.Quick {
+		requests, concurrency = 16, 4
+	}
+
+	report := &ServiceBenchReport{
+		Engine:                 "qymerad (worker pool + plan cache + shared budget)",
+		NumCPU:                 runtime.NumCPU(),
+		Workers:                workers,
+		Concurrency:            concurrency,
+		Requests:               requests,
+		AmplitudesBitIdentical: true,
+	}
+
+	srv := service.New(service.Config{Workers: workers, SpillDir: opts.SpillDir, QueueDepth: requests + concurrency})
+	defer srv.Close()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer l.Close()
+	go http.Serve(l, srv)
+	base := "http://" + l.Addr().String()
+
+	mix := serviceMix(opts)
+	bodies := make([][]byte, len(mix))
+	for i, wl := range mix {
+		report.Mix = append(report.Mix, wl.name)
+		doc, err := circuitDocJSON(wl.c)
+		if err != nil {
+			return nil, err
+		}
+		bodies[i], err = json.Marshal(service.Request{Circuit: doc})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Correctness first: each mix circuit over HTTP vs a direct run.
+	for i, wl := range mix {
+		direct, err := (&sim.SQL{SpillDir: opts.SpillDir}).Run(wl.c)
+		if err != nil {
+			return nil, fmt.Errorf("bench: service: direct %s: %w", wl.name, err)
+		}
+		served, err := postSimulate(base, bodies[i])
+		if err != nil {
+			return nil, fmt.Errorf("bench: service: serve %s: %w", wl.name, err)
+		}
+		if stateDigest(direct.State) != stateDigest(served) {
+			report.AmplitudesBitIdentical = false
+		}
+	}
+
+	// Sync throughput: concurrency clients race through the request
+	// mix. The repeats hit the plan cache, as the counters show.
+	var next atomic.Int64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= requests {
+					return
+				}
+				if _, err := postSimulate(base, bodies[i%len(bodies)]); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err, _ := firstErr.Load().(error); err != nil {
+		return nil, fmt.Errorf("bench: service: %w", err)
+	}
+	report.WallSeconds = time.Since(start).Seconds()
+	if report.WallSeconds > 0 {
+		report.SyncThroughputRPS = float64(requests) / report.WallSeconds
+	}
+
+	metrics := srv.Metrics()
+	report.Backends = metrics.Backends
+	report.PlanCache.Hits = metrics.PlanCache.Hits
+	report.PlanCache.StructuralHits = metrics.PlanCache.StructuralHits
+	report.PlanCache.Misses = metrics.PlanCache.Misses
+
+	if err := benchPlanCache(opts, &report.PlanCache); err != nil {
+		return nil, err
+	}
+	return report, nil
+}
+
+// benchPlanCache microbenchmarks the translation path: cold Translate
+// vs exact and structural cache hits, on a deep parameterized ansatz
+// (many distinct gate tables — the translation-heavy shape).
+func benchPlanCache(opts Options, out *ServicePlanCacheBench) error {
+	n, layers := 10, 4
+	if opts.Quick {
+		n, layers = 8, 2
+	}
+	point := func(theta float64) *quantum.Circuit {
+		params := make([]float64, n*layers*2)
+		for i := range params {
+			params[i] = theta * (1 + 0.01*float64(i))
+		}
+		return circuits.HardwareEfficientAnsatz(n, layers, params)
+	}
+	c0 := point(0.37)
+	coreOpts := core.Options{PruneEps: 1e-12}
+
+	tr, err := core.Translate(c0, nil, coreOpts)
+	if err != nil {
+		return err
+	}
+	out.BenchCircuitGates = c0.Len()
+	out.BenchCircuitStages = tr.StageCount
+
+	cold, err := Median3(func() (time.Duration, error) {
+		start := time.Now()
+		_, terr := core.Translate(c0, nil, coreOpts)
+		return time.Since(start), terr
+	})
+	if err != nil {
+		return err
+	}
+
+	cache := sim.NewPlanCache(8)
+	if _, err := cache.Translation(c0, nil, coreOpts); err != nil {
+		return err
+	}
+	exact, err := Median3(func() (time.Duration, error) {
+		start := time.Now()
+		_, err := cache.Translation(c0, nil, coreOpts)
+		return time.Since(start), err
+	})
+	if err != nil {
+		return err
+	}
+	// Each structural measurement uses a fresh sweep point: repeating
+	// one point would turn the second call into an exact hit.
+	sweep := 0
+	structural, err := Median3(func() (time.Duration, error) {
+		sweep++
+		c := point(1.21 + 0.1*float64(sweep))
+		start := time.Now()
+		_, err := cache.Translation(c, nil, coreOpts)
+		return time.Since(start), err
+	})
+	if err != nil {
+		return err
+	}
+
+	out.ColdTranslateSeconds = cold.Seconds()
+	out.ExactHitSeconds = exact.Seconds()
+	out.StructuralHitSeconds = structural.Seconds()
+	if exact > 0 {
+		out.ExactHitSpeedup = cold.Seconds() / exact.Seconds()
+	}
+	if structural > 0 {
+		out.StructuralHitSpeedup = cold.Seconds() / structural.Seconds()
+	}
+	return nil
+}
+
+// circuitDocJSON renders a circuit as the service's circuit document.
+func circuitDocJSON(c *quantum.Circuit) (json.RawMessage, error) {
+	type gateJSON struct {
+		Name   string    `json:"name"`
+		Qubits []int     `json:"qubits"`
+		Params []float64 `json:"params,omitempty"`
+	}
+	doc := struct {
+		NumQubits int        `json:"num_qubits"`
+		Gates     []gateJSON `json:"gates"`
+	}{NumQubits: c.NumQubits()}
+	for _, g := range c.Gates() {
+		doc.Gates = append(doc.Gates, gateJSON{g.Name, g.Qubits, g.Params})
+	}
+	return json.Marshal(doc)
+}
+
+// postSimulate POSTs one sync request and rebuilds the served state.
+func postSimulate(base string, body []byte) (*quantum.State, error) {
+	resp, err := http.Post(base+"/v1/simulate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("HTTP %d from /v1/simulate", resp.StatusCode)
+	}
+	var res service.ResultJSON
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		return nil, err
+	}
+	st := quantum.NewState(res.NumQubits)
+	for _, a := range res.Amplitudes {
+		st.Set(a.S, complex(a.R, a.I))
+	}
+	return st, nil
+}
+
+// ServiceBenchJSON renders the report for BENCH_service.json.
+func ServiceBenchJSON(opts Options) ([]byte, error) {
+	report, err := RunServiceBench(opts)
+	if err != nil {
+		return nil, err
+	}
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+func runService(opts Options) ([]*Table, error) {
+	report, err := RunServiceBench(opts)
+	if err != nil {
+		return nil, err
+	}
+	t := NewTable("qymerad service tier",
+		"metric", "value")
+	t.Addf("sync throughput", fmt.Sprintf("%.1f req/s (%d requests, %d clients, %d workers)",
+		report.SyncThroughputRPS, report.Requests, report.Concurrency, report.Workers))
+	t.Addf("amplitudes bit-identical (served vs direct)", report.AmplitudesBitIdentical)
+	pc := report.PlanCache
+	t.Addf("plan cache counters", fmt.Sprintf("%d exact + %d structural hits / %d misses", pc.Hits, pc.StructuralHits, pc.Misses))
+	t.Addf("cold translation", FormatDuration(time.Duration(pc.ColdTranslateSeconds*float64(time.Second))))
+	t.Addf("exact cache hit", fmt.Sprintf("%s (%.0fx)", FormatDuration(time.Duration(pc.ExactHitSeconds*float64(time.Second))), pc.ExactHitSpeedup))
+	t.Addf("structural cache hit", fmt.Sprintf("%s (%.1fx)", FormatDuration(time.Duration(pc.StructuralHitSeconds*float64(time.Second))), pc.StructuralHitSpeedup))
+	for name, lat := range report.Backends {
+		t.Addf("latency "+name, fmt.Sprintf("%d runs, avg %s, max %s", lat.Count,
+			FormatDuration(time.Duration(lat.AvgSeconds*float64(time.Second))),
+			FormatDuration(time.Duration(lat.MaxSeconds*float64(time.Second)))))
+	}
+	t.Note("num_cpu=%d; the mix (%v) repeats circuits, so exact hits must be > 0", report.NumCPU, report.Mix)
+	return []*Table{t}, nil
+}

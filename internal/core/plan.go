@@ -1,0 +1,222 @@
+package core
+
+import (
+	"errors"
+	"hash/fnv"
+	"io"
+	"math"
+	"strings"
+
+	"qymera/internal/quantum"
+)
+
+// Plan fingerprints and rebinding, the translation-side half of the
+// simulation service's plan cache.
+//
+// Two circuits can share translated SQL at two levels:
+//
+//   - Exactly equal inputs (same gates with the same parameters, same
+//     initial state, same options) produce byte-identical Translations;
+//     the whole cached *Translation is reusable as-is. ExactFingerprint
+//     identifies this level with a full canonical encoding — not a
+//     hash — so an exact "hit" can never alias two different circuits
+//     (a cached plan is returned without further verification).
+//
+//   - Structurally equal circuits — same gate names and qubit tuples,
+//     same pattern of parameter repetition, different parameter values
+//     (a parameter sweep) — produce the same SQL *text* (stage bodies,
+//     table names, the final WITH query): only the numeric gate-table
+//     and initial-state rows differ. StructuralKey hashes this level;
+//     a hash is safe here because every structural hit is verified by
+//     Rebind, which re-derives the fused structure and returns
+//     ErrPlanStructureMismatch on any divergence (hash collisions
+//     degrade to cache misses, never to wrong SQL).
+
+// ErrPlanStructureMismatch is returned by Rebind when the circuit's
+// fused structure does not line up with the cached translation. A
+// correct structural-key lookup never hits it; callers treat it as a
+// cache miss and fall back to Translate.
+var ErrPlanStructureMismatch = errors.New("core: cached plan structure does not match circuit")
+
+// planEncoder writes the self-delimiting canonical encoding of
+// translation inputs (lengths prefix every variable-size field, so no
+// two distinct inputs share an encoding).
+type planEncoder struct{ w io.Writer }
+
+func (p planEncoder) u64(v uint64) {
+	var buf [8]byte
+	for i := range buf {
+		buf[i] = byte(v >> (8 * i))
+	}
+	p.w.Write(buf[:])
+}
+
+func (p planEncoder) int(v int)       { p.u64(uint64(int64(v))) }
+func (p planEncoder) str(s string)    { p.int(len(s)); io.WriteString(p.w, s) }
+func (p planEncoder) float(f float64) { p.u64(math.Float64bits(f)) }
+func (p planEncoder) opts(o Options) {
+	p.int(int(o.Mode))
+	p.int(int(o.Fusion))
+	p.int(int(o.Encoding))
+	p.float(o.PruneEps)
+	p.str(o.StatePrefix)
+}
+
+// ExactFingerprint canonically encodes the full translation input:
+// every gate with its exact parameter bits, the initial state (nil
+// meaning |0…0⟩), and the options. The encoding is injective — equal
+// fingerprints mean byte-identical translations — so it is safe to
+// return a cached plan on fingerprint equality without re-verifying.
+func ExactFingerprint(c *quantum.Circuit, initial *quantum.State, opts Options) string {
+	var b strings.Builder
+	p := planEncoder{w: &b}
+	p.int(c.NumQubits())
+	p.opts(opts)
+	for _, g := range c.Gates() {
+		p.str(g.Name)
+		p.int(len(g.Qubits))
+		for _, q := range g.Qubits {
+			p.int(q)
+		}
+		p.int(len(g.Params))
+		for _, v := range g.Params {
+			p.float(v)
+		}
+	}
+	if initial == nil {
+		p.int(-1)
+	} else {
+		idx := initial.Indices() // ascending order (Indices' contract)
+		p.int(len(idx))
+		for _, s := range idx {
+			a := initial.Amplitude(s)
+			p.u64(s)
+			p.float(real(a))
+			p.float(imag(a))
+		}
+	}
+	return b.String()
+}
+
+// StructuralKey fingerprints the SQL text shape of a translation:
+// gate names and qubit tuples, the partition of gates into
+// equal-parameter classes (which decides gate-table sharing and
+// naming), and every option that appears in the generated SQL. The
+// parameter values themselves are excluded — circuits of one parameter
+// sweep share a key. The initial state is excluded too (it is pure
+// data), so callers must pair a structural hit with Rebind, which
+// regenerates the data section (and catches hash collisions).
+func StructuralKey(c *quantum.Circuit, opts Options) uint64 {
+	h := fnv.New64a()
+	p := planEncoder{w: h}
+	p.int(c.NumQubits())
+	p.opts(opts)
+	classes := map[string]int{}
+	for _, g := range c.Gates() {
+		label := g.Label()
+		class, ok := classes[label]
+		if !ok {
+			class = len(classes)
+			classes[label] = class
+		}
+		p.str(g.Name)
+		p.int(len(g.Params)) // parameterized labels are named differently
+		p.int(class)
+		p.int(len(g.Qubits))
+		for _, q := range g.Qubits {
+			p.int(q)
+		}
+	}
+	return h.Sum64()
+}
+
+// Rebind builds the translation of a circuit that is structurally equal
+// to the one behind tr (same StructuralKey): the cached SQL text —
+// stage bodies, gate-table names, the final query — is reused verbatim
+// and only the data rows (gate amplitudes, the initial state) are
+// recomputed from the circuit. A nil initial state means |0…0⟩.
+//
+// The fused gate structure is re-derived and verified against the
+// cached plan; any divergence returns ErrPlanStructureMismatch instead
+// of producing wrong SQL.
+func (tr *Translation) Rebind(c *quantum.Circuit, initial *quantum.State, opts Options) (*Translation, error) {
+	if opts.StatePrefix == "" {
+		opts.StatePrefix = "T"
+	}
+	if initial == nil {
+		initial = quantum.ZeroState(c.NumQubits())
+	}
+	if initial.NumQubits() != c.NumQubits() {
+		return nil, errors.New("core: initial state width does not match circuit")
+	}
+	if c.NumQubits() != tr.NumQubits || opts != tr.Options {
+		return nil, ErrPlanStructureMismatch
+	}
+
+	gates, err := resolveGates(c)
+	if err != nil {
+		return nil, err
+	}
+	fused, err := fuseGates(gates, opts.Fusion)
+	if err != nil {
+		return nil, err
+	}
+	if len(fused) != len(tr.Steps) {
+		return nil, ErrPlanStructureMismatch
+	}
+
+	cachedIdx := make(map[string]int, len(tr.GateTables))
+	for i, gt := range tr.GateTables {
+		cachedIdx[gt.Name] = i
+	}
+	tables := make([]GateTable, len(tr.GateTables))
+	newClass := map[string]int{} // new fused label -> cached table index
+	for i, g := range fused {
+		st := tr.Steps[i]
+		if !sameTuple(g.qubits, st.Qubits) {
+			return nil, ErrPlanStructureMismatch
+		}
+		ci, ok := cachedIdx[st.GateTable]
+		if !ok {
+			return nil, ErrPlanStructureMismatch
+		}
+		if prev, ok := newClass[g.label]; ok {
+			// A repeated label must keep mapping to the same table.
+			if prev != ci {
+				return nil, ErrPlanStructureMismatch
+			}
+			continue
+		}
+		// A fresh label must claim a table no other label has taken.
+		if tables[ci].Name != "" {
+			return nil, ErrPlanStructureMismatch
+		}
+		cached := tr.GateTables[ci]
+		if cached.Arity != len(g.qubits) {
+			return nil, ErrPlanStructureMismatch
+		}
+		newClass[g.label] = ci
+		tables[ci] = GateTable{
+			Name: cached.Name, Label: g.label, Arity: cached.Arity,
+			Rows: gateTableRows(g.matrix),
+		}
+	}
+	for i := range tables {
+		if tables[i].Name == "" {
+			return nil, ErrPlanStructureMismatch
+		}
+	}
+
+	out := &Translation{
+		NumQubits:         tr.NumQubits,
+		Setup:             buildSetup(opts.StatePrefix, initial, tables),
+		Steps:             append([]Step(nil), tr.Steps...),
+		FinalTable:        tr.FinalTable,
+		Query:             tr.Query,
+		GateTables:        tables,
+		StageCount:        tr.StageCount,
+		OriginalGateCount: c.Len(),
+		Options:           opts,
+	}
+	return out, nil
+}

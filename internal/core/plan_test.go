@@ -1,0 +1,94 @@
+package core
+
+import (
+	"testing"
+
+	"qymera/internal/quantum"
+)
+
+func ansatz(theta float64) *quantum.Circuit {
+	c := quantum.NewCircuit(3)
+	c.H(0).RZ(0, theta).CX(0, 1).RZ(1, 2*theta).CX(1, 2).RZ(2, theta)
+	return c
+}
+
+func TestExactFingerprintStability(t *testing.T) {
+	a := ExactFingerprint(ansatz(0.5), nil, Options{})
+	b := ExactFingerprint(ansatz(0.5), nil, Options{})
+	if a != b {
+		t.Fatal("equal inputs produced different exact fingerprints")
+	}
+	if ExactFingerprint(ansatz(0.6), nil, Options{}) == a {
+		t.Fatal("different parameters produced the same exact fingerprint")
+	}
+	if ExactFingerprint(ansatz(0.5), nil, Options{Fusion: FusionSameQubits}) == a {
+		t.Fatal("different options produced the same exact fingerprint")
+	}
+	if ExactFingerprint(ansatz(0.5), quantum.BasisState(3, 5), Options{}) == a {
+		t.Fatal("different initial state produced the same exact fingerprint")
+	}
+}
+
+func TestStructuralKeySweepInvariance(t *testing.T) {
+	a := StructuralKey(ansatz(0.5), Options{})
+	if b := StructuralKey(ansatz(1.25), Options{}); b != a {
+		t.Fatal("sweep points of one circuit family have different structural keys")
+	}
+	// A circuit where the two RZ(θ) gates share parameters has a
+	// different label-class partition (they share one gate table).
+	shared := quantum.NewCircuit(3)
+	shared.H(0).RZ(0, 0.5).CX(0, 1).RZ(1, 0.5).CX(1, 2).RZ(2, 0.5)
+	if StructuralKey(shared, Options{}) == a {
+		t.Fatal("different parameter-sharing patterns produced the same structural key")
+	}
+	// Different gate names must never collide.
+	other := quantum.NewCircuit(3)
+	other.H(0).RX(0, 0.5).CX(0, 1).RX(1, 1.0).CX(1, 2).RX(2, 0.5)
+	if StructuralKey(other, Options{}) == a {
+		t.Fatal("different gate names produced the same structural key")
+	}
+}
+
+// TestRebindMatchesTranslate verifies the core cache guarantee: a plan
+// rebound onto a different sweep point is byte-identical to translating
+// that point from scratch.
+func TestRebindMatchesTranslate(t *testing.T) {
+	for _, opts := range []Options{
+		{},
+		{Fusion: FusionSameQubits},
+		{Fusion: FusionSubset, PruneEps: 1e-12},
+		{Mode: MaterializedChain},
+	} {
+		cached, err := Translate(ansatz(0.5), nil, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Translate(ansatz(1.75), nil, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := cached.Rebind(ansatz(1.75), nil, opts)
+		if err != nil {
+			t.Fatalf("opts %+v: rebind: %v", opts, err)
+		}
+		if got.Script() != want.Script() {
+			t.Fatalf("opts %+v: rebound script differs from fresh translation:\n--- rebound ---\n%s\n--- fresh ---\n%s",
+				opts, got.Script(), want.Script())
+		}
+	}
+}
+
+func TestRebindRejectsMismatch(t *testing.T) {
+	cached, err := Translate(ansatz(0.5), nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := quantum.NewCircuit(3)
+	other.H(0).CX(0, 1)
+	if _, err := cached.Rebind(other, nil, Options{}); err != ErrPlanStructureMismatch {
+		t.Fatalf("want ErrPlanStructureMismatch, got %v", err)
+	}
+	if _, err := cached.Rebind(ansatz(0.5), nil, Options{Fusion: FusionSubset}); err != ErrPlanStructureMismatch {
+		t.Fatalf("want ErrPlanStructureMismatch for option change, got %v", err)
+	}
+}

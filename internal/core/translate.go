@@ -23,6 +23,7 @@ import (
 	"strconv"
 	"strings"
 
+	"qymera/internal/linalg"
 	"qymera/internal/quantum"
 )
 
@@ -138,52 +139,16 @@ func Translate(c *quantum.Circuit, initial *quantum.State, opts Options) (*Trans
 		}
 		name := sanitizeTableName(g.label, used)
 		names[g.label] = name
-		tbl := GateTable{Name: name, Label: g.label, Arity: len(g.qubits)}
-		dim := g.matrix.Rows
-		for in := 0; in < dim; in++ {
-			for out := 0; out < dim; out++ {
-				a := g.matrix.At(out, in)
-				if cmplx.Abs(a) <= zeroTol {
-					continue
-				}
-				tbl.Rows = append(tbl.Rows, GateRow{
-					InS: uint64(in), OutS: uint64(out),
-					R: real(a), I: imag(a),
-				})
-			}
-		}
-		tr.GateTables = append(tr.GateTables, tbl)
+		tr.GateTables = append(tr.GateTables, GateTable{
+			Name: name, Label: g.label, Arity: len(g.qubits),
+			Rows: gateTableRows(g.matrix),
+		})
 	}
 
-	// Setup: initial state table.
-	t0 := opts.StatePrefix + "0"
-	tr.Setup = append(tr.Setup,
-		fmt.Sprintf("CREATE TABLE %s (s INTEGER, r REAL, i REAL)", t0))
-	var vals []string
-	for _, idx := range initial.Indices() {
-		a := initial.Amplitude(idx)
-		vals = append(vals, fmt.Sprintf("(%d, %s, %s)", idx, formatFloat(real(a)), formatFloat(imag(a))))
-	}
-	if len(vals) > 0 {
-		tr.Setup = append(tr.Setup, fmt.Sprintf("INSERT INTO %s VALUES %s", t0, strings.Join(vals, ", ")))
-	}
-
-	// Setup: gate tables.
-	for _, tbl := range tr.GateTables {
-		tr.Setup = append(tr.Setup,
-			fmt.Sprintf("CREATE TABLE %s (in_s INTEGER, out_s INTEGER, r REAL, i REAL)", tbl.Name))
-		rows := make([]string, len(tbl.Rows))
-		for i, r := range tbl.Rows {
-			rows[i] = fmt.Sprintf("(%d, %d, %s, %s)", r.InS, r.OutS, formatFloat(r.R), formatFloat(r.I))
-		}
-		if len(rows) > 0 {
-			tr.Setup = append(tr.Setup,
-				fmt.Sprintf("INSERT INTO %s VALUES %s", tbl.Name, strings.Join(rows, ", ")))
-		}
-	}
+	tr.Setup = buildSetup(opts.StatePrefix, initial, tr.GateTables)
 
 	// Per-stage queries.
-	prev := t0
+	prev := opts.StatePrefix + "0"
 	for k, g := range fused {
 		table := fmt.Sprintf("%s%d", opts.StatePrefix, k+1)
 		gate := names[g.label]
@@ -219,6 +184,57 @@ func Translate(c *quantum.Circuit, initial *quantum.State, opts Options) (*Trans
 		tr.Query = b.String()
 	}
 	return tr, nil
+}
+
+// gateTableRows extracts the transition-amplitude tuples of a gate
+// matrix, dropping exact (and numerically negligible) zeros.
+func gateTableRows(m *linalg.Matrix) []GateRow {
+	var rows []GateRow
+	dim := m.Rows
+	for in := 0; in < dim; in++ {
+		for out := 0; out < dim; out++ {
+			a := m.At(out, in)
+			if cmplx.Abs(a) <= zeroTol {
+				continue
+			}
+			rows = append(rows, GateRow{
+				InS: uint64(in), OutS: uint64(out),
+				R: real(a), I: imag(a),
+			})
+		}
+	}
+	return rows
+}
+
+// buildSetup renders the DDL+DML prologue: the initial state table plus
+// one table per distinct gate. Shared by Translate and Rebind (the
+// rebinding path regenerates only this data section of a cached plan).
+func buildSetup(prefix string, initial *quantum.State, tables []GateTable) []string {
+	var setup []string
+	t0 := prefix + "0"
+	setup = append(setup,
+		fmt.Sprintf("CREATE TABLE %s (s INTEGER, r REAL, i REAL)", t0))
+	var vals []string
+	for _, idx := range initial.Indices() {
+		a := initial.Amplitude(idx)
+		vals = append(vals, fmt.Sprintf("(%d, %s, %s)", idx, formatFloat(real(a)), formatFloat(imag(a))))
+	}
+	if len(vals) > 0 {
+		setup = append(setup, fmt.Sprintf("INSERT INTO %s VALUES %s", t0, strings.Join(vals, ", ")))
+	}
+	for _, tbl := range tables {
+		setup = append(setup,
+			fmt.Sprintf("CREATE TABLE %s (in_s INTEGER, out_s INTEGER, r REAL, i REAL)", tbl.Name))
+		rows := make([]string, len(tbl.Rows))
+		for i, r := range tbl.Rows {
+			rows[i] = fmt.Sprintf("(%d, %d, %s, %s)", r.InS, r.OutS, formatFloat(r.R), formatFloat(r.I))
+		}
+		if len(rows) > 0 {
+			setup = append(setup,
+				fmt.Sprintf("INSERT INTO %s VALUES %s", tbl.Name, strings.Join(rows, ", ")))
+		}
+	}
+	return setup
 }
 
 // stageSelect renders one gate application (Fig. 2c query body).

@@ -1,0 +1,230 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"qymera/internal/sim"
+)
+
+// routes wires the HTTP API (documented in docs/SERVICE.md).
+func (s *Server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// errorJSON is every non-2xx body.
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		status = http.StatusTooManyRequests
+	case errors.Is(err, ErrClosed):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, ErrNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrOverBudget):
+		status = http.StatusUnprocessableEntity
+	case errors.Is(err, sim.ErrMemoryBudget):
+		status = http.StatusInsufficientStorage
+	}
+	writeJSON(w, status, errorJSON{Error: err.Error()})
+}
+
+func decodeRequest(r *http.Request) (Request, error) {
+	var req Request
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(&req); err != nil {
+		return req, fmt.Errorf("invalid request body: %w", err)
+	}
+	return req, nil
+}
+
+// wantsNDJSON reports whether the client asked for amplitude streaming.
+func wantsNDJSON(r *http.Request) bool {
+	if q := r.URL.Query().Get("stream"); q != "" {
+		return strings.EqualFold(q, "ndjson")
+	}
+	return strings.Contains(r.Header.Get("Accept"), "application/x-ndjson")
+}
+
+// handleSimulate is the synchronous path: the request occupies a worker
+// slot until it finishes (or the client hangs up, which cancels the
+// engine work). Responses are one JSON document, or — with
+// ?stream=ndjson or Accept: application/x-ndjson — an NDJSON stream:
+// a header line {"num_qubits":…}, one line per nonzero amplitude
+// ({"s":…,"r":…,"i":…}, sorted by s), and a final {"stats":{…}} line.
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	req, err := decodeRequest(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	res, err := s.manager.RunSync(r.Context(), req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if !wantsNDJSON(r) {
+		writeJSON(w, http.StatusOK, resultJSON(res))
+		return
+	}
+
+	// NDJSON streaming: amplitudes are written (and flushed in chunks)
+	// as they are gathered, so a large state never needs a single giant
+	// response buffer.
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	type header struct {
+		NumQubits  int    `json:"num_qubits"`
+		Backend    string `json:"backend"`
+		Amplitudes int    `json:"amplitudes"`
+	}
+	enc.Encode(header{NumQubits: res.State.NumQubits(), Backend: res.Stats.Backend, Amplitudes: res.State.Len()})
+	for i, a := range stateAmplitudes(res.State) {
+		enc.Encode(a)
+		if flusher != nil && i%4096 == 4095 {
+			flusher.Flush()
+		}
+	}
+	type trailer struct {
+		Stats StatsJSON `json:"stats"`
+	}
+	enc.Encode(trailer{Stats: statsJSON(res.Stats)})
+}
+
+// handleSubmit enqueues an asynchronous job.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	req, err := decodeRequest(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	j, err := s.manager.Submit(req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, s.manager.Snapshot(j, false))
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.manager.Jobs()})
+}
+
+// handleGetJob reports one job; done jobs embed the result unless
+// ?result=0.
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	j, err := s.manager.Job(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	includeResult := r.URL.Query().Get("result") != "0"
+	writeJSON(w, http.StatusOK, s.manager.Snapshot(j, includeResult))
+}
+
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.manager.Cancel(id); err != nil {
+		writeError(w, err)
+		return
+	}
+	j, err := s.manager.Job(id)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.manager.Snapshot(j, false))
+}
+
+// HealthJSON is the /healthz body.
+type HealthJSON struct {
+	Status        string   `json:"status"`
+	Backends      []string `json:"backends"`
+	Workers       int      `json:"workers"`
+	UptimeSeconds float64  `json:"uptime_seconds"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthJSON{
+		Status:        "ok",
+		Backends:      BackendNames(),
+		Workers:       s.manager.cfg.Workers,
+		UptimeSeconds: time.Since(s.started).Seconds(),
+	})
+}
+
+// MetricsJSON is the expvar-style /metrics body.
+type MetricsJSON struct {
+	QueueDepth     int              `json:"queue_depth"`
+	QueueCapacity  int              `json:"queue_capacity"`
+	Workers        int              `json:"workers"`
+	Jobs           map[string]int64 `json:"jobs"` // by terminal status
+	AdmissionWaits int64            `json:"admission_waits"`
+
+	PlanCache sim.PlanCacheStats `json:"plan_cache"`
+
+	Budget struct {
+		LimitBytes int64 `json:"limit_bytes"`
+		UsedBytes  int64 `json:"used_bytes"`
+		PeakBytes  int64 `json:"peak_bytes"`
+		// AdmittedBytes is the admission ledger: the sum of running
+		// jobs' declared estimates.
+		AdmittedBytes int64 `json:"admitted_bytes"`
+	} `json:"memory_budget"`
+
+	Backends map[string]BackendLatency `json:"backends"`
+}
+
+// Metrics snapshots the service counters (also used by the bench
+// harness in-process).
+func (s *Server) Metrics() MetricsJSON {
+	m := s.manager
+	statuses, backends := m.metrics.snapshot()
+	out := MetricsJSON{
+		QueueDepth:     m.QueueDepth(),
+		QueueCapacity:  m.cfg.QueueDepth,
+		Workers:        m.cfg.Workers,
+		Jobs:           statuses,
+		AdmissionWaits: m.metrics.admissionWaits.Load(),
+		PlanCache:      m.PlanCacheStats(),
+		Backends:       backends,
+	}
+	out.Budget.LimitBytes = m.budget.Limit()
+	out.Budget.UsedBytes = m.budget.Used()
+	out.Budget.PeakBytes = m.budget.Peak()
+	m.mu.Lock()
+	out.Budget.AdmittedBytes = m.admitted
+	m.mu.Unlock()
+	return out
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}

@@ -1,0 +1,421 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"qymera/internal/sim"
+	"qymera/internal/sqlengine"
+)
+
+// JobStatus is one job's lifecycle state.
+type JobStatus string
+
+const (
+	JobQueued    JobStatus = "queued"
+	JobRunning   JobStatus = "running"
+	JobDone      JobStatus = "done"
+	JobFailed    JobStatus = "failed"
+	JobCancelled JobStatus = "cancelled"
+)
+
+// terminal reports whether the status is final.
+func (s JobStatus) terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCancelled
+}
+
+var (
+	// ErrQueueFull rejects submissions beyond Config.QueueDepth.
+	ErrQueueFull = errors.New("service: job queue is full")
+	// ErrClosed rejects work after Close.
+	ErrClosed = errors.New("service: manager is closed")
+	// ErrNotFound marks unknown (or evicted) job ids.
+	ErrNotFound = errors.New("service: no such job")
+	// ErrOverBudget rejects jobs whose declared estimate can never fit
+	// the configured memory budget.
+	ErrOverBudget = errors.New("service: estimated_bytes exceeds the server memory budget")
+)
+
+// Job is one queued or running simulation. All mutable fields are
+// guarded by the owning Manager's mutex.
+type Job struct {
+	ID  string
+	req *parsedRequest
+
+	status JobStatus
+	err    error
+	result *sim.Result
+
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	// admittedBytes is the admission-ledger reservation this job holds
+	// while running (0 until admitted; released by finish).
+	admittedBytes int64
+}
+
+// Manager owns the worker pool, the FIFO queue, the shared engine
+// budget, and the shared plan cache.
+type Manager struct {
+	cfg     Config
+	budget  *sqlengine.MemBudget
+	cache   *sim.PlanCache
+	metrics *metrics
+
+	mu     sync.Mutex
+	cond   *sync.Cond // admission + Close wakeups
+	jobs   map[string]*Job
+	order  []string // submission order, for finished-job eviction
+	nextID int
+	closed bool
+	// admitted is the admission ledger: the sum of running jobs'
+	// declared estimates. A job is admitted only while
+	// admitted + estimate <= budget limit, so declared peak memory
+	// never oversubscribes the shared engine budget regardless of how
+	// actual usage fluctuates mid-query.
+	admitted int64
+
+	queue chan *Job
+	wg    sync.WaitGroup
+}
+
+// NewManager starts the worker pool.
+func NewManager(cfg Config) *Manager {
+	cfg = cfg.withDefaults()
+	m := &Manager{
+		cfg:     cfg,
+		budget:  sqlengine.NewMemBudget(cfg.MemoryBudget),
+		metrics: newMetrics(),
+		jobs:    map[string]*Job{},
+		queue:   make(chan *Job, cfg.QueueDepth),
+	}
+	if cfg.PlanCacheSize >= 0 {
+		m.cache = sim.NewPlanCache(cfg.PlanCacheSize)
+	}
+	m.cond = sync.NewCond(&m.mu)
+	for i := 0; i < cfg.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// Budget exposes the shared engine memory budget.
+func (m *Manager) Budget() *sqlengine.MemBudget { return m.budget }
+
+// PlanCacheStats snapshots the shared plan cache (zero value when
+// caching is disabled).
+func (m *Manager) PlanCacheStats() sim.PlanCacheStats {
+	if m.cache == nil {
+		return sim.PlanCacheStats{}
+	}
+	return m.cache.Stats()
+}
+
+// QueueDepth reports how many submitted jobs have not started running.
+func (m *Manager) QueueDepth() int { return len(m.queue) }
+
+// Submit validates and enqueues a request, returning the queued job.
+func (m *Manager) Submit(req Request) (*Job, error) {
+	p, err := parseRequest(req)
+	if err != nil {
+		return nil, err
+	}
+	if lim := m.budget.Limit(); lim > 0 && p.estimate > lim {
+		return nil, fmt.Errorf("%w: %d > %d", ErrOverBudget, p.estimate, lim)
+	}
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrClosed
+	}
+	m.nextID++
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &Job{
+		ID:        fmt.Sprintf("job-%d", m.nextID),
+		req:       p,
+		status:    JobQueued,
+		submitted: time.Now(),
+		ctx:       ctx,
+		cancel:    cancel,
+		done:      make(chan struct{}),
+	}
+	select {
+	case m.queue <- j:
+	default:
+		m.mu.Unlock()
+		cancel()
+		return nil, ErrQueueFull
+	}
+	m.jobs[j.ID] = j
+	m.order = append(m.order, j.ID)
+	m.evictFinishedLocked()
+	m.mu.Unlock()
+	return j, nil
+}
+
+// evictFinishedLocked drops the oldest finished jobs beyond RetainJobs.
+func (m *Manager) evictFinishedLocked() {
+	finished := 0
+	for _, id := range m.order {
+		if j, ok := m.jobs[id]; ok && j.status.terminal() {
+			finished++
+		}
+	}
+	if finished <= m.cfg.RetainJobs {
+		return
+	}
+	keep := m.order[:0]
+	for _, id := range m.order {
+		j, ok := m.jobs[id]
+		if !ok {
+			continue
+		}
+		if finished > m.cfg.RetainJobs && j.status.terminal() {
+			delete(m.jobs, id)
+			finished--
+			continue
+		}
+		keep = append(keep, id)
+	}
+	m.order = keep
+}
+
+// worker drains the queue. Each job passes admission control before it
+// runs: its declared memory estimate must fit the shared budget's
+// current headroom, otherwise the worker blocks until running jobs
+// release memory (or the job is cancelled).
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for j := range m.queue {
+		m.runJob(j)
+	}
+}
+
+// admit blocks until the job's declared estimate fits the admission
+// ledger: the sum of running jobs' estimates may never exceed the
+// shared budget's limit. (Actual engine usage is separately capped by
+// the budget itself, which spills; the ledger keeps declared peaks
+// from oversubscribing it.) Admission order is whatever order workers
+// wake in; fairness across the (few) workers is not needed. Returns
+// false when the job was cancelled or the manager closed while
+// waiting.
+func (m *Manager) admit(j *Job) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		if j.ctx.Err() != nil || m.closed {
+			return false
+		}
+		limit := m.budget.Limit()
+		if j.req.estimate == 0 || limit <= 0 || m.admitted+j.req.estimate <= limit {
+			j.admittedBytes = j.req.estimate
+			m.admitted += j.admittedBytes
+			return true
+		}
+		m.metrics.admissionWaits.Add(1)
+		m.cond.Wait()
+	}
+}
+
+func (m *Manager) runJob(j *Job) {
+	if !m.admit(j) {
+		m.finish(j, nil, context.Canceled)
+		return
+	}
+
+	m.mu.Lock()
+	if j.ctx.Err() != nil {
+		m.mu.Unlock()
+		m.finish(j, nil, context.Canceled)
+		return
+	}
+	j.status = JobRunning
+	j.started = time.Now()
+	backend, err := m.newBackend(j.req)
+	m.mu.Unlock()
+	if err != nil {
+		m.finish(j, nil, err)
+		return
+	}
+
+	res, err := backend.RunContext(j.ctx, j.req.circuit)
+	m.finish(j, res, err)
+}
+
+// finish records a job's outcome, releases its admission reservation,
+// updates metrics, and wakes admission waiters.
+func (m *Manager) finish(j *Job, res *sim.Result, err error) {
+	m.mu.Lock()
+	m.admitted -= j.admittedBytes
+	j.admittedBytes = 0
+	j.finished = time.Now()
+	switch {
+	case err == nil:
+		j.status = JobDone
+		j.result = res
+	case errors.Is(err, context.Canceled):
+		j.status = JobCancelled
+		j.err = err
+	default:
+		j.status = JobFailed
+		j.err = err
+	}
+	j.cancel() // release the context's resources
+	m.mu.Unlock()
+	close(j.done)
+
+	if !j.started.IsZero() {
+		m.metrics.observe(j.req.backend, j.status, j.finished.Sub(j.started))
+	} else {
+		m.metrics.observe(j.req.backend, j.status, 0)
+	}
+	m.cond.Broadcast()
+}
+
+// Job looks a job up by id.
+func (m *Manager) Job(id string) (*Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return j, nil
+}
+
+// Cancel requests cancellation: a queued job finishes as cancelled
+// without running; a running job's engine work stops at the next
+// batch/morsel boundary. Cancelling a finished job is a no-op.
+func (m *Manager) Cancel(id string) error {
+	j, err := m.Job(id)
+	if err != nil {
+		return err
+	}
+	j.cancel()
+	m.cond.Broadcast() // unblock admission waits on this job
+	return nil
+}
+
+// Wait blocks until the job finishes or ctx is done.
+func (m *Manager) Wait(ctx context.Context, id string) (*Job, error) {
+	j, err := m.Job(id)
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case <-j.done:
+		return j, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// RunSync submits and waits. When ctx is cancelled mid-run (an HTTP
+// client hanging up), the job is cancelled too — engine-level, so the
+// in-flight query aborts and releases its memory.
+func (m *Manager) RunSync(ctx context.Context, req Request) (*sim.Result, error) {
+	j, err := m.Submit(req)
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		j.cancel()
+		m.cond.Broadcast()
+		<-j.done
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if j.err != nil {
+		return nil, j.err
+	}
+	return j.result, nil
+}
+
+// Snapshot renders a job for the API. Results are attached only to
+// done jobs and only when includeResult is set (they can be large; the
+// amplitude gather happens outside the manager lock so a slow poller
+// never stalls scheduling).
+func (m *Manager) Snapshot(j *Job, includeResult bool) JobJSON {
+	m.mu.Lock()
+	out := JobJSON{
+		ID:          j.ID,
+		Status:      string(j.status),
+		Backend:     j.req.backend,
+		NumQubits:   j.req.circuit.NumQubits(),
+		Gates:       j.req.circuit.Len(),
+		SubmittedAt: j.submitted,
+	}
+	if j.err != nil {
+		out.Error = j.err.Error()
+	}
+	switch {
+	case j.started.IsZero() && j.finished.IsZero():
+		out.QueueSeconds = time.Since(j.submitted).Seconds()
+	case j.started.IsZero():
+		out.QueueSeconds = j.finished.Sub(j.submitted).Seconds()
+	default:
+		out.QueueSeconds = j.started.Sub(j.submitted).Seconds()
+		if j.finished.IsZero() {
+			out.RunSeconds = time.Since(j.started).Seconds()
+		} else {
+			out.RunSeconds = j.finished.Sub(j.started).Seconds()
+		}
+	}
+	var res *sim.Result
+	if includeResult && j.status == JobDone {
+		res = j.result // immutable once done
+	}
+	m.mu.Unlock()
+	if res != nil {
+		out.Result = resultJSON(res)
+	}
+	return out
+}
+
+// Jobs snapshots every retained job, newest first.
+func (m *Manager) Jobs() []JobJSON {
+	m.mu.Lock()
+	ids := append([]string(nil), m.order...)
+	m.mu.Unlock()
+	out := make([]JobJSON, 0, len(ids))
+	for i := len(ids) - 1; i >= 0; i-- {
+		if j, err := m.Job(ids[i]); err == nil {
+			out = append(out, m.Snapshot(j, false))
+		}
+	}
+	return out
+}
+
+// Close cancels all queued and running jobs and joins the workers.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	close(m.queue)
+	for _, j := range m.jobs {
+		j.cancel()
+	}
+	m.mu.Unlock()
+	m.cond.Broadcast()
+
+	// Drain jobs the workers never picked up.
+	for j := range m.queue {
+		m.finish(j, nil, context.Canceled)
+	}
+	m.wg.Wait()
+}

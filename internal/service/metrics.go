@@ -1,0 +1,77 @@
+package service
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// metrics aggregates service counters for the /metrics endpoint.
+type metrics struct {
+	admissionWaits atomic.Int64
+
+	mu       sync.Mutex
+	statuses map[JobStatus]int64
+	backends map[string]*latencyRec
+}
+
+// latencyRec accumulates per-backend run latency.
+type latencyRec struct {
+	count int64
+	total time.Duration
+	max   time.Duration
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		statuses: map[JobStatus]int64{},
+		backends: map[string]*latencyRec{},
+	}
+}
+
+// observe records one finished job's backend, terminal status, and run
+// duration (zero for jobs that never ran).
+func (m *metrics) observe(backend string, status JobStatus, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.statuses[status]++
+	if status != JobDone {
+		return
+	}
+	rec := m.backends[backend]
+	if rec == nil {
+		rec = &latencyRec{}
+		m.backends[backend] = rec
+	}
+	rec.count++
+	rec.total += d
+	if d > rec.max {
+		rec.max = d
+	}
+}
+
+// BackendLatency is one backend's latency summary on the wire.
+type BackendLatency struct {
+	Count      int64   `json:"count"`
+	AvgSeconds float64 `json:"avg_seconds"`
+	MaxSeconds float64 `json:"max_seconds"`
+}
+
+// statusCounts and latencies snapshot the aggregates.
+func (m *metrics) snapshot() (map[string]int64, map[string]BackendLatency) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	statuses := make(map[string]int64, len(m.statuses))
+	for s, n := range m.statuses {
+		statuses[string(s)] = n
+	}
+	backends := make(map[string]BackendLatency, len(m.backends))
+	for b, rec := range m.backends {
+		lat := BackendLatency{Count: rec.count, MaxSeconds: rec.max.Seconds()}
+		if rec.count > 0 {
+			lat.AvgSeconds = (rec.total / time.Duration(rec.count)).Seconds()
+		}
+		backends[b] = lat
+	}
+	return statuses, backends
+}

@@ -1,0 +1,104 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"qymera/internal/circuits"
+	"qymera/internal/sim"
+)
+
+// TestQymeradBinarySmoke is the end-to-end smoke CI runs: build the
+// real qymerad binary, start it, POST a GHZ-8 circuit over HTTP, and
+// assert the amplitudes are bit-identical to a direct in-process
+// NewSQLBackend-style run of the same circuit.
+func TestQymeradBinarySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping binary smoke")
+	}
+	bin := filepath.Join(t.TempDir(), "qymerad")
+	build := exec.Command("go", "build", "-o", bin, "qymera/cmd/qymerad")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building qymerad: %v\n%s", err, out)
+	}
+
+	// Pick a free port, then hand it to the server.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	srv := exec.Command(bin, "-addr", addr, "-workers", "2")
+	var logs bytes.Buffer
+	srv.Stdout, srv.Stderr = &logs, &logs
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		srv.Process.Kill()
+		srv.Wait()
+	}()
+
+	base := "http://" + addr
+	waitHealthy(t, base, &logs)
+
+	// POST the GHZ-8 circuit.
+	c := circuits.GHZ(8)
+	body, err := json.Marshal(Request{Circuit: circuitDoc(t, c)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/simulate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("simulate status %d\nserver logs:\n%s", resp.StatusCode, logs.String())
+	}
+	res := decodeBody[ResultJSON](t, resp)
+
+	// Direct in-process run of the same circuit on the SQL backend.
+	want, err := (&sim.SQL{}).Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	statesEqualBits(t, want.State, res.Amplitudes)
+
+	// The server's metrics must be live too.
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := decodeBody[MetricsJSON](t, mresp)
+	if metrics.Jobs["done"] != 1 {
+		t.Fatalf("metrics after one request: %+v", metrics)
+	}
+}
+
+func waitHealthy(t *testing.T, base string, logs *bytes.Buffer) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never became healthy: %v\nserver logs:\n%s", err, logs.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

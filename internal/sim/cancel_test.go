@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"qymera/internal/circuits"
+	"qymera/internal/sqlengine"
+)
+
+// TestSQLBackendCancelReleasesEverything is the service tier's core
+// safety property: cancelling an in-flight SQL-backend simulation stops
+// it within one batch/morsel boundary of engine work and leaks neither
+// goroutines nor memBudget reservations — at one worker and at four.
+func TestSQLBackendCancelReleasesEverything(t *testing.T) {
+	// 2^16 nonzero amplitudes: each gate stage spans many batches and
+	// multiple morsels, so cancellation lands mid-query.
+	circuit := circuits.ParitySuperposition(16)
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			budget := sqlengine.NewMemBudget(0)
+			b := &SQL{Parallelism: workers, Budget: budget}
+
+			// Uncancelled baseline so the cancelled attempt provably
+			// stops early.
+			begin := time.Now()
+			if _, err := b.Run(circuit); err != nil {
+				t.Fatal(err)
+			}
+			full := time.Since(begin)
+			if used := budget.Used(); used != 0 {
+				t.Fatalf("baseline run leaked %d budget bytes", used)
+			}
+
+			goroutines := runtime.NumGoroutine()
+			ctx, cancel := context.WithCancel(context.Background())
+			done := make(chan error, 1)
+			go func() {
+				_, err := b.RunContext(ctx, circuit)
+				done <- err
+			}()
+			time.Sleep(full / 8)
+			cancel()
+			var err error
+			select {
+			case err = <-done:
+			case <-time.After(30 * time.Second):
+				t.Fatal("cancelled simulation did not return")
+			}
+			if err == nil {
+				t.Skip("simulation finished before cancellation landed")
+			}
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("want context.Canceled, got %v", err)
+			}
+			if used := budget.Used(); used != 0 {
+				t.Fatalf("cancelled run leaked %d budget bytes", used)
+			}
+			waitForGoroutineBaseline(t, goroutines)
+		})
+	}
+}
+
+// TestAllBackendsHonourCancellation runs every backend with an
+// already-cancelled context: each must fail fast with ctx.Err().
+func TestAllBackendsHonourCancellation(t *testing.T) {
+	c := circuits.QFT(6)
+	backends := []Backend{
+		&SQL{}, &StateVector{}, &Sparse{}, &MPS{}, &DD{},
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, b := range backends {
+		if _, err := b.RunContext(ctx, c); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: want context.Canceled, got %v", b.Name(), err)
+		}
+	}
+}
+
+// waitForGoroutineBaseline retries until the goroutine count returns to
+// the baseline (goleak-style: cancellation unwinds workers
+// asynchronously, so poll with a deadline).
+func waitForGoroutineBaseline(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked after cancel: %d now vs %d before\n%s",
+				runtime.NumGoroutine(), baseline, buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

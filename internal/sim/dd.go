@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/cmplx"
@@ -213,6 +214,11 @@ func scaleEdge(e ddEdge, f complex128) ddEdge {
 
 // Run implements Backend.
 func (d *DD) Run(c *quantum.Circuit) (*Result, error) {
+	return d.RunContext(context.Background(), c)
+}
+
+// RunContext implements Backend; cancellation is checked between gates.
+func (d *DD) RunContext(runCtx context.Context, c *quantum.Circuit) (*Result, error) {
 	start := time.Now()
 	n := c.NumQubits()
 	ctx := newDDCtx()
@@ -224,6 +230,9 @@ func (d *DD) Run(c *quantum.Circuit) (*Result, error) {
 
 	var peakReachable int
 	for gi, g := range c.Gates() {
+		if err := ctxErr(d.Name(), runCtx); err != nil {
+			return nil, err
+		}
 		prims, err := lowerGate(g)
 		if err != nil {
 			return nil, err

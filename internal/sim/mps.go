@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/cmplx"
@@ -55,6 +56,11 @@ func newMPSTensor(dl, dr int) *mpsTensor {
 
 // Run implements Backend.
 func (m *MPS) Run(c *quantum.Circuit) (*Result, error) {
+	return m.RunContext(context.Background(), c)
+}
+
+// RunContext implements Backend; cancellation is checked between gates.
+func (m *MPS) RunContext(ctx context.Context, c *quantum.Circuit) (*Result, error) {
 	start := time.Now()
 	n := c.NumQubits()
 	eps := m.TruncEps
@@ -79,6 +85,9 @@ func (m *MPS) Run(c *quantum.Circuit) (*Result, error) {
 	var maxElems int64
 
 	for _, g := range c.Gates() {
+		if err := ctxErr(m.Name(), ctx); err != nil {
+			return nil, err
+		}
 		mat, err := g.Matrix()
 		if err != nil {
 			return nil, err

@@ -1,0 +1,156 @@
+package sim
+
+import (
+	"container/list"
+	"errors"
+	"sync"
+
+	"qymera/internal/core"
+	"qymera/internal/quantum"
+)
+
+// PlanCache is an LRU cache of circuit→SQL translations, shared across
+// SQL-backend runs (and, in the simulation service, across concurrent
+// requests). It has two hit tiers:
+//
+//   - exact: the same circuit (same gates, parameters, initial state,
+//     options) was translated before — the cached *Translation is
+//     returned as-is, skipping translation entirely. The exact index
+//     is keyed by the full canonical input encoding
+//     (core.ExactFingerprint), not a hash, so a hit can never alias
+//     two different circuits;
+//   - structural: a circuit with the same SQL text shape but different
+//     parameter values (a parameter sweep) was translated before — the
+//     cached SQL is reused and only the numeric gate/initial-state rows
+//     are recomputed (core.Rebind, which verifies the structure, so the
+//     hash-keyed structural index degrades to a miss on collision).
+//
+// Cached translations are shared read-only; callers must not mutate
+// them. All methods are safe for concurrent use.
+type PlanCache struct {
+	mu         sync.Mutex
+	capacity   int
+	lru        *list.List // of *planEntry, front = most recent
+	exact      map[string]*list.Element
+	structural map[uint64]*list.Element
+
+	hits           uint64 // exact-tier hits
+	structuralHits uint64
+	misses         uint64
+}
+
+type planEntry struct {
+	exactKey  string
+	structKey uint64
+	tr        *core.Translation
+}
+
+// DefaultPlanCacheSize is the entry capacity used when NewPlanCache is
+// called with a non-positive size.
+const DefaultPlanCacheSize = 128
+
+// NewPlanCache returns a cache holding at most capacity translations
+// (<= 0 uses DefaultPlanCacheSize).
+func NewPlanCache(capacity int) *PlanCache {
+	if capacity <= 0 {
+		capacity = DefaultPlanCacheSize
+	}
+	return &PlanCache{
+		capacity:   capacity,
+		lru:        list.New(),
+		exact:      map[string]*list.Element{},
+		structural: map[uint64]*list.Element{},
+	}
+}
+
+// PlanCacheStats is a snapshot of cache counters.
+type PlanCacheStats struct {
+	Hits           uint64 `json:"hits"`            // exact-tier hits
+	StructuralHits uint64 `json:"structural_hits"` // rebind-tier hits
+	Misses         uint64 `json:"misses"`
+	Entries        int    `json:"entries"`
+}
+
+// Stats returns the current counters.
+func (pc *PlanCache) Stats() PlanCacheStats {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return PlanCacheStats{
+		Hits:           pc.hits,
+		StructuralHits: pc.structuralHits,
+		Misses:         pc.misses,
+		Entries:        pc.lru.Len(),
+	}
+}
+
+// Translation returns the SQL program for the circuit, from cache when
+// possible. Misses (and structural hits, whose rebound plan is a new
+// exact entry) populate the cache.
+func (pc *PlanCache) Translation(c *quantum.Circuit, initial *quantum.State, opts core.Options) (*core.Translation, error) {
+	exactKey := core.ExactFingerprint(c, initial, opts)
+	structKey := core.StructuralKey(c, opts)
+
+	pc.mu.Lock()
+	if el, ok := pc.exact[exactKey]; ok {
+		pc.hits++
+		pc.lru.MoveToFront(el)
+		tr := el.Value.(*planEntry).tr
+		pc.mu.Unlock()
+		return tr, nil
+	}
+	var structural *core.Translation
+	if el, ok := pc.structural[structKey]; ok {
+		structural = el.Value.(*planEntry).tr
+	}
+	pc.mu.Unlock()
+
+	// Translation work happens outside the lock: concurrent misses may
+	// duplicate work but never block each other on the CPU-heavy part.
+	if structural != nil {
+		tr, err := structural.Rebind(c, initial, opts)
+		if err == nil {
+			pc.record(&pc.structuralHits, exactKey, structKey, tr)
+			return tr, nil
+		}
+		if !errors.Is(err, core.ErrPlanStructureMismatch) {
+			return nil, err
+		}
+		// A false structural match (hash collision): fall through.
+	}
+	tr, err := core.Translate(c, initial, opts)
+	if err != nil {
+		return nil, err
+	}
+	pc.record(&pc.misses, exactKey, structKey, tr)
+	return tr, nil
+}
+
+// record files a freshly produced translation under both keys, bumping
+// the given counter and evicting the least-recently-used entry beyond
+// capacity.
+func (pc *PlanCache) record(counter *uint64, exactKey string, structKey uint64, tr *core.Translation) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	*counter++
+	if el, ok := pc.exact[exactKey]; ok {
+		// Raced with another miss for the same circuit; keep the
+		// incumbent.
+		pc.lru.MoveToFront(el)
+		return
+	}
+	entry := &planEntry{exactKey: exactKey, structKey: structKey, tr: tr}
+	el := pc.lru.PushFront(entry)
+	pc.exact[exactKey] = el
+	// The structural index keeps the most recent representative of the
+	// family; older ones stay reachable via their exact keys.
+	pc.structural[structKey] = el
+	for pc.lru.Len() > pc.capacity {
+		old := pc.lru.Back()
+		pc.lru.Remove(old)
+		oe := old.Value.(*planEntry)
+		delete(pc.exact, oe.exactKey)
+		if cur, ok := pc.structural[oe.structKey]; ok && cur == old {
+			delete(pc.structural, oe.structKey)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"testing"
+
+	"qymera/internal/circuits"
+	"qymera/internal/quantum"
+)
+
+func sweepPoint(theta float64) *quantum.Circuit {
+	return circuits.HardwareEfficientAnsatz(4, 2, []float64{
+		theta, theta * 1.1, theta * 1.2, theta * 1.3,
+		theta * 1.4, theta * 1.5, theta * 1.6, theta * 1.7,
+		theta * 1.8, theta * 1.9, theta * 2.0, theta * 2.1,
+		theta * 2.2, theta * 2.3, theta * 2.4, theta * 2.5,
+	})
+}
+
+// TestPlanCacheTiers checks the two hit tiers: repeats hit exactly,
+// sweep points hit structurally, unrelated circuits miss.
+func TestPlanCacheTiers(t *testing.T) {
+	cache := NewPlanCache(8)
+	b := &SQL{Cache: cache}
+
+	if _, err := b.Run(sweepPoint(0.3)); err != nil {
+		t.Fatal(err)
+	}
+	st := cache.Stats()
+	if st.Misses != 1 || st.Hits != 0 || st.StructuralHits != 0 {
+		t.Fatalf("after cold run: %+v", st)
+	}
+
+	if _, err := b.Run(sweepPoint(0.3)); err != nil {
+		t.Fatal(err)
+	}
+	if st = cache.Stats(); st.Hits != 1 {
+		t.Fatalf("repeat did not hit exactly: %+v", st)
+	}
+
+	if _, err := b.Run(sweepPoint(0.7)); err != nil {
+		t.Fatal(err)
+	}
+	if st = cache.Stats(); st.StructuralHits != 1 {
+		t.Fatalf("sweep point did not hit structurally: %+v", st)
+	}
+
+	if _, err := b.Run(circuits.GHZ(5)); err != nil {
+		t.Fatal(err)
+	}
+	if st = cache.Stats(); st.Misses != 2 {
+		t.Fatalf("unrelated circuit did not miss: %+v", st)
+	}
+}
+
+// TestPlanCacheBitIdenticalAmplitudes is the cache's correctness
+// criterion: every tier must produce amplitudes bit-identical to an
+// uncached run.
+func TestPlanCacheBitIdenticalAmplitudes(t *testing.T) {
+	workloads := []*quantum.Circuit{
+		sweepPoint(0.3), sweepPoint(0.3), sweepPoint(0.9), // miss, exact, structural
+		circuits.GHZ(8), circuits.QFT(6),
+	}
+	cached := &SQL{Cache: NewPlanCache(8)}
+	for i, c := range workloads {
+		want, err := (&SQL{}).Run(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := cached.Run(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := statesBitIdentical(want.State, got.State); err != nil {
+			t.Fatalf("workload %d (cache %+v): %v", i, cached.Cache.Stats(), err)
+		}
+	}
+	st := cached.Cache.Stats()
+	if st.Hits == 0 || st.StructuralHits == 0 {
+		t.Fatalf("workload mix exercised no cache tier: %+v", st)
+	}
+}
+
+// TestPlanCacheEviction keeps the LRU bounded.
+func TestPlanCacheEviction(t *testing.T) {
+	cache := NewPlanCache(2)
+	b := &SQL{Cache: cache}
+	for _, n := range []int{3, 4, 5, 6} {
+		if _, err := b.Run(circuits.GHZ(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := cache.Stats(); st.Entries != 2 {
+		t.Fatalf("cache exceeded capacity: %+v", st)
+	}
+	// The oldest entry (GHZ-3) must have been evicted: re-running it
+	// misses again.
+	before := cache.Stats().Misses
+	if _, err := b.Run(circuits.GHZ(3)); err != nil {
+		t.Fatal(err)
+	}
+	if after := cache.Stats().Misses; after != before+1 {
+		t.Fatalf("evicted entry still hit: misses %d -> %d", before, after)
+	}
+}

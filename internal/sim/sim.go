@@ -6,6 +6,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -57,6 +58,22 @@ type Backend interface {
 	// Run simulates the circuit from |0...0⟩ (or the backend's
 	// configured initial state) and returns the final state.
 	Run(c *quantum.Circuit) (*Result, error)
+	// RunContext is Run with cancellation: when ctx is cancelled the
+	// simulation aborts early — the in-memory backends between gates,
+	// the SQL backend additionally inside a gate stage at the engine's
+	// batch/morsel boundaries — releasing all resources, and returns an
+	// error wrapping ctx.Err(). Run is RunContext with a background
+	// context.
+	RunContext(ctx context.Context, c *quantum.Circuit) (*Result, error)
+}
+
+// ctxErr adapts a context error into the backends' error style; nil in,
+// nil out.
+func ctxErr(name string, ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("%s: simulation cancelled: %w", name, err)
+	}
+	return nil
 }
 
 // pruneEpsDefault is the amplitude magnitude below which sparse

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math/cmplx"
 	"time"
@@ -32,6 +33,11 @@ const sparseEntryBytes = 48
 
 // Run implements Backend.
 func (sp *Sparse) Run(c *quantum.Circuit) (*Result, error) {
+	return sp.RunContext(context.Background(), c)
+}
+
+// RunContext implements Backend; cancellation is checked between gates.
+func (sp *Sparse) RunContext(ctx context.Context, c *quantum.Circuit) (*Result, error) {
 	start := time.Now()
 	n := c.NumQubits()
 	eps := sp.PruneEps
@@ -55,6 +61,9 @@ func (sp *Sparse) Run(c *quantum.Circuit) (*Result, error) {
 	var peakBytes int64
 
 	for _, g := range c.Gates() {
+		if err := ctxErr(sp.Name(), ctx); err != nil {
+			return nil, err
+		}
 		m, err := g.Matrix()
 		if err != nil {
 			return nil, err

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -48,6 +49,20 @@ type SQL struct {
 	// legacy row-major store. Amplitudes are bitwise independent of the
 	// layout (asserted by differential tests and the benchmark report).
 	Layout string
+	// Budget, when non-nil, is a pre-built engine memory accountant
+	// that overrides MemoryBudget. Sharing one budget across backends
+	// makes concurrent simulations compete for a single global pool —
+	// the simulation service's admission-control mechanism. With a
+	// shared budget, Stats.PeakBytes reports the POOL's high-water
+	// mark (across all jobs that ever used it), not this run's own
+	// peak — per-run attribution is not possible when reservations
+	// interleave.
+	Budget *sqlengine.MemBudget
+	// Cache, when non-nil, caches circuit→SQL translations across Run
+	// calls: exact repeats reuse the whole plan, parameter-sweep
+	// variants reuse the SQL text and rebind only the numeric gate
+	// data. Safe for concurrent use and shareable across backends.
+	Cache *PlanCache
 	// Initial overrides the |0...0⟩ initial state.
 	Initial *quantum.State
 }
@@ -62,6 +77,22 @@ func (b *SQL) Name() string {
 
 // Run implements Backend.
 func (b *SQL) Run(c *quantum.Circuit) (*Result, error) {
+	return b.RunContext(context.Background(), c)
+}
+
+// translate produces the circuit's SQL program, consulting the plan
+// cache when one is configured.
+func (b *SQL) translate(c *quantum.Circuit, opts core.Options) (*core.Translation, error) {
+	if b.Cache != nil {
+		return b.Cache.Translation(c, b.Initial, opts)
+	}
+	return core.Translate(c, b.Initial, opts)
+}
+
+// RunContext implements Backend. Cancellation reaches into the engine:
+// an in-flight gate-stage query aborts at the next batch/morsel
+// boundary, releasing all budget reservations and worker goroutines.
+func (b *SQL) RunContext(ctx context.Context, c *quantum.Circuit) (*Result, error) {
 	start := time.Now()
 	eps := b.PruneEps
 	if eps == 0 {
@@ -70,7 +101,7 @@ func (b *SQL) Run(c *quantum.Circuit) (*Result, error) {
 	if eps < 0 {
 		eps = 0
 	}
-	tr, err := core.Translate(c, b.Initial, core.Options{
+	tr, err := b.translate(c, core.Options{
 		Mode:     b.Mode,
 		Fusion:   b.Fusion,
 		Encoding: b.Encoding,
@@ -86,6 +117,7 @@ func (b *SQL) Run(c *quantum.Circuit) (*Result, error) {
 		DisableSpill: b.DisableSpill,
 		Parallelism:  b.Parallelism,
 		Layout:       b.Layout,
+		Budget:       b.Budget,
 	})
 	if err != nil {
 		return nil, err
@@ -94,7 +126,7 @@ func (b *SQL) Run(c *quantum.Circuit) (*Result, error) {
 
 	var maxRows int64
 	for _, stmt := range tr.Statements() {
-		n, err := db.Exec(stmt)
+		n, err := db.ExecContext(ctx, stmt)
 		if err != nil {
 			return nil, wrapBudget(fmt.Errorf("sql backend: %w", err))
 		}
@@ -102,7 +134,7 @@ func (b *SQL) Run(c *quantum.Circuit) (*Result, error) {
 			maxRows = n
 		}
 	}
-	rs, err := db.Query(tr.Query)
+	rs, err := db.QueryContext(ctx, tr.Query)
 	if err != nil {
 		return nil, wrapBudget(fmt.Errorf("sql backend: %w", err))
 	}

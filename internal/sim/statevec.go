@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math/cmplx"
 	"time"
@@ -30,6 +31,11 @@ const maxDenseQubits = 30
 
 // Run implements Backend.
 func (sv *StateVector) Run(c *quantum.Circuit) (*Result, error) {
+	return sv.RunContext(context.Background(), c)
+}
+
+// RunContext implements Backend; cancellation is checked between gates.
+func (sv *StateVector) RunContext(ctx context.Context, c *quantum.Circuit) (*Result, error) {
 	start := time.Now()
 	n := c.NumQubits()
 	if n > maxDenseQubits {
@@ -56,6 +62,9 @@ func (sv *StateVector) Run(c *quantum.Circuit) (*Result, error) {
 	}
 
 	for _, g := range c.Gates() {
+		if err := ctxErr(sv.Name(), ctx); err != nil {
+			return nil, err
+		}
 		m, err := g.Matrix()
 		if err != nil {
 			return nil, err

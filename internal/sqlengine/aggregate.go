@@ -155,6 +155,10 @@ func (n *aggNode) materializeTuples(ctx *execCtx, child batchIter, groupC []vecE
 	groupCols := make([]colVec, nGroup)
 	argCols := make([]colVec, len(argC))
 	for {
+		if err := ctx.cancelled(); err != nil {
+			input.Release()
+			return nil, err
+		}
 		b, err := child.NextBatch()
 		if err != nil {
 			input.Release()
@@ -411,6 +415,10 @@ func (x *aggExec) streamAggregate(child batchIter, groupC, argC []vecExpr, out t
 	rowsSeen := false
 
 	for {
+		if err := x.ctx.cancelled(); err != nil {
+			releaseAll()
+			return rowsSeen, err
+		}
 		b, err := child.NextBatch()
 		if err != nil {
 			releaseAll()
@@ -547,6 +555,9 @@ func (x *aggExec) spillAndMerge(child batchIter, groupC, argC []vecExpr, dumped 
 		return fail(err)
 	}
 	for {
+		if err := x.ctx.cancelled(); err != nil {
+			return fail(err)
+		}
 		b, err := child.NextBatch()
 		if err != nil {
 			return fail(err)
@@ -735,7 +746,15 @@ func (x *aggExec) mergeStore(input tableStore, depth int, out tableStore) error 
 	}
 	alloc := newMergeAlloc(x.aggs)
 	overflow := false
+	var seen int64
 	for {
+		if seen%batchSize == 0 {
+			if err := x.ctx.cancelled(); err != nil {
+				releaseAll()
+				return err
+			}
+		}
+		seen++
 		tuple, ok, err := it.Next()
 		if err != nil {
 			releaseAll()
@@ -831,7 +850,15 @@ func (x *aggExec) aggregateStore(input tableStore, depth int, out tableStore) er
 	}
 	alloc := newAggAlloc(x.aggs)
 	overflow := false
+	var seen int64
 	for {
+		if seen%batchSize == 0 {
+			if err := x.ctx.cancelled(); err != nil {
+				releaseAll()
+				return err
+			}
+		}
+		seen++
 		tuple, ok, err := it.Next()
 		if err != nil {
 			releaseAll()
@@ -933,7 +960,15 @@ func (x *aggExec) partitionStore(input tableStore, depth int, out tableStore, re
 		releaseStores(parts)
 		return err
 	}
+	var seen int64
 	for {
+		if seen%batchSize == 0 {
+			if err := x.ctx.cancelled(); err != nil {
+				releaseStores(parts)
+				return err
+			}
+		}
+		seen++
 		tuple, ok, err := it.Next()
 		if err != nil {
 			releaseStores(parts)

@@ -1,6 +1,7 @@
 package sqlengine
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"runtime"
@@ -32,6 +33,12 @@ type Config struct {
 	// (the legacy row-major store, kept for differential testing).
 	// Results are bitwise independent of the layout.
 	Layout string
+	// Budget, when non-nil, is a pre-built (possibly shared) memory
+	// accountant that overrides MemoryBudget. A simulation service hands
+	// every per-request engine instance the same *MemBudget so that
+	// concurrent queries compete for one global pool; Close does not
+	// reset a shared budget (each store releases its own reservations).
+	Budget *MemBudget
 }
 
 // TableMeta describes one base table.
@@ -67,9 +74,13 @@ func Open(cfg Config) (*DB, error) {
 			return nil, fmt.Errorf("sqlengine: creating spill dir: %w", err)
 		}
 	}
+	budget := cfg.Budget
+	if budget == nil {
+		budget = newMemBudget(cfg.MemoryBudget)
+	}
 	var floor int64
-	if cfg.MemoryBudget > 0 {
-		floor = cfg.MemoryBudget / 4
+	if budget.limit > 0 {
+		floor = budget.limit / 4
 		if floor < 8*1024 {
 			floor = 8 * 1024
 		}
@@ -87,7 +98,7 @@ func Open(cfg Config) (*DB, error) {
 		return nil, fmt.Errorf("sqlengine: unknown storage layout %q (want %q or %q)", cfg.Layout, LayoutColumnar, LayoutRow)
 	}
 	env := &storageEnv{
-		budget:       newMemBudget(cfg.MemoryBudget),
+		budget:       budget,
 		spillDir:     cfg.SpillDir,
 		spillEnabled: !cfg.DisableSpill,
 		workingFloor: floor,
@@ -193,6 +204,14 @@ func (rs *ResultSet) Close() {
 
 // Query parses and executes a SELECT, returning a materialized result.
 func (db *DB) Query(sqlText string, params ...Value) (*ResultSet, error) {
+	return db.QueryContext(context.Background(), sqlText, params...)
+}
+
+// QueryContext is Query with cancellation: when ctx is cancelled the
+// statement aborts at the next batch/morsel boundary, releases every
+// budget reservation and spill file, and returns an error wrapping
+// ctx.Err().
+func (db *DB) QueryContext(ctx context.Context, sqlText string, params ...Value) (*ResultSet, error) {
 	stmt, nparams, err := ParseStatement(sqlText)
 	if err != nil {
 		return nil, err
@@ -209,16 +228,16 @@ func (db *DB) Query(sqlText string, params ...Value) (*ResultSet, error) {
 	if db.closed {
 		return nil, fmt.Errorf("sqlengine: database is closed")
 	}
-	return db.runSelect(sel, params)
+	return db.runSelect(ctx, sel, params)
 }
 
 // newExecCtx builds the per-statement execution context.
-func (db *DB) newExecCtx(params []Value) *execCtx {
-	return &execCtx{env: db.env, params: params, workers: db.env.workers}
+func (db *DB) newExecCtx(ctx context.Context, params []Value) *execCtx {
+	return &execCtx{env: db.env, params: params, workers: db.env.workers, ctx: ctx}
 }
 
-func (db *DB) runSelect(sel *SelectStmt, params []Value) (*ResultSet, error) {
-	ctx := db.newExecCtx(params)
+func (db *DB) runSelect(stmtCtx context.Context, sel *SelectStmt, params []Value) (*ResultSet, error) {
+	ctx := db.newExecCtx(stmtCtx, params)
 	p := &planner{ctx: ctx, db: db}
 	defer p.release()
 	node, names, err := p.planSelect(sel, nil)
@@ -235,6 +254,11 @@ func (db *DB) runSelect(sel *SelectStmt, params []Value) (*ResultSet, error) {
 // Exec parses and executes any statement. For DML it returns the number
 // of affected rows; for SELECT it returns the row count.
 func (db *DB) Exec(sqlText string, params ...Value) (int64, error) {
+	return db.ExecContext(context.Background(), sqlText, params...)
+}
+
+// ExecContext is Exec with cancellation (see QueryContext).
+func (db *DB) ExecContext(ctx context.Context, sqlText string, params ...Value) (int64, error) {
 	stmt, nparams, err := ParseStatement(sqlText)
 	if err != nil {
 		return 0, err
@@ -242,25 +266,35 @@ func (db *DB) Exec(sqlText string, params ...Value) (int64, error) {
 	if nparams > len(params) {
 		return 0, fmt.Errorf("sqlengine: statement needs %d parameters, got %d", nparams, len(params))
 	}
-	return db.execStmt(stmt, params)
+	return db.execStmt(ctx, stmt, params)
 }
 
 // ExecScript runs a semicolon-separated script, stopping at the first
 // error.
 func (db *DB) ExecScript(script string) error {
+	return db.ExecScriptContext(context.Background(), script)
+}
+
+// ExecScriptContext is ExecScript with cancellation: the script stops
+// before the next statement (and mid-statement at the next batch
+// boundary) once ctx is cancelled.
+func (db *DB) ExecScriptContext(ctx context.Context, script string) error {
 	stmts, err := ParseScript(script)
 	if err != nil {
 		return err
 	}
 	for _, stmt := range stmts {
-		if _, err := db.execStmt(stmt, nil); err != nil {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("sqlengine: script cancelled: %w", err)
+		}
+		if _, err := db.execStmt(ctx, stmt, nil); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func (db *DB) execStmt(stmt Statement, params []Value) (int64, error) {
+func (db *DB) execStmt(ctx context.Context, stmt Statement, params []Value) (int64, error) {
 	switch s := stmt.(type) {
 	case *SelectStmt:
 		rs, err := func() (*ResultSet, error) {
@@ -269,7 +303,7 @@ func (db *DB) execStmt(stmt Statement, params []Value) (int64, error) {
 			if db.closed {
 				return nil, fmt.Errorf("sqlengine: database is closed")
 			}
-			return db.runSelect(s, params)
+			return db.runSelect(ctx, s, params)
 		}()
 		if err != nil {
 			return 0, err
@@ -280,7 +314,7 @@ func (db *DB) execStmt(stmt Statement, params []Value) (int64, error) {
 	case *CreateTableStmt:
 		db.mu.Lock()
 		defer db.mu.Unlock()
-		return db.execCreate(s, params)
+		return db.execCreate(ctx, s, params)
 	case *DropTableStmt:
 		db.mu.Lock()
 		defer db.mu.Unlock()
@@ -288,20 +322,20 @@ func (db *DB) execStmt(stmt Statement, params []Value) (int64, error) {
 	case *InsertStmt:
 		db.mu.Lock()
 		defer db.mu.Unlock()
-		return db.execInsert(s, params)
+		return db.execInsert(ctx, s, params)
 	case *DeleteStmt:
 		db.mu.Lock()
 		defer db.mu.Unlock()
-		return db.execDelete(s, params)
+		return db.execDelete(ctx, s, params)
 	case *UpdateStmt:
 		db.mu.Lock()
 		defer db.mu.Unlock()
-		return db.execUpdate(s, params)
+		return db.execUpdate(ctx, s, params)
 	}
 	return 0, fmt.Errorf("sqlengine: unsupported statement %T", stmt)
 }
 
-func (db *DB) execCreate(s *CreateTableStmt, params []Value) (int64, error) {
+func (db *DB) execCreate(ctx context.Context, s *CreateTableStmt, params []Value) (int64, error) {
 	if db.closed {
 		return 0, fmt.Errorf("sqlengine: database is closed")
 	}
@@ -313,7 +347,7 @@ func (db *DB) execCreate(s *CreateTableStmt, params []Value) (int64, error) {
 		return 0, fmt.Errorf("sqlengine: table %s already exists", s.Name)
 	}
 	if s.AsSelect != nil {
-		rs, err := db.runSelect(s.AsSelect, params)
+		rs, err := db.runSelect(ctx, s.AsSelect, params)
 		if err != nil {
 			return 0, err
 		}
@@ -377,7 +411,7 @@ func resolveInsertColumns(meta *TableMeta, cols []string) ([]int, error) {
 	return idx, nil
 }
 
-func (db *DB) execInsert(s *InsertStmt, params []Value) (int64, error) {
+func (db *DB) execInsert(ctx context.Context, s *InsertStmt, params []Value) (int64, error) {
 	meta := db.lookupTable(s.Table)
 	if meta == nil {
 		return 0, fmt.Errorf("sqlengine: no such table: %s", s.Table)
@@ -404,15 +438,15 @@ func (db *DB) execInsert(s *InsertStmt, params []Value) (int64, error) {
 
 	var count int64
 	if s.Select != nil {
-		return db.insertSelect(meta, s.Select, slots, params)
+		return db.insertSelect(ctx, meta, s.Select, slots, params)
 	}
 
-	ctx := &compileCtx{resolver: planSchema(nil), params: params}
+	cctx := &compileCtx{resolver: planSchema(nil), params: params}
 	meta.store.Thaw()
 	for _, exprRow := range s.Rows {
 		vals := make([]Value, len(exprRow))
 		for i, e := range exprRow {
-			c, err := compileExpr(e, ctx)
+			c, err := compileExpr(e, cctx)
 			if err != nil {
 				return count, err
 			}
@@ -438,8 +472,8 @@ func (db *DB) execInsert(s *InsertStmt, params []Value) (int64, error) {
 // source columns are permuted into table slots (with column affinity
 // applied vectorized) and handed to the store as whole column vectors —
 // no per-row materialization.
-func (db *DB) insertSelect(meta *TableMeta, sel *SelectStmt, slots []int, params []Value) (int64, error) {
-	rs, err := db.runSelect(sel, params)
+func (db *DB) insertSelect(ctx context.Context, meta *TableMeta, sel *SelectStmt, slots []int, params []Value) (int64, error) {
+	rs, err := db.runSelect(ctx, sel, params)
 	if err != nil {
 		return 0, err
 	}
@@ -457,6 +491,9 @@ func (db *DB) insertSelect(meta *TableMeta, sel *SelectStmt, slots []int, params
 	var nullCol colVec
 	var count int64
 	for {
+		if err := ctx.Err(); err != nil {
+			return count, fmt.Errorf("sqlengine: statement cancelled: %w", err)
+		}
 		b, err := scan.NextBatch()
 		if err != nil {
 			return count, err
@@ -492,16 +529,24 @@ func (db *DB) insertSelect(meta *TableMeta, sel *SelectStmt, slots []int, params
 }
 
 // rewriteTable filters/transforms every row of a table into a fresh
-// store, swapping on success. Used by DELETE and UPDATE.
-func (db *DB) rewriteTable(meta *TableMeta, transform func(Row) (Row, bool, error)) (int64, error) {
+// store, swapping on success. Used by DELETE and UPDATE. Cancellation
+// is checked once per batchSize rows.
+func (db *DB) rewriteTable(ctx context.Context, meta *TableMeta, transform func(Row) (Row, bool, error)) (int64, error) {
 	newStore := db.env.newStore()
 	it, err := meta.store.Cursor()
 	if err != nil {
 		newStore.Release()
 		return 0, err
 	}
-	var changed int64
+	var changed, seen int64
 	for {
+		if seen%batchSize == 0 {
+			if err := ctx.Err(); err != nil {
+				newStore.Release()
+				return 0, fmt.Errorf("sqlengine: statement cancelled: %w", err)
+			}
+		}
+		seen++
 		row, ok, err := it.Next()
 		if err != nil {
 			newStore.Release()
@@ -530,7 +575,7 @@ func (db *DB) rewriteTable(meta *TableMeta, transform func(Row) (Row, bool, erro
 	return changed, nil
 }
 
-func (db *DB) execDelete(s *DeleteStmt, params []Value) (int64, error) {
+func (db *DB) execDelete(ctx context.Context, s *DeleteStmt, params []Value) (int64, error) {
 	meta := db.lookupTable(s.Table)
 	if meta == nil {
 		return 0, fmt.Errorf("sqlengine: no such table: %s", s.Table)
@@ -547,7 +592,7 @@ func (db *DB) execDelete(s *DeleteStmt, params []Value) (int64, error) {
 			return 0, err
 		}
 	}
-	return db.rewriteTable(meta, func(row Row) (Row, bool, error) {
+	return db.rewriteTable(ctx, meta, func(row Row) (Row, bool, error) {
 		if pred == nil {
 			return nil, true, nil // delete all
 		}
@@ -562,7 +607,7 @@ func (db *DB) execDelete(s *DeleteStmt, params []Value) (int64, error) {
 	})
 }
 
-func (db *DB) execUpdate(s *UpdateStmt, params []Value) (int64, error) {
+func (db *DB) execUpdate(ctx context.Context, s *UpdateStmt, params []Value) (int64, error) {
 	meta := db.lookupTable(s.Table)
 	if meta == nil {
 		return 0, fmt.Errorf("sqlengine: no such table: %s", s.Table)
@@ -594,7 +639,7 @@ func (db *DB) execUpdate(s *UpdateStmt, params []Value) (int64, error) {
 			return 0, err
 		}
 	}
-	return db.rewriteTable(meta, func(row Row) (Row, bool, error) {
+	return db.rewriteTable(ctx, meta, func(row Row) (Row, bool, error) {
 		if pred != nil {
 			v, err := pred(row)
 			if err != nil {

@@ -128,25 +128,27 @@ func (noopTx) Commit() error   { return nil }
 func (noopTx) Rollback() error { return nil }
 
 // ExecContext lets the sql package skip Prepare for one-shot statements.
+// The context cancels the engine statement at batch boundaries.
 func (c *conn) ExecContext(ctx context.Context, query string, args []driver.NamedValue) (driver.Result, error) {
 	params, err := namedToValues(args)
 	if err != nil {
 		return nil, err
 	}
-	n, err := c.db.Exec(query, params...)
+	n, err := c.db.ExecContext(ctx, query, params...)
 	if err != nil {
 		return nil, err
 	}
 	return result{rowsAffected: n}, nil
 }
 
-// QueryContext implements direct querying.
+// QueryContext implements direct querying. The context cancels the
+// engine statement at batch boundaries.
 func (c *conn) QueryContext(ctx context.Context, query string, args []driver.NamedValue) (driver.Rows, error) {
 	params, err := namedToValues(args)
 	if err != nil {
 		return nil, err
 	}
-	rs, err := c.db.Query(query, params...)
+	rs, err := c.db.QueryContext(ctx, query, params...)
 	if err != nil {
 		return nil, err
 	}

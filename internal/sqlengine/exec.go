@@ -1,6 +1,7 @@
 package sqlengine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 )
@@ -80,6 +81,24 @@ type execCtx struct {
 	// workers is the morsel-parallel worker count for this statement
 	// (>= 1; 1 means the morsel schedule runs serially).
 	workers int
+	// ctx is the statement's cancellation context (nil means
+	// non-cancellable). Operators poll cancelled() at batch and morsel
+	// boundaries, so a cancelled statement stops within one batch of
+	// work and unwinds through the normal error paths, which release
+	// every budget reservation and spill file.
+	ctx context.Context
+}
+
+// cancelled reports the statement's cancellation state. It is polled at
+// batch/morsel boundaries (~1k rows of work), never per row.
+func (ctx *execCtx) cancelled() error {
+	if ctx.ctx == nil {
+		return nil
+	}
+	if err := ctx.ctx.Err(); err != nil {
+		return fmt.Errorf("sqlengine: statement cancelled: %w", err)
+	}
+	return nil
 }
 
 func (ctx *execCtx) compile(e Expr, schema planSchema) (compiledExpr, error) {
@@ -391,9 +410,14 @@ func (it *limitIter) Close() { it.child.Close() }
 // materialize drains a batch iterator into a fresh store in the
 // engine's configured layout. With the columnar layout this is the
 // batch-in, column-vectors-out boundary: no per-row materialization.
-func materialize(env *storageEnv, it batchIter) (tableStore, error) {
-	store := env.newStore()
+// Cancellation is checked once per drained batch.
+func materialize(ctx *execCtx, it batchIter) (tableStore, error) {
+	store := ctx.env.newStore()
 	for {
+		if err := ctx.cancelled(); err != nil {
+			store.Release()
+			return nil, err
+		}
 		b, err := it.NextBatch()
 		if err != nil {
 			store.Release()

@@ -1,6 +1,7 @@
 package sqlengine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 )
@@ -28,7 +29,7 @@ func (db *DB) Explain(sqlText string, params ...Value) (string, error) {
 	if db.closed {
 		return "", fmt.Errorf("sqlengine: database is closed")
 	}
-	ctx := db.newExecCtx(params)
+	ctx := db.newExecCtx(context.Background(), params)
 	p := &planner{ctx: ctx, db: db, explain: true}
 	defer p.release()
 	node, names, err := p.planSelect(sel, nil)

@@ -144,6 +144,10 @@ func (j *joinExec) buildRight(right batchIter, rk []vecExpr) (*buildTable, int64
 	overflow := false
 	var pending []Row // keyed rows not yet tabled when overflow hits
 	for !overflow {
+		if err := j.ctx.cancelled(); err != nil {
+			budget.release(reserved)
+			return nil, 0, nil, err
+		}
 		b, err := right.NextBatch()
 		if err != nil {
 			budget.release(reserved)
@@ -230,6 +234,9 @@ func (j *joinExec) buildRight(right batchIter, rk []vecExpr) (*buildTable, int64
 	}
 	// Drain the rest of the right input.
 	for {
+		if err := j.ctx.cancelled(); err != nil {
+			return fail(err)
+		}
 		b, err := right.NextBatch()
 		if err != nil {
 			return fail(err)
@@ -598,6 +605,10 @@ func (j *joinExec) materializeKeyed(it batchIter, keys []vecExpr) (tableStore, e
 	nk := len(keys)
 	keyCols := make([]colVec, nk)
 	for {
+		if err := j.ctx.cancelled(); err != nil {
+			store.Release()
+			return nil, err
+		}
 		b, err := it.NextBatch()
 		if err != nil {
 			store.Release()
@@ -748,7 +759,15 @@ func (j *joinExec) joinStores(leftStore, rightStore tableStore, depth int, out t
 		return err
 	}
 	overflow := false
+	var seen int64
 	for {
+		if seen%batchSize == 0 {
+			if err := j.ctx.cancelled(); err != nil {
+				releaseAll()
+				return err
+			}
+		}
+		seen++
 		keyed, ok, err := it.Next()
 		if err != nil {
 			releaseAll()
@@ -792,7 +811,14 @@ func (j *joinExec) joinStores(leftStore, rightStore tableStore, depth int, out t
 	if err != nil {
 		return err
 	}
+	seen = 0
 	for {
+		if seen%batchSize == 0 {
+			if err := j.ctx.cancelled(); err != nil {
+				return err
+			}
+		}
+		seen++
 		keyed, ok, err := lit.Next()
 		if err != nil {
 			return err
@@ -971,7 +997,7 @@ func mix64(x uint64, depth int) uint64 {
 // nestedLoop joins without equi keys: the right side is materialized and
 // rescanned per left batch row.
 func (j *joinExec) nestedLoop(left, right batchIter) (tableStore, error) {
-	rightStore, err := materialize(j.ctx.env, right)
+	rightStore, err := materialize(j.ctx, right)
 	if err != nil {
 		return nil, err
 	}
@@ -984,6 +1010,9 @@ func (j *joinExec) nestedLoop(left, right batchIter) (tableStore, error) {
 	}
 	leftBuf := make(Row, j.leftWidth)
 	for {
+		if err := j.ctx.cancelled(); err != nil {
+			return fail(err)
+		}
 		b, err := left.NextBatch()
 		if err != nil {
 			return fail(err)

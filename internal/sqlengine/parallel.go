@@ -309,7 +309,7 @@ func materializePlan(ctx *execCtx, node planNode) (tableStore, error) {
 	if err != nil {
 		return nil, err
 	}
-	store, err := materialize(ctx.env, it)
+	store, err := materialize(ctx, it)
 	it.Close()
 	return store, err
 }
@@ -394,6 +394,10 @@ func gatherMorsels(ctx *execCtx, streams []morselStream) (tableStore, error) {
 				mu.Unlock()
 			}()
 			for !abort.Load() {
+				if err := ctx.cancelled(); err != nil {
+					fail(err)
+					return
+				}
 				idx, ok, err := s.NextMorsel()
 				if err != nil {
 					fail(err)

@@ -114,6 +114,10 @@ func (x *aggExec) morselAggregate(n *aggNode, streams []morselStream, out tableS
 			keyBuf := make(Row, x.nGroup)
 			alloc := newAggAlloc(x.aggs) // worker-private slabs
 			for !abort.Load() {
+				if err := ctx.cancelled(); err != nil {
+					fail(err)
+					return
+				}
 				idx, ok, err := s.NextMorsel()
 				if err != nil {
 					fail(err)
@@ -208,6 +212,10 @@ func (x *aggExec) morselAggregate(n *aggNode, streams []morselStream, out tableS
 			scratch := make(Row, 0, x.partTotal)
 			alloc := newMergeAlloc(x.aggs) // worker-private slabs
 			for !abort.Load() {
+				if err := ctx.cancelled(); err != nil {
+					fail(err)
+					return
+				}
 				p := int(pnext.Add(1)) - 1
 				if p >= aggPartitions {
 					return

@@ -151,6 +151,9 @@ func (n *sortNode) open(ctx *execCtx) (batchIter, error) {
 
 	keyCols := make([]colVec, nk)
 	for {
+		if err := ctx.cancelled(); err != nil {
+			return failAll(err)
+		}
 		b, err := child.NextBatch()
 		if err != nil {
 			return failAll(err)
@@ -215,7 +218,7 @@ type sortedBufIter struct {
 	buf    []Row
 	pos    int
 	nk     int
-	budget *memBudget
+	budget *MemBudget
 	bytes  int64
 }
 

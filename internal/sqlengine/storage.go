@@ -2,6 +2,7 @@ package sqlengine
 
 import (
 	"fmt"
+	"math"
 	"sync/atomic"
 )
 
@@ -24,21 +25,52 @@ const (
 	LayoutRow      = "row"
 )
 
-// memBudget is the engine-wide memory accountant. Operators and table
+// MemBudget is the engine-wide memory accountant. Operators and table
 // stores reserve estimated bytes before buffering rows in memory; when a
 // reservation would exceed the budget the caller must spill (or fail if
 // spilling is disabled). A zero or negative limit means unlimited.
-type memBudget struct {
+//
+// A budget may be shared across engine instances (Config.Budget): a
+// simulation service hands every per-request DB the same budget, so
+// concurrent queries compete for one global memory pool and the service
+// can admission-control new work against Available().
+type MemBudget struct {
 	limit int64
 	used  atomic.Int64
 	peak  atomic.Int64
 }
 
-func newMemBudget(limit int64) *memBudget { return &memBudget{limit: limit} }
+// NewMemBudget returns a budget capping reservations at limit bytes
+// (zero or negative means unlimited). The result may be shared by many
+// engine instances via Config.Budget.
+func NewMemBudget(limit int64) *MemBudget { return &MemBudget{limit: limit} }
+
+func newMemBudget(limit int64) *MemBudget { return NewMemBudget(limit) }
+
+// Limit returns the configured cap in bytes (<= 0 means unlimited).
+func (b *MemBudget) Limit() int64 { return b.limit }
+
+// Used returns the currently reserved bytes.
+func (b *MemBudget) Used() int64 { return b.used.Load() }
+
+// Peak returns the reservation high-water mark.
+func (b *MemBudget) Peak() int64 { return b.peak.Load() }
+
+// Available returns the bytes still reservable, or math.MaxInt64 when
+// the budget is unlimited.
+func (b *MemBudget) Available() int64 {
+	if b.limit <= 0 {
+		return math.MaxInt64
+	}
+	if free := b.limit - b.used.Load(); free > 0 {
+		return free
+	}
+	return 0
+}
 
 // tryReserve attempts to reserve n bytes, reporting false when the budget
 // would be exceeded.
-func (b *memBudget) tryReserve(n int64) bool {
+func (b *MemBudget) tryReserve(n int64) bool {
 	for {
 		cur := b.used.Load()
 		next := cur + n
@@ -53,14 +85,14 @@ func (b *memBudget) tryReserve(n int64) bool {
 }
 
 // reserveForce reserves unconditionally (used for small bookkeeping).
-func (b *memBudget) reserveForce(n int64) {
+func (b *MemBudget) reserveForce(n int64) {
 	v := b.used.Add(n)
 	b.updatePeak(v)
 }
 
-func (b *memBudget) release(n int64) { b.used.Add(-n) }
+func (b *MemBudget) release(n int64) { b.used.Add(-n) }
 
-func (b *memBudget) updatePeak(v int64) {
+func (b *MemBudget) updatePeak(v int64) {
 	for {
 		p := b.peak.Load()
 		if v <= p || b.peak.CompareAndSwap(p, v) {
@@ -72,7 +104,7 @@ func (b *memBudget) updatePeak(v int64) {
 // storageEnv bundles what table stores need: the shared budget, spill
 // configuration, and counters.
 type storageEnv struct {
-	budget       *memBudget
+	budget       *MemBudget
 	spillDir     string
 	spillEnabled bool
 	// rowLayout selects the legacy row-major RowStore for every table

@@ -42,6 +42,7 @@ import (
 	"qymera/internal/circuits"
 	"qymera/internal/core"
 	"qymera/internal/quantum"
+	"qymera/internal/service"
 	"qymera/internal/sim"
 )
 
@@ -129,6 +130,11 @@ type SQLBackendOptions struct {
 	// for the legacy row-major store. Amplitudes are bit-identical
 	// across layouts; only throughput and memory density change.
 	StorageLayout string
+	// PlanCache, when non-nil, caches circuit→SQL translations across
+	// Run calls: exact repeats skip translation entirely, parameter
+	// sweeps reuse the SQL text and rebind only the numeric gate data.
+	// One cache may be shared by many backends and used concurrently.
+	PlanCache *PlanCache
 	// Initial overrides the |0…0⟩ initial state.
 	Initial *State
 }
@@ -149,9 +155,40 @@ func NewSQLBackend(opts ...SQLBackendOptions) Backend {
 		DisableSpill: o.DisableSpill,
 		Parallelism:  o.Parallelism,
 		Layout:       o.StorageLayout,
+		Cache:        o.PlanCache,
 		Initial:      o.Initial,
 	}
 }
+
+// PlanCache is an LRU cache of circuit→SQL translations with exact and
+// structural (parameter-sweep) hit tiers; see SQLBackendOptions.
+type PlanCache = sim.PlanCache
+
+// PlanCacheStats snapshot a cache's hit/miss counters.
+type PlanCacheStats = sim.PlanCacheStats
+
+// NewPlanCache returns a plan cache holding at most capacity
+// translations (<= 0 uses the default capacity). Safe for concurrent
+// use and shareable across backends.
+func NewPlanCache(capacity int) *PlanCache { return sim.NewPlanCache(capacity) }
+
+// Simulation service (the system tier served by cmd/qymerad).
+
+type (
+	// Service is the concurrent simulation server: a bounded worker
+	// pool with a FIFO job queue, admission control against a shared
+	// engine memory budget, a shared plan cache, engine-level
+	// cancellation, and an HTTP API (docs/SERVICE.md). It implements
+	// http.Handler.
+	Service = service.Server
+	// ServiceConfig tunes a Service.
+	ServiceConfig = service.Config
+)
+
+// NewService builds a ready-to-serve simulation service; serve it with
+// net/http and stop it with Close. cmd/qymerad wraps it in a binary,
+// and Client speaks its API.
+func NewService(cfg ServiceConfig) *Service { return service.New(cfg) }
 
 // NewStateVectorBackend returns the dense 2^n state-vector simulator.
 // budget (optional) caps amplitude memory in bytes.
