@@ -24,6 +24,11 @@
 //	                         # qymerad service-tier report (sync request
 //	                         # throughput, plan-cache hit speedups,
 //	                         # served-vs-direct amplitude bit-identity)
+//	qybench -benchjson BENCH_sqlengine_optimizer.json
+//	                         # paths containing "optimizer" write the
+//	                         # cost-based-optimizer report (gate-stage
+//	                         # query, misordered join, GHZ/QFT sims with
+//	                         # the optimizer on vs off + bit-identity)
 //	qybench -compareallocs BENCH_sqlengine.json NEW.json
 //	                         # allocation regression gate: fail when
 //	                         # NEW.json's fixed-size gate-stage query
@@ -73,6 +78,8 @@ func main() {
 			data, err = bench.ParallelBenchJSON(bench.Options{Quick: *quick})
 		case strings.Contains(base, "service"):
 			data, err = bench.ServiceBenchJSON(bench.Options{Quick: *quick})
+		case strings.Contains(base, "optimizer"):
+			data, err = bench.OptimizerBenchJSON(bench.Options{Quick: *quick})
 		default:
 			data, err = bench.EngineBenchJSON(bench.Options{Quick: *quick})
 		}

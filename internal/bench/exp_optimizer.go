@@ -1,0 +1,350 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"runtime"
+	"time"
+
+	"qymera/internal/circuits"
+	"qymera/internal/quantum"
+	"qymera/internal/sim"
+	"qymera/internal/sqlengine"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "optimizer",
+		Paper: "cost-based query optimization — plan quality with the optimizer on vs off",
+		Desc:  "gate-stage query, a misordered join, and GHZ/QFT simulations with the cost-based optimizer enabled and disabled, asserting bit-identical results; qybench -benchjson BENCH_sqlengine_optimizer.json writes the machine-readable report",
+		Run:   runOptimizerBench,
+	})
+}
+
+// OptimizerBenchEntry is one workload measured with the optimizer off
+// and on.
+type OptimizerBenchEntry struct {
+	Workload   string  `json:"workload"`
+	SecondsOff float64 `json:"seconds_optimizer_off"`
+	SecondsOn  float64 `json:"seconds_optimizer_on"`
+	// Speedup is off/on wall time (> 1 means the optimizer won).
+	Speedup float64 `json:"speedup"`
+	// BitIdentical reports whether the on and off runs produced
+	// bitwise-identical results (exact value types, int64 values, and
+	// float64 bit patterns).
+	BitIdentical bool  `json:"bit_identical"`
+	Rows         int64 `json:"rows,omitempty"`
+	// AllocsOff/AllocsOn are heap allocations of one run — the
+	// deterministic view of the pre-sizing wins (wall time is noisy on
+	// shared machines; allocation counts are not).
+	AllocsOff int64  `json:"allocs_off,omitempty"`
+	AllocsOn  int64  `json:"allocs_on,omitempty"`
+	Digest    string `json:"digest,omitempty"`
+}
+
+// OptimizerBenchReport is the BENCH_sqlengine_optimizer.json payload.
+type OptimizerBenchReport struct {
+	Engine     string `json:"engine"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// AmplitudesBitIdentical aggregates every workload's BitIdentical
+	// flag (the acceptance gate: plans may change, bits may not).
+	AmplitudesBitIdentical bool `json:"amplitudes_bit_identical"`
+	// RulesFired is the delta of the engine's optimizer counters across
+	// the optimizer-on runs of this report.
+	RulesFired map[string]int64      `json:"rules_fired"`
+	Entries    []OptimizerBenchEntry `json:"entries"`
+}
+
+// resultDigest fingerprints a fully drained result set exactly (value
+// types, int64 payloads, float64 bits, text bytes).
+func resultDigest(rs *sqlengine.ResultSet) (string, int64, error) {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	var rows int64
+	for {
+		row, ok, err := rs.Next()
+		if err != nil {
+			return "", 0, err
+		}
+		if !ok {
+			break
+		}
+		rows++
+		for _, v := range row {
+			put(uint64(v.T))
+			put(uint64(v.I))
+			put(math.Float64bits(v.F))
+			h.Write([]byte(v.S))
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64()), rows, nil
+}
+
+// timedQueryDigest runs a query Median3-timed and returns the wall
+// time, the single-run allocation count (the deterministic signal),
+// and the digest of its (re-run) result.
+func timedQueryDigest(db *sqlengine.DB, sql string) (time.Duration, int64, string, int64, error) {
+	wall, err := Median3(func() (time.Duration, error) {
+		start := time.Now()
+		rs, err := db.Query(sql)
+		if err != nil {
+			return 0, err
+		}
+		rs.Close()
+		return time.Since(start), nil
+	})
+	if err != nil {
+		return 0, 0, "", 0, err
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	rs, err := db.Query(sql)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return 0, 0, "", 0, err
+	}
+	defer rs.Close()
+	digest, rows, err := resultDigest(rs)
+	return wall, int64(after.Mallocs - before.Mallocs), digest, rows, err
+}
+
+// misorderedJoinDB builds a pair of tables and a join written with the
+// large table on the build side — the classic plan mistake the
+// cost-based build-side flip repairs.
+func misorderedJoinDB(rows int, optimizer string) (*sqlengine.DB, string, error) {
+	db, err := sqlengine.Open(sqlengine.Config{Parallelism: 1, Optimizer: optimizer})
+	if err != nil {
+		return nil, "", err
+	}
+	script := []string{
+		"CREATE TABLE small (id INTEGER, name TEXT)",
+		"INSERT INTO small VALUES (1, 'a'), (2, 'b'), (3, 'c')",
+		"CREATE TABLE big (id INTEGER, v INTEGER)",
+	}
+	for _, s := range script {
+		if _, err := db.Exec(s); err != nil {
+			db.Close()
+			return nil, "", err
+		}
+	}
+	if err := fillTwoIntColumns(db, "big", rows); err != nil {
+		db.Close()
+		return nil, "", err
+	}
+	// COUNT/MIN are accumulation-order-insensitive, so the flip is legal
+	// and the result is comparable bit for bit.
+	q := "SELECT COUNT(*), MIN(big.v) FROM small JOIN big ON big.id = small.id"
+	return db, q, nil
+}
+
+// fillTwoIntColumns bulk-inserts rows (i, i%97).
+func fillTwoIntColumns(db *sqlengine.DB, table string, n int) error {
+	const chunk = 500
+	for i := 0; i < n; i += chunk {
+		end := min(i+chunk, n)
+		vals := make([]byte, 0, chunk*12)
+		for k := i; k < end; k++ {
+			if len(vals) > 0 {
+				vals = append(vals, ',')
+			}
+			vals = fmt.Appendf(vals, "(%d, %d)", k, k%97)
+		}
+		if _, err := db.Exec(fmt.Sprintf("INSERT INTO %s VALUES %s", table, vals)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunOptimizerBench measures every workload with the optimizer off and
+// on and returns the report.
+func RunOptimizerBench(opts Options) (*OptimizerBenchReport, error) {
+	report := &OptimizerBenchReport{
+		Engine:                 "vectorized-batch/cost-based-optimizer",
+		NumCPU:                 runtime.NumCPU(),
+		GOMAXPROCS:             runtime.GOMAXPROCS(0),
+		AmplitudesBitIdentical: true,
+	}
+	before := sqlengine.OptimizerCounters()
+
+	// 1. The translated gate-stage query (join + group-by over the
+	// nonzero-amplitude table): stats-driven hash-table pre-sizing and
+	// capacity hints.
+	stateRows := 1 << 17
+	ghzQubits, qftQubits, parityQubits := 16, 10, 15
+	if opts.Quick {
+		stateRows = 1 << 14
+		ghzQubits, qftQubits, parityQubits = 8, 6, 9
+	}
+	var entries []OptimizerBenchEntry
+	{
+		entry := OptimizerBenchEntry{Workload: "gate_stage_query"}
+		var digests [2]string
+		for i, optimizer := range []string{"off", "on"} {
+			db, err := gateStageDB(stateRows, sqlengine.Config{Parallelism: 1, Optimizer: optimizer})
+			if err != nil {
+				return nil, fmt.Errorf("bench: optimizer gate stage: %w", err)
+			}
+			wall, allocs, digest, rows, err := timedQueryDigest(db, gateStageSQL)
+			db.Close()
+			if err != nil {
+				return nil, fmt.Errorf("bench: optimizer gate stage (%s): %w", optimizer, err)
+			}
+			digests[i] = digest
+			entry.Rows = rows
+			if optimizer == "off" {
+				entry.SecondsOff = wall.Seconds()
+				entry.AllocsOff = allocs
+			} else {
+				entry.SecondsOn = wall.Seconds()
+				entry.AllocsOn = allocs
+			}
+		}
+		entry.BitIdentical = digests[0] == digests[1]
+		entry.Digest = digests[1]
+		entries = append(entries, entry)
+	}
+
+	// 2. The misordered join: build-side flip.
+	{
+		entry := OptimizerBenchEntry{Workload: "misordered_join"}
+		var digests [2]string
+		for i, optimizer := range []string{"off", "on"} {
+			db, q, err := misorderedJoinDB(stateRows, optimizer)
+			if err != nil {
+				return nil, fmt.Errorf("bench: optimizer misordered join: %w", err)
+			}
+			wall, allocs, digest, rows, err := timedQueryDigest(db, q)
+			db.Close()
+			if err != nil {
+				return nil, fmt.Errorf("bench: optimizer misordered join (%s): %w", optimizer, err)
+			}
+			digests[i] = digest
+			entry.Rows = rows
+			if optimizer == "off" {
+				entry.SecondsOff = wall.Seconds()
+				entry.AllocsOff = allocs
+			} else {
+				entry.SecondsOn = wall.Seconds()
+				entry.AllocsOn = allocs
+			}
+		}
+		entry.BitIdentical = digests[0] == digests[1]
+		entry.Digest = digests[1]
+		entries = append(entries, entry)
+	}
+
+	// 3. Full simulations through the SQL backend.
+	for _, wl := range simCircuits(ghzQubits, qftQubits, parityQubits) {
+		entry := OptimizerBenchEntry{Workload: wl.name}
+		var digests [2]string
+		for i, optimizer := range []string{"off", "on"} {
+			var res *sim.Result
+			wall, err := Median3(func() (time.Duration, error) {
+				r, err := (&sim.SQL{Optimizer: optimizer, SpillDir: opts.SpillDir}).Run(wl.c)
+				if err != nil {
+					return 0, err
+				}
+				res = r
+				return r.Stats.WallTime, nil
+			})
+			if err != nil {
+				return nil, fmt.Errorf("bench: optimizer %s (%s): %w", wl.name, optimizer, err)
+			}
+			var before, after runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&before)
+			if _, err := (&sim.SQL{Optimizer: optimizer, SpillDir: opts.SpillDir}).Run(wl.c); err != nil {
+				return nil, err
+			}
+			runtime.ReadMemStats(&after)
+			digests[i] = stateDigest(res.State)
+			entry.Rows = int64(res.State.Len())
+			if optimizer == "off" {
+				entry.SecondsOff = wall.Seconds()
+				entry.AllocsOff = int64(after.Mallocs - before.Mallocs)
+			} else {
+				entry.SecondsOn = wall.Seconds()
+				entry.AllocsOn = int64(after.Mallocs - before.Mallocs)
+			}
+		}
+		entry.BitIdentical = digests[0] == digests[1]
+		entry.Digest = digests[1]
+		entries = append(entries, entry)
+	}
+
+	after := sqlengine.OptimizerCounters()
+	report.RulesFired = map[string]int64{}
+	for k, v := range after {
+		if d := v - before[k]; d > 0 {
+			report.RulesFired[k] = d
+		}
+	}
+	for i := range entries {
+		if entries[i].SecondsOn > 0 {
+			entries[i].Speedup = entries[i].SecondsOff / entries[i].SecondsOn
+		}
+		report.AmplitudesBitIdentical = report.AmplitudesBitIdentical && entries[i].BitIdentical
+	}
+	report.Entries = entries
+	return report, nil
+}
+
+// simCircuits lists the circuit workloads of the optimizer sweep. The
+// parity superposition carries a dense 2^n-row state through every
+// stage, so it is where the actual-informed pre-sizing hints pay off.
+func simCircuits(ghzQubits, qftQubits, parityQubits int) []struct {
+	name string
+	c    *quantum.Circuit
+} {
+	return []struct {
+		name string
+		c    *quantum.Circuit
+	}{
+		{"ghz_sim", circuits.GHZ(ghzQubits)},
+		{"qft_sim", circuits.QFT(qftQubits)},
+		{"parity_sim", circuits.ParitySuperposition(parityQubits)},
+	}
+}
+
+// OptimizerBenchJSON renders the report for
+// BENCH_sqlengine_optimizer.json.
+func OptimizerBenchJSON(opts Options) ([]byte, error) {
+	report, err := RunOptimizerBench(opts)
+	if err != nil {
+		return nil, err
+	}
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+func runOptimizerBench(opts Options) ([]*Table, error) {
+	report, err := RunOptimizerBench(opts)
+	if err != nil {
+		return nil, err
+	}
+	t := NewTable("Cost-based optimizer: plan quality on vs off",
+		"workload", "off", "on", "speedup", "bit-identical", "rows")
+	for _, e := range report.Entries {
+		t.Addf(e.Workload,
+			FormatDuration(time.Duration(e.SecondsOff*float64(time.Second))),
+			FormatDuration(time.Duration(e.SecondsOn*float64(time.Second))),
+			fmt.Sprintf("%.2fx", e.Speedup), e.BitIdentical, e.Rows)
+	}
+	t.Note("rules fired during the optimized runs: %v", report.RulesFired)
+	t.Note("bit-identical = optimizer on/off results match exactly (types, int64 values, float64 bit patterns)")
+	return []*Table{t}, nil
+}

@@ -77,7 +77,7 @@ const gateStageAllocRows = 1 << 14
 // table at one worker (the deterministic serial path) and reports mean
 // wall time and allocations per execution.
 func MeasureGateStageAllocs() (*GateStageAllocBench, error) {
-	db, err := gateStageDB(gateStageAllocRows, 1)
+	db, err := gateStageDB(gateStageAllocRows, sqlengine.Config{Parallelism: 1})
 	if err != nil {
 		return nil, err
 	}

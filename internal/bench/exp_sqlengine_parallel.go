@@ -66,8 +66,8 @@ type ParallelBenchReport struct {
 // gateStageDB builds a synthetic nonzero-amplitude table of the given
 // size plus a 4-row Hadamard gate table, the exact shape of one
 // translated gate application.
-func gateStageDB(rows int, workers int) (*sqlengine.DB, error) {
-	db, err := sqlengine.Open(sqlengine.Config{Parallelism: workers})
+func gateStageDB(rows int, cfg sqlengine.Config) (*sqlengine.DB, error) {
+	db, err := sqlengine.Open(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -144,7 +144,7 @@ func RunParallelBench(opts Options) (*ParallelBenchReport, error) {
 	}
 	var baseline float64
 	for _, w := range parallelWorkerCounts {
-		db, err := gateStageDB(stateRows, w)
+		db, err := gateStageDB(stateRows, sqlengine.Config{Parallelism: w})
 		if err != nil {
 			return nil, fmt.Errorf("bench: sqlengine_parallel: %w", err)
 		}

@@ -207,7 +207,13 @@ func gateTableRows(m *linalg.Matrix) []GateRow {
 }
 
 // buildSetup renders the DDL+DML prologue: the initial state table plus
-// one table per distinct gate. Shared by Translate and Rebind (the
+// one table per distinct gate, each followed by an ANALYZE statement.
+// The ANALYZE statements are the translation's sparsity hints: they
+// guarantee the engine has row counts, in_s/out_s distinct estimates
+// (the gate's fan-out, which drives the join cardinality of every
+// stage), and zero counts on the amplitude columns (the signal behind
+// planned zero-amplitude pruning) even on engines whose stores did not
+// collect statistics at insert. Shared by Translate and Rebind (the
 // rebinding path regenerates only this data section of a cached plan).
 func buildSetup(prefix string, initial *quantum.State, tables []GateTable) []string {
 	var setup []string
@@ -222,6 +228,7 @@ func buildSetup(prefix string, initial *quantum.State, tables []GateTable) []str
 	if len(vals) > 0 {
 		setup = append(setup, fmt.Sprintf("INSERT INTO %s VALUES %s", t0, strings.Join(vals, ", ")))
 	}
+	setup = append(setup, "ANALYZE "+t0)
 	for _, tbl := range tables {
 		setup = append(setup,
 			fmt.Sprintf("CREATE TABLE %s (in_s INTEGER, out_s INTEGER, r REAL, i REAL)", tbl.Name))
@@ -233,6 +240,7 @@ func buildSetup(prefix string, initial *quantum.State, tables []GateTable) []str
 			setup = append(setup,
 				fmt.Sprintf("INSERT INTO %s VALUES %s", tbl.Name, strings.Join(rows, ", ")))
 		}
+		setup = append(setup, "ANALYZE "+tbl.Name)
 	}
 	return setup
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"qymera/internal/sim"
+	"qymera/internal/sqlengine"
 )
 
 // routes wires the HTTP API (documented in docs/SERVICE.md).
@@ -199,6 +200,12 @@ type MetricsJSON struct {
 		AdmittedBytes int64 `json:"admitted_bytes"`
 	} `json:"memory_budget"`
 
+	// Optimizer exposes the engine's cumulative query-optimizer rule
+	// counters (process-wide, across every engine instance the service
+	// created): plans_optimized, plans_with_stats, and per-rule firing
+	// counts (pushdowns, cte_inlined, build_flips, ...).
+	Optimizer map[string]int64 `json:"optimizer"`
+
 	Backends map[string]BackendLatency `json:"backends"`
 }
 
@@ -214,6 +221,7 @@ func (s *Server) Metrics() MetricsJSON {
 		Jobs:           statuses,
 		AdmissionWaits: m.metrics.admissionWaits.Load(),
 		PlanCache:      m.PlanCacheStats(),
+		Optimizer:      sqlengine.OptimizerCounters(),
 		Backends:       backends,
 	}
 	out.Budget.LimitBytes = m.budget.Limit()

@@ -272,13 +272,15 @@ func (m *Manager) finish(j *Job, res *sim.Result, err error) {
 	}
 	j.cancel() // release the context's resources
 	m.mu.Unlock()
-	close(j.done)
 
+	// Record metrics before unblocking waiters: a synchronous client must
+	// see its own job in /metrics as soon as its response arrives.
 	if !j.started.IsZero() {
 		m.metrics.observe(j.req.backend, j.status, j.finished.Sub(j.started))
 	} else {
 		m.metrics.observe(j.req.backend, j.status, 0)
 	}
+	close(j.done)
 	m.cond.Broadcast()
 }
 

@@ -41,6 +41,10 @@ type RequestOptions struct {
 	Parallelism int `json:"parallelism,omitempty"`
 	// Layout (sql backends): "columnar" (default) or "row".
 	Layout string `json:"layout,omitempty"`
+	// Optimizer (sql backends): "on" (default) or "off" — toggles the
+	// engine's cost-based query optimizer. Amplitudes are bit-identical
+	// either way; only plan quality changes.
+	Optimizer string `json:"optimizer,omitempty"`
 	// MaxBond (mps): bond-dimension cap, 0 = exact.
 	MaxBond int `json:"max_bond,omitempty"`
 	// EstimatedBytes declares the job's expected peak engine memory for
@@ -140,6 +144,11 @@ func sqlOptions(o RequestOptions) (so sqlPlanOptions, err error) {
 	default:
 		return so, fmt.Errorf("unknown layout %q (have columnar, row)", o.Layout)
 	}
+	switch strings.ToLower(o.Optimizer) {
+	case "", "on", "off":
+	default:
+		return so, fmt.Errorf("unknown optimizer %q (have on, off)", o.Optimizer)
+	}
 	return so, nil
 }
 
@@ -167,6 +176,7 @@ func (m *Manager) newBackend(p *parsedRequest) (sim.Backend, error) {
 			SpillDir:    m.cfg.SpillDir,
 			Parallelism: parallelism,
 			Layout:      strings.ToLower(p.options.Layout),
+			Optimizer:   strings.ToLower(p.options.Optimizer),
 			Budget:      m.budget,
 			Cache:       m.cache,
 		}, nil

@@ -49,6 +49,12 @@ type SQL struct {
 	// legacy row-major store. Amplitudes are bitwise independent of the
 	// layout (asserted by differential tests and the benchmark report).
 	Layout string
+	// Optimizer controls the engine's cost-based query optimizer: "" or
+	// "on" (default) enables it, "off" uses the legacy direct planner.
+	// Amplitudes are bitwise independent of the setting: the optimizer
+	// restricts order-sensitive rewrites to plans without float
+	// accumulation (see internal/sqlengine/optimize.go).
+	Optimizer string
 	// Budget, when non-nil, is a pre-built engine memory accountant
 	// that overrides MemoryBudget. Sharing one budget across backends
 	// makes concurrent simulations compete for a single global pool —
@@ -118,6 +124,7 @@ func (b *SQL) RunContext(ctx context.Context, c *quantum.Circuit) (*Result, erro
 		Parallelism:  b.Parallelism,
 		Layout:       b.Layout,
 		Budget:       b.Budget,
+		Optimizer:    b.Optimizer,
 	})
 	if err != nil {
 		return nil, err

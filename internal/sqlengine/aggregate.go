@@ -32,6 +32,12 @@ type aggNode struct {
 	child   planNode
 	groupBy []Expr
 	aggs    []aggCall
+	// groupHint is the cost model's estimated group count, used to
+	// pre-size the aggregation hash tables (0 = no hint). Pre-sizing
+	// never changes results: output order is the first-seen order list,
+	// which is independent of map capacity.
+	groupHint int64
+	est       *nodeEst
 }
 
 func (n *aggNode) schema() planSchema {
@@ -67,7 +73,13 @@ func (n *aggNode) open(ctx *execCtx) (batchIter, error) {
 	}
 
 	exec := newAggExec(ctx, len(n.groupBy), n.aggs)
+	exec.groupHint = n.groupHint
 	out := ctx.env.newStore()
+	if n.groupHint > 0 {
+		if h, ok := out.(rowCapacityHinter); ok {
+			h.hintRows(n.groupHint)
+		}
+	}
 	fail := func(err error) (batchIter, error) {
 		out.Release()
 		return nil, err
@@ -229,6 +241,8 @@ type aggExec struct {
 	// slot offsets within the partial section of a tuple.
 	partOffs  []int
 	partTotal int
+	// groupHint pre-sizes the hash tables (0 = no hint).
+	groupHint int64
 }
 
 func newAggExec(ctx *execCtx, nGroup int, aggs []aggCall) *aggExec {
@@ -366,8 +380,25 @@ type groupTable[G any] struct {
 	order  []G
 }
 
-func newGroupTable[G any](nGroup int) *groupTable[G] {
-	return &groupTable[G]{useInt: nGroup == 1, ints: make(map[int64]G), strs: make(map[string]G)}
+// newGroupTable allocates the aggregation hash table. hint, when
+// positive, pre-sizes the map (and the first-seen order list) so large
+// aggregations skip incremental rehash growth.
+func newGroupTable[G any](nGroup int, hint int64) *groupTable[G] {
+	t := &groupTable[G]{useInt: nGroup == 1}
+	if hint > 0 {
+		if t.useInt {
+			t.ints = make(map[int64]G, hint)
+			t.strs = make(map[string]G)
+		} else {
+			t.ints = make(map[int64]G)
+			t.strs = make(map[string]G, hint)
+		}
+		t.order = make([]G, 0, hint)
+		return t
+	}
+	t.ints = make(map[int64]G)
+	t.strs = make(map[string]G)
+	return t
 }
 
 // get looks up the group for a key (the first nGroup values of key).
@@ -400,7 +431,7 @@ func (t *groupTable[G]) put(key Row, g G) {
 // whether any input row was consumed.
 func (x *aggExec) streamAggregate(child batchIter, groupC, argC []vecExpr, out tableStore) (bool, error) {
 	budget := x.ctx.env.budget
-	table := newGroupTable[*aggGroup](x.nGroup)
+	table := newGroupTable[*aggGroup](x.nGroup, x.groupHint)
 	var reserved int64
 	releaseAll := func() {
 		budget.release(reserved)
@@ -732,7 +763,7 @@ func (a *mergeAlloc) group(keyVals Row) (*mergeGroup, error) {
 // pressure it partitions the store by group-key hash and recurses.
 func (x *aggExec) mergeStore(input tableStore, depth int, out tableStore) error {
 	budget := x.ctx.env.budget
-	table := newGroupTable[*mergeGroup](x.nGroup)
+	table := newGroupTable[*mergeGroup](x.nGroup, x.groupHint)
 	var reserved int64
 	releaseAll := func() {
 		budget.release(reserved)
@@ -836,7 +867,7 @@ func (x *aggExec) mergeStore(input tableStore, depth int, out tableStore) error 
 // partitions by group-key hash and recurses.
 func (x *aggExec) aggregateStore(input tableStore, depth int, out tableStore) error {
 	budget := x.ctx.env.budget
-	table := newGroupTable[*aggGroup](x.nGroup)
+	table := newGroupTable[*aggGroup](x.nGroup, x.groupHint)
 	var reserved int64
 	releaseAll := func() {
 		budget.release(reserved)
@@ -948,8 +979,15 @@ func (x *aggExec) partitionIndex(tuple Row, depth, fanout int) int {
 }
 
 // partitionStore splits a tuple store into fanout hash partitions and
-// applies recurse to each non-empty one at depth+1.
+// applies recurse to each non-empty one at depth+1. Each partition
+// holds ~1/fanout of the groups, so the pre-sizing hint is scaled down
+// accordingly for the recursive levels (memory has already overflowed
+// here; full-size budget-unaccounted maps per partition would make the
+// pressure worse).
 func (x *aggExec) partitionStore(input tableStore, depth int, out tableStore, recurse func(tableStore, int, tableStore) error) error {
+	savedHint := x.groupHint
+	x.groupHint = savedHint / defaultFanout
+	defer func() { x.groupHint = savedHint }()
 	fanout := defaultFanout
 	parts := make([]tableStore, fanout)
 	for i := range parts {

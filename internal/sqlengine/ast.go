@@ -52,6 +52,14 @@ type UpdateStmt struct {
 	Where Expr
 }
 
+// ExplainStmt is EXPLAIN [ANALYZE] select: render the physical plan
+// (with cost estimates), executing the query and annotating actual row
+// counts when Analyze is set.
+type ExplainStmt struct {
+	Analyze bool
+	Select  *SelectStmt
+}
+
 // CTE is one WITH entry: name [ (cols) ] AS (select).
 type CTE struct {
 	Name   string
@@ -112,6 +120,7 @@ type SubqueryRef struct {
 }
 
 func (*CreateTableStmt) stmt() {}
+func (*ExplainStmt) stmt()     {}
 func (*DropTableStmt) stmt()   {}
 func (*InsertStmt) stmt()      {}
 func (*DeleteStmt) stmt()      {}

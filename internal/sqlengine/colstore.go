@@ -44,6 +44,33 @@ type ColStore struct {
 	// stream is unusable, so every later append, freeze, and scan must
 	// fail rather than write or decode past the partial chunk.
 	spillErr error
+	// stats, when non-nil, is updated incrementally on every append
+	// (base tables; see stats.go).
+	stats *tableStats
+	// capHint is the expected total row count (cost-model estimate);
+	// typed column vectors allocate this capacity up front instead of
+	// growing through append doubling.
+	capHint int
+}
+
+// setStatsCollector / statsSnapshot implement statsCollecting.
+func (cs *ColStore) setStatsCollector(ts *tableStats) { cs.stats = ts }
+func (cs *ColStore) statsSnapshot() *tableStats       { return cs.stats }
+
+// frozenState reports whether the store is currently frozen (ANALYZE
+// restores the previous state after its scan).
+func (cs *ColStore) frozenState() bool { return cs.frozen }
+
+// hintRows pre-sizes future typed column allocations for an expected
+// row count (capped; a wrong estimate can waste at most the cap).
+func (cs *ColStore) hintRows(n int64) {
+	const maxHint = 1 << 20
+	if n > maxHint {
+		n = maxHint
+	}
+	if int(n) > cs.capHint {
+		cs.capHint = int(n)
+	}
 }
 
 func newColStore(env *storageEnv) *ColStore { return &ColStore{env: env, width: -1} }
@@ -89,6 +116,8 @@ type column struct {
 	strs   []string
 	bools  []bool
 	vals   colVec
+	// hint pre-sizes the typed vector allocation (ColStore.hintRows).
+	hint int
 }
 
 func (c *column) setNull(row int) {
@@ -135,15 +164,16 @@ func (c *column) valueAt(i int) Value {
 // backfilling the rows seen so far — all NULL by definition — with
 // zero slots.
 func (c *column) setKind(t Type, row int) {
+	capacity := max(2*row, batchSize, c.hint)
 	switch t {
 	case TypeInt:
-		c.kind, c.ints = colInt, make([]int64, row, max(2*row, batchSize))
+		c.kind, c.ints = colInt, make([]int64, row, capacity)
 	case TypeFloat:
-		c.kind, c.floats = colFloat, make([]float64, row, max(2*row, batchSize))
+		c.kind, c.floats = colFloat, make([]float64, row, capacity)
 	case TypeText:
-		c.kind, c.strs = colStr, make([]string, row, max(2*row, batchSize))
+		c.kind, c.strs = colStr, make([]string, row, capacity)
 	case TypeBool:
-		c.kind, c.bools = colBool, make([]bool, row, max(2*row, batchSize))
+		c.kind, c.bools = colBool, make([]bool, row, capacity)
 	}
 }
 
@@ -338,6 +368,9 @@ func (cs *ColStore) ensureWidth(w int) error {
 	if cs.width < 0 {
 		cs.width = w
 		cs.cols = make([]column, w)
+		for i := range cs.cols {
+			cs.cols[i].hint = cs.capHint
+		}
 		return nil
 	}
 	if cs.width != w {
@@ -444,6 +477,9 @@ func (cs *ColStore) Append(row Row) error {
 	}
 	cs.rows++
 	cs.memBytes += need
+	if cs.stats != nil {
+		cs.stats.observeRow(row)
+	}
 	return cs.maybeFlushChunk()
 }
 
@@ -485,6 +521,9 @@ func (cs *ColStore) AppendBatch(b *rowBatch) error {
 	}
 	cs.rows += n
 	cs.memBytes += need
+	if cs.stats != nil {
+		cs.stats.observeBatch(b)
+	}
 	return cs.maybeFlushChunk()
 }
 
@@ -563,15 +602,26 @@ func (cs *ColStore) morselCount() int {
 }
 
 func (cs *ColStore) morselScanner() (morselScanner, error) {
+	return cs.morselScannerCols(nil)
+}
+
+// morselScannerCols is the pruned variant: only the keep columns are
+// decoded and served (nil = all).
+func (cs *ColStore) morselScannerCols(keep []int) (morselScanner, error) {
 	if err := cs.Freeze(); err != nil {
 		return nil, err
 	}
-	return &colMorselScan{cs: cs, scratch: make([]colVec, len(cs.cols)), buf: &rowBatch{cols: make([]colVec, len(cs.cols))}}, nil
+	w := len(cs.cols)
+	if keep != nil {
+		w = len(keep)
+	}
+	return &colMorselScan{cs: cs, keep: keep, scratch: make([]colVec, w), buf: &rowBatch{cols: make([]colVec, w)}}, nil
 }
 
 // colMorselScan serves one morsel at a time as column-slice batches.
 type colMorselScan struct {
 	cs       *ColStore
+	keep     []int
 	pos, end int
 	buf      *rowBatch
 	scratch  []colVec
@@ -587,15 +637,23 @@ func (s *colMorselScan) NextBatch() (*rowBatch, error) {
 		return nil, nil
 	}
 	hi := min(s.pos+batchSize, s.end)
-	serveColumns(s.cs.cols, s.pos, hi, s.buf, s.scratch)
+	serveColumns(s.cs.cols, s.keep, s.pos, hi, s.buf, s.scratch)
 	s.pos = hi
 	return s.buf, nil
 }
 
 // serveColumns exposes rows [lo, hi) of a column set as a batch view.
-func serveColumns(cols []column, lo, hi int, buf *rowBatch, scratch []colVec) {
-	for i := range cols {
-		buf.cols[i], scratch[i] = cols[i].decodeRange(lo, hi, scratch[i])
+// keep, when non-nil, selects (and orders) the served column subset —
+// unkept columns are never decoded.
+func serveColumns(cols []column, keep []int, lo, hi int, buf *rowBatch, scratch []colVec) {
+	if keep == nil {
+		for i := range cols {
+			buf.cols[i], scratch[i] = cols[i].decodeRange(lo, hi, scratch[i])
+		}
+	} else {
+		for i, k := range keep {
+			buf.cols[i], scratch[i] = cols[k].decodeRange(lo, hi, scratch[i])
+		}
 	}
 	buf.n = hi - lo
 	buf.sel = nil
@@ -604,13 +662,21 @@ func serveColumns(cols []column, lo, hi int, buf *rowBatch, scratch []colVec) {
 // batchScan returns a batch reader over all rows: spilled chunks first
 // (decoded chunk by chunk), then the in-memory tail.
 func (cs *ColStore) batchScan() (storeScan, error) {
+	return cs.batchScanCols(nil)
+}
+
+// batchScanCols is the pruned variant: only the keep columns are
+// decoded and served (nil = all). Spilled chunks are still parsed in
+// full — the on-disk format is sequential — but only kept columns are
+// materialized as Values.
+func (cs *ColStore) batchScanCols(keep []int) (storeScan, error) {
 	if err := cs.Freeze(); err != nil {
 		return nil, err
 	}
 	if cs.spillErr != nil {
 		return nil, cs.spillErr
 	}
-	sc := &colScan{cs: cs}
+	sc := &colScan{cs: cs, keep: keep}
 	if cs.file != nil && cs.fileRows > 0 {
 		info, err := cs.file.Stat()
 		if err != nil {
@@ -625,6 +691,7 @@ func (cs *ColStore) batchScan() (storeScan, error) {
 // colScan reads a frozen ColStore batch-at-a-time.
 type colScan struct {
 	cs       *ColStore
+	keep     []int
 	r        *bufio.Reader
 	fileLeft int64
 	chunk    []column
@@ -637,13 +704,17 @@ type colScan struct {
 
 func (s *colScan) NextBatch() (*rowBatch, error) {
 	if s.buf == nil {
-		s.buf = &rowBatch{cols: make([]colVec, len(s.cs.cols))}
-		s.scratch = make([]colVec, len(s.cs.cols))
+		w := len(s.cs.cols)
+		if s.keep != nil {
+			w = len(s.keep)
+		}
+		s.buf = &rowBatch{cols: make([]colVec, w)}
+		s.scratch = make([]colVec, w)
 	}
 	for {
 		if s.chunkPos < s.chunkLen {
 			hi := min(s.chunkPos+batchSize, s.chunkLen)
-			serveColumns(s.chunk, s.chunkPos, hi, s.buf, s.scratch)
+			serveColumns(s.chunk, s.keep, s.chunkPos, hi, s.buf, s.scratch)
 			s.chunkPos = hi
 			return s.buf, nil
 		}
@@ -661,7 +732,7 @@ func (s *colScan) NextBatch() (*rowBatch, error) {
 		}
 		if s.memPos < s.cs.rows {
 			hi := min(s.memPos+batchSize, s.cs.rows)
-			serveColumns(s.cs.cols, s.memPos, hi, s.buf, s.scratch)
+			serveColumns(s.cs.cols, s.keep, s.memPos, hi, s.buf, s.scratch)
 			s.memPos = hi
 			return s.buf, nil
 		}

@@ -39,6 +39,13 @@ type Config struct {
 	// concurrent queries compete for one global pool; Close does not
 	// reset a shared budget (each store releases its own reservations).
 	Budget *MemBudget
+	// Optimizer controls the cost-based query optimizer: "" or "on"
+	// (the default) enables the logical rewrite rules and cost-based
+	// physical planning (optimize.go); "off" lowers the AST directly,
+	// reproducing the legacy planner. Simulated amplitudes are bitwise
+	// independent of the setting (see the bit-neutrality contract in
+	// optimize.go).
+	Optimizer string
 }
 
 // TableMeta describes one base table.
@@ -97,6 +104,14 @@ func Open(cfg Config) (*DB, error) {
 	default:
 		return nil, fmt.Errorf("sqlengine: unknown storage layout %q (want %q or %q)", cfg.Layout, LayoutColumnar, LayoutRow)
 	}
+	optimizer := true
+	switch cfg.Optimizer {
+	case "", "on":
+	case "off":
+		optimizer = false
+	default:
+		return nil, fmt.Errorf("sqlengine: unknown optimizer setting %q (want \"on\" or \"off\")", cfg.Optimizer)
+	}
 	env := &storageEnv{
 		budget:       budget,
 		spillDir:     cfg.SpillDir,
@@ -104,6 +119,7 @@ func Open(cfg Config) (*DB, error) {
 		workingFloor: floor,
 		workers:      workers,
 		rowLayout:    rowLayout,
+		optimizer:    optimizer,
 	}
 	return &DB{env: env, tables: map[string]*TableMeta{}}, nil
 }
@@ -219,6 +235,9 @@ func (db *DB) QueryContext(ctx context.Context, sqlText string, params ...Value)
 	if nparams > len(params) {
 		return nil, fmt.Errorf("sqlengine: statement needs %d parameters, got %d", nparams, len(params))
 	}
+	if ex, isExplain := stmt.(*ExplainStmt); isExplain {
+		return db.runExplainStmt(ctx, ex, params)
+	}
 	sel, ok := stmt.(*SelectStmt)
 	if !ok {
 		return nil, fmt.Errorf("sqlengine: Query requires a SELECT statement")
@@ -238,12 +257,11 @@ func (db *DB) newExecCtx(ctx context.Context, params []Value) *execCtx {
 
 func (db *DB) runSelect(stmtCtx context.Context, sel *SelectStmt, params []Value) (*ResultSet, error) {
 	ctx := db.newExecCtx(stmtCtx, params)
-	p := &planner{ctx: ctx, db: db}
-	defer p.release()
-	node, names, err := p.planSelect(sel, nil)
+	node, names, p, err := db.buildPlan(ctx, sel, false)
 	if err != nil {
 		return nil, err
 	}
+	defer p.release()
 	store, err := materializePlan(ctx, node)
 	if err != nil {
 		return nil, err
@@ -331,6 +349,18 @@ func (db *DB) execStmt(ctx context.Context, stmt Statement, params []Value) (int
 		db.mu.Lock()
 		defer db.mu.Unlock()
 		return db.execUpdate(ctx, s, params)
+	case *AnalyzeStmt:
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		return db.execAnalyze(s)
+	case *ExplainStmt:
+		rs, err := db.runExplainStmt(ctx, s, params)
+		if err != nil {
+			return 0, err
+		}
+		n := rs.Len()
+		rs.Close()
+		return n, nil
 	}
 	return 0, fmt.Errorf("sqlengine: unsupported statement %T", stmt)
 }
@@ -367,7 +397,12 @@ func (db *DB) execCreate(ctx context.Context, s *CreateTableStmt, params []Value
 		}
 		seen[lc] = true
 	}
-	db.tables[key] = &TableMeta{Name: s.Name, Cols: s.Cols, store: db.env.newStore()}
+	store := db.env.newStore()
+	// Base tables collect statistics incrementally from the first append
+	// (see stats.go); CTAS results start without statistics and rely on
+	// the exact row count until ANALYZE.
+	attachStats(store)
+	db.tables[key] = &TableMeta{Name: s.Name, Cols: s.Cols, store: store}
 	return 0, nil
 }
 
@@ -533,6 +568,9 @@ func (db *DB) insertSelect(ctx context.Context, meta *TableMeta, sel *SelectStmt
 // is checked once per batchSize rows.
 func (db *DB) rewriteTable(ctx context.Context, meta *TableMeta, transform func(Row) (Row, bool, error)) (int64, error) {
 	newStore := db.env.newStore()
+	// The rewrite re-feeds every surviving row through a fresh
+	// collector, so statistics stay exact across DELETE/UPDATE.
+	attachStats(newStore)
 	it, err := meta.store.Cursor()
 	if err != nil {
 		newStore.Release()

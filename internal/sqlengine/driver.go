@@ -99,6 +99,7 @@ func parseDSN(dsn string) (Config, error) {
 		cfg.Parallelism = n
 	}
 	cfg.Layout = q.Get("layout")
+	cfg.Optimizer = q.Get("optimizer")
 	return cfg, nil
 }
 

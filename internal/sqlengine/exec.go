@@ -134,21 +134,81 @@ func (it *oneRowBatchIter) Close() {}
 
 // storeScanNode scans a table store with a fixed schema. The store is
 // owned elsewhere (a base table or a materialized CTE); ownStore marks
-// stores that must be released when the iterator closes.
+// stores that must be released when the iterator closes. keep, when
+// non-nil, is the pruned physical column subset the scan serves (the
+// columnar store skips decoding the dropped columns entirely; other
+// stores are wrapped with a zero-copy column pick).
 type storeScanNode struct {
-	store    tableStore
-	cols     planSchema
+	store tableStore
+	cols  planSchema
+	keep  []int
+	// fullCols is the store's unpruned column count (EXPLAIN's pruning
+	// annotation; the row layout cannot report it itself).
+	fullCols int
 	ownStore bool
+	est      *nodeEst
 }
 
 func (n *storeScanNode) schema() planSchema { return n.cols }
 
+// prunableStore is the optional storage fast path for column-pruned
+// scans (implemented by ColStore: pruned columns are never decoded).
+type prunableStore interface {
+	batchScanCols(keep []int) (storeScan, error)
+	morselScannerCols(keep []int) (morselScanner, error)
+}
+
 func (n *storeScanNode) open(*execCtx) (batchIter, error) {
-	sc, err := n.store.batchScan()
+	var sc storeScan
+	var err error
+	if n.keep != nil {
+		if ps, ok := n.store.(prunableStore); ok {
+			sc, err = ps.batchScanCols(n.keep)
+		} else {
+			sc, err = n.store.batchScan()
+			if err == nil {
+				sc = newPickScan(sc, n.keep)
+			}
+		}
+	} else {
+		sc, err = n.store.batchScan()
+	}
 	if err != nil {
 		return nil, err
 	}
 	return &storeScanIter{scan: sc, store: n.store, own: n.ownStore}, nil
+}
+
+// pickBatch aliases the idxs-selected columns of b into out (zero copy;
+// the shared body of every column-pick adapter). A nil or error input
+// passes through.
+func pickBatch(out, b *rowBatch, idxs []int, err error) (*rowBatch, error) {
+	if err != nil || b == nil {
+		return nil, err
+	}
+	for i, k := range idxs {
+		out.cols[i] = b.cols[k]
+	}
+	out.n = b.n
+	out.sel = b.sel
+	return out, nil
+}
+
+// pickScan serves a column subset of an underlying scan without copying
+// data: the output batch aliases the picked column vectors.
+type pickScan struct {
+	src  storeScan
+	keep []int
+	out  *rowBatch
+}
+
+func newPickScan(src storeScan, keep []int) *pickScan {
+	return &pickScan{src: src, keep: keep, out: &rowBatch{cols: make([]colVec, len(keep))}}
+}
+
+func (s *pickScan) NextBatch() (*rowBatch, error) {
+	b, err := s.src.NextBatch()
+	return pickBatch(s.out, b, s.keep, err)
 }
 
 // storeScanIter adapts a store's batch scan — column slices for the
@@ -182,10 +242,13 @@ func newOwnedStoreIter(store tableStore) (batchIter, error) {
 
 // filterNode drops rows whose predicate is not true. Filtering is a
 // selection-vector rewrite: the child's batch is passed through with a
-// narrowed selection and no data movement.
+// narrowed selection and no data movement. pushed marks a filter the
+// optimizer pushed into its scan (for EXPLAIN).
 type filterNode struct {
-	child planNode
-	pred  Expr
+	child  planNode
+	pred   Expr
+	pushed bool
+	est    *nodeEst
 }
 
 func (n *filterNode) schema() planSchema { return n.child.schema() }
@@ -242,6 +305,7 @@ type projectNode struct {
 	child planNode
 	exprs []Expr
 	cols  planSchema
+	est   *nodeEst
 }
 
 func (n *projectNode) schema() planSchema { return n.cols }
@@ -289,6 +353,7 @@ func (it *projectIter) Close() { it.child.Close() }
 type sliceProjectNode struct {
 	child planNode
 	keep  int // keep columns [0, keep)
+	est   *nodeEst
 }
 
 func (n *sliceProjectNode) schema() planSchema { return n.child.schema()[:n.keep] }
@@ -320,10 +385,44 @@ func (it *sliceProjectIter) NextBatch() (*rowBatch, error) {
 
 func (it *sliceProjectIter) Close() { it.child.Close() }
 
+// pickNode projects by column index with zero copying: the output batch
+// aliases the child's column vectors. The optimizer inserts it to
+// restore column order after a build-side flip or join reorder.
+type pickNode struct {
+	child planNode
+	idxs  []int
+	cols  planSchema
+	est   *nodeEst
+}
+
+func (n *pickNode) schema() planSchema { return n.cols }
+
+func (n *pickNode) open(ctx *execCtx) (batchIter, error) {
+	child, err := n.child.open(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &pickIter{child: child, idxs: n.idxs, out: &rowBatch{cols: make([]colVec, len(n.idxs))}}, nil
+}
+
+type pickIter struct {
+	child batchIter
+	idxs  []int
+	out   *rowBatch
+}
+
+func (it *pickIter) NextBatch() (*rowBatch, error) {
+	b, err := it.child.NextBatch()
+	return pickBatch(it.out, b, it.idxs, err)
+}
+
+func (it *pickIter) Close() { it.child.Close() }
+
 // limitNode implements LIMIT/OFFSET with precomputed counts (-1 = none).
 type limitNode struct {
 	child         planNode
 	limit, offset Expr
+	est           *nodeEst
 }
 
 func (n *limitNode) schema() planSchema { return n.child.schema() }
@@ -407,12 +506,56 @@ func (it *limitIter) NextBatch() (*rowBatch, error) {
 
 func (it *limitIter) Close() { it.child.Close() }
 
+// planChildren returns a physical node's children (the shared walk
+// behind EXPLAIN ANALYZE instrumentation and counter resets; mirrors
+// lchildren for the logical tree). Nodes not listed are leaves.
+func planChildren(node planNode) []planNode {
+	switch n := node.(type) {
+	case *filterNode:
+		return []planNode{n.child}
+	case *projectNode:
+		return []planNode{n.child}
+	case *sliceProjectNode:
+		return []planNode{n.child}
+	case *pickNode:
+		return []planNode{n.child}
+	case *joinNode:
+		return []planNode{n.left, n.right}
+	case *aggNode:
+		return []planNode{n.child}
+	case *sortNode:
+		return []planNode{n.child}
+	case *limitNode:
+		return []planNode{n.child}
+	case *aliasNode:
+		return []planNode{n.child}
+	case *statNode:
+		return []planNode{n.child}
+	case *cteShowNode:
+		return []planNode{n.child}
+	}
+	return nil
+}
+
+// rowCapacityHinter is the optional storage interface for cost-model
+// capacity hints (ColStore pre-sizes its typed vectors).
+type rowCapacityHinter interface {
+	hintRows(int64)
+}
+
 // materialize drains a batch iterator into a fresh store in the
 // engine's configured layout. With the columnar layout this is the
 // batch-in, column-vectors-out boundary: no per-row materialization.
-// Cancellation is checked once per drained batch.
-func materialize(ctx *execCtx, it batchIter) (tableStore, error) {
+// hint, when positive, is the cost model's estimated result size and
+// pre-sizes the store's column vectors. Cancellation is checked once
+// per drained batch.
+func materialize(ctx *execCtx, it batchIter, hint int64) (tableStore, error) {
 	store := ctx.env.newStore()
+	if hint > 0 {
+		if h, ok := store.(rowCapacityHinter); ok {
+			h.hintRows(hint)
+		}
+	}
 	for {
 		if err := ctx.cancelled(); err != nil {
 			store.Release()

@@ -4,12 +4,16 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync/atomic"
+	"time"
 )
 
 // Explain returns a rendering of the physical plan for a SELECT
-// statement without executing it. CTEs are inlined as subplans (one per
-// reference) instead of being materialized, so EXPLAIN itself does no
-// data movement.
+// statement without executing it. With the optimizer on, the plan shown
+// is the optimized one, annotated with the cost model's estimated rows
+// and cost per operator; CTEs the execution would materialize appear as
+// MaterializeCTE subplans (inlined CTEs appear in place). EXPLAIN
+// itself does no data movement.
 func (db *DB) Explain(sqlText string, params ...Value) (string, error) {
 	stmt, nparams, err := ParseStatement(sqlText)
 	if err != nil {
@@ -20,8 +24,14 @@ func (db *DB) Explain(sqlText string, params ...Value) (string, error) {
 		pad := make([]Value, nparams-len(params))
 		params = append(params, pad...)
 	}
-	sel, ok := stmt.(*SelectStmt)
-	if !ok {
+	var sel *SelectStmt
+	analyze := false
+	switch s := stmt.(type) {
+	case *SelectStmt:
+		sel = s
+	case *ExplainStmt:
+		sel, analyze = s.Select, s.Analyze
+	default:
 		return "", fmt.Errorf("sqlengine: EXPLAIN requires a SELECT statement")
 	}
 	db.mu.RLock()
@@ -29,20 +39,128 @@ func (db *DB) Explain(sqlText string, params ...Value) (string, error) {
 	if db.closed {
 		return "", fmt.Errorf("sqlengine: database is closed")
 	}
+	if analyze {
+		return db.explainAnalyzeSelect(context.Background(), sel, params)
+	}
+	return db.explainSelect(sel, params)
+}
+
+func (db *DB) explainSelect(sel *SelectStmt, params []Value) (string, error) {
 	ctx := db.newExecCtx(context.Background(), params)
-	p := &planner{ctx: ctx, db: db, explain: true}
-	defer p.release()
-	node, names, err := p.planSelect(sel, nil)
+	node, names, p, err := db.buildPlan(ctx, sel, true)
 	if err != nil {
 		return "", err
 	}
+	defer p.release()
 	var b strings.Builder
-	fmt.Fprintf(&b, "output: %s\n", strings.Join(names, ", "))
-	fmt.Fprintf(&b, "executor: vectorized (batch=%d, selection vectors), morsel-parallel (workers=%d, morsel=%d rows)\n",
-		batchSize, ctx.workers, morselRows)
-	fmt.Fprintf(&b, "storage: %s\n", storageDesc(db.env))
+	writeExplainHeader(&b, db.env, ctx, names)
 	describePlan(&b, node, 0)
 	return b.String(), nil
+}
+
+// ExplainAnalyze executes the SELECT and renders the physical plan with
+// both the cost model's estimates and the actual rows each operator
+// produced, plus total wall time (planning and CTE materialization
+// included).
+func (db *DB) ExplainAnalyze(ctx context.Context, sqlText string, params ...Value) (string, error) {
+	stmt, nparams, err := ParseStatement(sqlText)
+	if err != nil {
+		return "", err
+	}
+	if nparams > len(params) {
+		pad := make([]Value, nparams-len(params))
+		params = append(params, pad...)
+	}
+	var sel *SelectStmt
+	switch s := stmt.(type) {
+	case *SelectStmt:
+		sel = s
+	case *ExplainStmt:
+		sel = s.Select
+	default:
+		return "", fmt.Errorf("sqlengine: EXPLAIN ANALYZE requires a SELECT statement")
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return "", fmt.Errorf("sqlengine: database is closed")
+	}
+	return db.explainAnalyzeSelect(ctx, sel, params)
+}
+
+func (db *DB) explainAnalyzeSelect(stmtCtx context.Context, sel *SelectStmt, params []Value) (string, error) {
+	ctx := db.newExecCtx(stmtCtx, params)
+	start := time.Now() // CTE materialization happens during lowering
+	node, names, p, err := db.buildPlan(ctx, sel, false)
+	if err != nil {
+		return "", err
+	}
+	defer p.release()
+	node = instrumentPlan(node)
+	store, err := materializePlan(ctx, node)
+	if err != nil {
+		return "", err
+	}
+	elapsed := time.Since(start)
+	total := store.Len()
+	store.Release()
+	var b strings.Builder
+	writeExplainHeader(&b, db.env, ctx, names)
+	fmt.Fprintf(&b, "actual: %d rows in %s\n", total, elapsed.Round(time.Microsecond))
+	describePlan(&b, node, 0)
+	return b.String(), nil
+}
+
+// runExplainStmt serves EXPLAIN [ANALYZE] through the Query surface: the
+// rendered plan becomes a one-column result set (column "plan", one row
+// per line).
+func (db *DB) runExplainStmt(ctx context.Context, s *ExplainStmt, params []Value) (*ResultSet, error) {
+	var text string
+	var err error
+	if s.Analyze {
+		db.mu.RLock()
+		if db.closed {
+			db.mu.RUnlock()
+			return nil, fmt.Errorf("sqlengine: database is closed")
+		}
+		text, err = db.explainAnalyzeSelect(ctx, s.Select, params)
+		db.mu.RUnlock()
+	} else {
+		db.mu.RLock()
+		if db.closed {
+			db.mu.RUnlock()
+			return nil, fmt.Errorf("sqlengine: database is closed")
+		}
+		text, err = db.explainSelect(s.Select, params)
+		db.mu.RUnlock()
+	}
+	if err != nil {
+		return nil, err
+	}
+	store := db.env.newStore()
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if err := store.Append(Row{NewText(line)}); err != nil {
+			store.Release()
+			return nil, err
+		}
+	}
+	if err := store.Freeze(); err != nil {
+		store.Release()
+		return nil, err
+	}
+	return &ResultSet{Columns: []string{"plan"}, store: store}, nil
+}
+
+func writeExplainHeader(b *strings.Builder, env *storageEnv, ctx *execCtx, names []string) {
+	fmt.Fprintf(b, "output: %s\n", strings.Join(names, ", "))
+	fmt.Fprintf(b, "executor: vectorized (batch=%d, selection vectors), morsel-parallel (workers=%d, morsel=%d rows)\n",
+		batchSize, ctx.workers, morselRows)
+	fmt.Fprintf(b, "storage: %s\n", storageDesc(env))
+	if env.optimizer {
+		fmt.Fprintf(b, "optimizer: on (cost-based: statistics, pushdown, pruning, CTE inlining, join planning)\n")
+	} else {
+		fmt.Fprintf(b, "optimizer: off\n")
+	}
 }
 
 // storageDesc renders the engine's table storage layout for the EXPLAIN
@@ -64,29 +182,162 @@ func scanLayout(store tableStore) string {
 	return store.layout() + "[" + strings.Join(kinds, " ") + "]"
 }
 
+// estSuffix renders the cost model's annotation for one operator line
+// (empty when the optimizer is off).
+func estSuffix(est *nodeEst) string {
+	if est == nil || est.rows < 0 {
+		return ""
+	}
+	return fmt.Sprintf(" (est_rows=%.4g cost=%.4g)", est.rows, est.cost)
+}
+
+// statNode wraps a physical operator during EXPLAIN ANALYZE, counting
+// the rows it emits (atomically: morsel streams count concurrently). It
+// is transparent to morsel-parallel execution so the instrumented plan
+// runs the same schedule as the real one.
+type statNode struct {
+	child  planNode
+	actual atomic.Int64
+}
+
+func (n *statNode) schema() planSchema { return n.child.schema() }
+
+func (n *statNode) open(ctx *execCtx) (batchIter, error) {
+	it, err := n.child.open(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &statIter{child: it, actual: &n.actual}, nil
+}
+
+func (n *statNode) openParallel(ctx *execCtx, workers int) ([]morselStream, bool, error) {
+	streams, ok, err := openMorselStreams(n.child, ctx, workers)
+	if err != nil || !ok {
+		return nil, ok, err
+	}
+	out := make([]morselStream, len(streams))
+	for i, s := range streams {
+		out[i] = &statMorselStream{child: s, actual: &n.actual}
+	}
+	return out, true, nil
+}
+
+type statIter struct {
+	child  batchIter
+	actual *atomic.Int64
+}
+
+func (it *statIter) NextBatch() (*rowBatch, error) {
+	b, err := it.child.NextBatch()
+	if err == nil && b != nil {
+		it.actual.Add(int64(b.rows()))
+	}
+	return b, err
+}
+
+func (it *statIter) Close() { it.child.Close() }
+
+type statMorselStream struct {
+	child  morselStream
+	actual *atomic.Int64
+}
+
+func (s *statMorselStream) NextMorsel() (int, bool, error) { return s.child.NextMorsel() }
+
+func (s *statMorselStream) NextBatch() (*rowBatch, error) {
+	b, err := s.child.NextBatch()
+	if err == nil && b != nil {
+		s.actual.Add(int64(b.rows()))
+	}
+	return b, err
+}
+
+func (s *statMorselStream) Close() { s.child.Close() }
+
+// resetPlanStats zeroes every statNode counter in the tree (the
+// parallel gather's serial fallback re-runs the plan from scratch).
+func resetPlanStats(node planNode) {
+	if sn, ok := node.(*statNode); ok {
+		sn.actual.Store(0)
+	}
+	for _, c := range planChildren(node) {
+		resetPlanStats(c)
+	}
+}
+
+// instrumentPlan wraps every operator with a row counter for EXPLAIN
+// ANALYZE.
+func instrumentPlan(node planNode) planNode {
+	switch n := node.(type) {
+	case *filterNode:
+		n.child = instrumentPlan(n.child)
+	case *projectNode:
+		n.child = instrumentPlan(n.child)
+	case *sliceProjectNode:
+		n.child = instrumentPlan(n.child)
+	case *pickNode:
+		n.child = instrumentPlan(n.child)
+	case *joinNode:
+		n.left = instrumentPlan(n.left)
+		n.right = instrumentPlan(n.right)
+	case *aggNode:
+		n.child = instrumentPlan(n.child)
+	case *sortNode:
+		n.child = instrumentPlan(n.child)
+	case *limitNode:
+		n.child = instrumentPlan(n.child)
+	case *aliasNode:
+		n.child = instrumentPlan(n.child)
+	}
+	return &statNode{child: node}
+}
+
 func describePlan(b *strings.Builder, node planNode, depth int) {
 	pad := strings.Repeat("  ", depth)
+	actual := ""
+	if sn, ok := node.(*statNode); ok {
+		actual = fmt.Sprintf(" actual_rows=%d", sn.actual.Load())
+		node = sn.child
+	}
+	line := func(format string, args ...any) {
+		fmt.Fprintf(b, "%s%s%s%s\n", pad, fmt.Sprintf(format, args...), estSuffix(planEstimateOf(node)), actual)
+	}
 	switch n := node.(type) {
 	case *oneRowNode:
-		fmt.Fprintf(b, "%sOneRow\n", pad)
+		line("OneRow")
 	case *storeScanNode:
 		qual := ""
 		if len(n.cols) > 0 {
 			qual = n.cols[0].table
 		}
-		fmt.Fprintf(b, "%sBatchScan %s (rows=%d, cols=%d, batch=%d, layout=%s)\n", pad, qual, n.store.Len(), len(n.cols), batchSize, scanLayout(n.store))
+		pruned := ""
+		if n.keep != nil {
+			names := make([]string, len(n.cols))
+			for i, c := range n.cols {
+				names[i] = c.name
+			}
+			pruned = fmt.Sprintf(", pruned=%d->%d cols [%s]", n.fullCols, len(n.keep), strings.Join(names, " "))
+		}
+		line("BatchScan %s (rows=%d, cols=%d, batch=%d, layout=%s%s)", qual, n.store.Len(), len(n.cols), batchSize, scanLayout(n.store), pruned)
 	case *filterNode:
-		fmt.Fprintf(b, "%sBatchFilter %s [selection vector]\n", pad, n.pred.Deparse())
+		mark := ""
+		if n.pushed {
+			mark = " [pushed to scan]"
+		}
+		line("BatchFilter %s [selection vector]%s", n.pred.Deparse(), mark)
 		describePlan(b, n.child, depth+1)
 	case *projectNode:
 		exprs := make([]string, len(n.exprs))
 		for i, e := range n.exprs {
 			exprs[i] = e.Deparse()
 		}
-		fmt.Fprintf(b, "%sBatchProject %s\n", pad, strings.Join(exprs, ", "))
+		line("BatchProject %s", strings.Join(exprs, ", "))
 		describePlan(b, n.child, depth+1)
 	case *sliceProjectNode:
-		fmt.Fprintf(b, "%sStripHiddenColumns keep=%d\n", pad, n.keep)
+		line("StripHiddenColumns keep=%d", n.keep)
+		describePlan(b, n.child, depth+1)
+	case *pickNode:
+		line("ReorderColumns keep=%d", len(n.idxs))
 		describePlan(b, n.child, depth+1)
 	case *joinNode:
 		if len(n.leftKeys) > 0 {
@@ -98,13 +349,21 @@ func describePlan(b *strings.Builder, node planNode, depth int) {
 			if n.residual != nil {
 				residual = " residual=" + n.residual.Deparse()
 			}
-			fmt.Fprintf(b, "%sHashJoin (%s) on %s%s [streaming batch probe]\n", pad, n.joinType, strings.Join(keys, " AND "), residual)
+			mode := " [streaming batch probe]"
+			if n.strategy == joinGrace {
+				mode = " [grace partitioned: build exceeds budget]"
+			}
+			flipped := ""
+			if n.flipped {
+				flipped = " [build side flipped]"
+			}
+			line("HashJoin (%s) on %s%s%s%s", n.joinType, strings.Join(keys, " AND "), residual, mode, flipped)
 		} else {
 			pred := ""
 			if n.residual != nil {
 				pred = " on " + n.residual.Deparse()
 			}
-			fmt.Fprintf(b, "%sNestedLoopJoin (%s)%s\n", pad, n.joinType, pred)
+			line("NestedLoopJoin (%s)%s", n.joinType, pred)
 		}
 		describePlan(b, n.left, depth+1)
 		describePlan(b, n.right, depth+1)
@@ -135,7 +394,7 @@ func describePlan(b *strings.Builder, node planNode, depth int) {
 		if distinct {
 			mode = " [materialized]"
 		}
-		fmt.Fprintf(b, "%s%s keys=[%s] aggs=[%s]%s\n", pad, label, strings.Join(keys, ", "), strings.Join(aggs, ", "), mode)
+		line("%s keys=[%s] aggs=[%s]%s", label, strings.Join(keys, ", "), strings.Join(aggs, ", "), mode)
 		describePlan(b, n.child, depth+1)
 	case *sortNode:
 		keys := make([]string, len(n.keys))
@@ -146,15 +405,19 @@ func describePlan(b *strings.Builder, node planNode, depth int) {
 			}
 			keys[i] = k.expr.Deparse() + " " + dir
 		}
-		fmt.Fprintf(b, "%sSort %s (external merge when over budget)\n", pad, strings.Join(keys, ", "))
+		line("Sort %s (external merge when over budget)", strings.Join(keys, ", "))
 		describePlan(b, n.child, depth+1)
 	case *limitNode:
-		fmt.Fprintf(b, "%sLimit\n", pad)
+		line("Limit")
 		describePlan(b, n.child, depth+1)
 	case *aliasNode:
-		fmt.Fprintf(b, "%sAs %s\n", pad, n.table)
+		line("As %s", n.table)
+		describePlan(b, n.child, depth+1)
+	case *cteShowNode:
+		line("MaterializeCTE %s (refs=%d)", n.name, n.uses)
 		describePlan(b, n.child, depth+1)
 	default:
-		fmt.Fprintf(b, "%s%T\n", pad, node)
+		line("%T", node)
 	}
 }
+

@@ -114,8 +114,10 @@ func TestExplainBatchOperators(t *testing.T) {
 	}
 	for _, frag := range []string{
 		"executor: vectorized (batch=1024, selection vectors)",
-		"BatchScan t (rows=3, cols=2, batch=1024, layout=columnar[int64 float64])",
-		"BatchFilter (a > 1) [selection vector]",
+		// Column b is dead: the optimizer prunes the scan to column a and
+		// pushes the filter into it.
+		"BatchScan t (rows=3, cols=1, batch=1024, layout=columnar[int64 float64], pruned=2->1 cols [a])",
+		"BatchFilter (a > 1) [selection vector] [pushed to scan]",
 		"BatchProject (a * 2)",
 	} {
 		if !strings.Contains(plan, frag) {

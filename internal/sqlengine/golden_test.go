@@ -1,0 +1,92 @@
+package sqlengine
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden plan snapshots")
+
+// TestGoldenPlans is the plan-regression gate: EXPLAIN output for a
+// fixed schema and query set is pinned under testdata/plans/. An
+// accidental plan change — a rule firing differently, an estimate
+// shifting, a physical choice flipping — fails CI with a readable
+// diff. Regenerate intentionally with:
+//
+//	go test ./internal/sqlengine -run TestGoldenPlans -update
+func TestGoldenPlans(t *testing.T) {
+	db := newOptDB(t, Config{Parallelism: 1}) // pin the header's worker count
+	setup := []string{
+		"CREATE TABLE t0 (s INTEGER, r REAL, i REAL)",
+		"CREATE TABLE h (in_s INTEGER, out_s INTEGER, r REAL, i REAL)",
+		"INSERT INTO h VALUES (0,0,0.7071067811865476,0.0),(0,1,0.7071067811865476,0.0),(1,0,0.7071067811865476,0.0),(1,1,-0.7071067811865476,0.0)",
+		"CREATE TABLE wide (a INTEGER, b REAL, c TEXT, d INTEGER)",
+		"CREATE TABLE small (id INTEGER, name TEXT)",
+		"CREATE TABLE big (id INTEGER, v INTEGER)",
+		"INSERT INTO small VALUES (1, 'a'), (2, 'b'), (3, 'c')",
+		"INSERT INTO wide VALUES (1, 2.0, 'x', 4)",
+	}
+	for _, s := range setup {
+		mustExec(t, db, s)
+	}
+	var t0 []string
+	for k := 0; k < 4096; k++ {
+		t0 = append(t0, fmt.Sprintf("(%d, 0.015625, 0.0)", k))
+		if len(t0) == 512 {
+			mustExec(t, db, "INSERT INTO t0 VALUES "+strings.Join(t0, ","))
+			t0 = t0[:0]
+		}
+	}
+	fillSequence(t, db, "big", 6000)
+
+	cases := []struct {
+		name  string
+		query string
+	}{
+		{"gate_stage", `WITH t1 AS (
+			SELECT ((t0.s & ~1) | h.out_s) AS s,
+			       SUM((t0.r * h.r) - (t0.i * h.i)) AS r,
+			       SUM((t0.r * h.i) + (t0.i * h.r)) AS i
+			FROM t0 JOIN h ON h.in_s = (t0.s & 1)
+			GROUP BY ((t0.s & ~1) | h.out_s)
+		) SELECT s, r, i FROM t1 ORDER BY s`},
+		{"pushdown_join", "SELECT small.name FROM small JOIN big ON big.id = small.id WHERE big.v > 10 AND small.name = 'a'"},
+		{"pruned_scan", "SELECT a FROM wide WHERE a > 1 + 1"},
+		{"cte_inlined", "WITH u AS (SELECT a, b FROM wide WHERE a < 10) SELECT b FROM u WHERE b > 0.5"},
+		{"cte_shared", "WITH u AS (SELECT id FROM small) SELECT x.id FROM u x JOIN u y ON x.id = y.id"},
+		{"build_side_flip", "SELECT small.name, big.v FROM small JOIN big ON big.id = small.id"},
+		{"join_reorder", "SELECT t0.s, big.v, small.id FROM t0 JOIN big ON big.id = t0.s JOIN small ON small.id = t0.s"},
+	}
+	dir := filepath.Join("testdata", "plans")
+	if *updateGolden {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			plan, err := db.Explain(tc.query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join(dir, tc.name+".golden")
+			if *updateGolden {
+				if err := os.WriteFile(path, []byte(plan), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden snapshot (run with -update): %v", err)
+			}
+			if plan != string(want) {
+				t.Errorf("plan changed for %s.\n--- want\n%s\n--- got\n%s", tc.name, want, plan)
+			}
+		})
+	}
+}

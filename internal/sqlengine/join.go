@@ -26,6 +26,16 @@ type joinNode struct {
 	leftKeys    []Expr // parallel with rightKeys
 	rightKeys   []Expr
 	residual    Expr // may be nil
+	// strategy is the cost model's execution choice: joinAuto tries the
+	// in-memory streaming build; joinGrace goes straight to the
+	// grace-partitioned out-of-core join (chosen when the estimated
+	// build side cannot fit the memory budget).
+	strategy joinStrategy
+	// buildHint pre-sizes the build-side hash table (0 = no hint).
+	buildHint int64
+	// flipped marks a build-side swap applied by the optimizer.
+	flipped bool
+	est     *nodeEst
 }
 
 func (n *joinNode) schema() planSchema {
@@ -64,6 +74,7 @@ func (n *joinNode) open(ctx *execCtx) (batchIter, error) {
 		residual:   residual,
 		leftWidth:  len(ls),
 		rightWidth: len(rs),
+		buildHint:  n.buildHint,
 	}
 
 	if len(n.leftKeys) > 0 {
@@ -80,6 +91,9 @@ func (n *joinNode) open(ctx *execCtx) (batchIter, error) {
 			return nil, err
 		}
 		exec.nkeys = len(lk)
+		if n.strategy == joinGrace && ctx.env.spillEnabled {
+			return exec.openGraceJoin(leftIter, rightIter, lk, rk)
+		}
 		return exec.openHashJoin(leftIter, rightIter, lk, rk)
 	}
 
@@ -131,6 +145,35 @@ func (j *joinExec) openHashJoin(left, right batchIter, lk, rk []vecExpr) (batchI
 	return newOwnedStoreIter(out)
 }
 
+// openGraceJoin is the pre-chosen out-of-core path: both sides are
+// materialized as keyed stores and grace-partition joined, skipping the
+// in-memory build attempt the cost model determined could never fit.
+func (j *joinExec) openGraceJoin(left, right batchIter, lk, rk []vecExpr) (batchIter, error) {
+	rightStore, err := j.materializeKeyed(right, rk)
+	right.Close()
+	if err != nil {
+		left.Close()
+		return nil, err
+	}
+	defer rightStore.Release()
+	leftStore, err := j.materializeKeyed(left, lk)
+	left.Close()
+	if err != nil {
+		return nil, err
+	}
+	defer leftStore.Release()
+	out := j.ctx.env.newStore()
+	if err := j.joinStores(leftStore, rightStore, 0, out); err != nil {
+		out.Release()
+		return nil, err
+	}
+	if err := out.Freeze(); err != nil {
+		out.Release()
+		return nil, err
+	}
+	return newOwnedStoreIter(out)
+}
+
 // buildRight drains the right input into an in-memory build table of
 // keyed rows. On success rightStore is nil and the caller owns the
 // returned budget reservation. On budget overflow all reservations are
@@ -138,7 +181,7 @@ func (j *joinExec) openHashJoin(left, right batchIter, lk, rk []vecExpr) (batchI
 // the stream) is returned as a keyed store for grace partitioning.
 func (j *joinExec) buildRight(right batchIter, rk []vecExpr) (*buildTable, int64, tableStore, error) {
 	budget := j.ctx.env.budget
-	build := newBuildTable(j.nkeys)
+	build := newBuildTable(j.nkeys, j.buildHint)
 	var reserved int64
 	keyCols := make([]colVec, j.nkeys)
 	overflow := false
@@ -384,7 +427,7 @@ func (it *hashProbeIter) Close() {
 // side cannot be morselized or the build overflows the budget (the
 // grace-partitioned join is inherently blocking and stays serial).
 func (n *joinNode) openParallel(ctx *execCtx, workers int) ([]morselStream, bool, error) {
-	if len(n.leftKeys) == 0 {
+	if len(n.leftKeys) == 0 || n.strategy == joinGrace {
 		return nil, false, nil
 	}
 	leftStreams, ok, err := openMorselStreams(n.left, ctx, workers)
@@ -398,6 +441,7 @@ func (n *joinNode) openParallel(ctx *execCtx, workers int) ([]morselStream, bool
 		nkeys:      len(n.leftKeys),
 		leftWidth:  len(ls),
 		rightWidth: len(rs),
+		buildHint:  n.buildHint,
 	}
 	rk, err := ctx.compileVecAll(n.rightKeys, rs)
 	if err != nil {
@@ -596,6 +640,8 @@ type joinExec struct {
 	nkeys      int
 	leftWidth  int
 	rightWidth int
+	// buildHint pre-sizes the in-memory build table (0 = no hint).
+	buildHint int64
 }
 
 // materializeKeyed stores each input row as [key values..., original
@@ -687,8 +733,19 @@ type buildTable struct {
 	strs  map[string][]Row
 }
 
-func newBuildTable(nkeys int) *buildTable {
-	return &buildTable{nkeys: nkeys, ints: make(map[int64][]Row), strs: make(map[string][]Row)}
+// newBuildTable allocates the build hash table. hint, when positive, is
+// the cost model's estimated build cardinality and pre-sizes the map so
+// large builds skip the incremental rehash-and-copy growth steps.
+func newBuildTable(nkeys int, hint int64) *buildTable {
+	ih, sh := 0, 0
+	if hint > 0 {
+		if nkeys == 1 {
+			ih = int(hint)
+		} else {
+			sh = int(hint)
+		}
+	}
+	return &buildTable{nkeys: nkeys, ints: make(map[int64][]Row, ih), strs: make(map[string][]Row, sh)}
 }
 
 // insert files the keyed row under its join key; ok=false means a NULL
@@ -746,7 +803,7 @@ func (t *buildTable) hasValidKey(keyed Row) bool {
 // partitions both sides and recurses.
 func (j *joinExec) joinStores(leftStore, rightStore tableStore, depth int, out tableStore) error {
 	budget := j.ctx.env.budget
-	build := newBuildTable(j.nkeys)
+	build := newBuildTable(j.nkeys, 0)
 	var reserved int64
 	releaseAll := func() {
 		budget.release(reserved)
@@ -997,7 +1054,7 @@ func mix64(x uint64, depth int) uint64 {
 // nestedLoop joins without equi keys: the right side is materialized and
 // rescanned per left batch row.
 func (j *joinExec) nestedLoop(left, right batchIter) (tableStore, error) {
-	rightStore, err := materialize(j.ctx, right)
+	rightStore, err := materialize(j.ctx, right, 0)
 	if err != nil {
 		return nil, err
 	}

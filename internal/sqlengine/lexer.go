@@ -40,7 +40,7 @@ var keywords = map[string]bool{
 	"ASC": true, "DESC": true, "IF": true, "EXISTS": true,
 	"TRUE": true, "FALSE": true, "CAST": true, "INDEX": true,
 	"PRIMARY": true, "KEY": true, "UNION": true, "EXCEPT": true,
-	"INTERSECT": true, "RECURSIVE": true,
+	"INTERSECT": true, "RECURSIVE": true, "EXPLAIN": true, "ANALYZE": true,
 }
 
 // lexer converts SQL text into tokens.

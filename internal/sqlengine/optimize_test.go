@@ -1,0 +1,586 @@
+package sqlengine
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func newOptDB(t *testing.T, cfg Config) *DB {
+	t.Helper()
+	db, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+// TestSingleUseCTEInlined is the regression test for the eager-CTE bug:
+// a CTE referenced once must be inlined into its consumer instead of
+// being materialized into a temporary store.
+func TestSingleUseCTEInlined(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, "CREATE TABLE t (a INTEGER, b INTEGER)")
+	fillSequence(t, db, "t", 100)
+	before := OptimizerCounters()["cte_inlined"]
+	rows := queryAll(t, db, "WITH u AS (SELECT a, b FROM t WHERE a < 10) SELECT b FROM u WHERE b > 3 ORDER BY b")
+	if after := OptimizerCounters()["cte_inlined"]; after <= before {
+		t.Fatalf("single-use CTE was not inlined (counter %d -> %d)", before, after)
+	}
+	if len(rows) != 6 { // b = a%97 = a for a in 4..9
+		t.Fatalf("rows = %v", rows)
+	}
+	// The plan must show the base scan directly (no MaterializeCTE).
+	plan, err := db.Explain("WITH u AS (SELECT a, b FROM t WHERE a < 10) SELECT b FROM u WHERE b > 3 ORDER BY b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plan, "MaterializeCTE") {
+		t.Fatalf("single-use CTE still materialized:\n%s", plan)
+	}
+	if !strings.Contains(plan, "BatchScan t") {
+		t.Fatalf("inlined plan missing base scan:\n%s", plan)
+	}
+}
+
+// TestMultiUseCTEStaysMaterialized: a CTE referenced twice must be
+// computed once and shared, never inlined twice.
+func TestMultiUseCTEStaysMaterialized(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, "CREATE TABLE t (a INTEGER, b INTEGER)")
+	fillSequence(t, db, "t", 50)
+	plan, err := db.Explain("WITH u AS (SELECT a FROM t WHERE a < 10) SELECT x.a FROM u x JOIN u y ON x.a = y.a ORDER BY x.a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "MaterializeCTE u (refs=2)") {
+		t.Fatalf("multi-use CTE not marked materialized:\n%s", plan)
+	}
+	rows := queryAll(t, db, "WITH u AS (SELECT a FROM t WHERE a < 10) SELECT x.a FROM u x JOIN u y ON x.a = y.a ORDER BY x.a")
+	if len(rows) != 10 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+// TestCTEUnderSumNotInlined: inlining would change the base store the
+// consumer's aggregation morselizes over, perturbing float summation
+// grouping — the optimizer must keep SUM consumers on the materialized
+// path.
+func TestCTEUnderSumNotInlined(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, "CREATE TABLE t (a INTEGER, b REAL)")
+	mustExec(t, db, "INSERT INTO t VALUES (1, 0.25), (2, 0.5), (1, 0.125)")
+	plan, err := db.Explain("WITH u AS (SELECT a, b FROM t WHERE a > 0) SELECT a, SUM(b) FROM u GROUP BY a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "MaterializeCTE u") {
+		t.Fatalf("CTE under SUM was inlined:\n%s", plan)
+	}
+	// COUNT/MIN/MAX are accumulation-order-insensitive: inlining is fine.
+	plan, err = db.Explain("WITH u AS (SELECT a, b FROM t WHERE a > 0) SELECT a, COUNT(*) FROM u GROUP BY a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plan, "MaterializeCTE u") {
+		t.Fatalf("CTE under COUNT not inlined:\n%s", plan)
+	}
+}
+
+// TestDeadCTEEliminated: an unreferenced CTE must never execute with the
+// optimizer on (the legacy planner materialized it eagerly).
+func TestDeadCTEEliminated(t *testing.T) {
+	script := []string{
+		"CREATE TABLE t (a INTEGER)",
+		"INSERT INTO t VALUES (1), (0)",
+	}
+	q := "WITH dead AS (SELECT SUM(c) AS x FROM u) SELECT a FROM t ORDER BY a"
+	script = append(script, "CREATE TABLE u (c TEXT)", "INSERT INTO u VALUES ('not a number')")
+
+	on := newOptDB(t, Config{})
+	for _, s := range script {
+		mustExec(t, on, s)
+	}
+	if _, err := on.Query(q); err != nil {
+		t.Fatalf("optimizer on: dead CTE executed: %v", err)
+	}
+
+	off := newOptDB(t, Config{Optimizer: "off"})
+	for _, s := range script {
+		mustExec(t, off, s)
+	}
+	if _, err := off.Query(q); err == nil {
+		t.Fatal("optimizer off: expected the legacy planner to eagerly run the dead CTE and fail on SUM over text")
+	}
+}
+
+func TestConstantFolding(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, "CREATE TABLE t (a INTEGER)")
+	plan, err := db.Explain("SELECT a FROM t WHERE a > 1 + 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "(a > 2)") {
+		t.Fatalf("constant not folded:\n%s", plan)
+	}
+	// Folding must preserve semantics exactly: 1/0 is NULL in this
+	// engine (SQLite semantics) and a folding-time error keeps the
+	// original expression so execution reports it.
+	mustExec(t, db, "INSERT INTO t VALUES (1)")
+	rows := queryAll(t, db, "SELECT 1/0 FROM t")
+	if len(rows) != 1 || !rows[0][0].IsNull() {
+		t.Fatalf("1/0 = %v, want NULL", rows)
+	}
+	if _, err := db.Query("SELECT ABS('x') FROM t"); err == nil {
+		t.Fatal("expected ABS('x') to keep erroring after folding")
+	}
+}
+
+func TestPredicatePushdownThroughJoin(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, "CREATE TABLE a (x INTEGER, y INTEGER)")
+	mustExec(t, db, "CREATE TABLE b (x INTEGER, z INTEGER)")
+	plan, err := db.Explain("SELECT a.y FROM a JOIN b ON a.x = b.x WHERE a.y > 5 AND b.z < 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	joinIdx := strings.Index(plan, "HashJoin")
+	yIdx := strings.Index(plan, "BatchFilter (a.y > 5)")
+	zIdx := strings.Index(plan, "BatchFilter (b.z < 3)")
+	if joinIdx < 0 || yIdx < 0 || zIdx < 0 {
+		t.Fatalf("plan:\n%s", plan)
+	}
+	if yIdx < joinIdx || zIdx < joinIdx {
+		t.Fatalf("filters not pushed below the join:\n%s", plan)
+	}
+	// Correctness.
+	mustExec(t, db, "INSERT INTO a VALUES (1, 6), (2, 9), (3, 9)")
+	mustExec(t, db, "INSERT INTO b VALUES (1, 1), (2, 5), (3, 2)")
+	rows := queryAll(t, db, "SELECT a.y FROM a JOIN b ON a.x = b.x WHERE a.y > 5 AND b.z < 3 ORDER BY a.y")
+	if len(rows) != 2 || rows[0][0].I != 6 || rows[1][0].I != 9 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+// TestPushdownIntoSubquery: the alias boundary of a FROM subquery must
+// not stop pushdown.
+func TestPushdownIntoSubquery(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, "CREATE TABLE t (a INTEGER, b INTEGER)")
+	fillSequence(t, db, "t", 20)
+	plan, err := db.Explain("SELECT v FROM (SELECT a AS v, b FROM t) s WHERE v > 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The filter lands on the base scan (below the subquery projection),
+	// rewritten to the base column.
+	scanIdx := strings.Index(plan, "BatchScan t")
+	filtIdx := strings.Index(plan, "BatchFilter (a > 10)")
+	if filtIdx < 0 || scanIdx < 0 || filtIdx > scanIdx {
+		t.Fatalf("filter not pushed through subquery projection:\n%s", plan)
+	}
+	rows := queryAll(t, db, "SELECT v FROM (SELECT a AS v, b FROM t) s WHERE v > 10 ORDER BY v")
+	if len(rows) != 9 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestProjectionPruning(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, "CREATE TABLE wide (a INTEGER, b REAL, c TEXT, d INTEGER)")
+	mustExec(t, db, "INSERT INTO wide VALUES (1, 2.0, 'x', 4), (5, 6.0, 'y', 8)")
+	plan, err := db.Explain("SELECT a FROM wide")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "pruned=4->1 cols [a]") {
+		t.Fatalf("scan not pruned:\n%s", plan)
+	}
+	rows := queryAll(t, db, "SELECT a FROM wide ORDER BY a")
+	if len(rows) != 2 || rows[0][0].I != 1 || rows[1][0].I != 5 {
+		t.Fatalf("rows = %v", rows)
+	}
+	// COUNT(*) keeps one column.
+	rows = queryAll(t, db, "SELECT COUNT(*) FROM wide")
+	if rows[0][0].I != 2 {
+		t.Fatalf("count = %v", rows)
+	}
+}
+
+// TestBuildSideFlip: an INNER join written with the large table on the
+// build (right) side gets its build side flipped, with identical
+// results.
+func TestBuildSideFlip(t *testing.T) {
+	run := func(cfg Config) (*DB, string) {
+		db := newOptDB(t, cfg)
+		mustExec(t, db, "CREATE TABLE small (id INTEGER, name TEXT)")
+		mustExec(t, db, "CREATE TABLE big (id INTEGER, v INTEGER)")
+		mustExec(t, db, "INSERT INTO small VALUES (1, 'a'), (2, 'b'), (3, 'c')")
+		fillSequence(t, db, "big", 6000)
+		return db, "SELECT small.name, big.v FROM small JOIN big ON big.id = small.id ORDER BY small.name"
+	}
+	db, q := run(Config{})
+	plan, err := db.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "[build side flipped]") {
+		t.Fatalf("build side not flipped:\n%s", plan)
+	}
+	got := queryAll(t, db, q)
+
+	off, _ := run(Config{Optimizer: "off"})
+	want := queryAll(t, off, q)
+	if len(got) != len(want) {
+		t.Fatalf("flip changed row count: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		for j := range got[i] {
+			if CompareTotal(got[i][j], want[i][j]) != 0 {
+				t.Fatalf("row %d differs: %v vs %v", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestBuildSideFlipGuardUnderSum: flips change probe order, so they are
+// forbidden under order-sensitive aggregates.
+func TestBuildSideFlipGuardUnderSum(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, "CREATE TABLE small (id INTEGER)")
+	mustExec(t, db, "CREATE TABLE big (id INTEGER, v INTEGER)")
+	mustExec(t, db, "INSERT INTO small VALUES (1)")
+	fillSequence(t, db, "big", 6000)
+	plan, err := db.Explain("SELECT SUM(big.v) FROM small JOIN big ON big.id = small.id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plan, "[build side flipped]") {
+		t.Fatalf("flip applied under SUM:\n%s", plan)
+	}
+	// COUNT is order-insensitive: the flip is allowed.
+	plan, err = db.Explain("SELECT COUNT(*) FROM small JOIN big ON big.id = small.id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "[build side flipped]") {
+		t.Fatalf("flip not applied under COUNT:\n%s", plan)
+	}
+}
+
+// TestFlipGuardInsideMaterializedCTE: a CTE consumed by a float SUM
+// keeps its materialized row order — order-changing rewrites inside its
+// plan (build-side flips) must be suppressed even though the CTE's own
+// plan has no aggregate, including transitively through CTE-in-CTE
+// references.
+func TestFlipGuardInsideMaterializedCTE(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, "CREATE TABLE small (id INTEGER)")
+	mustExec(t, db, "CREATE TABLE big (id INTEGER, v INTEGER)")
+	mustExec(t, db, "INSERT INTO small VALUES (1), (2)")
+	fillSequence(t, db, "big", 6000)
+	// u is referenced twice (stays materialized) and feeds a SUM.
+	q := `WITH u AS (SELECT small.id AS id, big.v AS v FROM small JOIN big ON big.id = small.id)
+	      SELECT x.id, SUM(x.v + y.v) FROM u x JOIN u y ON x.id = y.id GROUP BY x.id`
+	plan, err := db.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plan, "[build side flipped]") {
+		t.Fatalf("flip applied inside a SUM-consumed CTE:\n%s", plan)
+	}
+	// Transitive: w references u; the SUM consumes w.
+	q2 := `WITH u AS (SELECT small.id AS id, big.v AS v FROM small JOIN big ON big.id = small.id),
+	       w AS (SELECT id, v FROM u WHERE v >= 0)
+	       SELECT a.id, SUM(a.v) FROM w a JOIN w b ON a.id = b.id GROUP BY a.id`
+	plan, err = db.Explain(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plan, "[build side flipped]") {
+		t.Fatalf("flip applied transitively inside a SUM-consumed CTE chain:\n%s", plan)
+	}
+	// Without the SUM the same CTE plan is free to flip.
+	q3 := `WITH u AS (SELECT small.id AS id, big.v AS v FROM small JOIN big ON big.id = small.id)
+	       SELECT x.id FROM u x JOIN u y ON x.id = y.id ORDER BY x.id`
+	plan, err = db.Explain(q3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "[build side flipped]") {
+		t.Fatalf("flip suppressed without a sensitive consumer:\n%s", plan)
+	}
+}
+
+// TestJoinReorder: a chain written big-first gets reordered so the
+// selective join applies first, with identical results.
+func TestJoinReorder(t *testing.T) {
+	setup := func(cfg Config) (*DB, string) {
+		db := newOptDB(t, cfg)
+		mustExec(t, db, "CREATE TABLE a (id INTEGER, tag INTEGER)")
+		mustExec(t, db, "CREATE TABLE big (id INTEGER, v INTEGER)")
+		mustExec(t, db, "CREATE TABLE b (id INTEGER)")
+		for i := 0; i < 100; i++ {
+			mustExec(t, db, fmt.Sprintf("INSERT INTO a VALUES (%d, %d)", i, i%7))
+		}
+		fillSequence(t, db, "big", 8000)
+		mustExec(t, db, "INSERT INTO b VALUES (3), (4)")
+		return db, "SELECT a.id, big.v, b.id FROM a JOIN big ON big.id = a.id JOIN b ON b.id = a.id ORDER BY a.id"
+	}
+	db, q := setup(Config{})
+	before := OptimizerCounters()["join_reorders"]
+	plan, err := db.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after := OptimizerCounters()["join_reorders"]; after <= before {
+		t.Fatalf("join chain not reordered:\n%s", plan)
+	}
+	// The selective b join now applies first (deepest); the reorder is
+	// wrapped in a column restore, and the big join probes its output
+	// (the build-side flip then also kicks in: a⋈b is far smaller than
+	// big).
+	if !strings.Contains(plan, "ReorderColumns") || !strings.Contains(plan, "on a.id = b.id") {
+		t.Fatalf("selective join not applied first:\n%s", plan)
+	}
+	got := queryAll(t, db, q)
+	off, _ := setup(Config{Optimizer: "off"})
+	want := queryAll(t, off, q)
+	if len(got) != len(want) {
+		t.Fatalf("reorder changed row count: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		for j := range got[i] {
+			if CompareTotal(got[i][j], want[i][j]) != 0 {
+				t.Fatalf("row %d differs: %v vs %v", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestGracePrechoice: when the estimated build side exceeds the whole
+// budget, the plan goes straight to the grace join.
+func TestGracePrechoice(t *testing.T) {
+	db := newOptDB(t, Config{MemoryBudget: 64 * 1024, SpillDir: t.TempDir()})
+	mustExec(t, db, "CREATE TABLE l (x INTEGER, y INTEGER)")
+	mustExec(t, db, "CREATE TABLE r (x INTEGER, y INTEGER)")
+	fillSequence(t, db, "l", 4000)
+	fillSequence(t, db, "r", 4000)
+	plan, err := db.Explain("SELECT l.y FROM l JOIN r ON l.x = r.x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "[grace partitioned: build exceeds budget]") {
+		t.Fatalf("grace not pre-chosen:\n%s", plan)
+	}
+	rows := queryAll(t, db, "SELECT COUNT(*) FROM l JOIN r ON l.x = r.x")
+	if rows[0][0].I != 4000 {
+		t.Fatalf("grace join wrong result: %v", rows)
+	}
+}
+
+// TestOptimizerOnOffBitIdentical runs a battery of queries — the
+// translated gate-stage chain, CTEs, joins, aggregation, sorting — with
+// the optimizer on and off, on both storage layouts at workers 1 and 4,
+// and requires bitwise-identical results: same types, same int64
+// values, same float64 bit patterns, same row order.
+func TestOptimizerOnOffBitIdentical(t *testing.T) {
+	setup := []string{
+		"CREATE TABLE t0 (s INTEGER, r REAL, i REAL)",
+		"CREATE TABLE h (in_s INTEGER, out_s INTEGER, r REAL, i REAL)",
+		"INSERT INTO h VALUES (0,0,0.7071067811865476,0),(0,1,0.7071067811865476,0),(1,0,0.7071067811865476,0),(1,1,-0.7071067811865476,0)",
+	}
+	var seed []string
+	for k := 0; k < 3000; k++ {
+		seed = append(seed, fmt.Sprintf("(%d, %g, %g)", k, 1.0/3000.0, float64(k)*1e-7))
+	}
+	queries := []string{
+		// One translated gate stage (join + float SUM + HAVING prune).
+		`WITH t1 AS (
+			SELECT ((t0.s & ~1) | h.out_s) AS s,
+			       SUM((t0.r * h.r) - (t0.i * h.i)) AS r,
+			       SUM((t0.r * h.i) + (t0.i * h.r)) AS i
+			FROM t0 JOIN h ON h.in_s = (t0.s & 1)
+			GROUP BY ((t0.s & ~1) | h.out_s)
+			HAVING ((SUM((t0.r * h.r) - (t0.i * h.i)) * SUM((t0.r * h.r) - (t0.i * h.i))) + (SUM((t0.r * h.i) + (t0.i * h.r)) * SUM((t0.r * h.i) + (t0.i * h.r)))) > 1e-20
+		) SELECT s, r, i FROM t1 ORDER BY s`,
+		// Chained single-use CTEs with filters and projections.
+		`WITH u AS (SELECT s, r FROM t0 WHERE s < 1000),
+		      v AS (SELECT s * 2 AS d, r FROM u WHERE s > 10)
+		 SELECT d, r FROM v WHERE d < 500 ORDER BY d`,
+		// Aggregation over expressions, DISTINCT, float sums.
+		"SELECT (s & 7) AS g, SUM(r), COUNT(*), MIN(i), AVG(r) FROM t0 GROUP BY (s & 7) ORDER BY g",
+		"SELECT DISTINCT (s & 3) FROM t0 ORDER BY 1",
+		// Join + WHERE mixture (pushdown, pruning).
+		"SELECT t0.s, h.out_s FROM t0 JOIN h ON h.in_s = (t0.s & 1) WHERE t0.s < 20 AND h.out_s = 1 ORDER BY t0.s, h.out_s",
+		// Subquery with hidden sort keys and limit.
+		"SELECT v FROM (SELECT s AS v, r FROM t0) q WHERE v > 100 ORDER BY r DESC, v LIMIT 37",
+	}
+
+	type key struct {
+		optimizer, layout string
+		workers           int
+	}
+	results := map[key]map[int][]Row{}
+	for _, opt := range []string{"on", "off"} {
+		for _, layout := range []string{LayoutColumnar, LayoutRow} {
+			for _, workers := range []int{1, 4} {
+				db := newOptDB(t, Config{Optimizer: opt, Layout: layout, Parallelism: workers})
+				for _, s := range setup {
+					mustExec(t, db, s)
+				}
+				for i := 0; i < len(seed); i += 500 {
+					end := min(i+500, len(seed))
+					mustExec(t, db, "INSERT INTO t0 VALUES "+strings.Join(seed[i:end], ","))
+				}
+				byQuery := map[int][]Row{}
+				for qi, q := range queries {
+					byQuery[qi] = queryAll(t, db, q)
+				}
+				results[key{opt, layout, workers}] = byQuery
+			}
+		}
+	}
+	ref := results[key{"off", LayoutColumnar, 1}]
+	for k, byQuery := range results {
+		for qi := range queries {
+			got, want := byQuery[qi], ref[qi]
+			if len(got) != len(want) {
+				t.Fatalf("%v query %d: %d rows vs %d", k, qi, len(got), len(want))
+			}
+			for i := range got {
+				for j := range got[i] {
+					a, b := want[i][j], got[i][j]
+					if a.T != b.T || a.I != b.I || math.Float64bits(a.F) != math.Float64bits(b.F) || a.S != b.S {
+						t.Fatalf("%v query %d row %d col %d: %v vs %v (bits %x vs %x)",
+							k, qi, i, j, a, b, math.Float64bits(a.F), math.Float64bits(b.F))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestOptimizerRandomizedFilterEquivalence cross-checks pushdown and
+// pruning against the unoptimized engine over a grid of generated
+// predicates (property-style).
+func TestOptimizerRandomizedFilterEquivalence(t *testing.T) {
+	on := newOptDB(t, Config{})
+	off := newOptDB(t, Config{Optimizer: "off"})
+	for _, db := range []*DB{on, off} {
+		mustExec(t, db, "CREATE TABLE t (a INTEGER, b INTEGER)")
+		fillSequence(t, db, "t", 500)
+		mustExec(t, db, "INSERT INTO t VALUES (NULL, 1), (1, NULL)")
+	}
+	ops := []string{"<", "<=", ">", ">=", "=", "!="}
+	for _, op := range ops {
+		for _, c := range []int{-1, 0, 48, 96, 499, 1000} {
+			for _, shape := range []string{
+				"SELECT a FROM (SELECT a, b FROM t WHERE b %s %d) s ORDER BY a",
+				"WITH u AS (SELECT a, b FROM t) SELECT b FROM u WHERE a %s %d ORDER BY b",
+				"SELECT t1.a FROM t t1 JOIN t t2 ON t1.a = t2.a WHERE t1.b %s %d ORDER BY t1.a",
+			} {
+				q := fmt.Sprintf(shape, op, c)
+				got := queryAll(t, on, q)
+				want := queryAll(t, off, q)
+				if len(got) != len(want) {
+					t.Fatalf("%s: %d rows vs %d", q, len(got), len(want))
+				}
+				sortRows := func(rows []Row) {
+					sort.Slice(rows, func(i, j int) bool {
+						for c := range rows[i] {
+							if d := CompareTotal(rows[i][c], rows[j][c]); d != 0 {
+								return d < 0
+							}
+						}
+						return false
+					})
+				}
+				sortRows(got)
+				sortRows(want)
+				for i := range got {
+					for j := range got[i] {
+						if CompareTotal(got[i][j], want[i][j]) != 0 {
+							t.Fatalf("%s: row %d: %v vs %v", q, i, got[i], want[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestExplainAnalyze(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, "CREATE TABLE t (a INTEGER, b INTEGER)")
+	fillSequence(t, db, "t", 100)
+	out, err := db.ExplainAnalyze(context.Background(), "SELECT a FROM t WHERE a < 10 ORDER BY a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"actual:", "actual_rows=100", "actual_rows=10"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("EXPLAIN ANALYZE missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+// TestExplainStatementSQL: EXPLAIN [ANALYZE] works as a SQL statement
+// through the Query surface.
+func TestExplainStatementSQL(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, "CREATE TABLE t (a INTEGER)")
+	mustExec(t, db, "INSERT INTO t VALUES (1), (2)")
+	rs, err := db.Query("EXPLAIN SELECT a FROM t WHERE a > 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	if len(rs.Columns) != 1 || rs.Columns[0] != "plan" {
+		t.Fatalf("columns = %v", rs.Columns)
+	}
+	rows, err := rs.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := ""
+	for _, r := range rows {
+		text += r[0].S + "\n"
+	}
+	if !strings.Contains(text, "BatchScan t") || !strings.Contains(text, "est_rows=") {
+		t.Fatalf("plan:\n%s", text)
+	}
+	rs2, err := db.Query("EXPLAIN ANALYZE SELECT a FROM t WHERE a > 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs2.Close()
+	rows2, _ := rs2.All()
+	text = ""
+	for _, r := range rows2 {
+		text += r[0].S + "\n"
+	}
+	if !strings.Contains(text, "actual_rows=1") {
+		t.Fatalf("analyze plan:\n%s", text)
+	}
+}
+
+// TestEstimatesInExplain: cardinality estimates derive from statistics.
+func TestEstimatesInExplain(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, "CREATE TABLE t (a INTEGER, b INTEGER)")
+	fillSequence(t, db, "t", 1000)
+	plan, err := db.Explain("SELECT a FROM t WHERE a < 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a is uniform over [0,999]: the range estimate must land near 100.
+	if !strings.Contains(plan, "est_rows=100 ") && !strings.Contains(plan, "est_rows=100)") {
+		t.Fatalf("range selectivity not derived from min/max stats:\n%s", plan)
+	}
+}

@@ -138,13 +138,41 @@ func (n *storeScanNode) openParallel(ctx *execCtx, workers int) ([]morselStream,
 	d := &morselDispenser{count: count}
 	streams := make([]morselStream, workers)
 	for i := range streams {
-		sc, err := n.store.morselScanner()
+		var sc morselScanner
+		var err error
+		if n.keep != nil {
+			if ps, ok := n.store.(prunableStore); ok {
+				sc, err = ps.morselScannerCols(n.keep)
+			} else {
+				sc, err = n.store.morselScanner()
+				if err == nil {
+					sc = &pickMorselScan{src: sc, keep: n.keep, out: &rowBatch{cols: make([]colVec, len(n.keep))}}
+				}
+			}
+		} else {
+			sc, err = n.store.morselScanner()
+		}
 		if err != nil {
 			return nil, false, err
 		}
 		streams[i] = &scanMorselStream{disp: d, scan: sc}
 	}
 	return streams, true, nil
+}
+
+// pickMorselScan serves a column subset of an underlying morsel scanner
+// (zero copy; the generic fallback for non-columnar stores).
+type pickMorselScan struct {
+	src  morselScanner
+	keep []int
+	out  *rowBatch
+}
+
+func (s *pickMorselScan) setMorsel(i int) { s.src.setMorsel(i) }
+
+func (s *pickMorselScan) NextBatch() (*rowBatch, error) {
+	b, err := s.src.NextBatch()
+	return pickBatch(s.out, b, s.keep, err)
 }
 
 // scanMorselStream drives one worker's store scanner over the morsels
@@ -283,6 +311,34 @@ func (n *aliasNode) openParallel(ctx *execCtx, workers int) ([]morselStream, boo
 	return openMorselStreams(n.child, ctx, workers)
 }
 
+// openParallel wraps each child stream with the zero-copy column pick.
+func (n *pickNode) openParallel(ctx *execCtx, workers int) ([]morselStream, bool, error) {
+	children, ok, err := openMorselStreams(n.child, ctx, workers)
+	if err != nil || !ok {
+		return nil, ok, err
+	}
+	out := make([]morselStream, len(children))
+	for i, c := range children {
+		out[i] = &pickMorselStream{child: c, idxs: n.idxs, out: &rowBatch{cols: make([]colVec, len(n.idxs))}}
+	}
+	return out, true, nil
+}
+
+type pickMorselStream struct {
+	child morselStream
+	idxs  []int
+	out   *rowBatch
+}
+
+func (s *pickMorselStream) NextMorsel() (int, bool, error) { return s.child.NextMorsel() }
+
+func (s *pickMorselStream) NextBatch() (*rowBatch, error) {
+	b, err := s.child.NextBatch()
+	return pickBatch(s.out, b, s.idxs, err)
+}
+
+func (s *pickMorselStream) Close() { s.child.Close() }
+
 // materializePlan executes a plan and materializes its output into a
 // table store. When the plan is morsel-capable and more than one worker
 // is configured, morsels are drained concurrently and their buffered
@@ -290,28 +346,86 @@ func (n *aliasNode) openParallel(ctx *execCtx, workers int) ([]morselStream, boo
 // identical to the serial scan order. On memory pressure the parallel
 // gather aborts and the serial (spilling) path re-runs the plan.
 func materializePlan(ctx *execCtx, node planNode) (tableStore, error) {
-	if ctx.workers > 1 {
+	var hint int64
+	if est := planEstimateOf(node); est != nil && est.rows > 0 {
+		// Budget-clamped like the hash-table hints: a misestimate must
+		// not pre-allocate column capacity beyond a small budget.
+		hint = hintForBudget(est.rows, ctx.env.budget)
+	}
+	if ctx.workers > 1 && !gatherWouldOverflow(ctx, node) {
 		streams, ok, err := openMorselStreams(node, ctx, ctx.workers)
 		if err != nil {
 			return nil, err
 		}
 		if ok {
-			store, err := gatherMorsels(ctx, streams)
+			store, err := gatherMorsels(ctx, streams, hint)
 			if err == nil {
 				return store, nil
 			}
 			if err != errParallelFallback {
 				return nil, err
 			}
+			// The serial path re-runs the plan from scratch; drop the
+			// partial EXPLAIN ANALYZE counts of the aborted gather.
+			resetPlanStats(node)
 		}
 	}
 	it, err := node.open(ctx)
 	if err != nil {
 		return nil, err
 	}
-	store, err := materialize(ctx, it)
+	store, err := materialize(ctx, it, hint)
 	it.Close()
 	return store, err
+}
+
+// planEstimateOf reads the cost model's annotation off a physical node
+// (nil when the optimizer is off).
+func planEstimateOf(node planNode) *nodeEst {
+	switch n := node.(type) {
+	case *storeScanNode:
+		return n.est
+	case *filterNode:
+		return n.est
+	case *projectNode:
+		return n.est
+	case *sliceProjectNode:
+		return n.est
+	case *pickNode:
+		return n.est
+	case *joinNode:
+		return n.est
+	case *aggNode:
+		return n.est
+	case *sortNode:
+		return n.est
+	case *limitNode:
+		return n.est
+	case *aliasNode:
+		return n.est
+	case *statNode:
+		return planEstimateOf(n.child)
+	}
+	return nil
+}
+
+// gatherWouldOverflow is the cost model's serial-vs-parallel gate: when
+// the estimated result cannot fit in half the remaining budget, the
+// parallel gather is doomed to abort into the serial spilling path
+// after wasted work, so skip it up front. Bit-neutral: the gather
+// appends morsels in morsel-index order, which is exactly the serial
+// row order.
+func gatherWouldOverflow(ctx *execCtx, node planNode) bool {
+	limit := ctx.env.budget.Limit()
+	if limit <= 0 {
+		return false
+	}
+	est := planEstimateOf(node)
+	if est == nil || est.rows < 0 {
+		return false
+	}
+	estBytes := est.rows * estRowBytes(len(node.schema()))
+	return estBytes > 0.5*float64(ctx.env.budget.Available())
 }
 
 // morselBuf is one drained morsel: its index, compacted column-major
@@ -365,7 +479,7 @@ func compactBatch(b *rowBatch) *rowBatch {
 // appends — no per-row materialization). The first failed reservation
 // aborts the gather (errParallelFallback) — large results belong to the
 // serial spilling path.
-func gatherMorsels(ctx *execCtx, streams []morselStream) (tableStore, error) {
+func gatherMorsels(ctx *execCtx, streams []morselStream, hint int64) (tableStore, error) {
 	budget := ctx.env.budget
 	var (
 		wg       sync.WaitGroup
@@ -442,6 +556,11 @@ func gatherMorsels(ctx *execCtx, streams []morselStream) (tableStore, error) {
 	}
 	sort.Slice(bufs, func(i, j int) bool { return bufs[i].idx < bufs[j].idx })
 	store := ctx.env.newStore()
+	if hint > 0 {
+		if h, ok := store.(rowCapacityHinter); ok {
+			h.hintRows(hint)
+		}
+	}
 	for k, mb := range bufs {
 		// Hand the accounting to the store: release the gather
 		// reservation, then AppendBatch re-reserves (or spills).

@@ -149,7 +149,7 @@ func (x *aggExec) morselAggregate(n *aggNode, streams []morselStream, out tableS
 						p := x.partitionIndex(keyBuf, 0, aggPartitions)
 						t := mp.parts[p]
 						if t == nil {
-							t = newGroupTable[*aggGroup](x.nGroup)
+							t = newGroupTable[*aggGroup](x.nGroup, min(x.groupHint, morselRows)/aggPartitions)
 							mp.parts[p] = t
 						}
 						g, found := t.get(keyBuf)
@@ -220,7 +220,7 @@ func (x *aggExec) morselAggregate(n *aggNode, streams []morselStream, out tableS
 				if p >= aggPartitions {
 					return
 				}
-				table := newGroupTable[*mergeGroup](x.nGroup)
+				table := newGroupTable[*mergeGroup](x.nGroup, x.groupHint/aggPartitions)
 				for _, mp := range all {
 					t := mp.parts[p]
 					if t == nil {

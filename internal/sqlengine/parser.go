@@ -127,6 +127,25 @@ func (p *parser) parseStatement() (Statement, error) {
 		return p.parseUpdate()
 	case p.at(tokKeyword, "SELECT"), p.at(tokKeyword, "WITH"):
 		return p.parseSelect()
+	case p.at(tokKeyword, "ANALYZE"):
+		p.pos++
+		name, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		return &AnalyzeStmt{Table: name.text}, nil
+	case p.at(tokKeyword, "EXPLAIN"):
+		p.pos++
+		analyze := p.accept(tokKeyword, "ANALYZE")
+		stmt, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		sel, ok := stmt.(*SelectStmt)
+		if !ok {
+			return nil, p.errHere("EXPLAIN requires a SELECT statement")
+		}
+		return &ExplainStmt{Analyze: analyze, Select: sel}, nil
 	}
 	return nil, p.errHere("expected statement, found %q", p.cur().text)
 }

@@ -6,36 +6,20 @@ import (
 	"strings"
 )
 
-// cteScope resolves CTE names, innermost WITH first.
-type cteScope struct {
-	parent *cteScope
-	tables map[string]*cteTable
-}
-
-type cteTable struct {
-	store tableStore
-	cols  []string
-	// node is set instead of store in EXPLAIN mode, where CTEs are
-	// inlined as subplans rather than materialized.
-	node planNode
-}
-
-func (s *cteScope) lookup(name string) *cteTable {
-	for sc := s; sc != nil; sc = sc.parent {
-		if t, ok := sc.tables[strings.ToLower(name)]; ok {
-			return t
-		}
-	}
-	return nil
-}
-
-// planner builds (and partially executes — CTEs are materialized eagerly)
-// the physical plan for one statement.
+// planner lowers an optimized logical plan into the physical planNode
+// tree, materializing CTEs on the way:
+//
+//   - optimizer on: a CTE is materialized on first reference (dead CTEs
+//     are never executed) unless the optimizer marked it inline, in
+//     which case the reference lowers to the subplan itself.
+//   - optimizer off (eager): every defined CTE is materialized in
+//     definition order before lowering, reproducing the legacy planner.
+//   - EXPLAIN mode: nothing executes; materialized CTEs lower to a
+//     display wrapper around their subplan.
 type planner struct {
 	ctx     *execCtx
 	db      *DB
 	cleanup []tableStore // temp stores to release when the statement ends
-	// explain plans without executing: CTEs become inline subplans.
 	explain bool
 }
 
@@ -46,11 +30,292 @@ func (p *planner) release() {
 	p.cleanup = nil
 }
 
+// buildPlan parses nothing: it lowers sel through the logical IR,
+// optionally the optimizer, and the physical planner. The returned
+// planner owns temporary CTE stores and must be released after
+// execution.
+func (db *DB) buildPlan(ctx *execCtx, sel *SelectStmt, explain bool) (planNode, []string, *planner, error) {
+	b := &logicalBuilder{db: db}
+	root, names, err := b.buildSelect(sel, nil)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if db.env.optimizer {
+		root = optimizeLogical(root, b.defs, db.env)
+	}
+	p := &planner{ctx: ctx, db: db, explain: explain}
+	if !db.env.optimizer && !explain {
+		// Legacy eager behavior: materialize every WITH entry in
+		// definition order, referenced or not.
+		for _, d := range b.defs {
+			if err := p.materializeCTE(d); err != nil {
+				p.release()
+				return nil, nil, nil, err
+			}
+		}
+	}
+	node, err := p.lower(root)
+	if err != nil {
+		p.release()
+		return nil, nil, nil, err
+	}
+	return node, names, p, nil
+}
+
+// materializeCTE executes a CTE's plan into a shared store (once).
+func (p *planner) materializeCTE(d *cteDef) error {
+	if d.store != nil {
+		return nil
+	}
+	node, err := p.lower(d.plan)
+	if err != nil {
+		return err
+	}
+	store, err := materializePlan(p.ctx, node)
+	if err != nil {
+		return err
+	}
+	p.cleanup = append(p.cleanup, store)
+	d.store = store
+	return nil
+}
+
+// andJoin folds conjuncts back into one AND tree.
+func andJoin(conjuncts []Expr) Expr {
+	var out Expr
+	for _, c := range conjuncts {
+		if out == nil {
+			out = c
+		} else {
+			out = &BinaryExpr{Op: "AND", L: out, R: c}
+		}
+	}
+	return out
+}
+
+// lower converts one logical subtree to physical operators.
+func (p *planner) lower(n logicalNode) (planNode, error) {
+	node, _, err := p.lowerEst(n)
+	return node, err
+}
+
+// scaleEst refreshes a node's planning-time estimate with the
+// actual-informed row count of its input: planned output / planned
+// input gives the node's selectivity (or fan-out) ratio, which is then
+// applied to the refreshed input cardinality. Returns -1 when either
+// side is unknown (optimizer off).
+func scaleEst(est *nodeEst, plannedIn, actualIn float64) float64 {
+	if est == nil || est.rows < 0 || actualIn < 0 {
+		return -1
+	}
+	if plannedIn <= 0 {
+		return est.rows
+	}
+	return est.rows / plannedIn * actualIn
+}
+
+// lowerEst lowers one logical subtree and returns its actual-informed
+// row estimate (-1 unknown). CTE materialization happens during
+// lowering, so by the time a consumer of a materialized CTE is lowered
+// its input cardinality is known *exactly* — the hints bound here
+// (hash-table pre-sizing, store capacities, grace choice) therefore use
+// real sizes instead of the chain-compounded planning estimates, which
+// decay badly across long translated gate pipelines.
+func (p *planner) lowerEst(n logicalNode) (planNode, float64, error) {
+	switch t := n.(type) {
+	case *lOneRow:
+		return &oneRowNode{}, 1, nil
+
+	case *lScan:
+		rows := float64(-1)
+		if t.est.rows >= 0 {
+			rows = t.est.rows
+		}
+		scan := &storeScanNode{store: t.meta.store, cols: t.lschema(), keep: t.keep, fullCols: len(t.cols), est: t.est}
+		var node planNode = scan
+		if pred := andJoin(t.filters); pred != nil {
+			node = &filterNode{child: node, pred: pred, pushed: true, est: t.est}
+		}
+		return node, rows, nil
+
+	case *lCTERef:
+		if t.cte.inline {
+			child, rows, err := p.lowerEst(t.cte.plan)
+			if err != nil {
+				return nil, -1, err
+			}
+			return &aliasNode{child: child, table: t.qual, names: t.cte.cols, est: t.est}, rows, nil
+		}
+		if p.explain {
+			// Display-only: show the subplan under a materialization
+			// marker instead of executing it.
+			child, rows, err := p.lowerEst(t.cte.plan)
+			if err != nil {
+				return nil, -1, err
+			}
+			show := &cteShowNode{name: t.cte.name, uses: t.cte.uses, child: child}
+			return &aliasNode{child: show, table: t.qual, names: t.cte.cols, est: t.est}, rows, nil
+		}
+		if err := p.materializeCTE(t.cte); err != nil {
+			return nil, -1, err
+		}
+		rows := float64(-1)
+		if t.est.rows >= 0 {
+			rows = float64(t.cte.store.Len()) // exact
+			t.est.rows = rows
+		}
+		return &storeScanNode{store: t.cte.store, cols: t.cols, est: t.est}, rows, nil
+
+	case *lFilter:
+		plannedIn := t.child.estimate().rows // before lowering refreshes it
+		child, inRows, err := p.lowerEst(t.child)
+		if err != nil {
+			return nil, -1, err
+		}
+		rows := scaleEst(t.est, plannedIn, inRows)
+		if rows >= 0 {
+			t.est.rows = rows
+		}
+		return &filterNode{child: child, pred: andJoin(t.conjuncts), est: t.est}, rows, nil
+
+	case *lProject:
+		child, rows, err := p.lowerEst(t.child)
+		if err != nil {
+			return nil, -1, err
+		}
+		if rows >= 0 {
+			t.est.rows = rows
+		}
+		return &projectNode{child: child, exprs: t.exprs, cols: t.cols, est: t.est}, rows, nil
+
+	case *lStrip:
+		child, rows, err := p.lowerEst(t.child)
+		if err != nil {
+			return nil, -1, err
+		}
+		if rows >= 0 {
+			t.est.rows = rows
+		}
+		return &sliceProjectNode{child: child, keep: t.keep, est: t.est}, rows, nil
+
+	case *lPick:
+		child, rows, err := p.lowerEst(t.child)
+		if err != nil {
+			return nil, -1, err
+		}
+		if rows >= 0 {
+			t.est.rows = rows
+		}
+		return &pickNode{child: child, idxs: t.idxs, cols: t.lschema(), est: t.est}, rows, nil
+
+	case *lJoin:
+		plannedL, plannedR := t.left.estimate().rows, t.right.estimate().rows
+		left, lr, err := p.lowerEst(t.left)
+		if err != nil {
+			return nil, -1, err
+		}
+		right, rr, err := p.lowerEst(t.right)
+		if err != nil {
+			return nil, -1, err
+		}
+		rows := float64(-1)
+		if t.est.rows >= 0 && lr >= 0 && rr >= 0 {
+			rows = t.est.rows
+			if plannedL > 0 {
+				rows = rows / plannedL * lr
+			}
+			if plannedR > 0 {
+				rows = rows / plannedR * rr
+			}
+			t.est.rows = rows
+		}
+		jn := &joinNode{
+			left: left, right: right, joinType: t.joinType,
+			leftKeys: t.leftKeys, rightKeys: t.rightKeys, residual: t.residual,
+			strategy: t.strategy, buildHint: t.buildHint, flipped: t.flipped,
+			est: t.est,
+		}
+		if rr >= 0 {
+			// Re-bind the build-side decisions to the refreshed size.
+			if t.hintable {
+				jn.buildHint = hintForBudget(rr, p.db.env.budget)
+			}
+			if len(t.leftKeys) > 0 && p.db.env.spillEnabled {
+				if limit := p.db.env.budget.Limit(); limit > 0 {
+					if rr*estRowBytes(len(t.right.lschema())+len(t.rightKeys)) > float64(limit) {
+						jn.strategy = joinGrace
+					} else if t.strategy == joinGrace {
+						jn.strategy = joinAuto
+					}
+				}
+			}
+		}
+		return jn, rows, nil
+
+	case *lAgg:
+		plannedIn := t.child.estimate().rows
+		child, inRows, err := p.lowerEst(t.child)
+		if err != nil {
+			return nil, -1, err
+		}
+		rows := scaleEst(t.est, plannedIn, inRows)
+		hint := t.groupHint
+		if rows >= 0 {
+			if inRows >= 0 && rows > inRows {
+				rows = inRows
+			}
+			if rows < 1 {
+				rows = 1
+			}
+			t.est.rows = rows
+			if t.hintable {
+				hint = hintForBudget(rows, p.db.env.budget)
+			}
+		}
+		return &aggNode{child: child, groupBy: t.groupBy, aggs: t.aggs, groupHint: hint, est: t.est}, rows, nil
+
+	case *lSort:
+		child, rows, err := p.lowerEst(t.child)
+		if err != nil {
+			return nil, -1, err
+		}
+		if rows >= 0 {
+			t.est.rows = rows
+		}
+		return &sortNode{child: child, keys: t.keys, est: t.est}, rows, nil
+
+	case *lLimit:
+		child, rows, err := p.lowerEst(t.child)
+		if err != nil {
+			return nil, -1, err
+		}
+		if rows >= 0 {
+			if lim, ok := litValue(t.limit); ok && lim.T == TypeInt && float64(lim.I) < rows {
+				rows = float64(lim.I)
+			}
+			t.est.rows = rows
+		}
+		return &limitNode{child: child, limit: t.limit, offset: t.offset, est: t.est}, rows, nil
+
+	case *lAlias:
+		child, rows, err := p.lowerEst(t.child)
+		if err != nil {
+			return nil, -1, err
+		}
+		if rows >= 0 {
+			t.est.rows = rows
+		}
+		return &aliasNode{child: child, table: t.table, names: t.names, est: t.est}, rows, nil
+	}
+	return nil, -1, fmt.Errorf("sqlengine: internal: cannot lower %T", n)
+}
+
 // aliasNode re-qualifies (and optionally renames) its child's columns.
 type aliasNode struct {
 	child planNode
 	table string
 	names []string // optional; must match child width when set
+	est   *nodeEst
 }
 
 func (n *aliasNode) schema() planSchema {
@@ -68,223 +333,18 @@ func (n *aliasNode) schema() planSchema {
 
 func (n *aliasNode) open(ctx *execCtx) (batchIter, error) { return n.child.open(ctx) }
 
-// planSelect returns the plan root and the user-visible output column
-// names.
-func (p *planner) planSelect(sel *SelectStmt, scope *cteScope) (planNode, []string, error) {
-	// Materialize WITH entries; later CTEs may reference earlier ones.
-	if len(sel.With) > 0 {
-		scope = &cteScope{parent: scope, tables: map[string]*cteTable{}}
-		for _, cte := range sel.With {
-			node, names, err := p.planSelect(cte.Select, scope)
-			if err != nil {
-				return nil, nil, err
-			}
-			cols := names
-			if len(cte.Cols) > 0 {
-				if len(cte.Cols) != len(names) {
-					return nil, nil, fmt.Errorf("sqlengine: CTE %s declares %d columns but query produces %d", cte.Name, len(cte.Cols), len(names))
-				}
-				cols = cte.Cols
-			}
-			if p.explain {
-				scope.tables[strings.ToLower(cte.Name)] = &cteTable{node: node, cols: cols}
-				continue
-			}
-			store, err := materializePlan(p.ctx, node)
-			if err != nil {
-				return nil, nil, err
-			}
-			p.cleanup = append(p.cleanup, store)
-			scope.tables[strings.ToLower(cte.Name)] = &cteTable{store: store, cols: cols}
-		}
-	}
+// cteShowNode is an EXPLAIN-only marker for a CTE that execution would
+// materialize (it is never opened).
+type cteShowNode struct {
+	name  string
+	uses  int
+	child planNode
+}
 
-	// FROM and JOINs.
-	var base planNode
-	if sel.From == nil {
-		base = &oneRowNode{}
-	} else {
-		var err error
-		base, err = p.planTableRef(sel.From, scope)
-		if err != nil {
-			return nil, nil, err
-		}
-	}
-	for _, join := range sel.Joins {
-		right, err := p.planTableRef(join.Table, scope)
-		if err != nil {
-			return nil, nil, err
-		}
-		jn := &joinNode{left: base, right: right, joinType: join.Type}
-		if join.On != nil {
-			lks, rks, residual := extractEquiKeys(join.On, base.schema(), right.schema())
-			jn.leftKeys, jn.rightKeys, jn.residual = lks, rks, residual
-		}
-		base = jn
-	}
+func (n *cteShowNode) schema() planSchema { return n.child.schema() }
 
-	if sel.Where != nil {
-		if exprReferencesAggregate(sel.Where) {
-			return nil, nil, fmt.Errorf("sqlengine: aggregates are not allowed in WHERE")
-		}
-		base = &filterNode{child: base, pred: sel.Where}
-	}
-
-	// Decide whether the query aggregates.
-	needsAgg := len(sel.GroupBy) > 0
-	for _, item := range sel.Items {
-		if !item.Star && exprReferencesAggregate(item.Expr) {
-			needsAgg = true
-		}
-	}
-	if sel.Having != nil {
-		needsAgg = true
-	}
-
-	items := sel.Items
-	orderExprs := make([]Expr, len(sel.OrderBy))
-	for i, o := range sel.OrderBy {
-		orderExprs[i] = o.Expr
-	}
-	having := sel.Having
-
-	if needsAgg {
-		for _, item := range items {
-			if item.Star {
-				return nil, nil, fmt.Errorf("sqlengine: SELECT * cannot be combined with aggregation")
-			}
-		}
-		rw, err := newAggRewriter(sel.GroupBy, base.schema())
-		if err != nil {
-			return nil, nil, err
-		}
-		newItems := make([]SelectItem, len(items))
-		for i, item := range items {
-			newItems[i] = SelectItem{Expr: rw.rewrite(item.Expr), Alias: item.Alias}
-		}
-		items = newItems
-		if having != nil {
-			having = rw.rewrite(having)
-		}
-		for i, e := range orderExprs {
-			if e != nil {
-				orderExprs[i] = rw.rewrite(e)
-			}
-		}
-		base = &aggNode{child: base, groupBy: sel.GroupBy, aggs: rw.aggs}
-		if having != nil {
-			base = &filterNode{child: base, pred: having}
-		}
-	}
-
-	// Expand stars and determine output names.
-	var projExprs []Expr
-	var outNames []string
-	baseSchema := base.schema()
-	for _, item := range items {
-		if item.Star {
-			matched := false
-			for _, c := range baseSchema {
-				if item.StarTable != "" && c.table != strings.ToLower(item.StarTable) {
-					continue
-				}
-				matched = true
-				projExprs = append(projExprs, &ColumnRef{Table: c.table, Name: c.name})
-				outNames = append(outNames, c.name)
-			}
-			if !matched {
-				return nil, nil, fmt.Errorf("sqlengine: no table %q in FROM for %s.*", item.StarTable, item.StarTable)
-			}
-			continue
-		}
-		projExprs = append(projExprs, item.Expr)
-		outNames = append(outNames, outputName(item))
-	}
-
-	outSchema := make(planSchema, len(outNames))
-	for i, n := range outNames {
-		outSchema[i] = planCol{table: "", name: strings.ToLower(n)}
-	}
-
-	// ORDER BY keys: positional, output alias, or hidden input expression.
-	type plannedKey struct {
-		outIdx int  // >= 0: references an output column
-		hidden Expr // non-nil: extra hidden projection
-		desc   bool
-	}
-	var keys []plannedKey
-	var hiddenExprs []Expr
-	for i, e := range orderExprs {
-		desc := sel.OrderBy[i].Desc
-		if lit, ok := e.(*Literal); ok && lit.Val.T == TypeInt {
-			idx := int(lit.Val.I)
-			if idx < 1 || idx > len(projExprs) {
-				return nil, nil, fmt.Errorf("sqlengine: ORDER BY position %d out of range", idx)
-			}
-			keys = append(keys, plannedKey{outIdx: idx - 1, desc: desc})
-			continue
-		}
-		// A bare column matching exactly one output alias refers to it.
-		if cr, ok := e.(*ColumnRef); ok && cr.Table == "" {
-			if idx, err := outSchema.resolveColumn("", cr.Name); err == nil {
-				keys = append(keys, plannedKey{outIdx: idx, desc: desc})
-				continue
-			}
-		}
-		if sel.Distinct {
-			return nil, nil, fmt.Errorf("sqlengine: ORDER BY expression %s must appear in the SELECT DISTINCT list", e.Deparse())
-		}
-		keys = append(keys, plannedKey{outIdx: -1, hidden: e, desc: desc})
-		hiddenExprs = append(hiddenExprs, e)
-	}
-
-	// Projection (with hidden sort keys appended).
-	allExprs := append(append([]Expr{}, projExprs...), hiddenExprs...)
-	projSchema := make(planSchema, 0, len(allExprs))
-	projSchema = append(projSchema, outSchema...)
-	for i := range hiddenExprs {
-		projSchema = append(projSchema, planCol{table: "#hidden", name: "k" + strconv.Itoa(i)})
-	}
-	var node planNode = &projectNode{child: base, exprs: allExprs, cols: projSchema}
-
-	// DISTINCT: group by every output column (hidden keys are forbidden
-	// above, so the projection width equals the output width).
-	if sel.Distinct {
-		gb := make([]Expr, len(outNames))
-		for i, c := range projSchema[:len(outNames)] {
-			gb[i] = &ColumnRef{Table: c.table, Name: c.name}
-		}
-		node = &aggNode{child: node, groupBy: gb, aggs: nil}
-		node = &aliasNode{child: node, table: "", names: outNames}
-	}
-
-	// Sort.
-	if len(keys) > 0 {
-		specs := make([]sortSpec, len(keys))
-		schema := node.schema()
-		hiddenBase := len(outNames)
-		hi := 0
-		for i, k := range keys {
-			if k.outIdx >= 0 {
-				c := schema[k.outIdx]
-				specs[i] = sortSpec{expr: &ColumnRef{Table: c.table, Name: c.name}, desc: k.desc}
-			} else {
-				c := schema[hiddenBase+hi]
-				hi++
-				specs[i] = sortSpec{expr: &ColumnRef{Table: c.table, Name: c.name}, desc: k.desc}
-			}
-		}
-		node = &sortNode{child: node, keys: specs}
-	}
-
-	if sel.Limit != nil || sel.Offset != nil {
-		node = &limitNode{child: node, limit: sel.Limit, offset: sel.Offset}
-	}
-
-	if len(hiddenExprs) > 0 {
-		node = &sliceProjectNode{child: node, keep: len(outNames)}
-	}
-	return node, outNames, nil
+func (n *cteShowNode) open(*execCtx) (batchIter, error) {
+	return nil, fmt.Errorf("sqlengine: internal: cteShowNode is explain-only")
 }
 
 // outputName picks the user-visible column name for a select item.
@@ -296,43 +356,6 @@ func outputName(item SelectItem) string {
 		return cr.Name
 	}
 	return item.Expr.Deparse()
-}
-
-func (p *planner) planTableRef(ref TableRef, scope *cteScope) (planNode, error) {
-	switch r := ref.(type) {
-	case *TableName:
-		qual := r.Name
-		if r.Alias != "" {
-			qual = r.Alias
-		}
-		if cte := scope.lookup(r.Name); cte != nil {
-			if cte.node != nil { // EXPLAIN mode: inline the subplan
-				return &aliasNode{child: cte.node, table: qual, names: cte.cols}, nil
-			}
-			cols := make(planSchema, len(cte.cols))
-			for i, c := range cte.cols {
-				cols[i] = planCol{table: strings.ToLower(qual), name: strings.ToLower(c)}
-			}
-			return &storeScanNode{store: cte.store, cols: cols}, nil
-		}
-		meta := p.db.lookupTable(r.Name)
-		if meta == nil {
-			return nil, fmt.Errorf("sqlengine: no such table: %s", r.Name)
-		}
-		cols := make(planSchema, len(meta.Cols))
-		for i, c := range meta.Cols {
-			cols[i] = planCol{table: strings.ToLower(qual), name: strings.ToLower(c.Name)}
-		}
-		return &storeScanNode{store: meta.store, cols: cols}, nil
-
-	case *SubqueryRef:
-		node, names, err := p.planSelect(r.Select, scope)
-		if err != nil {
-			return nil, err
-		}
-		return &aliasNode{child: node, table: r.Alias, names: names}, nil
-	}
-	return nil, fmt.Errorf("sqlengine: unsupported table reference %T", ref)
 }
 
 // splitConjuncts flattens an AND tree.

@@ -25,9 +25,19 @@ type RowStore struct {
 	w        *bufio.Writer
 	fileRows int64
 	frozen   bool
+	// stats, when non-nil, is updated incrementally on every append
+	// (base tables; see stats.go).
+	stats *tableStats
 }
 
 func newRowStore(env *storageEnv) *RowStore { return &RowStore{env: env, width: -1} }
+
+// setStatsCollector / statsSnapshot implement statsCollecting.
+func (rs *RowStore) setStatsCollector(ts *tableStats) { rs.stats = ts }
+func (rs *RowStore) statsSnapshot() *tableStats       { return rs.stats }
+
+// frozenState reports whether the store is currently frozen.
+func (rs *RowStore) frozenState() bool { return rs.frozen }
 
 // Append adds a row. The store takes ownership of the slice.
 func (rs *RowStore) Append(row Row) error {
@@ -41,6 +51,9 @@ func (rs *RowStore) Append(row Row) error {
 	if rs.env.budget.tryReserve(n) {
 		rs.mem = append(rs.mem, row)
 		rs.memBytes += n
+		if rs.stats != nil {
+			rs.stats.observeRow(row)
+		}
 		return nil
 	}
 	if !rs.env.spillEnabled {
@@ -51,7 +64,13 @@ func (rs *RowStore) Append(row Row) error {
 	if err := rs.spillBuffered(); err != nil {
 		return err
 	}
-	return rs.writeSpilled(row)
+	if err := rs.writeSpilled(row); err != nil {
+		return err
+	}
+	if rs.stats != nil {
+		rs.stats.observeRow(row)
+	}
+	return nil
 }
 
 // spillBuffered flushes the in-memory rows to the spill file and releases

@@ -25,6 +25,7 @@ type sortSpec struct {
 type sortNode struct {
 	child planNode
 	keys  []sortSpec
+	est   *nodeEst
 }
 
 func (n *sortNode) schema() planSchema { return n.child.schema() }

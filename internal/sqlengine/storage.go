@@ -110,6 +110,8 @@ type storageEnv struct {
 	// rowLayout selects the legacy row-major RowStore for every table
 	// store the engine creates (Config.Layout = "row").
 	rowLayout bool
+	// optimizer enables the cost-based query optimizer (Config.Optimizer).
+	optimizer bool
 	// workers is the engine's morsel-parallel worker count (>= 1).
 	workers int
 	// workingFloor is the number of bytes a blocking operator (hash

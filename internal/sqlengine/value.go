@@ -1,9 +1,11 @@
 // Package sqlengine is an embedded relational database engine with a SQL
 // front end. It exists so that the Qymera circuit→SQL translation can run
-// against a real relational execution pipeline — parser, planner,
-// vectorized batch executor with streaming hash joins and hash
-// aggregation, and buffer-managed storage that spills to disk — using
-// only the Go standard library.
+// against a real relational execution pipeline — parser, a three-tier
+// planner (logical plan IR, rule-driven rewriter, cost-based physical
+// chooser fed by incrementally-maintained table statistics), vectorized
+// batch executor with streaming hash joins and hash aggregation, and
+// buffer-managed storage that spills to disk — using only the Go
+// standard library.
 //
 // Execution is batch-at-a-time and morsel-parallel over natively
 // columnar table storage: operators exchange column-major batches of

@@ -130,6 +130,11 @@ type SQLBackendOptions struct {
 	// for the legacy row-major store. Amplitudes are bit-identical
 	// across layouts; only throughput and memory density change.
 	StorageLayout string
+	// Optimizer controls the engine's cost-based query optimizer: "" or
+	// "on" (default) enables the rewrite rules and cost-based physical
+	// planning, "off" uses the legacy direct planner. Amplitudes are
+	// bit-identical across settings; only plan quality changes.
+	Optimizer string
 	// PlanCache, when non-nil, caches circuit→SQL translations across
 	// Run calls: exact repeats skip translation entirely, parameter
 	// sweeps reuse the SQL text and rebind only the numeric gate data.
@@ -155,6 +160,7 @@ func NewSQLBackend(opts ...SQLBackendOptions) Backend {
 		DisableSpill: o.DisableSpill,
 		Parallelism:  o.Parallelism,
 		Layout:       o.StorageLayout,
+		Optimizer:    o.Optimizer,
 		Cache:        o.PlanCache,
 		Initial:      o.Initial,
 	}
