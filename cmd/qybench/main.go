@@ -29,6 +29,11 @@
 //	                         # cost-based-optimizer report (gate-stage
 //	                         # query, misordered join, GHZ/QFT sims with
 //	                         # the optimizer on vs off + bit-identity)
+//	qybench -benchjson BENCH_sqlengine_kernel.json
+//	                         # paths containing "kernel" write the
+//	                         # compiled gate-stage kernel report (cached
+//	                         # sweep-path query and sims with the kernel
+//	                         # tier on vs off + bit-identity)
 //	qybench -compareallocs BENCH_sqlengine.json NEW.json
 //	                         # allocation regression gate: fail when
 //	                         # NEW.json's fixed-size gate-stage query
@@ -80,6 +85,8 @@ func main() {
 			data, err = bench.ServiceBenchJSON(bench.Options{Quick: *quick})
 		case strings.Contains(base, "optimizer"):
 			data, err = bench.OptimizerBenchJSON(bench.Options{Quick: *quick})
+		case strings.Contains(base, "kernel"):
+			data, err = bench.KernelBenchJSON(bench.Options{Quick: *quick})
 		default:
 			data, err = bench.EngineBenchJSON(bench.Options{Quick: *quick})
 		}

@@ -1,0 +1,235 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"time"
+
+	"qymera/internal/sim"
+	"qymera/internal/sqlengine"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "kernel",
+		Paper: "compiled gate-stage kernels — fused scan⋈join⋈agg⋈project loop vs the interpreted batch executor",
+		Desc:  "cached gate-stage query (the parameter-sweep hot path) and circuit simulations with the kernel tier on and off, asserting bit-identical amplitudes; qybench -benchjson BENCH_sqlengine_kernel.json writes the machine-readable report",
+		Run:   runKernelBench,
+	})
+}
+
+// KernelBenchEntry is one workload measured with the kernel tier off
+// and on.
+type KernelBenchEntry struct {
+	Workload   string  `json:"workload"`
+	SecondsOff float64 `json:"seconds_kernel_off"`
+	SecondsOn  float64 `json:"seconds_kernel_on"`
+	// Speedup is off/on wall time (> 1 means the kernel won).
+	Speedup float64 `json:"speedup"`
+	// BitIdentical reports whether the on and off runs produced
+	// bitwise-identical results (exact value types, int64 values, and
+	// float64 bit patterns, in the same row order).
+	BitIdentical bool   `json:"bit_identical"`
+	Rows         int64  `json:"rows,omitempty"`
+	Workers      int    `json:"workers,omitempty"`
+	Digest       string `json:"digest,omitempty"`
+}
+
+// KernelBenchReport is the BENCH_sqlengine_kernel.json payload.
+type KernelBenchReport struct {
+	Engine     string `json:"engine"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// SweepSpeedup is the headline number: the cached gate-stage query
+	// (kernel compiled once, then reused — the parameter-sweep hot
+	// path) with kernels on vs off. The CI gate asserts > 1.
+	SweepSpeedup float64 `json:"sweep_speedup"`
+	// BitIdentical aggregates every workload's flag (the acceptance
+	// gate: throughput may change, amplitude bits may not).
+	BitIdentical bool `json:"bit_identical"`
+	// KernelCounters is the delta of the engine's kernel-tier counters
+	// across the kernels-on runs (compiles, cache_hits, executions,
+	// fallbacks, fallback_<reason>).
+	KernelCounters map[string]int64   `json:"kernel_counters"`
+	Entries        []KernelBenchEntry `json:"entries"`
+}
+
+// timedCachedQuery times the steady-state cached path: one warm-up
+// execution (which compiles and caches the kernel), then a Median3
+// measurement of repeated runs, then a digest of a final run.
+func timedCachedQuery(db *sqlengine.DB, sql string, reps int) (time.Duration, string, int64, error) {
+	rs, err := db.Query(sql)
+	if err != nil {
+		return 0, "", 0, err
+	}
+	rs.Close()
+	wall, err := Median3(func() (time.Duration, error) {
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			rs, err := db.Query(sql)
+			if err != nil {
+				return 0, err
+			}
+			rs.Close()
+		}
+		return time.Since(start), nil
+	})
+	if err != nil {
+		return 0, "", 0, err
+	}
+	rs, err = db.Query(sql)
+	if err != nil {
+		return 0, "", 0, err
+	}
+	defer rs.Close()
+	digest, rows, err := resultDigest(rs)
+	return wall / time.Duration(reps), digest, rows, err
+}
+
+// kernelGateStageEntry measures the cached gate-stage query off vs on
+// at the given worker count.
+func kernelGateStageEntry(name string, stateRows, workers, reps int) (KernelBenchEntry, error) {
+	entry := KernelBenchEntry{Workload: name, Workers: workers}
+	var digests [2]string
+	for i, kernels := range []string{"off", "on"} {
+		db, err := gateStageDB(stateRows, sqlengine.Config{Parallelism: workers, Kernels: kernels})
+		if err != nil {
+			return entry, fmt.Errorf("bench: kernel %s: %w", name, err)
+		}
+		wall, digest, rows, err := timedCachedQuery(db, gateStageSQL, reps)
+		db.Close()
+		if err != nil {
+			return entry, fmt.Errorf("bench: kernel %s (%s): %w", name, kernels, err)
+		}
+		digests[i] = digest
+		entry.Rows = rows
+		if kernels == "off" {
+			entry.SecondsOff = wall.Seconds()
+		} else {
+			entry.SecondsOn = wall.Seconds()
+		}
+	}
+	entry.BitIdentical = digests[0] == digests[1]
+	entry.Digest = digests[1]
+	if entry.SecondsOn > 0 {
+		entry.Speedup = entry.SecondsOff / entry.SecondsOn
+	}
+	return entry, nil
+}
+
+// RunKernelBench measures every workload with the kernel tier off and
+// on and returns the report.
+func RunKernelBench(opts Options) (*KernelBenchReport, error) {
+	report := &KernelBenchReport{
+		Engine:       "vectorized-batch/compiled-gate-kernels",
+		NumCPU:       runtime.NumCPU(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		BitIdentical: true,
+	}
+	before := sqlengine.KernelCounters()
+
+	stateRows, reps := 1<<17, 5
+	ghzQubits, qftQubits, parityQubits := 16, 10, 15
+	if opts.Quick {
+		stateRows, reps = 1<<14, 3
+		ghzQubits, qftQubits, parityQubits = 8, 6, 9
+	}
+
+	// 1. The headline: the cached gate-stage query on the serial path —
+	// exactly what a parameter sweep executes per gate after the first
+	// point (plan cached, kernel compiled).
+	sweep, err := kernelGateStageEntry("gate_stage_cached_sweep", stateRows, 1, reps)
+	if err != nil {
+		return nil, err
+	}
+	report.SweepSpeedup = sweep.Speedup
+	entries := []KernelBenchEntry{sweep}
+
+	// 2. The morsel-parallel path: the kernel's two-phase deterministic
+	// accumulation vs the interpreted parallel aggregation.
+	par, err := kernelGateStageEntry("gate_stage_parallel", stateRows, 4, reps)
+	if err != nil {
+		return nil, err
+	}
+	entries = append(entries, par)
+
+	// 3. Full simulations through the SQL backend (translation, setup,
+	// and output layers dilute the kernel's share of the wall time).
+	for _, wl := range simCircuits(ghzQubits, qftQubits, parityQubits) {
+		entry := KernelBenchEntry{Workload: wl.name}
+		var digests [2]string
+		for i, kernels := range []string{"off", "on"} {
+			cache := sim.NewPlanCache(0)
+			var res *sim.Result
+			wall, err := Median3(func() (time.Duration, error) {
+				r, err := (&sim.SQL{Kernels: kernels, Cache: cache, SpillDir: opts.SpillDir}).Run(wl.c)
+				if err != nil {
+					return 0, err
+				}
+				res = r
+				return r.Stats.WallTime, nil
+			})
+			if err != nil {
+				return nil, fmt.Errorf("bench: kernel %s (%s): %w", wl.name, kernels, err)
+			}
+			digests[i] = stateDigest(res.State)
+			entry.Rows = int64(res.State.Len())
+			if kernels == "off" {
+				entry.SecondsOff = wall.Seconds()
+			} else {
+				entry.SecondsOn = wall.Seconds()
+			}
+		}
+		entry.BitIdentical = digests[0] == digests[1]
+		entry.Digest = digests[1]
+		if entry.SecondsOn > 0 {
+			entry.Speedup = entry.SecondsOff / entry.SecondsOn
+		}
+		entries = append(entries, entry)
+	}
+
+	after := sqlengine.KernelCounters()
+	report.KernelCounters = map[string]int64{}
+	for k, v := range after {
+		if d := v - before[k]; d > 0 {
+			report.KernelCounters[k] = d
+		}
+	}
+	for _, e := range entries {
+		report.BitIdentical = report.BitIdentical && e.BitIdentical
+	}
+	report.Entries = entries
+	return report, nil
+}
+
+// KernelBenchJSON renders the report for BENCH_sqlengine_kernel.json.
+func KernelBenchJSON(opts Options) ([]byte, error) {
+	report, err := RunKernelBench(opts)
+	if err != nil {
+		return nil, err
+	}
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+func runKernelBench(opts Options) ([]*Table, error) {
+	report, err := RunKernelBench(opts)
+	if err != nil {
+		return nil, err
+	}
+	t := NewTable("Compiled gate-stage kernels: fused loop on vs off",
+		"workload", "off", "on", "speedup", "bit-identical", "rows")
+	for _, e := range report.Entries {
+		t.Addf(e.Workload,
+			FormatDuration(time.Duration(e.SecondsOff*float64(time.Second))),
+			FormatDuration(time.Duration(e.SecondsOn*float64(time.Second))),
+			fmt.Sprintf("%.2fx", e.Speedup), e.BitIdentical, e.Rows)
+	}
+	t.Note("kernel counters during the kernels-on runs: %v", report.KernelCounters)
+	t.Note("bit-identical = kernel on/off results match exactly (types, int64 values, float64 bit patterns, row order)")
+	return []*Table{t}, nil
+}

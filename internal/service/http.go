@@ -206,6 +206,11 @@ type MetricsJSON struct {
 	// counts (pushdowns, cte_inlined, build_flips, ...).
 	Optimizer map[string]int64 `json:"optimizer"`
 
+	// Kernels exposes the engine's cumulative gate-stage kernel-tier
+	// counters (process-wide): compiles, cache_hits, executions,
+	// fallbacks, and per-reason fallback_<reason> counts.
+	Kernels map[string]int64 `json:"kernels"`
+
 	Backends map[string]BackendLatency `json:"backends"`
 }
 
@@ -222,6 +227,7 @@ func (s *Server) Metrics() MetricsJSON {
 		AdmissionWaits: m.metrics.admissionWaits.Load(),
 		PlanCache:      m.PlanCacheStats(),
 		Optimizer:      sqlengine.OptimizerCounters(),
+		Kernels:        sqlengine.KernelCounters(),
 		Backends:       backends,
 	}
 	out.Budget.LimitBytes = m.budget.Limit()

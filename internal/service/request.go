@@ -45,6 +45,10 @@ type RequestOptions struct {
 	// engine's cost-based query optimizer. Amplitudes are bit-identical
 	// either way; only plan quality changes.
 	Optimizer string `json:"optimizer,omitempty"`
+	// Kernels (sql backends): "on" (default) or "off" — toggles the
+	// engine's compiled gate-stage kernel tier. Amplitudes are
+	// bit-identical either way; only throughput changes.
+	Kernels string `json:"kernels,omitempty"`
 	// MaxBond (mps): bond-dimension cap, 0 = exact.
 	MaxBond int `json:"max_bond,omitempty"`
 	// EstimatedBytes declares the job's expected peak engine memory for
@@ -149,6 +153,11 @@ func sqlOptions(o RequestOptions) (so sqlPlanOptions, err error) {
 	default:
 		return so, fmt.Errorf("unknown optimizer %q (have on, off)", o.Optimizer)
 	}
+	switch strings.ToLower(o.Kernels) {
+	case "", "on", "off":
+	default:
+		return so, fmt.Errorf("unknown kernels %q (have on, off)", o.Kernels)
+	}
 	return so, nil
 }
 
@@ -177,6 +186,7 @@ func (m *Manager) newBackend(p *parsedRequest) (sim.Backend, error) {
 			Parallelism: parallelism,
 			Layout:      strings.ToLower(p.options.Layout),
 			Optimizer:   strings.ToLower(p.options.Optimizer),
+			Kernels:     strings.ToLower(p.options.Kernels),
 			Budget:      m.budget,
 			Cache:       m.cache,
 		}, nil

@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"testing"
+
+	"qymera/internal/circuits"
+	"qymera/internal/core"
+	"qymera/internal/quantum"
+	"qymera/internal/sqlengine"
+)
+
+// TestSQLKernelBitIdenticalAmplitudes asserts the kernel tier's
+// correctness invariant at the simulation level: the SQL backend
+// produces bitwise-identical amplitudes with kernels on and off, on
+// both storage layouts, at one and at four workers, with the optimizer
+// on and off, in both translation modes. The fused loop replays the
+// interpreted engine's accumulation and emission order exactly (see
+// internal/sqlengine/kernel.go), so only throughput changes.
+func TestSQLKernelBitIdenticalAmplitudes(t *testing.T) {
+	workloads := []struct {
+		name string
+		c    *quantum.Circuit
+		mode core.Mode
+	}{
+		{"ghz", circuits.GHZ(12), core.SingleQuery},
+		{"qft", circuits.QFT(7), core.SingleQuery},
+		// 2^15 nonzero amplitudes: spans several morsels, so the
+		// parallel runs exercise the kernel's two-phase morsel path.
+		{"parity", circuits.ParitySuperposition(15), core.SingleQuery},
+		{"qft-chain", circuits.QFT(6), core.MaterializedChain},
+	}
+	for _, wl := range workloads {
+		t.Run(wl.name, func(t *testing.T) {
+			var ref *quantum.State
+			for _, kernels := range []string{"on", "off"} {
+				for _, layout := range []string{"columnar", "row"} {
+					for _, workers := range []int{1, 4} {
+						for _, optimizer := range []string{"on", "off"} {
+							b := &SQL{Mode: wl.mode, Kernels: kernels, Optimizer: optimizer, Layout: layout, Parallelism: workers}
+							res, err := b.Run(wl.c)
+							if err != nil {
+								t.Fatalf("kernels=%s layout=%s workers=%d optimizer=%s: %v", kernels, layout, workers, optimizer, err)
+							}
+							if ref == nil {
+								ref = res.State
+								continue
+							}
+							if err := statesBitIdentical(ref, res.State); err != nil {
+								t.Fatalf("kernels=%s layout=%s workers=%d optimizer=%s: %v", kernels, layout, workers, optimizer, err)
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSQLKernelCacheRidesPlanCache: backends sharing a PlanCache also
+// share compiled kernels, so a parameter sweep lowers each gate-stage
+// shape once and reuses it for every subsequent point.
+func TestSQLKernelCacheRidesPlanCache(t *testing.T) {
+	cache := NewPlanCache(8)
+	b := &SQL{Cache: cache, Parallelism: 1}
+	sqlengine.ResetKernelCounters()
+	for point := 0; point < 4; point++ {
+		params := make([]float64, 6*2)
+		for i := range params {
+			params[i] = 0.1 + 0.2*float64(point) + 0.01*float64(i)
+		}
+		if _, err := b.Run(circuits.HardwareEfficientAnsatz(3, 2, params)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	kc := sqlengine.KernelCounters()
+	if kc["executions"] == 0 {
+		t.Fatal("kernel never executed during the sweep")
+	}
+	if kc["compiles"] == 0 || kc["cache_hits"] == 0 {
+		t.Fatalf("kernel cache not exercised: %v", kc)
+	}
+	// Later sweep points must not recompile: every shape is lowered at
+	// most once across the whole sweep (compiles <= shapes of point 0).
+	if kc["compiles"]*3 > kc["executions"] {
+		t.Fatalf("too many compiles (%d) for %d executions — cache not shared across points", kc["compiles"], kc["executions"])
+	}
+	if cache.Kernels().Len() == 0 {
+		t.Fatal("shared kernel cache is empty")
+	}
+}

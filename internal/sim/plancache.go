@@ -7,6 +7,7 @@ import (
 
 	"qymera/internal/core"
 	"qymera/internal/quantum"
+	"qymera/internal/sqlengine"
 )
 
 // PlanCache is an LRU cache of circuit→SQL translations, shared across
@@ -37,6 +38,12 @@ type PlanCache struct {
 	hits           uint64 // exact-tier hits
 	structuralHits uint64
 	misses         uint64
+
+	// kernels caches compiled gate-stage kernel programs (the engine
+	// tier below the SQL text) so sweeps that rebind gate data reuse
+	// the lowered loop too. Lazily created, shared across the backends
+	// that share this PlanCache.
+	kernels *sqlengine.KernelCache
 }
 
 type planEntry struct {
@@ -69,6 +76,17 @@ type PlanCacheStats struct {
 	StructuralHits uint64 `json:"structural_hits"` // rebind-tier hits
 	Misses         uint64 `json:"misses"`
 	Entries        int    `json:"entries"`
+}
+
+// Kernels returns the cache of compiled gate-stage kernel programs
+// that rides along with the plan cache, creating it on first use.
+func (pc *PlanCache) Kernels() *sqlengine.KernelCache {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if pc.kernels == nil {
+		pc.kernels = sqlengine.NewKernelCache(0)
+	}
+	return pc.kernels
 }
 
 // Stats returns the current counters.

@@ -55,6 +55,13 @@ type SQL struct {
 	// restricts order-sensitive rewrites to plans without float
 	// accumulation (see internal/sqlengine/optimize.go).
 	Optimizer string
+	// Kernels controls the engine's compiled gate-stage kernel tier: ""
+	// or "on" (default) lowers matching gate-stage plans to a fused
+	// typed loop, "off" always runs the interpreted batch executor.
+	// Amplitudes are bitwise independent of the setting — the kernel
+	// replays the interpreted engine's accumulation order exactly (see
+	// internal/sqlengine/kernel.go).
+	Kernels string
 	// Budget, when non-nil, is a pre-built engine memory accountant
 	// that overrides MemoryBudget. Sharing one budget across backends
 	// makes concurrent simulations compete for a single global pool —
@@ -117,7 +124,7 @@ func (b *SQL) RunContext(ctx context.Context, c *quantum.Circuit) (*Result, erro
 		return nil, err
 	}
 
-	db, err := sqlengine.Open(sqlengine.Config{
+	cfg := sqlengine.Config{
 		MemoryBudget: b.MemoryBudget,
 		SpillDir:     b.SpillDir,
 		DisableSpill: b.DisableSpill,
@@ -125,7 +132,14 @@ func (b *SQL) RunContext(ctx context.Context, c *quantum.Circuit) (*Result, erro
 		Layout:       b.Layout,
 		Budget:       b.Budget,
 		Optimizer:    b.Optimizer,
-	})
+		Kernels:      b.Kernels,
+	}
+	if b.Cache != nil {
+		// Compiled kernels ride along with the plan cache: a sweep that
+		// reuses the SQL text also reuses the lowered kernel program.
+		cfg.KernelCache = b.Cache.Kernels()
+	}
+	db, err := sqlengine.Open(cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -46,6 +46,18 @@ type Config struct {
 	// independent of the setting (see the bit-neutrality contract in
 	// optimize.go).
 	Optimizer string
+	// Kernels controls the compiled kernel tier: "" or "on" (the
+	// default) lowers plans matching the translated gate-stage shape
+	// into fused, monomorphized loops over the typed column vectors;
+	// "off" always runs the batch interpreter. Simulated amplitudes are
+	// bitwise independent of the setting (see the determinism contract
+	// in kernel.go).
+	Kernels string
+	// KernelCache, when non-nil, is a pre-built (possibly shared)
+	// compiled-program cache for the kernel tier. A simulation plan
+	// cache hands every rebound engine instance the same *KernelCache
+	// so a parameter sweep compiles each stage shape once.
+	KernelCache *KernelCache
 }
 
 // TableMeta describes one base table.
@@ -112,6 +124,18 @@ func Open(cfg Config) (*DB, error) {
 	default:
 		return nil, fmt.Errorf("sqlengine: unknown optimizer setting %q (want \"on\" or \"off\")", cfg.Optimizer)
 	}
+	kernels := true
+	switch cfg.Kernels {
+	case "", "on":
+	case "off":
+		kernels = false
+	default:
+		return nil, fmt.Errorf("sqlengine: unknown kernels setting %q (want \"on\" or \"off\")", cfg.Kernels)
+	}
+	kernelCache := cfg.KernelCache
+	if kernelCache == nil {
+		kernelCache = NewKernelCache(0)
+	}
 	env := &storageEnv{
 		budget:       budget,
 		spillDir:     cfg.SpillDir,
@@ -120,6 +144,8 @@ func Open(cfg Config) (*DB, error) {
 		workers:      workers,
 		rowLayout:    rowLayout,
 		optimizer:    optimizer,
+		kernels:      kernels,
+		kernelCache:  kernelCache,
 	}
 	return &DB{env: env, tables: map[string]*TableMeta{}}, nil
 }
@@ -256,13 +282,23 @@ func (db *DB) newExecCtx(ctx context.Context, params []Value) *execCtx {
 }
 
 func (db *DB) runSelect(stmtCtx context.Context, sel *SelectStmt, params []Value) (*ResultSet, error) {
+	return db.runSelectCollect(stmtCtx, sel, params, false)
+}
+
+// runSelectCollect is runSelect with optional statistics collection on
+// the result store: CTAS materialization passes collect=true so the
+// created table starts with exact incremental statistics (see
+// stats.go) — no per-stage ANALYZE rescan needed. Only the final
+// result store collects; intermediate stores (CTE materialization
+// inside buildPlan, join internals) do not.
+func (db *DB) runSelectCollect(stmtCtx context.Context, sel *SelectStmt, params []Value, collect bool) (*ResultSet, error) {
 	ctx := db.newExecCtx(stmtCtx, params)
 	node, names, p, err := db.buildPlan(ctx, sel, false)
 	if err != nil {
 		return nil, err
 	}
 	defer p.release()
-	store, err := materializePlan(ctx, node)
+	store, err := materializePlanCollect(ctx, node, collect)
 	if err != nil {
 		return nil, err
 	}
@@ -377,7 +413,11 @@ func (db *DB) execCreate(ctx context.Context, s *CreateTableStmt, params []Value
 		return 0, fmt.Errorf("sqlengine: table %s already exists", s.Name)
 	}
 	if s.AsSelect != nil {
-		rs, err := db.runSelect(ctx, s.AsSelect, params)
+		// The materialization collects statistics incrementally into the
+		// result store, so the created table's statistics are exact from
+		// the start and the translator's ANALYZE hits the fast no-rescan
+		// path (chained stage tables get stats without a round-trip).
+		rs, err := db.runSelectCollect(ctx, s.AsSelect, params, true)
 		if err != nil {
 			return 0, err
 		}
@@ -399,8 +439,8 @@ func (db *DB) execCreate(ctx context.Context, s *CreateTableStmt, params []Value
 	}
 	store := db.env.newStore()
 	// Base tables collect statistics incrementally from the first append
-	// (see stats.go); CTAS results start without statistics and rely on
-	// the exact row count until ANALYZE.
+	// (see stats.go); CTAS results arrive with statistics already
+	// collected during materialization (above).
 	attachStats(store)
 	db.tables[key] = &TableMeta{Name: s.Name, Cols: s.Cols, store: store}
 	return 0, nil

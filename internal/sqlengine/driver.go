@@ -23,7 +23,9 @@ import (
 // (1/true disables out-of-core execution), parallelism (morsel-parallel
 // worker count; 0 derives it from GOMAXPROCS), layout ("columnar" —
 // the default typed column-vector store — or "row" for the legacy
-// row-major store kept for differential testing).
+// row-major store kept for differential testing), optimizer ("on"/"off"
+// for the cost-based optimizer), and kernels ("on"/"off" for the
+// compiled gate-stage kernel tier, see kernel.go).
 
 func init() {
 	sql.Register("qymera", &Driver{})
@@ -100,6 +102,7 @@ func parseDSN(dsn string) (Config, error) {
 	}
 	cfg.Layout = q.Get("layout")
 	cfg.Optimizer = q.Get("optimizer")
+	cfg.Kernels = q.Get("kernels")
 	return cfg, nil
 }
 

@@ -550,7 +550,17 @@ type rowCapacityHinter interface {
 // pre-sizes the store's column vectors. Cancellation is checked once
 // per drained batch.
 func materialize(ctx *execCtx, it batchIter, hint int64) (tableStore, error) {
+	return materializeCollect(ctx, it, hint, false)
+}
+
+// materializeCollect optionally attaches a statistics collector to the
+// result store before draining (CTAS materialization: the created
+// table then has exact statistics without an ANALYZE rescan).
+func materializeCollect(ctx *execCtx, it batchIter, hint int64, collect bool) (tableStore, error) {
 	store := ctx.env.newStore()
+	if collect {
+		attachStats(store)
+	}
 	if hint > 0 {
 		if h, ok := store.(rowCapacityHinter); ok {
 			h.hintRows(hint)

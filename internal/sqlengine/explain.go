@@ -52,9 +52,10 @@ func (db *DB) explainSelect(sel *SelectStmt, params []Value) (string, error) {
 		return "", err
 	}
 	defer p.release()
+	kline, kcore := kernelExplain(ctx, node)
 	var b strings.Builder
-	writeExplainHeader(&b, db.env, ctx, names)
-	describePlan(&b, node, 0)
+	writeExplainHeader(&b, db.env, ctx, names, kline)
+	describePlan(&b, node, 0, kcore)
 	return b.String(), nil
 }
 
@@ -104,10 +105,13 @@ func (db *DB) explainAnalyzeSelect(stmtCtx context.Context, sel *SelectStmt, par
 	elapsed := time.Since(start)
 	total := store.Len()
 	store.Release()
+	// The instrumented plan always declines the kernel (the counters
+	// are the point of ANALYZE), and the header reports that.
+	kline, kcore := kernelExplain(ctx, node)
 	var b strings.Builder
-	writeExplainHeader(&b, db.env, ctx, names)
+	writeExplainHeader(&b, db.env, ctx, names, kline)
 	fmt.Fprintf(&b, "actual: %d rows in %s\n", total, elapsed.Round(time.Microsecond))
-	describePlan(&b, node, 0)
+	describePlan(&b, node, 0, kcore)
 	return b.String(), nil
 }
 
@@ -151,7 +155,7 @@ func (db *DB) runExplainStmt(ctx context.Context, s *ExplainStmt, params []Value
 	return &ResultSet{Columns: []string{"plan"}, store: store}, nil
 }
 
-func writeExplainHeader(b *strings.Builder, env *storageEnv, ctx *execCtx, names []string) {
+func writeExplainHeader(b *strings.Builder, env *storageEnv, ctx *execCtx, names []string, kernelLine string) {
 	fmt.Fprintf(b, "output: %s\n", strings.Join(names, ", "))
 	fmt.Fprintf(b, "executor: vectorized (batch=%d, selection vectors), morsel-parallel (workers=%d, morsel=%d rows)\n",
 		batchSize, ctx.workers, morselRows)
@@ -160,6 +164,65 @@ func writeExplainHeader(b *strings.Builder, env *storageEnv, ctx *execCtx, names
 		fmt.Fprintf(b, "optimizer: on (cost-based: statistics, pushdown, pruning, CTE inlining, join planning)\n")
 	} else {
 		fmt.Fprintf(b, "optimizer: off\n")
+	}
+	fmt.Fprintf(b, "%s\n", kernelLine)
+}
+
+// kernelExplain reports the kernel tier's structural decision for a
+// plan: the EXPLAIN header line and the matched core node (nil when
+// the matcher declines). A structural dry run only — no counters, no
+// cache, no execution; the data-dependent bind checks (spill state,
+// column vector types) still happen at run time.
+func kernelExplain(ctx *execCtx, node planNode) (string, planNode) {
+	env := ctx.env
+	if !env.kernels {
+		return "kernel: off", nil
+	}
+	if env.budget.Limit() > 0 {
+		return "kernel: fallback (" + kfBudgetLimited + ")", nil
+	}
+	if env.rowLayout {
+		return "kernel: fallback (" + kfRowLayout + ")", nil
+	}
+	core, reason := explainKernelMatch(ctx, node)
+	if core == nil {
+		return "kernel: fallback (" + reason + ")", nil
+	}
+	return "kernel: " + kernelAnnotation, core
+}
+
+// explainKernelMatch mirrors findGateStage's wrapper walk without
+// mutating the tree or touching the kernel cache and counters.
+func explainKernelMatch(ctx *execCtx, node planNode) (planNode, string) {
+	cur := node
+	for {
+		switch n := cur.(type) {
+		case *statNode:
+			return nil, kfExplainAnalyze
+		case *projectNode:
+			if agg, _ := coreAggOf(n); agg != nil {
+				kern, reason := compileGateStage(n, ctx.env, false)
+				if kern == nil {
+					return nil, reason
+				}
+				return n, ""
+			}
+			cur = n.child
+		case *sortNode:
+			cur = n.child
+		case *aliasNode:
+			cur = n.child
+		case *filterNode:
+			cur = n.child
+		case *limitNode:
+			cur = n.child
+		case *sliceProjectNode:
+			cur = n.child
+		case *pickNode:
+			cur = n.child
+		default:
+			return nil, kfNoGateStage
+		}
 	}
 }
 
@@ -292,15 +355,19 @@ func instrumentPlan(node planNode) planNode {
 	return &statNode{child: node}
 }
 
-func describePlan(b *strings.Builder, node planNode, depth int) {
+func describePlan(b *strings.Builder, node planNode, depth int, kcore planNode) {
 	pad := strings.Repeat("  ", depth)
 	actual := ""
 	if sn, ok := node.(*statNode); ok {
 		actual = fmt.Sprintf(" actual_rows=%d", sn.actual.Load())
 		node = sn.child
 	}
+	kmark := ""
+	if kcore != nil && node == kcore {
+		kmark = " [kernel=" + kernelAnnotation + "]"
+	}
 	line := func(format string, args ...any) {
-		fmt.Fprintf(b, "%s%s%s%s\n", pad, fmt.Sprintf(format, args...), estSuffix(planEstimateOf(node)), actual)
+		fmt.Fprintf(b, "%s%s%s%s%s\n", pad, fmt.Sprintf(format, args...), estSuffix(planEstimateOf(node)), kmark, actual)
 	}
 	switch n := node.(type) {
 	case *oneRowNode:
@@ -325,20 +392,20 @@ func describePlan(b *strings.Builder, node planNode, depth int) {
 			mark = " [pushed to scan]"
 		}
 		line("BatchFilter %s [selection vector]%s", n.pred.Deparse(), mark)
-		describePlan(b, n.child, depth+1)
+		describePlan(b, n.child, depth+1, kcore)
 	case *projectNode:
 		exprs := make([]string, len(n.exprs))
 		for i, e := range n.exprs {
 			exprs[i] = e.Deparse()
 		}
 		line("BatchProject %s", strings.Join(exprs, ", "))
-		describePlan(b, n.child, depth+1)
+		describePlan(b, n.child, depth+1, kcore)
 	case *sliceProjectNode:
 		line("StripHiddenColumns keep=%d", n.keep)
-		describePlan(b, n.child, depth+1)
+		describePlan(b, n.child, depth+1, kcore)
 	case *pickNode:
 		line("ReorderColumns keep=%d", len(n.idxs))
-		describePlan(b, n.child, depth+1)
+		describePlan(b, n.child, depth+1, kcore)
 	case *joinNode:
 		if len(n.leftKeys) > 0 {
 			keys := make([]string, len(n.leftKeys))
@@ -365,8 +432,8 @@ func describePlan(b *strings.Builder, node planNode, depth int) {
 			}
 			line("NestedLoopJoin (%s)%s", n.joinType, pred)
 		}
-		describePlan(b, n.left, depth+1)
-		describePlan(b, n.right, depth+1)
+		describePlan(b, n.left, depth+1, kcore)
+		describePlan(b, n.right, depth+1, kcore)
 	case *aggNode:
 		keys := make([]string, len(n.groupBy))
 		for i, g := range n.groupBy {
@@ -395,7 +462,7 @@ func describePlan(b *strings.Builder, node planNode, depth int) {
 			mode = " [materialized]"
 		}
 		line("%s keys=[%s] aggs=[%s]%s", label, strings.Join(keys, ", "), strings.Join(aggs, ", "), mode)
-		describePlan(b, n.child, depth+1)
+		describePlan(b, n.child, depth+1, kcore)
 	case *sortNode:
 		keys := make([]string, len(n.keys))
 		for i, k := range n.keys {
@@ -406,18 +473,17 @@ func describePlan(b *strings.Builder, node planNode, depth int) {
 			keys[i] = k.expr.Deparse() + " " + dir
 		}
 		line("Sort %s (external merge when over budget)", strings.Join(keys, ", "))
-		describePlan(b, n.child, depth+1)
+		describePlan(b, n.child, depth+1, kcore)
 	case *limitNode:
 		line("Limit")
-		describePlan(b, n.child, depth+1)
+		describePlan(b, n.child, depth+1, kcore)
 	case *aliasNode:
 		line("As %s", n.table)
-		describePlan(b, n.child, depth+1)
+		describePlan(b, n.child, depth+1, kcore)
 	case *cteShowNode:
 		line("MaterializeCTE %s (refs=%d)", n.name, n.uses)
-		describePlan(b, n.child, depth+1)
+		describePlan(b, n.child, depth+1, kcore)
 	default:
 		line("%T", node)
 	}
 }
-

@@ -1,0 +1,192 @@
+package sqlengine
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Kernel tier: compiled execution of the translated gate-stage shape.
+//
+// A translated gate stage is always the same plan:
+//
+//	Project  #grp.g0, #agg.a0, #agg.a1
+//	  [Filter ((#agg.a0*#agg.a0) + (#agg.a1*#agg.a1)) > eps²]   (pruning)
+//	    HashAggregate keys=[outExpr] aggs=[SUM(±prod), SUM(±prod)]
+//	      HashJoin (INNER) on inExpr = h.in_s
+//	        BatchScan state          BatchScan gate
+//
+// where inExpr/outExpr are pure bit-mask arithmetic over the amplitude
+// index (core/mask.go semantics) and the SUM arguments are the complex
+// multiply-accumulate products. Interpreting that plan pays per-batch
+// operator dispatch, Value boxing, and generic hash-table probes on
+// every one of the thousands of identical stages a parameter sweep
+// executes. The kernel tier pattern-matches the shape once
+// (kernel_lower.go), compiles it into closures over the typed ColStore
+// vectors, and runs a single fused loop (kernel_gate.go): direct int64
+// index arithmetic replaces the join (the gate side becomes a tiny
+// bucket table in gate-row order, exactly the hash join's build order),
+// and a pre-sized dense or hashed accumulator replaces the aggregation
+// hash table.
+//
+// Determinism contract: the kernel reproduces the interpreted engine
+// bit for bit. Group emission order, floating-point evaluation order
+// (one rounding per multiply, subtract/add, and accumulate — explicit
+// float64 conversions forbid FMA contraction), the morsel partition
+// and merge schedule of parallel_agg.go, and the HAVING comparison are
+// all replicated exactly. Anything the matcher cannot prove falls back
+// to the batch executor untouched; kernelCounters records why.
+
+// aggPartitionsKernel mirrors parallel_agg.go's partition fanout: the
+// kernel's parallel mode must merge per-morsel partials through the
+// same partition-major schedule to emit groups in the same order.
+const aggPartitionsKernel = aggPartitions
+
+// kernel counters, exposed through KernelCounters() and the service
+// /metrics endpoint. Package-level (like optCounters) because a
+// simulation service runs many short-lived engine instances.
+var kernelCounters struct {
+	compiles   atomic.Int64
+	cacheHits  atomic.Int64
+	executions atomic.Int64
+	fallbacks  atomic.Int64
+	mu         sync.Mutex
+	reasons    map[string]int64
+}
+
+// kernelFallback records one matcher decline with its reason.
+func kernelFallback(reason string) {
+	kernelCounters.fallbacks.Add(1)
+	kernelCounters.mu.Lock()
+	if kernelCounters.reasons == nil {
+		kernelCounters.reasons = map[string]int64{}
+	}
+	kernelCounters.reasons[reason]++
+	kernelCounters.mu.Unlock()
+}
+
+// KernelCounters snapshots the cumulative kernel-tier counters
+// (monotonic across all engine instances in the process): compiles,
+// cache_hits, executions, fallbacks, and one "fallback_<reason>" entry
+// per observed decline reason.
+func KernelCounters() map[string]int64 {
+	out := map[string]int64{
+		"compiles":   kernelCounters.compiles.Load(),
+		"cache_hits": kernelCounters.cacheHits.Load(),
+		"executions": kernelCounters.executions.Load(),
+		"fallbacks":  kernelCounters.fallbacks.Load(),
+	}
+	kernelCounters.mu.Lock()
+	for r, n := range kernelCounters.reasons {
+		out["fallback_"+r] = n
+	}
+	kernelCounters.mu.Unlock()
+	return out
+}
+
+// ResetKernelCounters zeroes the kernel counters (benchmark phases and
+// tests; the counters are process-global).
+func ResetKernelCounters() {
+	kernelCounters.compiles.Store(0)
+	kernelCounters.cacheHits.Store(0)
+	kernelCounters.executions.Store(0)
+	kernelCounters.fallbacks.Store(0)
+	kernelCounters.mu.Lock()
+	kernelCounters.reasons = nil
+	kernelCounters.mu.Unlock()
+}
+
+// KernelCache caches compiled kernel programs keyed by the canonical
+// plan structure (expressions with resolved column slots, scan column
+// maps, HAVING threshold). Programs are store-independent — execution
+// re-binds them to the current table vectors — so a sweep that re-plans
+// the same structural query with different gate numerics compiles once
+// and rebinds thereafter. Shareable across engine instances (the
+// simulation plan cache hands every rebound engine the same
+// *KernelCache, see sim.PlanCache).
+type KernelCache struct {
+	mu  sync.Mutex
+	cap int
+	m   map[string]*kernelProg
+}
+
+// NewKernelCache creates a kernel program cache holding up to capacity
+// compiled programs (<=0 uses a default of 256). Eviction is
+// whole-cache reset on overflow: programs are tiny and a working set
+// larger than the capacity does not occur in practice.
+func NewKernelCache(capacity int) *KernelCache {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &KernelCache{cap: capacity, m: map[string]*kernelProg{}}
+}
+
+// Len reports the number of cached programs.
+func (c *KernelCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+func (c *KernelCache) lookup(key string) (*kernelProg, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.m[key]
+	return p, ok
+}
+
+func (c *KernelCache) store(key string, p *kernelProg) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.m) >= c.cap {
+		c.m = map[string]*kernelProg{}
+	}
+	c.m[key] = p
+}
+
+// kernelAttempt is the materialization hook (called from
+// materializePlan when Config.Kernels is on): it pattern-matches the
+// plan for the gate-stage core, possibly under order-neutral wrapper
+// operators, and executes the matched core as a compiled kernel.
+//
+// Returns (result, nil, nil) when the core was the plan root and result
+// is the final store; (nil, swapped, nil) when the core sat under
+// wrappers — the core subtree has been replaced in the tree by a scan
+// over the kernel's output store (swapped; the caller releases it if a
+// downstream error strands it); (nil, nil, nil) when the matcher
+// declined and the plan is untouched.
+func kernelAttempt(ctx *execCtx, root planNode, collect bool) (tableStore, tableStore, error) {
+	// A bounded budget can reorder execution anywhere (spills, grace
+	// joins, serial fallbacks); the kernel only replicates the unlimited
+	// in-memory schedule, so it steps aside entirely.
+	if ctx.env.budget.Limit() > 0 {
+		kernelFallback(kfBudgetLimited)
+		return nil, nil, nil
+	}
+	site, reason := findGateStage(ctx, root)
+	if site == nil {
+		kernelFallback(reason)
+		return nil, nil, nil
+	}
+	bound, reason := bindGateStage(site.kern)
+	if bound == nil {
+		kernelFallback(reason)
+		return nil, nil, nil
+	}
+	kernelCounters.executions.Add(1)
+	store, err := runGateKernel(ctx, site.kern, bound, collect && site.set == nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	if site.set == nil {
+		return store, nil, nil
+	}
+	core := site.kern.core
+	site.set(&storeScanNode{
+		store:    store,
+		cols:     core.schema(),
+		fullCols: len(core.schema()),
+		ownStore: true,
+		est:      core.est,
+	})
+	return nil, store, nil
+}

@@ -1,0 +1,514 @@
+package sqlengine
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Execution of a compiled gate-stage kernel: bind the program to the
+// current ColStore vectors, then run one fused
+// scan⋈join⋈agg⋈project loop (see the determinism contract in
+// kernel.go).
+
+// kGateRow is one gate-table row in the bucket table: the output-index
+// column plus the four float factors of the two SUM products, gathered
+// once at bind time.
+type kGateRow struct {
+	out                int64
+	g0a, g0b, g1a, g1b float64
+}
+
+// boundGate is a program bound to concrete table vectors for one
+// execution. Rebinding is cheap (the gate table is a 2×2/4×4 matrix),
+// which is what lets a sweep reuse one cached program across thousands
+// of numeric rebinds.
+type boundGate struct {
+	prog *kernelProg
+	rows int
+	// sKey is the state amplitude-index vector; s0a..s1b the state
+	// float vectors of the SUM factors (slices may alias).
+	sKey               []int64
+	s0a, s0b, s1a, s1b []float64
+	// buckets replaces the hash join: build-key -> gate rows in
+	// gate-table order, exactly the streaming join's insertion order.
+	buckets map[int64][]kGateRow
+	// morsel selects the two-phase partitioned accumulation, mirroring
+	// the engine's own mode choice (the morsel aggregation engages
+	// whenever the state scan splits into two or more morsels,
+	// regardless of the worker count).
+	morsel bool
+	// denseHi, when >= 0, is a proven upper bound on every group key:
+	// the serial path then uses a dense array accumulator instead of a
+	// hash table.
+	denseHi   int64
+	groupHint int64
+	empty     bool
+}
+
+// denseCap bounds the dense accumulator's position array (int32
+// entries; 1<<22 keys = 16 MB of scratch).
+const denseCap = 1 << 22
+
+// bindGateStage binds a compiled program to the scans' current stores,
+// running the data-dependent checks the matcher cannot do statically.
+func bindGateStage(k *gateKernel) (*boundGate, string) {
+	prog := k.prog
+	state, ok := k.state.store.(*ColStore)
+	gate, ok2 := k.gate.store.(*ColStore)
+	if !ok || !ok2 {
+		return nil, kfRowLayout
+	}
+	if err := state.Freeze(); err != nil {
+		return nil, kfSpilled
+	}
+	if err := gate.Freeze(); err != nil {
+		return nil, kfSpilled
+	}
+	if state.Spilled() || gate.Spilled() {
+		return nil, kfSpilled
+	}
+	bk := &boundGate{prog: prog, rows: state.rows, groupHint: k.agg.groupHint, denseHi: -1}
+	if state.rows == 0 || gate.rows == 0 {
+		// A grouped aggregation of an empty join emits no rows; nothing
+		// to check or bind.
+		bk.empty = true
+		return bk, ""
+	}
+	intVec := func(cs *ColStore, idx int) []int64 {
+		if idx < 0 || idx >= len(cs.cols) {
+			return nil
+		}
+		c := &cs.cols[idx]
+		if c.kind != colInt || len(c.nulls) != 0 {
+			return nil
+		}
+		return c.ints
+	}
+	floatVec := func(cs *ColStore, idx int) []float64 {
+		if idx < 0 || idx >= len(cs.cols) {
+			return nil
+		}
+		c := &cs.cols[idx]
+		if c.kind != colFloat || len(c.nulls) != 0 {
+			return nil
+		}
+		return c.floats
+	}
+	bk.sKey = intVec(state, prog.sCol)
+	bk.s0a = floatVec(state, prog.s0a)
+	bk.s0b = floatVec(state, prog.s0b)
+	bk.s1a = floatVec(state, prog.s1a)
+	bk.s1b = floatVec(state, prog.s1b)
+	gIn := intVec(gate, prog.gIn)
+	g0a := floatVec(gate, prog.g0a)
+	g0b := floatVec(gate, prog.g0b)
+	g1a := floatVec(gate, prog.g1a)
+	g1b := floatVec(gate, prog.g1b)
+	var gOut []int64
+	if prog.gOut >= 0 {
+		gOut = intVec(gate, prog.gOut)
+		if gOut == nil {
+			return nil, kfColumnTypes
+		}
+	}
+	if bk.sKey == nil || bk.s0a == nil || bk.s0b == nil || bk.s1a == nil || bk.s1b == nil ||
+		gIn == nil || g0a == nil || g0b == nil || g1a == nil || g1b == nil {
+		return nil, kfColumnTypes
+	}
+	bk.buckets = make(map[int64][]kGateRow, gate.rows)
+	for r := 0; r < gate.rows; r++ {
+		row := kGateRow{g0a: g0a[r], g0b: g0b[r], g1a: g1a[r], g1b: g1b[r]}
+		if gOut != nil {
+			row.out = gOut[r]
+		}
+		bk.buckets[gIn[r]] = append(bk.buckets[gIn[r]], row)
+	}
+	bk.morsel = state.morselCount() >= minParallelMorsels
+	if !bk.morsel && prog.gOutFn != nil {
+		bk.denseHi = denseBound(state, prog, gOut)
+	}
+	return bk, ""
+}
+
+// denseBound proves an upper bound on every group key of the
+// mask-merge form (s & mask) | f(out), or returns -1. For s ≥ 0 the
+// masked half is ⊆ the bits of s, so pow2mask(max s) covers it; OR-ing
+// the bits of every gate row's f(out) covers the rest. Requires fresh
+// exact statistics on the state index column (satellite of this tier:
+// CTAS/INSERT..SELECT materialization now collects them incrementally).
+func denseBound(state *ColStore, prog *kernelProg, gOut []int64) int64 {
+	ts := storeStats(state)
+	if ts == nil || ts.rows != state.Len() {
+		return -1
+	}
+	cs := ts.col(prog.sCol)
+	if cs == nil || !cs.intSeen || cs.intMin < 0 || cs.nulls != 0 {
+		return -1
+	}
+	hi := pow2mask(cs.intMax)
+	if hi < 0 {
+		return -1
+	}
+	if gOut == nil {
+		v := prog.gOutFn(0, 0)
+		if v < 0 {
+			return -1
+		}
+		hi |= v
+	} else {
+		for _, out := range gOut {
+			v := prog.gOutFn(0, out)
+			if v < 0 {
+				return -1
+			}
+			hi |= v
+		}
+	}
+	if hi >= denseCap {
+		return -1
+	}
+	return hi
+}
+
+// pow2mask returns the smallest 2^k - 1 covering x (x ≥ 0), or -1.
+func pow2mask(x int64) int64 {
+	if x < 0 {
+		return -1
+	}
+	m := int64(1)
+	for m-1 < x {
+		m <<= 1
+		if m <= 0 {
+			return -1
+		}
+	}
+	return m - 1
+}
+
+// kAcc is the kernel's group accumulator: group keys and the two sums
+// in first-seen order (the engine's emission order), indexed either
+// densely by key or through an open-addressed int64 hash.
+type kAcc struct {
+	dense bool
+	// pos maps key (dense) or probe slot (hashed) to group index + 1.
+	pos  []int32
+	mask uint64
+	keys []int64
+	r, i []float64
+}
+
+func newKAcc(dense bool, denseHi, hint int64) *kAcc {
+	if dense {
+		return &kAcc{dense: true, pos: make([]int32, denseHi+1)}
+	}
+	n := 1024
+	for int64(n) < hint*2 && n < 1<<21 {
+		n <<= 1
+	}
+	return &kAcc{pos: make([]int32, n), mask: uint64(n - 1)}
+}
+
+// slot returns the group index for a key, appending a fresh zeroed
+// group on first sight. Accumulation always starts from 0.0: sumAgg
+// seeds its float accumulator with float64(0) before the first add, in
+// both the streaming and the merge phase.
+func (a *kAcc) slot(key int64) int {
+	if a.dense {
+		if p := a.pos[key]; p != 0 {
+			return int(p) - 1
+		}
+		a.keys = append(a.keys, key)
+		a.r = append(a.r, 0)
+		a.i = append(a.i, 0)
+		a.pos[key] = int32(len(a.keys))
+		return len(a.keys) - 1
+	}
+	if uint64(len(a.keys))*4 >= uint64(len(a.pos))*3 {
+		a.grow()
+	}
+	h := mix64(uint64(key), 0) & a.mask
+	for {
+		p := a.pos[h]
+		if p == 0 {
+			a.keys = append(a.keys, key)
+			a.r = append(a.r, 0)
+			a.i = append(a.i, 0)
+			a.pos[h] = int32(len(a.keys))
+			return len(a.keys) - 1
+		}
+		if a.keys[p-1] == key {
+			return int(p) - 1
+		}
+		h = (h + 1) & a.mask
+	}
+}
+
+func (a *kAcc) grow() {
+	n := len(a.pos) * 2
+	a.pos = make([]int32, n)
+	a.mask = uint64(n - 1)
+	for idx, key := range a.keys {
+		h := mix64(uint64(key), 0) & a.mask
+		for a.pos[h] != 0 {
+			h = (h + 1) & a.mask
+		}
+		a.pos[h] = int32(idx + 1)
+	}
+}
+
+// scanRange runs the fused loop over state rows [lo, hi): probe the
+// gate buckets with the input index, and for every matching gate row
+// accumulate the two complex products into the target group. The
+// floating-point schedule is the interpreted engine's exactly: each
+// product rounds once (the explicit float64 conversions forbid FMA
+// contraction), the pair combines once, the accumulate rounds once.
+func (bk *boundGate) scanRange(lo, hi int, acc *kAcc) {
+	prog := bk.prog
+	for row := lo; row < hi; row++ {
+		s := bk.sKey[row]
+		bucket := bk.buckets[prog.inFn(s, 0)]
+		for bi := range bucket {
+			g := &bucket[bi]
+			idx := acc.slot(prog.outFn(s, g.out))
+			p0 := float64(bk.s0a[row] * g.g0a)
+			p1 := float64(bk.s0b[row] * g.g0b)
+			if prog.sub0 {
+				acc.r[idx] += p0 - p1
+			} else {
+				acc.r[idx] += p0 + p1
+			}
+			q0 := float64(bk.s1a[row] * g.g1a)
+			q1 := float64(bk.s1b[row] * g.g1b)
+			if prog.sub1 {
+				acc.i[idx] += q0 - q1
+			} else {
+				acc.i[idx] += q0 + q1
+			}
+		}
+	}
+}
+
+// runGateKernel executes a bound kernel and materializes its output
+// store (the exact rows the interpreted core would have produced).
+func runGateKernel(ctx *execCtx, k *gateKernel, bk *boundGate, collect bool) (tableStore, error) {
+	out := ctx.env.newStore()
+	if collect {
+		attachStats(out)
+	}
+	if bk.groupHint > 0 {
+		if h, ok := out.(rowCapacityHinter); ok {
+			h.hintRows(bk.groupHint)
+		}
+	}
+	em := &kEmitter{out: out, having: bk.prog.having, eps2: bk.prog.eps2}
+	var err error
+	if !bk.empty {
+		if bk.morsel {
+			err = bk.runMorsel(ctx, em)
+		} else {
+			err = bk.runSerial(ctx, em)
+		}
+	}
+	if err == nil {
+		err = em.flush()
+	}
+	if err == nil {
+		err = out.Freeze()
+	}
+	if err != nil {
+		out.Release()
+		return nil, err
+	}
+	return out, nil
+}
+
+// runSerial accumulates all state rows into one accumulator (the
+// engine's single-morsel streaming aggregation) and emits groups in
+// first-seen order.
+func (bk *boundGate) runSerial(ctx *execCtx, em *kEmitter) error {
+	acc := newKAcc(bk.denseHi >= 0, bk.denseHi, bk.groupHint)
+	for lo := 0; lo < bk.rows; lo += morselRows {
+		if err := ctx.cancelled(); err != nil {
+			return err
+		}
+		hi := lo + morselRows
+		if hi > bk.rows {
+			hi = bk.rows
+		}
+		bk.scanRange(lo, hi, acc)
+	}
+	return em.emitAll(acc.keys, acc.r, acc.i)
+}
+
+// kPartial is one morsel's partial sum for one group.
+type kPartial struct {
+	key  int64
+	r, i float64
+}
+
+// runMorsel is the deterministic two-phase parallel accumulation,
+// replicating parallel_agg.go's schedule bit for bit: phase 1
+// accumulates each morsel independently and distributes its groups
+// into aggPartitions hash partitions preserving first-seen order;
+// phase 2 merges every partition across morsels in ascending morsel
+// order, re-accumulating partials from a fresh 0.0; emission is
+// partition-major. The schedule depends only on the data and the fixed
+// morsel geometry — never on the worker count.
+func (bk *boundGate) runMorsel(ctx *execCtx, em *kEmitter) error {
+	nm := (bk.rows + morselRows - 1) / morselRows
+	parts := make([][aggPartitionsKernel][]kPartial, nm)
+	workers := ctx.workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > nm {
+		workers = nm
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		abort    atomic.Bool
+		next     atomic.Int64
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		abort.Store(true)
+	}
+	hint := bk.groupHint
+	if hint > morselRows {
+		hint = morselRows
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !abort.Load() {
+				m := int(next.Add(1)) - 1
+				if m >= nm {
+					return
+				}
+				if err := ctx.cancelled(); err != nil {
+					fail(err)
+					return
+				}
+				acc := newKAcc(false, -1, hint)
+				lo := m * morselRows
+				hi := lo + morselRows
+				if hi > bk.rows {
+					hi = bk.rows
+				}
+				bk.scanRange(lo, hi, acc)
+				for idx, key := range acc.keys {
+					p := hashPartitionInt(key, 0, aggPartitionsKernel)
+					parts[m][p] = append(parts[m][p], kPartial{key: key, r: acc.r[idx], i: acc.i[idx]})
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	merged := make([]*kAcc, aggPartitionsKernel)
+	var pnext atomic.Int64
+	pworkers := ctx.workers
+	if pworkers < 1 {
+		pworkers = 1
+	}
+	if pworkers > aggPartitionsKernel {
+		pworkers = aggPartitionsKernel
+	}
+	phint := bk.groupHint / aggPartitionsKernel
+	for w := 0; w < pworkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !abort.Load() {
+				p := int(pnext.Add(1)) - 1
+				if p >= aggPartitionsKernel {
+					return
+				}
+				if err := ctx.cancelled(); err != nil {
+					fail(err)
+					return
+				}
+				acc := newKAcc(false, -1, phint)
+				for m := 0; m < nm; m++ {
+					for _, pt := range parts[m][p] {
+						idx := acc.slot(pt.key)
+						acc.r[idx] += pt.r
+						acc.i[idx] += pt.i
+					}
+				}
+				merged[p] = acc
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	for p := 0; p < aggPartitionsKernel; p++ {
+		if err := em.emitAll(merged[p].keys, merged[p].r, merged[p].i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// kEmitter buffers output rows into batches and applies the pruning
+// HAVING exactly like the interpreted filter: one rounding per square,
+// one for the sum, then the comparison (NaN fails it, dropping the
+// row, as Value comparison does).
+type kEmitter struct {
+	out    tableStore
+	having bool
+	eps2   float64
+	cols   [3]colVec
+	n      int
+}
+
+func (e *kEmitter) add(key int64, r, i float64) error {
+	if e.having {
+		rr := float64(r * r)
+		ii := float64(i * i)
+		if !(rr+ii > e.eps2) {
+			return nil
+		}
+	}
+	e.cols[0] = append(e.cols[0], NewInt(key))
+	e.cols[1] = append(e.cols[1], NewFloat(r))
+	e.cols[2] = append(e.cols[2], NewFloat(i))
+	e.n++
+	if e.n >= batchSize {
+		return e.flush()
+	}
+	return nil
+}
+
+func (e *kEmitter) emitAll(keys []int64, r, i []float64) error {
+	for idx, key := range keys {
+		if err := e.add(key, r[idx], i[idx]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *kEmitter) flush() error {
+	if e.n == 0 {
+		return nil
+	}
+	b := &rowBatch{cols: []colVec{e.cols[0], e.cols[1], e.cols[2]}, n: e.n}
+	err := e.out.AppendBatch(b)
+	e.cols[0] = e.cols[0][:0]
+	e.cols[1] = e.cols[1][:0]
+	e.cols[2] = e.cols[2][:0]
+	e.n = 0
+	return err
+}

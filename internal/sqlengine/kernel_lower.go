@@ -1,0 +1,654 @@
+package sqlengine
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Lowering: pattern-match the gate-stage plan shape and compile it into
+// a store-independent kernel program (see the contract in kernel.go).
+
+// Matcher decline reasons. Every reason is observable through
+// KernelCounters() ("fallback_<reason>") and the EXPLAIN header.
+const (
+	kfDisabled       = "disabled"
+	kfBudgetLimited  = "budget-limited"
+	kfExplainAnalyze = "explain-analyze"
+	kfNoGateStage    = "no-gate-stage"
+	kfProjectShape   = "project-shape"
+	kfAggShape       = "agg-shape"
+	kfDistinctAgg    = "distinct-agg"
+	kfHavingShape    = "having-shape"
+	kfJoinShape      = "join-shape"
+	kfScanShape      = "scan-shape"
+	kfRowLayout      = "row-layout"
+	kfSpilled        = "spilled"
+	kfColumnTypes    = "column-types"
+	kfUnsupported    = "unsupported-expr"
+)
+
+const kernelAnnotation = "gate-stage(fused: scan⋈join⋈agg⋈project)"
+
+// kIntFn is a compiled integer scalar closure over the state amplitude
+// index s and (optionally) one gate-table integer column g.
+type kIntFn func(s, g int64) int64
+
+// kernelProg is a compiled, store-independent gate-stage program: the
+// bit-arithmetic closures plus resolved physical column slots. Cached
+// in KernelCache; execution re-binds it to the current table vectors.
+type kernelProg struct {
+	// inFn computes the probe key (the join's left key) from the state
+	// index; outFn computes the group key (the target amplitude index)
+	// from the state index and the gate's output-index column.
+	inFn, outFn kIntFn
+	// sCol is the physical state column holding the amplitude index.
+	sCol int
+	// s0a,s0b / s1a,s1b are the physical state float columns of the two
+	// SUM arguments' products; g0a,g0b / g1a,g1b their gate-side
+	// counterparts. sub0/sub1 select (a·b − c·d) vs (a·b + c·d).
+	s0a, s0b, s1a, s1b int
+	g0a, g0b, g1a, g1b int
+	sub0, sub1         bool
+	// gIn is the physical gate probe (build-key) column; gOut the
+	// physical gate column consumed by outFn (-1 when outFn ignores the
+	// gate side).
+	gIn, gOut int
+	// having/eps2 replicate the pruning HAVING clause
+	// ((r²+i²) > eps²) at emission time.
+	having bool
+	eps2   float64
+	// gOutFn, when non-nil, evaluates the gate-side contribution of a
+	// group key of the form (s & mask) | gOutFn(out): the signature a
+	// dense (array-indexed) accumulator can bound, see bindGateStage.
+	gOutFn kIntFn
+}
+
+// gateKernel is one matched site: the core plan nodes plus the compiled
+// program.
+type gateKernel struct {
+	core  *projectNode
+	agg   *aggNode
+	state *storeScanNode
+	gate  *storeScanNode
+	prog  *kernelProg
+}
+
+// gateStageSite locates the matched core inside the plan: set replaces
+// the core subtree in its parent (nil when the core is the plan root).
+type gateStageSite struct {
+	kern *gateKernel
+	set  func(planNode)
+}
+
+// findGateStage walks the plan root through order-neutral wrapper
+// operators (sort, projection, alias, filter, limit — none of them
+// change what the core computes, only how its output is presented)
+// looking for the gate-stage core. It never descends into join or
+// aggregate children: a core below those is not a materialization
+// boundary the kernel may claim.
+func findGateStage(ctx *execCtx, root planNode) (*gateStageSite, string) {
+	cur := root
+	var set func(planNode)
+	for {
+		switch n := cur.(type) {
+		case *statNode:
+			// EXPLAIN ANALYZE instruments every operator; the kernel
+			// would bypass the counters it exists to fill.
+			return nil, kfExplainAnalyze
+		case *projectNode:
+			if agg, _ := coreAggOf(n); agg != nil {
+				kern, reason := compileGateStage(n, ctx.env, true)
+				if kern == nil {
+					return nil, reason
+				}
+				return &gateStageSite{kern: kern, set: set}, ""
+			}
+			set = func(c planNode) { n.child = c }
+			cur = n.child
+		case *sortNode:
+			set = func(c planNode) { n.child = c }
+			cur = n.child
+		case *aliasNode:
+			set = func(c planNode) { n.child = c }
+			cur = n.child
+		case *filterNode:
+			set = func(c planNode) { n.child = c }
+			cur = n.child
+		case *limitNode:
+			set = func(c planNode) { n.child = c }
+			cur = n.child
+		case *sliceProjectNode:
+			set = func(c planNode) { n.child = c }
+			cur = n.child
+		case *pickNode:
+			set = func(c planNode) { n.child = c }
+			cur = n.child
+		default:
+			return nil, kfNoGateStage
+		}
+	}
+}
+
+// coreAggOf returns the aggregate (and the pruning HAVING filter, when
+// present) directly under a candidate core projection.
+func coreAggOf(core *projectNode) (*aggNode, *filterNode) {
+	switch c := core.child.(type) {
+	case *aggNode:
+		return c, nil
+	case *filterNode:
+		if a, ok := c.child.(*aggNode); ok {
+			return a, c
+		}
+	}
+	return nil, nil
+}
+
+// compileGateStage matches the core rooted at a projection known to sit
+// on an aggregate and compiles (or fetches from the kernel cache) its
+// program. With bindPhys=false (EXPLAIN's structural dry run) it stops
+// at the structural match: store layout checks, physical column
+// resolution, the cache, and the counters are all skipped, and the
+// state side may be an unmaterialized CTE reference.
+func compileGateStage(core *projectNode, env *storageEnv, bindPhys bool) (*gateKernel, string) {
+	agg, having := coreAggOf(core)
+	if agg == nil {
+		return nil, kfNoGateStage
+	}
+	// Projection: a pure pass-through of the aggregate's three outputs
+	// (group key, SUM real, SUM imaginary) in order.
+	aggSchema := agg.schema()
+	if len(core.exprs) != 3 || len(aggSchema) != 3 {
+		return nil, kfProjectShape
+	}
+	for i, e := range core.exprs {
+		ref, ok := e.(*ColumnRef)
+		if !ok {
+			return nil, kfProjectShape
+		}
+		idx, err := aggSchema.resolveColumn(ref.Table, ref.Name)
+		if err != nil || idx != i {
+			return nil, kfProjectShape
+		}
+	}
+	// Aggregate: one group key, two plain SUMs.
+	if len(agg.groupBy) != 1 || len(agg.aggs) != 2 {
+		return nil, kfAggShape
+	}
+	for _, a := range agg.aggs {
+		if a.Distinct {
+			return nil, kfDistinctAgg
+		}
+		if a.Name != "SUM" || a.Arg == nil {
+			return nil, kfAggShape
+		}
+	}
+	// HAVING: the translated zero-amplitude pruning predicate
+	// (a0² + a1²) > eps², nothing else.
+	eps2 := 0.0
+	if having != nil {
+		var ok bool
+		eps2, ok = parseKernelHaving(having.pred, aggSchema)
+		if !ok {
+			return nil, kfHavingShape
+		}
+	}
+	// Join: streaming INNER hash join on a single equi-key with no
+	// residual, build side as planned (a flip or grace partitioning
+	// changes the probe schedule the kernel replicates).
+	join, ok := agg.child.(*joinNode)
+	if !ok {
+		return nil, kfJoinShape
+	}
+	if join.joinType != "INNER" || len(join.leftKeys) != 1 || len(join.rightKeys) != 1 ||
+		join.residual != nil || join.flipped || join.strategy == joinGrace {
+		return nil, kfJoinShape
+	}
+	stateScan, stateOK := join.left.(*storeScanNode)
+	gateScan, gateOK := join.right.(*storeScanNode)
+	if !gateOK || (!stateOK && (bindPhys || !isCTERefChain(join.left))) {
+		return nil, kfScanShape
+	}
+	leftSchema := join.left.schema()
+	rightSchema := gateScan.schema()
+	joinSchema := append(append(planSchema{}, leftSchema...), rightSchema...)
+	nLeft := len(leftSchema)
+
+	if bindPhys {
+		if _, ok := stateScan.store.(*ColStore); !ok {
+			return nil, kfRowLayout
+		}
+		if _, ok := gateScan.store.(*ColStore); !ok {
+			return nil, kfRowLayout
+		}
+		key := gateStageCacheKey(core, agg, having, join, stateScan, gateScan, nLeft, len(rightSchema))
+		if cache := env.kernelCache; cache != nil {
+			if prog, hit := cache.lookup(key); hit {
+				kernelCounters.cacheHits.Add(1)
+				return &gateKernel{core: core, agg: agg, state: stateScan, gate: gateScan, prog: prog}, ""
+			}
+		}
+		prog, reason := compileGateProgram(agg, having, join, stateScan, gateScan, joinSchema, nLeft, eps2)
+		if prog == nil {
+			return nil, reason
+		}
+		kernelCounters.compiles.Add(1)
+		if cache := env.kernelCache; cache != nil {
+			cache.store(key, prog)
+		}
+		return &gateKernel{core: core, agg: agg, state: stateScan, gate: gateScan, prog: prog}, ""
+	}
+	// Structural dry run: compile against schema slots only (physical
+	// column maps need the scans, which an EXPLAIN-mode CTE reference
+	// does not have).
+	prog, reason := compileGateProgram(agg, having, join, nil, nil, joinSchema, nLeft, eps2)
+	if prog == nil {
+		return nil, reason
+	}
+	return &gateKernel{core: core, agg: agg, state: stateScan, gate: gateScan, prog: prog}, ""
+}
+
+// isCTERefChain reports whether a node is an EXPLAIN-mode reference to
+// a materialized CTE (alias wrappers over a cteShowNode).
+func isCTERefChain(n planNode) bool {
+	for {
+		switch x := n.(type) {
+		case *aliasNode:
+			n = x.child
+		case *cteShowNode:
+			return true
+		default:
+			return false
+		}
+	}
+}
+
+// compileGateProgram compiles the matched core's expressions. scans may
+// be nil (EXPLAIN dry run): physical slots then stay schema slots.
+func compileGateProgram(agg *aggNode, having *filterNode, join *joinNode, stateScan, gateScan *storeScanNode, joinSchema planSchema, nLeft int, eps2 float64) (*kernelProg, string) {
+	// The probe key: integer bit arithmetic over exactly one state
+	// column (the amplitude index).
+	inBind := &kColBinder{schema: joinSchema, nLeft: nLeft, sCol: -1, gCol: -1, leftOnly: true}
+	inFn, err := compileKernelInt(join.leftKeys[0], inBind)
+	if err != nil || inBind.sCol < 0 {
+		return nil, kfUnsupported
+	}
+	// The build key: a bare gate column.
+	rref, ok := join.rightKeys[0].(*ColumnRef)
+	if !ok {
+		return nil, kfUnsupported
+	}
+	gIn, rerr := gateScan.schemaOrNil(joinSchema, nLeft).resolveColumn(rref.Table, rref.Name)
+	if rerr != nil {
+		return nil, kfUnsupported
+	}
+	// The group key: bit arithmetic over the same state column plus at
+	// most one gate column (the gate's output index).
+	outBind := &kColBinder{schema: joinSchema, nLeft: nLeft, sCol: inBind.sCol, gCol: -1}
+	outFn, err := compileKernelInt(agg.groupBy[0], outBind)
+	if err != nil {
+		return nil, kfUnsupported
+	}
+	// The SUM arguments: (state·gate) ± (state·gate) complex products.
+	s0, reason := parseKernelSum(agg.aggs[0].Arg, joinSchema, nLeft)
+	if reason != "" {
+		return nil, reason
+	}
+	s1, reason := parseKernelSum(agg.aggs[1].Arg, joinSchema, nLeft)
+	if reason != "" {
+		return nil, reason
+	}
+	prog := &kernelProg{
+		inFn: inFn, outFn: outFn,
+		sCol: inBind.sCol,
+		s0a:  s0.aS, s0b: s0.bS, s1a: s1.aS, s1b: s1.bS,
+		g0a: s0.aG, g0b: s0.bG, g1a: s1.aG, g1b: s1.bG,
+		sub0: s0.sub, sub1: s1.sub,
+		gIn:    gIn,
+		gOut:   outBind.gCol,
+		having: having != nil,
+		eps2:   eps2,
+	}
+	prog.gOutFn = denseGateSpec(agg.groupBy[0], joinSchema, nLeft, prog.sCol)
+	if stateScan != nil {
+		// Map schema slots to physical store columns through the scans'
+		// column-pruning maps.
+		sp := func(i int) int { return scanPhys(stateScan, i) }
+		gp := func(i int) int { return scanPhys(gateScan, i) }
+		prog.sCol = sp(prog.sCol)
+		prog.s0a, prog.s0b, prog.s1a, prog.s1b = sp(prog.s0a), sp(prog.s0b), sp(prog.s1a), sp(prog.s1b)
+		prog.gIn = gp(prog.gIn)
+		if prog.gOut >= 0 {
+			prog.gOut = gp(prog.gOut)
+		}
+		prog.g0a, prog.g0b, prog.g1a, prog.g1b = gp(prog.g0a), gp(prog.g0b), gp(prog.g1a), gp(prog.g1b)
+	}
+	return prog, ""
+}
+
+// schemaOrNil returns the gate scan's schema; when the scan is nil
+// (EXPLAIN dry run) the right half of the join schema stands in.
+func (n *storeScanNode) schemaOrNil(joinSchema planSchema, nLeft int) planSchema {
+	if n != nil {
+		return n.cols
+	}
+	return joinSchema[nLeft:]
+}
+
+// scanPhys maps a scan-schema slot to the physical store column.
+func scanPhys(sc *storeScanNode, idx int) int {
+	if sc.keep != nil {
+		return sc.keep[idx]
+	}
+	return idx
+}
+
+// kColBinder resolves column references while compiling kernel integer
+// expressions, pinning the expression to at most one state column and
+// one gate column.
+type kColBinder struct {
+	schema   planSchema
+	nLeft    int
+	sCol     int // join-schema slot of the state index column (-1 unseen)
+	gCol     int // gate-schema slot of the gate column (-1 unseen)
+	leftOnly bool
+}
+
+func (b *kColBinder) resolve(c *ColumnRef) (byte, error) {
+	idx, err := b.schema.resolveColumn(c.Table, c.Name)
+	if err != nil {
+		return 0, err
+	}
+	if idx < b.nLeft {
+		if b.sCol >= 0 && b.sCol != idx {
+			return 0, fmt.Errorf("kernel: two state columns")
+		}
+		b.sCol = idx
+		return 's', nil
+	}
+	if b.leftOnly {
+		return 0, fmt.Errorf("kernel: gate column in probe key")
+	}
+	g := idx - b.nLeft
+	if b.gCol >= 0 && b.gCol != g {
+		return 0, fmt.Errorf("kernel: two gate columns")
+	}
+	b.gCol = g
+	return 'g', nil
+}
+
+// compileKernelInt compiles an integer scalar expression into a
+// closure. The supported operators mirror value.go's INTEGER semantics
+// exactly: +, -, * wrap; & and | are plain; << and >> yield 0 outside
+// [0,63] (>> is arithmetic); unary - negates and ~ complements.
+// Division and modulo are admitted only with a nonzero integer literal
+// divisor — a zero divisor yields SQL NULL in the engine, which the
+// closure cannot represent.
+func compileKernelInt(e Expr, bind *kColBinder) (kIntFn, error) {
+	switch n := e.(type) {
+	case *Literal:
+		if n.Val.T != TypeInt && n.Val.T != TypeBool {
+			return nil, fmt.Errorf("kernel: non-integer literal")
+		}
+		v := n.Val.I
+		return func(_, _ int64) int64 { return v }, nil
+	case *ColumnRef:
+		which, err := bind.resolve(n)
+		if err != nil {
+			return nil, err
+		}
+		if which == 's' {
+			return func(s, _ int64) int64 { return s }, nil
+		}
+		return func(_, g int64) int64 { return g }, nil
+	case *UnaryExpr:
+		x, err := compileKernelInt(n.X, bind)
+		if err != nil {
+			return nil, err
+		}
+		switch n.Op {
+		case "-":
+			return func(s, g int64) int64 { return -x(s, g) }, nil
+		case "~":
+			return func(s, g int64) int64 { return ^x(s, g) }, nil
+		}
+		return nil, fmt.Errorf("kernel: unary %s", n.Op)
+	case *BinaryExpr:
+		if n.Op == "/" || n.Op == "%" {
+			lit, ok := n.R.(*Literal)
+			if !ok || lit.Val.T != TypeInt || lit.Val.I == 0 {
+				return nil, fmt.Errorf("kernel: non-literal divisor")
+			}
+		}
+		l, err := compileKernelInt(n.L, bind)
+		if err != nil {
+			return nil, err
+		}
+		r, err := compileKernelInt(n.R, bind)
+		if err != nil {
+			return nil, err
+		}
+		switch n.Op {
+		case "&":
+			return func(s, g int64) int64 { return l(s, g) & r(s, g) }, nil
+		case "|":
+			return func(s, g int64) int64 { return l(s, g) | r(s, g) }, nil
+		case "+":
+			return func(s, g int64) int64 { return l(s, g) + r(s, g) }, nil
+		case "-":
+			return func(s, g int64) int64 { return l(s, g) - r(s, g) }, nil
+		case "*":
+			return func(s, g int64) int64 { return l(s, g) * r(s, g) }, nil
+		case "/":
+			return func(s, g int64) int64 { return l(s, g) / r(s, g) }, nil
+		case "%":
+			return func(s, g int64) int64 { return l(s, g) % r(s, g) }, nil
+		case "<<":
+			return func(s, g int64) int64 {
+				b := r(s, g)
+				if b < 0 || b > 63 {
+					return 0
+				}
+				return l(s, g) << uint(b)
+			}, nil
+		case ">>":
+			return func(s, g int64) int64 {
+				b := r(s, g)
+				if b < 0 || b > 63 {
+					return 0
+				}
+				return l(s, g) >> uint(b)
+			}, nil
+		}
+		return nil, fmt.Errorf("kernel: binary %s", n.Op)
+	}
+	return nil, fmt.Errorf("kernel: unsupported expression %T", e)
+}
+
+// kSumSpec is one parsed SUM argument (lA·gA) ± (lB·gB): join-schema
+// slots of the state (aS,bS) and gate (aG,bG) factors.
+type kSumSpec struct {
+	aS, aG, bS, bG int
+	sub            bool
+}
+
+// parseKernelSum matches the complex multiply-accumulate shape of a
+// translated SUM argument: a sum or difference of two products, each
+// product one state float column times one gate float column.
+func parseKernelSum(e Expr, joinSchema planSchema, nLeft int) (kSumSpec, string) {
+	var spec kSumSpec
+	top, ok := e.(*BinaryExpr)
+	if !ok || (top.Op != "+" && top.Op != "-") {
+		return spec, kfUnsupported
+	}
+	spec.sub = top.Op == "-"
+	var reason string
+	spec.aS, spec.aG, reason = parseKernelProduct(top.L, joinSchema, nLeft)
+	if reason != "" {
+		return spec, reason
+	}
+	spec.bS, spec.bG, reason = parseKernelProduct(top.R, joinSchema, nLeft)
+	if reason != "" {
+		return spec, reason
+	}
+	return spec, ""
+}
+
+// parseKernelProduct matches one state·gate product, returning the
+// state slot (join schema) and gate slot (gate schema). Factor order is
+// irrelevant: float multiplication commutes bit-exactly.
+func parseKernelProduct(e Expr, joinSchema planSchema, nLeft int) (int, int, string) {
+	mul, ok := e.(*BinaryExpr)
+	if !ok || mul.Op != "*" {
+		return 0, 0, kfUnsupported
+	}
+	li, ok1 := resolveRef(mul.L, joinSchema)
+	ri, ok2 := resolveRef(mul.R, joinSchema)
+	if !ok1 || !ok2 {
+		return 0, 0, kfUnsupported
+	}
+	switch {
+	case li < nLeft && ri >= nLeft:
+		return li, ri - nLeft, ""
+	case ri < nLeft && li >= nLeft:
+		return ri, li - nLeft, ""
+	}
+	return 0, 0, kfUnsupported
+}
+
+func resolveRef(e Expr, schema planSchema) (int, bool) {
+	ref, ok := e.(*ColumnRef)
+	if !ok {
+		return 0, false
+	}
+	idx, err := schema.resolveColumn(ref.Table, ref.Name)
+	if err != nil {
+		return 0, false
+	}
+	return idx, true
+}
+
+// parseKernelHaving matches the translated pruning predicate
+// (a0·a0 + a1·a1) > eps² over the aggregate schema (slots 1 and 2 are
+// the two SUMs, in either order), returning the threshold.
+func parseKernelHaving(pred Expr, aggSchema planSchema) (float64, bool) {
+	cmp, ok := pred.(*BinaryExpr)
+	if !ok || cmp.Op != ">" {
+		return 0, false
+	}
+	lit, ok := cmp.R.(*Literal)
+	if !ok || lit.Val.T != TypeFloat {
+		return 0, false
+	}
+	add, ok := cmp.L.(*BinaryExpr)
+	if !ok || add.Op != "+" {
+		return 0, false
+	}
+	sq := func(e Expr) (int, bool) {
+		mul, ok := e.(*BinaryExpr)
+		if !ok || mul.Op != "*" {
+			return 0, false
+		}
+		li, ok1 := resolveRef(mul.L, aggSchema)
+		ri, ok2 := resolveRef(mul.R, aggSchema)
+		if !ok1 || !ok2 || li != ri {
+			return 0, false
+		}
+		return li, true
+	}
+	a, ok1 := sq(add.L)
+	b, ok2 := sq(add.R)
+	if !ok1 || !ok2 {
+		return 0, false
+	}
+	if !(a == 1 && b == 2) && !(a == 2 && b == 1) {
+		return 0, false
+	}
+	return lit.Val.F, true
+}
+
+// denseGateSpec recognizes the canonical mask-merge group key
+// (s & mask) | f(out) — in either operand order — and compiles the
+// gate-side half f. With it, bindGateStage can bound every group key by
+// pow2mask(max s) | OR(f(out)) and use a dense array accumulator: for
+// s ≥ 0, (s & mask) ⊆ the bits of s regardless of the mask's sign
+// (the golden plans carry negative mask literals like s & -2).
+func denseGateSpec(e Expr, joinSchema planSchema, nLeft, sCol int) kIntFn {
+	or, ok := e.(*BinaryExpr)
+	if !ok || or.Op != "|" {
+		return nil
+	}
+	isMasked := func(x Expr) bool {
+		and, ok := x.(*BinaryExpr)
+		if !ok || and.Op != "&" {
+			return false
+		}
+		l, lok := resolveRef(and.L, joinSchema)
+		r, rok := resolveRef(and.R, joinSchema)
+		_, llit := and.L.(*Literal)
+		_, rlit := and.R.(*Literal)
+		return (lok && l == sCol && rlit) || (rok && r == sCol && llit)
+	}
+	var gateSide Expr
+	switch {
+	case isMasked(or.L):
+		gateSide = or.R
+	case isMasked(or.R):
+		gateSide = or.L
+	default:
+		return nil
+	}
+	bind := &kColBinder{schema: joinSchema, nLeft: nLeft, sCol: -1, gCol: -1}
+	fn, err := compileKernelInt(gateSide, bind)
+	if err != nil || bind.sCol >= 0 {
+		return nil // the gate side must not touch the state index
+	}
+	return fn
+}
+
+// gateStageCacheKey canonicalizes everything a compiled program depends
+// on: the expressions (with resolved slots and literal values), the
+// scans' physical column maps, and the schema widths.
+func gateStageCacheKey(core *projectNode, agg *aggNode, having *filterNode, join *joinNode, stateScan, gateScan *storeScanNode, nLeft, nRight int) string {
+	leftSchema := join.left.schema()
+	joinSchema := append(append(planSchema{}, leftSchema...), gateScan.cols...)
+	var b strings.Builder
+	b.WriteString("v1|nl=")
+	b.WriteString(strconv.Itoa(nLeft))
+	b.WriteString("|nr=")
+	b.WriteString(strconv.Itoa(nRight))
+	b.WriteString("|kl=")
+	writeKeep(&b, stateScan.keep)
+	b.WriteString("|kr=")
+	writeKeep(&b, gateScan.keep)
+	b.WriteString("|in=")
+	b.WriteString(canonicalExprString(join.leftKeys[0], leftSchema))
+	b.WriteString("|rk=")
+	b.WriteString(canonicalExprString(join.rightKeys[0], gateScan.cols))
+	b.WriteString("|out=")
+	b.WriteString(canonicalExprString(agg.groupBy[0], joinSchema))
+	b.WriteString("|s0=")
+	b.WriteString(canonicalExprString(agg.aggs[0].Arg, joinSchema))
+	b.WriteString("|s1=")
+	b.WriteString(canonicalExprString(agg.aggs[1].Arg, joinSchema))
+	b.WriteString("|hv=")
+	if having != nil {
+		b.WriteString(canonicalExprString(having.pred, agg.schema()))
+	} else {
+		b.WriteString("-")
+	}
+	return b.String()
+}
+
+func writeKeep(b *strings.Builder, keep []int) {
+	if keep == nil {
+		b.WriteString("*")
+		return
+	}
+	for i, k := range keep {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(k))
+	}
+}

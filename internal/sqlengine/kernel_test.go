@@ -1,0 +1,366 @@
+package sqlengine
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+// The kernel tier's contract is bitwise identity: for every
+// configuration the fused gate-stage loop must produce exactly the
+// amplitudes the interpreted batch executor produces — same float64
+// bits, same row order. These tests drive both paths over the same
+// data and compare digests built from the raw bit patterns.
+
+// kernelStateRows renders n state rows with varied, sign-mixed
+// amplitudes (a pure power-of-two pattern would hide rounding-order
+// bugs because every sum is exact).
+func kernelStateRows(n int) []string {
+	rows := make([]string, 0, n)
+	for k := 0; k < n; k++ {
+		r := 1.0 / float64(k+3)
+		if k%3 == 1 {
+			r = -r
+		}
+		i := float64(k%7-3) * 0.1251
+		rows = append(rows, fmt.Sprintf("(%d, %v, %v)", k, r, i))
+	}
+	return rows
+}
+
+// setupGateStage loads the standard gate-stage schema: state table t0
+// with n rows and a 2x2 Hadamard-like gate table h.
+func setupGateStage(t *testing.T, db *DB, n int) {
+	t.Helper()
+	mustExec(t, db, "CREATE TABLE t0 (s INTEGER, r REAL, i REAL)")
+	mustExec(t, db, "CREATE TABLE h (in_s INTEGER, out_s INTEGER, r REAL, i REAL)")
+	mustExec(t, db, "INSERT INTO h VALUES (0,0,0.7071067811865476,0.1),(0,1,0.7071067811865476,0.0),(1,0,0.7071067811865476,-0.2),(1,1,-0.7071067811865476,0.0)")
+	rows := kernelStateRows(n)
+	for len(rows) > 0 {
+		chunk := rows
+		if len(chunk) > 512 {
+			chunk = chunk[:512]
+		}
+		mustExec(t, db, "INSERT INTO t0 VALUES "+strings.Join(chunk, ","))
+		rows = rows[len(chunk):]
+	}
+}
+
+func gateStageQuery(having bool) string {
+	q := `SELECT ((t0.s & ~1) | h.out_s) AS s,
+       SUM((t0.r * h.r) - (t0.i * h.i)) AS r,
+       SUM((t0.r * h.i) + (t0.i * h.r)) AS i
+FROM t0 JOIN h ON h.in_s = (t0.s & 1)
+GROUP BY ((t0.s & ~1) | h.out_s)`
+	if having {
+		q += "\nHAVING ((SUM((t0.r * h.r) - (t0.i * h.i)) * SUM((t0.r * h.r) - (t0.i * h.i))) + (SUM((t0.r * h.i) + (t0.i * h.r)) * SUM((t0.r * h.i) + (t0.i * h.r)))) > 0.0001"
+	}
+	return q
+}
+
+// rowsBits digests result rows down to their exact bit patterns, so
+// two digests are equal iff the results are bitwise identical in the
+// same order.
+func rowsBits(rows []Row) string {
+	var b strings.Builder
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%d:%016x:%016x\n", r[0].I, math.Float64bits(r[1].F), math.Float64bits(r[2].F))
+	}
+	return b.String()
+}
+
+// TestKernelDifferentialMatrix is the bit-identity gate: kernel on vs
+// off across storage layouts, worker counts, optimizer settings, both
+// engine aggregation modes (serial under 8192 state rows, morsel
+// parallel above), and HAVING pruning on/off. Every cell must agree
+// with its kernels-off twin bit for bit, including row order.
+func TestKernelDifferentialMatrix(t *testing.T) {
+	for _, n := range []int{300, 20000} { // serial vs morsel-parallel agg
+		for _, layout := range []string{"columnar", "row"} {
+			for _, workers := range []int{1, 4} {
+				for _, opt := range []string{"on", "off"} {
+					for _, having := range []bool{false, true} {
+						name := fmt.Sprintf("n=%d/%s/w=%d/opt=%s/having=%v", n, layout, workers, opt, having)
+						t.Run(name, func(t *testing.T) {
+							var digests [2]string
+							for i, kernels := range []string{"off", "on"} {
+								db := newOptDB(t, Config{
+									Layout:      layout,
+									Parallelism: workers,
+									Optimizer:   opt,
+									Kernels:     kernels,
+								})
+								setupGateStage(t, db, n)
+								before := KernelCounters()["executions"]
+								rows := queryAll(t, db, gateStageQuery(having))
+								if want := 2 * ((n + 1) / 2); !having && len(rows) != want {
+									t.Fatalf("got %d rows, want %d", len(rows), want)
+								}
+								ran := KernelCounters()["executions"] - before
+								if kernels == "on" && layout == "columnar" && ran == 0 {
+									t.Fatal("kernel did not execute on the columnar fast path")
+								}
+								if (kernels == "off" || layout == "row") && ran != 0 {
+									t.Fatalf("kernel executed unexpectedly (kernels=%s layout=%s)", kernels, layout)
+								}
+								digests[i] = rowsBits(rows)
+							}
+							if digests[0] != digests[1] {
+								t.Fatal("kernel output is not bit-identical to the interpreted engine")
+							}
+						})
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestKernelPreservesEmissionOrder runs without ORDER BY: the kernel
+// must replay the interpreted engine's group emission order exactly,
+// not just its values.
+func TestKernelPreservesEmissionOrder(t *testing.T) {
+	for _, n := range []int{1000, 20000} {
+		var digests [2]string
+		for i, kernels := range []string{"off", "on"} {
+			db := newOptDB(t, Config{Parallelism: 4, Kernels: kernels})
+			setupGateStage(t, db, n)
+			digests[i] = rowsBits(queryAll(t, db, gateStageQuery(false)))
+		}
+		if digests[0] != digests[1] {
+			t.Fatalf("n=%d: emission order differs between kernel and interpreted paths", n)
+		}
+	}
+}
+
+// TestKernelExplainAnnotation: a matching plan is annotated in EXPLAIN
+// at both the header and the fused core node.
+func TestKernelExplainAnnotation(t *testing.T) {
+	db := newOptDB(t, Config{Parallelism: 1})
+	setupGateStage(t, db, 64)
+	plan, err := db.Explain(gateStageQuery(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "kernel: "+kernelAnnotation) {
+		t.Fatalf("header missing kernel line:\n%s", plan)
+	}
+	if !strings.Contains(plan, "[kernel="+kernelAnnotation+"]") {
+		t.Fatalf("core node missing kernel annotation:\n%s", plan)
+	}
+}
+
+// TestKernelCacheReuse: repeating a structurally identical query must
+// hit the kernel cache instead of re-lowering, including across
+// engine instances sharing one KernelCache.
+func TestKernelCacheReuse(t *testing.T) {
+	shared := NewKernelCache(8)
+	ResetKernelCounters()
+	for run := 0; run < 2; run++ {
+		db := newOptDB(t, Config{Parallelism: 1, KernelCache: shared})
+		setupGateStage(t, db, 64)
+		for i := 0; i < 3; i++ {
+			queryAll(t, db, gateStageQuery(false))
+		}
+	}
+	kc := KernelCounters()
+	if kc["compiles"] != 1 {
+		t.Fatalf("compiles = %d, want 1 (cache should absorb repeats)", kc["compiles"])
+	}
+	if kc["cache_hits"] != 5 {
+		t.Fatalf("cache_hits = %d, want 5", kc["cache_hits"])
+	}
+	if shared.Len() != 1 {
+		t.Fatalf("cache entries = %d, want 1", shared.Len())
+	}
+}
+
+// explainKernelLine extracts the "kernel: ..." header line.
+func explainKernelLine(t *testing.T, plan string) string {
+	t.Helper()
+	for _, ln := range strings.Split(plan, "\n") {
+		if strings.HasPrefix(ln, "kernel: ") {
+			return ln
+		}
+	}
+	t.Fatalf("no kernel line in plan:\n%s", plan)
+	return ""
+}
+
+// TestKernelFallbackReasons drives one query per matcher-decline
+// reason and checks both the EXPLAIN header and that execution takes
+// the interpreted path (producing correct results regardless).
+func TestKernelFallbackReasons(t *testing.T) {
+	sum := "SUM((t0.r * h.r) - (t0.i * h.i))"
+	cases := []struct {
+		name   string
+		cfg    Config
+		query  string
+		reason string
+	}{
+		{
+			name:   "disabled",
+			cfg:    Config{Parallelism: 1, Kernels: "off"},
+			query:  gateStageQuery(false),
+			reason: "kernel: off",
+		},
+		{
+			name:   "budget-limited",
+			cfg:    Config{Parallelism: 1, MemoryBudget: 1 << 30},
+			query:  gateStageQuery(false),
+			reason: "kernel: fallback (" + kfBudgetLimited + ")",
+		},
+		{
+			name:   "row-layout",
+			cfg:    Config{Parallelism: 1, Layout: "row"},
+			query:  gateStageQuery(false),
+			reason: "kernel: fallback (" + kfRowLayout + ")",
+		},
+		{
+			name:   "no-gate-stage",
+			cfg:    Config{Parallelism: 1},
+			query:  "SELECT s, r, i FROM t0",
+			reason: "kernel: fallback (" + kfNoGateStage + ")",
+		},
+		{
+			name: "project-shape",
+			cfg:  Config{Parallelism: 1},
+			query: `SELECT ((t0.s & ~1) | h.out_s) AS s, ` + sum + ` AS r
+FROM t0 JOIN h ON h.in_s = (t0.s & 1) GROUP BY ((t0.s & ~1) | h.out_s)`,
+			reason: "kernel: fallback (" + kfProjectShape + ")",
+		},
+		{
+			name: "agg-shape",
+			cfg:  Config{Parallelism: 1},
+			query: `SELECT ((t0.s & ~1) | h.out_s) AS s, ` + sum + ` AS r, AVG(t0.i) AS i
+FROM t0 JOIN h ON h.in_s = (t0.s & 1) GROUP BY ((t0.s & ~1) | h.out_s)`,
+			reason: "kernel: fallback (" + kfAggShape + ")",
+		},
+		{
+			name: "distinct-agg",
+			cfg:  Config{Parallelism: 1},
+			query: `SELECT ((t0.s & ~1) | h.out_s) AS s, ` + sum + ` AS r, SUM(DISTINCT t0.i) AS i
+FROM t0 JOIN h ON h.in_s = (t0.s & 1) GROUP BY ((t0.s & ~1) | h.out_s)`,
+			reason: "kernel: fallback (" + kfDistinctAgg + ")",
+		},
+		{
+			name: "having-shape",
+			cfg:  Config{Parallelism: 1},
+			query: gateStageQuery(false) + `
+HAVING ` + sum + ` > 0.5`,
+			reason: "kernel: fallback (" + kfHavingShape + ")",
+		},
+		{
+			name: "join-shape",
+			cfg:  Config{Parallelism: 1},
+			query: `SELECT ((t0.s & ~1) | h.out_s) AS s,
+       SUM((t0.r * h.r) - (t0.i * h.i)) AS r,
+       SUM((t0.r * h.i) + (t0.i * h.r)) AS i
+FROM t0 JOIN h ON h.in_s < (t0.s & 1)
+GROUP BY ((t0.s & ~1) | h.out_s)`,
+			reason: "kernel: fallback (" + kfJoinShape + ")",
+		},
+		{
+			name: "scan-shape",
+			cfg:  Config{Parallelism: 1},
+			query: `SELECT ((u.s & ~1) | h.out_s) AS s,
+       SUM((u.r * h.r) - (u.i * h.i)) AS r,
+       SUM((u.r * h.i) + (u.i * h.r)) AS i
+FROM (SELECT s, r, i FROM t0 WHERE t0.r > 0.0) u JOIN h ON h.in_s = (u.s & 1)
+GROUP BY ((u.s & ~1) | h.out_s)`,
+			reason: "kernel: fallback (" + kfScanShape + ")",
+		},
+		{
+			name: "unsupported-expr",
+			cfg:  Config{Parallelism: 1},
+			query: `SELECT ((t0.s & ~1) | h.out_s) AS s,
+       SUM((t0.r * h.r) - (t0.i * h.i)) AS r,
+       SUM((t0.r * h.i) + (t0.i * h.r)) AS i
+FROM t0 JOIN h ON h.in_s = (t0.s % 0)
+GROUP BY ((t0.s & ~1) | h.out_s)`,
+			reason: "kernel: fallback (" + kfUnsupported + ")",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			db := newOptDB(t, tc.cfg)
+			setupGateStage(t, db, 64)
+			plan, err := db.Explain(tc.query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := explainKernelLine(t, plan); got != tc.reason {
+				t.Fatalf("kernel line = %q, want %q\n%s", got, tc.reason, plan)
+			}
+			if strings.Contains(plan, "[kernel=") {
+				t.Fatalf("declined plan still annotated:\n%s", plan)
+			}
+			// The query must still run correctly on the fallback path,
+			// without a kernel execution.
+			before := KernelCounters()["executions"]
+			queryAll(t, db, tc.query)
+			if ran := KernelCounters()["executions"] - before; ran != 0 {
+				t.Fatalf("declined plan executed a kernel (%d)", ran)
+			}
+		})
+	}
+}
+
+// TestKernelFallbackColumnTypes: a NULL amplitude defeats the typed
+// vector bind — a runtime (not structural) decline, so EXPLAIN still
+// advertises the kernel but execution falls back and stays correct.
+func TestKernelFallbackColumnTypes(t *testing.T) {
+	var digests [2]string
+	for i, kernels := range []string{"off", "on"} {
+		db := newOptDB(t, Config{Parallelism: 1, Kernels: kernels})
+		setupGateStage(t, db, 64)
+		mustExec(t, db, "INSERT INTO t0 VALUES (64, NULL, 0.5)")
+		before := KernelCounters()["fallback_"+kfColumnTypes]
+		rows := queryAll(t, db, gateStageQuery(false)+" ORDER BY s")
+		if kernels == "on" {
+			if got := KernelCounters()["fallback_"+kfColumnTypes] - before; got != 1 {
+				t.Fatalf("column-types fallback counter = %d, want 1", got)
+			}
+		}
+		digests[i] = rowsBits(rows)
+	}
+	if digests[0] != digests[1] {
+		t.Fatal("fallback path output differs from interpreted engine")
+	}
+}
+
+// TestKernelExplainAnalyzeFallback: EXPLAIN ANALYZE instruments every
+// node, which the kernel cannot see through — the header must say so.
+func TestKernelExplainAnalyzeFallback(t *testing.T) {
+	db := newOptDB(t, Config{Parallelism: 1})
+	setupGateStage(t, db, 64)
+	plan, err := db.ExplainAnalyze(context.Background(), gateStageQuery(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := explainKernelLine(t, plan), "kernel: fallback ("+kfExplainAnalyze+")"; got != want {
+		t.Fatalf("kernel line = %q, want %q\n%s", got, want, plan)
+	}
+}
+
+// TestKernelCTASCollectsStats: the kernel's output store feeds the
+// same statistics collector as the interpreted path, so CTAS over a
+// gate stage yields fresh stats without ANALYZE.
+func TestKernelCTASCollectsStats(t *testing.T) {
+	db := newOptDB(t, Config{Parallelism: 1})
+	setupGateStage(t, db, 64)
+	before := KernelCounters()["executions"]
+	mustExec(t, db, "CREATE TABLE t1 AS "+gateStageQuery(false))
+	if ran := KernelCounters()["executions"] - before; ran != 1 {
+		t.Fatalf("CTAS did not run the kernel (%d executions)", ran)
+	}
+	ts := storeStats(db.lookupTable("t1").store)
+	if ts == nil || ts.rows != 64 {
+		t.Fatalf("stats after kernel CTAS: %+v", ts)
+	}
+	if c := ts.col(0); !c.intSeen || c.intMin != 0 || c.intMax != 63 {
+		t.Fatalf("kernel CTAS stats min/max = [%d, %d]", c.intMin, c.intMax)
+	}
+}

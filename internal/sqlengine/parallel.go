@@ -346,6 +346,37 @@ func (s *pickMorselStream) Close() { s.child.Close() }
 // identical to the serial scan order. On memory pressure the parallel
 // gather aborts and the serial (spilling) path re-runs the plan.
 func materializePlan(ctx *execCtx, node planNode) (tableStore, error) {
+	return materializePlanCollect(ctx, node, false)
+}
+
+// materializePlanCollect is materializePlan with two extensions: the
+// kernel-tier hook (a plan matching the gate-stage shape runs as a
+// compiled kernel, either entirely or as a swapped-in subtree; see
+// kernel.go) and optional statistics collection on the result store
+// (CTAS materialization).
+func materializePlanCollect(ctx *execCtx, node planNode, collect bool) (tableStore, error) {
+	var kstore tableStore
+	if ctx.env.kernels {
+		result, swapped, err := kernelAttempt(ctx, node, collect)
+		if err != nil {
+			return nil, err
+		}
+		if result != nil {
+			return result, nil
+		}
+		kstore = swapped
+	}
+	store, err := materializePlanExec(ctx, node, collect)
+	if err != nil && kstore != nil {
+		// The swapped-in kernel store is normally released by its scan
+		// iterator; an error before that scan opened would strand it.
+		// Release is idempotent, so releasing again here is safe.
+		kstore.Release()
+	}
+	return store, err
+}
+
+func materializePlanExec(ctx *execCtx, node planNode, collect bool) (tableStore, error) {
 	var hint int64
 	if est := planEstimateOf(node); est != nil && est.rows > 0 {
 		// Budget-clamped like the hash-table hints: a misestimate must
@@ -358,7 +389,7 @@ func materializePlan(ctx *execCtx, node planNode) (tableStore, error) {
 			return nil, err
 		}
 		if ok {
-			store, err := gatherMorsels(ctx, streams, hint)
+			store, err := gatherMorsels(ctx, streams, hint, collect)
 			if err == nil {
 				return store, nil
 			}
@@ -374,7 +405,7 @@ func materializePlan(ctx *execCtx, node planNode) (tableStore, error) {
 	if err != nil {
 		return nil, err
 	}
-	store, err := materialize(ctx, it, hint)
+	store, err := materializeCollect(ctx, it, hint, collect)
 	it.Close()
 	return store, err
 }
@@ -479,7 +510,7 @@ func compactBatch(b *rowBatch) *rowBatch {
 // appends — no per-row materialization). The first failed reservation
 // aborts the gather (errParallelFallback) — large results belong to the
 // serial spilling path.
-func gatherMorsels(ctx *execCtx, streams []morselStream, hint int64) (tableStore, error) {
+func gatherMorsels(ctx *execCtx, streams []morselStream, hint int64, collect bool) (tableStore, error) {
 	budget := ctx.env.budget
 	var (
 		wg       sync.WaitGroup
@@ -556,6 +587,9 @@ func gatherMorsels(ctx *execCtx, streams []morselStream, hint int64) (tableStore
 	}
 	sort.Slice(bufs, func(i, j int) bool { return bufs[i].idx < bufs[j].idx })
 	store := ctx.env.newStore()
+	if collect {
+		attachStats(store)
+	}
 	if hint > 0 {
 		if h, ok := store.(rowCapacityHinter); ok {
 			h.hintRows(hint)

@@ -276,4 +276,3 @@ func (db *DB) execAnalyze(s *AnalyzeStmt) (int64, error) {
 	sc.setStatsCollector(ts)
 	return ts.rows, nil
 }
-

@@ -112,6 +112,12 @@ type storageEnv struct {
 	rowLayout bool
 	// optimizer enables the cost-based query optimizer (Config.Optimizer).
 	optimizer bool
+	// kernels enables the compiled gate-stage kernel tier
+	// (Config.Kernels; see kernel.go), and kernelCache holds its
+	// compiled programs (possibly shared across engine instances by the
+	// simulation plan cache).
+	kernels     bool
+	kernelCache *KernelCache
 	// workers is the engine's morsel-parallel worker count (>= 1).
 	workers int
 	// workingFloor is the number of bytes a blocking operator (hash

@@ -44,6 +44,7 @@ import (
 	"qymera/internal/quantum"
 	"qymera/internal/service"
 	"qymera/internal/sim"
+	"qymera/internal/sqlengine"
 )
 
 // Core circuit model types.
@@ -135,6 +136,12 @@ type SQLBackendOptions struct {
 	// planning, "off" uses the legacy direct planner. Amplitudes are
 	// bit-identical across settings; only plan quality changes.
 	Optimizer string
+	// Kernels controls the engine's compiled gate-stage kernel tier: ""
+	// or "on" (default) lowers matching gate-stage plans to a single
+	// fused typed loop, "off" always runs the interpreted batch
+	// executor. Amplitudes are bit-identical across settings; only
+	// throughput changes.
+	Kernels string
 	// PlanCache, when non-nil, caches circuit→SQL translations across
 	// Run calls: exact repeats skip translation entirely, parameter
 	// sweeps reuse the SQL text and rebind only the numeric gate data.
@@ -161,6 +168,7 @@ func NewSQLBackend(opts ...SQLBackendOptions) Backend {
 		Parallelism:  o.Parallelism,
 		Layout:       o.StorageLayout,
 		Optimizer:    o.Optimizer,
+		Kernels:      o.Kernels,
 		Cache:        o.PlanCache,
 		Initial:      o.Initial,
 	}
@@ -177,6 +185,12 @@ type PlanCacheStats = sim.PlanCacheStats
 // translations (<= 0 uses the default capacity). Safe for concurrent
 // use and shareable across backends.
 func NewPlanCache(capacity int) *PlanCache { return sim.NewPlanCache(capacity) }
+
+// KernelCounters snapshots the engine's cumulative gate-stage
+// kernel-tier counters (process-wide, across every engine instance):
+// compiles, cache_hits, executions, fallbacks, and per-reason
+// fallback_<reason> counts. See SQLBackendOptions.Kernels.
+func KernelCounters() map[string]int64 { return sqlengine.KernelCounters() }
 
 // Simulation service (the system tier served by cmd/qymerad).
 
