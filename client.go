@@ -25,6 +25,10 @@ type Client struct {
 	BaseURL string
 	// HTTPClient overrides http.DefaultClient.
 	HTTPClient *http.Client
+	// Tenant attributes this client's jobs to a tenant for the server's
+	// quota accounting and fair scheduling (sent as the X-Qymera-Tenant
+	// header; empty = the server's "default" tenant).
+	Tenant string
 }
 
 // Wire types re-exported from the service package.
@@ -86,6 +90,9 @@ func (cl *Client) do(ctx context.Context, method, path string, body []byte, acce
 	}
 	if accept != "" {
 		req.Header.Set("Accept", accept)
+	}
+	if cl.Tenant != "" {
+		req.Header.Set(service.TenantHeader, cl.Tenant)
 	}
 	resp, err := cl.httpClient().Do(req)
 	if err != nil {

@@ -34,11 +34,22 @@
 //	                         # compiled gate-stage kernel report (cached
 //	                         # sweep-path query and sims with the kernel
 //	                         # tier on vs off + bit-identity)
+//	qybench -benchjson BENCH_service_storm.json
+//	                         # paths containing "storm" write the
+//	                         # multi-tenant service-storm report
+//	                         # (p50/p99 latency, queue saturation,
+//	                         # inter-tenant fairness spread, durable job
+//	                         # log on, served-vs-direct bit-identity)
 //	qybench -compareallocs BENCH_sqlengine.json NEW.json
 //	                         # allocation regression gate: fail when
 //	                         # NEW.json's fixed-size gate-stage query
 //	                         # allocs/op exceed the committed baseline
 //	                         # by more than 20%
+//	qybench -stormgate BENCH_service_storm.json
+//	                         # service-storm regression gate: fail when
+//	                         # the report is not bit-identical, has no
+//	                         # latency tail, or its fairness spread
+//	                         # exceeds 1.5x
 package main
 
 import (
@@ -60,7 +71,17 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	benchJSON := flag.String("benchjson", "", "write a machine-readable SQL-engine report to this path and exit: paths containing \"parallel\" get the morsel-parallel scaling report (BENCH_sqlengine_parallel.json), anything else the throughput report (BENCH_sqlengine.json)")
 	compareAllocs := flag.String("compareallocs", "", "allocation regression gate: compare the gate-stage allocs/op of a fresh BENCH_sqlengine.json (first positional argument) against this committed baseline and exit nonzero on a >20% regression")
+	stormGate := flag.String("stormgate", "", "service-storm regression gate: validate this BENCH_service_storm.json (amplitudes bit-identical, p99 > 0, fairness spread <= 1.5) and exit nonzero on breach")
 	flag.Parse()
+
+	if *stormGate != "" {
+		if err := bench.StormGate(*stormGate); err != nil {
+			fmt.Fprintln(os.Stderr, "qybench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("storm gate ok: %s\n", *stormGate)
+		return
+	}
 
 	if *compareAllocs != "" {
 		newPath := flag.Arg(0)
@@ -81,6 +102,9 @@ func main() {
 		switch base := filepath.Base(*benchJSON); {
 		case strings.Contains(base, "parallel"):
 			data, err = bench.ParallelBenchJSON(bench.Options{Quick: *quick})
+		// "storm" before "service": BENCH_service_storm.json contains both.
+		case strings.Contains(base, "storm"):
+			data, err = bench.StormBenchJSON(bench.Options{Quick: *quick})
 		case strings.Contains(base, "service"):
 			data, err = bench.ServiceBenchJSON(bench.Options{Quick: *quick})
 		case strings.Contains(base, "optimizer"):

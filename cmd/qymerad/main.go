@@ -9,6 +9,15 @@
 //	qymerad                         # serve on :8087 with defaults
 //	qymerad -addr :9000 -workers 8  # bigger pool
 //	qymerad -mem-budget 2147483648  # 2 GiB shared engine budget
+//	qymerad -data-dir /var/lib/qymera
+//	                                # durable: append every job
+//	                                # transition to a persistent log and
+//	                                # replay it on restart (completed
+//	                                # jobs stay queryable, interrupted
+//	                                # ones re-run)
+//	qymerad -tenant-max-running 2 -tenant-max-queued 32
+//	                                # per-tenant quotas in front of the
+//	                                # fair scheduler
 //
 // The HTTP API is documented in docs/SERVICE.md; a quick check:
 //
@@ -43,17 +52,33 @@ func main() {
 	parallelism := flag.Int("parallelism", 0, "per-query morsel-parallel workers (0 = GOMAXPROCS)")
 	spillDir := flag.String("spill-dir", "", "directory for out-of-core spill files (empty = OS temp)")
 	retain := flag.Int("retain-jobs", 256, "finished jobs kept queryable")
+	dataDir := flag.String("data-dir", "", "directory for the persistent job log; replayed on restart (empty = no durability)")
+	tenantMaxRunning := flag.Int("tenant-max-running", 0, "per-tenant cap on concurrently running jobs (0 = none)")
+	tenantMaxQueued := flag.Int("tenant-max-queued", 0, "per-tenant cap on queued jobs; beyond it submissions get HTTP 429 (0 = none)")
+	tenantMaxBytes := flag.Int64("tenant-max-bytes", 0, "per-tenant cap on the sum of running jobs' estimated_bytes; estimates beyond it get HTTP 422 (0 = none)")
 	flag.Parse()
 
-	srv := service.New(service.Config{
-		Workers:       *workers,
-		QueueDepth:    *queue,
-		MemoryBudget:  *memBudget,
-		PlanCacheSize: *planCache,
-		Parallelism:   *parallelism,
-		SpillDir:      *spillDir,
-		RetainJobs:    *retain,
+	srv, err := service.Open(service.Config{
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		MemoryBudget:     *memBudget,
+		PlanCacheSize:    *planCache,
+		Parallelism:      *parallelism,
+		SpillDir:         *spillDir,
+		RetainJobs:       *retain,
+		DataDir:          *dataDir,
+		TenantMaxRunning: *tenantMaxRunning,
+		TenantMaxQueued:  *tenantMaxQueued,
+		TenantMaxBytes:   *tenantMaxBytes,
 	})
+	if err != nil {
+		log.Fatalf("qymerad: %v", err)
+	}
+	if *dataDir != "" {
+		rs := srv.Manager().Replay()
+		log.Printf("qymerad: job log replayed %d records: %d completed jobs kept, %d re-enqueued, %d corrupt tail records skipped",
+			rs.Records, rs.CompletedKept, rs.Requeued, rs.CorruptRecords)
+	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

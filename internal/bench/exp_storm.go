@@ -1,0 +1,412 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qymera/internal/quantum"
+	"qymera/internal/service"
+	"qymera/internal/sim"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "storm",
+		Paper: "qymerad under a multi-tenant service storm — latency tails, saturation, and inter-tenant fairness",
+		Desc:  "floods an in-process durable qymerad (job log on) with concurrent mixed-circuit clients across equal-quota tenants, records p50/p99 latency, queue saturation, and the fairness spread of per-tenant throughput, and checks every served amplitude is bit-identical to a direct run; qybench -benchjson BENCH_service_storm.json writes the machine-readable report",
+		Run:   runStorm,
+	})
+}
+
+// StormTenantReport is one tenant's view of the storm.
+type StormTenantReport struct {
+	Requests int `json:"requests"`
+	Done     int `json:"done"`
+	// MakespanSeconds: first submit to last completion for this tenant.
+	MakespanSeconds float64 `json:"makespan_seconds"`
+	// ThroughputJPS is Done / MakespanSeconds.
+	ThroughputJPS float64 `json:"throughput_jps"`
+	P50Seconds    float64 `json:"p50_seconds"`
+	P99Seconds    float64 `json:"p99_seconds"`
+}
+
+// ServiceStormReport is the BENCH_service_storm.json payload.
+type ServiceStormReport struct {
+	Engine            string   `json:"engine"`
+	NumCPU            int      `json:"num_cpu"`
+	Workers           int      `json:"workers"`
+	TenantCount       int      `json:"tenant_count"`
+	ClientsPerTenant  int      `json:"clients_per_tenant"`
+	RequestsPerClient int      `json:"requests_per_client"`
+	TotalRequests     int      `json:"total_requests"`
+	Mix               []string `json:"mix"`
+
+	WallSeconds   float64 `json:"wall_seconds"`
+	ThroughputJPS float64 `json:"throughput_jps"`
+	P50Seconds    float64 `json:"p50_seconds"`
+	P99Seconds    float64 `json:"p99_seconds"`
+
+	// Saturation: peak sampled queue depth against capacity, plus how
+	// often the scheduler had work it could not admit.
+	PeakQueueDepth int   `json:"peak_queue_depth"`
+	QueueCapacity  int   `json:"queue_capacity"`
+	AdmissionWaits int64 `json:"admission_waits"`
+
+	// FairnessSpread is max/min of per-tenant completions within the
+	// shared window that ends when the first tenant drains its quota —
+	// while every tenant still has demand, a fair scheduler completes
+	// work for all of them at the same rate. 1.0 is perfectly fair; the
+	// CI gate requires <= 1.5. (Makespan ratios are NOT used: the last
+	// few trailing jobs would dominate them at small sizes.)
+	FairnessSpread float64 `json:"fairness_spread"`
+
+	// AmplitudesBitIdentical: every storm response matched the digest
+	// of a direct in-process run of the same circuit.
+	AmplitudesBitIdentical bool `json:"amplitudes_bit_identical"`
+
+	// JobLogAppendedRecords: durability was on for the whole storm —
+	// every submit/start/done hit the fsynced log.
+	JobLogAppendedRecords int64 `json:"job_log_appended_records"`
+
+	Tenants map[string]StormTenantReport `json:"tenants"`
+}
+
+// stormParams sizes the storm: quick mode for CI, full for the
+// committed baseline.
+func stormParams(opts Options) (tenants, clientsPerTenant, requestsPerClient int) {
+	// Requests per client stay >= 4 so a tenant's makespan amortizes its
+	// trailing job — with too few, the one-job tail alone pushes the
+	// spread toward the 1.5 gate even under a perfectly fair scheduler.
+	if opts.Quick {
+		return 3, 4, 4
+	}
+	return 4, 50, 4
+}
+
+// RunStormBench floods a durable in-process qymerad and returns the
+// report.
+func RunStormBench(opts Options) (*ServiceStormReport, error) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 4 {
+		workers = 4
+	}
+	tenants, clientsPerTenant, requestsPerClient := stormParams(opts)
+	totalClients := tenants * clientsPerTenant
+	total := totalClients * requestsPerClient
+
+	report := &ServiceStormReport{
+		Engine:                 "qymerad (DRR fair scheduler + per-tenant quotas + persistent job log)",
+		NumCPU:                 runtime.NumCPU(),
+		Workers:                workers,
+		TenantCount:            tenants,
+		ClientsPerTenant:       clientsPerTenant,
+		RequestsPerClient:      requestsPerClient,
+		TotalRequests:          total,
+		QueueCapacity:          2 * totalClients,
+		AmplitudesBitIdentical: true,
+		Tenants:                map[string]StormTenantReport{},
+	}
+
+	dataDir, err := os.MkdirTemp("", "qymera-storm-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dataDir)
+
+	srv, err := service.Open(service.Config{
+		Workers:    workers,
+		QueueDepth: report.QueueCapacity,
+		SpillDir:   opts.SpillDir,
+		DataDir:    dataDir,
+		RetainJobs: total + totalClients,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer l.Close()
+	go http.Serve(l, srv)
+	base := "http://" + l.Addr().String()
+
+	// The mix every client cycles through — identical across tenants so
+	// the fairness comparison is symmetric.
+	mix := serviceMix(opts)
+	bodies := make([][]byte, len(mix))
+	digests := make([]string, len(mix))
+	for i, wl := range mix {
+		report.Mix = append(report.Mix, wl.name)
+		doc, err := circuitDocJSON(wl.c)
+		if err != nil {
+			return nil, err
+		}
+		if bodies[i], err = json.Marshal(service.Request{Circuit: doc}); err != nil {
+			return nil, err
+		}
+		direct, err := (&sim.SQL{SpillDir: opts.SpillDir}).Run(wl.c)
+		if err != nil {
+			return nil, fmt.Errorf("bench: storm: direct %s: %w", wl.name, err)
+		}
+		digests[i] = stateDigest(direct.State)
+	}
+
+	type sample struct {
+		tenant  string
+		latency time.Duration
+		doneAt  time.Duration // completion time relative to storm start
+		ok      bool
+	}
+	samples := make([]sample, total)
+	var mismatches atomic.Int64
+	var firstErr atomic.Value
+
+	// Saturation sampler: polls queue depth while the storm runs.
+	stopSampling := make(chan struct{})
+	var samplerWg sync.WaitGroup
+	samplerWg.Add(1)
+	go func() {
+		defer samplerWg.Done()
+		for {
+			select {
+			case <-stopSampling:
+				return
+			case <-time.After(10 * time.Millisecond):
+				if d := srv.Metrics().QueueDepth; d > report.PeakQueueDepth {
+					report.PeakQueueDepth = d
+				}
+			}
+		}
+	}()
+
+	tenantName := func(i int) string { return fmt.Sprintf("tenant-%d", i) }
+	var wg sync.WaitGroup
+	start := time.Now()
+	for ti := 0; ti < tenants; ti++ {
+		for ci := 0; ci < clientsPerTenant; ci++ {
+			wg.Add(1)
+			go func(ti, ci int) {
+				defer wg.Done()
+				tenant := tenantName(ti)
+				for r := 0; r < requestsPerClient; r++ {
+					// Stagger the mix so circuits interleave within and
+					// across tenants.
+					wi := (ci + r) % len(mix)
+					idx := (ti*clientsPerTenant+ci)*requestsPerClient + r
+					reqStart := time.Now()
+					st, err := postSimulateTenant(base, bodies[wi], tenant)
+					if err != nil {
+						firstErr.CompareAndSwap(nil, fmt.Errorf("tenant %s: %w", tenant, err))
+						return
+					}
+					if stateDigest(st) != digests[wi] {
+						mismatches.Add(1)
+					}
+					samples[idx] = sample{tenant: tenant, latency: time.Since(reqStart), doneAt: time.Since(start), ok: true}
+				}
+			}(ti, ci)
+		}
+	}
+	wg.Wait()
+	report.WallSeconds = time.Since(start).Seconds()
+	close(stopSampling)
+	samplerWg.Wait()
+	if err, _ := firstErr.Load().(error); err != nil {
+		return nil, fmt.Errorf("bench: storm: %w", err)
+	}
+	if mismatches.Load() > 0 {
+		report.AmplitudesBitIdentical = false
+	}
+
+	// Latency tails: overall and per tenant. The per-tenant makespan is
+	// measured at the client — wall time until that tenant's last
+	// response.
+	var all []time.Duration
+	perTenant := map[string][]time.Duration{}
+	tenantEnd := map[string]time.Duration{}
+	for idx, s := range samples {
+		if !s.ok {
+			return nil, fmt.Errorf("bench: storm: sample %d missing", idx)
+		}
+		all = append(all, s.latency)
+		perTenant[s.tenant] = append(perTenant[s.tenant], s.latency)
+		if s.doneAt > tenantEnd[s.tenant] {
+			tenantEnd[s.tenant] = s.doneAt
+		}
+	}
+	report.P50Seconds = quantileSeconds(all, 0.50)
+	report.P99Seconds = quantileSeconds(all, 0.99)
+	if report.WallSeconds > 0 {
+		report.ThroughputJPS = float64(total) / report.WallSeconds
+	}
+
+	for ti := 0; ti < tenants; ti++ {
+		name := tenantName(ti)
+		lats := perTenant[name]
+		makespan := tenantEnd[name].Seconds()
+		tr := StormTenantReport{
+			Requests:        len(lats),
+			Done:            len(lats),
+			MakespanSeconds: makespan,
+			P50Seconds:      quantileSeconds(lats, 0.50),
+			P99Seconds:      quantileSeconds(lats, 0.99),
+		}
+		if makespan > 0 {
+			tr.ThroughputJPS = float64(len(lats)) / makespan
+		}
+		report.Tenants[name] = tr
+	}
+
+	// Fairness: compare per-tenant completion counts inside the window
+	// where every tenant still has demand — it closes the moment the
+	// first tenant drains. A fair scheduler serves all tenants at the
+	// same rate while they all have work, so the counts come out equal
+	// (up to the +-1 job in flight at the window edge).
+	window := time.Duration(0)
+	for _, end := range tenantEnd {
+		if window == 0 || end < window {
+			window = end
+		}
+	}
+	minDone, maxDone := 0, 0
+	for ti := 0; ti < tenants; ti++ {
+		name := tenantName(ti)
+		done := 0
+		for _, s := range samples {
+			if s.tenant == name && s.doneAt <= window {
+				done++
+			}
+		}
+		if minDone == 0 || done < minDone {
+			minDone = done
+		}
+		if done > maxDone {
+			maxDone = done
+		}
+	}
+	if minDone > 0 {
+		report.FairnessSpread = float64(maxDone) / float64(minDone)
+	}
+
+	metrics := srv.Metrics()
+	report.AdmissionWaits = metrics.AdmissionWaits
+	report.JobLogAppendedRecords = metrics.JobLog.AppendedRecords
+	return report, nil
+}
+
+// postSimulateTenant is postSimulate with a tenant header.
+func postSimulateTenant(base string, body []byte, tenant string) (*quantum.State, error) {
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/simulate", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(service.TenantHeader, tenant)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("HTTP %d from /v1/simulate", resp.StatusCode)
+	}
+	var res service.ResultJSON
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		return nil, err
+	}
+	st := quantum.NewState(res.NumQubits)
+	for _, a := range res.Amplitudes {
+		st.Set(a.S, complex(a.R, a.I))
+	}
+	return st, nil
+}
+
+// quantileSeconds returns the q-quantile (nearest-rank) of a latency
+// sample in seconds.
+func quantileSeconds(lats []time.Duration, q float64) float64 {
+	if len(lats) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), lats...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx].Seconds()
+}
+
+// StormBenchJSON renders the report for BENCH_service_storm.json.
+func StormBenchJSON(opts Options) ([]byte, error) {
+	report, err := RunStormBench(opts)
+	if err != nil {
+		return nil, err
+	}
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// StormGate validates a storm report for CI: amplitudes bit-identical,
+// a real latency tail, and a fair spread between equal-quota tenants.
+func StormGate(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var r ServiceStormReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return fmt.Errorf("storm gate: %s: %w", path, err)
+	}
+	if !r.AmplitudesBitIdentical {
+		return fmt.Errorf("storm gate: %s: served amplitudes were not bit-identical to direct runs", path)
+	}
+	if r.P99Seconds <= 0 {
+		return fmt.Errorf("storm gate: %s: p99 latency %v is not positive — empty or broken sample", path, r.P99Seconds)
+	}
+	if r.FairnessSpread <= 0 || r.FairnessSpread > 1.5 {
+		return fmt.Errorf("storm gate: %s: fairness spread %.3f outside (0, 1.5] — a tenant starved", path, r.FairnessSpread)
+	}
+	return nil
+}
+
+func runStorm(opts Options) ([]*Table, error) {
+	report, err := RunStormBench(opts)
+	if err != nil {
+		return nil, err
+	}
+	t := NewTable("qymerad service storm", "metric", "value")
+	t.Addf("storm", fmt.Sprintf("%d tenants x %d clients x %d requests = %d (workers=%d)",
+		report.TenantCount, report.ClientsPerTenant, report.RequestsPerClient, report.TotalRequests, report.Workers))
+	t.Addf("throughput", fmt.Sprintf("%.1f jobs/s over %.2fs", report.ThroughputJPS, report.WallSeconds))
+	t.Addf("latency p50 / p99", fmt.Sprintf("%s / %s",
+		FormatDuration(time.Duration(report.P50Seconds*float64(time.Second))),
+		FormatDuration(time.Duration(report.P99Seconds*float64(time.Second)))))
+	t.Addf("peak queue depth", fmt.Sprintf("%d / %d capacity (admission waits: %d)",
+		report.PeakQueueDepth, report.QueueCapacity, report.AdmissionWaits))
+	t.Addf("fairness spread (max/min tenant throughput)", fmt.Sprintf("%.3f", report.FairnessSpread))
+	t.Addf("amplitudes bit-identical (served vs direct)", report.AmplitudesBitIdentical)
+	t.Addf("job log records (durability on)", report.JobLogAppendedRecords)
+	for name, tr := range report.Tenants {
+		t.Addf("tenant "+name, fmt.Sprintf("%d done, makespan %.2fs, p99 %s",
+			tr.Done, tr.MakespanSeconds, FormatDuration(time.Duration(tr.P99Seconds*float64(time.Second)))))
+	}
+	t.Note("num_cpu=%d; every request carried a tenant header and went through the DRR scheduler and the fsynced job log", report.NumCPU)
+	return []*Table{t}, nil
+}

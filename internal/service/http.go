@@ -41,13 +41,13 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 func writeError(w http.ResponseWriter, err error) {
 	status := http.StatusBadRequest
 	switch {
-	case errors.Is(err, ErrQueueFull):
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrTenantQueueFull):
 		status = http.StatusTooManyRequests
 	case errors.Is(err, ErrClosed):
 		status = http.StatusServiceUnavailable
 	case errors.Is(err, ErrNotFound):
 		status = http.StatusNotFound
-	case errors.Is(err, ErrOverBudget):
+	case errors.Is(err, ErrOverBudget), errors.Is(err, ErrTenantOverBudget):
 		status = http.StatusUnprocessableEntity
 	case errors.Is(err, sim.ErrMemoryBudget):
 		status = http.StatusInsufficientStorage
@@ -55,11 +55,19 @@ func writeError(w http.ResponseWriter, err error) {
 	writeJSON(w, status, errorJSON{Error: err.Error()})
 }
 
+// TenantHeader names the request header that attributes a job to a
+// tenant for quota accounting and fair scheduling; it overrides the
+// body's "tenant" field.
+const TenantHeader = "X-Qymera-Tenant"
+
 func decodeRequest(r *http.Request) (Request, error) {
 	var req Request
 	dec := json.NewDecoder(r.Body)
 	if err := dec.Decode(&req); err != nil {
 		return req, fmt.Errorf("invalid request body: %w", err)
+	}
+	if h := r.Header.Get(TenantHeader); h != "" {
+		req.Tenant = h
 	}
 	return req, nil
 }
@@ -212,15 +220,42 @@ type MetricsJSON struct {
 	Kernels map[string]int64 `json:"kernels"`
 
 	Backends map[string]BackendLatency `json:"backends"`
+
+	// Tenants breaks queue/run/quota state down per tenant.
+	Tenants map[string]TenantMetrics `json:"tenants"`
+
+	// JobLog reports persistent-job-log state: whether durability is
+	// on, how many records this process appended, and what the last
+	// restart replayed (including corrupt tail records skipped).
+	JobLog JobLogMetrics `json:"job_log"`
+}
+
+// TenantMetrics is one tenant's scheduling and quota state on the wire.
+type TenantMetrics struct {
+	Queued  int `json:"queued"`
+	Running int `json:"running"`
+	// AdmittedBytes is the sum of this tenant's running jobs' declared
+	// estimates (bounded by Config.TenantMaxBytes when set).
+	AdmittedBytes int64 `json:"admitted_bytes"`
+	// Jobs counts this tenant's finished jobs by terminal status.
+	Jobs map[string]int64 `json:"jobs,omitempty"`
+}
+
+// JobLogMetrics is the persistent job log's state on the wire.
+type JobLogMetrics struct {
+	Enabled bool `json:"enabled"`
+	// AppendedRecords counts records written by this process.
+	AppendedRecords int64 `json:"appended_records"`
+	// Replay summarizes what the last restart recovered.
+	Replay ReplayStats `json:"replay"`
 }
 
 // Metrics snapshots the service counters (also used by the bench
 // harness in-process).
 func (s *Server) Metrics() MetricsJSON {
 	m := s.manager
-	statuses, backends := m.metrics.snapshot()
+	statuses, backends, tenantJobs := m.metrics.snapshot()
 	out := MetricsJSON{
-		QueueDepth:     m.QueueDepth(),
 		QueueCapacity:  m.cfg.QueueDepth,
 		Workers:        m.cfg.Workers,
 		Jobs:           statuses,
@@ -229,13 +264,35 @@ func (s *Server) Metrics() MetricsJSON {
 		Optimizer:      sqlengine.OptimizerCounters(),
 		Kernels:        sqlengine.KernelCounters(),
 		Backends:       backends,
+		Tenants:        map[string]TenantMetrics{},
 	}
 	out.Budget.LimitBytes = m.budget.Limit()
 	out.Budget.UsedBytes = m.budget.Used()
 	out.Budget.PeakBytes = m.budget.Peak()
+	out.JobLog.Replay = m.replay
+
 	m.mu.Lock()
+	out.QueueDepth = m.queuedTotal
 	out.Budget.AdmittedBytes = m.admitted
+	for name, ts := range m.tenants {
+		out.Tenants[name] = TenantMetrics{
+			Queued:        len(ts.queue),
+			Running:       ts.running,
+			AdmittedBytes: ts.admitted,
+			Jobs:          tenantJobs[name],
+		}
+	}
+	if m.log != nil {
+		out.JobLog.Enabled = true
+		out.JobLog.AppendedRecords = m.log.Appended()
+	}
 	m.mu.Unlock()
+	// Tenants only seen in finished-job counters (e.g. evicted queues).
+	for name, jobs := range tenantJobs {
+		if _, ok := out.Tenants[name]; !ok {
+			out.Tenants[name] = TenantMetrics{Jobs: jobs}
+		}
+	}
 	return out
 }
 

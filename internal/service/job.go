@@ -2,14 +2,20 @@ package service
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"qymera/internal/sim"
 	"qymera/internal/sqlengine"
 )
+
+// timeNow is stubbed in tests.
+var timeNow = time.Now
 
 // JobStatus is one job's lifecycle state.
 type JobStatus string
@@ -30,6 +36,9 @@ func (s JobStatus) terminal() bool {
 var (
 	// ErrQueueFull rejects submissions beyond Config.QueueDepth.
 	ErrQueueFull = errors.New("service: job queue is full")
+	// ErrTenantQueueFull rejects submissions beyond the per-tenant
+	// queued-jobs quota (Config.TenantMaxQueued).
+	ErrTenantQueueFull = errors.New("service: tenant job queue is full")
 	// ErrClosed rejects work after Close.
 	ErrClosed = errors.New("service: manager is closed")
 	// ErrNotFound marks unknown (or evicted) job ids.
@@ -37,17 +46,24 @@ var (
 	// ErrOverBudget rejects jobs whose declared estimate can never fit
 	// the configured memory budget.
 	ErrOverBudget = errors.New("service: estimated_bytes exceeds the server memory budget")
+	// ErrTenantOverBudget rejects jobs whose declared estimate can never
+	// fit the per-tenant admitted-bytes quota (Config.TenantMaxBytes).
+	ErrTenantOverBudget = errors.New("service: estimated_bytes exceeds the tenant memory quota")
 )
 
 // Job is one queued or running simulation. All mutable fields are
 // guarded by the owning Manager's mutex.
 type Job struct {
-	ID  string
-	req *parsedRequest
+	ID     string
+	req    *parsedRequest // nil only for unparseable replayed jobs
+	tenant string
 
 	status JobStatus
 	err    error
 	result *sim.Result
+	// replayed carries a done job's result recovered from the job log
+	// (result stays nil for such jobs).
+	replayed *ResultJSON
 
 	submitted time.Time
 	started   time.Time
@@ -58,58 +74,215 @@ type Job struct {
 	done   chan struct{}
 
 	// admittedBytes is the admission-ledger reservation this job holds
-	// while running (0 until admitted; released by finish).
+	// while running (0 until dispatched; released exactly once, by
+	// finishJob).
 	admittedBytes int64
 }
 
-// Manager owns the worker pool, the FIFO queue, the shared engine
-// budget, and the shared plan cache.
+// Manager owns the worker pool, the per-tenant queues, the shared
+// engine budget, the shared plan cache, and (when Config.DataDir is
+// set) the persistent job log.
 type Manager struct {
 	cfg     Config
 	budget  *sqlengine.MemBudget
 	cache   *sim.PlanCache
 	metrics *metrics
+	replay  ReplayStats
 
 	mu     sync.Mutex
-	cond   *sync.Cond // admission + Close wakeups
+	cond   *sync.Cond // dispatch + Close wakeups
+	log    *jobLog    // nil when durability is disabled (and after Close)
 	jobs   map[string]*Job
 	order  []string // submission order, for finished-job eviction
 	nextID int
 	closed bool
-	// admitted is the admission ledger: the sum of running jobs'
-	// declared estimates. A job is admitted only while
+	// admitted is the shared admission ledger: the sum of running jobs'
+	// declared estimates. A job is dispatched only while
 	// admitted + estimate <= budget limit, so declared peak memory
 	// never oversubscribes the shared engine budget regardless of how
 	// actual usage fluctuates mid-query.
-	admitted int64
+	admitted    int64
+	queuedTotal int
 
-	queue chan *Job
-	wg    sync.WaitGroup
+	// tenants/ring/rrPos are the fair scheduler's per-tenant queues and
+	// round-robin cursor (see scheduler.go).
+	tenants map[string]*tenantState
+	ring    []*tenantState
+	rrPos   int
+
+	wg sync.WaitGroup
 }
 
-// NewManager starts the worker pool.
+// NewManager starts the worker pool. It panics when Config.DataDir is
+// set but unusable; durable deployments should use OpenManager.
 func NewManager(cfg Config) *Manager {
+	m, err := OpenManager(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// OpenManager starts the worker pool, replaying the persistent job log
+// first when Config.DataDir is set: completed jobs stay queryable
+// (done jobs keep their results) and jobs that were queued or running
+// when the previous process died are re-enqueued for re-execution.
+func OpenManager(cfg Config) (*Manager, error) {
 	cfg = cfg.withDefaults()
 	m := &Manager{
 		cfg:     cfg,
 		budget:  sqlengine.NewMemBudget(cfg.MemoryBudget),
 		metrics: newMetrics(),
 		jobs:    map[string]*Job{},
-		queue:   make(chan *Job, cfg.QueueDepth),
+		tenants: map[string]*tenantState{},
 	}
 	if cfg.PlanCacheSize >= 0 {
 		m.cache = sim.NewPlanCache(cfg.PlanCacheSize)
 	}
 	m.cond = sync.NewCond(&m.mu)
+	if cfg.DataDir != "" {
+		if err := m.recover(cfg.DataDir); err != nil {
+			return nil, err
+		}
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		m.wg.Add(1)
 		go m.worker()
 	}
-	return m
+	return m, nil
+}
+
+// recover replays the job log and reopens it for appending.
+func (m *Manager) recover(dir string) error {
+	recs, corrupt, err := replayJobLog(jobLogPath(dir))
+	if err != nil {
+		return err
+	}
+	m.replay.Records = len(recs)
+	m.replay.CorruptRecords = corrupt
+
+	// Fold the record stream into one final state per job id.
+	type folded struct {
+		id        string
+		tenant    string
+		status    JobStatus
+		request   json.RawMessage
+		result    *ResultJSON
+		errText   string
+		submitted time.Time
+		started   time.Time
+		finished  time.Time
+	}
+	byID := map[string]*folded{}
+	var idOrder []string
+	for _, rec := range recs {
+		f := byID[rec.JobID]
+		if f == nil {
+			f = &folded{id: rec.JobID, status: JobQueued}
+			byID[rec.JobID] = f
+			idOrder = append(idOrder, rec.JobID)
+		}
+		switch rec.Type {
+		case "submit":
+			f.tenant = rec.Tenant
+			f.request = rec.Request
+			f.submitted = rec.Time
+		case "start":
+			f.status = JobRunning
+			f.started = rec.Time
+		case "done":
+			f.status = JobDone
+			f.result = rec.Result
+			f.finished = rec.Time
+		case "fail":
+			f.status = JobFailed
+			f.errText = rec.Error
+			f.finished = rec.Time
+		case "cancel":
+			f.status = JobCancelled
+			f.finished = rec.Time
+		}
+	}
+
+	for _, id := range idOrder {
+		f := byID[id]
+		if num, ok := strings.CutPrefix(id, "job-"); ok {
+			if v, err := strconv.Atoi(num); err == nil && v > m.nextID {
+				m.nextID = v
+			}
+		}
+		var req Request
+		var p *parsedRequest
+		if json.Unmarshal(f.request, &req) == nil {
+			p, _ = parseRequest(req)
+		}
+		tenant := f.tenant
+		if p != nil {
+			tenant = p.tenant
+		} else if tenant == "" {
+			tenant = defaultTenant
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		j := &Job{
+			ID:        id,
+			req:       p,
+			tenant:    tenant,
+			status:    f.status,
+			submitted: f.submitted,
+			started:   f.started,
+			finished:  f.finished,
+			ctx:       ctx,
+			cancel:    cancel,
+			done:      make(chan struct{}),
+		}
+		switch {
+		case f.status.terminal():
+			j.replayed = f.result
+			if f.errText != "" {
+				j.err = errors.New(f.errText)
+			} else if f.status == JobCancelled {
+				j.err = context.Canceled
+			}
+			cancel()
+			close(j.done)
+			m.replay.CompletedKept++
+		case p == nil:
+			// The logged request no longer parses: surface it as failed
+			// rather than dropping the job silently.
+			j.status = JobFailed
+			j.err = fmt.Errorf("service: replayed job %s has an unreadable request", id)
+			j.finished = timeNow()
+			cancel()
+			close(j.done)
+			m.replay.CompletedKept++
+		default:
+			// Queued or running at the crash: re-enqueue from scratch.
+			j.status = JobQueued
+			j.started = time.Time{}
+			j.finished = time.Time{}
+			ts := m.tenantLocked(tenant)
+			ts.queue = append(ts.queue, j)
+			m.queuedTotal++
+			m.replay.Requeued++
+		}
+		m.jobs[id] = j
+		m.order = append(m.order, id)
+	}
+
+	log, err := openJobLog(dir)
+	if err != nil {
+		return err
+	}
+	m.log = log
+	return nil
 }
 
 // Budget exposes the shared engine memory budget.
 func (m *Manager) Budget() *sqlengine.MemBudget { return m.budget }
+
+// Replay reports what the persistent job log recovered at startup
+// (zero value when durability is disabled).
+func (m *Manager) Replay() ReplayStats { return m.replay }
 
 // PlanCacheStats snapshots the shared plan cache (zero value when
 // caching is disabled).
@@ -121,9 +294,17 @@ func (m *Manager) PlanCacheStats() sim.PlanCacheStats {
 }
 
 // QueueDepth reports how many submitted jobs have not started running.
-func (m *Manager) QueueDepth() int { return len(m.queue) }
+func (m *Manager) QueueDepth() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.queuedTotal
+}
 
 // Submit validates and enqueues a request, returning the queued job.
+// Quota breaches fail fast: ErrQueueFull/ErrTenantQueueFull when the
+// global or per-tenant queue is full, ErrOverBudget/ErrTenantOverBudget
+// when the declared estimate could never fit the shared budget or the
+// tenant quota.
 func (m *Manager) Submit(req Request) (*Job, error) {
 	p, err := parseRequest(req)
 	if err != nil {
@@ -132,34 +313,57 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 	if lim := m.budget.Limit(); lim > 0 && p.estimate > lim {
 		return nil, fmt.Errorf("%w: %d > %d", ErrOverBudget, p.estimate, lim)
 	}
+	if q := m.cfg.TenantMaxBytes; q > 0 && p.estimate > q {
+		return nil, fmt.Errorf("%w: %d > %d", ErrTenantOverBudget, p.estimate, q)
+	}
 
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
 		return nil, ErrClosed
 	}
+	if m.queuedTotal >= m.cfg.QueueDepth {
+		m.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+	ts := m.tenantLocked(p.tenant)
+	if q := m.cfg.TenantMaxQueued; q > 0 && len(ts.queue) >= q {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("%w: tenant %q has %d jobs queued", ErrTenantQueueFull, p.tenant, len(ts.queue))
+	}
 	m.nextID++
 	ctx, cancel := context.WithCancel(context.Background())
 	j := &Job{
 		ID:        fmt.Sprintf("job-%d", m.nextID),
 		req:       p,
+		tenant:    p.tenant,
 		status:    JobQueued,
-		submitted: time.Now(),
+		submitted: timeNow(),
 		ctx:       ctx,
 		cancel:    cancel,
 		done:      make(chan struct{}),
 	}
-	select {
-	case m.queue <- j:
-	default:
-		m.mu.Unlock()
-		cancel()
-		return nil, ErrQueueFull
+	// Durability first: the job becomes visible (and runnable) only
+	// after its submit record is on disk, so a crash can never run a
+	// job the log does not know about.
+	if m.log != nil {
+		raw, err := json.Marshal(req)
+		if err == nil {
+			err = m.log.Append(logRecord{Type: "submit", JobID: j.ID, Tenant: j.tenant, Time: j.submitted, Request: raw})
+		}
+		if err != nil {
+			m.mu.Unlock()
+			cancel()
+			return nil, err
+		}
 	}
+	ts.queue = append(ts.queue, j)
+	m.queuedTotal++
 	m.jobs[j.ID] = j
 	m.order = append(m.order, j.ID)
 	m.evictFinishedLocked()
 	m.mu.Unlock()
+	m.cond.Signal()
 	return j, nil
 }
 
@@ -190,75 +394,68 @@ func (m *Manager) evictFinishedLocked() {
 	m.order = keep
 }
 
-// worker drains the queue. Each job passes admission control before it
-// runs: its declared memory estimate must fit the shared budget's
-// current headroom, otherwise the worker blocks until running jobs
-// release memory (or the job is cancelled).
+// worker repeatedly asks the fair scheduler for the next dispatchable
+// job and runs it. Dispatch (scheduler.go) already performed admission:
+// the queued→running transition and the ledger reservation happen
+// atomically under the manager lock, so there is no window in which a
+// cancelled job could hold (or leak) a reservation.
 func (m *Manager) worker() {
 	defer m.wg.Done()
-	for j := range m.queue {
+	for {
+		m.mu.Lock()
+		var j *Job
+		for {
+			if m.closed {
+				m.mu.Unlock()
+				return
+			}
+			if j = m.dispatchLocked(); j != nil {
+				break
+			}
+			m.cond.Wait()
+		}
+		log := m.log
+		rec := logRecord{Type: "start", JobID: j.ID, Tenant: j.tenant, Time: j.started}
+		m.mu.Unlock()
+		if log != nil {
+			log.Append(rec)
+		}
 		m.runJob(j)
 	}
 }
 
-// admit blocks until the job's declared estimate fits the admission
-// ledger: the sum of running jobs' estimates may never exceed the
-// shared budget's limit. (Actual engine usage is separately capped by
-// the budget itself, which spills; the ledger keeps declared peaks
-// from oversubscribing it.) Admission order is whatever order workers
-// wake in; fairness across the (few) workers is not needed. Returns
-// false when the job was cancelled or the manager closed while
-// waiting.
-func (m *Manager) admit(j *Job) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for {
-		if j.ctx.Err() != nil || m.closed {
-			return false
-		}
-		limit := m.budget.Limit()
-		if j.req.estimate == 0 || limit <= 0 || m.admitted+j.req.estimate <= limit {
-			j.admittedBytes = j.req.estimate
-			m.admitted += j.admittedBytes
-			return true
-		}
-		m.metrics.admissionWaits.Add(1)
-		m.cond.Wait()
-	}
-}
-
 func (m *Manager) runJob(j *Job) {
-	if !m.admit(j) {
-		m.finish(j, nil, context.Canceled)
-		return
-	}
-
-	m.mu.Lock()
 	if j.ctx.Err() != nil {
-		m.mu.Unlock()
-		m.finish(j, nil, context.Canceled)
+		m.finishJob(j, nil, context.Canceled)
 		return
 	}
-	j.status = JobRunning
-	j.started = time.Now()
 	backend, err := m.newBackend(j.req)
-	m.mu.Unlock()
 	if err != nil {
-		m.finish(j, nil, err)
+		m.finishJob(j, nil, err)
 		return
 	}
-
 	res, err := backend.RunContext(j.ctx, j.req.circuit)
-	m.finish(j, res, err)
+	m.finishJob(j, res, err)
 }
 
-// finish records a job's outcome, releases its admission reservation,
-// updates metrics, and wakes admission waiters.
-func (m *Manager) finish(j *Job, res *sim.Result, err error) {
+// finishJob records a job's outcome, releases its admission reservation
+// exactly once, appends the terminal log record, updates metrics, and
+// wakes dispatch waiters. Safe to call from multiple paths: only the
+// first caller past the terminal-status guard does any of it.
+func (m *Manager) finishJob(j *Job, res *sim.Result, err error) {
 	m.mu.Lock()
+	if j.status.terminal() {
+		m.mu.Unlock()
+		return
+	}
+	ts := m.tenantLocked(j.tenant)
+	if j.status == JobRunning {
+		ts.running--
+	}
 	m.admitted -= j.admittedBytes
+	ts.admitted -= j.admittedBytes
 	j.admittedBytes = 0
-	j.finished = time.Now()
+	j.finished = timeNow()
 	switch {
 	case err == nil:
 		j.status = JobDone
@@ -271,14 +468,34 @@ func (m *Manager) finish(j *Job, res *sim.Result, err error) {
 		j.err = err
 	}
 	j.cancel() // release the context's resources
+	log := m.log
 	m.mu.Unlock()
+
+	if log != nil {
+		rec := logRecord{JobID: j.ID, Tenant: j.tenant, Time: j.finished}
+		switch j.status {
+		case JobDone:
+			rec.Type = "done"
+			rec.Result = resultJSON(res)
+		case JobCancelled:
+			rec.Type = "cancel"
+		default:
+			rec.Type = "fail"
+			rec.Error = j.err.Error()
+		}
+		log.Append(rec)
+	}
 
 	// Record metrics before unblocking waiters: a synchronous client must
 	// see its own job in /metrics as soon as its response arrives.
+	backend := ""
+	if j.req != nil {
+		backend = j.req.backend
+	}
 	if !j.started.IsZero() {
-		m.metrics.observe(j.req.backend, j.status, j.finished.Sub(j.started))
+		m.metrics.observe(backend, j.tenant, j.status, j.finished.Sub(j.started))
 	} else {
-		m.metrics.observe(j.req.backend, j.status, 0)
+		m.metrics.observe(backend, j.tenant, j.status, 0)
 	}
 	close(j.done)
 	m.cond.Broadcast()
@@ -295,16 +512,35 @@ func (m *Manager) Job(id string) (*Job, error) {
 	return j, nil
 }
 
-// Cancel requests cancellation: a queued job finishes as cancelled
-// without running; a running job's engine work stops at the next
-// batch/morsel boundary. Cancelling a finished job is a no-op.
+// Cancel requests cancellation: a queued job is removed from its
+// tenant's queue and finishes as cancelled without ever occupying a
+// worker or an admission reservation; a running job's engine work stops
+// at the next batch/morsel boundary. Cancelling a finished job is a
+// no-op.
 func (m *Manager) Cancel(id string) error {
-	j, err := m.Job(id)
-	if err != nil {
-		return err
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	if !ok {
+		m.mu.Unlock()
+		return ErrNotFound
 	}
+	if j.status == JobQueued {
+		ts := m.tenantLocked(j.tenant)
+		for i, q := range ts.queue {
+			if q == j {
+				ts.queue = append(ts.queue[:i], ts.queue[i+1:]...)
+				m.queuedTotal--
+				break
+			}
+		}
+		m.mu.Unlock()
+		j.cancel()
+		m.finishJob(j, nil, context.Canceled)
+		return nil
+	}
+	m.mu.Unlock()
 	j.cancel()
-	m.cond.Broadcast() // unblock admission waits on this job
+	m.cond.Broadcast()
 	return nil
 }
 
@@ -333,8 +569,7 @@ func (m *Manager) RunSync(ctx context.Context, req Request) (*sim.Result, error)
 	select {
 	case <-j.done:
 	case <-ctx.Done():
-		j.cancel()
-		m.cond.Broadcast()
+		m.Cancel(j.ID)
 		<-j.done
 	}
 	m.mu.Lock()
@@ -354,10 +589,13 @@ func (m *Manager) Snapshot(j *Job, includeResult bool) JobJSON {
 	out := JobJSON{
 		ID:          j.ID,
 		Status:      string(j.status),
-		Backend:     j.req.backend,
-		NumQubits:   j.req.circuit.NumQubits(),
-		Gates:       j.req.circuit.Len(),
+		Tenant:      j.tenant,
 		SubmittedAt: j.submitted,
+	}
+	if j.req != nil {
+		out.Backend = j.req.backend
+		out.NumQubits = j.req.circuit.NumQubits()
+		out.Gates = j.req.circuit.Len()
 	}
 	if j.err != nil {
 		out.Error = j.err.Error()
@@ -376,12 +614,16 @@ func (m *Manager) Snapshot(j *Job, includeResult bool) JobJSON {
 		}
 	}
 	var res *sim.Result
+	var replayed *ResultJSON
 	if includeResult && j.status == JobDone {
 		res = j.result // immutable once done
+		replayed = j.replayed
 	}
 	m.mu.Unlock()
 	if res != nil {
 		out.Result = resultJSON(res)
+	} else if replayed != nil {
+		out.Result = replayed
 	}
 	return out
 }
@@ -401,6 +643,9 @@ func (m *Manager) Jobs() []JobJSON {
 }
 
 // Close cancels all queued and running jobs and joins the workers.
+// Shutdown-time cancellations are NOT appended to the job log: jobs
+// that were queued or running keep their last durable state, so a
+// restart on the same data dir re-enqueues and re-executes them.
 func (m *Manager) Close() {
 	m.mu.Lock()
 	if m.closed {
@@ -408,16 +653,25 @@ func (m *Manager) Close() {
 		return
 	}
 	m.closed = true
-	close(m.queue)
+	log := m.log
+	m.log = nil
+	var queued []*Job
+	for _, ts := range m.ring {
+		queued = append(queued, ts.queue...)
+		ts.queue = nil
+	}
+	m.queuedTotal = 0
 	for _, j := range m.jobs {
 		j.cancel()
 	}
 	m.mu.Unlock()
 	m.cond.Broadcast()
 
-	// Drain jobs the workers never picked up.
-	for j := range m.queue {
-		m.finish(j, nil, context.Canceled)
+	for _, j := range queued {
+		m.finishJob(j, nil, context.Canceled)
 	}
 	m.wg.Wait()
+	if log != nil {
+		log.Close()
+	}
 }

@@ -1,0 +1,197 @@
+package service
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// The persistent job log makes qymerad durable: every job lifecycle
+// transition is appended to one file (DataDir/jobs.qlog) and fsynced
+// before the transition becomes externally visible, so a crashed server
+// can replay the log on restart — completed jobs keep their results
+// queryable, and jobs that were queued or running when the process died
+// are re-enqueued and re-executed (the engine is deterministic, so the
+// re-run's amplitudes are bit-identical to what the uninterrupted run
+// would have produced).
+//
+// On-disk format: a sequence of framed records,
+//
+//	[uint32 LE payload length][uint32 LE CRC-32 (IEEE) of payload][payload]
+//
+// where the payload is one JSON-encoded logRecord. The frame makes the
+// log self-describing and crash-tolerant: a torn final write (short
+// frame, short payload, or checksum mismatch) is detected on replay,
+// counted, and the file is truncated back to its last valid record —
+// a corrupt tail is a warning, never a boot failure.
+
+// logRecord is one job lifecycle transition on disk.
+type logRecord struct {
+	// Type is the transition: "submit", "start", "done", "fail",
+	// "cancel".
+	Type   string    `json:"type"`
+	JobID  string    `json:"job_id"`
+	Tenant string    `json:"tenant,omitempty"`
+	Time   time.Time `json:"time"`
+	// Request is the original wire request (submit records), replayed
+	// through the normal validation path on restart.
+	Request json.RawMessage `json:"request,omitempty"`
+	// Result is the completed simulation (done records); JSON float64s
+	// round-trip exactly, so replayed amplitudes stay bit-identical.
+	Result *ResultJSON `json:"result,omitempty"`
+	// Error carries the failure text (fail records).
+	Error string `json:"error,omitempty"`
+}
+
+const (
+	jobLogName = "jobs.qlog"
+	// maxLogRecord bounds a single record frame; larger length prefixes
+	// mark a corrupt log, not a real record.
+	maxLogRecord = 1 << 30
+)
+
+// jobLog appends framed records to the log file. Append is
+// goroutine-safe and durable: each record is written and fsynced before
+// Append returns.
+type jobLog struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	// appended counts records written by this process (for /metrics).
+	appended int64
+}
+
+// jobLogPath locates the log inside a data directory.
+func jobLogPath(dir string) string { return filepath.Join(dir, jobLogName) }
+
+// openJobLog opens (creating if needed) the log for appending.
+func openJobLog(dir string) (*jobLog, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: job log dir: %w", err)
+	}
+	path := jobLogPath(dir)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("service: job log: %w", err)
+	}
+	return &jobLog{f: f, path: path}, nil
+}
+
+// Append frames, writes, and fsyncs one record.
+func (l *jobLog) Append(rec logRecord) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("service: job log encode: %w", err)
+	}
+	var frame [8]byte
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, err := l.f.Write(frame[:]); err != nil {
+		return fmt.Errorf("service: job log write: %w", err)
+	}
+	if _, err := l.f.Write(payload); err != nil {
+		return fmt.Errorf("service: job log write: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("service: job log sync: %w", err)
+	}
+	l.appended++
+	return nil
+}
+
+// Appended reports how many records this process has written.
+func (l *jobLog) Appended() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appended
+}
+
+// Close closes the underlying file.
+func (l *jobLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.f.Close()
+}
+
+// replayJobLog reads every valid record from the log at path. A
+// truncated or checksum-corrupt tail stops the scan: the bad suffix is
+// counted in corrupt and the file is truncated back to the last valid
+// record so subsequent appends extend a clean log. A missing file
+// replays as empty.
+func replayJobLog(path string) (recs []logRecord, corrupt int, err error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("service: job log open: %w", err)
+	}
+	defer f.Close()
+
+	r := bufio.NewReader(f)
+	var validEnd int64
+	for {
+		var frame [8]byte
+		if _, err := io.ReadFull(r, frame[:]); err != nil {
+			if err != io.EOF {
+				corrupt++ // torn frame header
+			}
+			break
+		}
+		n := binary.LittleEndian.Uint32(frame[0:4])
+		sum := binary.LittleEndian.Uint32(frame[4:8])
+		if n > maxLogRecord {
+			corrupt++
+			break
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			corrupt++ // torn payload
+			break
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			corrupt++
+			break
+		}
+		var rec logRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			corrupt++
+			break
+		}
+		recs = append(recs, rec)
+		validEnd += 8 + int64(n)
+	}
+
+	if corrupt > 0 {
+		if err := os.Truncate(path, validEnd); err != nil {
+			return recs, corrupt, fmt.Errorf("service: job log truncate after corrupt tail: %w", err)
+		}
+	}
+	return recs, corrupt, nil
+}
+
+// ReplayStats summarizes what a restart recovered from the job log.
+type ReplayStats struct {
+	// Records is how many valid records the log held at boot.
+	Records int `json:"records"`
+	// CompletedKept counts terminal jobs (done/failed/cancelled) whose
+	// state — including done jobs' results — stayed queryable.
+	CompletedKept int `json:"completed_kept"`
+	// Requeued counts jobs that were queued or running at the crash and
+	// were re-enqueued for re-execution.
+	Requeued int `json:"requeued"`
+	// CorruptRecords counts torn or checksum-corrupt tail records that
+	// were skipped (and truncated away) with a warning.
+	CorruptRecords int `json:"corrupt_records"`
+}

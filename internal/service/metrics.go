@@ -13,6 +13,8 @@ type metrics struct {
 	mu       sync.Mutex
 	statuses map[JobStatus]int64
 	backends map[string]*latencyRec
+	// tenants counts terminal job statuses per tenant.
+	tenants map[string]map[string]int64
 }
 
 // latencyRec accumulates per-backend run latency.
@@ -26,15 +28,22 @@ func newMetrics() *metrics {
 	return &metrics{
 		statuses: map[JobStatus]int64{},
 		backends: map[string]*latencyRec{},
+		tenants:  map[string]map[string]int64{},
 	}
 }
 
-// observe records one finished job's backend, terminal status, and run
-// duration (zero for jobs that never ran).
-func (m *metrics) observe(backend string, status JobStatus, d time.Duration) {
+// observe records one finished job's backend, tenant, terminal status,
+// and run duration (zero for jobs that never ran).
+func (m *metrics) observe(backend, tenant string, status JobStatus, d time.Duration) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.statuses[status]++
+	tc := m.tenants[tenant]
+	if tc == nil {
+		tc = map[string]int64{}
+		m.tenants[tenant] = tc
+	}
+	tc[string(status)]++
 	if status != JobDone {
 		return
 	}
@@ -57,8 +66,9 @@ type BackendLatency struct {
 	MaxSeconds float64 `json:"max_seconds"`
 }
 
-// statusCounts and latencies snapshot the aggregates.
-func (m *metrics) snapshot() (map[string]int64, map[string]BackendLatency) {
+// snapshot copies the aggregates: terminal-status counts, per-backend
+// latency, and per-tenant terminal-status counts.
+func (m *metrics) snapshot() (map[string]int64, map[string]BackendLatency, map[string]map[string]int64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	statuses := make(map[string]int64, len(m.statuses))
@@ -73,5 +83,13 @@ func (m *metrics) snapshot() (map[string]int64, map[string]BackendLatency) {
 		}
 		backends[b] = lat
 	}
-	return statuses, backends
+	tenants := make(map[string]map[string]int64, len(m.tenants))
+	for t, counts := range m.tenants {
+		cp := make(map[string]int64, len(counts))
+		for s, n := range counts {
+			cp[s] = n
+		}
+		tenants[t] = cp
+	}
+	return statuses, backends, tenants
 }

@@ -20,6 +20,10 @@ type Request struct {
 	// Backend selects the simulation method: sql (default), sql-chain,
 	// statevec/statevector/sv, sparse, mps, or dd.
 	Backend string `json:"backend,omitempty"`
+	// Tenant attributes the job to a tenant for quota accounting and
+	// fair scheduling. The X-Qymera-Tenant request header takes
+	// precedence over this field; empty means the "default" tenant.
+	Tenant string `json:"tenant,omitempty"`
 	// Options tune the selected backend.
 	Options RequestOptions `json:"options,omitempty"`
 }
@@ -63,8 +67,36 @@ type RequestOptions struct {
 type parsedRequest struct {
 	circuit  *quantum.Circuit
 	backend  string // canonical backend name
+	tenant   string // canonical tenant name ("default" when unset)
 	options  RequestOptions
 	estimate int64
+}
+
+// defaultTenant is the tenant jobs belong to when none is named.
+const defaultTenant = "default"
+
+// maxTenantLen bounds tenant names on the wire.
+const maxTenantLen = 64
+
+// canonicalTenant validates and canonicalizes a tenant name: empty
+// means defaultTenant; otherwise [A-Za-z0-9._-]{1,64}.
+func canonicalTenant(name string) (string, error) {
+	name = strings.TrimSpace(name)
+	if name == "" {
+		return defaultTenant, nil
+	}
+	if len(name) > maxTenantLen {
+		return "", fmt.Errorf("tenant name longer than %d bytes", maxTenantLen)
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+		default:
+			return "", fmt.Errorf("tenant name %q has invalid character %q (want [A-Za-z0-9._-])", name, r)
+		}
+	}
+	return name, nil
 }
 
 // canonicalBackends maps accepted backend spellings to canonical names.
@@ -103,9 +135,14 @@ func parseRequest(req Request) (*parsedRequest, error) {
 	if req.Options.EstimatedBytes < 0 {
 		return nil, fmt.Errorf("estimated_bytes must be >= 0")
 	}
+	tenant, err := canonicalTenant(req.Tenant)
+	if err != nil {
+		return nil, err
+	}
 	return &parsedRequest{
 		circuit:  c,
 		backend:  backend,
+		tenant:   tenant,
 		options:  req.Options,
 		estimate: req.Options.EstimatedBytes,
 	}, nil
@@ -272,6 +309,7 @@ func stateAmplitudes(st *quantum.State) []Amplitude {
 type JobJSON struct {
 	ID        string `json:"id"`
 	Status    string `json:"status"`
+	Tenant    string `json:"tenant,omitempty"`
 	Backend   string `json:"backend"`
 	NumQubits int    `json:"num_qubits"`
 	Gates     int    `json:"gates"`

@@ -1,0 +1,147 @@
+package service
+
+// Multi-tenant fair scheduling: the manager keeps one FIFO queue per
+// tenant and drains them with deficit round robin (DRR). Each
+// backlogged tenant earns drrQuantum gate-cost credits per scheduler
+// round and spends a job's gate count when it dispatches, so over time
+// every backlogged tenant receives an equal share of dispatched *work*
+// (gates), not merely an equal share of jobs — a tenant submitting
+// deep circuits cannot crowd out one submitting shallow ones, and a
+// burst from one tenant only ever delays that tenant's own backlog.
+//
+// Quotas bound each tenant independently of fairness:
+//
+//   - TenantMaxQueued caps a tenant's queued jobs (HTTP 429 on breach),
+//   - TenantMaxRunning caps a tenant's concurrently running jobs (the
+//     scheduler skips the tenant while at the cap),
+//   - TenantMaxBytes caps the sum of a tenant's running jobs' declared
+//     estimates (jobs that could never fit are rejected with HTTP 422;
+//     jobs that fit the quota but not its current headroom wait).
+//
+// The shared admission ledger (sum of ALL running jobs' declared
+// estimates vs the engine memory budget) is enforced at dispatch time,
+// atomically with the queued→running transition, so a reservation can
+// never leak: a job releases its estimate exactly once, in finishJob.
+
+// drrQuantum is the gate-cost credit a backlogged tenant earns per
+// scheduler round.
+const drrQuantum = 64
+
+// tenantState is one tenant's scheduling state; all fields are guarded
+// by the Manager's mutex.
+type tenantState struct {
+	name string
+	// queue holds the tenant's queued jobs in submission order.
+	queue []*Job
+	// deficit is the tenant's unspent DRR credit in gate-cost units.
+	deficit int64
+	// running counts the tenant's currently running jobs.
+	running int
+	// admitted is the sum of the tenant's running jobs' declared
+	// estimates.
+	admitted int64
+}
+
+// jobCost is a job's DRR cost: its gate count (minimum 1).
+func jobCost(j *Job) int64 {
+	if j.req == nil || j.req.circuit == nil {
+		return 1
+	}
+	if n := int64(j.req.circuit.Len()); n > 1 {
+		return n
+	}
+	return 1
+}
+
+// tenantLocked returns (creating if needed) a tenant's state.
+func (m *Manager) tenantLocked(name string) *tenantState {
+	ts := m.tenants[name]
+	if ts == nil {
+		ts = &tenantState{name: name}
+		m.tenants[name] = ts
+		m.ring = append(m.ring, ts)
+	}
+	return ts
+}
+
+// fitsBudgetLocked reports whether dispatching a job with the given
+// estimate would keep both the shared admission ledger and the tenant's
+// byte quota within bounds.
+func (m *Manager) fitsBudgetLocked(ts *tenantState, est int64) bool {
+	if est == 0 {
+		return true
+	}
+	if lim := m.budget.Limit(); lim > 0 && m.admitted+est > lim {
+		return false
+	}
+	if q := m.cfg.TenantMaxBytes; q > 0 && ts.admitted+est > q {
+		return false
+	}
+	return true
+}
+
+// dispatchLocked picks the next job by deficit round robin and
+// transitions it queued→running, reserving its admission estimate
+// atomically. Returns nil when no job is currently dispatchable (all
+// queues empty, every backlogged tenant at its running cap, or every
+// head job blocked on budget headroom).
+func (m *Manager) dispatchLocked() *Job {
+	n := len(m.ring)
+	budgetBlocked := false
+	for {
+		eligible := false
+		for i := 0; i < n; i++ {
+			ts := m.ring[(m.rrPos+i)%n]
+			if len(ts.queue) == 0 {
+				continue
+			}
+			if m.cfg.TenantMaxRunning > 0 && ts.running >= m.cfg.TenantMaxRunning {
+				continue
+			}
+			j := ts.queue[0]
+			if !m.fitsBudgetLocked(ts, j.req.estimate) {
+				budgetBlocked = true
+				continue
+			}
+			eligible = true
+			cost := jobCost(j)
+			if ts.deficit < cost {
+				continue
+			}
+			ts.queue = ts.queue[1:]
+			m.queuedTotal--
+			ts.deficit -= cost
+			if len(ts.queue) == 0 {
+				// An idle tenant keeps no credit: deficits only ever
+				// balance *backlogged* tenants against each other.
+				ts.deficit = 0
+			}
+			m.rrPos = (m.rrPos + i + 1) % n
+			j.admittedBytes = j.req.estimate
+			m.admitted += j.admittedBytes
+			ts.admitted += j.admittedBytes
+			ts.running++
+			j.status = JobRunning
+			j.started = timeNow()
+			return j
+		}
+		if !eligible {
+			if budgetBlocked {
+				m.metrics.admissionWaits.Add(1)
+			}
+			return nil
+		}
+		// Some tenant could dispatch but lacks credit: top every
+		// backlogged tenant up by one quantum and rescan. The credit cap
+		// keeps a long-blocked tenant from banking an unbounded burst.
+		for _, ts := range m.ring {
+			if len(ts.queue) == 0 {
+				continue
+			}
+			ts.deficit += drrQuantum
+			if max := jobCost(ts.queue[0]) + drrQuantum; ts.deficit > max {
+				ts.deficit = max
+			}
+		}
+	}
+}

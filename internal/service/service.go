@@ -5,13 +5,15 @@
 // *serviceable* infrastructure; this package supplies the service. It
 // stacks three mechanisms on the engine:
 //
-//   - a job Manager — a bounded worker pool draining a FIFO queue, with
-//     per-job status and timing, admission control against the engine's
-//     shared memory budget (every per-request engine instance reserves
-//     from one *sqlengine.MemBudget), and engine-level cancellation:
-//     cancelling a job aborts its in-flight gate-stage query at the
-//     next batch/morsel boundary, releasing all reservations and
-//     worker goroutines;
+//   - a job Manager — a bounded worker pool draining per-tenant FIFO
+//     queues by deficit round robin (scheduler.go), with per-tenant
+//     quotas (max running, max queued, admitted-bytes), per-job status
+//     and timing, admission control against the engine's shared memory
+//     budget (every per-request engine instance reserves from one
+//     *sqlengine.MemBudget), a persistent job log replayed on restart
+//     (joblog.go), and engine-level cancellation: cancelling a job
+//     aborts its in-flight gate-stage query at the next batch/morsel
+//     boundary, releasing all reservations and worker goroutines;
 //
 //   - a plan cache — an LRU over translated SQL programs keyed by
 //     circuit fingerprints (sim.PlanCache), shared by every request, so
@@ -62,6 +64,24 @@ type Config struct {
 	// RetainJobs caps how many finished jobs stay queryable (default
 	// 256; the oldest finished jobs are evicted first).
 	RetainJobs int
+	// DataDir enables the persistent job log: every job lifecycle
+	// transition is appended (and fsynced) to DataDir/jobs.qlog, and a
+	// restart on the same directory replays it — completed jobs stay
+	// queryable with their results, queued/running jobs are re-enqueued
+	// and re-executed. Empty disables durability.
+	DataDir string
+	// TenantMaxRunning caps one tenant's concurrently running jobs; the
+	// fair scheduler skips a tenant at its cap (0 = no per-tenant cap).
+	TenantMaxRunning int
+	// TenantMaxQueued caps one tenant's queued jobs; submissions beyond
+	// it fail fast with ErrTenantQueueFull (HTTP 429). 0 = no cap
+	// beyond the global QueueDepth.
+	TenantMaxQueued int
+	// TenantMaxBytes caps the sum of one tenant's running jobs'
+	// declared estimates: larger single estimates are rejected with
+	// ErrTenantOverBudget (HTTP 422), and jobs that fit the quota but
+	// not its current headroom wait in the tenant's queue (0 = no cap).
+	TenantMaxBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -84,14 +104,30 @@ type Server struct {
 	started time.Time
 }
 
-// New builds a ready-to-serve simulation service.
+// New builds a ready-to-serve simulation service. It panics when
+// Config.DataDir is set but unusable; durable deployments should use
+// Open. Without a DataDir, New never fails.
 func New(cfg Config) *Server {
+	s, err := Open(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Open builds a ready-to-serve simulation service, replaying the
+// persistent job log first when Config.DataDir is set.
+func Open(cfg Config) (*Server, error) {
+	m, err := OpenManager(cfg)
+	if err != nil {
+		return nil, err
+	}
 	s := &Server{
-		manager: NewManager(cfg),
+		manager: m,
 		started: time.Now(),
 	}
 	s.mux = s.routes()
-	return s
+	return s, nil
 }
 
 // Manager exposes the job manager (for in-process embedding and tests).

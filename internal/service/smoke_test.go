@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"qymera/internal/circuits"
+	"qymera/internal/quantum"
 	"qymera/internal/sim"
 )
 
@@ -82,6 +83,158 @@ func TestQymeradBinarySmoke(t *testing.T) {
 	metrics := decodeBody[MetricsJSON](t, mresp)
 	if metrics.Jobs["done"] != 1 {
 		t.Fatalf("metrics after one request: %+v", metrics)
+	}
+}
+
+// TestQymeradRestartReplay is the crash-recovery smoke: a real qymerad
+// with -data-dir is SIGKILLed with one job done, one running, and two
+// queued; a second process on the same data dir (with a torn partial
+// frame appended to the log, as a crash mid-append would leave) must
+// keep the done job queryable, re-run the interrupted ones, count the
+// torn tail — and serve amplitudes bit-identical to uninterrupted
+// in-process runs for every job.
+func TestQymeradRestartReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping binary restart replay")
+	}
+	bin := filepath.Join(t.TempDir(), "qymerad")
+	build := exec.Command("go", "build", "-o", bin, "qymera/cmd/qymerad")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building qymerad: %v\n%s", err, out)
+	}
+	dataDir := t.TempDir()
+
+	freePort := func() string {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		return l.Addr().String()
+	}
+	startServer := func(addr string) (*exec.Cmd, *bytes.Buffer) {
+		srv := exec.Command(bin, "-addr", addr, "-workers", "1", "-data-dir", dataDir)
+		var logs bytes.Buffer
+		srv.Stdout, srv.Stderr = &logs, &logs
+		if err := srv.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			srv.Process.Kill()
+			srv.Wait()
+		})
+		waitHealthy(t, "http://"+addr, &logs)
+		return srv, &logs
+	}
+	submit := func(base string, c *quantum.Circuit) string {
+		body, err := json.Marshal(Request{Circuit: circuitDoc(t, c)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit status %d", resp.StatusCode)
+		}
+		return decodeBody[JobJSON](t, resp).ID
+	}
+	getJob := func(base, id string) JobJSON {
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("get job %s: status %d", id, resp.StatusCode)
+		}
+		return decodeBody[JobJSON](t, resp)
+	}
+	waitStatus := func(base, id string, want JobStatus) JobJSON {
+		deadline := time.Now().Add(120 * time.Second)
+		for {
+			j := getJob(base, id)
+			if JobStatus(j.Status) == want {
+				return j
+			}
+			if JobStatus(j.Status).terminal() || time.Now().After(deadline) {
+				t.Fatalf("job %s: status %s (error %q), want %s", id, j.Status, j.Error, want)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	workloads := []*quantum.Circuit{
+		circuits.GHZ(8),                  // finishes before the crash
+		circuits.ParitySuperposition(16), // killed mid-run
+		circuits.QFT(6),                  // killed mid-queue
+		circuits.GHZ(5),                  // killed mid-queue
+	}
+	var want []*sim.Result
+	for _, c := range workloads {
+		res, err := (&sim.SQL{}).Run(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, res)
+	}
+
+	// First life: one worker, so the parity blocker pins the pool and
+	// the last two jobs are still queued when the process dies.
+	addr1 := freePort()
+	srv1, _ := startServer(addr1)
+	base1 := "http://" + addr1
+	ids := []string{submit(base1, workloads[0])}
+	waitStatus(base1, ids[0], JobDone)
+	for _, c := range workloads[1:] {
+		ids = append(ids, submit(base1, c))
+	}
+	waitStatus(base1, ids[1], JobRunning) // the blocker is mid-run...
+	srv1.Process.Kill()                   // ...SIGKILL: no shutdown path runs
+	srv1.Wait()
+
+	// Simulate the torn final append a crash can leave behind: a
+	// partial frame that replay must count and skip, never fail on.
+	logPath := jobLogPath(dataDir)
+	f, err := os.OpenFile(logPath, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x10, 0, 0, 0, 0xAB}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Second life: same data dir, fresh port.
+	addr2 := freePort()
+	_, logs2 := startServer(addr2)
+	base2 := "http://" + addr2
+
+	mresp, err := http.Get(base2 + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := decodeBody[MetricsJSON](t, mresp)
+	rs := metrics.JobLog.Replay
+	if !metrics.JobLog.Enabled {
+		t.Fatalf("restarted server reports job log disabled: %+v", metrics.JobLog)
+	}
+	if rs.CorruptRecords != 1 {
+		t.Fatalf("torn tail not counted: %+v\nserver logs:\n%s", rs, logs2.String())
+	}
+	if rs.CompletedKept < 1 || rs.Requeued < 2 {
+		t.Fatalf("replay stats %+v, want >=1 kept and >=2 requeued\nserver logs:\n%s", rs, logs2.String())
+	}
+
+	// Every job — the replayed-done one and the re-executed ones — must
+	// converge to done with amplitudes bit-identical to the references.
+	for i, id := range ids {
+		j := waitStatus(base2, id, JobDone)
+		if j.Result == nil {
+			t.Fatalf("job %s done without result", id)
+		}
+		statesEqualBits(t, want[i].State, j.Result.Amplitudes)
 	}
 }
 

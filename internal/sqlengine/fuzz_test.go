@@ -1,0 +1,60 @@
+package sqlengine
+
+import "testing"
+
+// FuzzLex feeds arbitrary strings to the SQL lexer. Lex errors are
+// expected on garbage; panics or hangs are bugs.
+func FuzzLex(f *testing.F) {
+	f.Add("SELECT s, r, i FROM state")
+	f.Add("WITH t AS (SELECT 1 AS x) SELECT x FROM t;")
+	f.Add("SELECT 1e309, .5, 0x, 'unterminated")
+	f.Add(`SELECT "quoted ident", b.s & 3 | 4 # 5 FROM b`)
+	f.Add("-- comment only\n")
+	f.Add("SELECT /* nested? /* */ 1")
+	f.Add("\x00\xff\xfe")
+	f.Add("((((((((((")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			return
+		}
+		toks, err := lexSQL(src)
+		if err != nil {
+			return
+		}
+		// A successful lex always terminates the stream with EOF.
+		if len(toks) == 0 {
+			t.Fatal("lexSQL returned no tokens and no error")
+		}
+	})
+}
+
+// FuzzParse feeds arbitrary strings to the SQL parser (lexer
+// included). Parse errors are expected; panics, hangs, or unbounded
+// recursion are bugs.
+func FuzzParse(f *testing.F) {
+	f.Add("SELECT s, r, i FROM state WHERE r != 0 ORDER BY s")
+	f.Add("WITH g0 AS (SELECT s # 1 AS s, r, i FROM state) SELECT * FROM g0;")
+	f.Add("SELECT a.s, a.r*b.r - a.i*b.i AS r FROM a JOIN b ON a.s = b.s")
+	f.Add("CREATE TABLE state (s INTEGER, r REAL, i REAL); INSERT INTO state VALUES (0, 1.0, 0.0);")
+	f.Add("SELECT CASE WHEN s & 1 = 0 THEN r ELSE -r END FROM state GROUP BY s HAVING SUM(r) > 0")
+	f.Add("SELECT ((((((1))))))")
+	f.Add("SELECT FROM WHERE GROUP")
+	f.Add(";;;;")
+	f.Add("SELECT 1 UNION ALL SELECT 2")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			return
+		}
+		stmts, err := ParseScript(src)
+		if err != nil {
+			return
+		}
+		for i, st := range stmts {
+			if st == nil {
+				t.Fatalf("ParseScript returned nil statement %d without error", i)
+			}
+		}
+	})
+}
