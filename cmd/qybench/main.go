@@ -40,6 +40,13 @@
 //	                         # (p50/p99 latency, queue saturation,
 //	                         # inter-tenant fairness spread, durable job
 //	                         # log on, served-vs-direct bit-identity)
+//	qybench -benchjson BENCH_sqlengine_storage.json
+//	                         # paths containing "storage" write the
+//	                         # sparsity-first storage report (norm-pruned
+//	                         # and gate-stage queries over a nearly
+//	                         # sparse amplitude table with encodings on
+//	                         # vs off + zone-map skip counts +
+//	                         # bit-identity)
 //	qybench -compareallocs BENCH_sqlengine.json NEW.json
 //	                         # allocation regression gate: fail when
 //	                         # NEW.json's fixed-size gate-stage query
@@ -50,6 +57,11 @@
 //	                         # the report is not bit-identical, has no
 //	                         # latency tail, or its fairness spread
 //	                         # exceeds 1.5x
+//	qybench -storagegate BENCH_sqlengine_storage.json
+//	                         # sparsity-storage regression gate: fail
+//	                         # when the report is not bit-identical, no
+//	                         # morsel was zone-skipped, or the sparse
+//	                         # scan did not win with encodings on
 package main
 
 import (
@@ -72,6 +84,7 @@ func main() {
 	benchJSON := flag.String("benchjson", "", "write a machine-readable SQL-engine report to this path and exit: paths containing \"parallel\" get the morsel-parallel scaling report (BENCH_sqlengine_parallel.json), anything else the throughput report (BENCH_sqlengine.json)")
 	compareAllocs := flag.String("compareallocs", "", "allocation regression gate: compare the gate-stage allocs/op of a fresh BENCH_sqlengine.json (first positional argument) against this committed baseline and exit nonzero on a >20% regression")
 	stormGate := flag.String("stormgate", "", "service-storm regression gate: validate this BENCH_service_storm.json (amplitudes bit-identical, p99 > 0, fairness spread <= 1.5) and exit nonzero on breach")
+	storageGate := flag.String("storagegate", "", "sparsity-storage regression gate: validate this BENCH_sqlengine_storage.json (results bit-identical, morsels actually zone-skipped, sparse scan faster with encodings) and exit nonzero on breach")
 	flag.Parse()
 
 	if *stormGate != "" {
@@ -80,6 +93,15 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("storm gate ok: %s\n", *stormGate)
+		return
+	}
+
+	if *storageGate != "" {
+		if err := bench.StorageGate(*storageGate); err != nil {
+			fmt.Fprintln(os.Stderr, "qybench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("storage gate ok: %s\n", *storageGate)
 		return
 	}
 
@@ -111,6 +133,8 @@ func main() {
 			data, err = bench.OptimizerBenchJSON(bench.Options{Quick: *quick})
 		case strings.Contains(base, "kernel"):
 			data, err = bench.KernelBenchJSON(bench.Options{Quick: *quick})
+		case strings.Contains(base, "storage"):
+			data, err = bench.StorageBenchJSON(bench.Options{Quick: *quick})
 		default:
 			data, err = bench.EngineBenchJSON(bench.Options{Quick: *quick})
 		}

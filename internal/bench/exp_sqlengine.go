@@ -64,9 +64,13 @@ type EngineBenchReport struct {
 	Storage   string `json:"storage"`
 	BatchSize int    `json:"batch_size"`
 	// GateStage is the fixed-size allocation benchmark backing the CI
-	// allocation-regression gate.
+	// allocation-regression gate, measured on the default configuration
+	// (compressed encodings on — the operate-on-encoded path).
 	GateStage *GateStageAllocBench `json:"gate_stage"`
-	Entries   []EngineBenchEntry   `json:"entries"`
+	// GateStagePlain is the same benchmark with encodings off (plain
+	// typed vectors), so the gate covers both storage paths.
+	GateStagePlain *GateStageAllocBench `json:"gate_stage_plain,omitempty"`
+	Entries        []EngineBenchEntry   `json:"entries"`
 }
 
 // gateStageAllocRows is the fixed input size of the allocation gate;
@@ -75,9 +79,11 @@ const gateStageAllocRows = 1 << 14
 
 // MeasureGateStageAllocs runs the gate-stage query over a fixed-size
 // table at one worker (the deterministic serial path) and reports mean
-// wall time and allocations per execution.
-func MeasureGateStageAllocs() (*GateStageAllocBench, error) {
-	db, err := gateStageDB(gateStageAllocRows, sqlengine.Config{Parallelism: 1})
+// wall time and allocations per execution. encodings selects the
+// storage tier under measurement ("on" is the default configuration,
+// "off" the plain typed vectors).
+func MeasureGateStageAllocs(encodings string) (*GateStageAllocBench, error) {
+	db, err := gateStageDB(gateStageAllocRows, sqlengine.Config{Parallelism: 1, Encodings: encodings})
 	if err != nil {
 		return nil, err
 	}
@@ -141,11 +147,16 @@ func engineWorkloads(quick bool) []struct {
 // and returns the throughput report.
 func RunEngineBench(opts Options) (*EngineBenchReport, error) {
 	report := &EngineBenchReport{Engine: "vectorized-batch", Storage: "columnar", BatchSize: sqlengine.BatchSize}
-	gs, err := MeasureGateStageAllocs()
+	gs, err := MeasureGateStageAllocs("on")
 	if err != nil {
 		return nil, fmt.Errorf("bench: sqlengine gate-stage allocs: %w", err)
 	}
 	report.GateStage = gs
+	plain, err := MeasureGateStageAllocs("off")
+	if err != nil {
+		return nil, fmt.Errorf("bench: sqlengine gate-stage allocs (plain): %w", err)
+	}
+	report.GateStagePlain = plain
 	for _, w := range engineWorkloads(opts.Quick) {
 		c := w.build(w.n)
 		var res *sim.Result
@@ -229,15 +240,26 @@ func CompareAllocGate(baselinePath, newPath string) error {
 	if err != nil {
 		return err
 	}
-	if base.GateStage.Rows != cur.GateStage.Rows {
-		return fmt.Errorf("alloc gate: incomparable sizes: baseline rows=%d vs new rows=%d", base.GateStage.Rows, cur.GateStage.Rows)
+	check := func(name string, base, cur *GateStageAllocBench) error {
+		if base.Rows != cur.Rows {
+			return fmt.Errorf("alloc gate: incomparable sizes: baseline rows=%d vs new rows=%d", base.Rows, cur.Rows)
+		}
+		limit := base.AllocsPerOp * AllocGateTolerance
+		fmt.Printf("alloc gate: gate-stage query [%s] (%d rows): baseline %.0f allocs/op, new %.0f allocs/op (limit %.0f)\n",
+			name, base.Rows, base.AllocsPerOp, cur.AllocsPerOp, limit)
+		if cur.AllocsPerOp > limit {
+			return fmt.Errorf("alloc gate FAILED [%s]: %.0f allocs/op exceeds baseline %.0f by more than %.0f%%",
+				name, cur.AllocsPerOp, base.AllocsPerOp, (AllocGateTolerance-1)*100)
+		}
+		return nil
 	}
-	limit := base.GateStage.AllocsPerOp * AllocGateTolerance
-	fmt.Printf("alloc gate: gate-stage query (%d rows): baseline %.0f allocs/op, new %.0f allocs/op (limit %.0f)\n",
-		base.GateStage.Rows, base.GateStage.AllocsPerOp, cur.GateStage.AllocsPerOp, limit)
-	if cur.GateStage.AllocsPerOp > limit {
-		return fmt.Errorf("alloc gate FAILED: %.0f allocs/op exceeds baseline %.0f by more than %.0f%%",
-			cur.GateStage.AllocsPerOp, base.GateStage.AllocsPerOp, (AllocGateTolerance-1)*100)
+	if err := check("encoded", base.GateStage, cur.GateStage); err != nil {
+		return err
+	}
+	// The plain-vector path is gated too when both reports measured it
+	// (baselines predating the split only carry the default section).
+	if base.GateStagePlain != nil && cur.GateStagePlain != nil {
+		return check("plain", base.GateStagePlain, cur.GateStagePlain)
 	}
 	return nil
 }

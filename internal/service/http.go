@@ -219,6 +219,12 @@ type MetricsJSON struct {
 	// fallbacks, and per-reason fallback_<reason> counts.
 	Kernels map[string]int64 `json:"kernels"`
 
+	// Storage exposes the engine's cumulative sparsity-first storage
+	// counters (process-wide): morsels_skipped, chunks_skipped,
+	// encoded_rle, encoded_dict, encoded_sparse, encoded_chunk_cols,
+	// decode_fallbacks, and kernel_encoded_binds.
+	Storage map[string]int64 `json:"storage"`
+
 	Backends map[string]BackendLatency `json:"backends"`
 
 	// Tenants breaks queue/run/quota state down per tenant.
@@ -263,6 +269,7 @@ func (s *Server) Metrics() MetricsJSON {
 		PlanCache:      m.PlanCacheStats(),
 		Optimizer:      sqlengine.OptimizerCounters(),
 		Kernels:        sqlengine.KernelCounters(),
+		Storage:        sqlengine.StorageCounters(),
 		Backends:       backends,
 		Tenants:        map[string]TenantMetrics{},
 	}

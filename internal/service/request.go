@@ -53,6 +53,12 @@ type RequestOptions struct {
 	// engine's compiled gate-stage kernel tier. Amplitudes are
 	// bit-identical either way; only throughput changes.
 	Kernels string `json:"kernels,omitempty"`
+	// Encodings (sql backends): "on" (default) or "off" — toggles the
+	// engine's sparsity-first storage tier (compressed column encodings
+	// + zone-map skip-scan). Distinct from Encoding, which selects the
+	// circuit translation's amplitude-index encoding. Amplitudes are
+	// bit-identical either way; only throughput and memory change.
+	Encodings string `json:"encodings,omitempty"`
 	// MaxBond (mps): bond-dimension cap, 0 = exact.
 	MaxBond int `json:"max_bond,omitempty"`
 	// EstimatedBytes declares the job's expected peak engine memory for
@@ -195,6 +201,11 @@ func sqlOptions(o RequestOptions) (so sqlPlanOptions, err error) {
 	default:
 		return so, fmt.Errorf("unknown kernels %q (have on, off)", o.Kernels)
 	}
+	switch strings.ToLower(o.Encodings) {
+	case "", "on", "off":
+	default:
+		return so, fmt.Errorf("unknown encodings %q (have on, off)", o.Encodings)
+	}
 	return so, nil
 }
 
@@ -224,6 +235,7 @@ func (m *Manager) newBackend(p *parsedRequest) (sim.Backend, error) {
 			Layout:      strings.ToLower(p.options.Layout),
 			Optimizer:   strings.ToLower(p.options.Optimizer),
 			Kernels:     strings.ToLower(p.options.Kernels),
+			Encodings:   strings.ToLower(p.options.Encodings),
 			Budget:      m.budget,
 			Cache:       m.cache,
 		}, nil

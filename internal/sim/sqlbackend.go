@@ -62,6 +62,13 @@ type SQL struct {
 	// replays the interpreted engine's accumulation order exactly (see
 	// internal/sqlengine/kernel.go).
 	Kernels string
+	// Encodings controls the engine's sparsity-first storage tier: ""
+	// or "on" (default) enables compressed column encodings and
+	// zone-map skip-scan, "off" keeps plain typed vectors. Amplitudes
+	// are bitwise independent of the setting — encodings are exact and
+	// a skipped morsel is one the pushed filter would have emptied
+	// anyway (see internal/sqlengine/encoding.go and zonemap.go).
+	Encodings string
 	// Budget, when non-nil, is a pre-built engine memory accountant
 	// that overrides MemoryBudget. Sharing one budget across backends
 	// makes concurrent simulations compete for a single global pool —
@@ -133,6 +140,7 @@ func (b *SQL) RunContext(ctx context.Context, c *quantum.Circuit) (*Result, erro
 		Budget:       b.Budget,
 		Optimizer:    b.Optimizer,
 		Kernels:      b.Kernels,
+		Encodings:    b.Encodings,
 	}
 	if b.Cache != nil {
 		// Compiled kernels ride along with the plan cache: a sweep that

@@ -58,6 +58,7 @@ func TestQueryContextPreCancelled(t *testing.T) {
 			budget := NewMemBudget(0)
 			db := cancelTestDB(t, 4096, workers, budget)
 			defer db.Close()
+			freezeTables(t, db, "t", "h")
 			base := budget.Used() // table storage stays reserved
 
 			ctx, cancel := context.WithCancel(context.Background())
@@ -82,6 +83,7 @@ func TestQueryContextCancelMidQuery(t *testing.T) {
 			budget := NewMemBudget(0)
 			db := cancelTestDB(t, 1<<17, workers, budget)
 			defer db.Close()
+			freezeTables(t, db, "t", "h")
 			base := budget.Used()
 			before := runtime.NumGoroutine()
 

@@ -2,11 +2,13 @@ package sqlengine
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"math"
 	"os"
+	"sync/atomic"
 )
 
 // ColStore is the native columnar table store: each column is a typed
@@ -85,6 +87,12 @@ const (
 	colStr                    // []string (TEXT)
 	colBool                   // []bool (BOOLEAN)
 	colGeneric                // []Value fallback for mixed-type columns
+
+	// Encoded kinds (encoding.go): exact compressed forms of colInt /
+	// colFloat, selected at Freeze time from the table statistics.
+	colIntRLE      // []intRun run-length runs
+	colIntDict     // dictionary []int64 + per-row uint32 codes
+	colFloatSparse // sorted nonzero positions + values, zeros elided
 )
 
 func (k colKind) String() string {
@@ -101,6 +109,12 @@ func (k colKind) String() string {
 		return "bool"
 	case colGeneric:
 		return "values"
+	case colIntRLE:
+		return "int64/rle"
+	case colIntDict:
+		return "int64/dict"
+	case colFloatSparse:
+		return "float64/sparse"
 	}
 	return fmt.Sprintf("colKind(%d)", uint8(k))
 }
@@ -118,6 +132,18 @@ type column struct {
 	vals   colVec
 	// hint pre-sizes the typed vector allocation (ColStore.hintRows).
 	hint int
+
+	// Encoded representations (encoding.go). encLen is the encoded row
+	// count; encSaved the resident bytes the encoding released back to
+	// the budget (re-reserved on a lazy decode). The null bitmap stays
+	// verbatim — encodings cover the raw value slots only.
+	runs  []intRun  // colIntRLE
+	dict  []int64   // colIntDict values
+	codes []uint32  // colIntDict per-row codes
+	spos  []int32   // colFloatSparse nonzero positions (ascending)
+	svals []float64 // colFloatSparse nonzero values
+	encLen   int
+	encSaved int64
 }
 
 func (c *column) setNull(row int) {
@@ -156,6 +182,15 @@ func (c *column) valueAt(i int) Value {
 			return Value{T: TypeBool, I: 1}
 		}
 		return Value{T: TypeBool}
+	case colIntRLE:
+		return Value{T: TypeInt, I: c.runs[runSearch(c.runs, i)].v}
+	case colIntDict:
+		return Value{T: TypeInt, I: c.dict[c.codes[i]]}
+	case colFloatSparse:
+		if si := sparseSearch(c.spos, i); si < len(c.spos) && int(c.spos[si]) == i {
+			return Value{T: TypeFloat, F: c.svals[si]}
+		}
+		return Value{T: TypeFloat}
 	}
 	return Null
 }
@@ -250,6 +285,11 @@ func (c *column) appendValue(v Value, row int) {
 				continue
 			}
 			return
+		case colIntRLE, colIntDict, colFloatSparse:
+			// Defensive: ColStore.decodeForAppend runs before appends;
+			// a direct append to an encoded column decodes in place.
+			c.decodeEncoded()
+			continue
 		}
 	}
 }
@@ -335,6 +375,50 @@ func (c *column) decodeRange(lo, hi int, scratch colVec) (colVec, colVec) {
 				out[j] = Value{T: TypeBool}
 			}
 		}
+	case colIntRLE:
+		// Run walk: binary-search the first run, then advance run ends.
+		ri := runSearch(c.runs, lo)
+		for j := 0; j < n; j++ {
+			row := lo + j
+			for int(c.runs[ri].end) <= row {
+				ri++
+			}
+			if c.nulls != nil && c.isNull(row) {
+				out[j] = Null
+			} else {
+				out[j] = Value{T: TypeInt, I: c.runs[ri].v}
+			}
+		}
+	case colIntDict:
+		if c.nulls == nil {
+			for j, code := range c.codes[lo:hi] {
+				out[j] = Value{T: TypeInt, I: c.dict[code]}
+			}
+		} else {
+			for j := 0; j < n; j++ {
+				if c.isNull(lo + j) {
+					out[j] = Null
+				} else {
+					out[j] = Value{T: TypeInt, I: c.dict[c.codes[lo+j]]}
+				}
+			}
+		}
+	case colFloatSparse:
+		// Zero-fill (+0.0, matching the elided slots bit-for-bit), then
+		// scatter the nonzeros of the range, then the null overlay.
+		for j := range out {
+			out[j] = Value{T: TypeFloat}
+		}
+		for si := sparseSearch(c.spos, lo); si < len(c.spos) && int(c.spos[si]) < hi; si++ {
+			out[int(c.spos[si])-lo] = Value{T: TypeFloat, F: c.svals[si]}
+		}
+		if c.nulls != nil {
+			for j := 0; j < n; j++ {
+				if c.isNull(lo + j) {
+					out[j] = Null
+				}
+			}
+		}
 	}
 	return out, scratch
 }
@@ -348,6 +432,12 @@ func (c *column) reset() {
 	c.strs = c.strs[:0]
 	c.bools = c.bools[:0]
 	c.vals = c.vals[:0]
+	c.runs = c.runs[:0]
+	c.dict = c.dict[:0]
+	c.codes = c.codes[:0]
+	c.spos = c.spos[:0]
+	c.svals = c.svals[:0]
+	c.encLen = 0
 }
 
 // colValueBytes estimates the columnar in-memory footprint of one value:
@@ -418,6 +508,10 @@ func (cs *ColStore) startSpill() error {
 	cs.file = f
 	cs.w = bufio.NewWriterSize(f, 1<<16)
 	cs.env.spillFiles.Add(1)
+	if _, err := cs.w.WriteString(colSpillMagic); err != nil {
+		cs.spillErr = fmt.Errorf("sqlengine: writing spill header: %w", err)
+		return cs.spillErr
+	}
 	return cs.flushChunk()
 }
 
@@ -462,6 +556,7 @@ func (cs *ColStore) Append(row Row) error {
 	if cs.spillErr != nil {
 		return cs.spillErr
 	}
+	cs.decodeForAppend()
 	if err := cs.ensureWidth(len(row)); err != nil {
 		return err
 	}
@@ -493,6 +588,7 @@ func (cs *ColStore) AppendBatch(b *rowBatch) error {
 	if cs.spillErr != nil {
 		return cs.spillErr
 	}
+	cs.decodeForAppend()
 	if err := cs.ensureWidth(b.width()); err != nil {
 		return err
 	}
@@ -552,6 +648,7 @@ func (cs *ColStore) Freeze() error {
 		}
 	}
 	cs.frozen = true
+	cs.encodeColumns()
 	return nil
 }
 
@@ -684,8 +781,30 @@ func (cs *ColStore) batchScanCols(keep []int) (storeScan, error) {
 		}
 		sc.r = bufio.NewReaderSize(io.NewSectionReader(cs.file, 0, info.Size()), 1<<16)
 		sc.fileLeft = cs.fileRows
+		// The stream is self-describing: a QYC2 magic announces the v2
+		// chunk frame (zone records + length-prefixed data); its absence
+		// means the legacy implicit frame.
+		if hdr, err := sc.r.Peek(len(colSpillMagic)); err == nil && string(hdr) == colSpillMagic {
+			sc.r.Discard(len(colSpillMagic))
+			sc.v2 = true
+		}
 	}
 	return sc, nil
+}
+
+// batchScanZone is batchScanCols plus zone-map skip-scan: morsels (in
+// memory) and chunks (spilled, via the chunk zone records) that zp
+// proves empty are skipped without decoding, counted into skipped and
+// the process-wide storage counters.
+func (cs *ColStore) batchScanZone(keep []int, zp *zonePred, skipped *atomic.Int64) (storeScan, error) {
+	sc, err := cs.batchScanCols(keep)
+	if err != nil {
+		return nil, err
+	}
+	s := sc.(*colScan)
+	s.zp, s.skipped = zp, skipped
+	s.mskip = cs.zoneSkipper(zp)
+	return s, nil
 }
 
 // colScan reads a frozen ColStore batch-at-a-time.
@@ -693,6 +812,7 @@ type colScan struct {
 	cs       *ColStore
 	keep     []int
 	r        *bufio.Reader
+	v2       bool
 	fileLeft int64
 	chunk    []column
 	chunkLen int
@@ -700,6 +820,14 @@ type colScan struct {
 	memPos   int
 	buf      *rowBatch
 	scratch  []colVec
+
+	// Zone-map skip-scan (batchScanZone): zp drives spilled-chunk skips
+	// against the chunk zone records; mskip is the per-morsel decision
+	// for the in-memory rows (nil when unavailable); skipped counts
+	// skipped units for EXPLAIN ANALYZE.
+	zp      *zonePred
+	mskip   func(m int) bool
+	skipped *atomic.Int64
 }
 
 func (s *colScan) NextBatch() (*rowBatch, error) {
@@ -722,6 +850,22 @@ func (s *colScan) NextBatch() (*rowBatch, error) {
 			if s.chunk == nil {
 				s.chunk = make([]column, s.cs.width)
 			}
+			if s.v2 {
+				n, skip, err := readChunkV2(s.r, s.chunk, s.zp)
+				if err != nil {
+					return nil, fmt.Errorf("sqlengine: reading spill file: %w", err)
+				}
+				s.fileLeft -= int64(n)
+				if skip {
+					if s.skipped != nil {
+						s.skipped.Add(1)
+					}
+					storageCounters.chunksSkipped.Add(1)
+					continue
+				}
+				s.chunkLen, s.chunkPos = n, 0
+				continue
+			}
 			n, err := readChunk(s.r, s.chunk)
 			if err != nil {
 				return nil, fmt.Errorf("sqlengine: reading spill file: %w", err)
@@ -731,6 +875,21 @@ func (s *colScan) NextBatch() (*rowBatch, error) {
 			continue
 		}
 		if s.memPos < s.cs.rows {
+			// Morsel-aligned zone skip of the in-memory rows: valid only
+			// when they start at table row 0 (never-spilled store —
+			// zoneSkipper enforces that).
+			if s.mskip != nil {
+				for s.memPos < s.cs.rows && s.memPos%morselRows == 0 && s.mskip(s.memPos/morselRows) {
+					s.memPos = min(s.memPos+morselRows, s.cs.rows)
+					if s.skipped != nil {
+						s.skipped.Add(1)
+					}
+					storageCounters.morselsSkipped.Add(1)
+				}
+				if s.memPos >= s.cs.rows {
+					return nil, nil
+				}
+			}
 			hi := min(s.memPos+batchSize, s.cs.rows)
 			serveColumns(s.cs.cols, s.keep, s.memPos, hi, s.buf, s.scratch)
 			s.memPos = hi
@@ -778,16 +937,108 @@ func (c *colCursor) Next() (Row, bool, error) {
 	return row, true, nil
 }
 
-// Columnar chunk encoding for spill files. Each chunk is
+// Columnar chunk encoding for spill files. The stream opens with the
+// colSpillMagic version header ("QYC2"); each v2 chunk is
 //
 //	uvarint rows
-//	per column: kind byte, then
+//	uvarint zoneBytes, then per column one zone record:
+//	  flags byte (1 = int bounds, 2 = float bounds, 4 = NaN seen,
+//	  8 = other/mixed), uvarint nulls,
+//	  [varint intMin, varint intMax], [8B fMin bits, 8B fMax bits]
+//	uvarint dataBytes, then per column one column run: kind byte, then
 //	  typed kinds: hasNulls byte (+ null bitmap), packed data
+//	  encoded kinds: hasNulls byte (+ bitmap), the encoded payload
 //	  generic: per-row tagged values (the row codec's value encoding)
 //
-// Integers and floats are packed as raw 8-byte little-endian words so
-// float64 bit patterns round-trip exactly.
+// The zone records let a scan prove a chunk empty under its pushed
+// filter and Discard dataBytes without decoding a row; the explicit
+// kind tags make encoded and plain chunks self-describing. Streams
+// without the magic are the legacy implicit frame (uvarint rows +
+// plain column runs) and still decode. Integers and floats are packed
+// as raw 8-byte little-endian words so float64 bit patterns round-trip
+// exactly.
 
+// colSpillMagic is the spill stream version header for the v2 chunk
+// frame.
+const colSpillMagic = "QYC2"
+
+// zoneOfColumn computes one chunk column's zone record from its values.
+func zoneOfColumn(c *column, rows int) zoneEntry {
+	var z zoneEntry
+	for i := 0; i < rows; i++ {
+		z.observe(c.valueAt(i))
+	}
+	return z
+}
+
+func writeZoneRec(buf *bytes.Buffer, z zoneEntry) {
+	var scratch [binary.MaxVarintLen64]byte
+	var flags byte
+	if z.hasInt {
+		flags |= 1
+	}
+	if z.hasFloat {
+		flags |= 2
+	}
+	if z.hasNaN {
+		flags |= 4
+	}
+	if z.hasOther {
+		flags |= 8
+	}
+	buf.WriteByte(flags)
+	buf.Write(scratch[:binary.PutUvarint(scratch[:], uint64(z.nulls))])
+	if z.hasInt {
+		buf.Write(scratch[:binary.PutVarint(scratch[:], z.intMin)])
+		buf.Write(scratch[:binary.PutVarint(scratch[:], z.intMax)])
+	}
+	if z.hasFloat {
+		var fb [8]byte
+		binary.LittleEndian.PutUint64(fb[:], math.Float64bits(z.fMin))
+		buf.Write(fb[:])
+		binary.LittleEndian.PutUint64(fb[:], math.Float64bits(z.fMax))
+		buf.Write(fb[:])
+	}
+}
+
+func readZoneRec(r *bufio.Reader, rows int) (zoneEntry, error) {
+	z := zoneEntry{rows: int32(rows)}
+	flags, err := r.ReadByte()
+	if err != nil {
+		return z, err
+	}
+	z.hasInt, z.hasFloat = flags&1 != 0, flags&2 != 0
+	z.hasNaN, z.hasOther = flags&4 != 0, flags&8 != 0
+	nulls, err := binary.ReadUvarint(r)
+	if err != nil {
+		return z, err
+	}
+	z.nulls = int32(nulls)
+	if z.hasInt {
+		if z.intMin, err = binary.ReadVarint(r); err != nil {
+			return z, err
+		}
+		if z.intMax, err = binary.ReadVarint(r); err != nil {
+			return z, err
+		}
+	}
+	if z.hasFloat {
+		var fb [8]byte
+		if _, err := io.ReadFull(r, fb[:]); err != nil {
+			return z, err
+		}
+		z.fMin = math.Float64frombits(binary.LittleEndian.Uint64(fb[:]))
+		if _, err := io.ReadFull(r, fb[:]); err != nil {
+			return z, err
+		}
+		z.fMax = math.Float64frombits(binary.LittleEndian.Uint64(fb[:]))
+	}
+	return z, nil
+}
+
+// writeChunk writes one v2 chunk: zone records, then the
+// length-prefixed data block of column runs (encoded per column when
+// the chunk-local decision pays off).
 func writeChunk(w *bufio.Writer, cols []column, rows int) (int, error) {
 	var scratch [binary.MaxVarintLen64]byte
 	total := 0
@@ -796,13 +1047,40 @@ func writeChunk(w *bufio.Writer, cols []column, rows int) (int, error) {
 		return total, err
 	}
 	total += n
+
+	var zb bytes.Buffer
 	for i := range cols {
-		cn, err := writeColumnRun(w, &cols[i], rows)
-		total += cn
-		if err != nil {
+		writeZoneRec(&zb, zoneOfColumn(&cols[i], rows))
+	}
+	n = binary.PutUvarint(scratch[:], uint64(zb.Len()))
+	if _, err := w.Write(scratch[:n]); err != nil {
+		return total, err
+	}
+	total += n
+	if _, err := w.Write(zb.Bytes()); err != nil {
+		return total, err
+	}
+	total += zb.Len()
+
+	var db bytes.Buffer
+	dw := bufio.NewWriter(&db)
+	for i := range cols {
+		if _, err := writeColumnRunV2(dw, &cols[i], rows); err != nil {
 			return total, err
 		}
 	}
+	if err := dw.Flush(); err != nil {
+		return total, err
+	}
+	n = binary.PutUvarint(scratch[:], uint64(db.Len()))
+	if _, err := w.Write(scratch[:n]); err != nil {
+		return total, err
+	}
+	total += n
+	if _, err := w.Write(db.Bytes()); err != nil {
+		return total, err
+	}
+	total += db.Len()
 	return total, nil
 }
 
@@ -912,8 +1190,401 @@ func readBitmap(r *bufio.Reader, rows int, set func(int)) error {
 	return nil
 }
 
-// readChunk decodes the next chunk into cols (reusing their slices) and
-// returns its row count.
+// writeColumnRunV2 writes one column run of a v2 chunk. Plain int and
+// float columns get a chunk-local cheap encode decision (RLE / sparse);
+// columns already encoded in memory are written in their encoded form
+// directly; everything else uses the plain run format.
+func writeColumnRunV2(w *bufio.Writer, c *column, rows int) (int, error) {
+	switch c.kind {
+	case colInt:
+		if runs := countIntRuns(c.ints[:rows]); runs*4 <= rows {
+			storageCounters.encodedChunkCols.Add(1)
+			return writeRLERun(w, c, rows, nil)
+		}
+	case colFloat:
+		nnz := 0
+		for _, f := range c.floats[:rows] {
+			if math.Float64bits(f) != 0 {
+				nnz++
+			}
+		}
+		if 2*nnz <= rows && 12*nnz < 8*rows {
+			storageCounters.encodedChunkCols.Add(1)
+			return writeSparseRun(w, c, rows, nnz)
+		}
+	case colIntRLE:
+		storageCounters.encodedChunkCols.Add(1)
+		return writeRLERun(w, c, rows, c.runs)
+	case colIntDict:
+		storageCounters.encodedChunkCols.Add(1)
+		return writeDictRun(w, c, rows)
+	case colFloatSparse:
+		storageCounters.encodedChunkCols.Add(1)
+		return writeSparseRun(w, c, rows, len(c.spos))
+	}
+	return writeColumnRun(w, c, rows)
+}
+
+// writeRunHeader writes the shared kind + null-bitmap prefix of a
+// column run.
+func writeRunHeader(w *bufio.Writer, c *column, rows int, kind colKind) (int, error) {
+	total := 0
+	if err := w.WriteByte(byte(kind)); err != nil {
+		return total, err
+	}
+	total++
+	hasNulls := byte(0)
+	if len(c.nulls) > 0 {
+		hasNulls = 1
+	}
+	if err := w.WriteByte(hasNulls); err != nil {
+		return total, err
+	}
+	total++
+	if hasNulls == 1 {
+		n, err := writeBitmap(w, rows, c.isNull)
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// writeRLERun writes an RLE column run: uvarint run count, then per run
+// varint value + uvarint length. runs == nil derives the runs from the
+// plain int vector on the fly.
+func writeRLERun(w *bufio.Writer, c *column, rows int, runs []intRun) (int, error) {
+	total, err := writeRunHeader(w, c, rows, colIntRLE)
+	if err != nil {
+		return total, err
+	}
+	var scratch [binary.MaxVarintLen64]byte
+	put := func(v int64, length int) error {
+		n := binary.PutVarint(scratch[:], v)
+		if _, err := w.Write(scratch[:n]); err != nil {
+			return err
+		}
+		total += n
+		n = binary.PutUvarint(scratch[:], uint64(length))
+		_, err := w.Write(scratch[:n])
+		total += n
+		return err
+	}
+	if runs != nil {
+		n := binary.PutUvarint(scratch[:], uint64(len(runs)))
+		if _, err := w.Write(scratch[:n]); err != nil {
+			return total, err
+		}
+		total += n
+		prev := 0
+		for _, r := range runs {
+			if err := put(r.v, int(r.end)-prev); err != nil {
+				return total, err
+			}
+			prev = int(r.end)
+		}
+		return total, nil
+	}
+	xs := c.ints[:rows]
+	nruns := countIntRuns(xs)
+	n := binary.PutUvarint(scratch[:], uint64(nruns))
+	if _, err := w.Write(scratch[:n]); err != nil {
+		return total, err
+	}
+	total += n
+	for i := 0; i < rows; {
+		j := i + 1
+		for j < rows && xs[j] == xs[i] {
+			j++
+		}
+		if err := put(xs[i], j-i); err != nil {
+			return total, err
+		}
+		i = j
+	}
+	return total, nil
+}
+
+// writeDictRun writes a dictionary column run: uvarint dictionary
+// length, the varint dictionary values, then one uvarint code per row.
+func writeDictRun(w *bufio.Writer, c *column, rows int) (int, error) {
+	total, err := writeRunHeader(w, c, rows, colIntDict)
+	if err != nil {
+		return total, err
+	}
+	var scratch [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(scratch[:], uint64(len(c.dict)))
+	if _, err := w.Write(scratch[:n]); err != nil {
+		return total, err
+	}
+	total += n
+	for _, v := range c.dict {
+		n := binary.PutVarint(scratch[:], v)
+		if _, err := w.Write(scratch[:n]); err != nil {
+			return total, err
+		}
+		total += n
+	}
+	for _, code := range c.codes[:rows] {
+		n := binary.PutUvarint(scratch[:], uint64(code))
+		if _, err := w.Write(scratch[:n]); err != nil {
+			return total, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// writeSparseRun writes a sparse float run: uvarint nonzero count, the
+// ascending position deltas (prev starts at -1), then the raw float
+// bit patterns.
+func writeSparseRun(w *bufio.Writer, c *column, rows, nnz int) (int, error) {
+	total, err := writeRunHeader(w, c, rows, colFloatSparse)
+	if err != nil {
+		return total, err
+	}
+	var scratch [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(scratch[:], uint64(nnz))
+	if _, err := w.Write(scratch[:n]); err != nil {
+		return total, err
+	}
+	total += n
+	var fb [8]byte
+	writeEntry := func(pos int, prev *int, f float64) error {
+		n := binary.PutUvarint(scratch[:], uint64(pos-*prev))
+		if _, err := w.Write(scratch[:n]); err != nil {
+			return err
+		}
+		total += n
+		*prev = pos
+		binary.LittleEndian.PutUint64(fb[:], math.Float64bits(f))
+		_, err := w.Write(fb[:])
+		total += 8
+		return err
+	}
+	prev := -1
+	if c.kind == colFloatSparse {
+		for i, p := range c.spos {
+			if err := writeEntry(int(p), &prev, c.svals[i]); err != nil {
+				return total, err
+			}
+		}
+		return total, nil
+	}
+	for i, f := range c.floats[:rows] {
+		if math.Float64bits(f) != 0 {
+			if err := writeEntry(i, &prev, f); err != nil {
+				return total, err
+			}
+		}
+	}
+	return total, nil
+}
+
+// readChunkV2 decodes the next v2 chunk into cols. When zp proves the
+// chunk empty from its zone records, the data block is Discarded
+// undecoded and skip is returned true (rows still reports the chunk's
+// row count for stream accounting).
+func readChunkV2(r *bufio.Reader, cols []column, zp *zonePred) (rows int, skip bool, err error) {
+	rows64, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, false, err
+	}
+	rows = int(rows64)
+	zoneBytes, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, false, err
+	}
+	if zp != nil {
+		zones := make([]zoneEntry, len(cols))
+		for i := range cols {
+			if zones[i], err = readZoneRec(r, rows); err != nil {
+				return 0, false, err
+			}
+		}
+		skip = zp.skip(func(col int) *zoneEntry {
+			if col < 0 || col >= len(zones) {
+				return nil
+			}
+			return &zones[col]
+		})
+	} else if _, err := r.Discard(int(zoneBytes)); err != nil {
+		return 0, false, err
+	}
+	dataBytes, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, false, err
+	}
+	if skip {
+		if _, err := r.Discard(int(dataBytes)); err != nil {
+			return 0, false, err
+		}
+		return rows, true, nil
+	}
+	for i := range cols {
+		if err := readColumnRunV2(r, &cols[i], rows); err != nil {
+			return 0, false, err
+		}
+	}
+	return rows, false, nil
+}
+
+// readColumnRunV2 decodes one v2 column run. Encoded kinds are decoded
+// INTO the encoded column representation (not materialized), so the
+// batch views serve spilled data operate-on-encoded too.
+func readColumnRunV2(r *bufio.Reader, c *column, rows int) error {
+	kb, err := r.ReadByte()
+	if err != nil {
+		return err
+	}
+	kind := colKind(kb)
+	if kind > colFloatSparse {
+		return fmt.Errorf("sqlengine: corrupt spill file: column kind %d", kb)
+	}
+	c.reset()
+	c.kind = kind
+	if kind == colGeneric {
+		for i := 0; i < rows; i++ {
+			v, err := decodeValue(r)
+			if err != nil {
+				return err
+			}
+			c.vals = append(c.vals, v)
+		}
+		return nil
+	}
+	hasNulls, err := r.ReadByte()
+	if err != nil {
+		return err
+	}
+	c.nulls = c.nulls[:0]
+	if hasNulls == 1 {
+		if err := readBitmap(r, rows, c.setNull); err != nil {
+			return err
+		}
+	}
+	var buf [8]byte
+	switch kind {
+	case colUnset:
+	case colInt:
+		for i := 0; i < rows; i++ {
+			if _, err := io.ReadFull(r, buf[:]); err != nil {
+				return err
+			}
+			c.ints = append(c.ints, int64(binary.LittleEndian.Uint64(buf[:])))
+		}
+	case colFloat:
+		for i := 0; i < rows; i++ {
+			if _, err := io.ReadFull(r, buf[:]); err != nil {
+				return err
+			}
+			c.floats = append(c.floats, math.Float64frombits(binary.LittleEndian.Uint64(buf[:])))
+		}
+	case colStr:
+		for i := 0; i < rows; i++ {
+			ln, err := binary.ReadUvarint(r)
+			if err != nil {
+				return err
+			}
+			sb := make([]byte, ln)
+			if _, err := io.ReadFull(r, sb); err != nil {
+				return err
+			}
+			c.strs = append(c.strs, string(sb))
+		}
+	case colBool:
+		c.bools = append(c.bools, make([]bool, rows)...)
+		bools := c.bools[len(c.bools)-rows:]
+		if err := readBitmap(r, rows, func(i int) { bools[i] = true }); err != nil {
+			return err
+		}
+	case colIntRLE:
+		nruns, err := binary.ReadUvarint(r)
+		if err != nil {
+			return err
+		}
+		if int(nruns) > rows {
+			return fmt.Errorf("sqlengine: corrupt spill file: %d RLE runs for %d rows", nruns, rows)
+		}
+		end := 0
+		for i := 0; i < int(nruns); i++ {
+			v, err := binary.ReadVarint(r)
+			if err != nil {
+				return err
+			}
+			length, err := binary.ReadUvarint(r)
+			if err != nil {
+				return err
+			}
+			end += int(length)
+			if end > rows {
+				return fmt.Errorf("sqlengine: corrupt spill file: RLE runs exceed %d rows", rows)
+			}
+			c.runs = append(c.runs, intRun{v: v, end: int32(end)})
+		}
+		if end != rows {
+			return fmt.Errorf("sqlengine: corrupt spill file: RLE runs cover %d of %d rows", end, rows)
+		}
+		c.encLen = rows
+	case colIntDict:
+		dictLen, err := binary.ReadUvarint(r)
+		if err != nil {
+			return err
+		}
+		if int(dictLen) > rows {
+			return fmt.Errorf("sqlengine: corrupt spill file: dictionary of %d for %d rows", dictLen, rows)
+		}
+		for i := 0; i < int(dictLen); i++ {
+			v, err := binary.ReadVarint(r)
+			if err != nil {
+				return err
+			}
+			c.dict = append(c.dict, v)
+		}
+		for i := 0; i < rows; i++ {
+			code, err := binary.ReadUvarint(r)
+			if err != nil {
+				return err
+			}
+			if code >= dictLen {
+				return fmt.Errorf("sqlengine: corrupt spill file: dictionary code %d of %d", code, dictLen)
+			}
+			c.codes = append(c.codes, uint32(code))
+		}
+		c.encLen = rows
+	case colFloatSparse:
+		nnz, err := binary.ReadUvarint(r)
+		if err != nil {
+			return err
+		}
+		if int(nnz) > rows {
+			return fmt.Errorf("sqlengine: corrupt spill file: %d sparse entries for %d rows", nnz, rows)
+		}
+		prev := -1
+		for i := 0; i < int(nnz); i++ {
+			delta, err := binary.ReadUvarint(r)
+			if err != nil {
+				return err
+			}
+			pos := prev + int(delta)
+			if delta == 0 || pos >= rows {
+				return fmt.Errorf("sqlengine: corrupt spill file: sparse position %d of %d rows", pos, rows)
+			}
+			prev = pos
+			c.spos = append(c.spos, int32(pos))
+			if _, err := io.ReadFull(r, buf[:]); err != nil {
+				return err
+			}
+			c.svals = append(c.svals, math.Float64frombits(binary.LittleEndian.Uint64(buf[:])))
+		}
+		c.encLen = rows
+	}
+	return nil
+}
+
+// readChunk decodes the next legacy (pre-QYC2) chunk into cols (reusing
+// their slices) and returns its row count.
 func readChunk(r *bufio.Reader, cols []column) (int, error) {
 	rows64, err := binary.ReadUvarint(r)
 	if err != nil {

@@ -58,6 +58,15 @@ type Config struct {
 	// cache hands every rebound engine instance the same *KernelCache
 	// so a parameter sweep compiles each stage shape once.
 	KernelCache *KernelCache
+	// Encodings controls the sparsity-first storage tier: "" or "on"
+	// (the default) enables compressed column encodings (RLE /
+	// dictionary / sparse, selected per column from the table statistics
+	// at materialization) and zone-map skip-scan over pushed-down scan
+	// filters; "off" keeps every column a plain typed vector and decodes
+	// every morsel. Simulated amplitudes are bitwise independent of the
+	// setting (see the exactness contract in encoding.go and the
+	// soundness contract in zonemap.go).
+	Encodings string
 }
 
 // TableMeta describes one base table.
@@ -136,6 +145,14 @@ func Open(cfg Config) (*DB, error) {
 	if kernelCache == nil {
 		kernelCache = NewKernelCache(0)
 	}
+	encodings := true
+	switch cfg.Encodings {
+	case "", "on":
+	case "off":
+		encodings = false
+	default:
+		return nil, fmt.Errorf("sqlengine: unknown encodings setting %q (want \"on\" or \"off\")", cfg.Encodings)
+	}
 	env := &storageEnv{
 		budget:       budget,
 		spillDir:     cfg.SpillDir,
@@ -146,6 +163,7 @@ func Open(cfg Config) (*DB, error) {
 		optimizer:    optimizer,
 		kernels:      kernels,
 		kernelCache:  kernelCache,
+		encodings:    encodings,
 	}
 	return &DB{env: env, tables: map[string]*TableMeta{}}, nil
 }

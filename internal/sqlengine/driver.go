@@ -24,8 +24,10 @@ import (
 // worker count; 0 derives it from GOMAXPROCS), layout ("columnar" —
 // the default typed column-vector store — or "row" for the legacy
 // row-major store kept for differential testing), optimizer ("on"/"off"
-// for the cost-based optimizer), and kernels ("on"/"off" for the
-// compiled gate-stage kernel tier, see kernel.go).
+// for the cost-based optimizer), kernels ("on"/"off" for the compiled
+// gate-stage kernel tier, see kernel.go), and encodings ("on"/"off" for
+// the sparsity-first storage tier: compressed column encodings and
+// zone-map skip-scan, see encoding.go).
 
 func init() {
 	sql.Register("qymera", &Driver{})
@@ -103,6 +105,7 @@ func parseDSN(dsn string) (Config, error) {
 	cfg.Layout = q.Get("layout")
 	cfg.Optimizer = q.Get("optimizer")
 	cfg.Kernels = q.Get("kernels")
+	cfg.Encodings = q.Get("encodings")
 	return cfg, nil
 }
 

@@ -1,0 +1,623 @@
+package sqlengine
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// Tests for the sparsity-first storage tier: compressed column
+// encodings (RLE / dictionary / sparse floats), zone-map skip-scan, and
+// the QYC2 spill chunk format. The differential tests assert the core
+// guarantee — results are bitwise independent of the encodings setting,
+// across worker counts and the kernel tier.
+
+// encTestEnv is testEnv with the encodings tier enabled (testEnv leaves
+// it off so unrelated storage tests see plain vectors).
+func encTestEnv(t *testing.T, budget int64) *storageEnv {
+	t.Helper()
+	env := testEnv(t, budget)
+	env.encodings = true
+	return env
+}
+
+// collectRows drains a store through its cursor into cloned rows.
+func collectRows(t *testing.T, cs *ColStore) []Row {
+	t.Helper()
+	it, err := cs.Cursor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []Row
+	for {
+		row, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			return out
+		}
+		out = append(out, cloneRow(row))
+	}
+}
+
+func TestEncodeRLEColumn(t *testing.T) {
+	env := encTestEnv(t, 0)
+	cs := newColStore(env)
+	attachStats(cs)
+	rows := make([]Row, 0, 2048)
+	for k := 0; k < 2048; k++ {
+		row := Row{NewInt(int64(k / 256))}
+		if k%100 == 99 {
+			row = Row{Null}
+		}
+		rows = append(rows, row)
+		if err := cs.Append(cloneRow(row)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fallbacksBefore := StorageCounters()["decode_fallbacks"]
+	if err := cs.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	if kinds := cs.vectorKinds(); kinds[0] != "int64/rle" {
+		t.Fatalf("kinds = %v, want int64/rle", kinds)
+	}
+	got := collectRows(t, cs)
+	if len(got) != len(rows) {
+		t.Fatalf("got %d rows, want %d", len(got), len(rows))
+	}
+	for i := range rows {
+		if got[i][0].T != rows[i][0].T || got[i][0].I != rows[i][0].I {
+			t.Fatalf("row %d = %v, want %v", i, got[i], rows[i])
+		}
+	}
+	// Appending to the thawed store decodes back to the plain vector
+	// (the transparent fallback) and the data survives intact.
+	cs.Thaw()
+	if err := cs.Append(Row{NewInt(42)}); err != nil {
+		t.Fatal(err)
+	}
+	if kinds := cs.vectorKinds(); kinds[0] != "int64" {
+		t.Fatalf("kinds after thaw+append = %v, want int64", kinds)
+	}
+	if d := StorageCounters()["decode_fallbacks"] - fallbacksBefore; d < 1 {
+		t.Fatalf("decode_fallbacks delta = %d, want >= 1", d)
+	}
+	if err := cs.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	got = collectRows(t, cs)
+	if len(got) != len(rows)+1 || got[len(rows)][0].I != 42 {
+		t.Fatalf("rows after thaw+append = %d, tail = %v", len(got), got[len(got)-1])
+	}
+	cs.Release()
+	if env.budget.used.Load() != 0 {
+		t.Fatalf("leaked %d bytes", env.budget.used.Load())
+	}
+}
+
+func TestEncodeDictColumn(t *testing.T) {
+	env := encTestEnv(t, 0)
+	cs := newColStore(env)
+	attachStats(cs)
+	// Values alternate every row (no runs) over a 7-value domain.
+	for k := 0; k < 2048; k++ {
+		if err := cs.Append(Row{NewInt(int64(k % 7))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cs.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	if kinds := cs.vectorKinds(); kinds[0] != "int64/dict" {
+		t.Fatalf("kinds = %v, want int64/dict", kinds)
+	}
+	got := collectRows(t, cs)
+	for i := range got {
+		if got[i][0].I != int64(i%7) {
+			t.Fatalf("row %d = %v, want %d", i, got[i], i%7)
+		}
+	}
+	cs.Release()
+	if env.budget.used.Load() != 0 {
+		t.Fatalf("leaked %d bytes", env.budget.used.Load())
+	}
+}
+
+func TestEncodeSparseFloatColumn(t *testing.T) {
+	env := encTestEnv(t, 0)
+	cs := newColStore(env)
+	attachStats(cs)
+	const n = 2048
+	want := make([]float64, n) // bit patterns; row 99 is NULL
+	for k := 0; k < n; k++ {
+		var v float64
+		switch {
+		case k == 13:
+			v = math.Copysign(0, -1) // -0.0 must survive by bit pattern
+		case k == 27:
+			v = math.NaN()
+		case k%50 == 0:
+			v = 1.0 / float64(k+1)
+		}
+		want[k] = v
+		row := Row{NewFloat(v)}
+		if k == 99 {
+			row = Row{Null}
+			want[k] = 0
+		}
+		if err := cs.Append(cloneRow(row)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cs.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	if kinds := cs.vectorKinds(); kinds[0] != "float64/sparse" {
+		t.Fatalf("kinds = %v, want float64/sparse", kinds)
+	}
+	got := collectRows(t, cs)
+	for i := range got {
+		if i == 99 {
+			if got[i][0].T != TypeNull {
+				t.Fatalf("row 99 = %v, want NULL", got[i])
+			}
+			continue
+		}
+		if got[i][0].T != TypeFloat || math.Float64bits(got[i][0].F) != math.Float64bits(want[i]) {
+			t.Fatalf("row %d = %v (bits %x), want bits %x", i, got[i], math.Float64bits(got[i][0].F), math.Float64bits(want[i]))
+		}
+	}
+	if !math.Signbit(got[13][0].F) {
+		t.Fatal("-0.0 lost its sign bit through the sparse encoding")
+	}
+	if !math.IsNaN(got[27][0].F) {
+		t.Fatal("NaN lost through the sparse encoding")
+	}
+	cs.Release()
+	if env.budget.used.Load() != 0 {
+		t.Fatalf("leaked %d bytes", env.budget.used.Load())
+	}
+}
+
+// TestEncodedStoreMatchesPlain is the store-level differential: the
+// same appends into an encodings-on and an encodings-off store must
+// read back bitwise identically, across value shapes that trigger each
+// encoding (and shapes that trigger none).
+func TestEncodedStoreMatchesPlain(t *testing.T) {
+	shapes := []struct {
+		name string
+		val  func(k int) Row
+	}{
+		{"runs", func(k int) Row { return Row{NewInt(int64(k / 300)), NewFloat(float64(k))} }},
+		{"dict", func(k int) Row { return Row{NewInt(int64(k % 13)), NewFloat(0)} }},
+		{"sparse", func(k int) Row {
+			v := 0.0
+			if k%40 == 0 {
+				v = -1.5 / float64(k+2)
+			}
+			return Row{NewInt(int64(k)), NewFloat(v)}
+		}},
+		{"incompressible", func(k int) Row { return Row{NewInt(int64(k * 2654435761)), NewFloat(1 / float64(k+1))} }},
+		{"nulls", func(k int) Row {
+			if k%17 == 0 {
+				return Row{Null, Null}
+			}
+			return Row{NewInt(int64(k / 100)), NewFloat(0)}
+		}},
+	}
+	for _, shape := range shapes {
+		t.Run(shape.name, func(t *testing.T) {
+			plainEnv, encEnv := testEnv(t, 0), encTestEnv(t, 0)
+			plain, enc := newColStore(plainEnv), newColStore(encEnv)
+			attachStats(plain)
+			attachStats(enc)
+			for k := 0; k < 3000; k++ {
+				row := shape.val(k)
+				if err := plain.Append(cloneRow(row)); err != nil {
+					t.Fatal(err)
+				}
+				if err := enc.Append(cloneRow(row)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := plain.Freeze(); err != nil {
+				t.Fatal(err)
+			}
+			if err := enc.Freeze(); err != nil {
+				t.Fatal(err)
+			}
+			requireBitIdentical(t, shape.name, collectRows(t, plain), collectRows(t, enc))
+			plain.Release()
+			enc.Release()
+		})
+	}
+}
+
+// TestZoneSkipScanSQL: a pushed range filter over a multi-morsel
+// sequence skips the morsels the zone map proves empty — at one worker
+// (serial memory-tail skip) and four (parallel claim-loop skip) — with
+// bit-identical results.
+func TestZoneSkipScanSQL(t *testing.T) {
+	const n = 3 * morselRows
+	q := fmt.Sprintf("SELECT x FROM t WHERE x >= %d ORDER BY x", n-576)
+	var ref []Row
+	for _, workers := range []int{1, 4} {
+		db := newParallelDB(t, workers, Config{})
+		mustExec(t, db, "CREATE TABLE t (x INTEGER, y INTEGER)")
+		fillSequence(t, db, "t", n)
+		before := StorageCounters()["morsels_skipped"]
+		rows := queryAll(t, db, q)
+		if len(rows) != 576 {
+			t.Fatalf("workers=%d: got %d rows, want 576", workers, len(rows))
+		}
+		if rows[0][0].I != int64(n-576) || rows[575][0].I != int64(n-1) {
+			t.Fatalf("workers=%d: range [%v, %v]", workers, rows[0][0], rows[575][0])
+		}
+		// Morsels 0 and 1 (max x 8191 and 16383) are provably empty.
+		if d := StorageCounters()["morsels_skipped"] - before; d < 2 {
+			t.Fatalf("workers=%d: morsels_skipped delta = %d, want >= 2", workers, d)
+		}
+		if ref == nil {
+			ref = rows
+			continue
+		}
+		requireBitIdentical(t, fmt.Sprintf("workers=%d", workers), ref, rows)
+	}
+}
+
+// TestNormPruneZoneSkip: the paper's amplitude-norm prune shape
+// ((r*r)+(i*i)) > eps skips morsels whose amplitude zone bounds prove
+// the norm below threshold — the sparsity-first fast path for nearly
+// sparse state tables. The amplitude columns sparse-encode too.
+func TestNormPruneZoneSkip(t *testing.T) {
+	const n = 3 * morselRows
+	db := newParallelDB(t, 4, Config{})
+	mustExec(t, db, "CREATE TABLE t (s INTEGER, r REAL, i REAL)")
+	batch := make([]string, 0, 500)
+	for k := 0; k < n; k++ {
+		r, im := 0.0, 0.0
+		if k >= 2*morselRows {
+			r, im = 0.5, 0.25
+		}
+		batch = append(batch, fmt.Sprintf("(%d, %g, %g)", k, r, im))
+		if len(batch) == 500 || k == n-1 {
+			mustExec(t, db, "INSERT INTO t VALUES "+strings.Join(batch, ","))
+			batch = batch[:0]
+		}
+	}
+	skippedBefore := StorageCounters()["morsels_skipped"]
+	sparseBefore := StorageCounters()["encoded_sparse"]
+	rows := queryAll(t, db, "SELECT s FROM t WHERE ((r * r) + (i * i)) > 0.000001 ORDER BY s")
+	if len(rows) != morselRows {
+		t.Fatalf("got %d rows, want %d", len(rows), morselRows)
+	}
+	if rows[0][0].I != int64(2*morselRows) {
+		t.Fatalf("first surviving row = %v, want %d", rows[0][0], 2*morselRows)
+	}
+	if d := StorageCounters()["morsels_skipped"] - skippedBefore; d < 2 {
+		t.Fatalf("morsels_skipped delta = %d, want >= 2", d)
+	}
+	// Both amplitude columns are two-thirds zero → sparse-encoded.
+	if d := StorageCounters()["encoded_sparse"] - sparseBefore; d < 2 {
+		t.Fatalf("encoded_sparse delta = %d, want >= 2", d)
+	}
+}
+
+// TestEncodedQueriesMatchPlain is the SQL-level differential: scans,
+// filters, and aggregates over encodable columns return bit-identical
+// results with encodings on and off, at one and four workers.
+func TestEncodedQueriesMatchPlain(t *testing.T) {
+	const n = 3 * morselRows
+	queries := []string{
+		"SELECT x, y FROM t ORDER BY x",
+		"SELECT y, COUNT(*), SUM(x) FROM t GROUP BY y ORDER BY y",
+		"SELECT x FROM t WHERE x >= 12000 AND y = 3 ORDER BY x",
+	}
+	type cfg struct {
+		encodings string
+		workers   int
+	}
+	var dbs []*DB
+	var names []string
+	for _, c := range []cfg{{"off", 1}, {"on", 1}, {"off", 4}, {"on", 4}} {
+		db := newParallelDB(t, c.workers, Config{Encodings: c.encodings})
+		mustExec(t, db, "CREATE TABLE t (x INTEGER, y INTEGER)")
+		fillSequence(t, db, "t", n)
+		dbs = append(dbs, db)
+		names = append(names, fmt.Sprintf("encodings=%s workers=%d", c.encodings, c.workers))
+	}
+	for _, q := range queries {
+		ref := queryAll(t, dbs[0], q)
+		for i := 1; i < len(dbs); i++ {
+			requireBitIdentical(t, names[i]+" "+q, ref, queryAll(t, dbs[i], q))
+		}
+	}
+}
+
+// fillSparseAmplitudeTable builds an amplitude table whose state column
+// RLE-encodes (runs of 8) and whose amplitude columns sparse-encode
+// (real part nonzero every 64th row, imaginary part all zero), plus the
+// Hadamard gate table — the shape that drives the kernel's
+// operate-on-encoded paths.
+func fillSparseAmplitudeTable(t *testing.T, db *DB, rows int) {
+	t.Helper()
+	mustExec(t, db, "CREATE TABLE t (s INTEGER, r REAL, i REAL)")
+	batch := make([]string, 0, 500)
+	for k := 0; k < rows; k++ {
+		r := 0.0
+		if k%64 == 0 {
+			r = 0.5 / float64(k+1)
+		}
+		batch = append(batch, fmt.Sprintf("(%d, %g, 0)", k&^7, r))
+		if len(batch) == 500 || k == rows-1 {
+			mustExec(t, db, "INSERT INTO t VALUES "+strings.Join(batch, ","))
+			batch = batch[:0]
+		}
+	}
+	mustExec(t, db, "CREATE TABLE h (in_s INTEGER, out_s INTEGER, r REAL, i REAL)")
+	mustExec(t, db, "INSERT INTO h VALUES (0,0,0.70710678,0),(0,1,0.70710678,0),(1,0,0.70710678,0),(1,1,-0.70710678,0)")
+}
+
+// TestGateStageEncodedBitIdentical: the gate-stage join+aggregate over
+// an encoded amplitude table is bit-identical across encodings on/off ×
+// kernels on/off × workers 1/4, and the kernel actually binds encoded
+// columns (RLE state-index run iteration, sparse amplitude decode).
+func TestGateStageEncodedBitIdentical(t *testing.T) {
+	q := `SELECT ((t.s & ~1) | h.out_s) AS s,
+	       SUM((t.r * h.r) - (t.i * h.i)) AS r,
+	       SUM((t.r * h.i) + (t.i * h.r)) AS i
+	FROM t JOIN h ON h.in_s = (t.s & 1)
+	GROUP BY ((t.s & ~1) | h.out_s)
+	ORDER BY s`
+	bindsBefore := StorageCounters()["kernel_encoded_binds"]
+	var ref []Row
+	for _, encodings := range []string{"off", "on"} {
+		for _, kernels := range []string{"on", "off"} {
+			for _, workers := range []int{1, 4} {
+				db := newParallelDB(t, workers, Config{Encodings: encodings, Kernels: kernels})
+				fillSparseAmplitudeTable(t, db, testRows)
+				rows := queryAll(t, db, q)
+				name := fmt.Sprintf("encodings=%s kernels=%s workers=%d", encodings, kernels, workers)
+				if ref == nil {
+					ref = rows
+					continue
+				}
+				requireBitIdentical(t, name, ref, rows)
+			}
+		}
+	}
+	if d := StorageCounters()["kernel_encoded_binds"] - bindsBefore; d < 1 {
+		t.Fatalf("kernel_encoded_binds delta = %d, want >= 1", d)
+	}
+}
+
+// TestSpillChunkV2EncodedAndSkipped: a spilled store writes the QYC2
+// self-describing stream, encodes compressible chunk columns, and a
+// zone-predicated scan skips provably empty chunks without decoding.
+func TestSpillChunkV2EncodedAndSkipped(t *testing.T) {
+	env := encTestEnv(t, 1) // everything spills
+	cs := newColStore(env)
+	attachStats(cs)
+	const n = 3000
+	for k := 0; k < n; k++ {
+		v := 0.0
+		if k%64 == 0 {
+			v = float64(k)
+		}
+		if err := cs.Append(Row{NewInt(int64(k / 500)), NewFloat(v)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	encBefore := StorageCounters()["encoded_chunk_cols"]
+	if err := cs.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	if !cs.Spilled() {
+		t.Fatal("store did not spill under a 1-byte budget")
+	}
+	// The stream leads with the version magic.
+	var hdr [len(colSpillMagic)]byte
+	if _, err := cs.file.ReadAt(hdr[:], 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(hdr[:]) != colSpillMagic {
+		t.Fatalf("spill header = %q, want %q", hdr, colSpillMagic)
+	}
+	// Compressible chunk columns (int runs, sparse floats) were written
+	// encoded. Freeze wrote the final chunk, so the counter moved.
+	if d := StorageCounters()["encoded_chunk_cols"] - encBefore; d < 1 {
+		t.Fatalf("encoded_chunk_cols delta = %d, want >= 1", d)
+	}
+
+	// A zone predicate no chunk can satisfy (x is 0..5) skips every
+	// chunk without decoding.
+	skippedBefore := StorageCounters()["chunks_skipped"]
+	zp := &zonePred{checks: []zoneCheck{{kind: zcCmp, col: 0, op: ">", lit: NewInt(100)}}}
+	var skipped atomic.Int64
+	sc, err := cs.batchScanZone(nil, zp, &skipped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		b, err := sc.NextBatch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b == nil {
+			break
+		}
+		for range b.selection() {
+			t.Fatal("zone-skipped scan served rows the predicate excludes")
+		}
+	}
+	if skipped.Load() < 1 {
+		t.Fatal("no chunks skipped")
+	}
+	if d := StorageCounters()["chunks_skipped"] - skippedBefore; d < 1 {
+		t.Fatalf("chunks_skipped delta = %d, want >= 1", d)
+	}
+
+	// An unpredicated scan still round-trips every row exactly.
+	sc, err = cs.batchScan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	for {
+		b, err := sc.NextBatch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b == nil {
+			break
+		}
+		for _, pos := range b.selection() {
+			k := seen
+			if b.cols[0][pos].I != int64(k/500) {
+				t.Fatalf("row %d int = %v", k, b.cols[0][pos])
+			}
+			want := 0.0
+			if k%64 == 0 {
+				want = float64(k)
+			}
+			if math.Float64bits(b.cols[1][pos].F) != math.Float64bits(want) {
+				t.Fatalf("row %d float = %v, want %g", k, b.cols[1][pos], want)
+			}
+			seen++
+		}
+	}
+	if seen != n {
+		t.Fatalf("scan returned %d rows, want %d", seen, n)
+	}
+	cs.Release()
+}
+
+// TestSpillLegacyStreamReadable: a spill stream without the QYC2 magic
+// is read through the legacy chunk frame, so spill files written by
+// earlier versions stay readable.
+func TestSpillLegacyStreamReadable(t *testing.T) {
+	env := encTestEnv(t, 0)
+	cs := newColStore(env)
+	for k := 0; k < 2000; k++ {
+		if err := cs.Append(Row{NewInt(int64(k)), NewFloat(1.0 / float64(k+1))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Hand-write the in-memory columns as one legacy chunk (uvarint row
+	// count + bare column runs, no magic, no zone records) and swap the
+	// store onto it as if it had spilled under the old format.
+	f, err := os.CreateTemp(env.spillDir, "legacy-*.cols")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := bufio.NewWriter(f)
+	var tmp [binary.MaxVarintLen64]byte
+	if _, err := w.Write(tmp[:binary.PutUvarint(tmp[:], uint64(cs.rows))]); err != nil {
+		t.Fatal(err)
+	}
+	for i := range cs.cols {
+		if _, err := writeColumnRun(w, &cs.cols[i], cs.rows); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	cs.file = f
+	cs.fileRows = int64(cs.rows)
+	cs.rows = 0
+	for i := range cs.cols {
+		cs.cols[i].reset()
+	}
+	cs.frozen = true
+
+	sc, err := cs.batchScan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.(*colScan).v2 {
+		t.Fatal("legacy stream misdetected as v2")
+	}
+	seen := 0
+	for {
+		b, err := sc.NextBatch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b == nil {
+			break
+		}
+		for _, pos := range b.selection() {
+			if b.cols[0][pos].I != int64(seen) {
+				t.Fatalf("row %d = %v", seen, b.cols[0][pos])
+			}
+			seen++
+		}
+	}
+	if seen != 2000 {
+		t.Fatalf("legacy scan returned %d rows, want 2000", seen)
+	}
+	cs.Release()
+}
+
+// TestSpillV2CorruptColumnRuns: the v2 column-run decoder rejects
+// unknown kind tags and inconsistent encoded payloads instead of
+// mis-decoding them.
+func TestSpillV2CorruptColumnRuns(t *testing.T) {
+	enc := func(parts ...[]byte) []byte { return bytes.Join(parts, nil) }
+	uv := func(v uint64) []byte { return binary.AppendUvarint(nil, v) }
+	sv := func(v int64) []byte { return binary.AppendVarint(nil, v) }
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"unknown kind tag", []byte{99}, "column kind"},
+		{
+			// One run of 10 rows in a 4-row chunk.
+			"rle overflow",
+			enc([]byte{byte(colIntRLE), 0}, uv(1), sv(7), uv(10)),
+			"RLE runs exceed",
+		},
+		{
+			// One run of 2 rows leaves rows 2..3 uncovered.
+			"rle undercoverage",
+			enc([]byte{byte(colIntRLE), 0}, uv(1), sv(7), uv(2)),
+			"RLE runs cover",
+		},
+		{
+			// Code 3 points past the 1-entry dictionary.
+			"dict code out of range",
+			enc([]byte{byte(colIntDict), 0}, uv(1), sv(5), uv(3)),
+			"dictionary code",
+		},
+		{
+			// A zero position delta would repeat or precede the previous
+			// sparse position.
+			"sparse zero delta",
+			enc([]byte{byte(colFloatSparse), 0}, uv(2), uv(1), make([]byte, 8), uv(0), make([]byte, 8)),
+			"sparse position",
+		},
+		{"truncated payload", []byte{byte(colInt), 0, 1, 2}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var c column
+			err := readColumnRunV2(bufio.NewReader(bytes.NewReader(tc.data)), &c, 4)
+			if err == nil {
+				t.Fatal("corrupt run decoded without error")
+			}
+			if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync/atomic"
 )
 
 // planCol names one output column of an operator: a qualifier (table
@@ -147,6 +148,12 @@ type storeScanNode struct {
 	fullCols int
 	ownStore bool
 	est      *nodeEst
+	// zp, when non-nil, is the zone predicate compiled from the scan's
+	// pushed-down filter conjuncts (zonemap.go): morsels and spill
+	// chunks it proves empty are skipped without decoding. skipped
+	// counts the skipped units for EXPLAIN ANALYZE.
+	zp      *zonePred
+	skipped atomic.Int64
 }
 
 func (n *storeScanNode) schema() planSchema { return n.cols }
@@ -161,6 +168,14 @@ type prunableStore interface {
 func (n *storeScanNode) open(*execCtx) (batchIter, error) {
 	var sc storeScan
 	var err error
+	if cs, ok := n.store.(*ColStore); ok && n.zp != nil {
+		// Zone-skipping scan (serves the pruned column subset itself).
+		sc, err = cs.batchScanZone(n.keep, n.zp, &n.skipped)
+		if err != nil {
+			return nil, err
+		}
+		return &storeScanIter{scan: sc, store: n.store, own: n.ownStore}, nil
+	}
 	if n.keep != nil {
 		if ps, ok := n.store.(prunableStore); ok {
 			sc, err = ps.batchScanCols(n.keep)

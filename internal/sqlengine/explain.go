@@ -232,7 +232,11 @@ func storageDesc(env *storageEnv) string {
 	if env.rowLayout {
 		return "row (legacy []Row layout)"
 	}
-	return "columnar (typed column vectors + null bitmaps, spill=column chunks)"
+	enc := "encodings=on"
+	if !env.encodings {
+		enc = "encodings=off"
+	}
+	return "columnar (typed column vectors + null bitmaps, spill=column chunks, " + enc + ")"
 }
 
 // scanLayout renders one scanned store's layout — for the columnar
@@ -385,7 +389,14 @@ func describePlan(b *strings.Builder, node planNode, depth int, kcore planNode) 
 			}
 			pruned = fmt.Sprintf(", pruned=%d->%d cols [%s]", n.fullCols, len(n.keep), strings.Join(names, " "))
 		}
-		line("BatchScan %s (rows=%d, cols=%d, batch=%d, layout=%s%s)", qual, n.store.Len(), len(n.cols), batchSize, scanLayout(n.store), pruned)
+		zone := ""
+		if n.zp != nil {
+			zone = fmt.Sprintf(", zonemap=%d checks", len(n.zp.checks))
+			if sk := n.skipped.Load(); sk > 0 {
+				zone += fmt.Sprintf(", skipped=%d", sk)
+			}
+		}
+		line("BatchScan %s (rows=%d, cols=%d, batch=%d, layout=%s%s%s)", qual, n.store.Len(), len(n.cols), batchSize, scanLayout(n.store), pruned, zone)
 	case *filterNode:
 		mark := ""
 		if n.pushed {

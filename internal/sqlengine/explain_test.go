@@ -116,7 +116,7 @@ func TestExplainBatchOperators(t *testing.T) {
 		"executor: vectorized (batch=1024, selection vectors)",
 		// Column b is dead: the optimizer prunes the scan to column a and
 		// pushes the filter into it.
-		"BatchScan t (rows=3, cols=1, batch=1024, layout=columnar[int64 float64], pruned=2->1 cols [a])",
+		"BatchScan t (rows=3, cols=1, batch=1024, layout=columnar[int64 float64], pruned=2->1 cols [a], zonemap=1 checks)",
 		"BatchFilter (a > 1) [selection vector] [pushed to scan]",
 		"BatchProject (a * 2)",
 	} {
@@ -139,7 +139,7 @@ func TestExplainStorageLayout(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, frag := range []string{
-		"storage: columnar (typed column vectors + null bitmaps, spill=column chunks)",
+		"storage: columnar (typed column vectors + null bitmaps, spill=column chunks, encodings=on)",
 		"layout=columnar[int64 float64 string bool]",
 	} {
 		if !strings.Contains(plan, frag) {

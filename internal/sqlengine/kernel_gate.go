@@ -26,8 +26,11 @@ type boundGate struct {
 	prog *kernelProg
 	rows int
 	// sKey is the state amplitude-index vector; s0a..s1b the state
-	// float vectors of the SUM factors (slices may alias).
+	// float vectors of the SUM factors (slices may alias). When the
+	// index column is RLE-encoded, sRuns holds its runs instead and the
+	// fused loop iterates run-at-a-time (sKey stays nil).
 	sKey               []int64
+	sRuns              []intRun
 	s0a, s0b, s1a, s1b []float64
 	// buckets replaces the hash join: build-key -> gate rows in
 	// gate-table order, exactly the streaming join's insertion order.
@@ -74,27 +77,68 @@ func bindGateStage(k *gateKernel) (*boundGate, string) {
 		bk.empty = true
 		return bk, ""
 	}
-	intVec := func(cs *ColStore, idx int) []int64 {
+	colAt := func(cs *ColStore, idx int) *column {
 		if idx < 0 || idx >= len(cs.cols) {
 			return nil
 		}
-		c := &cs.cols[idx]
-		if c.kind != colInt || len(c.nulls) != 0 {
+		return &cs.cols[idx]
+	}
+	// Encoded columns bind too: dictionary and RLE int vectors (and
+	// sparse float vectors) are decoded into fresh scratch once per
+	// bind, so the fused loop keeps its plain-vector inner body — except
+	// the state index column, whose RLE runs the loop iterates directly.
+	intVec := func(cs *ColStore, idx int) []int64 {
+		c := colAt(cs, idx)
+		if c == nil || len(c.nulls) != 0 {
 			return nil
 		}
-		return c.ints
+		switch c.kind {
+		case colInt:
+			return c.ints
+		case colIntRLE:
+			out := make([]int64, cs.rows)
+			pos := 0
+			for _, r := range c.runs {
+				for ; pos < int(r.end); pos++ {
+					out[pos] = r.v
+				}
+			}
+			storageCounters.kernelEncBinds.Add(1)
+			return out
+		case colIntDict:
+			out := make([]int64, cs.rows)
+			for i, code := range c.codes {
+				out[i] = c.dict[code]
+			}
+			storageCounters.kernelEncBinds.Add(1)
+			return out
+		}
+		return nil
 	}
 	floatVec := func(cs *ColStore, idx int) []float64 {
-		if idx < 0 || idx >= len(cs.cols) {
+		c := colAt(cs, idx)
+		if c == nil || len(c.nulls) != 0 {
 			return nil
 		}
-		c := &cs.cols[idx]
-		if c.kind != colFloat || len(c.nulls) != 0 {
-			return nil
+		switch c.kind {
+		case colFloat:
+			return c.floats
+		case colFloatSparse:
+			out := make([]float64, cs.rows)
+			for i, p := range c.spos {
+				out[p] = c.svals[i]
+			}
+			storageCounters.kernelEncBinds.Add(1)
+			return out
 		}
-		return c.floats
+		return nil
 	}
-	bk.sKey = intVec(state, prog.sCol)
+	if c := colAt(state, prog.sCol); c != nil && c.kind == colIntRLE && len(c.nulls) == 0 {
+		bk.sRuns = c.runs
+		storageCounters.kernelEncBinds.Add(1)
+	} else {
+		bk.sKey = intVec(state, prog.sCol)
+	}
 	bk.s0a = floatVec(state, prog.s0a)
 	bk.s0b = floatVec(state, prog.s0b)
 	bk.s1a = floatVec(state, prog.s1a)
@@ -111,7 +155,7 @@ func bindGateStage(k *gateKernel) (*boundGate, string) {
 			return nil, kfColumnTypes
 		}
 	}
-	if bk.sKey == nil || bk.s0a == nil || bk.s0b == nil || bk.s1a == nil || bk.s1b == nil ||
+	if (bk.sKey == nil && bk.sRuns == nil) || bk.s0a == nil || bk.s0b == nil || bk.s1a == nil || bk.s1b == nil ||
 		gIn == nil || g0a == nil || g0b == nil || g1a == nil || g1b == nil {
 		return nil, kfColumnTypes
 	}
@@ -263,6 +307,10 @@ func (a *kAcc) grow() {
 // product rounds once (the explicit float64 conversions forbid FMA
 // contraction), the pair combines once, the accumulate rounds once.
 func (bk *boundGate) scanRange(lo, hi int, acc *kAcc) {
+	if bk.sRuns != nil {
+		bk.scanRangeRuns(lo, hi, acc)
+		return
+	}
 	prog := bk.prog
 	for row := lo; row < hi; row++ {
 		s := bk.sKey[row]
@@ -283,6 +331,63 @@ func (bk *boundGate) scanRange(lo, hi int, acc *kAcc) {
 				acc.i[idx] += q0 - q1
 			} else {
 				acc.i[idx] += q0 + q1
+			}
+		}
+	}
+}
+
+// scanRangeRuns is scanRange over an RLE-encoded state index column:
+// the bucket probe and the group-slot resolution hoist out of the row
+// loop, once per run segment instead of once per row. The accumulation
+// schedule is unchanged bit for bit — slots are resolved in bucket
+// order (exactly what the segment's first row would have done; indices
+// stay stable across accumulator growth) and the adds still run
+// row-outer, bucket-inner in ascending row order. Runs whose input
+// index misses every gate bucket skip the whole segment, which is the
+// operate-on-encoded fast path for zero-padded amplitude tables.
+func (bk *boundGate) scanRangeRuns(lo, hi int, acc *kAcc) {
+	prog := bk.prog
+	var idxs [4]int
+	ri := runSearch(bk.sRuns, lo)
+	for row := lo; row < hi; {
+		r := bk.sRuns[ri]
+		end := int(r.end)
+		if end > hi {
+			end = hi
+		} else {
+			ri++
+		}
+		s := r.v
+		bucket := bk.buckets[prog.inFn(s, 0)]
+		if len(bucket) == 0 {
+			row = end
+			continue
+		}
+		slots := idxs[:0]
+		if len(bucket) > len(idxs) {
+			slots = make([]int, 0, len(bucket))
+		}
+		for bi := range bucket {
+			slots = append(slots, acc.slot(prog.outFn(s, bucket[bi].out)))
+		}
+		for ; row < end; row++ {
+			for bi := range bucket {
+				g := &bucket[bi]
+				idx := slots[bi]
+				p0 := float64(bk.s0a[row] * g.g0a)
+				p1 := float64(bk.s0b[row] * g.g0b)
+				if prog.sub0 {
+					acc.r[idx] += p0 - p1
+				} else {
+					acc.r[idx] += p0 + p1
+				}
+				q0 := float64(bk.s1a[row] * g.g1a)
+				q1 := float64(bk.s1b[row] * g.g1b)
+				if prog.sub1 {
+					acc.i[idx] += q0 - q1
+				} else {
+					acc.i[idx] += q0 + q1
+				}
 			}
 		}
 	}

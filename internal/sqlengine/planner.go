@@ -132,6 +132,9 @@ func (p *planner) lowerEst(n logicalNode) (planNode, float64, error) {
 			rows = t.est.rows
 		}
 		scan := &storeScanNode{store: t.meta.store, cols: t.lschema(), keep: t.keep, fullCols: len(t.cols), est: t.est}
+		if p.db.env.encodings {
+			scan.zp = compileZonePred(t.filters, t.lschema(), t.keep)
+		}
 		var node planNode = scan
 		if pred := andJoin(t.filters); pred != nil {
 			node = &filterNode{child: node, pred: pred, pushed: true, est: t.est}

@@ -20,6 +20,19 @@ func newBudgetDB(t *testing.T, budget int64) *DB {
 	return db
 }
 
+
+// freezeTables freezes (and, with encodings on, encodes) base tables up
+// front, so budget baselines taken afterwards reflect the tables'
+// steady-state resident footprint rather than their pre-encode size.
+func freezeTables(t *testing.T, db *DB, names ...string) {
+	t.Helper()
+	for _, name := range names {
+		if err := db.lookupTable(name).store.Freeze(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
 // fillSequence inserts rows 0..n-1 in batches.
 func fillSequence(t *testing.T, db *DB, table string, n int) {
 	t.Helper()
@@ -204,6 +217,7 @@ func TestBatchSortEarlyCloseReleasesBudget(t *testing.T) {
 	db := newBudgetDB(t, 1<<20)
 	mustExec(t, db, "CREATE TABLE t (x INTEGER, y INTEGER)")
 	fillSequence(t, db, "t", 4000)
+	freezeTables(t, db, "t")
 	baseline := db.env.budget.used.Load()
 
 	ctx := &execCtx{env: db.env}
@@ -233,6 +247,7 @@ func TestBatchJoinEarlyCloseReleasesBudget(t *testing.T) {
 	mustExec(t, db, "CREATE TABLE b (x INTEGER, y INTEGER)")
 	fillSequence(t, db, "a", 3000)
 	fillSequence(t, db, "b", 3000)
+	freezeTables(t, db, "a", "b")
 	baseline := db.env.budget.used.Load()
 
 	ctx := &execCtx{env: db.env}
@@ -266,6 +281,7 @@ func TestBatchAggregateEarlyCloseReleasesBudget(t *testing.T) {
 	db := newBudgetDB(t, 1<<20)
 	mustExec(t, db, "CREATE TABLE t (x INTEGER, y INTEGER)")
 	fillSequence(t, db, "t", 4000)
+	freezeTables(t, db, "t")
 	baseline := db.env.budget.used.Load()
 
 	ctx := &execCtx{env: db.env}
@@ -369,6 +385,7 @@ func TestColumnarEarlyCloseReleasesColumnReservations(t *testing.T) {
 	db := newBudgetDB(t, 1<<20)
 	mustExec(t, db, "CREATE TABLE t (x INTEGER, y INTEGER)")
 	fillSequence(t, db, "t", 4000)
+	freezeTables(t, db, "t")
 	baseline := db.env.budget.used.Load()
 
 	rs, err := db.Query("SELECT x, y, x + y FROM t")

@@ -118,6 +118,10 @@ type storageEnv struct {
 	// simulation plan cache).
 	kernels     bool
 	kernelCache *KernelCache
+	// encodings enables the sparsity-first storage tier: compressed
+	// column encodings at materialization and zone-map skip-scan
+	// (Config.Encodings; see encoding.go and zonemap.go).
+	encodings bool
 	// workers is the engine's morsel-parallel worker count (>= 1).
 	workers int
 	// workingFloor is the number of bytes a blocking operator (hash

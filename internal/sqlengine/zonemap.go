@@ -1,0 +1,330 @@
+package sqlengine
+
+// Zone-map skip-scan: pushed-down scan filters are compiled into zone
+// checks that decide, from per-morsel (or per-spill-chunk) zone
+// entries alone, whether a whole morsel can be skipped without
+// decoding a single row.
+//
+// Soundness contract: a check returns true only when the zone PROVES
+// that no row of the morsel satisfies the conjunct under the engine's
+// own comparison semantics (CompareSQL / the vectorized comparators).
+// Because the pushed filter above the scan is the AND of the same
+// conjuncts, a skipped morsel produces exactly the rows the filter
+// would have produced — none — and the morsel-order merge contract
+// makes that bit-neutral across worker counts and layouts.
+//
+// Two shapes are recognized:
+//
+//  1. col <op> literal (either operand order) for the comparison
+//     operators. Int zones use exact int64 bounds; int-vs-float
+//     comparisons go through float64 conversion on BOTH the zone
+//     bounds and the literal — the same conversion CompareSQL applies
+//     per row, and float64(int64) is monotone, so converted bounds
+//     still bound every converted row value.
+//  2. the translated norm-prune shape ((x*x) + (y*y)) > eps² on REAL
+//     columns. Per row the engine computes fl(fl(x·x)+fl(y·y)) with
+//     round-to-nearest, which is monotone in |x|, |y|: with
+//     bx = max|x| and by = max|y| over the zone,
+//     fl(fl(bx·bx)+fl(by·by)) is an upper bound for every row's value,
+//     so if that bound fails the threshold no row can pass. The
+//     float64(...) conversions in the bound computation forbid FMA
+//     contraction, matching the kernel and the interpreted evaluator.
+//
+// Zones that contain NaN refuse to prove anything (the engine's
+// comparator treats NaN as numerically equal to everything), as do
+// zones holding text/bool/mixed values. All-NULL zones prove every
+// comparison empty: NULL comparisons are unknown and filters drop
+// unknown rows.
+
+type zoneCheckKind uint8
+
+const (
+	zcCmp  zoneCheckKind = iota // col <op> literal
+	zcNorm                      // ((x*x)+(y*y)) >/>= eps2
+)
+
+// zoneCheck is one compiled conjunct. Column indices are PHYSICAL
+// store columns (the scan's keep mapping is already applied).
+type zoneCheck struct {
+	kind zoneCheckKind
+	// zcCmp:
+	col int
+	op  string // canonical: literal on the right
+	lit Value  // TypeInt or TypeFloat only
+	// zcNorm:
+	xcol, ycol int
+	eps2       float64
+	strict     bool // ">" (true) vs ">=" (false)
+}
+
+// zonePred is the set of zone checks compiled from a scan's pushed
+// filter conjuncts. Proving ANY single conjunct empty proves the AND
+// empty, so unsupported conjuncts are simply dropped at compile time.
+type zonePred struct {
+	checks []zoneCheck
+}
+
+// mirrorOp rewrites lit <op> col as col <op'> lit.
+func mirrorOp(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	}
+	return op // =, ==, !=, <> are symmetric
+}
+
+// compileZonePred compiles a scan's pushed-down conjuncts against the
+// scan schema, mapping schema slots through keep onto physical store
+// columns. Returns nil when no conjunct is zone-checkable.
+func compileZonePred(filters []Expr, schema planSchema, keep []int) *zonePred {
+	phys := func(e Expr) (int, bool) {
+		cr, ok := e.(*ColumnRef)
+		if !ok {
+			return 0, false
+		}
+		idx, err := schema.resolveColumn(cr.Table, cr.Name)
+		if err != nil {
+			return 0, false
+		}
+		if keep != nil {
+			if idx >= len(keep) {
+				return 0, false
+			}
+			idx = keep[idx]
+		}
+		return idx, true
+	}
+	var checks []zoneCheck
+	for _, f := range filters {
+		b, ok := f.(*BinaryExpr)
+		if !ok {
+			continue
+		}
+		if c, ok := compileNormCheck(b, phys); ok {
+			checks = append(checks, c)
+			continue
+		}
+		if c, ok := compileCmpCheck(b, phys); ok {
+			checks = append(checks, c)
+		}
+	}
+	if len(checks) == 0 {
+		return nil
+	}
+	return &zonePred{checks: checks}
+}
+
+// compileCmpCheck recognizes col <op> literal (either order).
+func compileCmpCheck(b *BinaryExpr, phys func(Expr) (int, bool)) (zoneCheck, bool) {
+	switch b.Op {
+	case "=", "==", "!=", "<>", "<", "<=", ">", ">=":
+	default:
+		return zoneCheck{}, false
+	}
+	op := b.Op
+	colE, litE := b.L, b.R
+	if _, isLit := litValue(b.R); !isLit {
+		if _, isLit := litValue(b.L); !isLit {
+			return zoneCheck{}, false
+		}
+		colE, litE = b.R, b.L
+		op = mirrorOp(op)
+	}
+	lit, _ := litValue(litE)
+	if lit.T != TypeInt && lit.T != TypeFloat {
+		return zoneCheck{}, false
+	}
+	if lit.T == TypeFloat && lit.F != lit.F {
+		return zoneCheck{}, false // NaN literal
+	}
+	col, ok := phys(colE)
+	if !ok {
+		return zoneCheck{}, false
+	}
+	return zoneCheck{kind: zcCmp, col: col, op: op, lit: lit}, true
+}
+
+// compileNormCheck recognizes ((x*x) + (y*y)) >/>= eps2 where x and y
+// are column references and eps2 a REAL literal — the translated
+// zero-amplitude pruning shape.
+func compileNormCheck(b *BinaryExpr, phys func(Expr) (int, bool)) (zoneCheck, bool) {
+	if b.Op != ">" && b.Op != ">=" {
+		return zoneCheck{}, false
+	}
+	lit, isLit := litValue(b.R)
+	if !isLit || lit.T != TypeFloat || lit.F != lit.F || lit.F < 0 {
+		return zoneCheck{}, false
+	}
+	sum, ok := b.L.(*BinaryExpr)
+	if !ok || sum.Op != "+" {
+		return zoneCheck{}, false
+	}
+	squareCol := func(e Expr) (int, bool) {
+		m, ok := e.(*BinaryExpr)
+		if !ok || m.Op != "*" {
+			return 0, false
+		}
+		lc, lok := m.L.(*ColumnRef)
+		rc, rok := m.R.(*ColumnRef)
+		if !lok || !rok || lc.Name != rc.Name || lc.Table != rc.Table {
+			return 0, false
+		}
+		return phys(m.L)
+	}
+	x, okx := squareCol(sum.L)
+	y, oky := squareCol(sum.R)
+	if !okx || !oky {
+		return zoneCheck{}, false
+	}
+	return zoneCheck{kind: zcNorm, xcol: x, ycol: y, eps2: lit.F, strict: b.Op == ">"}, true
+}
+
+// skip reports whether the zones prove the whole unit (morsel or
+// chunk) empty under the pushed filter. zone returns the unit's zone
+// entry for a physical column, or nil when unavailable — a nil zone
+// makes that check unprovable, never a wrong skip.
+func (zp *zonePred) skip(zone func(col int) *zoneEntry) bool {
+	for i := range zp.checks {
+		if zp.checks[i].provesEmpty(zone) {
+			return true
+		}
+	}
+	return false
+}
+
+func (zc *zoneCheck) provesEmpty(zone func(col int) *zoneEntry) bool {
+	switch zc.kind {
+	case zcNorm:
+		zx, zy := zone(zc.xcol), zone(zc.ycol)
+		if zx == nil || zy == nil || zx.rows == 0 {
+			return false
+		}
+		// A NULL operand makes the whole predicate unknown → dropped.
+		if zx.nulls == zx.rows || zy.nulls == zy.rows {
+			return true
+		}
+		if zx.hasNaN || zy.hasNaN || zx.hasOther || zy.hasOther || zx.hasInt || zy.hasInt {
+			return false
+		}
+		bx, by := zx.absMax(), zy.absMax()
+		// fl(fl(bx²)+fl(by²)) ≥ every row's fl(fl(x²)+fl(y²)): squaring
+		// and addition are monotone and round-to-nearest preserves
+		// monotonicity. Explicit float64() conversions forbid FMA.
+		bound := float64(float64(bx*bx) + float64(by*by))
+		if zc.strict {
+			return !(bound > zc.eps2)
+		}
+		return !(bound >= zc.eps2)
+	case zcCmp:
+		z := zone(zc.col)
+		if z == nil || z.rows == 0 {
+			return false
+		}
+		if z.nulls == z.rows {
+			return true
+		}
+		if z.hasOther || z.hasNaN {
+			return false
+		}
+		if z.hasInt && !cmpIntEmpty(zc.op, z.intMin, z.intMax, zc.lit) {
+			return false
+		}
+		if z.hasFloat && !cmpFloatEmpty(zc.op, z.fMin, z.fMax, zc.lit) {
+			return false
+		}
+		// Only NULL, int, and float rows remain, and each numeric kind
+		// was proved empty.
+		return z.hasInt || z.hasFloat || z.nulls == z.rows
+	}
+	return false
+}
+
+// cmpIntEmpty proves v <op> lit false for every INTEGER v in
+// [min, max]. Int-vs-int comparisons are exact; int-vs-float goes
+// through the same float64 conversion CompareSQL applies, which is
+// monotone, so the converted bounds bound every converted row.
+func cmpIntEmpty(op string, min, max int64, lit Value) bool {
+	if lit.T == TypeInt {
+		switch op {
+		case ">":
+			return max <= lit.I
+		case ">=":
+			return max < lit.I
+		case "<":
+			return min >= lit.I
+		case "<=":
+			return min > lit.I
+		case "=", "==":
+			return lit.I < min || lit.I > max
+		case "!=", "<>":
+			return min == max && min == lit.I
+		}
+		return false
+	}
+	return cmpRangeEmptyFloat(op, float64(min), float64(max), lit.F)
+}
+
+// cmpFloatEmpty proves v <op> lit false for every REAL v in
+// [fMin, fMax]. An INTEGER literal is converted exactly the way the
+// engine's comparator converts it.
+func cmpFloatEmpty(op string, fMin, fMax float64, lit Value) bool {
+	litF := lit.F
+	if lit.T == TypeInt {
+		litF = float64(lit.I)
+	}
+	return cmpRangeEmptyFloat(op, fMin, fMax, litF)
+}
+
+func cmpRangeEmptyFloat(op string, lo, hi, lit float64) bool {
+	switch op {
+	case ">":
+		return hi <= lit
+	case ">=":
+		return hi < lit
+	case "<":
+		return lo >= lit
+	case "<=":
+		return lo > lit
+	case "=", "==":
+		return lit < lo || lit > hi
+	case "!=", "<>":
+		return lo == hi && lo == lit
+	}
+	return false
+}
+
+// zoneSkipper builds the per-morsel skip decision for a fully
+// in-memory store with exact statistics, or nil when zone skipping is
+// unavailable (encodings off, spilled store, stale or missing stats).
+// The returned function is safe for concurrent use: zones are
+// read-only once the store is frozen.
+func (cs *ColStore) zoneSkipper(zp *zonePred) func(m int) bool {
+	if zp == nil || cs == nil || !cs.env.encodings || cs.Spilled() {
+		return nil
+	}
+	ts := cs.stats
+	if ts == nil || ts.rows != int64(cs.rows) {
+		return nil
+	}
+	rows := cs.rows
+	return func(m int) bool {
+		lo := m * morselRows
+		want := min(morselRows, rows-lo)
+		if want <= 0 {
+			return false
+		}
+		return zp.skip(func(col int) *zoneEntry {
+			z := ts.zone(col, m)
+			if z == nil || int(z.rows) != want {
+				return nil
+			}
+			return z
+		})
+	}
+}

@@ -142,6 +142,12 @@ type SQLBackendOptions struct {
 	// executor. Amplitudes are bit-identical across settings; only
 	// throughput changes.
 	Kernels string
+	// Encodings controls the engine's sparsity-first storage tier: ""
+	// or "on" (default) enables compressed column encodings (RLE /
+	// dictionary / sparse) and zone-map skip-scan, "off" keeps plain
+	// typed vectors. Amplitudes are bit-identical across settings;
+	// only throughput and memory density change.
+	Encodings string
 	// PlanCache, when non-nil, caches circuit→SQL translations across
 	// Run calls: exact repeats skip translation entirely, parameter
 	// sweeps reuse the SQL text and rebind only the numeric gate data.
@@ -169,6 +175,7 @@ func NewSQLBackend(opts ...SQLBackendOptions) Backend {
 		Layout:       o.StorageLayout,
 		Optimizer:    o.Optimizer,
 		Kernels:      o.Kernels,
+		Encodings:    o.Encodings,
 		Cache:        o.PlanCache,
 		Initial:      o.Initial,
 	}
