@@ -43,6 +43,8 @@ type (
 	RemoteMetrics = service.MetricsJSON
 	// RemoteHealth is the /healthz document.
 	RemoteHealth = service.HealthJSON
+	// RemoteTrace is one job's span trace from GET /v1/jobs/{id}/trace.
+	RemoteTrace = service.TraceJSON
 )
 
 // RemoteResult is a completed remote simulation.
@@ -248,6 +250,15 @@ func (cl *Client) WaitJob(ctx context.Context, id string, poll time.Duration) (*
 		case <-time.After(poll):
 		}
 	}
+}
+
+// JobTrace fetches a job's span trace. Works while the job is still
+// running (open spans report duration-so-far); the server returns 404
+// when the job is unknown or was not traced (tracing off).
+func (cl *Client) JobTrace(ctx context.Context, id string) (RemoteTrace, error) {
+	var tr RemoteTrace
+	err := cl.getJSON(ctx, "/v1/jobs/"+id+"/trace", &tr)
+	return tr, err
 }
 
 // Health fetches /healthz.

@@ -47,6 +47,12 @@
 //	                         # sparse amplitude table with encodings on
 //	                         # vs off + zone-map skip counts +
 //	                         # bit-identity)
+//	qybench -benchjson BENCH_sqlengine_obs.json
+//	                         # paths containing "obs" write the span-
+//	                         # tracing overhead report (gate-stage query
+//	                         # with tracing off / enabled-but-untraced /
+//	                         # sampled / full + bit-identity + traced
+//	                         # simulation span coverage)
 //	qybench -compareallocs BENCH_sqlengine.json NEW.json
 //	                         # allocation regression gate: fail when
 //	                         # NEW.json's fixed-size gate-stage query
@@ -62,6 +68,12 @@
 //	                         # when the report is not bit-identical, no
 //	                         # morsel was zone-skipped, or the sparse
 //	                         # scan did not win with encodings on
+//	qybench -obsgate BENCH_sqlengine_obs.json
+//	                         # observability regression gate: fail when
+//	                         # tracing changed result bits, the enabled-
+//	                         # but-untraced overhead exceeds 2%, traced
+//	                         # modes collected no spans, or the traced
+//	                         # simulation is missing a pipeline phase
 package main
 
 import (
@@ -85,6 +97,7 @@ func main() {
 	compareAllocs := flag.String("compareallocs", "", "allocation regression gate: compare the gate-stage allocs/op of a fresh BENCH_sqlengine.json (first positional argument) against this committed baseline and exit nonzero on a >20% regression")
 	stormGate := flag.String("stormgate", "", "service-storm regression gate: validate this BENCH_service_storm.json (amplitudes bit-identical, p99 > 0, fairness spread <= 1.5) and exit nonzero on breach")
 	storageGate := flag.String("storagegate", "", "sparsity-storage regression gate: validate this BENCH_sqlengine_storage.json (results bit-identical, morsels actually zone-skipped, sparse scan faster with encodings) and exit nonzero on breach")
+	obsGate := flag.String("obsgate", "", "observability regression gate: validate this BENCH_sqlengine_obs.json (tracing bit-identical, enabled-but-untraced overhead <= 2%, traced modes collect spans covering translate/stages/query/emit) and exit nonzero on breach")
 	flag.Parse()
 
 	if *stormGate != "" {
@@ -102,6 +115,15 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("storage gate ok: %s\n", *storageGate)
+		return
+	}
+
+	if *obsGate != "" {
+		if err := bench.ObsGate(*obsGate); err != nil {
+			fmt.Fprintln(os.Stderr, "qybench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("obs gate ok: %s\n", *obsGate)
 		return
 	}
 
@@ -135,6 +157,8 @@ func main() {
 			data, err = bench.KernelBenchJSON(bench.Options{Quick: *quick})
 		case strings.Contains(base, "storage"):
 			data, err = bench.StorageBenchJSON(bench.Options{Quick: *quick})
+		case strings.Contains(base, "obs"):
+			data, err = bench.ObsBenchJSON(bench.Options{Quick: *quick})
 		default:
 			data, err = bench.EngineBenchJSON(bench.Options{Quick: *quick})
 		}

@@ -18,6 +18,12 @@
 //	qymerad -tenant-max-running 2 -tenant-max-queued 32
 //	                                # per-tenant quotas in front of the
 //	                                # fair scheduler
+//	qymerad -data-dir d -slow-query-ms 500 -debug-addr :6060
+//	                                # observability: traces of jobs
+//	                                # slower than 500ms land in
+//	                                # d/slow_queries.ndjson, pprof serves
+//	                                # on :6060 (GET /v1/jobs/{id}/trace
+//	                                # has per-job span trees either way)
 //
 // The HTTP API is documented in docs/SERVICE.md; a quick check:
 //
@@ -34,6 +40,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // profiling endpoints, served only on -debug-addr
 	"os"
 	"os/signal"
 	"runtime"
@@ -56,6 +63,9 @@ func main() {
 	tenantMaxRunning := flag.Int("tenant-max-running", 0, "per-tenant cap on concurrently running jobs (0 = none)")
 	tenantMaxQueued := flag.Int("tenant-max-queued", 0, "per-tenant cap on queued jobs; beyond it submissions get HTTP 429 (0 = none)")
 	tenantMaxBytes := flag.Int64("tenant-max-bytes", 0, "per-tenant cap on the sum of running jobs' estimated_bytes; estimates beyond it get HTTP 422 (0 = none)")
+	tracing := flag.String("tracing", "", "span-tracing default: sampled (default), full, or off; per-request options.trace overrides")
+	slowQueryMs := flag.Int("slow-query-ms", 0, "with -data-dir, append full traces of jobs at least this slow to slow_queries.ndjson (0 = off)")
+	debugAddr := flag.String("debug-addr", "", "separate listen address for net/http/pprof profiling endpoints (empty = off)")
 	flag.Parse()
 
 	srv, err := service.Open(service.Config{
@@ -70,6 +80,8 @@ func main() {
 		TenantMaxRunning: *tenantMaxRunning,
 		TenantMaxQueued:  *tenantMaxQueued,
 		TenantMaxBytes:   *tenantMaxBytes,
+		Tracing:          *tracing,
+		SlowQueryMillis:  *slowQueryMs,
 	})
 	if err != nil {
 		log.Fatalf("qymerad: %v", err)
@@ -78,6 +90,19 @@ func main() {
 		rs := srv.Manager().Replay()
 		log.Printf("qymerad: job log replayed %d records: %d completed jobs kept, %d re-enqueued, %d corrupt tail records skipped",
 			rs.Records, rs.CompletedKept, rs.Requeued, rs.CorruptRecords)
+	}
+
+	if *debugAddr != "" {
+		// pprof stays off the public mux: the profiling endpoints bind
+		// their own address so exposing the API never exposes the
+		// profiler. http.DefaultServeMux carries the net/http/pprof
+		// handlers registered by the import's init.
+		go func() {
+			log.Printf("qymerad: pprof on %s/debug/pprof/", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				log.Printf("qymerad: debug listener: %v", err)
+			}
+		}()
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}

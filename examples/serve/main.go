@@ -66,7 +66,19 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("job %s done: %d amplitudes, wall %.1fms\n\n", id, jres.State.Len(), jres.Stats.WallSeconds*1e3)
+	fmt.Printf("job %s done: %d amplitudes, wall %.1fms\n", id, jres.State.Len(), jres.Stats.WallSeconds*1e3)
+
+	// Every job carries a span trace: queue wait, dispatch, translation
+	// (with the plan-cache tier), per-stage execution, amplitude emit.
+	// GET /v1/jobs/{id}/trace?format=chrome gives the same tree as
+	// Chrome trace_event JSON for chrome://tracing / Perfetto.
+	tr, err := client.JobTrace(ctx, id)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trace for %s:\n", tr.JobID)
+	printSpan(tr.Trace, 1)
+	fmt.Println()
 
 	// 3. Cancellation: a big job, cancelled mid-flight. The server
 	// aborts the engine's gate-stage query at the next batch boundary.
@@ -84,7 +96,7 @@ func main() {
 		fmt.Printf("job %s finished before the cancel landed\n\n", id)
 	}
 
-	// 4. Metrics: queue, plan cache, per-backend latency.
+	// 4. Metrics: queue, plan cache, per-backend latency percentiles.
 	m, err := client.Metrics(ctx)
 	if err != nil {
 		log.Fatal(err)
@@ -92,7 +104,22 @@ func main() {
 	fmt.Printf("metrics: %d jobs done, plan cache %d exact + %d structural hits / %d misses\n",
 		m.Jobs["done"], m.PlanCache.Hits, m.PlanCache.StructuralHits, m.PlanCache.Misses)
 	for name, lat := range m.Backends {
-		fmt.Printf("  %-12s %d runs, avg %.1fms, max %.1fms\n",
-			name, lat.Count, lat.AvgSeconds*1e3, lat.MaxSeconds*1e3)
+		fmt.Printf("  %-12s %d runs, p50 %.1fms, p99 %.1fms, max %.1fms\n",
+			name, lat.Count, lat.P50Seconds*1e3, lat.P99Seconds*1e3, lat.MaxSeconds*1e3)
+	}
+	if q, ok := m.Phases["queue"]; ok {
+		fmt.Printf("  queue phase: p50 %.2fms, p99 %.2fms over %d jobs\n", q.P50Seconds*1e3, q.P99Seconds*1e3, q.Count)
+	}
+}
+
+// printSpan pretty-prints a span tree, one span per line.
+func printSpan(sp qymera.TraceSpan, depth int) {
+	fmt.Printf("%*s%-12s %8.2fms", depth*2, "", sp.Name, float64(sp.DurationUs)/1e3)
+	for _, k := range sp.CounterKeys() {
+		fmt.Printf("  %s=%d", k, sp.Counters[k])
+	}
+	fmt.Println()
+	for _, c := range sp.Children {
+		printSpan(c, depth+1)
 	}
 }

@@ -1,0 +1,289 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"qymera/internal/circuits"
+	"qymera/internal/obs"
+	"qymera/internal/sim"
+	"qymera/internal/sqlengine"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "obs",
+		Paper: "observability overhead — span tracing off / sampled / full on the gate-stage hot path",
+		Desc:  "times the cached gate-stage query with tracing compiled out, enabled-but-untraced, sampled, and full, asserting bit-identical results and near-zero untraced overhead; a traced SQL-backend simulation checks the span tree reaches translate/stages/query/emit; qybench -benchjson BENCH_sqlengine_obs.json writes the machine-readable report",
+		Run:   runObsBench,
+	})
+}
+
+// ObsBenchEntry is the cached gate-stage query timed under one tracing
+// mode.
+type ObsBenchEntry struct {
+	// Mode: "baseline" (engine tracing off), "off" (tracing enabled,
+	// no span on the context — the production default), "sampled"
+	// (obs.SampleDefault), "full" (every batch timed).
+	Mode    string  `json:"mode"`
+	Seconds float64 `json:"seconds"`
+	// OverheadPct is this mode's wall time vs baseline, in percent.
+	OverheadPct float64 `json:"overhead_pct"`
+	// BitIdentical: this mode's result digest matches baseline's.
+	BitIdentical bool `json:"bit_identical"`
+	// Spans counts the spans of one collected trace (0 for untraced
+	// modes).
+	Spans int `json:"spans"`
+}
+
+// ObsBenchReport is the BENCH_sqlengine_obs.json payload.
+type ObsBenchReport struct {
+	Engine     string `json:"engine"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Workers    int    `json:"workers"`
+	Rows       int64  `json:"rows"`
+	// OverheadOffPct is the headline the CI gate bounds (<= 2%): the
+	// cost of shipping with tracing enabled when no trace is requested
+	// — one context lookup per statement.
+	OverheadOffPct     float64 `json:"overhead_off_pct"`
+	OverheadSampledPct float64 `json:"overhead_sampled_pct"`
+	OverheadFullPct    float64 `json:"overhead_full_pct"`
+	// BitIdentical aggregates every mode's flag plus the traced vs
+	// untraced simulation digests (the acceptance gate: tracing may
+	// cost time, never bits).
+	BitIdentical bool            `json:"bit_identical"`
+	Entries      []ObsBenchEntry `json:"entries"`
+	// SimSpanNames: the distinct span names collected by a fully traced
+	// SQL-backend simulation — proof the trace covers the pipeline.
+	SimSpanNames []string `json:"sim_span_names"`
+}
+
+// obsRunOnce executes the cached gate-stage query once, with a fresh
+// per-query trace when sampleEvery > 0 (the per-job cost a traced
+// service request pays).
+func obsRunOnce(db *sqlengine.DB, sampleEvery int) (*sqlengine.ResultSet, *obs.Trace, error) {
+	ctx := context.Background()
+	var tr *obs.Trace
+	if sampleEvery > 0 {
+		tr = obs.NewTrace("bench", sampleEvery)
+		ctx = obs.WithSpan(ctx, tr.Root())
+	}
+	rs, err := db.QueryContext(ctx, gateStageSQL)
+	return rs, tr, err
+}
+
+// minDuration returns the smallest sample: for identical workloads the
+// minimum is the run least disturbed by scheduler, GC, or thermal noise,
+// which is what a 2% overhead bound needs.
+func minDuration(ds []time.Duration) time.Duration {
+	best := ds[0]
+	for _, d := range ds[1:] {
+		if d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// RunObsBench measures the tracing modes and returns the report.
+func RunObsBench(opts Options) (*ObsBenchReport, error) {
+	report := &ObsBenchReport{
+		Engine:       "vectorized-batch + obs span tracing",
+		NumCPU:       runtime.NumCPU(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		Workers:      1, // serial path: most sensitive to per-batch overhead
+		BitIdentical: true,
+	}
+	stateRows, reps, rounds, qftQubits := 1<<17, 4, 7, 10
+	if opts.Quick {
+		stateRows, reps, rounds, qftQubits = 1<<14, 4, 7, 6
+	}
+
+	modes := []struct {
+		name        string
+		tracing     string // engine Config.Tracing
+		sampleEvery int    // 0 = no span on the context
+	}{
+		{"baseline", "off", 0},
+		{"off", "on", 0},
+		{"sampled", "on", obs.SampleDefault},
+		{"full", "on", obs.SampleFull},
+	}
+
+	// One engine per mode, warmed once (plan + kernel cached), then single
+	// queries are timed interleaved round-robin across the modes: adjacent
+	// samples of different modes see the same machine conditions, so slow
+	// drift (thermal, scheduler, GC) cancels out of the mode-vs-baseline
+	// ratio of minimums, which is what makes a 2% overhead bound
+	// measurable.
+	dbs := make([]*sqlengine.DB, len(modes))
+	defer func() {
+		for _, db := range dbs {
+			if db != nil {
+				db.Close()
+			}
+		}
+	}()
+	for i, mode := range modes {
+		db, err := gateStageDB(stateRows, sqlengine.Config{Parallelism: report.Workers, Tracing: mode.tracing})
+		if err != nil {
+			return nil, fmt.Errorf("bench: obs %s: %w", mode.name, err)
+		}
+		dbs[i] = db
+		rs, _, err := obsRunOnce(db, mode.sampleEvery)
+		if err != nil {
+			return nil, fmt.Errorf("bench: obs %s warm-up: %w", mode.name, err)
+		}
+		rs.Close()
+	}
+	times := make([][]time.Duration, len(modes))
+	for round := 0; round < rounds; round++ {
+		for r := 0; r < reps; r++ {
+			for i, mode := range modes {
+				start := time.Now()
+				rs, _, err := obsRunOnce(dbs[i], mode.sampleEvery)
+				if err != nil {
+					return nil, fmt.Errorf("bench: obs %s: %w", mode.name, err)
+				}
+				rs.Close()
+				times[i] = append(times[i], time.Since(start))
+			}
+		}
+	}
+
+	var baseSeconds float64
+	var baseDigest string
+	for i, mode := range modes {
+		rs, tr, err := obsRunOnce(dbs[i], mode.sampleEvery)
+		if err != nil {
+			return nil, fmt.Errorf("bench: obs %s: %w", mode.name, err)
+		}
+		digest, rows, err := resultDigest(rs)
+		rs.Close()
+		if err != nil {
+			return nil, fmt.Errorf("bench: obs %s: %w", mode.name, err)
+		}
+		spans := 0
+		if tr != nil {
+			tr.Snapshot().Walk(func(obs.SpanJSON) { spans++ })
+		}
+		entry := ObsBenchEntry{Mode: mode.name, Seconds: minDuration(times[i]).Seconds(), Spans: spans}
+		report.Rows = rows
+		if mode.name == "baseline" {
+			baseSeconds, baseDigest = entry.Seconds, digest
+			entry.BitIdentical = true
+		} else {
+			entry.BitIdentical = digest == baseDigest
+			if baseSeconds > 0 {
+				entry.OverheadPct = (entry.Seconds/baseSeconds - 1) * 100
+			}
+		}
+		report.BitIdentical = report.BitIdentical && entry.BitIdentical
+		switch mode.name {
+		case "off":
+			report.OverheadOffPct = entry.OverheadPct
+		case "sampled":
+			report.OverheadSampledPct = entry.OverheadPct
+		case "full":
+			report.OverheadFullPct = entry.OverheadPct
+		}
+		report.Entries = append(report.Entries, entry)
+	}
+
+	// A fully traced simulation through the SQL backend: same bits as
+	// untraced, and the collected span tree reaches every phase.
+	c := circuits.QFT(qftQubits)
+	untraced, err := (&sim.SQL{SpillDir: opts.SpillDir}).Run(c)
+	if err != nil {
+		return nil, fmt.Errorf("bench: obs sim: %w", err)
+	}
+	tr := obs.NewTrace("bench-sim", obs.SampleFull)
+	traced, err := (&sim.SQL{SpillDir: opts.SpillDir}).RunContext(obs.WithSpan(context.Background(), tr.Root()), c)
+	if err != nil {
+		return nil, fmt.Errorf("bench: obs sim traced: %w", err)
+	}
+	if stateDigest(untraced.State) != stateDigest(traced.State) {
+		report.BitIdentical = false
+	}
+	seen := map[string]bool{}
+	tr.Snapshot().Walk(func(sp obs.SpanJSON) {
+		if !seen[sp.Name] {
+			seen[sp.Name] = true
+			report.SimSpanNames = append(report.SimSpanNames, sp.Name)
+		}
+	})
+	return report, nil
+}
+
+// ObsBenchJSON renders the report for BENCH_sqlengine_obs.json.
+func ObsBenchJSON(opts Options) ([]byte, error) {
+	report, err := RunObsBench(opts)
+	if err != nil {
+		return nil, err
+	}
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// ObsGate validates an obs report for CI: tracing must never change
+// bits, the enabled-but-untraced mode must cost <= 2%, and the traced
+// modes must actually collect spans covering the pipeline.
+func ObsGate(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var r ObsBenchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return fmt.Errorf("obs gate: %s: %w", path, err)
+	}
+	if !r.BitIdentical {
+		return fmt.Errorf("obs gate: %s: tracing changed result bits", path)
+	}
+	if r.OverheadOffPct > 2.0 {
+		return fmt.Errorf("obs gate: %s: tracing-off overhead %.2f%% exceeds 2%%", path, r.OverheadOffPct)
+	}
+	for _, e := range r.Entries {
+		if (e.Mode == "sampled" || e.Mode == "full") && e.Spans == 0 {
+			return fmt.Errorf("obs gate: %s: mode %s collected no spans", path, e.Mode)
+		}
+	}
+	for _, want := range []string{"translate", "stages", "query", "emit"} {
+		found := false
+		for _, name := range r.SimSpanNames {
+			if name == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("obs gate: %s: traced simulation has no %q span (have %v)", path, want, r.SimSpanNames)
+		}
+	}
+	return nil
+}
+
+func runObsBench(opts Options) ([]*Table, error) {
+	report, err := RunObsBench(opts)
+	if err != nil {
+		return nil, err
+	}
+	t := NewTable("Span tracing overhead: gate-stage query per mode",
+		"mode", "per-query", "overhead", "bit-identical", "spans")
+	for _, e := range report.Entries {
+		t.Addf(e.Mode,
+			FormatDuration(time.Duration(e.Seconds*float64(time.Second))),
+			fmt.Sprintf("%+.2f%%", e.OverheadPct), e.BitIdentical, e.Spans)
+	}
+	t.Note("baseline = engine built with tracing off; off = tracing on but no span on the context (production default)")
+	t.Note("traced simulation spans: %v", report.SimSpanNames)
+	return []*Table{t}, nil
+}

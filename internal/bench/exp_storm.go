@@ -8,7 +8,6 @@ import (
 	"net/http"
 	"os"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -35,8 +34,12 @@ type StormTenantReport struct {
 	MakespanSeconds float64 `json:"makespan_seconds"`
 	// ThroughputJPS is Done / MakespanSeconds.
 	ThroughputJPS float64 `json:"throughput_jps"`
-	P50Seconds    float64 `json:"p50_seconds"`
-	P99Seconds    float64 `json:"p99_seconds"`
+	// P50/P99Seconds are run-latency quantiles read from the server's
+	// per-tenant /metrics histogram (log2 buckets, midpoint estimate)
+	// rather than recomputed client-side — the storm doubles as an
+	// end-to-end check of the metrics pipeline.
+	P50Seconds float64 `json:"p50_seconds"`
+	P99Seconds float64 `json:"p99_seconds"`
 }
 
 // ServiceStormReport is the BENCH_service_storm.json payload.
@@ -52,8 +55,11 @@ type ServiceStormReport struct {
 
 	WallSeconds   float64 `json:"wall_seconds"`
 	ThroughputJPS float64 `json:"throughput_jps"`
-	P50Seconds    float64 `json:"p50_seconds"`
-	P99Seconds    float64 `json:"p99_seconds"`
+	// P50/P99Seconds are submit→finish latency quantiles read from the
+	// server's phase.total /metrics histogram (log2 buckets, midpoint
+	// estimate), not from client-side samples.
+	P50Seconds float64 `json:"p50_seconds"`
+	P99Seconds float64 `json:"p99_seconds"`
 
 	// Saturation: peak sampled queue depth against capacity, plus how
 	// often the scheduler had work it could not admit.
@@ -163,10 +169,9 @@ func RunStormBench(opts Options) (*ServiceStormReport, error) {
 	}
 
 	type sample struct {
-		tenant  string
-		latency time.Duration
-		doneAt  time.Duration // completion time relative to storm start
-		ok      bool
+		tenant string
+		doneAt time.Duration // completion time relative to storm start
+		ok     bool
 	}
 	samples := make([]sample, total)
 	var mismatches atomic.Int64
@@ -204,7 +209,6 @@ func RunStormBench(opts Options) (*ServiceStormReport, error) {
 					// across tenants.
 					wi := (ci + r) % len(mix)
 					idx := (ti*clientsPerTenant+ci)*requestsPerClient + r
-					reqStart := time.Now()
 					st, err := postSimulateTenant(base, bodies[wi], tenant)
 					if err != nil {
 						firstErr.CompareAndSwap(nil, fmt.Errorf("tenant %s: %w", tenant, err))
@@ -213,7 +217,7 @@ func RunStormBench(opts Options) (*ServiceStormReport, error) {
 					if stateDigest(st) != digests[wi] {
 						mismatches.Add(1)
 					}
-					samples[idx] = sample{tenant: tenant, latency: time.Since(reqStart), doneAt: time.Since(start), ok: true}
+					samples[idx] = sample{tenant: tenant, doneAt: time.Since(start), ok: true}
 				}
 			}(ti, ci)
 		}
@@ -229,41 +233,42 @@ func RunStormBench(opts Options) (*ServiceStormReport, error) {
 		report.AmplitudesBitIdentical = false
 	}
 
-	// Latency tails: overall and per tenant. The per-tenant makespan is
-	// measured at the client — wall time until that tenant's last
-	// response.
-	var all []time.Duration
-	perTenant := map[string][]time.Duration{}
+	// Latency tails come from the server's own /metrics histograms —
+	// overall from the phase.total histogram (submit→finish), per
+	// tenant from the tenant latency histogram. The client keeps only
+	// completion times (for makespan and the fairness window).
+	metrics := srv.Metrics()
+	perTenantDone := map[string]int{}
 	tenantEnd := map[string]time.Duration{}
 	for idx, s := range samples {
 		if !s.ok {
 			return nil, fmt.Errorf("bench: storm: sample %d missing", idx)
 		}
-		all = append(all, s.latency)
-		perTenant[s.tenant] = append(perTenant[s.tenant], s.latency)
+		perTenantDone[s.tenant]++
 		if s.doneAt > tenantEnd[s.tenant] {
 			tenantEnd[s.tenant] = s.doneAt
 		}
 	}
-	report.P50Seconds = quantileSeconds(all, 0.50)
-	report.P99Seconds = quantileSeconds(all, 0.99)
+	report.P50Seconds = metrics.Phases["total"].P50Seconds
+	report.P99Seconds = metrics.Phases["total"].P99Seconds
 	if report.WallSeconds > 0 {
 		report.ThroughputJPS = float64(total) / report.WallSeconds
 	}
 
 	for ti := 0; ti < tenants; ti++ {
 		name := tenantName(ti)
-		lats := perTenant[name]
+		done := perTenantDone[name]
 		makespan := tenantEnd[name].Seconds()
+		lat := metrics.Tenants[name].Latency
 		tr := StormTenantReport{
-			Requests:        len(lats),
-			Done:            len(lats),
+			Requests:        done,
+			Done:            done,
 			MakespanSeconds: makespan,
-			P50Seconds:      quantileSeconds(lats, 0.50),
-			P99Seconds:      quantileSeconds(lats, 0.99),
+			P50Seconds:      lat.P50Seconds,
+			P99Seconds:      lat.P99Seconds,
 		}
 		if makespan > 0 {
-			tr.ThroughputJPS = float64(len(lats)) / makespan
+			tr.ThroughputJPS = float64(done) / makespan
 		}
 		report.Tenants[name] = tr
 	}
@@ -299,7 +304,6 @@ func RunStormBench(opts Options) (*ServiceStormReport, error) {
 		report.FairnessSpread = float64(maxDone) / float64(minDone)
 	}
 
-	metrics := srv.Metrics()
 	report.AdmissionWaits = metrics.AdmissionWaits
 	report.JobLogAppendedRecords = metrics.JobLog.AppendedRecords
 	return report, nil
@@ -330,24 +334,6 @@ func postSimulateTenant(base string, body []byte, tenant string) (*quantum.State
 		st.Set(a.S, complex(a.R, a.I))
 	}
 	return st, nil
-}
-
-// quantileSeconds returns the q-quantile (nearest-rank) of a latency
-// sample in seconds.
-func quantileSeconds(lats []time.Duration, q float64) float64 {
-	if len(lats) == 0 {
-		return 0
-	}
-	sorted := append([]time.Duration(nil), lats...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	idx := int(q*float64(len(sorted))+0.5) - 1
-	if idx < 0 {
-		idx = 0
-	}
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
-	}
-	return sorted[idx].Seconds()
 }
 
 // StormBenchJSON renders the report for BENCH_service_storm.json.
@@ -408,5 +394,6 @@ func runStorm(opts Options) ([]*Table, error) {
 			tr.Done, tr.MakespanSeconds, FormatDuration(time.Duration(tr.P99Seconds*float64(time.Second)))))
 	}
 	t.Note("num_cpu=%d; every request carried a tenant header and went through the DRR scheduler and the fsynced job log", report.NumCPU)
+	t.Note("p50/p99 read from the server's /metrics histograms (phase.total overall, per-tenant latency per tenant)")
 	return []*Table{t}, nil
 }

@@ -1,0 +1,38 @@
+package obs
+
+import "encoding/json"
+
+// ChromeEvent is one Chrome trace_event record. Only "complete"
+// events (ph "X") are emitted: name, ts (µs), dur (µs), pid, tid are
+// the fields chrome://tracing and Perfetto require.
+type ChromeEvent struct {
+	Name string           `json:"name"`
+	Ph   string           `json:"ph"`
+	Ts   int64            `json:"ts"`
+	Dur  int64            `json:"dur"`
+	Pid  int64            `json:"pid"`
+	Tid  int64            `json:"tid"`
+	Args map[string]int64 `json:"args,omitempty"`
+}
+
+// chromeDoc is the trace_event JSON object form ({"traceEvents":[...]}),
+// which both chrome://tracing and Perfetto load directly.
+type chromeDoc struct {
+	TraceEvents     []ChromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// ChromeTrace renders a span-tree snapshot as Chrome trace_event
+// JSON. Every span becomes a complete event on one track (pid/tid 1);
+// nesting is reconstructed by the viewer from ts/dur containment.
+func ChromeTrace(root SpanJSON) ([]byte, error) {
+	doc := chromeDoc{DisplayTimeUnit: "ms", TraceEvents: []ChromeEvent{}}
+	root.Walk(func(sp SpanJSON) {
+		ev := ChromeEvent{Name: sp.Name, Ph: "X", Ts: sp.StartUs, Dur: sp.DurationUs, Pid: 1, Tid: 1}
+		if len(sp.Counters) > 0 {
+			ev.Args = sp.Counters
+		}
+		doc.TraceEvents = append(doc.TraceEvents, ev)
+	})
+	return json.MarshalIndent(doc, "", "  ")
+}

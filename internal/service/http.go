@@ -8,6 +8,7 @@ import (
 	"strings"
 	"time"
 
+	"qymera/internal/obs"
 	"qymera/internal/sim"
 	"qymera/internal/sqlengine"
 )
@@ -19,6 +20,7 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -61,6 +63,7 @@ func writeError(w http.ResponseWriter, err error) {
 const TenantHeader = "X-Qymera-Tenant"
 
 func decodeRequest(r *http.Request) (Request, error) {
+	start := time.Now()
 	var req Request
 	dec := json.NewDecoder(r.Body)
 	if err := dec.Decode(&req); err != nil {
@@ -69,6 +72,8 @@ func decodeRequest(r *http.Request) (Request, error) {
 	if h := r.Header.Get(TenantHeader); h != "" {
 		req.Tenant = h
 	}
+	// Traced jobs get a back-dated "decode" span covering the body read.
+	req.decodeDur = time.Since(start)
 	return req, nil
 }
 
@@ -158,6 +163,38 @@ func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.manager.Snapshot(j, includeResult))
 }
 
+// TraceJSON is the GET /v1/jobs/{id}/trace body (default JSON form;
+// ?format=chrome returns Chrome trace_event JSON instead).
+type TraceJSON struct {
+	JobID  string       `json:"job_id"`
+	Status string       `json:"status"`
+	Trace  obs.SpanJSON `json:"trace"`
+}
+
+// handleJobTrace serves a job's span tree. Works on running jobs too
+// (open spans report duration-so-far); 404s when the job is unknown or
+// was not traced.
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	snap, status, ok := s.manager.JobTrace(id)
+	if !ok {
+		writeError(w, fmt.Errorf("%w: no trace for job %q (tracing off?)", ErrNotFound, id))
+		return
+	}
+	if strings.EqualFold(r.URL.Query().Get("format"), "chrome") {
+		doc, err := obs.ChromeTrace(snap)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(doc)
+		return
+	}
+	writeJSON(w, http.StatusOK, TraceJSON{JobID: id, Status: string(status), Trace: snap})
+}
+
 func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if err := s.manager.Cancel(id); err != nil {
@@ -227,6 +264,11 @@ type MetricsJSON struct {
 
 	Backends map[string]BackendLatency `json:"backends"`
 
+	// Phases holds latency histograms per job phase: queue, run, total
+	// (every job), translate/stages/query/emit (traced SQL-backend
+	// jobs), and joblog_fsync (one observation per durable log append).
+	Phases map[string]BackendLatency `json:"phases"`
+
 	// Tenants breaks queue/run/quota state down per tenant.
 	Tenants map[string]TenantMetrics `json:"tenants"`
 
@@ -245,6 +287,9 @@ type TenantMetrics struct {
 	AdmittedBytes int64 `json:"admitted_bytes"`
 	// Jobs counts this tenant's finished jobs by terminal status.
 	Jobs map[string]int64 `json:"jobs,omitempty"`
+	// Latency summarizes this tenant's terminal-job run latencies
+	// (all terminal statuses, failures included).
+	Latency BackendLatency `json:"latency"`
 }
 
 // JobLogMetrics is the persistent job log's state on the wire.
@@ -260,7 +305,7 @@ type JobLogMetrics struct {
 // harness in-process).
 func (s *Server) Metrics() MetricsJSON {
 	m := s.manager
-	statuses, backends, tenantJobs := m.metrics.snapshot()
+	statuses, backends, tenantJobs, tenantLat, phases := m.metrics.snapshot()
 	out := MetricsJSON{
 		QueueCapacity:  m.cfg.QueueDepth,
 		Workers:        m.cfg.Workers,
@@ -271,6 +316,7 @@ func (s *Server) Metrics() MetricsJSON {
 		Kernels:        sqlengine.KernelCounters(),
 		Storage:        sqlengine.StorageCounters(),
 		Backends:       backends,
+		Phases:         phases,
 		Tenants:        map[string]TenantMetrics{},
 	}
 	out.Budget.LimitBytes = m.budget.Limit()
@@ -287,6 +333,7 @@ func (s *Server) Metrics() MetricsJSON {
 			Running:       ts.running,
 			AdmittedBytes: ts.admitted,
 			Jobs:          tenantJobs[name],
+			Latency:       tenantLat[name],
 		}
 	}
 	if m.log != nil {
@@ -297,7 +344,7 @@ func (s *Server) Metrics() MetricsJSON {
 	// Tenants only seen in finished-job counters (e.g. evicted queues).
 	for name, jobs := range tenantJobs {
 		if _, ok := out.Tenants[name]; !ok {
-			out.Tenants[name] = TenantMetrics{Jobs: jobs}
+			out.Tenants[name] = TenantMetrics{Jobs: jobs, Latency: tenantLat[name]}
 		}
 	}
 	return out

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"qymera/internal/obs"
 	"qymera/internal/sim"
 	"qymera/internal/sqlengine"
 )
@@ -77,6 +78,15 @@ type Job struct {
 	// while running (0 until dispatched; released exactly once, by
 	// finishJob).
 	admittedBytes int64
+
+	// trace is the job's span tree (nil when tracing is off; replayed
+	// jobs are never traced). spanQueue covers submit→dispatch and
+	// spanRun dispatch→finish; both are ended by the scheduler and
+	// finishJob, and the engine hangs its statement spans under
+	// spanRun via the job context.
+	trace     *obs.Trace
+	spanQueue *obs.Span
+	spanRun   *obs.Span
 }
 
 // Manager owns the worker pool, the per-tenant queues, the shared
@@ -88,6 +98,9 @@ type Manager struct {
 	cache   *sim.PlanCache
 	metrics *metrics
 	replay  ReplayStats
+	// slow is the slow-query log (nil unless Config.DataDir and
+	// Config.SlowQueryMillis are both set).
+	slow *slowLog
 
 	mu     sync.Mutex
 	cond   *sync.Cond // dispatch + Close wakeups
@@ -144,6 +157,19 @@ func OpenManager(cfg Config) (*Manager, error) {
 		if err := m.recover(cfg.DataDir); err != nil {
 			return nil, err
 		}
+		if cfg.SlowQueryMillis > 0 {
+			slow, err := openSlowLog(cfg.DataDir, time.Duration(cfg.SlowQueryMillis)*time.Millisecond)
+			if err != nil {
+				m.log.Close()
+				return nil, err
+			}
+			m.slow = slow
+		}
+	}
+	if m.log != nil {
+		// Surface job-log fsync latency in /metrics: every durable append
+		// is one phase.joblog_fsync observation.
+		m.log.observe = func(d time.Duration) { m.metrics.observePhase("joblog_fsync", d) }
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		m.wg.Add(1)
@@ -300,6 +326,25 @@ func (m *Manager) QueueDepth() int {
 	return m.queuedTotal
 }
 
+// newJobTrace builds a job's trace per the server default
+// (Config.Tracing) and the request's per-job override
+// (options.trace): "off" disables tracing, "full" times every
+// operator batch, anything else samples (obs.SampleDefault).
+func (m *Manager) newJobTrace(id string, p *parsedRequest) *obs.Trace {
+	mode := m.cfg.Tracing
+	if p != nil && p.options.Trace != "" {
+		mode = p.options.Trace
+	}
+	switch strings.ToLower(mode) {
+	case "off":
+		return nil
+	case "full":
+		return obs.NewTrace(id, obs.SampleFull)
+	default:
+		return obs.NewTrace(id, obs.SampleDefault)
+	}
+}
+
 // Submit validates and enqueues a request, returning the queued job.
 // Quota breaches fail fast: ErrQueueFull/ErrTenantQueueFull when the
 // global or per-tenant queue is full, ErrOverBudget/ErrTenantOverBudget
@@ -342,6 +387,15 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 		ctx:       ctx,
 		cancel:    cancel,
 		done:      make(chan struct{}),
+	}
+	j.trace = m.newJobTrace(j.ID, p)
+	if j.trace != nil {
+		// The HTTP layer measured request decoding before Submit; back-date
+		// a completed span so the trace covers the whole request.
+		if d := req.decodeDur; d > 0 {
+			j.trace.Root().CompleteChild("decode", j.submitted.Add(-d), d)
+		}
+		j.spanQueue = j.trace.Root().Child("queue")
 	}
 	// Durability first: the job becomes visible (and runnable) only
 	// after its submit record is on disk, so a crash can never run a
@@ -434,7 +488,12 @@ func (m *Manager) runJob(j *Job) {
 		m.finishJob(j, nil, err)
 		return
 	}
-	res, err := backend.RunContext(j.ctx, j.req.circuit)
+	// The run span rides the job context into the backend and engine:
+	// translate/stages/query/emit spans (sim) and per-operator spans
+	// (sqlengine) all hang beneath it. spanRun was created by
+	// dispatchLocked under the manager lock, which this goroutine
+	// acquired since (in worker), so the read is ordered.
+	res, err := backend.RunContext(obs.WithSpan(j.ctx, j.spanRun), j.req.circuit)
 	m.finishJob(j, res, err)
 }
 
@@ -468,6 +527,14 @@ func (m *Manager) finishJob(j *Job, res *sim.Result, err error) {
 		j.err = err
 	}
 	j.cancel() // release the context's resources
+	// Close out the trace under the lock: spanQueue/spanRun are written
+	// by Submit and dispatchLocked under the same mutex, and nothing
+	// else touches them once the status is terminal.
+	j.spanRun.End()
+	j.spanQueue.End()
+	if j.trace != nil {
+		j.trace.Root().End()
+	}
 	log := m.log
 	m.mu.Unlock()
 
@@ -492,10 +559,33 @@ func (m *Manager) finishJob(j *Job, res *sim.Result, err error) {
 	if j.req != nil {
 		backend = j.req.backend
 	}
+	var run time.Duration
 	if !j.started.IsZero() {
-		m.metrics.observe(backend, j.tenant, j.status, j.finished.Sub(j.started))
-	} else {
-		m.metrics.observe(backend, j.tenant, j.status, 0)
+		run = j.finished.Sub(j.started)
+	}
+	m.metrics.observe(backend, j.tenant, j.status, run)
+	total := j.finished.Sub(j.submitted)
+	queued := total
+	if !j.started.IsZero() {
+		queued = j.started.Sub(j.submitted)
+		m.metrics.observePhase("run", run)
+	}
+	m.metrics.observePhase("queue", queued)
+	m.metrics.observePhase("total", total)
+	if j.trace != nil {
+		snap := j.trace.Snapshot()
+		// Fold the engine-side spans into the per-phase histograms so
+		// /metrics carries translate/stages/query/emit percentiles even
+		// though those spans live inside individual traces.
+		snap.Walk(func(sp obs.SpanJSON) {
+			switch sp.Name {
+			case "translate", "stages", "query", "emit":
+				m.metrics.observePhase(sp.Name, time.Duration(sp.DurationUs)*time.Microsecond)
+			}
+		})
+		if m.slow != nil {
+			m.slow.maybeRecord(j.ID, j.tenant, backend, string(j.status), j.finished, total, &snap)
+		}
 	}
 	close(j.done)
 	m.cond.Broadcast()
@@ -510,6 +600,26 @@ func (m *Manager) Job(id string) (*Job, error) {
 		return nil, ErrNotFound
 	}
 	return j, nil
+}
+
+// JobTrace snapshots a job's span tree. ok is false when the job is
+// unknown or was not traced (tracing off, or a replayed job). The
+// snapshot is safe while the job is still running: unfinished spans
+// report Unfinished with their duration so far.
+func (m *Manager) JobTrace(id string) (obs.SpanJSON, JobStatus, bool) {
+	m.mu.Lock()
+	j, jok := m.jobs[id]
+	var tr *obs.Trace
+	var status JobStatus
+	if jok {
+		tr = j.trace
+		status = j.status
+	}
+	m.mu.Unlock()
+	if tr == nil {
+		return obs.SpanJSON{}, status, false
+	}
+	return tr.Snapshot(), status, true
 }
 
 // Cancel requests cancellation: a queued job is removed from its
@@ -673,5 +783,8 @@ func (m *Manager) Close() {
 	m.wg.Wait()
 	if log != nil {
 		log.Close()
+	}
+	if m.slow != nil {
+		m.slow.Close()
 	}
 }

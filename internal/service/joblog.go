@@ -67,6 +67,10 @@ type jobLog struct {
 	path string
 	// appended counts records written by this process (for /metrics).
 	appended int64
+	// observe, when set, receives each Append's fsync duration (the
+	// manager wires it to the phase.joblog_fsync histogram). Set before
+	// the first Append, never changed after.
+	observe func(time.Duration)
 }
 
 // jobLogPath locates the log inside a data directory.
@@ -103,8 +107,12 @@ func (l *jobLog) Append(rec logRecord) error {
 	if _, err := l.f.Write(payload); err != nil {
 		return fmt.Errorf("service: job log write: %w", err)
 	}
+	start := time.Now()
 	if err := l.f.Sync(); err != nil {
 		return fmt.Errorf("service: job log sync: %w", err)
+	}
+	if l.observe != nil {
+		l.observe(time.Since(start))
 	}
 	l.appended++
 	return nil

@@ -1,42 +1,46 @@
 package service
 
 import (
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"qymera/internal/obs"
 )
 
-// metrics aggregates service counters for the /metrics endpoint.
+// metrics aggregates service-level observability: terminal-status
+// counts (global and per tenant) plus the unified obs.Registry of
+// named counters and log-bucketed latency histograms behind /metrics.
+// Histogram names follow a stable schema: "backend.<name>" and
+// "tenant.<name>" hold terminal job run latencies, "phase.<name>"
+// holds per-phase durations (queue, run, total, translate, stages,
+// query, emit, joblog_fsync).
 type metrics struct {
 	admissionWaits atomic.Int64
+	reg            *obs.Registry
 
 	mu       sync.Mutex
 	statuses map[JobStatus]int64
-	backends map[string]*latencyRec
 	// tenants counts terminal job statuses per tenant.
 	tenants map[string]map[string]int64
 }
 
-// latencyRec accumulates per-backend run latency.
-type latencyRec struct {
-	count int64
-	total time.Duration
-	max   time.Duration
-}
-
 func newMetrics() *metrics {
 	return &metrics{
+		reg:      obs.NewRegistry(),
 		statuses: map[JobStatus]int64{},
-		backends: map[string]*latencyRec{},
 		tenants:  map[string]map[string]int64{},
 	}
 }
 
 // observe records one finished job's backend, tenant, terminal status,
-// and run duration (zero for jobs that never ran).
+// and run duration. EVERY terminal status records its duration — done,
+// failed, and canceled alike — so tenant and backend p99s include the
+// failures (a job that burned 30s before failing is latency the tenant
+// experienced).
 func (m *metrics) observe(backend, tenant string, status JobStatus, d time.Duration) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	m.statuses[status]++
 	tc := m.tenants[tenant]
 	if tc == nil {
@@ -44,52 +48,70 @@ func (m *metrics) observe(backend, tenant string, status JobStatus, d time.Durat
 		m.tenants[tenant] = tc
 	}
 	tc[string(status)]++
-	if status != JobDone {
-		return
-	}
-	rec := m.backends[backend]
-	if rec == nil {
-		rec = &latencyRec{}
-		m.backends[backend] = rec
-	}
-	rec.count++
-	rec.total += d
-	if d > rec.max {
-		rec.max = d
-	}
+	m.mu.Unlock()
+	m.reg.Observe("backend."+backend, d)
+	m.reg.Observe("tenant."+tenant, d)
 }
 
-// BackendLatency is one backend's latency summary on the wire.
+// observePhase records one phase duration ("queue", "run", "total",
+// "translate", ...) in the per-phase histograms.
+func (m *metrics) observePhase(phase string, d time.Duration) {
+	m.reg.Observe("phase."+phase, d)
+}
+
+// BackendLatency is one latency histogram's summary on the wire
+// (per backend, per tenant, and per phase).
 type BackendLatency struct {
 	Count      int64   `json:"count"`
 	AvgSeconds float64 `json:"avg_seconds"`
 	MaxSeconds float64 `json:"max_seconds"`
+	P50Seconds float64 `json:"p50_seconds"`
+	P95Seconds float64 `json:"p95_seconds"`
+	P99Seconds float64 `json:"p99_seconds"`
+}
+
+func latencyJSON(s obs.HistogramSnapshot) BackendLatency {
+	return BackendLatency{
+		Count:      s.Count,
+		AvgSeconds: s.AvgSeconds,
+		MaxSeconds: s.MaxSeconds,
+		P50Seconds: s.P50Seconds,
+		P95Seconds: s.P95Seconds,
+		P99Seconds: s.P99Seconds,
+	}
 }
 
 // snapshot copies the aggregates: terminal-status counts, per-backend
-// latency, and per-tenant terminal-status counts.
-func (m *metrics) snapshot() (map[string]int64, map[string]BackendLatency, map[string]map[string]int64) {
+// latency, per-tenant terminal-status counts, per-tenant latency, and
+// per-phase latency — the latter three straight from the registry's
+// histograms.
+func (m *metrics) snapshot() (statuses map[string]int64, backends map[string]BackendLatency, tenantJobs map[string]map[string]int64, tenantLat, phases map[string]BackendLatency) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	statuses := make(map[string]int64, len(m.statuses))
+	statuses = make(map[string]int64, len(m.statuses))
 	for s, n := range m.statuses {
 		statuses[string(s)] = n
 	}
-	backends := make(map[string]BackendLatency, len(m.backends))
-	for b, rec := range m.backends {
-		lat := BackendLatency{Count: rec.count, MaxSeconds: rec.max.Seconds()}
-		if rec.count > 0 {
-			lat.AvgSeconds = (rec.total / time.Duration(rec.count)).Seconds()
-		}
-		backends[b] = lat
-	}
-	tenants := make(map[string]map[string]int64, len(m.tenants))
+	tenantJobs = make(map[string]map[string]int64, len(m.tenants))
 	for t, counts := range m.tenants {
 		cp := make(map[string]int64, len(counts))
 		for s, n := range counts {
 			cp[s] = n
 		}
-		tenants[t] = cp
+		tenantJobs[t] = cp
 	}
-	return statuses, backends, tenants
+	m.mu.Unlock()
+	backends = map[string]BackendLatency{}
+	tenantLat = map[string]BackendLatency{}
+	phases = map[string]BackendLatency{}
+	for name, hs := range m.reg.Histograms() {
+		switch {
+		case strings.HasPrefix(name, "backend."):
+			backends[strings.TrimPrefix(name, "backend.")] = latencyJSON(hs)
+		case strings.HasPrefix(name, "tenant."):
+			tenantLat[strings.TrimPrefix(name, "tenant.")] = latencyJSON(hs)
+		case strings.HasPrefix(name, "phase."):
+			phases[strings.TrimPrefix(name, "phase.")] = latencyJSON(hs)
+		}
+	}
+	return statuses, backends, tenantJobs, tenantLat, phases
 }

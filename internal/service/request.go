@@ -26,6 +26,11 @@ type Request struct {
 	Tenant string `json:"tenant,omitempty"`
 	// Options tune the selected backend.
 	Options RequestOptions `json:"options,omitempty"`
+
+	// decodeDur is how long the HTTP layer spent reading and decoding
+	// this request's body (set by decodeRequest; zero for in-process
+	// submissions). Unexported so it never reaches the durable job log.
+	decodeDur time.Duration
 }
 
 // RequestOptions are the per-request backend knobs.
@@ -61,6 +66,11 @@ type RequestOptions struct {
 	Encodings string `json:"encodings,omitempty"`
 	// MaxBond (mps): bond-dimension cap, 0 = exact.
 	MaxBond int `json:"max_bond,omitempty"`
+	// Trace overrides the server's tracing default for this job: "off"
+	// disables the span trace, "sampled" (or "on") times one operator
+	// batch in obs.SampleDefault, "full" times every batch. Amplitudes
+	// are bit-identical regardless.
+	Trace string `json:"trace,omitempty"`
 	// EstimatedBytes declares the job's expected peak engine memory for
 	// admission control: the job is held in the queue while the sum of
 	// running jobs' estimates plus this one would exceed the server's
@@ -205,6 +215,11 @@ func sqlOptions(o RequestOptions) (so sqlPlanOptions, err error) {
 	case "", "on", "off":
 	default:
 		return so, fmt.Errorf("unknown encodings %q (have on, off)", o.Encodings)
+	}
+	switch strings.ToLower(o.Trace) {
+	case "", "on", "off", "sampled", "full":
+	default:
+		return so, fmt.Errorf("unknown trace %q (have on, off, sampled, full)", o.Trace)
 	}
 	return so, nil
 }

@@ -123,6 +123,14 @@ func (m *Manager) dispatchLocked() *Job {
 			ts.running++
 			j.status = JobRunning
 			j.started = timeNow()
+			// Trace the dispatch under the same lock that made it atomic:
+			// the queue wait ends here and the run span (which the worker
+			// threads into the engine) begins.
+			j.spanQueue.End()
+			if j.trace != nil {
+				j.spanRun = j.trace.Root().Child("run")
+				j.spanRun.Add("admitted_bytes", j.admittedBytes)
+			}
 			return j
 		}
 		if !eligible {

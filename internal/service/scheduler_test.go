@@ -292,7 +292,7 @@ func TestSchedulerPropertyRandom(t *testing.T) {
 			m.mu.Unlock()
 			// No tenant starved: every tenant that submitted saw
 			// terminal jobs.
-			_, _, tenantJobs := m.metrics.snapshot()
+			_, _, tenantJobs, _, _ := m.metrics.snapshot()
 			for tenant, n := range submittedPerTenant {
 				if n == 0 {
 					continue

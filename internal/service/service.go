@@ -82,6 +82,16 @@ type Config struct {
 	// ErrTenantOverBudget (HTTP 422), and jobs that fit the quota but
 	// not its current headroom wait in the tenant's queue (0 = no cap).
 	TenantMaxBytes int64
+	// Tracing sets the server-wide span-tracing default: "" or
+	// "sampled" time one operator batch in obs.SampleDefault, "full"
+	// times every batch, "off" disables tracing. Each request may
+	// override it with options.trace. Amplitudes are bitwise
+	// independent of the setting.
+	Tracing string
+	// SlowQueryMillis, with DataDir set, appends the complete trace of
+	// every job whose submit→finish latency reaches the threshold to
+	// DataDir/slow_queries.ndjson (0 disables the slow-query log).
+	SlowQueryMillis int
 }
 
 func (c Config) withDefaults() Config {

@@ -1,0 +1,95 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"qymera/internal/obs"
+)
+
+// The slow-query log captures full traces of outlier jobs. /metrics
+// tells you *that* p99 moved; the slow log keeps the evidence — every
+// job whose submit→finish latency reaches Config.SlowQueryMillis is
+// appended to DataDir/slow_queries.ndjson as one JSON object per line,
+// complete span tree included, so the phase that blew the budget can
+// be read off after the fact without reproducing the workload.
+
+const slowLogName = "slow_queries.ndjson"
+
+// slowQueryRecord is one slow job on disk.
+type slowQueryRecord struct {
+	JobID        string        `json:"job_id"`
+	Tenant       string        `json:"tenant"`
+	Backend      string        `json:"backend,omitempty"`
+	Status       string        `json:"status"`
+	TotalSeconds float64       `json:"total_seconds"`
+	FinishedAt   time.Time     `json:"finished_at"`
+	Trace        *obs.SpanJSON `json:"trace,omitempty"`
+}
+
+// slowLog appends slow-job traces as NDJSON. Unlike the job log it is
+// diagnostic, not durable: appends are not fsynced and an append error
+// is swallowed (a slow trace is never worth failing a job over).
+type slowLog struct {
+	mu     sync.Mutex
+	f      *os.File
+	thresh time.Duration
+	// recorded counts slow jobs written by this process (for /metrics).
+	recorded int64
+}
+
+// openSlowLog opens (creating if needed) the slow-query log.
+func openSlowLog(dir string, thresh time.Duration) (*slowLog, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: slow-query log dir: %w", err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, slowLogName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("service: slow-query log: %w", err)
+	}
+	return &slowLog{f: f, thresh: thresh}, nil
+}
+
+// maybeRecord appends the job when its total latency reaches the
+// threshold.
+func (l *slowLog) maybeRecord(id, tenant, backend, status string, finished time.Time, total time.Duration, trace *obs.SpanJSON) {
+	if total < l.thresh {
+		return
+	}
+	line, err := json.Marshal(slowQueryRecord{
+		JobID:        id,
+		Tenant:       tenant,
+		Backend:      backend,
+		Status:       status,
+		TotalSeconds: total.Seconds(),
+		FinishedAt:   finished,
+		Trace:        trace,
+	})
+	if err != nil {
+		return
+	}
+	line = append(line, '\n')
+	l.mu.Lock()
+	if _, err := l.f.Write(line); err == nil {
+		l.recorded++
+	}
+	l.mu.Unlock()
+}
+
+// Recorded reports how many slow jobs this process has logged.
+func (l *slowLog) Recorded() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.recorded
+}
+
+// Close closes the underlying file.
+func (l *slowLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.f.Close()
+}

@@ -101,10 +101,27 @@ func (pc *PlanCache) Stats() PlanCacheStats {
 	}
 }
 
+// Plan-cache outcome tiers reported by TranslationTier (and recorded
+// on job translate spans).
+const (
+	PlanTierExactHit         = "exact_hit"
+	PlanTierStructuralRebind = "structural_rebind"
+	PlanTierMiss             = "miss"
+)
+
 // Translation returns the SQL program for the circuit, from cache when
 // possible. Misses (and structural hits, whose rebound plan is a new
 // exact entry) populate the cache.
 func (pc *PlanCache) Translation(c *quantum.Circuit, initial *quantum.State, opts core.Options) (*core.Translation, error) {
+	tr, _, err := pc.TranslationTier(c, initial, opts)
+	return tr, err
+}
+
+// TranslationTier is Translation plus which cache tier served the
+// request (PlanTierExactHit, PlanTierStructuralRebind, PlanTierMiss) —
+// per-request attribution that a Stats() delta cannot give under
+// concurrency.
+func (pc *PlanCache) TranslationTier(c *quantum.Circuit, initial *quantum.State, opts core.Options) (*core.Translation, string, error) {
 	exactKey := core.ExactFingerprint(c, initial, opts)
 	structKey := core.StructuralKey(c, opts)
 
@@ -114,7 +131,7 @@ func (pc *PlanCache) Translation(c *quantum.Circuit, initial *quantum.State, opt
 		pc.lru.MoveToFront(el)
 		tr := el.Value.(*planEntry).tr
 		pc.mu.Unlock()
-		return tr, nil
+		return tr, PlanTierExactHit, nil
 	}
 	var structural *core.Translation
 	if el, ok := pc.structural[structKey]; ok {
@@ -128,19 +145,19 @@ func (pc *PlanCache) Translation(c *quantum.Circuit, initial *quantum.State, opt
 		tr, err := structural.Rebind(c, initial, opts)
 		if err == nil {
 			pc.record(&pc.structuralHits, exactKey, structKey, tr)
-			return tr, nil
+			return tr, PlanTierStructuralRebind, nil
 		}
 		if !errors.Is(err, core.ErrPlanStructureMismatch) {
-			return nil, err
+			return nil, "", err
 		}
 		// A false structural match (hash collision): fall through.
 	}
 	tr, err := core.Translate(c, initial, opts)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	pc.record(&pc.misses, exactKey, structKey, tr)
-	return tr, nil
+	return tr, PlanTierMiss, nil
 }
 
 // record files a freshly produced translation under both keys, bumping

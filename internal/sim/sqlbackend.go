@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"qymera/internal/core"
+	"qymera/internal/obs"
 	"qymera/internal/quantum"
 	"qymera/internal/sqlengine"
 )
@@ -83,6 +84,11 @@ type SQL struct {
 	// variants reuse the SQL text and rebind only the numeric gate
 	// data. Safe for concurrent use and shareable across backends.
 	Cache *PlanCache
+	// Tracing controls the engine's per-operator span instrumentation
+	// ("" or "on" enables it for contexts carrying an obs span, "off"
+	// disables it; see sqlengine.Config.Tracing). Amplitudes are
+	// bitwise independent of the setting.
+	Tracing string
 	// Initial overrides the |0...0⟩ initial state.
 	Initial *quantum.State
 }
@@ -101,12 +107,14 @@ func (b *SQL) Run(c *quantum.Circuit) (*Result, error) {
 }
 
 // translate produces the circuit's SQL program, consulting the plan
-// cache when one is configured.
-func (b *SQL) translate(c *quantum.Circuit, opts core.Options) (*core.Translation, error) {
+// cache when one is configured. The tier reports how the program was
+// produced ("translated" without a cache, else the cache tier).
+func (b *SQL) translate(c *quantum.Circuit, opts core.Options) (*core.Translation, string, error) {
 	if b.Cache != nil {
-		return b.Cache.Translation(c, b.Initial, opts)
+		return b.Cache.TranslationTier(c, b.Initial, opts)
 	}
-	return core.Translate(c, b.Initial, opts)
+	tr, err := core.Translate(c, b.Initial, opts)
+	return tr, "translated", err
 }
 
 // RunContext implements Backend. Cancellation reaches into the engine:
@@ -121,7 +129,10 @@ func (b *SQL) RunContext(ctx context.Context, c *quantum.Circuit) (*Result, erro
 	if eps < 0 {
 		eps = 0
 	}
-	tr, err := b.translate(c, core.Options{
+	// sp is nil for untraced runs; every span call below no-ops then.
+	sp := obs.SpanFromContext(ctx)
+	tsp := sp.Child("translate")
+	tr, tier, err := b.translate(c, core.Options{
 		Mode:     b.Mode,
 		Fusion:   b.Fusion,
 		Encoding: b.Encoding,
@@ -130,6 +141,9 @@ func (b *SQL) RunContext(ctx context.Context, c *quantum.Circuit) (*Result, erro
 	if err != nil {
 		return nil, err
 	}
+	tsp.Add("plan_"+tier, 1)
+	tsp.Add("stages", int64(tr.StageCount))
+	tsp.End()
 
 	cfg := sqlengine.Config{
 		MemoryBudget: b.MemoryBudget,
@@ -141,6 +155,7 @@ func (b *SQL) RunContext(ctx context.Context, c *quantum.Circuit) (*Result, erro
 		Optimizer:    b.Optimizer,
 		Kernels:      b.Kernels,
 		Encodings:    b.Encodings,
+		Tracing:      b.Tracing,
 	}
 	if b.Cache != nil {
 		// Compiled kernels ride along with the plan cache: a sweep that
@@ -154,8 +169,12 @@ func (b *SQL) RunContext(ctx context.Context, c *quantum.Circuit) (*Result, erro
 	defer db.Close()
 
 	var maxRows int64
-	for _, stmt := range tr.Statements() {
-		n, err := db.ExecContext(ctx, stmt)
+	stmts := tr.Statements()
+	ssp := sp.Child("stages")
+	ssp.Add("statements", int64(len(stmts)))
+	stageCtx := obs.WithSpan(ctx, ssp)
+	for _, stmt := range stmts {
+		n, err := db.ExecContext(stageCtx, stmt)
 		if err != nil {
 			return nil, wrapBudget(fmt.Errorf("sql backend: %w", err))
 		}
@@ -163,12 +182,16 @@ func (b *SQL) RunContext(ctx context.Context, c *quantum.Circuit) (*Result, erro
 			maxRows = n
 		}
 	}
-	rs, err := db.QueryContext(ctx, tr.Query)
+	ssp.End()
+	qsp := sp.Child("query")
+	rs, err := db.QueryContext(obs.WithSpan(ctx, qsp), tr.Query)
+	qsp.End()
 	if err != nil {
 		return nil, wrapBudget(fmt.Errorf("sql backend: %w", err))
 	}
 	defer rs.Close()
 
+	esp := sp.Child("emit")
 	state := quantum.NewState(c.NumQubits())
 	for {
 		row, ok, err := rs.Next()
@@ -192,6 +215,8 @@ func (b *SQL) RunContext(ctx context.Context, c *quantum.Circuit) (*Result, erro
 		}
 		state.Set(uint64(s), complex(r, im))
 	}
+	esp.Add("amplitudes", int64(state.Len()))
+	esp.End()
 	if rows := rs.Len(); rows > maxRows {
 		maxRows = rows
 	}

@@ -137,11 +137,11 @@ type column struct {
 	// count; encSaved the resident bytes the encoding released back to
 	// the budget (re-reserved on a lazy decode). The null bitmap stays
 	// verbatim — encodings cover the raw value slots only.
-	runs  []intRun  // colIntRLE
-	dict  []int64   // colIntDict values
-	codes []uint32  // colIntDict per-row codes
-	spos  []int32   // colFloatSparse nonzero positions (ascending)
-	svals []float64 // colFloatSparse nonzero values
+	runs     []intRun  // colIntRLE
+	dict     []int64   // colIntDict values
+	codes    []uint32  // colIntDict per-row codes
+	spos     []int32   // colFloatSparse nonzero positions (ascending)
+	svals    []float64 // colFloatSparse nonzero values
 	encLen   int
 	encSaved int64
 }

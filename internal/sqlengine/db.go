@@ -7,6 +7,8 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+
+	"qymera/internal/obs"
 )
 
 // Config controls an engine instance.
@@ -67,6 +69,13 @@ type Config struct {
 	// setting (see the exactness contract in encoding.go and the
 	// soundness contract in zonemap.go).
 	Encodings string
+	// Tracing controls per-operator span instrumentation: "" or "on"
+	// (the default) instruments statements whose context carries an
+	// obs span (untraced statements pay one nil check), "off" ignores
+	// spans entirely — the bench baseline with zero obs code active.
+	// Amplitudes are bitwise independent of the setting: instrumentation
+	// only reads batches as they stream by (see trace_exec.go).
+	Tracing string
 }
 
 // TableMeta describes one base table.
@@ -153,6 +162,14 @@ func Open(cfg Config) (*DB, error) {
 	default:
 		return nil, fmt.Errorf("sqlengine: unknown encodings setting %q (want \"on\" or \"off\")", cfg.Encodings)
 	}
+	tracing := true
+	switch cfg.Tracing {
+	case "", "on":
+	case "off":
+		tracing = false
+	default:
+		return nil, fmt.Errorf("sqlengine: unknown tracing setting %q (want \"on\" or \"off\")", cfg.Tracing)
+	}
 	env := &storageEnv{
 		budget:       budget,
 		spillDir:     cfg.SpillDir,
@@ -164,6 +181,7 @@ func Open(cfg Config) (*DB, error) {
 		kernels:      kernels,
 		kernelCache:  kernelCache,
 		encodings:    encodings,
+		tracing:      tracing,
 	}
 	return &DB{env: env, tables: map[string]*TableMeta{}}, nil
 }
@@ -294,9 +312,19 @@ func (db *DB) QueryContext(ctx context.Context, sqlText string, params ...Value)
 	return db.runSelect(ctx, sel, params)
 }
 
-// newExecCtx builds the per-statement execution context.
+// newExecCtx builds the per-statement execution context. A tracing
+// span riding the context (obs.WithSpan) turns on per-operator
+// instrumentation for the statement; an untraced context costs one
+// nil check here and nothing downstream.
 func (db *DB) newExecCtx(ctx context.Context, params []Value) *execCtx {
-	return &execCtx{env: db.env, params: params, workers: db.env.workers, ctx: ctx}
+	ec := &execCtx{env: db.env, params: params, workers: db.env.workers, ctx: ctx}
+	if db.env.tracing {
+		if sp := obs.SpanFromContext(ctx); sp != nil {
+			ec.span = sp
+			ec.sampleEvery = sp.SampleEvery()
+		}
+	}
+	return ec
 }
 
 func (db *DB) runSelect(stmtCtx context.Context, sel *SelectStmt, params []Value) (*ResultSet, error) {
@@ -311,15 +339,27 @@ func (db *DB) runSelect(stmtCtx context.Context, sel *SelectStmt, params []Value
 // inside buildPlan, join internals) do not.
 func (db *DB) runSelectCollect(stmtCtx context.Context, sel *SelectStmt, params []Value, collect bool) (*ResultSet, error) {
 	ctx := db.newExecCtx(stmtCtx, params)
+	// All span calls below are nil no-ops when the statement is
+	// untraced (ctx.span == nil).
+	stmt := ctx.span.Child("select")
+	ctx.span = stmt
+	defer stmt.End()
+	plan := stmt.Child("plan")
 	node, names, p, err := db.buildPlan(ctx, sel, false)
+	plan.End()
 	if err != nil {
 		return nil, err
 	}
 	defer p.release()
+	if stmt != nil {
+		node = instrumentPlan(node, ctx.sampleEvery)
+	}
+	base := ctx.markSpill()
 	store, err := materializePlanCollect(ctx, node, collect)
 	if err != nil {
 		return nil, err
 	}
+	ctx.finishStatementSpan(node, store.Len(), base)
 	return &ResultSet{Columns: names, store: store}, nil
 }
 

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"strings"
 	"sync/atomic"
+
+	"qymera/internal/obs"
 )
 
 // planCol names one output column of an operator: a qualifier (table
@@ -88,6 +90,16 @@ type execCtx struct {
 	// work and unwinds through the normal error paths, which release
 	// every budget reservation and spill file.
 	ctx context.Context
+	// span is the tracing span carried on ctx (nil when untraced); the
+	// statement attaches per-operator child spans to it after execution
+	// (see trace_exec.go). sampleEvery is the trace's batch-sampling
+	// stride for the operator timers.
+	span        *obs.Span
+	sampleEvery int
+	// kexec records the compiled gate-stage kernel's execution stats
+	// for this statement (nil when the kernel did not run). EXPLAIN
+	// ANALYZE and operator-span attachment both read it.
+	kexec *kernelExecStat
 }
 
 // cancelled reports the statement's cancellation state. It is polled at
@@ -154,6 +166,10 @@ type storeScanNode struct {
 	// counts the skipped units for EXPLAIN ANALYZE.
 	zp      *zonePred
 	skipped atomic.Int64
+	// fromKernel marks the scan the kernel tier swaps in over its
+	// fused-loop result store (EXPLAIN ANALYZE and operator spans
+	// label it as kernel output).
+	fromKernel bool
 }
 
 func (n *storeScanNode) schema() planSchema { return n.cols }

@@ -97,7 +97,7 @@ func (db *DB) explainAnalyzeSelect(stmtCtx context.Context, sel *SelectStmt, par
 		return "", err
 	}
 	defer p.release()
-	node = instrumentPlan(node)
+	node = instrumentPlan(node, 1)
 	store, err := materializePlan(ctx, node)
 	if err != nil {
 		return "", err
@@ -105,11 +105,21 @@ func (db *DB) explainAnalyzeSelect(stmtCtx context.Context, sel *SelectStmt, par
 	elapsed := time.Since(start)
 	total := store.Len()
 	store.Release()
-	// The instrumented plan always declines the kernel (the counters
-	// are the point of ANALYZE), and the header reports that.
-	kline, kcore := kernelExplain(ctx, node)
 	var b strings.Builder
-	writeExplainHeader(&b, db.env, ctx, names, kline)
+	var kcore planNode
+	if k := ctx.kexec; k != nil {
+		// The kernel tier ran under instrumentation (the matcher walks
+		// through statNodes): the fused loop replaced the gate-stage
+		// core — rendered below as its output scan — and reports its
+		// own counters from the kernel timer.
+		writeExplainHeader(&b, db.env, ctx, names, "kernel: gate-stage (analyzed)")
+		fmt.Fprintf(&b, "kernel actual: rows_in=%d rows_out=%d morsels=%d runs_skipped=%d in %s\n",
+			k.rowsIn, k.rowsOut, k.morsels, k.runsSkipped, k.wall.Round(time.Microsecond))
+	} else {
+		kline, core := kernelExplain(ctx, node)
+		kcore = core
+		writeExplainHeader(&b, db.env, ctx, names, kline)
+	}
 	fmt.Fprintf(&b, "actual: %d rows in %s\n", total, elapsed.Round(time.Microsecond))
 	describePlan(&b, node, 0, kcore)
 	return b.String(), nil
@@ -198,7 +208,7 @@ func explainKernelMatch(ctx *execCtx, node planNode) (planNode, string) {
 	for {
 		switch n := cur.(type) {
 		case *statNode:
-			return nil, kfExplainAnalyze
+			cur = n.child
 		case *projectNode:
 			if agg, _ := coreAggOf(n); agg != nil {
 				kern, reason := compileGateStage(n, ctx.env, false)
@@ -258,23 +268,56 @@ func estSuffix(est *nodeEst) string {
 	return fmt.Sprintf(" (est_rows=%.4g cost=%.4g)", est.rows, est.cost)
 }
 
-// statNode wraps a physical operator during EXPLAIN ANALYZE, counting
-// the rows it emits (atomically: morsel streams count concurrently). It
-// is transparent to morsel-parallel execution so the instrumented plan
-// runs the same schedule as the real one.
+// statNode wraps a physical operator, counting the rows it emits and —
+// on a sampled subset of batches — the time spent in its NextBatch.
+// All counters are atomic (morsel streams count concurrently), and the
+// wrapper is transparent to morsel-parallel execution AND to the
+// kernel matcher (findGateStage walks through it), so the instrumented
+// plan runs the same schedule as the uninstrumented one. EXPLAIN
+// ANALYZE instruments with sampleEvery=1 (every batch timed); traced
+// normal execution uses the trace's stride so timing never serializes
+// the parallel path.
 type statNode struct {
 	child  planNode
 	actual atomic.Int64
+	// batches counts NextBatch calls; sampled counts the timed ones;
+	// nanos accumulates the timed durations. Operator-span attachment
+	// estimates total operator time as nanos·batches/sampled
+	// (trace_exec.go).
+	batches     atomic.Int64
+	sampled     atomic.Int64
+	nanos       atomic.Int64
+	sampleEvery int
 }
 
 func (n *statNode) schema() planSchema { return n.child.schema() }
+
+// nextThrough pulls one batch from child, counting rows always and
+// timing every sampleEvery-th call.
+func (n *statNode) nextThrough(child interface{ NextBatch() (*rowBatch, error) }) (*rowBatch, error) {
+	if (n.batches.Add(1)-1)%int64(n.sampleEvery) == 0 {
+		start := time.Now()
+		b, err := child.NextBatch()
+		n.nanos.Add(time.Since(start).Nanoseconds())
+		n.sampled.Add(1)
+		if err == nil && b != nil {
+			n.actual.Add(int64(b.rows()))
+		}
+		return b, err
+	}
+	b, err := child.NextBatch()
+	if err == nil && b != nil {
+		n.actual.Add(int64(b.rows()))
+	}
+	return b, err
+}
 
 func (n *statNode) open(ctx *execCtx) (batchIter, error) {
 	it, err := n.child.open(ctx)
 	if err != nil {
 		return nil, err
 	}
-	return &statIter{child: it, actual: &n.actual}, nil
+	return &statIter{child: it, n: n}, nil
 }
 
 func (n *statNode) openParallel(ctx *execCtx, workers int) ([]morselStream, bool, error) {
@@ -284,40 +327,28 @@ func (n *statNode) openParallel(ctx *execCtx, workers int) ([]morselStream, bool
 	}
 	out := make([]morselStream, len(streams))
 	for i, s := range streams {
-		out[i] = &statMorselStream{child: s, actual: &n.actual}
+		out[i] = &statMorselStream{child: s, n: n}
 	}
 	return out, true, nil
 }
 
 type statIter struct {
-	child  batchIter
-	actual *atomic.Int64
+	child batchIter
+	n     *statNode
 }
 
-func (it *statIter) NextBatch() (*rowBatch, error) {
-	b, err := it.child.NextBatch()
-	if err == nil && b != nil {
-		it.actual.Add(int64(b.rows()))
-	}
-	return b, err
-}
+func (it *statIter) NextBatch() (*rowBatch, error) { return it.n.nextThrough(it.child) }
 
 func (it *statIter) Close() { it.child.Close() }
 
 type statMorselStream struct {
-	child  morselStream
-	actual *atomic.Int64
+	child morselStream
+	n     *statNode
 }
 
 func (s *statMorselStream) NextMorsel() (int, bool, error) { return s.child.NextMorsel() }
 
-func (s *statMorselStream) NextBatch() (*rowBatch, error) {
-	b, err := s.child.NextBatch()
-	if err == nil && b != nil {
-		s.actual.Add(int64(b.rows()))
-	}
-	return b, err
-}
+func (s *statMorselStream) NextBatch() (*rowBatch, error) { return s.n.nextThrough(s.child) }
 
 func (s *statMorselStream) Close() { s.child.Close() }
 
@@ -326,37 +357,44 @@ func (s *statMorselStream) Close() { s.child.Close() }
 func resetPlanStats(node planNode) {
 	if sn, ok := node.(*statNode); ok {
 		sn.actual.Store(0)
+		sn.batches.Store(0)
+		sn.sampled.Store(0)
+		sn.nanos.Store(0)
 	}
 	for _, c := range planChildren(node) {
 		resetPlanStats(c)
 	}
 }
 
-// instrumentPlan wraps every operator with a row counter for EXPLAIN
-// ANALYZE.
-func instrumentPlan(node planNode) planNode {
+// instrumentPlan wraps every operator with a row counter and sampled
+// batch timer. sampleEvery 1 times every batch (EXPLAIN ANALYZE);
+// larger strides amortize the timer calls for always-on tracing.
+func instrumentPlan(node planNode, sampleEvery int) planNode {
+	if sampleEvery < 1 {
+		sampleEvery = 1
+	}
 	switch n := node.(type) {
 	case *filterNode:
-		n.child = instrumentPlan(n.child)
+		n.child = instrumentPlan(n.child, sampleEvery)
 	case *projectNode:
-		n.child = instrumentPlan(n.child)
+		n.child = instrumentPlan(n.child, sampleEvery)
 	case *sliceProjectNode:
-		n.child = instrumentPlan(n.child)
+		n.child = instrumentPlan(n.child, sampleEvery)
 	case *pickNode:
-		n.child = instrumentPlan(n.child)
+		n.child = instrumentPlan(n.child, sampleEvery)
 	case *joinNode:
-		n.left = instrumentPlan(n.left)
-		n.right = instrumentPlan(n.right)
+		n.left = instrumentPlan(n.left, sampleEvery)
+		n.right = instrumentPlan(n.right, sampleEvery)
 	case *aggNode:
-		n.child = instrumentPlan(n.child)
+		n.child = instrumentPlan(n.child, sampleEvery)
 	case *sortNode:
-		n.child = instrumentPlan(n.child)
+		n.child = instrumentPlan(n.child, sampleEvery)
 	case *limitNode:
-		n.child = instrumentPlan(n.child)
+		n.child = instrumentPlan(n.child, sampleEvery)
 	case *aliasNode:
-		n.child = instrumentPlan(n.child)
+		n.child = instrumentPlan(n.child, sampleEvery)
 	}
-	return &statNode{child: node}
+	return &statNode{child: node, sampleEvery: sampleEvery}
 }
 
 func describePlan(b *strings.Builder, node planNode, depth int, kcore planNode) {
@@ -396,7 +434,11 @@ func describePlan(b *strings.Builder, node planNode, depth int, kcore planNode) 
 				zone += fmt.Sprintf(", skipped=%d", sk)
 			}
 		}
-		line("BatchScan %s (rows=%d, cols=%d, batch=%d, layout=%s%s%s)", qual, n.store.Len(), len(n.cols), batchSize, scanLayout(n.store), pruned, zone)
+		kout := ""
+		if n.fromKernel {
+			kout = " [kernel output: " + kernelAnnotation + "]"
+		}
+		line("BatchScan %s (rows=%d, cols=%d, batch=%d, layout=%s%s%s)%s", qual, n.store.Len(), len(n.cols), batchSize, scanLayout(n.store), pruned, zone, kout)
 	case *filterNode:
 		mark := ""
 		if n.pushed {

@@ -3,6 +3,7 @@ package sqlengine
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Kernel tier: compiled execution of the translated gate-stage shape.
@@ -173,20 +174,45 @@ func kernelAttempt(ctx *execCtx, root planNode, collect bool) (tableStore, table
 		return nil, nil, nil
 	}
 	kernelCounters.executions.Add(1)
+	start := time.Now()
 	store, err := runGateKernel(ctx, site.kern, bound, collect && site.set == nil)
 	if err != nil {
 		return nil, nil, err
+	}
+	ctx.kexec = &kernelExecStat{
+		wall:        time.Since(start),
+		rowsIn:      int64(bound.rows),
+		rowsOut:     store.Len(),
+		morsels:     int64((bound.rows + morselRows - 1) / morselRows),
+		runsSkipped: bound.runsSkipped.Load(),
+		cacheHit:    site.kern.cached,
 	}
 	if site.set == nil {
 		return store, nil, nil
 	}
 	core := site.kern.core
 	site.set(&storeScanNode{
-		store:    store,
-		cols:     core.schema(),
-		fullCols: len(core.schema()),
-		ownStore: true,
-		est:      core.est,
+		store:      store,
+		cols:       core.schema(),
+		fullCols:   len(core.schema()),
+		ownStore:   true,
+		est:        core.est,
+		fromKernel: true,
 	})
 	return nil, store, nil
+}
+
+// kernelExecStat records one fused-loop kernel execution's stats on
+// the execCtx: wall time, state rows in, result rows out, the morsel
+// count of the fused loop's schedule, RLE run segments skipped by the
+// bucket probe, and whether the program came from the kernel cache.
+// EXPLAIN ANALYZE and operator-span attachment (trace_exec.go) read
+// it.
+type kernelExecStat struct {
+	wall        time.Duration
+	rowsIn      int64
+	rowsOut     int64
+	morsels     int64
+	runsSkipped int64
+	cacheHit    bool
 }

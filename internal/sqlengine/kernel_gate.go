@@ -46,6 +46,10 @@ type boundGate struct {
 	denseHi   int64
 	groupHint int64
 	empty     bool
+	// runsSkipped counts RLE run segments whose probe key missed every
+	// bucket — whole segments of zero contribution skipped without
+	// touching the float vectors (kernelExecStat, EXPLAIN ANALYZE).
+	runsSkipped atomic.Int64
 }
 
 // denseCap bounds the dense accumulator's position array (int32
@@ -360,6 +364,7 @@ func (bk *boundGate) scanRangeRuns(lo, hi int, acc *kAcc) {
 		s := r.v
 		bucket := bk.buckets[prog.inFn(s, 0)]
 		if len(bucket) == 0 {
+			bk.runsSkipped.Add(1)
 			row = end
 			continue
 		}

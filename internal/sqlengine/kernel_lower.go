@@ -12,20 +12,19 @@ import (
 // Matcher decline reasons. Every reason is observable through
 // KernelCounters() ("fallback_<reason>") and the EXPLAIN header.
 const (
-	kfDisabled       = "disabled"
-	kfBudgetLimited  = "budget-limited"
-	kfExplainAnalyze = "explain-analyze"
-	kfNoGateStage    = "no-gate-stage"
-	kfProjectShape   = "project-shape"
-	kfAggShape       = "agg-shape"
-	kfDistinctAgg    = "distinct-agg"
-	kfHavingShape    = "having-shape"
-	kfJoinShape      = "join-shape"
-	kfScanShape      = "scan-shape"
-	kfRowLayout      = "row-layout"
-	kfSpilled        = "spilled"
-	kfColumnTypes    = "column-types"
-	kfUnsupported    = "unsupported-expr"
+	kfDisabled      = "disabled"
+	kfBudgetLimited = "budget-limited"
+	kfNoGateStage   = "no-gate-stage"
+	kfProjectShape  = "project-shape"
+	kfAggShape      = "agg-shape"
+	kfDistinctAgg   = "distinct-agg"
+	kfHavingShape   = "having-shape"
+	kfJoinShape     = "join-shape"
+	kfScanShape     = "scan-shape"
+	kfRowLayout     = "row-layout"
+	kfSpilled       = "spilled"
+	kfColumnTypes   = "column-types"
+	kfUnsupported   = "unsupported-expr"
 )
 
 const kernelAnnotation = "gate-stage(fused: scan⋈join⋈agg⋈project)"
@@ -72,6 +71,9 @@ type gateKernel struct {
 	state *storeScanNode
 	gate  *storeScanNode
 	prog  *kernelProg
+	// cached reports that prog came from the kernel cache rather than
+	// a fresh compile (kernelExecStat, trace counters).
+	cached bool
 }
 
 // gateStageSite locates the matched core inside the plan: set replaces
@@ -93,9 +95,11 @@ func findGateStage(ctx *execCtx, root planNode) (*gateStageSite, string) {
 	for {
 		switch n := cur.(type) {
 		case *statNode:
-			// EXPLAIN ANALYZE instruments every operator; the kernel
-			// would bypass the counters it exists to fill.
-			return nil, kfExplainAnalyze
+			// Instrumented plans (EXPLAIN ANALYZE, traced execution)
+			// interleave counter wrappers; the kernel matches through
+			// them and reports its own stats instead (kernelExecStat).
+			set = func(c planNode) { n.child = c }
+			cur = n.child
 		case *projectNode:
 			if agg, _ := coreAggOf(n); agg != nil {
 				kern, reason := compileGateStage(n, ctx.env, true)
@@ -130,14 +134,27 @@ func findGateStage(ctx *execCtx, root planNode) (*gateStageSite, string) {
 	}
 }
 
+// unwrapStat strips statNode instrumentation wrappers. The kernel
+// matcher's structural checks look at the operators themselves; the
+// wrappers are transparent (same schema, same rows).
+func unwrapStat(n planNode) planNode {
+	for {
+		sn, ok := n.(*statNode)
+		if !ok {
+			return n
+		}
+		n = sn.child
+	}
+}
+
 // coreAggOf returns the aggregate (and the pruning HAVING filter, when
 // present) directly under a candidate core projection.
 func coreAggOf(core *projectNode) (*aggNode, *filterNode) {
-	switch c := core.child.(type) {
+	switch c := unwrapStat(core.child).(type) {
 	case *aggNode:
 		return c, nil
 	case *filterNode:
-		if a, ok := c.child.(*aggNode); ok {
+		if a, ok := unwrapStat(c.child).(*aggNode); ok {
 			return a, c
 		}
 	}
@@ -196,7 +213,7 @@ func compileGateStage(core *projectNode, env *storageEnv, bindPhys bool) (*gateK
 	// Join: streaming INNER hash join on a single equi-key with no
 	// residual, build side as planned (a flip or grace partitioning
 	// changes the probe schedule the kernel replicates).
-	join, ok := agg.child.(*joinNode)
+	join, ok := unwrapStat(agg.child).(*joinNode)
 	if !ok {
 		return nil, kfJoinShape
 	}
@@ -204,8 +221,8 @@ func compileGateStage(core *projectNode, env *storageEnv, bindPhys bool) (*gateK
 		join.residual != nil || join.flipped || join.strategy == joinGrace {
 		return nil, kfJoinShape
 	}
-	stateScan, stateOK := join.left.(*storeScanNode)
-	gateScan, gateOK := join.right.(*storeScanNode)
+	stateScan, stateOK := unwrapStat(join.left).(*storeScanNode)
+	gateScan, gateOK := unwrapStat(join.right).(*storeScanNode)
 	if !gateOK || (!stateOK && (bindPhys || !isCTERefChain(join.left))) {
 		return nil, kfScanShape
 	}
@@ -225,7 +242,7 @@ func compileGateStage(core *projectNode, env *storageEnv, bindPhys bool) (*gateK
 		if cache := env.kernelCache; cache != nil {
 			if prog, hit := cache.lookup(key); hit {
 				kernelCounters.cacheHits.Add(1)
-				return &gateKernel{core: core, agg: agg, state: stateScan, gate: gateScan, prog: prog}, ""
+				return &gateKernel{core: core, agg: agg, state: stateScan, gate: gateScan, prog: prog, cached: true}, ""
 			}
 		}
 		prog, reason := compileGateProgram(agg, having, join, stateScan, gateScan, joinSchema, nLeft, eps2)
@@ -253,6 +270,8 @@ func compileGateStage(core *projectNode, env *storageEnv, bindPhys bool) (*gateK
 func isCTERefChain(n planNode) bool {
 	for {
 		switch x := n.(type) {
+		case *statNode:
+			n = x.child
 		case *aliasNode:
 			n = x.child
 		case *cteShowNode:

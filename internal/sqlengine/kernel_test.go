@@ -331,17 +331,29 @@ func TestKernelFallbackColumnTypes(t *testing.T) {
 	}
 }
 
-// TestKernelExplainAnalyzeFallback: EXPLAIN ANALYZE instruments every
-// node, which the kernel cannot see through — the header must say so.
-func TestKernelExplainAnalyzeFallback(t *testing.T) {
+// TestKernelExplainAnalyze: EXPLAIN ANALYZE no longer declines the
+// kernel — the matcher walks through the instrumentation wrappers, the
+// fused loop runs, and the header reports the kernel's own stats
+// (rows in/out, morsels, wall time) instead of silently falling back.
+func TestKernelExplainAnalyze(t *testing.T) {
 	db := newOptDB(t, Config{Parallelism: 1})
 	setupGateStage(t, db, 64)
+	before := KernelCounters()["executions"]
 	plan, err := db.ExplainAnalyze(context.Background(), gateStageQuery(false))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got, want := explainKernelLine(t, plan), "kernel: fallback ("+kfExplainAnalyze+")"; got != want {
+	if got, want := explainKernelLine(t, plan), "kernel: gate-stage (analyzed)"; got != want {
 		t.Fatalf("kernel line = %q, want %q\n%s", got, want, plan)
+	}
+	if ran := KernelCounters()["executions"] - before; ran != 1 {
+		t.Fatalf("EXPLAIN ANALYZE ran %d kernel executions, want 1", ran)
+	}
+	if !strings.Contains(plan, "kernel actual: rows_in=64 ") {
+		t.Fatalf("missing kernel actual stats line:\n%s", plan)
+	}
+	if !strings.Contains(plan, "[kernel output: "+kernelAnnotation+"]") {
+		t.Fatalf("kernel output scan not marked in plan:\n%s", plan)
 	}
 }
 

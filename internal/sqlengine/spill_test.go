@@ -20,7 +20,6 @@ func newBudgetDB(t *testing.T, budget int64) *DB {
 	return db
 }
 
-
 // freezeTables freezes (and, with encodings on, encodes) base tables up
 // front, so budget baselines taken afterwards reflect the tables'
 // steady-state resident footprint rather than their pre-encode size.

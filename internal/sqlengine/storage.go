@@ -122,6 +122,10 @@ type storageEnv struct {
 	// column encodings at materialization and zone-map skip-scan
 	// (Config.Encodings; see encoding.go and zonemap.go).
 	encodings bool
+	// tracing enables per-operator span instrumentation for statements
+	// whose context carries an obs span (Config.Tracing; see
+	// trace_exec.go).
+	tracing bool
 	// workers is the engine's morsel-parallel worker count (>= 1).
 	workers int
 	// workingFloor is the number of bytes a blocking operator (hash

@@ -41,6 +41,7 @@ import (
 	"qymera/internal/circuitio"
 	"qymera/internal/circuits"
 	"qymera/internal/core"
+	"qymera/internal/obs"
 	"qymera/internal/quantum"
 	"qymera/internal/service"
 	"qymera/internal/sim"
@@ -210,6 +211,10 @@ type (
 	Service = service.Server
 	// ServiceConfig tunes a Service.
 	ServiceConfig = service.Config
+	// TraceSpan is one span of a job's trace (GET /v1/jobs/{id}/trace):
+	// name, start offset and duration in microseconds, counters, and
+	// child spans.
+	TraceSpan = obs.SpanJSON
 )
 
 // NewService builds a ready-to-serve simulation service; serve it with
