@@ -53,6 +53,12 @@
 //	                         # with tracing off / enabled-but-untraced /
 //	                         # sampled / full + bit-identity + traced
 //	                         # simulation span coverage)
+//	qybench -benchjson BENCH_sqlengine_fusion.json
+//	                         # paths containing "fusion" write the
+//	                         # whole-circuit kernel-fusion report (deep
+//	                         # gate-stage chains per depth, interpreted
+//	                         # vs single-stage kernels vs fused chain +
+//	                         # bit-identity + chain counters)
 //	qybench -compareallocs BENCH_sqlengine.json NEW.json
 //	                         # allocation regression gate: fail when
 //	                         # NEW.json's fixed-size gate-stage query
@@ -74,6 +80,14 @@
 //	                         # but-untraced overhead exceeds 2%, traced
 //	                         # modes collected no spans, or the traced
 //	                         # simulation is missing a pipeline phase
+//	qybench -fusiongate BENCH_sqlengine_fusion.json
+//	                         # whole-circuit fusion regression gate:
+//	                         # fail when any variant is not
+//	                         # bit-identical, the headline chain is
+//	                         # shallower than 16 stages, the fused
+//	                         # chain is not faster than stage-at-a-time
+//	                         # kernels, or no intermediate stage was
+//	                         # elided
 package main
 
 import (
@@ -98,6 +112,7 @@ func main() {
 	stormGate := flag.String("stormgate", "", "service-storm regression gate: validate this BENCH_service_storm.json (amplitudes bit-identical, p99 > 0, fairness spread <= 1.5) and exit nonzero on breach")
 	storageGate := flag.String("storagegate", "", "sparsity-storage regression gate: validate this BENCH_sqlengine_storage.json (results bit-identical, morsels actually zone-skipped, sparse scan faster with encodings) and exit nonzero on breach")
 	obsGate := flag.String("obsgate", "", "observability regression gate: validate this BENCH_sqlengine_obs.json (tracing bit-identical, enabled-but-untraced overhead <= 2%, traced modes collect spans covering translate/stages/query/emit) and exit nonzero on breach")
+	fusionGate := flag.String("fusiongate", "", "whole-circuit fusion regression gate: validate this BENCH_sqlengine_fusion.json (all variants bit-identical, headline chain >= 16 stages, fused faster than stage-at-a-time kernels, intermediates elided) and exit nonzero on breach")
 	flag.Parse()
 
 	if *stormGate != "" {
@@ -124,6 +139,15 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("obs gate ok: %s\n", *obsGate)
+		return
+	}
+
+	if *fusionGate != "" {
+		if err := bench.FusionGate(*fusionGate); err != nil {
+			fmt.Fprintln(os.Stderr, "qybench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("fusion gate ok: %s\n", *fusionGate)
 		return
 	}
 
@@ -159,6 +183,8 @@ func main() {
 			data, err = bench.StorageBenchJSON(bench.Options{Quick: *quick})
 		case strings.Contains(base, "obs"):
 			data, err = bench.ObsBenchJSON(bench.Options{Quick: *quick})
+		case strings.Contains(base, "fusion"):
+			data, err = bench.ChainFusionBenchJSON(bench.Options{Quick: *quick})
 		default:
 			data, err = bench.EngineBenchJSON(bench.Options{Quick: *quick})
 		}

@@ -1,0 +1,348 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"qymera/internal/circuits"
+	"qymera/internal/quantum"
+	"qymera/internal/sim"
+	"qymera/internal/sqlengine"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fusion",
+		Paper: "whole-circuit kernel fusion — multi-stage fused execution without intermediate materialization",
+		Desc:  "deep gate-stage chains executed interpreted / single-stage kernels / chain-fused, per depth, asserting bit-identical results; qybench -benchjson BENCH_sqlengine_fusion.json writes the machine-readable report",
+		Run:   runChainFusionBench,
+	})
+}
+
+// chainFusionSQL builds a depth-stage chain of translated gate-stage
+// CTEs over the gateStageDB schema: each stage applies the 4-row
+// Hadamard gate table to bit 0 of the previous stage's amplitudes —
+// the exact SQL shape core.Translate emits for a deep circuit in
+// single-query mode (and that FusedStatements emits per fused CTAS
+// run in materialized-chain mode).
+func chainFusionSQL(depth int) string {
+	var b strings.Builder
+	b.WriteString("WITH ")
+	for k := 1; k <= depth; k++ {
+		src := fmt.Sprintf("c%d", k-1)
+		if k == 1 {
+			src = "t"
+		}
+		if k > 1 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, `c%d AS (
+SELECT ((%[2]s.s & ~1) | h.out_s) AS s,
+       SUM((%[2]s.r * h.r) - (%[2]s.i * h.i)) AS r,
+       SUM((%[2]s.r * h.i) + (%[2]s.i * h.r)) AS i
+FROM %[2]s JOIN h ON h.in_s = (%[2]s.s & 1)
+GROUP BY ((%[2]s.s & ~1) | h.out_s)
+)`, k, src)
+	}
+	fmt.Fprintf(&b, " SELECT s, r, i FROM c%d", depth)
+	return b.String()
+}
+
+// FusionBenchEntry is one chain depth (or one simulated circuit)
+// measured interpreted, with single-stage kernels, and chain-fused.
+type FusionBenchEntry struct {
+	Workload string `json:"workload"`
+	// Stages is the logical chain depth (gate-stage statements in the
+	// workload); the fused pass executes stages-1 of them as one kernel
+	// chain plus the optimizer-inlined final stage.
+	Stages int `json:"stages"`
+	// SecondsInterpreted is the batch executor (kernels off).
+	SecondsInterpreted float64 `json:"seconds_interpreted"`
+	// SecondsKernel is stage-at-a-time compiled kernels (fusion off) —
+	// the PR 6 baseline the fused pass is gated against.
+	SecondsKernel float64 `json:"seconds_kernel"`
+	// SecondsFused is whole-circuit chain fusion (the default config).
+	SecondsFused float64 `json:"seconds_fused"`
+	// FusedSpeedup is kernel/fused wall time (> 1 = fusion won).
+	FusedSpeedup float64 `json:"fused_speedup"`
+	// InterpretedSpeedup is interpreted/fused wall time.
+	InterpretedSpeedup float64 `json:"interpreted_speedup"`
+	// BitIdentical reports whether all three variants produced the same
+	// result bits (float64 bit patterns, row order included).
+	BitIdentical bool   `json:"bit_identical"`
+	Rows         int64  `json:"rows,omitempty"`
+	Workers      int    `json:"workers,omitempty"`
+	Digest       string `json:"digest,omitempty"`
+}
+
+// FusionBenchReport is the BENCH_sqlengine_fusion.json payload.
+type FusionBenchReport struct {
+	Engine     string `json:"engine"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// FusedSpeedup is the headline number: the deepest cached chain
+	// with fusion on vs single-stage kernels. The CI gate asserts > 1.
+	FusedSpeedup float64 `json:"fused_speedup"`
+	// HeadlineStages is that chain's depth (the gate requires >= 16).
+	HeadlineStages int `json:"headline_stages"`
+	// BitIdentical aggregates every entry's flag (the acceptance gate:
+	// throughput may change, amplitude bits may not).
+	BitIdentical bool `json:"bit_identical"`
+	// ChainCounters is the delta of the engine's kernel-tier chain
+	// counters across the fused runs (chain_executions, chain_stages,
+	// chain_elided, fallback_<reason>), proving intermediate stages
+	// were actually elided rather than materialized.
+	ChainCounters map[string]int64   `json:"chain_counters"`
+	Entries       []FusionBenchEntry `json:"entries"`
+}
+
+// chainDepthEntry measures one chain depth across the three variants
+// on the cached (steady-state) path.
+func chainDepthEntry(depth, stateRows, workers, reps int) (FusionBenchEntry, error) {
+	entry := FusionBenchEntry{
+		Workload: fmt.Sprintf("gate_chain_depth_%d", depth),
+		Stages:   depth,
+		Workers:  workers,
+	}
+	sql := chainFusionSQL(depth)
+	variants := []struct {
+		name string
+		cfg  sqlengine.Config
+	}{
+		{"interpreted", sqlengine.Config{Parallelism: workers, Kernels: "off"}},
+		{"kernel", sqlengine.Config{Parallelism: workers, Fusion: "off"}},
+		{"fused", sqlengine.Config{Parallelism: workers}},
+	}
+	var digests [3]string
+	for i, v := range variants {
+		db, err := gateStageDB(stateRows, v.cfg)
+		if err != nil {
+			return entry, fmt.Errorf("bench: fusion depth %d: %w", depth, err)
+		}
+		wall, digest, rows, err := timedCachedQuery(db, sql, reps)
+		db.Close()
+		if err != nil {
+			return entry, fmt.Errorf("bench: fusion depth %d (%s): %w", depth, v.name, err)
+		}
+		digests[i] = digest
+		entry.Rows = rows
+		switch v.name {
+		case "interpreted":
+			entry.SecondsInterpreted = wall.Seconds()
+		case "kernel":
+			entry.SecondsKernel = wall.Seconds()
+		case "fused":
+			entry.SecondsFused = wall.Seconds()
+		}
+	}
+	entry.BitIdentical = digests[0] == digests[1] && digests[1] == digests[2]
+	entry.Digest = digests[2]
+	if entry.SecondsFused > 0 {
+		entry.FusedSpeedup = entry.SecondsKernel / entry.SecondsFused
+		entry.InterpretedSpeedup = entry.SecondsInterpreted / entry.SecondsFused
+	}
+	return entry, nil
+}
+
+// fusionSimCircuits are the full-pipeline workloads (translation, CTAS
+// statement fusion, setup, and output layers included).
+func fusionSimCircuits(quick bool) []struct {
+	name string
+	c    *quantum.Circuit
+} {
+	if quick {
+		return []struct {
+			name string
+			c    *quantum.Circuit
+		}{
+			{"sim_qft6", circuits.QFT(6)},
+		}
+	}
+	return []struct {
+		name string
+		c    *quantum.Circuit
+	}{
+		{"sim_qft8", circuits.QFT(8)},
+		{"sim_ansatz8x2", circuits.HardwareEfficientAnsatz(8, 2, fixedParams(8*2*2))},
+	}
+}
+
+// chainSimEntry measures one circuit through the SQL backend with
+// chain fusion off vs on (kernels on in both; each variant gets its
+// own plan cache so the second and third runs hit the cached path).
+func chainSimEntry(name string, c *quantum.Circuit, spillDir string) (FusionBenchEntry, error) {
+	entry := FusionBenchEntry{Workload: name}
+	var digests [2]string
+	for i, chain := range []string{"off", "on"} {
+		cache := sim.NewPlanCache(0)
+		var res *sim.Result
+		wall, err := Median3(func() (time.Duration, error) {
+			r, err := (&sim.SQL{ChainFusion: chain, Cache: cache, SpillDir: spillDir}).Run(c)
+			if err != nil {
+				return 0, err
+			}
+			res = r
+			return r.Stats.WallTime, nil
+		})
+		if err != nil {
+			return entry, fmt.Errorf("bench: fusion %s (chain %s): %w", name, chain, err)
+		}
+		digests[i] = stateDigest(res.State)
+		entry.Rows = int64(res.State.Len())
+		fmt.Sscanf(res.Stats.Extra, "stages=%d", &entry.Stages)
+		if chain == "off" {
+			entry.SecondsKernel = wall.Seconds()
+		} else {
+			entry.SecondsFused = wall.Seconds()
+		}
+	}
+	entry.BitIdentical = digests[0] == digests[1]
+	entry.Digest = digests[1]
+	if entry.SecondsFused > 0 {
+		entry.FusedSpeedup = entry.SecondsKernel / entry.SecondsFused
+	}
+	return entry, nil
+}
+
+// RunChainFusionBench measures every chain depth and circuit across
+// the execution variants and returns the report.
+func RunChainFusionBench(opts Options) (*FusionBenchReport, error) {
+	report := &FusionBenchReport{
+		Engine:       "vectorized-batch/compiled-gate-kernels/chain-fusion",
+		NumCPU:       runtime.NumCPU(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		BitIdentical: true,
+	}
+	before := sqlengine.KernelCounters()
+
+	depths := []int{4, 8, 16, 24}
+	stateRows, reps := 1<<16, 5
+	if opts.Quick {
+		depths = []int{4, 16}
+		stateRows, reps = 1<<13, 3
+	}
+
+	// 1. The headline sweep: cached deep chains on the serial path, one
+	// entry per depth. The deepest chain's fused-vs-kernel ratio is the
+	// number the CI gate asserts on.
+	var entries []FusionBenchEntry
+	for _, depth := range depths {
+		e, err := chainDepthEntry(depth, stateRows, 1, reps)
+		if err != nil {
+			return nil, err
+		}
+		entries = append(entries, e)
+		if e.Stages >= report.HeadlineStages {
+			report.HeadlineStages = e.Stages
+			report.FusedSpeedup = e.FusedSpeedup
+		}
+	}
+
+	// 2. The morsel-parallel path at the deepest depth: fused chain
+	// stages run serially per stage but compete with the interpreted
+	// executor's parallel aggregation.
+	par, err := chainDepthEntry(depths[len(depths)-1], stateRows, 4, reps)
+	if err != nil {
+		return nil, err
+	}
+	entries = append(entries, par)
+
+	// 3. Full simulations: translation emits fused CTAS statements
+	// (core.FusedStatements), the engine fuses each statement's CTE
+	// chain.
+	for _, wl := range fusionSimCircuits(opts.Quick) {
+		e, err := chainSimEntry(wl.name, wl.c, opts.SpillDir)
+		if err != nil {
+			return nil, err
+		}
+		entries = append(entries, e)
+	}
+
+	after := sqlengine.KernelCounters()
+	report.ChainCounters = map[string]int64{}
+	for k, v := range after {
+		if d := v - before[k]; d > 0 && (strings.HasPrefix(k, "chain_") || strings.HasPrefix(k, "fallback_chain")) {
+			report.ChainCounters[k] = d
+		}
+	}
+	for _, e := range entries {
+		report.BitIdentical = report.BitIdentical && e.BitIdentical
+	}
+	report.Entries = entries
+	return report, nil
+}
+
+// ChainFusionBenchJSON renders the report for
+// BENCH_sqlengine_fusion.json.
+func ChainFusionBenchJSON(opts Options) ([]byte, error) {
+	report, err := RunChainFusionBench(opts)
+	if err != nil {
+		return nil, err
+	}
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// FusionGate validates a BENCH_sqlengine_fusion.json report: all
+// variants bit-identical, the fused pass actually engaged (chain
+// counters moved), and the deepest chain (>= 16 stages) ran faster
+// fused than stage-at-a-time. The CI fusion gate runs it on every
+// push.
+func FusionGate(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var r FusionBenchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return fmt.Errorf("fusion gate: %s: %w", path, err)
+	}
+	if !r.BitIdentical {
+		return fmt.Errorf("fusion gate: %s: chain fusion changed result bits", path)
+	}
+	for _, e := range r.Entries {
+		if !e.BitIdentical {
+			return fmt.Errorf("fusion gate: %s: %s: chain fusion changed result bits", path, e.Workload)
+		}
+	}
+	if r.HeadlineStages < 16 {
+		return fmt.Errorf("fusion gate: %s: headline chain too shallow: %d stages, want >= 16", path, r.HeadlineStages)
+	}
+	if r.FusedSpeedup <= 1 {
+		return fmt.Errorf("fusion gate: %s: fused chain not faster than single-stage kernels at %d stages: %.3f", path, r.HeadlineStages, r.FusedSpeedup)
+	}
+	if r.ChainCounters["chain_executions"] <= 0 {
+		return fmt.Errorf("fusion gate: %s: no chain kernel ever executed", path)
+	}
+	if r.ChainCounters["chain_elided"] <= 0 {
+		return fmt.Errorf("fusion gate: %s: no intermediate stage was ever elided", path)
+	}
+	return nil
+}
+
+func runChainFusionBench(opts Options) ([]*Table, error) {
+	report, err := RunChainFusionBench(opts)
+	if err != nil {
+		return nil, err
+	}
+	t := NewTable("Whole-circuit kernel fusion: interpreted vs single-stage kernels vs fused chain",
+		"workload", "stages", "interpreted", "kernel", "fused", "fused speedup", "bit-identical", "rows", "workers")
+	for _, e := range report.Entries {
+		t.Addf(e.Workload, e.Stages,
+			FormatDuration(time.Duration(e.SecondsInterpreted*float64(time.Second))),
+			FormatDuration(time.Duration(e.SecondsKernel*float64(time.Second))),
+			FormatDuration(time.Duration(e.SecondsFused*float64(time.Second))),
+			fmt.Sprintf("%.2fx", e.FusedSpeedup), e.BitIdentical, e.Rows, e.Workers)
+	}
+	t.Note("fused speedup = single-stage-kernel time / fused-chain time on the cached path")
+	t.Note("chain counters during the fused runs: %v", report.ChainCounters)
+	t.Note("bit-identical = all variants match exactly (float64 bit patterns, row order included)")
+	return []*Table{t}, nil
+}

@@ -12,9 +12,12 @@ import (
 
 func init() {
 	register(Experiment{
-		ID:    "fusion",
+		// "matrixfusion" is the paper's gate-matrix fusion ablation
+		// (§3.2). The id "fusion" now names the engine's whole-circuit
+		// chain-fusion benchmark (exp_chain_fusion.go).
+		ID:    "matrixfusion",
 		Paper: "§3.2 'Query Optimization' — gate fusion",
-		Desc:  "ablation: SQL backend with fusion off / same-qubits / subset; stages, runtime, intermediate rows",
+		Desc:  "ablation: SQL backend with matrix fusion off / same-qubits / subset; stages, runtime, intermediate rows",
 		Run:   runFusion,
 	})
 	register(Experiment{

@@ -78,6 +78,7 @@ type GateTable struct {
 // Step is one gate-application stage of the translation.
 type Step struct {
 	Table     string // state table/CTE produced by this stage
+	Source    string // state table/CTE this stage reads
 	GateTable string // gate table joined in this stage
 	Qubits    []int
 	Body      string // the stage's SELECT text
@@ -153,7 +154,7 @@ func Translate(c *quantum.Circuit, initial *quantum.State, opts Options) (*Trans
 		table := fmt.Sprintf("%s%d", opts.StatePrefix, k+1)
 		gate := names[g.label]
 		body := stageSelect(prev, gate, g.qubits, opts)
-		step := Step{Table: table, GateTable: gate, Qubits: g.qubits, Body: body}
+		step := Step{Table: table, Source: prev, GateTable: gate, Qubits: g.qubits, Body: body}
 		if opts.Mode == MaterializedChain {
 			step.SQL = fmt.Sprintf("CREATE TABLE %s AS %s", table, body)
 		}

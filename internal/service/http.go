@@ -235,6 +235,10 @@ type MetricsJSON struct {
 	AdmissionWaits int64            `json:"admission_waits"`
 
 	PlanCache sim.PlanCacheStats `json:"plan_cache"`
+	// PlanCacheShards breaks the plan-cache counters down per lock
+	// shard (empty when caching is disabled) — skew here means one
+	// structural family is hammering a single shard's mutex.
+	PlanCacheShards []sim.PlanCacheStats `json:"plan_cache_shards,omitempty"`
 
 	Budget struct {
 		LimitBytes int64 `json:"limit_bytes"`
@@ -307,17 +311,18 @@ func (s *Server) Metrics() MetricsJSON {
 	m := s.manager
 	statuses, backends, tenantJobs, tenantLat, phases := m.metrics.snapshot()
 	out := MetricsJSON{
-		QueueCapacity:  m.cfg.QueueDepth,
-		Workers:        m.cfg.Workers,
-		Jobs:           statuses,
-		AdmissionWaits: m.metrics.admissionWaits.Load(),
-		PlanCache:      m.PlanCacheStats(),
-		Optimizer:      sqlengine.OptimizerCounters(),
-		Kernels:        sqlengine.KernelCounters(),
-		Storage:        sqlengine.StorageCounters(),
-		Backends:       backends,
-		Phases:         phases,
-		Tenants:        map[string]TenantMetrics{},
+		QueueCapacity:   m.cfg.QueueDepth,
+		Workers:         m.cfg.Workers,
+		Jobs:            statuses,
+		AdmissionWaits:  m.metrics.admissionWaits.Load(),
+		PlanCache:       m.PlanCacheStats(),
+		PlanCacheShards: m.PlanCacheShardStats(),
+		Optimizer:       sqlengine.OptimizerCounters(),
+		Kernels:         sqlengine.KernelCounters(),
+		Storage:         sqlengine.StorageCounters(),
+		Backends:        backends,
+		Phases:          phases,
+		Tenants:         map[string]TenantMetrics{},
 	}
 	out.Budget.LimitBytes = m.budget.Limit()
 	out.Budget.UsedBytes = m.budget.Used()

@@ -319,6 +319,15 @@ func (m *Manager) PlanCacheStats() sim.PlanCacheStats {
 	return m.cache.Stats()
 }
 
+// PlanCacheShardStats snapshots the plan cache per lock shard (nil
+// when caching is disabled).
+func (m *Manager) PlanCacheShardStats() []sim.PlanCacheStats {
+	if m.cache == nil {
+		return nil
+	}
+	return m.cache.ShardStats()
+}
+
 // QueueDepth reports how many submitted jobs have not started running.
 func (m *Manager) QueueDepth() int {
 	m.mu.Lock()

@@ -58,6 +58,12 @@ type RequestOptions struct {
 	// engine's compiled gate-stage kernel tier. Amplitudes are
 	// bit-identical either way; only throughput changes.
 	Kernels string `json:"kernels,omitempty"`
+	// ChainFusion (sql backends): "on" (default) or "off" — toggles
+	// whole-circuit chain fusion (fused CTAS statements + multi-stage
+	// chain kernels). Distinct from Fusion, which selects the
+	// translation's gate-matrix fusion level. Amplitudes are
+	// bit-identical either way; only throughput changes.
+	ChainFusion string `json:"chain_fusion,omitempty"`
 	// Encodings (sql backends): "on" (default) or "off" — toggles the
 	// engine's sparsity-first storage tier (compressed column encodings
 	// + zone-map skip-scan). Distinct from Encoding, which selects the
@@ -211,6 +217,11 @@ func sqlOptions(o RequestOptions) (so sqlPlanOptions, err error) {
 	default:
 		return so, fmt.Errorf("unknown kernels %q (have on, off)", o.Kernels)
 	}
+	switch strings.ToLower(o.ChainFusion) {
+	case "", "on", "off":
+	default:
+		return so, fmt.Errorf("unknown chain_fusion %q (have on, off)", o.ChainFusion)
+	}
 	switch strings.ToLower(o.Encodings) {
 	case "", "on", "off":
 	default:
@@ -250,6 +261,7 @@ func (m *Manager) newBackend(p *parsedRequest) (sim.Backend, error) {
 			Layout:      strings.ToLower(p.options.Layout),
 			Optimizer:   strings.ToLower(p.options.Optimizer),
 			Kernels:     strings.ToLower(p.options.Kernels),
+			ChainFusion: strings.ToLower(p.options.ChainFusion),
 			Encodings:   strings.ToLower(p.options.Encodings),
 			Budget:      m.budget,
 			Cache:       m.cache,

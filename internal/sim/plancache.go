@@ -26,9 +26,32 @@ import (
 //     are recomputed (core.Rebind, which verifies the structure, so the
 //     hash-keyed structural index degrades to a miss on collision).
 //
+// The cache is sharded planCacheShards ways by the low bits of the
+// structural key: a storm of concurrent requests (the service's
+// many-tenant case) contends on per-shard locks instead of one global
+// mutex. Each shard runs its own LRU over its slice of the capacity;
+// both indexes of an entry live in its shard (an exact key always
+// carries the entry's structural key, which routes to the same shard).
+//
 // Cached translations are shared read-only; callers must not mutate
 // them. All methods are safe for concurrent use.
 type PlanCache struct {
+	shards [planCacheShards]planShard
+
+	kmu sync.Mutex
+	// kernels caches compiled gate-stage kernel programs (the engine
+	// tier below the SQL text) so sweeps that rebind gate data reuse
+	// the lowered loop too. Lazily created, shared across the backends
+	// that share this PlanCache.
+	kernels *sqlengine.KernelCache
+}
+
+// planCacheShards is the lock-sharding fanout. Power of two so the
+// shard index is a mask of the structural key's mixed low bits.
+const planCacheShards = 8
+
+// planShard is one independently locked slice of the cache.
+type planShard struct {
 	mu         sync.Mutex
 	capacity   int
 	lru        *list.List // of *planEntry, front = most recent
@@ -38,12 +61,6 @@ type PlanCache struct {
 	hits           uint64 // exact-tier hits
 	structuralHits uint64
 	misses         uint64
-
-	// kernels caches compiled gate-stage kernel programs (the engine
-	// tier below the SQL text) so sweeps that rebind gate data reuse
-	// the lowered loop too. Lazily created, shared across the backends
-	// that share this PlanCache.
-	kernels *sqlengine.KernelCache
 }
 
 type planEntry struct {
@@ -56,18 +73,34 @@ type planEntry struct {
 // called with a non-positive size.
 const DefaultPlanCacheSize = 128
 
-// NewPlanCache returns a cache holding at most capacity translations
-// (<= 0 uses DefaultPlanCacheSize).
+// NewPlanCache returns a cache holding at most about capacity
+// translations (<= 0 uses DefaultPlanCacheSize). Capacity is split
+// evenly across the shards, rounded up to at least one entry per
+// shard, so the effective bound is capacity rounded up to a multiple
+// of planCacheShards.
 func NewPlanCache(capacity int) *PlanCache {
 	if capacity <= 0 {
 		capacity = DefaultPlanCacheSize
 	}
-	return &PlanCache{
-		capacity:   capacity,
-		lru:        list.New(),
-		exact:      map[string]*list.Element{},
-		structural: map[uint64]*list.Element{},
+	per := (capacity + planCacheShards - 1) / planCacheShards
+	if per < 1 {
+		per = 1
 	}
+	pc := &PlanCache{}
+	for i := range pc.shards {
+		pc.shards[i] = planShard{
+			capacity:   per,
+			lru:        list.New(),
+			exact:      map[string]*list.Element{},
+			structural: map[uint64]*list.Element{},
+		}
+	}
+	return pc
+}
+
+// shardFor routes a structural key to its shard.
+func (pc *PlanCache) shardFor(structKey uint64) *planShard {
+	return &pc.shards[structKey%planCacheShards]
 }
 
 // PlanCacheStats is a snapshot of cache counters.
@@ -81,23 +114,45 @@ type PlanCacheStats struct {
 // Kernels returns the cache of compiled gate-stage kernel programs
 // that rides along with the plan cache, creating it on first use.
 func (pc *PlanCache) Kernels() *sqlengine.KernelCache {
-	pc.mu.Lock()
-	defer pc.mu.Unlock()
+	pc.kmu.Lock()
+	defer pc.kmu.Unlock()
 	if pc.kernels == nil {
 		pc.kernels = sqlengine.NewKernelCache(0)
 	}
 	return pc.kernels
 }
 
-// Stats returns the current counters.
+// Stats returns the counters aggregated across every shard.
 func (pc *PlanCache) Stats() PlanCacheStats {
-	pc.mu.Lock()
-	defer pc.mu.Unlock()
+	var out PlanCacheStats
+	for i := range pc.shards {
+		s := pc.shards[i].stats()
+		out.Hits += s.Hits
+		out.StructuralHits += s.StructuralHits
+		out.Misses += s.Misses
+		out.Entries += s.Entries
+	}
+	return out
+}
+
+// ShardStats returns each shard's own counters, in shard order — the
+// per-shard hit/miss visibility behind the service's /metrics.
+func (pc *PlanCache) ShardStats() []PlanCacheStats {
+	out := make([]PlanCacheStats, planCacheShards)
+	for i := range pc.shards {
+		out[i] = pc.shards[i].stats()
+	}
+	return out
+}
+
+func (s *planShard) stats() PlanCacheStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return PlanCacheStats{
-		Hits:           pc.hits,
-		StructuralHits: pc.structuralHits,
-		Misses:         pc.misses,
-		Entries:        pc.lru.Len(),
+		Hits:           s.hits,
+		StructuralHits: s.structuralHits,
+		Misses:         s.misses,
+		Entries:        s.lru.Len(),
 	}
 }
 
@@ -124,27 +179,28 @@ func (pc *PlanCache) Translation(c *quantum.Circuit, initial *quantum.State, opt
 func (pc *PlanCache) TranslationTier(c *quantum.Circuit, initial *quantum.State, opts core.Options) (*core.Translation, string, error) {
 	exactKey := core.ExactFingerprint(c, initial, opts)
 	structKey := core.StructuralKey(c, opts)
+	sh := pc.shardFor(structKey)
 
-	pc.mu.Lock()
-	if el, ok := pc.exact[exactKey]; ok {
-		pc.hits++
-		pc.lru.MoveToFront(el)
+	sh.mu.Lock()
+	if el, ok := sh.exact[exactKey]; ok {
+		sh.hits++
+		sh.lru.MoveToFront(el)
 		tr := el.Value.(*planEntry).tr
-		pc.mu.Unlock()
+		sh.mu.Unlock()
 		return tr, PlanTierExactHit, nil
 	}
 	var structural *core.Translation
-	if el, ok := pc.structural[structKey]; ok {
+	if el, ok := sh.structural[structKey]; ok {
 		structural = el.Value.(*planEntry).tr
 	}
-	pc.mu.Unlock()
+	sh.mu.Unlock()
 
 	// Translation work happens outside the lock: concurrent misses may
 	// duplicate work but never block each other on the CPU-heavy part.
 	if structural != nil {
 		tr, err := structural.Rebind(c, initial, opts)
 		if err == nil {
-			pc.record(&pc.structuralHits, exactKey, structKey, tr)
+			sh.record(&sh.structuralHits, exactKey, structKey, tr)
 			return tr, PlanTierStructuralRebind, nil
 		}
 		if !errors.Is(err, core.ErrPlanStructureMismatch) {
@@ -156,36 +212,36 @@ func (pc *PlanCache) TranslationTier(c *quantum.Circuit, initial *quantum.State,
 	if err != nil {
 		return nil, "", err
 	}
-	pc.record(&pc.misses, exactKey, structKey, tr)
+	sh.record(&sh.misses, exactKey, structKey, tr)
 	return tr, PlanTierMiss, nil
 }
 
 // record files a freshly produced translation under both keys, bumping
-// the given counter and evicting the least-recently-used entry beyond
-// capacity.
-func (pc *PlanCache) record(counter *uint64, exactKey string, structKey uint64, tr *core.Translation) {
-	pc.mu.Lock()
-	defer pc.mu.Unlock()
+// the given counter and evicting the shard's least-recently-used entry
+// beyond its capacity.
+func (s *planShard) record(counter *uint64, exactKey string, structKey uint64, tr *core.Translation) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	*counter++
-	if el, ok := pc.exact[exactKey]; ok {
+	if el, ok := s.exact[exactKey]; ok {
 		// Raced with another miss for the same circuit; keep the
 		// incumbent.
-		pc.lru.MoveToFront(el)
+		s.lru.MoveToFront(el)
 		return
 	}
 	entry := &planEntry{exactKey: exactKey, structKey: structKey, tr: tr}
-	el := pc.lru.PushFront(entry)
-	pc.exact[exactKey] = el
+	el := s.lru.PushFront(entry)
+	s.exact[exactKey] = el
 	// The structural index keeps the most recent representative of the
 	// family; older ones stay reachable via their exact keys.
-	pc.structural[structKey] = el
-	for pc.lru.Len() > pc.capacity {
-		old := pc.lru.Back()
-		pc.lru.Remove(old)
+	s.structural[structKey] = el
+	for s.lru.Len() > s.capacity {
+		old := s.lru.Back()
+		s.lru.Remove(old)
 		oe := old.Value.(*planEntry)
-		delete(pc.exact, oe.exactKey)
-		if cur, ok := pc.structural[oe.structKey]; ok && cur == old {
-			delete(pc.structural, oe.structKey)
+		delete(s.exact, oe.exactKey)
+		if cur, ok := s.structural[oe.structKey]; ok && cur == old {
+			delete(s.structural, oe.structKey)
 		}
 	}
 }

@@ -63,6 +63,17 @@ type SQL struct {
 	// replays the interpreted engine's accumulation order exactly (see
 	// internal/sqlengine/kernel.go).
 	Kernels string
+	// ChainFusion controls whole-circuit fusion: "" or "on" (default)
+	// collapses every run of two or more consecutive gate-stage CTAS
+	// statements into one WITH-chained CTAS
+	// (core.Translation.FusedStatements) and enables the engine's
+	// multi-stage fused kernel execution, which double-buffers the
+	// interior stage amplitudes in memory instead of materializing
+	// them; "off" keeps stage-at-a-time statements and execution.
+	// Amplitudes are bitwise independent of the setting (see
+	// internal/sqlengine/kernel_chain.go). Distinct from Fusion, which
+	// is the translation-level gate-matrix fusion of §3.2.
+	ChainFusion string
 	// Encodings controls the engine's sparsity-first storage tier: ""
 	// or "on" (default) enables compressed column encodings and
 	// zone-map skip-scan, "off" keeps plain typed vectors. Amplitudes
@@ -154,6 +165,7 @@ func (b *SQL) RunContext(ctx context.Context, c *quantum.Circuit) (*Result, erro
 		Budget:       b.Budget,
 		Optimizer:    b.Optimizer,
 		Kernels:      b.Kernels,
+		Fusion:       b.ChainFusion,
 		Encodings:    b.Encodings,
 		Tracing:      b.Tracing,
 	}
@@ -170,6 +182,9 @@ func (b *SQL) RunContext(ctx context.Context, c *quantum.Circuit) (*Result, erro
 
 	var maxRows int64
 	stmts := tr.Statements()
+	if b.ChainFusion != "off" {
+		stmts = tr.FusedStatements()
+	}
 	ssp := sp.Child("stages")
 	ssp.Add("statements", int64(len(stmts)))
 	stageCtx := obs.WithSpan(ctx, ssp)
@@ -232,9 +247,16 @@ func (b *SQL) RunContext(ctx context.Context, c *quantum.Circuit) (*Result, erro
 			FinalNonzeros:       state.Len(),
 			MaxIntermediateSize: maxRows,
 			SpilledRows:         st.SpilledRows,
-			Extra:               fmt.Sprintf("stages=%d fusion=%s encoding=%s", tr.StageCount, b.Fusion, b.Encoding),
+			Extra:               fmt.Sprintf("stages=%d fusion=%s chainfusion=%s encoding=%s", tr.StageCount, b.Fusion, chainFusionName(b.ChainFusion), b.Encoding),
 		},
 	}, nil
+}
+
+func chainFusionName(v string) string {
+	if v == "off" {
+		return "off"
+	}
+	return "on"
 }
 
 // wrapBudget maps the engine's budget error onto the shared sentinel so

@@ -531,7 +531,7 @@ func (cs *ColStore) flushChunk() error {
 	if cs.rows == 0 {
 		return nil
 	}
-	n, err := writeChunk(cs.w, cs.cols, cs.rows)
+	n, err := writeChunk(cs.w, cs.cols, cs.rows, cs.env.storageCtrs)
 	if err != nil {
 		cs.spillErr = fmt.Errorf("sqlengine: writing spill chunk: %w", err)
 		return cs.spillErr
@@ -860,7 +860,7 @@ func (s *colScan) NextBatch() (*rowBatch, error) {
 					if s.skipped != nil {
 						s.skipped.Add(1)
 					}
-					storageCounters.chunksSkipped.Add(1)
+					s.cs.env.storageCtrs.bumpChunkSkipped()
 					continue
 				}
 				s.chunkLen, s.chunkPos = n, 0
@@ -884,7 +884,7 @@ func (s *colScan) NextBatch() (*rowBatch, error) {
 					if s.skipped != nil {
 						s.skipped.Add(1)
 					}
-					storageCounters.morselsSkipped.Add(1)
+					s.cs.env.storageCtrs.bumpMorselSkipped()
 				}
 				if s.memPos >= s.cs.rows {
 					return nil, nil
@@ -1039,7 +1039,7 @@ func readZoneRec(r *bufio.Reader, rows int) (zoneEntry, error) {
 // writeChunk writes one v2 chunk: zone records, then the
 // length-prefixed data block of column runs (encoded per column when
 // the chunk-local decision pays off).
-func writeChunk(w *bufio.Writer, cols []column, rows int) (int, error) {
+func writeChunk(w *bufio.Writer, cols []column, rows int, ctrs *storageCounterSet) (int, error) {
 	var scratch [binary.MaxVarintLen64]byte
 	total := 0
 	n := binary.PutUvarint(scratch[:], uint64(rows))
@@ -1065,7 +1065,7 @@ func writeChunk(w *bufio.Writer, cols []column, rows int) (int, error) {
 	var db bytes.Buffer
 	dw := bufio.NewWriter(&db)
 	for i := range cols {
-		if _, err := writeColumnRunV2(dw, &cols[i], rows); err != nil {
+		if _, err := writeColumnRunV2(dw, &cols[i], rows, ctrs); err != nil {
 			return total, err
 		}
 	}
@@ -1194,11 +1194,11 @@ func readBitmap(r *bufio.Reader, rows int, set func(int)) error {
 // float columns get a chunk-local cheap encode decision (RLE / sparse);
 // columns already encoded in memory are written in their encoded form
 // directly; everything else uses the plain run format.
-func writeColumnRunV2(w *bufio.Writer, c *column, rows int) (int, error) {
+func writeColumnRunV2(w *bufio.Writer, c *column, rows int, ctrs *storageCounterSet) (int, error) {
 	switch c.kind {
 	case colInt:
 		if runs := countIntRuns(c.ints[:rows]); runs*4 <= rows {
-			storageCounters.encodedChunkCols.Add(1)
+			ctrs.bumpEncodedChunkCol()
 			return writeRLERun(w, c, rows, nil)
 		}
 	case colFloat:
@@ -1209,17 +1209,17 @@ func writeColumnRunV2(w *bufio.Writer, c *column, rows int) (int, error) {
 			}
 		}
 		if 2*nnz <= rows && 12*nnz < 8*rows {
-			storageCounters.encodedChunkCols.Add(1)
+			ctrs.bumpEncodedChunkCol()
 			return writeSparseRun(w, c, rows, nnz)
 		}
 	case colIntRLE:
-		storageCounters.encodedChunkCols.Add(1)
+		ctrs.bumpEncodedChunkCol()
 		return writeRLERun(w, c, rows, c.runs)
 	case colIntDict:
-		storageCounters.encodedChunkCols.Add(1)
+		ctrs.bumpEncodedChunkCol()
 		return writeDictRun(w, c, rows)
 	case colFloatSparse:
-		storageCounters.encodedChunkCols.Add(1)
+		ctrs.bumpEncodedChunkCol()
 		return writeSparseRun(w, c, rows, len(c.spos))
 	}
 	return writeColumnRun(w, c, rows)

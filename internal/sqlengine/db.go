@@ -60,6 +60,17 @@ type Config struct {
 	// cache hands every rebound engine instance the same *KernelCache
 	// so a parameter sweep compiles each stage shape once.
 	KernelCache *KernelCache
+	// Fusion controls whole-circuit chain fusion on top of the kernel
+	// tier: "" or "on" (the default) detects runs of consecutive
+	// translated gate-stage CTEs and executes them as one multi-stage
+	// fused pass, double-buffering the intermediate amplitudes in
+	// memory and materializing only the final stage's store; "off"
+	// keeps stage-at-a-time execution. Requires Kernels and the
+	// optimizer; it declines (with a distinct fallback counter) under a
+	// bounded memory budget. Simulated amplitudes are bitwise
+	// independent of the setting (see the determinism contract in
+	// kernel_chain.go).
+	Fusion string
 	// Encodings controls the sparsity-first storage tier: "" or "on"
 	// (the default) enables compressed column encodings (RLE /
 	// dictionary / sparse, selected per column from the table statistics
@@ -154,6 +165,14 @@ func Open(cfg Config) (*DB, error) {
 	if kernelCache == nil {
 		kernelCache = NewKernelCache(0)
 	}
+	fusion := true
+	switch cfg.Fusion {
+	case "", "on":
+	case "off":
+		fusion = false
+	default:
+		return nil, fmt.Errorf("sqlengine: unknown fusion setting %q (want \"on\" or \"off\")", cfg.Fusion)
+	}
 	encodings := true
 	switch cfg.Encodings {
 	case "", "on":
@@ -180,10 +199,28 @@ func Open(cfg Config) (*DB, error) {
 		optimizer:    optimizer,
 		kernels:      kernels,
 		kernelCache:  kernelCache,
+		fusion:       fusion,
 		encodings:    encodings,
 		tracing:      tracing,
+		kernelCtrs:   &kernelCounterSet{},
+		storageCtrs:  &storageCounterSet{},
 	}
 	return &DB{env: env, tables: map[string]*TableMeta{}}, nil
+}
+
+// KernelCounters snapshots this engine instance's own kernel-tier
+// counters — the same keys as the package-level KernelCounters(), but
+// scoped to this DB so concurrent engines (interleaved benchmark
+// samples, parallel tests) cannot contaminate the reading.
+func (db *DB) KernelCounters() map[string]int64 {
+	return db.env.kernelCtrs.snapshot()
+}
+
+// StorageCounters snapshots this engine instance's own sparsity-storage
+// counters — the same keys as the package-level StorageCounters(), but
+// scoped to this DB.
+func (db *DB) StorageCounters() map[string]int64 {
+	return db.env.storageCtrs.snapshot()
 }
 
 // Close releases all tables and spill files.

@@ -25,9 +25,11 @@ import (
 // the default typed column-vector store — or "row" for the legacy
 // row-major store kept for differential testing), optimizer ("on"/"off"
 // for the cost-based optimizer), kernels ("on"/"off" for the compiled
-// gate-stage kernel tier, see kernel.go), and encodings ("on"/"off" for
-// the sparsity-first storage tier: compressed column encodings and
-// zone-map skip-scan, see encoding.go).
+// gate-stage kernel tier, see kernel.go), fusion ("on"/"off" for
+// whole-circuit chain fusion on top of the kernel tier, see
+// kernel_chain.go), and encodings ("on"/"off" for the sparsity-first
+// storage tier: compressed column encodings and zone-map skip-scan,
+// see encoding.go).
 
 func init() {
 	sql.Register("qymera", &Driver{})
@@ -105,6 +107,7 @@ func parseDSN(dsn string) (Config, error) {
 	cfg.Layout = q.Get("layout")
 	cfg.Optimizer = q.Get("optimizer")
 	cfg.Kernels = q.Get("kernels")
+	cfg.Fusion = q.Get("fusion")
 	cfg.Encodings = q.Get("encodings")
 	return cfg, nil
 }

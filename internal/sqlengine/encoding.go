@@ -47,10 +47,17 @@ type intRun struct {
 	end int32
 }
 
-// storageCounters tracks process-wide sparsity-storage activity,
-// mirroring kernelCounters (kernel.go). Exposed via StorageCounters
-// and the qymerad /metrics endpoint.
-var storageCounters struct {
+// storageCounterSet is one scope of sparsity-storage counters,
+// mirroring kernelCounterSet (kernel.go). The process-wide aggregate
+// (storageCounters) backs the package-level StorageCounters() and the
+// qymerad /metrics endpoint; each engine instance additionally owns a
+// set (storageEnv.storageCtrs, read through DB.StorageCounters) so
+// interleaved benchmark samples and parallel tests stop
+// cross-contaminating each other's readings. The bump* methods record
+// into the receiver's scope AND the process aggregate; a nil receiver
+// (stores created without an engine in unit tests) records into the
+// aggregate only.
+type storageCounterSet struct {
 	morselsSkipped   atomic.Int64 // zone map proved a morsel empty
 	chunksSkipped    atomic.Int64 // chunk zone header proved a spill chunk empty
 	encodedRLE       atomic.Int64 // columns committed as RLE at Freeze
@@ -61,25 +68,66 @@ var storageCounters struct {
 	kernelEncBinds   atomic.Int64 // encoded columns bound by the gate kernel
 }
 
+// storageCounters is the process-wide aggregate scope.
+var storageCounters storageCounterSet
+
+func (s *storageCounterSet) bump(pick func(*storageCounterSet) *atomic.Int64) {
+	pick(&storageCounters).Add(1)
+	if s != nil && s != &storageCounters {
+		pick(s).Add(1)
+	}
+}
+
+func (s *storageCounterSet) bumpMorselSkipped() {
+	s.bump(func(c *storageCounterSet) *atomic.Int64 { return &c.morselsSkipped })
+}
+func (s *storageCounterSet) bumpChunkSkipped() {
+	s.bump(func(c *storageCounterSet) *atomic.Int64 { return &c.chunksSkipped })
+}
+func (s *storageCounterSet) bumpEncodedRLE() {
+	s.bump(func(c *storageCounterSet) *atomic.Int64 { return &c.encodedRLE })
+}
+func (s *storageCounterSet) bumpEncodedDict() {
+	s.bump(func(c *storageCounterSet) *atomic.Int64 { return &c.encodedDict })
+}
+func (s *storageCounterSet) bumpEncodedSparse() {
+	s.bump(func(c *storageCounterSet) *atomic.Int64 { return &c.encodedSparse })
+}
+func (s *storageCounterSet) bumpEncodedChunkCol() {
+	s.bump(func(c *storageCounterSet) *atomic.Int64 { return &c.encodedChunkCols })
+}
+func (s *storageCounterSet) bumpDecodeFallback() {
+	s.bump(func(c *storageCounterSet) *atomic.Int64 { return &c.decodeFallbacks })
+}
+func (s *storageCounterSet) bumpKernelEncBind() {
+	s.bump(func(c *storageCounterSet) *atomic.Int64 { return &c.kernelEncBinds })
+}
+
+func (s *storageCounterSet) snapshot() map[string]int64 {
+	return map[string]int64{
+		"morsels_skipped":      s.morselsSkipped.Load(),
+		"chunks_skipped":       s.chunksSkipped.Load(),
+		"encoded_rle":          s.encodedRLE.Load(),
+		"encoded_dict":         s.encodedDict.Load(),
+		"encoded_sparse":       s.encodedSparse.Load(),
+		"encoded_chunk_cols":   s.encodedChunkCols.Load(),
+		"decode_fallbacks":     s.decodeFallbacks.Load(),
+		"kernel_encoded_binds": s.kernelEncBinds.Load(),
+	}
+}
+
 // StorageCounters snapshots the process-wide sparsity-storage counters:
 // morsels_skipped / chunks_skipped (zone-map skip-scan), encoded_rle /
 // encoded_dict / encoded_sparse / encoded_chunk_cols (encoding
 // decisions), decode_fallbacks (transparent decodes), and
-// kernel_encoded_binds (gate-kernel operate-on-encoded bindings).
+// kernel_encoded_binds (gate-kernel operate-on-encoded bindings). For a
+// single engine's uncontaminated view, use DB.StorageCounters.
 func StorageCounters() map[string]int64 {
-	return map[string]int64{
-		"morsels_skipped":      storageCounters.morselsSkipped.Load(),
-		"chunks_skipped":       storageCounters.chunksSkipped.Load(),
-		"encoded_rle":          storageCounters.encodedRLE.Load(),
-		"encoded_dict":         storageCounters.encodedDict.Load(),
-		"encoded_sparse":       storageCounters.encodedSparse.Load(),
-		"encoded_chunk_cols":   storageCounters.encodedChunkCols.Load(),
-		"decode_fallbacks":     storageCounters.decodeFallbacks.Load(),
-		"kernel_encoded_binds": storageCounters.kernelEncBinds.Load(),
-	}
+	return storageCounters.snapshot()
 }
 
-// ResetStorageCounters zeroes the counters (benchmarks and tests).
+// ResetStorageCounters zeroes the process-wide aggregate counters
+// (benchmarks and tests). Per-DB scopes are unaffected.
 func ResetStorageCounters() {
 	storageCounters.morselsSkipped.Store(0)
 	storageCounters.chunksSkipped.Store(0)
@@ -112,7 +160,7 @@ func countIntRuns(xs []int64) int {
 // smaller representation exists, returning the resident bytes saved
 // (0 means the column stays plain). st pre-filters the candidates from
 // the table statistics; the exact build pass decides.
-func encodeColumn(c *column, st *colStats, rows int) int64 {
+func encodeColumn(c *column, st *colStats, rows int, ctrs *storageCounterSet) int64 {
 	switch c.kind {
 	case colInt:
 		xs := c.ints[:rows]
@@ -128,7 +176,7 @@ func encodeColumn(c *column, st *colStats, rows int) int64 {
 					i = j
 				}
 				c.kind, c.runs, c.encLen, c.ints = colIntRLE, rl, rows, nil
-				storageCounters.encodedRLE.Add(1)
+				ctrs.bumpEncodedRLE()
 				return saved
 			}
 		}
@@ -165,7 +213,7 @@ func encodeColumn(c *column, st *colStats, rows int) int64 {
 			return 0
 		}
 		c.kind, c.dict, c.codes, c.encLen, c.ints = colIntDict, dict, codes, rows, nil
-		storageCounters.encodedDict.Add(1)
+		ctrs.bumpEncodedDict()
 		return saved
 	case colFloat:
 		if st == nil || 2*st.zeros < int64(rows) {
@@ -193,7 +241,7 @@ func encodeColumn(c *column, st *colStats, rows int) int64 {
 			}
 		}
 		c.kind, c.spos, c.svals, c.encLen, c.floats = colFloatSparse, spos, svals, rows, nil
-		storageCounters.encodedSparse.Add(1)
+		ctrs.bumpEncodedSparse()
 		return saved
 	}
 	return 0
@@ -255,7 +303,7 @@ func (cs *ColStore) encodeColumns() {
 		if c.encoded() {
 			continue
 		}
-		if saved := encodeColumn(c, ts.col(i), cs.rows); saved > 0 {
+		if saved := encodeColumn(c, ts.col(i), cs.rows, cs.env.storageCtrs); saved > 0 {
 			cs.env.budget.release(saved)
 			cs.memBytes -= saved
 			c.encSaved = saved
@@ -275,7 +323,7 @@ func (cs *ColStore) decodeForAppend() {
 			continue
 		}
 		c.decodeEncoded()
-		storageCounters.decodeFallbacks.Add(1)
+		cs.env.storageCtrs.bumpDecodeFallback()
 		if c.encSaved > 0 {
 			cs.env.budget.reserveForce(c.encSaved)
 			cs.memBytes += c.encSaved

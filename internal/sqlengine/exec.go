@@ -100,6 +100,10 @@ type execCtx struct {
 	// for this statement (nil when the kernel did not run). EXPLAIN
 	// ANALYZE and operator-span attachment both read it.
 	kexec *kernelExecStat
+	// chainExec records a whole-circuit fused chain execution's stats
+	// for this statement (nil when no chain was fused; see
+	// kernel_chain.go).
+	chainExec *chainExecStat
 }
 
 // cancelled reports the statement's cancellation state. It is polled at

@@ -120,6 +120,11 @@ func (db *DB) explainAnalyzeSelect(stmtCtx context.Context, sel *SelectStmt, par
 		kcore = core
 		writeExplainHeader(&b, db.env, ctx, names, kline)
 	}
+	if ck := ctx.chainExec; ck != nil {
+		// CTE materialization ran the fused chain during lowering.
+		fmt.Fprintf(&b, "kernel chain actual: %s rows_in=%d rows_out=%d in %s\n",
+			chainAnnotation(int(ck.stages)), ck.rowsIn, ck.rowsOut, ck.wall.Round(time.Microsecond))
+	}
 	fmt.Fprintf(&b, "actual: %d rows in %s\n", total, elapsed.Round(time.Microsecond))
 	describePlan(&b, node, 0, kcore)
 	return b.String(), nil
@@ -196,7 +201,27 @@ func kernelExplain(ctx *execCtx, node planNode) (string, planNode) {
 	}
 	core, reason := explainKernelMatch(ctx, node)
 	if core == nil {
+		// The output-layer kernel picks up translated probability and
+		// marginal aggregations the gate-stage matcher declines.
+		if plan := matchOutputAgg(node); plan != nil {
+			if cs, ok := plan.scan.store.(*ColStore); ok && !cs.Spilled() {
+				if _, ok := compileOutputRun(env, plan, cs); ok {
+					ann := outputAnnotationScalar
+					if plan.grouped {
+						ann = outputAnnotationGroup
+					}
+					return "kernel: " + ann, nil
+				}
+			}
+		}
 		return "kernel: fallback (" + reason + ")", nil
+	}
+	if proj, ok := core.(*projectNode); ok && env.fusion {
+		// The state side may be a chain of gate-stage CTEs the fusion
+		// tier would execute as one multi-stage pass feeding this core.
+		if stages := explainChainStages(env, proj); stages >= 2 {
+			return "kernel: " + chainAnnotation(stages) + " + " + kernelAnnotation, core
+		}
 	}
 	return "kernel: " + kernelAnnotation, core
 }

@@ -42,6 +42,26 @@ func FuzzParse(f *testing.F) {
 	f.Add("SELECT FROM WHERE GROUP")
 	f.Add(";;;;")
 	f.Add("SELECT 1 UNION ALL SELECT 2")
+	// Chained multi-stage shapes: the fused CTAS statements that
+	// core.FusedStatements emits (CREATE TABLE ... AS WITH interior
+	// gate stages as CTEs), plus degenerate variants.
+	f.Add(`CREATE TABLE q_state_2 AS WITH q_state_1 AS (
+  SELECT ((t.s & ~1) | h.out_s) AS s,
+         SUM((t.r * h.r) - (t.i * h.i)) AS r,
+         SUM((t.r * h.i) + (t.i * h.r)) AS i
+  FROM t JOIN h ON h.in_s = (t.s & 1)
+  GROUP BY ((t.s & ~1) | h.out_s)
+)
+SELECT ((q_state_1.s & ~2) | (h.out_s << 1)) AS s,
+       SUM((q_state_1.r * h.r) - (q_state_1.i * h.i)) AS r,
+       SUM((q_state_1.r * h.i) + (q_state_1.i * h.r)) AS i
+FROM q_state_1 JOIN h ON h.in_s = ((q_state_1.s >> 1) & 1)
+GROUP BY ((q_state_1.s & ~2) | (h.out_s << 1));
+DROP TABLE q_state_0;`)
+	f.Add("CREATE TABLE t2 AS WITH c1 AS (SELECT s, r, i FROM t0), c2 AS (SELECT s, r, i FROM c1) SELECT * FROM c2")
+	f.Add("CREATE TABLE x AS WITH x AS (SELECT 1) SELECT * FROM x;CREATE TABLE y AS WITH a AS (SELECT * FROM x) SELECT * FROM a")
+	f.Add("CREATE TABLE t1 AS WITH c1 AS (SELECT s FROM t0 GROUP BY s HAVING SUM(r) > 0.0) SELECT s FROM c1 ORDER BY s;CREATE TABLE t2 AS SELECT * FROM t1;DROP TABLE t1;")
+	f.Add("CREATE TABLE AS WITH AS (SELECT) SELECT")
 
 	f.Fuzz(func(t *testing.T, src string) {
 		if len(src) > 1<<16 {

@@ -54,6 +54,31 @@ func TestGoldenPlans(t *testing.T) {
 			FROM t0 JOIN h ON h.in_s = (t0.s & 1)
 			GROUP BY ((t0.s & ~1) | h.out_s)
 		) SELECT s, r, i FROM t1 ORDER BY s`},
+		{"gate_chain", `WITH c1 AS (
+			SELECT ((t0.s & ~1) | h.out_s) AS s,
+			       SUM((t0.r * h.r) - (t0.i * h.i)) AS r,
+			       SUM((t0.r * h.i) + (t0.i * h.r)) AS i
+			FROM t0 JOIN h ON h.in_s = (t0.s & 1)
+			GROUP BY ((t0.s & ~1) | h.out_s)
+		), c2 AS (
+			SELECT ((c1.s & ~1) | h.out_s) AS s,
+			       SUM((c1.r * h.r) - (c1.i * h.i)) AS r,
+			       SUM((c1.r * h.i) + (c1.i * h.r)) AS i
+			FROM c1 JOIN h ON h.in_s = (c1.s & 1)
+			GROUP BY ((c1.s & ~1) | h.out_s)
+		), c3 AS (
+			SELECT ((c2.s & ~1) | h.out_s) AS s,
+			       SUM((c2.r * h.r) - (c2.i * h.i)) AS r,
+			       SUM((c2.r * h.i) + (c2.i * h.r)) AS i
+			FROM c2 JOIN h ON h.in_s = (c2.s & 1)
+			GROUP BY ((c2.s & ~1) | h.out_s)
+		), c4 AS (
+			SELECT ((c3.s & ~1) | h.out_s) AS s,
+			       SUM((c3.r * h.r) - (c3.i * h.i)) AS r,
+			       SUM((c3.r * h.i) + (c3.i * h.r)) AS i
+			FROM c3 JOIN h ON h.in_s = (c3.s & 1)
+			GROUP BY ((c3.s & ~1) | h.out_s)
+		) SELECT s, r, i FROM c4 ORDER BY s`},
 		{"pushdown_join", "SELECT small.name FROM small JOIN big ON big.id = small.id WHERE big.v > 10 AND small.name = 'a'"},
 		{"pruned_scan", "SELECT a FROM wide WHERE a > 1 + 1"},
 		{"cte_inlined", "WITH u AS (SELECT a, b FROM wide WHERE a < 10) SELECT b FROM u WHERE b > 0.5"},

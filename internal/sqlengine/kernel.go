@@ -42,58 +42,108 @@ import (
 // same partition-major schedule to emit groups in the same order.
 const aggPartitionsKernel = aggPartitions
 
-// kernel counters, exposed through KernelCounters() and the service
-// /metrics endpoint. Package-level (like optCounters) because a
-// simulation service runs many short-lived engine instances.
-var kernelCounters struct {
+// kernelCounterSet is one scope of kernel-tier counters. Two scopes
+// exist: the process-wide aggregate (kernelCounters, what /metrics and
+// the package-level KernelCounters() report) and one per engine
+// instance (storageEnv.kernelCtrs, read through DB.KernelCounters) so
+// interleaved benchmark samples and parallel tests no longer
+// cross-contaminate each other's readings. Every increment goes to
+// both.
+type kernelCounterSet struct {
 	compiles   atomic.Int64
 	cacheHits  atomic.Int64
 	executions atomic.Int64
 	fallbacks  atomic.Int64
-	mu         sync.Mutex
-	reasons    map[string]int64
+	// chain counters: whole-circuit fused executions, the stages they
+	// covered, and the intermediate stage tables they elided (see
+	// kernel_chain.go).
+	chainExecutions atomic.Int64
+	chainStages     atomic.Int64
+	chainElided     atomic.Int64
+	// outputExecutions counts compiled output-layer aggregations
+	// (kernel_output.go); each also counts under executions.
+	outputExecutions atomic.Int64
+	mu               sync.Mutex
+	reasons          map[string]int64
 }
 
-// kernelFallback records one matcher decline with its reason.
-func kernelFallback(reason string) {
-	kernelCounters.fallbacks.Add(1)
-	kernelCounters.mu.Lock()
-	if kernelCounters.reasons == nil {
-		kernelCounters.reasons = map[string]int64{}
+func (k *kernelCounterSet) fallback(reason string) {
+	k.fallbacks.Add(1)
+	k.mu.Lock()
+	if k.reasons == nil {
+		k.reasons = map[string]int64{}
 	}
-	kernelCounters.reasons[reason]++
-	kernelCounters.mu.Unlock()
+	k.reasons[reason]++
+	k.mu.Unlock()
+}
+
+func (k *kernelCounterSet) snapshot() map[string]int64 {
+	out := map[string]int64{
+		"compiles":          k.compiles.Load(),
+		"cache_hits":        k.cacheHits.Load(),
+		"executions":        k.executions.Load(),
+		"fallbacks":         k.fallbacks.Load(),
+		"chain_executions":  k.chainExecutions.Load(),
+		"chain_stages":      k.chainStages.Load(),
+		"chain_elided":      k.chainElided.Load(),
+		"output_executions": k.outputExecutions.Load(),
+	}
+	k.mu.Lock()
+	for r, n := range k.reasons {
+		out["fallback_"+r] = n
+	}
+	k.mu.Unlock()
+	return out
+}
+
+func (k *kernelCounterSet) reset() {
+	k.compiles.Store(0)
+	k.cacheHits.Store(0)
+	k.executions.Store(0)
+	k.fallbacks.Store(0)
+	k.chainExecutions.Store(0)
+	k.chainStages.Store(0)
+	k.chainElided.Store(0)
+	k.outputExecutions.Store(0)
+	k.mu.Lock()
+	k.reasons = nil
+	k.mu.Unlock()
+}
+
+// kernelCounters is the process-wide aggregate scope.
+var kernelCounters kernelCounterSet
+
+// kernelFallback records one matcher decline with its reason, in both
+// the process aggregate and the engine's own scope.
+func kernelFallback(env *storageEnv, reason string) {
+	kernelCounters.fallback(reason)
+	if env != nil && env.kernelCtrs != nil {
+		env.kernelCtrs.fallback(reason)
+	}
+}
+
+// kernelBump increments one counter field in both scopes.
+func kernelBump(env *storageEnv, pick func(*kernelCounterSet) *atomic.Int64, n int64) {
+	pick(&kernelCounters).Add(n)
+	if env != nil && env.kernelCtrs != nil {
+		pick(env.kernelCtrs).Add(n)
+	}
 }
 
 // KernelCounters snapshots the cumulative kernel-tier counters
 // (monotonic across all engine instances in the process): compiles,
-// cache_hits, executions, fallbacks, and one "fallback_<reason>" entry
-// per observed decline reason.
+// cache_hits, executions, fallbacks, the chain_* whole-circuit fusion
+// counters, and one "fallback_<reason>" entry per observed decline
+// reason. For a single engine's uncontaminated view, use
+// DB.KernelCounters.
 func KernelCounters() map[string]int64 {
-	out := map[string]int64{
-		"compiles":   kernelCounters.compiles.Load(),
-		"cache_hits": kernelCounters.cacheHits.Load(),
-		"executions": kernelCounters.executions.Load(),
-		"fallbacks":  kernelCounters.fallbacks.Load(),
-	}
-	kernelCounters.mu.Lock()
-	for r, n := range kernelCounters.reasons {
-		out["fallback_"+r] = n
-	}
-	kernelCounters.mu.Unlock()
-	return out
+	return kernelCounters.snapshot()
 }
 
-// ResetKernelCounters zeroes the kernel counters (benchmark phases and
-// tests; the counters are process-global).
+// ResetKernelCounters zeroes the process-wide aggregate counters
+// (benchmark phases and tests). Per-DB scopes are unaffected.
 func ResetKernelCounters() {
-	kernelCounters.compiles.Store(0)
-	kernelCounters.cacheHits.Store(0)
-	kernelCounters.executions.Store(0)
-	kernelCounters.fallbacks.Store(0)
-	kernelCounters.mu.Lock()
-	kernelCounters.reasons = nil
-	kernelCounters.mu.Unlock()
+	kernelCounters.reset()
 }
 
 // KernelCache caches compiled kernel programs keyed by the canonical
@@ -160,20 +210,23 @@ func kernelAttempt(ctx *execCtx, root planNode, collect bool) (tableStore, table
 	// joins, serial fallbacks); the kernel only replicates the unlimited
 	// in-memory schedule, so it steps aside entirely.
 	if ctx.env.budget.Limit() > 0 {
-		kernelFallback(kfBudgetLimited)
+		kernelFallback(ctx.env, kfBudgetLimited)
 		return nil, nil, nil
 	}
 	site, reason := findGateStage(ctx, root)
 	if site == nil {
-		kernelFallback(reason)
+		if out, handled, err := outputKernelAttempt(ctx, root, collect, reason); handled {
+			return out, nil, err
+		}
+		kernelFallback(ctx.env, reason)
 		return nil, nil, nil
 	}
-	bound, reason := bindGateStage(site.kern)
+	bound, reason := bindGateStage(ctx.env, site.kern)
 	if bound == nil {
-		kernelFallback(reason)
+		kernelFallback(ctx.env, reason)
 		return nil, nil, nil
 	}
-	kernelCounters.executions.Add(1)
+	kernelBump(ctx.env, func(k *kernelCounterSet) *atomic.Int64 { return &k.executions }, 1)
 	start := time.Now()
 	store, err := runGateKernel(ctx, site.kern, bound, collect && site.set == nil)
 	if err != nil {
@@ -215,4 +268,16 @@ type kernelExecStat struct {
 	morsels     int64
 	runsSkipped int64
 	cacheHit    bool
+}
+
+// chainExecStat records one whole-circuit fused chain execution's
+// stats on the execCtx (kernel_chain.go): how many consecutive gate
+// stages ran in one pass, the rows into the first stage and out of the
+// last, and the wall time of the whole pass. EXPLAIN ANALYZE and span
+// attachment read it alongside kexec.
+type chainExecStat struct {
+	wall    time.Duration
+	stages  int64
+	rowsIn  int64
+	rowsOut int64
 }

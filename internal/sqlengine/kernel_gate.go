@@ -58,7 +58,7 @@ const denseCap = 1 << 22
 
 // bindGateStage binds a compiled program to the scans' current stores,
 // running the data-dependent checks the matcher cannot do statically.
-func bindGateStage(k *gateKernel) (*boundGate, string) {
+func bindGateStage(env *storageEnv, k *gateKernel) (*boundGate, string) {
 	prog := k.prog
 	state, ok := k.state.store.(*ColStore)
 	gate, ok2 := k.gate.store.(*ColStore)
@@ -107,14 +107,14 @@ func bindGateStage(k *gateKernel) (*boundGate, string) {
 					out[pos] = r.v
 				}
 			}
-			storageCounters.kernelEncBinds.Add(1)
+			env.storageCtrs.bumpKernelEncBind()
 			return out
 		case colIntDict:
 			out := make([]int64, cs.rows)
 			for i, code := range c.codes {
 				out[i] = c.dict[code]
 			}
-			storageCounters.kernelEncBinds.Add(1)
+			env.storageCtrs.bumpKernelEncBind()
 			return out
 		}
 		return nil
@@ -132,14 +132,14 @@ func bindGateStage(k *gateKernel) (*boundGate, string) {
 			for i, p := range c.spos {
 				out[p] = c.svals[i]
 			}
-			storageCounters.kernelEncBinds.Add(1)
+			env.storageCtrs.bumpKernelEncBind()
 			return out
 		}
 		return nil
 	}
 	if c := colAt(state, prog.sCol); c != nil && c.kind == colIntRLE && len(c.nulls) == 0 {
 		bk.sRuns = c.runs
-		storageCounters.kernelEncBinds.Add(1)
+		env.storageCtrs.bumpKernelEncBind()
 	} else {
 		bk.sKey = intVec(state, prog.sCol)
 	}
@@ -432,10 +432,18 @@ func runGateKernel(ctx *execCtx, k *gateKernel, bk *boundGate, collect bool) (ta
 	return out, nil
 }
 
+// kSink receives a kernel run's grouped output in emission order. Two
+// implementations exist: kEmitter materializes rows into a store
+// (applying the pruning HAVING), and chainBuf (kernel_chain.go) keeps
+// them in memory as the next fused stage's input.
+type kSink interface {
+	emitAll(keys []int64, r, i []float64) error
+}
+
 // runSerial accumulates all state rows into one accumulator (the
 // engine's single-morsel streaming aggregation) and emits groups in
 // first-seen order.
-func (bk *boundGate) runSerial(ctx *execCtx, em *kEmitter) error {
+func (bk *boundGate) runSerial(ctx *execCtx, em kSink) error {
 	acc := newKAcc(bk.denseHi >= 0, bk.denseHi, bk.groupHint)
 	for lo := 0; lo < bk.rows; lo += morselRows {
 		if err := ctx.cancelled(); err != nil {
@@ -464,7 +472,7 @@ type kPartial struct {
 // order, re-accumulating partials from a fresh 0.0; emission is
 // partition-major. The schedule depends only on the data and the fixed
 // morsel geometry — never on the worker count.
-func (bk *boundGate) runMorsel(ctx *execCtx, em *kEmitter) error {
+func (bk *boundGate) runMorsel(ctx *execCtx, em kSink) error {
 	nm := (bk.rows + morselRows - 1) / morselRows
 	parts := make([][aggPartitionsKernel][]kPartial, nm)
 	workers := ctx.workers

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync/atomic"
 )
 
 // Lowering: pattern-match the gate-stage plan shape and compile it into
@@ -25,9 +26,24 @@ const (
 	kfSpilled       = "spilled"
 	kfColumnTypes   = "column-types"
 	kfUnsupported   = "unsupported-expr"
+
+	// Whole-circuit chain fusion decline reasons (kernel_chain.go). A
+	// chain decline is not a statement-level fallback — the statement
+	// still runs stage-at-a-time, each stage through the single-stage
+	// kernel — but it is counted distinctly so a sweep that silently
+	// lost fusion is visible in /metrics.
+	kfChainBudgetLimited = "chain-budget-limited"
+	kfChainStageShape    = "chain-stage-shape"
+	kfChainSlots         = "chain-slots"
+	kfChainBind          = "chain-bind"
 )
 
 const kernelAnnotation = "gate-stage(fused: scan⋈join⋈agg⋈project)"
+
+// chainAnnotation renders the EXPLAIN marker for a fused K-stage chain.
+func chainAnnotation(stages int) string {
+	return fmt.Sprintf("gate-chain(stages=%d)", stages)
+}
 
 // kIntFn is a compiled integer scalar closure over the state amplitude
 // index s and (optionally) one gate-table integer column g.
@@ -238,10 +254,10 @@ func compileGateStage(core *projectNode, env *storageEnv, bindPhys bool) (*gateK
 		if _, ok := gateScan.store.(*ColStore); !ok {
 			return nil, kfRowLayout
 		}
-		key := gateStageCacheKey(core, agg, having, join, stateScan, gateScan, nLeft, len(rightSchema))
+		key := gateStageCacheKey(core, agg, having, join, stateScan.keep, gateScan, nLeft, len(rightSchema))
 		if cache := env.kernelCache; cache != nil {
 			if prog, hit := cache.lookup(key); hit {
-				kernelCounters.cacheHits.Add(1)
+				kernelBump(env, func(k *kernelCounterSet) *atomic.Int64 { return &k.cacheHits }, 1)
 				return &gateKernel{core: core, agg: agg, state: stateScan, gate: gateScan, prog: prog, cached: true}, ""
 			}
 		}
@@ -249,7 +265,7 @@ func compileGateStage(core *projectNode, env *storageEnv, bindPhys bool) (*gateK
 		if prog == nil {
 			return nil, reason
 		}
-		kernelCounters.compiles.Add(1)
+		kernelBump(env, func(k *kernelCounterSet) *atomic.Int64 { return &k.compiles }, 1)
 		if cache := env.kernelCache; cache != nil {
 			cache.store(key, prog)
 		}
@@ -265,8 +281,10 @@ func compileGateStage(core *projectNode, env *storageEnv, bindPhys bool) (*gateK
 	return &gateKernel{core: core, agg: agg, state: stateScan, gate: gateScan, prog: prog}, ""
 }
 
-// isCTERefChain reports whether a node is an EXPLAIN-mode reference to
-// a materialized CTE (alias wrappers over a cteShowNode).
+// isCTERefChain reports whether a node is a reference to a CTE that is
+// not (yet) materialized: alias wrappers over a cteShowNode (EXPLAIN's
+// display lowering) or over a cteStubNode (chain fusion's
+// stop-at-the-reference lowering, see kernel_chain.go).
 func isCTERefChain(n planNode) bool {
 	for {
 		switch x := n.(type) {
@@ -276,10 +294,76 @@ func isCTERefChain(n planNode) bool {
 			n = x.child
 		case *cteShowNode:
 			return true
+		case *cteStubNode:
+			return true
 		default:
 			return false
 		}
 	}
+}
+
+// chainStateSlots validates the intermediate-layout contract of a chain
+// stage's schema-slot program: the producing stage emits (index, real,
+// imaginary) as columns (0, 1, 2), so the consuming stage's state-side
+// slots must address exactly that layout — the integer index at slot 0
+// and every float factor at slot 1 or 2.
+func chainStateSlots(prog *kernelProg) bool {
+	f := func(s int) bool { return s == 1 || s == 2 }
+	return prog.sCol == 0 && f(prog.s0a) && f(prog.s0b) && f(prog.s1a) && f(prog.s1b)
+}
+
+// compileChainStage compiles one interior stage of a fused chain (or
+// fetches it from the kernel cache): the full structural gate-stage
+// match, with the state side left as logical slots into the fixed
+// (s, r, i) in-memory intermediate and only the gate side — a real
+// base table — bound to physical store columns. Chain programs share
+// the kernel cache under a "chain|"-prefixed key, so a sweep compiles
+// each stage shape once and rebinds thereafter.
+func compileChainStage(core *projectNode, env *storageEnv) (*gateKernel, string) {
+	agg, having := coreAggOf(core)
+	if agg == nil {
+		return nil, kfChainStageShape
+	}
+	join, ok := unwrapStat(agg.child).(*joinNode)
+	if !ok {
+		return nil, kfChainStageShape
+	}
+	gateScan, ok := unwrapStat(join.right).(*storeScanNode)
+	if !ok {
+		return nil, kfChainStageShape
+	}
+	key := "chain|" + gateStageCacheKey(core, agg, having, join, nil, gateScan, len(join.left.schema()), len(gateScan.cols))
+	if cache := env.kernelCache; cache != nil {
+		if prog, hit := cache.lookup(key); hit {
+			kernelBump(env, func(k *kernelCounterSet) *atomic.Int64 { return &k.cacheHits }, 1)
+			return &gateKernel{core: core, agg: agg, gate: gateScan, prog: prog, cached: true}, ""
+		}
+	}
+	// Structural dry run: the matcher tolerates the unmaterialized CTE
+	// reference on the state side and compiles against schema slots.
+	kern, reason := compileGateStage(core, env, false)
+	if kern == nil {
+		return nil, reason
+	}
+	if !chainStateSlots(kern.prog) {
+		return nil, kfChainSlots
+	}
+	// Map the gate side to physical store columns; the state side stays
+	// on the (0,1,2) intermediate layout.
+	prog := *kern.prog
+	gp := func(i int) int { return scanPhys(gateScan, i) }
+	prog.gIn = gp(prog.gIn)
+	if prog.gOut >= 0 {
+		prog.gOut = gp(prog.gOut)
+	}
+	prog.g0a, prog.g0b, prog.g1a, prog.g1b = gp(prog.g0a), gp(prog.g0b), gp(prog.g1a), gp(prog.g1b)
+	kernelBump(env, func(k *kernelCounterSet) *atomic.Int64 { return &k.compiles }, 1)
+	if cache := env.kernelCache; cache != nil {
+		cache.store(key, &prog)
+	}
+	kern.prog = &prog
+	kern.gate = gateScan
+	return kern, ""
 }
 
 // compileGateProgram compiles the matched core's expressions. scans may
@@ -627,8 +711,10 @@ func denseGateSpec(e Expr, joinSchema planSchema, nLeft, sCol int) kIntFn {
 
 // gateStageCacheKey canonicalizes everything a compiled program depends
 // on: the expressions (with resolved slots and literal values), the
-// scans' physical column maps, and the schema widths.
-func gateStageCacheKey(core *projectNode, agg *aggNode, having *filterNode, join *joinNode, stateScan, gateScan *storeScanNode, nLeft, nRight int) string {
+// scans' physical column maps (keepL is the state scan's pruning map,
+// nil for a chain stage whose state side is the fixed in-memory
+// intermediate), and the schema widths.
+func gateStageCacheKey(core *projectNode, agg *aggNode, having *filterNode, join *joinNode, keepL []int, gateScan *storeScanNode, nLeft, nRight int) string {
 	leftSchema := join.left.schema()
 	joinSchema := append(append(planSchema{}, leftSchema...), gateScan.cols...)
 	var b strings.Builder
@@ -637,7 +723,7 @@ func gateStageCacheKey(core *projectNode, agg *aggNode, having *filterNode, join
 	b.WriteString("|nr=")
 	b.WriteString(strconv.Itoa(nRight))
 	b.WriteString("|kl=")
-	writeKeep(&b, stateScan.keep)
+	writeKeep(&b, keepL)
 	b.WriteString("|kr=")
 	writeKeep(&b, gateScan.keep)
 	b.WriteString("|in=")

@@ -142,8 +142,12 @@ func (n *storeScanNode) openParallel(ctx *execCtx, workers int) ([]morselStream,
 	// would drop every one of its rows, and the morsel-order merge
 	// contract does not depend on which worker claimed it.
 	var skip func(m int) bool
+	var ctrs *storageCounterSet
 	if cs, ok := n.store.(*ColStore); ok {
 		skip = cs.zoneSkipper(n.zp)
+		if cs.env != nil {
+			ctrs = cs.env.storageCtrs
+		}
 	}
 	streams := make([]morselStream, workers)
 	for i := range streams {
@@ -164,7 +168,7 @@ func (n *storeScanNode) openParallel(ctx *execCtx, workers int) ([]morselStream,
 		if err != nil {
 			return nil, false, err
 		}
-		streams[i] = &scanMorselStream{disp: d, scan: sc, skip: skip, skipped: &n.skipped}
+		streams[i] = &scanMorselStream{disp: d, scan: sc, skip: skip, skipped: &n.skipped, ctrs: ctrs}
 	}
 	return streams, true, nil
 }
@@ -194,6 +198,7 @@ type scanMorselStream struct {
 	claimed bool
 	skip    func(m int) bool
 	skipped *atomic.Int64
+	ctrs    *storageCounterSet
 }
 
 func (s *scanMorselStream) NextMorsel() (int, bool, error) {
@@ -207,7 +212,7 @@ func (s *scanMorselStream) NextMorsel() (int, bool, error) {
 			if s.skipped != nil {
 				s.skipped.Add(1)
 			}
-			storageCounters.morselsSkipped.Add(1)
+			s.ctrs.bumpMorselSkipped()
 			continue
 		}
 		s.scan.setMorsel(i)

@@ -21,6 +21,15 @@ type planner struct {
 	db      *DB
 	cleanup []tableStore // temp stores to release when the statement ends
 	explain bool
+	// stubCTE lowers unmaterialized CTE references to schema-only stubs
+	// instead of materializing them — compile-only mode used by chain
+	// fusion to lower one stage without recursing into the chain below
+	// it (kernel_chain.go).
+	stubCTE bool
+	// chainCounted caps chain-fusion fallback accounting at one decline
+	// per statement (the materialization recursion would otherwise
+	// re-count every suffix of the same chain).
+	chainCounted bool
 }
 
 func (p *planner) release() {
@@ -63,9 +72,14 @@ func (db *DB) buildPlan(ctx *execCtx, sel *SelectStmt, explain bool) (planNode, 
 }
 
 // materializeCTE executes a CTE's plan into a shared store (once).
+// When d tops a fusable run of gate-stage CTEs, the whole run executes
+// as one fused kernel pass instead (kernel_chain.go).
 func (p *planner) materializeCTE(d *cteDef) error {
 	if d.store != nil {
 		return nil
+	}
+	if done, err := p.fuseCTEChain(d); done || err != nil {
+		return err
 	}
 	node, err := p.lower(d.plan)
 	if err != nil {
@@ -158,6 +172,18 @@ func (p *planner) lowerEst(n logicalNode) (planNode, float64, error) {
 			}
 			show := &cteShowNode{name: t.cte.name, uses: t.cte.uses, child: child}
 			return &aliasNode{child: show, table: t.qual, names: t.cte.cols, est: t.est}, rows, nil
+		}
+		if p.stubCTE && t.cte.store == nil {
+			// Compile-only: stand in for the unmaterialized reference
+			// (chain fusion lowers each stage against its predecessor's
+			// schema, never its data). Materialized CTEs fall through to
+			// the normal store scan so a chain bottom binds real data.
+			stub := &cteStubNode{name: t.cte.name, cols: t.cols}
+			rows := float64(-1)
+			if t.est.rows >= 0 {
+				rows = t.est.rows
+			}
+			return &aliasNode{child: stub, table: t.qual, names: t.cte.cols, est: t.est}, rows, nil
 		}
 		if err := p.materializeCTE(t.cte); err != nil {
 			return nil, -1, err

@@ -118,6 +118,14 @@ type storageEnv struct {
 	// simulation plan cache).
 	kernels     bool
 	kernelCache *KernelCache
+	// fusion enables whole-circuit chain fusion on top of the kernel
+	// tier (Config.Fusion; see kernel_chain.go).
+	fusion bool
+	// kernelCtrs / storageCtrs are this engine instance's own counter
+	// scopes (every increment also feeds the process-wide aggregates;
+	// see kernelCounterSet and storageCounterSet).
+	kernelCtrs  *kernelCounterSet
+	storageCtrs *storageCounterSet
 	// encodings enables the sparsity-first storage tier: compressed
 	// column encodings at materialization and zone-map skip-scan
 	// (Config.Encodings; see encoding.go and zonemap.go).

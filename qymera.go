@@ -143,6 +143,14 @@ type SQLBackendOptions struct {
 	// executor. Amplitudes are bit-identical across settings; only
 	// throughput changes.
 	Kernels string
+	// ChainFusion controls whole-circuit chain fusion: "" or "on"
+	// (default) collapses runs of consecutive gate stages into fused
+	// CTAS statements and executes them as multi-stage chain kernels
+	// without materializing the intermediate amplitude tables, "off"
+	// keeps stage-at-a-time execution. Distinct from Fusion, the
+	// translation's gate-matrix fusion level. Amplitudes are
+	// bit-identical across settings; only throughput changes.
+	ChainFusion string
 	// Encodings controls the engine's sparsity-first storage tier: ""
 	// or "on" (default) enables compressed column encodings (RLE /
 	// dictionary / sparse) and zone-map skip-scan, "off" keeps plain
@@ -176,6 +184,7 @@ func NewSQLBackend(opts ...SQLBackendOptions) Backend {
 		Layout:       o.StorageLayout,
 		Optimizer:    o.Optimizer,
 		Kernels:      o.Kernels,
+		ChainFusion:  o.ChainFusion,
 		Encodings:    o.Encodings,
 		Cache:        o.PlanCache,
 		Initial:      o.Initial,
